@@ -1,0 +1,133 @@
+//! Microbenchmarks of the building blocks: the scheduler's hot path
+//! (Algorithm 1's queue operations), the network state machine, the
+//! event queue, and GP fitting — the costs a production deployment of
+//! this code would care about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bs_core::{ByteScheduler, Scheduler, WorkItem};
+use bs_net::{NetConfig, Network, NodeId, Transport};
+use bs_sim::{EventQueue, SimRng, SimTime};
+use bs_tune::gp::Gp;
+
+/// Algorithm 1's submit → poll → complete cycle at a realistic queue
+/// depth (a VGG16 iteration at δ = 1 MB is ~550 subtasks per direction).
+fn bench_scheduler_cycle(c: &mut Criterion) {
+    c.bench_function("core_algorithm1_cycle_1k_items", |b| {
+        b.iter(|| {
+            let mut s = ByteScheduler::new(1 << 20, 8 << 20, 2);
+            let now = SimTime::ZERO;
+            for i in 0..1_000u64 {
+                s.submit(
+                    now,
+                    WorkItem {
+                        lane: (i % 2) as usize,
+                        priority: i % 16,
+                        bytes: 1 << 20,
+                        token: i,
+                    },
+                );
+            }
+            let mut done = 0usize;
+            while done < 1_000 {
+                let batch = s.poll(now);
+                for item in &batch {
+                    s.complete(now, item.lane, item.bytes);
+                }
+                done += batch.len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+/// Point-to-point fabric throughput: an incast of 1 000 transfers.
+fn bench_network_incast(c: &mut Criterion) {
+    c.bench_function("net_incast_1k_transfers", |b| {
+        b.iter(|| {
+            let cfg = NetConfig::gbps(100.0, Transport::rdma());
+            let mut net = Network::new(9, cfg);
+            for i in 0..1_000u64 {
+                net.submit(
+                    SimTime::ZERO,
+                    NodeId((i % 8) as usize),
+                    NodeId(8),
+                    1 << 20,
+                    i,
+                );
+            }
+            let mut events = 0usize;
+            loop {
+                let t = net.next_event_time();
+                if t.is_never() {
+                    break;
+                }
+                events += net.advance(t).len();
+            }
+            black_box(events)
+        })
+    });
+}
+
+/// Calendar-queue ops.
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim_event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.below(1 << 40)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+/// GP fit + predict at the observation counts BO actually uses.
+fn bench_gp_fit(c: &mut Criterion) {
+    let mut rng = SimRng::new(7);
+    let xs: Vec<Vec<f64>> = (0..20)
+        .map(|_| vec![rng.next_f64(), rng.next_f64()])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.4).powi(2) + x[1]).collect();
+    c.bench_function("tune_gp_fit_predict_20_samples", |b| {
+        b.iter(|| {
+            let gp = Gp::fit(&xs, &ys);
+            black_box(gp.predict(&[0.3, 0.7]))
+        })
+    });
+}
+
+/// One full small simulation, the unit everything above composes into.
+fn bench_end_to_end_sim(c: &mut Criterion) {
+    use bs_harness::{Fidelity, Setup};
+    use bs_runtime::{run, SchedulerKind};
+    c.bench_function("end_to_end_resnet50_ps_16gpu", |b| {
+        b.iter(|| {
+            let mut cfg = Setup::MxnetPsRdma.config(
+                bs_models::zoo::resnet50(),
+                16,
+                100.0,
+                SchedulerKind::ByteScheduler {
+                    partition: 4 << 20,
+                    credit: 16 << 20,
+                },
+            );
+            Fidelity::quick().apply(&mut cfg);
+            black_box(run(&cfg).speed)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scheduler_cycle, bench_network_incast, bench_event_queue,
+              bench_gp_fit, bench_end_to_end_sim
+}
+criterion_main!(micro);

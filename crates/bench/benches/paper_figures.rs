@@ -1,0 +1,196 @@
+//! One Criterion benchmark per paper table/figure: each benchmark runs
+//! the experiment's core measurement at smoke fidelity, so `cargo bench`
+//! both regenerates every result's machinery end-to-end and tracks the
+//! simulator's own performance over time.
+//!
+//! The printed *numbers* for EXPERIMENTS.md come from the harness
+//! binaries at full fidelity (`cargo run -p bs-harness --release --bin
+//! all`); these benches are the regression net around them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bs_harness::experiments::{fig02, fig04, fig09, fig13, fig14, scaling, table1};
+use bs_harness::{Fidelity, Setup};
+use bs_runtime::{run, SchedulerKind};
+
+fn fid() -> Fidelity {
+    Fidelity::quick()
+}
+
+/// Figure 2: the contrived 3-layer example, FIFO vs priority+partition.
+fn bench_fig02(c: &mut Criterion) {
+    c.bench_function("fig02_contrived_example", |b| {
+        b.iter(|| black_box(fig02::run_experiment(fid())))
+    });
+}
+
+/// Figure 4: one point of each sweep (the full sweep is the binary's job).
+fn bench_fig04(c: &mut Criterion) {
+    let f = fid();
+    c.bench_function("fig04_partition_point", |b| {
+        b.iter(|| {
+            let mut cfg = Setup::MxnetPsTcp.config(
+                bs_models::zoo::vgg16(),
+                32,
+                10.0,
+                SchedulerKind::FifoPartitioned {
+                    partition: 160 * 1024,
+                },
+            );
+            f.apply(&mut cfg);
+            black_box(run(&cfg).speed)
+        })
+    });
+    c.bench_function("fig04_credit_point", |b| {
+        b.iter(|| {
+            let mut cfg = Setup::MxnetPsTcp.config(
+                bs_models::zoo::vgg16(),
+                32,
+                10.0,
+                SchedulerKind::FifoCredit {
+                    partition: 160 * 1024,
+                    credit: 640 * 1024,
+                },
+            );
+            f.apply(&mut cfg);
+            black_box(run(&cfg).speed)
+        })
+    });
+}
+
+/// Figure 9: the 7-sample BO session with GP posterior.
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_bo_session", |b| {
+        b.iter(|| black_box(fig09::run_experiment(fid())))
+    });
+}
+
+/// Figures 10/11/12: one (setup, gpus) measurement per model — baseline,
+/// auto-tuned ByteScheduler and P3 where applicable.
+fn bench_scaling(c: &mut Criterion) {
+    let f = fid();
+    for (name, model) in [
+        ("fig10_vgg16_point", bs_models::zoo::vgg16()),
+        ("fig11_resnet50_point", bs_models::zoo::resnet50()),
+        ("fig12_transformer_point", bs_models::zoo::transformer()),
+    ] {
+        let m = model.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(scaling::measure_point(
+                    Setup::MxnetPsTcp,
+                    m.clone(),
+                    16,
+                    100.0,
+                    f,
+                ))
+            })
+        });
+    }
+}
+
+/// Figure 13: one bandwidth cell (baseline + fixed + tuned).
+fn bench_fig13(c: &mut Criterion) {
+    let f = fid();
+    c.bench_function("fig13_bandwidth_cell", |b| {
+        b.iter(|| {
+            let mut base = Setup::MxnetPsRdma.config(
+                bs_models::zoo::resnet50(),
+                fig13::GPUS,
+                10.0,
+                SchedulerKind::Baseline,
+            );
+            f.apply(&mut base);
+            let baseline = run(&base).speed;
+            let out = bs_harness::tune(&base, Setup::MxnetPsRdma.search_space(), 4, 3);
+            black_box((baseline, out.speed))
+        })
+    });
+}
+
+/// Figure 14: one seeded tuner race (BO vs the reference grid target).
+fn bench_fig14(c: &mut Criterion) {
+    let f = fid();
+    c.bench_function("fig14_search_cost_seed", |b| {
+        b.iter(|| {
+            let mut base = Setup::MxnetPsRdma.config(
+                bs_models::zoo::resnet50(),
+                fig14::GPUS,
+                100.0,
+                SchedulerKind::Baseline,
+            );
+            f.apply(&mut base);
+            black_box(bs_harness::tune(
+                &base,
+                Setup::MxnetPsRdma.search_space(),
+                6,
+                1,
+            ))
+        })
+    });
+}
+
+/// Table 1: one tuning cell (best δ, c for one model × architecture).
+fn bench_table1(c: &mut Criterion) {
+    let f = fid();
+    c.bench_function("table1_tuning_cell", |b| {
+        b.iter(|| {
+            let mut base = Setup::MxnetNcclRdma.config(
+                bs_models::zoo::resnet50(),
+                table1::GPUS,
+                100.0,
+                SchedulerKind::Baseline,
+            );
+            f.apply(&mut base);
+            black_box(bs_harness::tune(
+                &base,
+                Setup::MxnetNcclRdma.search_space(),
+                4,
+                21,
+            ))
+        })
+    });
+}
+
+/// Ablation: the naive whole-tensor shard placement vs MXNet's big-array
+/// splitting in the baseline (the load-imbalance mechanism of §6.2).
+fn bench_ablation_placement(c: &mut Criterion) {
+    let f = fid();
+    c.bench_function("ablation_shard_placement", |b| {
+        b.iter(|| {
+            let mut naive = Setup::MxnetPsRdma.config(
+                bs_models::zoo::vgg16(),
+                32,
+                100.0,
+                SchedulerKind::Baseline,
+            );
+            f.apply(&mut naive);
+            let mut split = naive.clone();
+            if let bs_runtime::Arch::Ps {
+                baseline_bigarray_split,
+                ..
+            } = &mut split.arch
+            {
+                *baseline_bigarray_split = true;
+            }
+            black_box((run(&naive).speed, run(&split).speed))
+        })
+    });
+}
+
+/// Full Figure 4 sweep at smoke fidelity (exercises the parallel runner).
+fn bench_fig04_full(c: &mut Criterion) {
+    c.bench_function("fig04_full_sweep_quick", |b| {
+        b.iter(|| black_box(fig04::run_experiment(fid())))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig02, bench_fig04, bench_fig09, bench_scaling,
+              bench_fig13, bench_fig14, bench_table1,
+              bench_ablation_placement, bench_fig04_full
+}
+criterion_main!(figures);

@@ -1,0 +1,180 @@
+//! The §4.1 performance-gap analysis, as executable formulas.
+//!
+//! Theorem 1: with infinitely small partitions, zero per-partition overhead
+//! and free preemption, priority queuing (layer 0 first) minimises
+//! iteration time. Real systems have a finite partition size δ and a
+//! per-partition overhead θ, and §4.1 bounds the extra delay per iteration
+//! relative to that ideal:
+//!
+//! * PS: `Σᵢ ⌊sᵢ/δ⌋·θ  +  θ  +  2δ/B`
+//! * all-reduce: `Σᵢ ⌊sᵢ/δ⌋·θ  +  δ/B`
+//!
+//! where `sᵢ` is layer i's tensor size and `B` the payload bandwidth. The
+//! first term is the total overhead added by partitioning, the trailing
+//! terms bound the pipeline-start and preemption-granularity delays. The
+//! integration tests (`tests/theorem_bounds.rs`) verify that measured
+//! schedules respect these bounds; the tuner exploits the formula's
+//! fall-then-rise shape in δ.
+
+use bs_sim::SimTime;
+
+/// Per-iteration delay bound versus the Theorem 1 ideal, PS architecture.
+///
+/// `sizes` are the per-layer tensor bytes, `delta` the partition size δ,
+/// `theta` the per-partition overhead, `bytes_per_sec` the payload
+/// bandwidth B.
+pub fn ps_delay_bound(sizes: &[u64], delta: u64, theta: SimTime, bytes_per_sec: f64) -> SimTime {
+    overhead_term(sizes, delta, theta)
+        + theta
+        + SimTime::from_secs_f64(2.0 * delta as f64 / bytes_per_sec)
+}
+
+/// Per-iteration delay bound versus the Theorem 1 ideal, all-reduce.
+pub fn allreduce_delay_bound(
+    sizes: &[u64],
+    delta: u64,
+    theta: SimTime,
+    bytes_per_sec: f64,
+) -> SimTime {
+    overhead_term(sizes, delta, theta) + SimTime::from_secs_f64(delta as f64 / bytes_per_sec)
+}
+
+/// The `Σᵢ ⌊sᵢ/δ⌋·θ` partitioning-overhead term shared by both bounds.
+fn overhead_term(sizes: &[u64], delta: u64, theta: SimTime) -> SimTime {
+    assert!(delta > 0, "partition size must be positive");
+    let parts: u64 = sizes.iter().map(|s| s / delta).sum();
+    SimTime::from_nanos(theta.as_nanos().saturating_mul(parts))
+}
+
+/// A universal lower bound on one iteration's duration under *any*
+/// schedule: the GPU must run all compute, and each direction of the
+/// worker NIC must carry the whole model once (push ≙ uplink, pull ≙
+/// downlink; all-reduce carries `2(n−1)/n ≈ 2×` the shard size, bounded
+/// below by `S/B` for simplicity).
+///
+/// Used by the optimality property tests: the priority scheduler in the
+/// ideal regime must land between this bound and any other schedule.
+pub fn iteration_lower_bound(compute: SimTime, total_bytes: u64, bytes_per_sec: f64) -> SimTime {
+    let wire = SimTime::from_secs_f64(total_bytes as f64 / bytes_per_sec);
+    compute.max(wire)
+}
+
+/// The per-layer dependency-cycle lower bound for PS training, valid for
+/// *any* schedule: layer i's parameters travel
+/// `pull_i^k → f_i^{k+1} → … → b_i^{k+1} → push_i^{k+1} → pull_i^{k+1}`,
+/// so one iteration cannot beat `sᵢ/B + Σ_{j≥i}(fpⱼ + bpⱼ)` for any i
+/// (the pull of a partition cannot complete before its push has been
+/// aggregated, and the compute chain from `f_i` to `b_i` is serial on
+/// the GPU). Layer 0's cycle — its tensor's wire time plus the *entire*
+/// compute pass — is typically the binding term, which is exactly why the
+/// paper prioritises layers near the input.
+pub fn ps_cycle_lower_bound(
+    sizes: &[u64],
+    fp: &[SimTime],
+    bp: &[SimTime],
+    bytes_per_sec: f64,
+) -> SimTime {
+    assert_eq!(sizes.len(), fp.len());
+    assert_eq!(sizes.len(), bp.len());
+    let n = sizes.len();
+    let mut best = SimTime::ZERO;
+    // Suffix compute sums: from f_i through b_i.
+    let mut suffix = SimTime::ZERO;
+    for i in (0..n).rev() {
+        suffix += fp[i] + bp[i];
+        let wire = SimTime::from_secs_f64(sizes[i] as f64 / bytes_per_sec);
+        best = best.max(wire + suffix);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn overhead_term_counts_floor_partitions() {
+        // 10 MB at δ = 3 MB: ⌊10/3⌋ = 3 partitions charged.
+        let theta = SimTime::from_micros(300);
+        let t = overhead_term(&[10 * MB], 3 * MB, theta);
+        assert_eq!(t, SimTime::from_micros(900));
+    }
+
+    #[test]
+    fn ps_bound_has_fall_then_rise_shape() {
+        // §4.1: the bound decreases (pipeline-start term) then increases
+        // (overhead term) in δ; evaluate on VGG-ish sizes.
+        let sizes: Vec<u64> = vec![400 * MB, 60 * MB, 16 * MB, 2 * MB];
+        let theta = SimTime::from_micros(300);
+        let bw = 1.25e9; // 10 Gbps
+        let eval = |d: u64| ps_delay_bound(&sizes, d, theta, bw).as_secs_f64();
+        let tiny = eval(64 * 1024);
+        let mid = eval(8 * MB);
+        let huge = eval(400 * MB);
+        assert!(mid < tiny, "mid δ must beat tiny δ: {mid} vs {tiny}");
+        assert!(mid < huge, "mid δ must beat huge δ: {mid} vs {huge}");
+    }
+
+    #[test]
+    fn allreduce_bound_is_smaller_than_ps_bound() {
+        // Same inputs: the PS bound carries the extra θ + δ/B pipeline
+        // start term.
+        let sizes = vec![100 * MB];
+        let theta = SimTime::from_micros(300);
+        let bw = 1.25e9;
+        assert!(
+            allreduce_delay_bound(&sizes, MB, theta, bw) < ps_delay_bound(&sizes, MB, theta, bw)
+        );
+    }
+
+    #[test]
+    fn zero_theta_leaves_only_bandwidth_terms() {
+        let sizes = vec![100 * MB];
+        let b = ps_delay_bound(&sizes, MB, SimTime::ZERO, 1e9);
+        assert_eq!(b, SimTime::from_millis(2)); // 2δ/B = 2 MB / 1 GB/s
+    }
+
+    #[test]
+    fn lower_bound_is_max_of_compute_and_wire() {
+        let c = SimTime::from_millis(100);
+        assert_eq!(iteration_lower_bound(c, 50 * MB, 1e9), c);
+        assert_eq!(
+            iteration_lower_bound(c, 500 * MB, 1e9),
+            SimTime::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn cycle_bound_is_layer0_dominated_for_input_heavy_models() {
+        // Big tensor at the input: its cycle (wire + full compute) binds.
+        let sizes = [24 * MB, 8 * MB, 4 * MB];
+        let fp = [SimTime::from_millis(2); 3];
+        let bp = [SimTime::from_millis(4); 3];
+        let b = ps_cycle_lower_bound(&sizes, &fp, &bp, 1e9);
+        // 24 ms wire + 18 ms compute.
+        assert_eq!(b, SimTime::from_millis(42));
+    }
+
+    #[test]
+    fn cycle_bound_can_bind_on_inner_layers() {
+        // Giant tensor at the output: its own wire time dominates even
+        // though its compute suffix is short.
+        let sizes = [1 * MB, 1 * MB, 100 * MB];
+        let fp = [SimTime::from_millis(1); 3];
+        let bp = [SimTime::from_millis(1); 3];
+        let b = ps_cycle_lower_bound(&sizes, &fp, &bp, 1e9);
+        // layer 2: 100 ms wire + 2 ms suffix compute.
+        assert_eq!(b, SimTime::from_millis(102));
+    }
+
+    #[test]
+    fn bound_shrinks_with_smaller_theta() {
+        let sizes = vec![100 * MB, 10 * MB];
+        let bw = 12.5e9;
+        let tcp = ps_delay_bound(&sizes, MB, SimTime::from_micros(300), bw);
+        let rdma = ps_delay_bound(&sizes, MB, SimTime::from_micros(50), bw);
+        assert!(rdma < tcp, "RDMA's lower θ must shrink the gap (§6.2)");
+    }
+}

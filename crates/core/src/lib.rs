@@ -1,0 +1,35 @@
+//! ByteScheduler Core — the paper's contribution.
+//!
+//! This crate implements the *generic* communication scheduler of §3–§4:
+//!
+//! * [`task`] — the unified communication abstraction: a [`task::CommTask`]
+//!   is one tensor's communication (push, pull or all-reduce), partitioned
+//!   into [`task::SubCommTask`]s no larger than the partition size δ
+//!   (`CommTask.partition(size)` in the paper's interface, §3.2).
+//! * [`scheduler`] — the [`scheduler::Scheduler`] trait: the engine-facing
+//!   contract every scheduling policy implements. Exactly four verbs —
+//!   submit a ready item, return credit on completion, poll for what to
+//!   start, report the partition size — mirror the paper's
+//!   `notify_ready / notify_finish / start / partition` interfaces, recast
+//!   as a poll-based state machine so the same policy code drives every
+//!   engine × architecture × transport combination in the runtime.
+//! * [`bytescheduler`] — Algorithm 1: per-lane priority queues with
+//!   credit-based preemption (§4.2). Lanes model independent network
+//!   resources (PS push vs pull directions; the single all-reduce stream).
+//! * [`baselines`] — the comparators: vanilla FIFO (optionally with
+//!   framework-style fixed partitioning, for Figure 4) and P3
+//!   (priority + 160 KB partitions + stop-and-wait credit, §2.3/§6.2).
+//! * [`analysis`] — the §4.1 delay bounds: the provable gap between a real
+//!   schedule (finite δ, overhead θ) and the Theorem 1 ideal, used by the
+//!   property tests to check the implementation against the theory.
+
+pub mod analysis;
+pub mod baselines;
+pub mod bytescheduler;
+pub mod scheduler;
+pub mod task;
+
+pub use baselines::{FifoScheduler, P3Scheduler};
+pub use bytescheduler::ByteScheduler;
+pub use scheduler::{Scheduler, WorkItem};
+pub use task::{partition_tensor, CommKind, CommTask, SubCommTask};

@@ -1,0 +1,173 @@
+//! The unified communication-task abstraction (§3.2).
+//!
+//! A [`CommTask`] is the communication of one tensor — a push, pull or
+//! all-reduce — the single input type ByteScheduler Core accepts from every
+//! framework plugin. `Core.enqueue(CommTask)` first calls
+//! `CommTask.partition(size)`, producing [`SubCommTask`]s no larger than the
+//! partition size; those are what the priority queue schedules.
+
+use serde::Serialize;
+
+/// What kind of communication a task performs. The scheduler itself is
+/// agnostic; the kind determines which *lane* (network resource) the task's
+/// subtasks occupy and how the runtime executes `start()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum CommKind {
+    /// Worker → parameter-server shard (uses the worker's uplink).
+    Push,
+    /// Parameter-server shard → worker (uses the worker's downlink).
+    Pull,
+    /// Ring all-reduce (uses the collective stream).
+    AllReduce,
+}
+
+impl CommKind {
+    /// The lane index this kind occupies. PS architectures run two lanes
+    /// (upload and download are independent duplex resources, §2.2);
+    /// all-reduce runs one.
+    pub fn lane(self) -> usize {
+        match self {
+            CommKind::Push => 0,
+            CommKind::Pull => 1,
+            CommKind::AllReduce => 0,
+        }
+    }
+}
+
+/// One tensor's communication, as handed to the Core by a plugin.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct CommTask {
+    /// Tensor (layer) index — also the scheduling priority: the paper
+    /// assigns priority by topological order in declarative engines and by
+    /// creation order in imperative engines; for layered models both equal
+    /// the layer index, with *lower = closer to the input = more urgent*.
+    pub tensor: u32,
+    /// Communication kind.
+    pub kind: CommKind,
+    /// Total tensor size in bytes.
+    pub bytes: u64,
+}
+
+/// One partition of a [`CommTask`] — the unit the priority queue schedules
+/// and the credit system meters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SubCommTask {
+    /// Parent tensor index (and priority).
+    pub tensor: u32,
+    /// Partition index within the tensor.
+    pub part: u32,
+    /// Number of partitions of the parent tensor.
+    pub num_parts: u32,
+    /// Communication kind (inherited).
+    pub kind: CommKind,
+    /// Partition size in bytes (≤ the partition size δ).
+    pub bytes: u64,
+}
+
+/// Partitions `bytes` into chunks of at most `unit` bytes, the paper's
+/// `CommTask.partition(size)`. `unit = None` disables partitioning (one
+/// subtask). Partitions are equal except the last, which carries the
+/// remainder — matching the zero-copy slicing frameworks provide.
+pub fn partition_tensor(task: &CommTask, unit: Option<u64>) -> Vec<SubCommTask> {
+    let unit = match unit {
+        None => {
+            return vec![SubCommTask {
+                tensor: task.tensor,
+                part: 0,
+                num_parts: 1,
+                kind: task.kind,
+                bytes: task.bytes,
+            }]
+        }
+        Some(u) => {
+            assert!(u > 0, "partition size must be positive");
+            u
+        }
+    };
+    let n = task.bytes.div_ceil(unit).max(1);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut remaining = task.bytes;
+    for part in 0..n {
+        let sz = remaining.min(unit);
+        remaining -= sz;
+        out.push(SubCommTask {
+            tensor: task.tensor,
+            part: part as u32,
+            num_parts: n as u32,
+            kind: task.kind,
+            bytes: sz,
+        });
+    }
+    debug_assert_eq!(remaining, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(bytes: u64) -> CommTask {
+        CommTask {
+            tensor: 3,
+            kind: CommKind::Push,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn partitioning_preserves_total_bytes() {
+        let parts = partition_tensor(&task(1_000_001), Some(65536));
+        let total: u64 = parts.iter().map(|p| p.bytes).sum();
+        assert_eq!(total, 1_000_001);
+        assert!(parts.iter().all(|p| p.bytes <= 65536));
+        assert_eq!(parts.len(), 16);
+        assert_eq!(parts.last().unwrap().bytes, 1_000_001 - 15 * 65536);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_runt() {
+        let parts = partition_tensor(&task(4 * 1024), Some(1024));
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.bytes == 1024));
+    }
+
+    #[test]
+    fn small_tensor_is_a_single_partition() {
+        let parts = partition_tensor(&task(100), Some(65536));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].bytes, 100);
+        assert_eq!(parts[0].num_parts, 1);
+    }
+
+    #[test]
+    fn no_partitioning_when_unit_is_none() {
+        let parts = partition_tensor(&task(400_000_000), None);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].bytes, 400_000_000);
+    }
+
+    #[test]
+    fn subtasks_inherit_identity() {
+        let parts = partition_tensor(&task(2048), Some(1024));
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.tensor, 3);
+            assert_eq!(p.kind, CommKind::Push);
+            assert_eq!(p.part, i as u32);
+            assert_eq!(p.num_parts, 2);
+        }
+    }
+
+    #[test]
+    fn lanes_separate_ps_directions() {
+        assert_eq!(CommKind::Push.lane(), 0);
+        assert_eq!(CommKind::Pull.lane(), 1);
+        assert_eq!(CommKind::AllReduce.lane(), 0);
+    }
+
+    #[test]
+    fn zero_byte_tensor_yields_one_empty_partition() {
+        let parts = partition_tensor(&task(0), Some(1024));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].bytes, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Engine configuration: which framework flavour is being simulated.
+
+use serde::Serialize;
+
+/// How the engine decides execution order. For the chain-structured DAGs of
+/// Theorem 1's assumption 1 (every model in the paper's evaluation), both
+/// flavours execute the identical order; the distinction matters for how
+/// plugins derive priorities (§3.2) — topological sort for declarative
+/// engines, creation-order IDs for imperative ones — and the `priorities`
+/// test below pins that both derivations coincide on chains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum EngineKind {
+    /// Dependency-graph driven (MXNet, TensorFlow).
+    Declarative,
+    /// FIFO issue order (PyTorch).
+    Imperative,
+}
+
+impl EngineKind {
+    /// Communication priority of layer `i` out of `n`, as the plugin for
+    /// this engine kind derives it (§3.2). Lower = more urgent.
+    pub fn priority_of_layer(self, i: usize, n: usize) -> u64 {
+        match self {
+            // Topological sort of the forward graph: layer index.
+            EngineKind::Declarative => i as u64,
+            // Monotonic creation ID in BP order (layer n-1 created first),
+            // then inverted so lower = closer to the input, same as the
+            // declarative derivation for a chain.
+            EngineKind::Imperative => {
+                let creation_id = (n - 1 - i) as u64;
+                (n as u64 - 1) - creation_id
+            }
+        }
+    }
+}
+
+/// How gradient exchange appears in the engine's graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum CommPattern {
+    /// Parameter server: per-layer push then pull.
+    PushPull,
+    /// Ring all-reduce: one collective per layer.
+    Collective,
+}
+
+/// How the next iteration's forward pass is gated on communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Gating {
+    /// Fine-grained per-layer dependencies (vanilla MXNet): `fwd_i` of
+    /// iteration k+1 waits for layer i's own pull / all-reduce.
+    PerLayer,
+    /// A global barrier between iterations (vanilla TensorFlow, PyTorch):
+    /// nothing in iteration k+1 starts until *all* communication of
+    /// iteration k finished (Figure 3).
+    GlobalBarrier,
+    /// ByteScheduler's rewrite: Dependency Proxies expose readiness to the
+    /// Core, communication runs out-of-engine, and per-layer finish
+    /// proxies gate the next forward pass (Figures 6–8). If the engine had
+    /// a barrier it is *crossed*: it now only waits for instant async
+    /// launches.
+    Scheduled {
+        /// Whether the underlying engine had a global barrier that the
+        /// rewrite crosses (kept in the graph, vestigially, for fidelity).
+        crossed_barrier: bool,
+    },
+}
+
+/// A fully-specified engine flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct EngineConfig {
+    /// Execution style (affects plugin priority derivation).
+    pub kind: EngineKind,
+    /// Gradient-exchange pattern in the graph.
+    pub pattern: CommPattern,
+    /// Cross-iteration gating.
+    pub gating: Gating,
+}
+
+impl EngineConfig {
+    /// Vanilla MXNet with a parameter server (declarative, no barrier).
+    pub fn mxnet_ps() -> Self {
+        EngineConfig {
+            kind: EngineKind::Declarative,
+            pattern: CommPattern::PushPull,
+            gating: Gating::PerLayer,
+        }
+    }
+
+    /// Vanilla MXNet + Horovod/NCCL all-reduce.
+    pub fn mxnet_allreduce() -> Self {
+        EngineConfig {
+            kind: EngineKind::Declarative,
+            pattern: CommPattern::Collective,
+            gating: Gating::PerLayer,
+        }
+    }
+
+    /// Vanilla TensorFlow with a parameter server (global barrier).
+    pub fn tensorflow_ps() -> Self {
+        EngineConfig {
+            kind: EngineKind::Declarative,
+            pattern: CommPattern::PushPull,
+            gating: Gating::GlobalBarrier,
+        }
+    }
+
+    /// Vanilla PyTorch + Horovod/NCCL all-reduce (global barrier).
+    pub fn pytorch_allreduce() -> Self {
+        EngineConfig {
+            kind: EngineKind::Imperative,
+            pattern: CommPattern::Collective,
+            gating: Gating::GlobalBarrier,
+        }
+    }
+
+    /// Caffe with a parameter server: layer-wise C++ engine, declarative
+    /// graph, no inter-iteration barrier — schedulable like MXNet (§7
+    /// names Caffe as a future plugin target; the engine semantics are
+    /// already covered by this combination).
+    pub fn caffe_ps() -> Self {
+        EngineConfig {
+            kind: EngineKind::Declarative,
+            pattern: CommPattern::PushPull,
+            gating: Gating::PerLayer,
+        }
+    }
+
+    /// CNTK with MPI all-reduce: declarative BrainScript graph with a
+    /// per-minibatch synchronisation barrier — schedulable like PyTorch's
+    /// barrier case (§7).
+    pub fn cntk_allreduce() -> Self {
+        EngineConfig {
+            kind: EngineKind::Declarative,
+            pattern: CommPattern::Collective,
+            gating: Gating::GlobalBarrier,
+        }
+    }
+
+    /// The ByteScheduler rewrite of this engine: proxies inserted,
+    /// communication moved out of engine, barrier (if any) crossed.
+    pub fn scheduled(self) -> Self {
+        EngineConfig {
+            kind: self.kind,
+            pattern: self.pattern,
+            gating: Gating::Scheduled {
+                crossed_barrier: self.gating == Gating::GlobalBarrier,
+            },
+        }
+    }
+
+    /// True if this configuration runs under ByteScheduler proxies.
+    pub fn is_scheduled(&self) -> bool {
+        matches!(self.gating, Gating::Scheduled { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_derivations_coincide_on_chains() {
+        // §3.2: topological sort (declarative) and creation-ID
+        // (imperative) must produce the same priorities for chain models.
+        for n in [1usize, 2, 16, 54] {
+            for i in 0..n {
+                assert_eq!(
+                    EngineKind::Declarative.priority_of_layer(i, n),
+                    EngineKind::Imperative.priority_of_layer(i, n),
+                    "layer {i} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_layer_has_higher_priority() {
+        let p0 = EngineKind::Declarative.priority_of_layer(0, 10);
+        let p9 = EngineKind::Declarative.priority_of_layer(9, 10);
+        assert!(p0 < p9);
+    }
+
+    #[test]
+    fn scheduled_rewrite_records_barrier_crossing() {
+        assert_eq!(
+            EngineConfig::tensorflow_ps().scheduled().gating,
+            Gating::Scheduled {
+                crossed_barrier: true
+            }
+        );
+        assert_eq!(
+            EngineConfig::mxnet_ps().scheduled().gating,
+            Gating::Scheduled {
+                crossed_barrier: false
+            }
+        );
+        assert!(EngineConfig::mxnet_ps().scheduled().is_scheduled());
+        assert!(!EngineConfig::mxnet_ps().is_scheduled());
+    }
+
+    #[test]
+    fn extra_framework_presets_map_to_known_semantics() {
+        // §7: "we believe that we can apply ByteScheduler to them in
+        // similar ways" — the similar ways are these combinations.
+        assert_eq!(EngineConfig::caffe_ps().gating, Gating::PerLayer);
+        assert_eq!(EngineConfig::cntk_allreduce().gating, Gating::GlobalBarrier);
+        assert_eq!(
+            EngineConfig::cntk_allreduce().pattern,
+            CommPattern::Collective
+        );
+        // Their scheduled rewrites are well-formed too.
+        assert!(EngineConfig::caffe_ps().scheduled().is_scheduled());
+        assert!(EngineConfig::cntk_allreduce().scheduled().is_scheduled());
+    }
+
+    #[test]
+    fn presets_match_the_papers_table_of_setups() {
+        assert_eq!(EngineConfig::mxnet_ps().gating, Gating::PerLayer);
+        assert_eq!(EngineConfig::tensorflow_ps().gating, Gating::GlobalBarrier);
+        assert_eq!(
+            EngineConfig::pytorch_allreduce().kind,
+            EngineKind::Imperative
+        );
+        assert_eq!(
+            EngineConfig::mxnet_allreduce().pattern,
+            CommPattern::Collective
+        );
+    }
+}

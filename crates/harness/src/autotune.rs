@@ -1,0 +1,90 @@
+//! Glue between the tuners and the simulator: profile-driven (δ, c)
+//! search, the way §5 deploys it (the master Core tunes, workers follow).
+
+use bs_runtime::{run, SchedulerKind, WorldConfig};
+use bs_tune::{BayesOpt, SearchSpace, Tuner};
+use serde::Serialize;
+
+/// The result of one auto-tuning session.
+#[derive(Clone, Debug, Serialize)]
+pub struct TuneOutcome {
+    /// Best partition size δ found (bytes).
+    pub partition: u64,
+    /// Best credit size c found (bytes).
+    pub credit: u64,
+    /// Training speed at the best point (samples/sec).
+    pub speed: f64,
+    /// Profiling trials spent.
+    pub trials: usize,
+    /// The full trace: (δ, c, speed) per trial, for Figure 9-style plots.
+    pub trace: Vec<(u64, u64, f64)>,
+}
+
+/// Profiles `(δ, c)` points with Bayesian Optimization and returns the
+/// best found. `base` must already carry the scheduler-independent
+/// configuration; its scheduler field is overridden per trial.
+///
+/// Each trial is one short profiled training run — exactly the paper's
+/// deployment, where tuning runs concurrently with training and each PS
+/// partition-size change costs a checkpoint-restart (§5). The restart cost
+/// affects the *search-cost* accounting (Figure 14), not the measured
+/// steady-state speed, so it is not added to the profile here.
+pub fn tune(base: &WorldConfig, space: SearchSpace, trials: usize, seed: u64) -> TuneOutcome {
+    assert!(trials >= 2, "tuning needs at least two trials");
+    let mut bo = BayesOpt::new(seed);
+    let mut trace = Vec::with_capacity(trials);
+    let mut best: Option<(u64, u64, f64)> = None;
+    for t in 0..trials {
+        let x = bo.suggest();
+        let (partition, credit) = space.decode(x);
+        let mut cfg = base.clone();
+        cfg.scheduler = SchedulerKind::ByteScheduler { partition, credit };
+        // Distinct seed per trial: profiling noise, as in production.
+        cfg.seed = seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
+        let speed = run(&cfg).speed;
+        bo.observe(x, speed);
+        trace.push((partition, credit, speed));
+        if best.map(|(_, _, s)| speed > s).unwrap_or(true) {
+            best = Some((partition, credit, speed));
+        }
+    }
+    let (partition, credit, speed) = best.expect("trials >= 2");
+    TuneOutcome {
+        partition,
+        credit,
+        speed,
+        trials,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fidelity, Setup};
+
+    #[test]
+    fn tuning_returns_a_point_inside_the_space() {
+        let mut base = Setup::MxnetPsRdma.config(
+            bs_models::zoo::resnet50(),
+            16,
+            10.0,
+            SchedulerKind::Baseline,
+        );
+        Fidelity::quick().apply(&mut base);
+        let space = SearchSpace::ps();
+        let out = tune(&base, space, 5, 1);
+        assert_eq!(out.trials, 5);
+        assert_eq!(out.trace.len(), 5);
+        assert!(out.partition >= space.partition.0 && out.partition <= space.partition.1);
+        assert!(out.credit >= out.partition, "credit clamp respected");
+        assert!(out.speed > 0.0);
+        // The reported best is the max of the trace.
+        let max = out
+            .trace
+            .iter()
+            .map(|&(_, _, s)| s)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(out.speed, max);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4 (partition/credit sweeps). `BS_QUICK=1` for smoke.
+
+use bs_harness::experiments::fig04;
+use bs_harness::{report, Fidelity};
+
+fn main() {
+    let r = fig04::run_experiment(Fidelity::from_env());
+    print!("{}", fig04::render(&r));
+    report::write_json("fig04", &r);
+}

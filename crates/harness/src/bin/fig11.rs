@@ -1,0 +1,14 @@
+//! Regenerates Figure 11 (resnet50 scaling). `BS_QUICK=1` for smoke mode.
+
+use bs_harness::experiments::scaling;
+use bs_harness::{report, Fidelity};
+
+fn main() {
+    let r = scaling::run_experiment(
+        "Figure 11",
+        bs_models::zoo::resnet50(),
+        Fidelity::from_env(),
+    );
+    print!("{}", scaling::render(&r));
+    report::write_json("fig11", &r);
+}

@@ -1,0 +1,172 @@
+//! `simctl` — run one training simulation from the command line.
+//!
+//! ```text
+//! cargo run --release -p bs-harness --bin simctl -- \
+//!     --model vgg16 --setup mxnet-ps-rdma --gpus 32 --gbps 100 \
+//!     --scheduler bytescheduler --partition-mb 6 --credit-mb 21
+//! ```
+//!
+//! Flags (all optional, shown with defaults):
+//!
+//! ```text
+//! --model vgg16|vgg19|alexnet|resnet50|transformer|
+//!         inception_v3|bert_base                     (vgg16)
+//! --setup mxnet-ps-tcp|mxnet-ps-rdma|tf-ps-tcp|
+//!         mxnet-nccl-rdma|pytorch-nccl-tcp           (mxnet-ps-rdma)
+//! --gpus N                                           (32)
+//! --gbps F                                           (100)
+//! --scheduler baseline|p3|bytescheduler|tuned        (tuned)
+//! --partition-mb F  --credit-mb F    (bytescheduler only)
+//! --fabric fifo|fluid                                (fifo)
+//! --iters N --warmup N --seed N --jitter F
+//! --trace FILE      write a chrome://tracing JSON of the run
+//! ```
+//!
+//! `--scheduler tuned` auto-tunes (δ, c) with BO before the measured run.
+
+use bs_harness::{tune, Fidelity, Setup};
+use bs_models::DnnModel;
+use bs_net::FabricModel;
+use bs_runtime::{run, SchedulerKind};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("simctl: {msg}\nrun with no arguments for defaults; see the module docs for flags");
+    std::process::exit(2);
+}
+
+struct Args(std::collections::HashMap<String, String>);
+
+impl Args {
+    fn parse() -> Args {
+        let mut map = std::collections::HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                fail(&format!("expected --flag, got {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                fail(&format!("--{name} needs a value"));
+            };
+            map.insert(name.to_string(), value);
+        }
+        Args(map)
+    }
+
+    fn get(&self, name: &str, default: &str) -> String {
+        self.0.get(name).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.0.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let model: DnnModel = match args.get("model", "vgg16").as_str() {
+        "vgg16" => bs_models::zoo::vgg16(),
+        "vgg19" => bs_models::zoo::vgg19(),
+        "alexnet" => bs_models::zoo::alexnet(),
+        "resnet50" => bs_models::zoo::resnet50(),
+        "transformer" => bs_models::zoo::transformer(),
+        "inception_v3" => bs_models::zoo::inception_v3(),
+        "bert_base" => bs_models::zoo::bert_base(),
+        other => fail(&format!("unknown model {other:?}")),
+    };
+    let setup = match args.get("setup", "mxnet-ps-rdma").as_str() {
+        "mxnet-ps-tcp" => Setup::MxnetPsTcp,
+        "mxnet-ps-rdma" => Setup::MxnetPsRdma,
+        "tf-ps-tcp" => Setup::TfPsTcp,
+        "mxnet-nccl-rdma" => Setup::MxnetNcclRdma,
+        "pytorch-nccl-tcp" => Setup::PytorchNcclTcp,
+        other => fail(&format!("unknown setup {other:?}")),
+    };
+    let gpus: u64 = args.num("gpus", 32);
+    let gbps: f64 = args.num("gbps", 100.0);
+
+    let mut cfg = setup.config(model, gpus, gbps, SchedulerKind::Baseline);
+    cfg.iters = args.num("iters", Fidelity::full().iters);
+    cfg.warmup = args.num("warmup", Fidelity::full().warmup);
+    cfg.seed = args.num("seed", 1);
+    cfg.jitter = args.num("jitter", 0.01);
+    cfg.fabric = match args.get("fabric", "fifo").as_str() {
+        "fifo" => FabricModel::SerialFifo,
+        "fluid" => FabricModel::FairShare,
+        other => fail(&format!("unknown fabric {other:?}")),
+    };
+
+    let mb = |f: f64| (f * 1e6) as u64;
+    let sched_name = args.get("scheduler", "tuned");
+    cfg.scheduler = match sched_name.as_str() {
+        "baseline" => SchedulerKind::Baseline,
+        "p3" => SchedulerKind::P3,
+        "bytescheduler" => SchedulerKind::ByteScheduler {
+            partition: mb(args.num("partition-mb", 4.0)),
+            credit: mb(args.num("credit-mb", 16.0)),
+        },
+        "tuned" => {
+            let out = tune(
+                &cfg,
+                setup.search_space(),
+                args.num("trials", Fidelity::full().tune_trials),
+                cfg.seed,
+            );
+            eprintln!(
+                "tuned: partition {:.1} MB, credit {:.1} MB ({} trials)",
+                out.partition as f64 / 1e6,
+                out.credit as f64 / 1e6,
+                out.trials
+            );
+            SchedulerKind::ByteScheduler {
+                partition: out.partition,
+                credit: out.credit,
+            }
+        }
+        other => fail(&format!("unknown scheduler {other:?}")),
+    };
+
+    let trace_path = args.0.get("trace").cloned();
+    cfg.record_trace = trace_path.is_some();
+
+    let linear = cfg.linear_scaling_speed();
+    let r = run(&cfg);
+    println!(
+        "{} | {} | {} GPUs | {:.0} Gbps | {}",
+        cfg.model.name,
+        setup.label(),
+        gpus,
+        gbps,
+        r.scheduler
+    );
+    println!(
+        "speed       {:>12.0} {} ({:.1}% of linear {:.0})",
+        r.speed,
+        r.speed_unit,
+        100.0 * r.speed / linear,
+        linear
+    );
+    println!(
+        "iteration   {:>12.2} ms (± {:.2} ms over {} measured)",
+        r.iteration_period * 1e3,
+        r.iter_time_std * 1e3,
+        r.iter_times.len()
+    );
+    println!(
+        "wire bytes  {:>12} p2p, {} collective",
+        r.p2p_bytes, r.collective_bytes
+    );
+    if let (Some(path), Some(trace)) = (trace_path, &r.trace) {
+        match std::fs::write(&path, trace.to_chrome_json()) {
+            Ok(()) => println!(
+                "trace       {:>12} spans -> {path} (open in chrome://tracing)",
+                trace.len()
+            ),
+            Err(e) => eprintln!("simctl: cannot write trace to {path}: {e}"),
+        }
+    }
+}

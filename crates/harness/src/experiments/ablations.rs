@@ -1,0 +1,215 @@
+//! Ablations: decompose ByteScheduler's gain into its mechanisms.
+//!
+//! The paper argues three mechanisms matter — tensor partitioning
+//! (duplex pipelining + load balance), credit-based windows (latency
+//! hiding beyond stop-and-wait), and priority ordering (overlap with the
+//! next forward pass). This experiment stacks them one at a time on the
+//! same workload, and separately quantifies the baseline's shard-placement
+//! sensitivity (§6.2's load-imbalance observation).
+
+use bs_runtime::{run, Arch, SchedulerKind};
+use serde::Serialize;
+
+use crate::autotune::tune;
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_speed, fmt_speedup, Table};
+use crate::setups::Setup;
+
+/// One measured ablation step.
+#[derive(Clone, Debug, Serialize)]
+pub struct Step {
+    /// What is enabled.
+    pub label: String,
+    /// Measured speed.
+    pub speed: f64,
+    /// Gain over the first (baseline) step.
+    pub gain: f64,
+}
+
+/// Full ablation output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ablations {
+    /// Mechanism stack on VGG16 / MXNet PS RDMA / 32 GPUs.
+    pub mechanism_stack: Vec<Step>,
+    /// Credit-window sweep at the tuned δ (c = k·δ).
+    pub credit_window: Vec<Step>,
+    /// Baseline shard-placement comparison (naive vs big-array split).
+    pub placement: Vec<Step>,
+}
+
+/// GPU count used throughout.
+pub const GPUS: u64 = 32;
+
+/// Runs all three ablations.
+pub fn run_experiment(fid: Fidelity) -> Ablations {
+    let setup = Setup::MxnetPsRdma;
+    let model = bs_models::zoo::vgg16();
+    let mut base_cfg = setup.config(model.clone(), GPUS, 100.0, SchedulerKind::Baseline);
+    fid.apply(&mut base_cfg);
+
+    // Tune once; reuse (δ, c) across the stack so only the mechanism
+    // changes between rows.
+    let tuned = tune(&base_cfg, setup.search_space(), fid.tune_trials, 31);
+    let (delta, credit) = (tuned.partition, tuned.credit);
+
+    let measure = |sched: SchedulerKind| {
+        let mut cfg = base_cfg.clone();
+        cfg.scheduler = sched;
+        run(&cfg).speed
+    };
+
+    let baseline = measure(SchedulerKind::Baseline);
+    let steps = vec![
+        ("vanilla (FIFO, whole tensors)".to_string(), baseline),
+        (
+            format!("+ partitioning (δ={:.1} MB, FIFO)", delta as f64 / 1e6),
+            measure(SchedulerKind::FifoPartitioned { partition: delta }),
+        ),
+        (
+            format!(
+                "+ credit window (c={:.1} MB, FIFO order)",
+                credit as f64 / 1e6
+            ),
+            measure(SchedulerKind::FifoCredit {
+                partition: delta,
+                credit,
+            }),
+        ),
+        (
+            "+ priority (full ByteScheduler)".to_string(),
+            measure(SchedulerKind::ByteScheduler {
+                partition: delta,
+                credit,
+            }),
+        ),
+    ];
+    let mechanism_stack = steps
+        .into_iter()
+        .map(|(label, speed)| Step {
+            label,
+            speed,
+            gain: speed / baseline - 1.0,
+        })
+        .collect();
+
+    // Credit sweep: stop-and-wait (c = δ) up to a deep window.
+    let credit_window = [1u64, 2, 4, 8, 16]
+        .iter()
+        .map(|&k| {
+            let speed = measure(SchedulerKind::ByteScheduler {
+                partition: delta,
+                credit: k * delta,
+            });
+            Step {
+                label: format!("credit = {k}·δ"),
+                speed,
+                gain: speed / baseline - 1.0,
+            }
+        })
+        .collect();
+
+    // Placement: the same vanilla stack with naive vs balanced keys.
+    let placement = [false, true]
+        .iter()
+        .map(|&split| {
+            let mut cfg = base_cfg.clone();
+            if let Arch::Ps {
+                baseline_bigarray_split,
+                ..
+            } = &mut cfg.arch
+            {
+                *baseline_bigarray_split = split;
+            }
+            let speed = run(&cfg).speed;
+            Step {
+                label: if split {
+                    "baseline, big-array split (balanced)".into()
+                } else {
+                    "baseline, naive whole-tensor round-robin".into()
+                },
+                speed,
+                gain: speed / baseline - 1.0,
+            }
+        })
+        .collect();
+
+    Ablations {
+        mechanism_stack,
+        credit_window,
+        placement,
+    }
+}
+
+fn section(title: &str, steps: &[Step]) -> String {
+    let mut t = Table::new(title, &["configuration", "speed", "vs vanilla"]);
+    for s in steps {
+        t.row(vec![
+            s.label.clone(),
+            fmt_speed(s.speed),
+            fmt_speedup(s.gain),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders all three tables.
+pub fn render(a: &Ablations) -> String {
+    format!(
+        "{}\n{}\n{}",
+        section(
+            "Ablation — mechanism stack (VGG16, MXNet PS RDMA, 32 GPUs)",
+            &a.mechanism_stack
+        ),
+        section("Ablation — credit window at tuned δ", &a.credit_window),
+        section("Ablation — baseline shard placement", &a.placement)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanisms_compose_monotonically_enough() {
+        let a = run_experiment(Fidelity::quick());
+        let s = &a.mechanism_stack;
+        assert_eq!(s.len(), 4);
+        // Partitioning alone must already beat vanilla (balance + duplex).
+        assert!(
+            s[1].speed > s[0].speed,
+            "partitioning: {} vs {}",
+            s[1].speed,
+            s[0].speed
+        );
+        // The full scheduler is the best of the stack.
+        let best = s.iter().map(|x| x.speed).fold(f64::MIN, f64::max);
+        assert!(s[3].speed >= best * 0.99, "full BS should top the stack");
+    }
+
+    #[test]
+    fn deeper_credit_windows_do_not_hurt_throughput_much() {
+        let a = run_experiment(Fidelity::quick());
+        let first = a.credit_window.first().unwrap().speed;
+        let best = a
+            .credit_window
+            .iter()
+            .map(|s| s.speed)
+            .fold(f64::MIN, f64::max);
+        // Stop-and-wait (c = δ) must not be the clear best — the §4.2
+        // argument for credits.
+        assert!(best >= first, "windowing should help or tie");
+    }
+
+    #[test]
+    fn balanced_placement_beats_naive_for_the_baseline() {
+        let a = run_experiment(Fidelity::quick());
+        let naive = &a.placement[0];
+        let split = &a.placement[1];
+        assert!(
+            split.speed > naive.speed,
+            "balanced {} vs naive {}",
+            split.speed,
+            naive.speed
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! §7 future directions, implemented: (a) *dynamic* partition/credit
+//! sizes re-tuned as run-time conditions change, with the PS
+//! checkpoint-restart cost the paper measures (§5: ~9 s per
+//! partition-size change for ResNet-50); (b) *per-layer* partition sizes.
+//!
+//! (a) plays out over a bandwidth schedule — a training job whose
+//! available network changes mid-run (the multi-tenant events motivating
+//! §7's co-scheduling). Three strategies: **static** keeps the knobs
+//! tuned for the first phase; **oracle** gets each phase's re-tuned knobs
+//! for free; **dynamic** re-tunes at each change, paying profiling trials
+//! plus restarts. The robust quantity reported per phase is the
+//! **break-even time**: how long the phase must last before re-tuning
+//! pays for itself — the open cost-model question the paper leaves to
+//! future work, answered for this workload.
+//!
+//! (b) compares the uniform tuned δ against a size-proportional per-layer
+//! rule (δᵢ = sᵢ/K, clamped; credit raised to cover the largest piece),
+//! asking whether the open problem is worth solving for these models.
+
+use bs_models::DnnModel;
+use bs_runtime::{run, SchedulerKind, WorldConfig};
+use serde::Serialize;
+
+use crate::autotune::tune;
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_speed, fmt_speedup, Table};
+use crate::setups::Setup;
+
+/// The bandwidth schedule: (Gbps, seconds of training under it). The job
+/// starts bandwidth-starved (a congested fabric) and recovers in steps.
+pub const PHASES: [(f64, f64); 3] = [(1.0, 300.0), (10.0, 300.0), (25.0, 300.0)];
+/// PS checkpoint-restart cost per partition-size change (§5: ~9 s for
+/// ResNet-50).
+pub const RESTART_SECS: f64 = 9.0;
+/// Seconds of training profiled per tuning trial.
+pub const PROFILE_SECS: f64 = 1.0;
+
+/// One phase of the schedule, measured.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseRow {
+    /// Bandwidth during the phase.
+    pub gbps: f64,
+    /// Speed with the phase-0 (static) knobs.
+    pub static_speed: f64,
+    /// Speed with this phase's re-tuned knobs.
+    pub tuned_speed: f64,
+    /// Cost of re-tuning at the phase boundary (profiling + restarts),
+    /// seconds.
+    pub tune_overhead_secs: f64,
+    /// Seconds of training after which re-tuning has paid for itself;
+    /// `None` when the static knobs are already (at least) as good.
+    pub break_even_secs: Option<f64>,
+}
+
+/// Whole-schedule effective throughput per strategy.
+#[derive(Clone, Debug, Serialize)]
+pub struct StrategyOutcome {
+    /// Strategy name: static / dynamic / oracle.
+    pub strategy: &'static str,
+    /// Samples per wall-second over the full schedule, overheads included.
+    pub effective_speed: f64,
+}
+
+/// Per-layer partitioning comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerLayerOutcome {
+    /// Uniform tuned δ speed.
+    pub uniform: f64,
+    /// Size-proportional per-layer δ speed.
+    pub per_layer: f64,
+    /// Relative difference.
+    pub delta: f64,
+}
+
+/// Full §7 extension results.
+#[derive(Clone, Debug, Serialize)]
+pub struct Dynamic {
+    /// Per-phase static-vs-tuned measurements and break-even times.
+    pub phases: Vec<PhaseRow>,
+    /// Whole-schedule outcomes at the configured phase lengths.
+    pub adaptation: Vec<StrategyOutcome>,
+    /// Per-layer δ study.
+    pub per_layer: PerLayerOutcome,
+}
+
+fn speed_with(base: &WorldConfig, setup: Setup, gbps: f64, knobs: (u64, u64)) -> f64 {
+    let mut cfg = base.clone();
+    cfg.net = bs_net::NetConfig::gbps(gbps, setup.transport());
+    cfg.scheduler = SchedulerKind::ByteScheduler {
+        partition: knobs.0,
+        credit: knobs.1,
+    };
+    run(&cfg).speed
+}
+
+/// Tunes at one phase's bandwidth; returns (δ, c, trials, restarts).
+fn tune_phase(
+    base: &WorldConfig,
+    setup: Setup,
+    gbps: f64,
+    fid: Fidelity,
+    seed: u64,
+) -> (u64, u64, usize, usize) {
+    let mut cfg = base.clone();
+    cfg.net = bs_net::NetConfig::gbps(gbps, setup.transport());
+    let out = tune(&cfg, setup.search_space(), fid.tune_trials, seed);
+    // Each partition-size *change* along the trace costs a PS restart (§5).
+    let mut restarts = 0;
+    let mut last = None;
+    for &(p, _, _) in &out.trace {
+        if last != Some(p) {
+            restarts += 1;
+            last = Some(p);
+        }
+    }
+    (out.partition, out.credit, out.trials, restarts)
+}
+
+/// Runs both studies on MXNet PS RDMA / 32 GPUs: the adaptation schedule
+/// uses ResNet-50 (whose optimal knobs move with bandwidth — Figure 13's
+/// fixed-vs-tuned gap), the per-layer study uses VGG16 (whose tensor
+/// sizes span three orders of magnitude).
+pub fn run_experiment(fid: Fidelity) -> Dynamic {
+    let setup = Setup::MxnetPsRdma;
+    let model: DnnModel = bs_models::zoo::resnet50();
+    let mut base = setup.config(model.clone(), 32, PHASES[0].0, SchedulerKind::Baseline);
+    fid.apply(&mut base);
+
+    // --- (a) adaptation over the bandwidth schedule -------------------
+    let initial = tune_phase(&base, setup, PHASES[0].0, fid, 51);
+    let static_knobs = (initial.0, initial.1);
+    let mut phases = Vec::new();
+    for (idx, &(gbps, _)) in PHASES.iter().enumerate() {
+        let static_speed = speed_with(&base, setup, gbps, static_knobs);
+        let (tuned_speed, overhead) = if idx == 0 {
+            (static_speed, 0.0)
+        } else {
+            let t = tune_phase(&base, setup, gbps, fid, 52 + idx as u64);
+            let tuned = speed_with(&base, setup, gbps, (t.0, t.1));
+            // BO can come back with a worse point than the incumbent at
+            // low trial budgets; production deployments keep the better
+            // of old and new (so do we).
+            let tuned = tuned.max(static_speed);
+            (tuned, t.2 as f64 * PROFILE_SECS + t.3 as f64 * RESTART_SECS)
+        };
+        let break_even_secs = if tuned_speed > static_speed * 1.001 {
+            Some(overhead * tuned_speed / (tuned_speed - static_speed))
+        } else {
+            None
+        };
+        phases.push(PhaseRow {
+            gbps,
+            static_speed,
+            tuned_speed,
+            tune_overhead_secs: overhead,
+            break_even_secs,
+        });
+    }
+
+    // Whole-schedule accounting at the configured phase lengths.
+    let mut adaptation = Vec::new();
+    for strategy in ["static", "dynamic", "oracle"] {
+        let mut samples = 0.0;
+        let mut wall = 0.0;
+        for (row, &(_, secs)) in phases.iter().zip(PHASES.iter()) {
+            let (speed, overhead) = match strategy {
+                "static" => (row.static_speed, 0.0),
+                "oracle" => (row.tuned_speed, 0.0),
+                // Re-tune only when it pays within the phase.
+                _ => {
+                    let worth = row.break_even_secs.map(|b| b < secs).unwrap_or(false);
+                    if worth {
+                        (row.tuned_speed, row.tune_overhead_secs)
+                    } else {
+                        (row.static_speed, 0.0)
+                    }
+                }
+            };
+            samples += speed * (secs - overhead).max(0.0);
+            wall += secs;
+        }
+        adaptation.push(StrategyOutcome {
+            strategy,
+            effective_speed: samples / wall,
+        });
+    }
+
+    // --- (b) per-layer partition sizes (VGG16, 25 Gbps) ----------------
+    let vgg = bs_models::zoo::vgg16();
+    let mut vgg_base = setup.config(vgg.clone(), 32, 25.0, SchedulerKind::Baseline);
+    fid.apply(&mut vgg_base);
+    let vgg_knobs = tune(&vgg_base, setup.search_space(), fid.tune_trials, 61);
+    let uniform = speed_with(
+        &vgg_base,
+        setup,
+        25.0,
+        (vgg_knobs.partition, vgg_knobs.credit),
+    );
+    // Size-proportional rule with a cap: small tensors are split into at
+    // most K pieces (fewer messages, less per-piece overhead), while big
+    // tensors never exceed the tuned uniform δ (whose pipelining the
+    // §4.1 analysis already optimised). The cap is what makes the rule
+    // competitive: uncapped sᵢ/K gives VGG16's fc6 ~50 MB pieces whose
+    // pull-start delay alone costs tens of milliseconds.
+    let k = 8u64;
+    let space = setup.search_space();
+    let per_tensor: Vec<u64> = vgg
+        .layers
+        .iter()
+        .map(|l| {
+            (l.param_bytes / k).clamp(
+                space.partition.0,
+                vgg_knobs.partition.max(space.partition.0),
+            )
+        })
+        .collect();
+    let max_piece = per_tensor.iter().copied().max().unwrap_or(1);
+    let mut cfg = vgg_base.clone();
+    cfg.net = bs_net::NetConfig::gbps(25.0, setup.transport());
+    cfg.scheduler = SchedulerKind::ByteScheduler {
+        partition: vgg_knobs.partition,
+        credit: vgg_knobs.credit.max(2 * max_piece),
+    };
+    cfg.per_tensor_partition = Some(per_tensor);
+    let per_layer = run(&cfg).speed;
+
+    Dynamic {
+        phases,
+        adaptation,
+        per_layer: PerLayerOutcome {
+            uniform,
+            per_layer,
+            delta: per_layer / uniform - 1.0,
+        },
+    }
+}
+
+/// Renders all three tables.
+pub fn render(d: &Dynamic) -> String {
+    let mut t0 = Table::new(
+        "§7 extension — per-phase knob sensitivity (ResNet-50, PS RDMA)",
+        &[
+            "Gbps",
+            "static knobs",
+            "re-tuned",
+            "overhead (s)",
+            "break-even (s)",
+        ],
+    );
+    for p in &d.phases {
+        t0.row(vec![
+            format!("{:.0}", p.gbps),
+            fmt_speed(p.static_speed),
+            fmt_speed(p.tuned_speed),
+            format!("{:.0}", p.tune_overhead_secs),
+            p.break_even_secs
+                .map(|b| format!("{b:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let mut t = Table::new(
+        format!(
+            "§7 extension — effective speed over the schedule {:?} Gbps",
+            PHASES.map(|(g, _)| g)
+        ),
+        &["strategy", "effective speed", "vs static"],
+    );
+    let static_speed = d.adaptation[0].effective_speed;
+    for o in &d.adaptation {
+        t.row(vec![
+            o.strategy.to_string(),
+            fmt_speed(o.effective_speed),
+            fmt_speedup(o.effective_speed / static_speed - 1.0),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "§7 extension — per-layer δ (sᵢ/8 rule) vs uniform tuned δ (VGG16, 25 Gbps)",
+        &["policy", "speed", "Δ"],
+    );
+    t2.row(vec![
+        "uniform δ".into(),
+        fmt_speed(d.per_layer.uniform),
+        "-".into(),
+    ]);
+    t2.row(vec![
+        "per-layer δᵢ".into(),
+        fmt_speed(d.per_layer.per_layer),
+        fmt_speedup(d.per_layer.delta),
+    ]);
+    format!("{}\n{}\n{}", t0.render(), t.render(), t2.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptation_accounting_is_consistent() {
+        let d = run_experiment(Fidelity::quick());
+        let get = |name: &str| {
+            d.adaptation
+                .iter()
+                .find(|o| o.strategy == name)
+                .unwrap()
+                .effective_speed
+        };
+        // oracle ≥ dynamic ≥ static: the oracle bounds both, and dynamic
+        // only re-tunes when the break-even analysis says it pays.
+        assert!(get("oracle") >= get("dynamic") * 0.999);
+        assert!(get("dynamic") >= get("static") * 0.999);
+        // Per-phase: the re-tuned knobs never lose to static (we keep the
+        // incumbent), and break-even is positive and finite when they win.
+        for p in &d.phases {
+            assert!(p.tuned_speed >= p.static_speed * 0.999);
+            if let Some(b) = p.break_even_secs {
+                assert!(b.is_finite() && b > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn per_layer_partitioning_is_roughly_competitive() {
+        // The paper leaves per-layer δ as an open problem; our simple
+        // size-proportional rule should land within ±20 % of uniform —
+        // a plausible direction, not a free win.
+        let d = run_experiment(Fidelity::quick());
+        assert!(
+            d.per_layer.delta.abs() < 0.2,
+            "per-layer delta {:+.1}%",
+            d.per_layer.delta * 100.0
+        );
+    }
+}

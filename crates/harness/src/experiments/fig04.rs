@@ -1,0 +1,177 @@
+//! Figure 4: why the knobs need tuning — VGG16 on MXNet PS TCP under
+//! FIFO scheduling, sweeping (a) the partition size and (b) the credit
+//! size, at 1 Gbps and 10 Gbps.
+//!
+//! The paper's reading: partition size matters much more at higher
+//! bandwidth (per-partition overhead is a larger fraction of wire time),
+//! P3's default 160 KB is far from optimal at 10 Gbps, and credit size has
+//! its own sweet spot.
+
+use bs_runtime::{run, SchedulerKind};
+use serde::Serialize;
+
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_speed, Table};
+use crate::setups::Setup;
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Knob value in KB.
+    pub kb: u64,
+    /// Bandwidth in Gbps.
+    pub gbps: f64,
+    /// Measured speed (images/sec).
+    pub speed: f64,
+}
+
+/// Full result: both panels.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig04 {
+    /// Panel (a): FIFO + partitioning, speed vs partition size.
+    pub partition_sweep: Vec<SweepPoint>,
+    /// Panel (b): FIFO + credit, speed vs credit size (partition fixed at
+    /// P3's 160 KB, as the paper's "credit = partition" framing implies).
+    pub credit_sweep: Vec<SweepPoint>,
+}
+
+/// Partition sizes swept, KB (the paper's x-axis spans ~100–800 KB; we
+/// extend to both sides to expose the full rise-and-fall: tiny partitions
+/// drown in per-message overhead, huge ones forfeit the duplex
+/// pipelining that partitioning exists to buy).
+pub const PARTITION_KB: [u64; 9] = [64, 128, 160, 256, 384, 512, 768, 2048, 8192];
+/// Credit sizes swept, KB.
+pub const CREDIT_KB: [u64; 7] = [160, 240, 320, 480, 640, 960, 1440];
+/// Bandwidths, Gbps.
+pub const BANDWIDTHS: [f64; 2] = [1.0, 10.0];
+
+/// Runs both sweeps on 4 machines (32 GPUs).
+pub fn run_experiment(fid: Fidelity) -> Fig04 {
+    let jobs_a: Vec<(u64, f64)> = PARTITION_KB
+        .iter()
+        .flat_map(|&kb| BANDWIDTHS.iter().map(move |&b| (kb, b)))
+        .collect();
+    let partition_sweep = crate::parallel::parallel_map(jobs_a, |&(kb, gbps)| {
+        let mut cfg = Setup::MxnetPsTcp.config(
+            bs_models::zoo::vgg16(),
+            32,
+            gbps,
+            SchedulerKind::FifoPartitioned {
+                partition: kb * 1024,
+            },
+        );
+        fid.apply(&mut cfg);
+        SweepPoint {
+            kb,
+            gbps,
+            speed: run(&cfg).speed,
+        }
+    });
+    let jobs_b: Vec<(u64, f64)> = CREDIT_KB
+        .iter()
+        .flat_map(|&kb| BANDWIDTHS.iter().map(move |&b| (kb, b)))
+        .collect();
+    let credit_sweep = crate::parallel::parallel_map(jobs_b, |&(kb, gbps)| {
+        let mut cfg = Setup::MxnetPsTcp.config(
+            bs_models::zoo::vgg16(),
+            32,
+            gbps,
+            SchedulerKind::FifoCredit {
+                partition: 160 * 1024,
+                credit: kb * 1024,
+            },
+        );
+        fid.apply(&mut cfg);
+        SweepPoint {
+            kb,
+            gbps,
+            speed: run(&cfg).speed,
+        }
+    });
+    Fig04 {
+        partition_sweep,
+        credit_sweep,
+    }
+}
+
+fn panel(title: &str, knob: &str, points: &[SweepPoint]) -> String {
+    let mut t = Table::new(title, &[knob, "1 Gbps", "10 Gbps"]);
+    let mut kbs: Vec<u64> = points.iter().map(|p| p.kb).collect();
+    kbs.sort_unstable();
+    kbs.dedup();
+    for kb in kbs {
+        let at = |g: f64| {
+            points
+                .iter()
+                .find(|p| p.kb == kb && p.gbps == g)
+                .map(|p| fmt_speed(p.speed))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![format!("{kb} KB"), at(1.0), at(10.0)]);
+    }
+    t.render()
+}
+
+/// Renders both panels.
+pub fn render(r: &Fig04) -> String {
+    format!(
+        "{}\n{}",
+        panel(
+            "Figure 4(a) — VGG16, MXNet PS TCP, FIFO: speed vs partition size",
+            "partition",
+            &r.partition_sweep
+        ),
+        panel(
+            "Figure 4(b) — same, FIFO + credit: speed vs credit size",
+            "credit",
+            &r.credit_sweep
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_size_matters_more_at_high_bandwidth() {
+        let r = run_experiment(Fidelity::quick());
+        let spread = |gbps: f64| {
+            let speeds: Vec<f64> = r
+                .partition_sweep
+                .iter()
+                .filter(|p| p.gbps == gbps)
+                .map(|p| p.speed)
+                .collect();
+            let max = speeds.iter().cloned().fold(f64::MIN, f64::max);
+            let min = speeds.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / max
+        };
+        // §2.3: "the partition size affects training speed, especially in
+        // networks with larger bandwidth".
+        assert!(
+            spread(10.0) > spread(1.0),
+            "10G spread {:.3} must exceed 1G spread {:.3}",
+            spread(10.0),
+            spread(1.0)
+        );
+    }
+
+    #[test]
+    fn smallest_partition_is_not_optimal_at_10g() {
+        let r = run_experiment(Fidelity::quick());
+        let at = |kb: u64| {
+            r.partition_sweep
+                .iter()
+                .find(|p| p.kb == kb && p.gbps == 10.0)
+                .unwrap()
+                .speed
+        };
+        let best = PARTITION_KB.iter().map(|&k| at(k)).fold(f64::MIN, f64::max);
+        assert!(
+            at(64) < best * 0.995,
+            "64 KB ({}) should trail the best ({best})",
+            at(64)
+        );
+    }
+}

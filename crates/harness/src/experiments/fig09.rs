@@ -1,0 +1,191 @@
+//! Figure 9: a Bayesian-Optimization session made visible — 7 samples
+//! tuning the credit size for VGG16 on MXNet all-reduce, with the GP
+//! posterior mean and 95 % confidence interval over the credit axis.
+
+use bs_runtime::{run, SchedulerKind};
+use bs_sim::SimRng;
+use bs_tune::gp::{big_phi, phi, Gp};
+use bs_tune::SearchSpace;
+use serde::Serialize;
+
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_mb, fmt_speed, Table};
+use crate::setups::Setup;
+
+/// One profiled sample.
+#[derive(Clone, Debug, Serialize)]
+pub struct Sample {
+    /// Credit size in bytes.
+    pub credit: u64,
+    /// Observed speed (images/sec).
+    pub speed: f64,
+}
+
+/// One posterior grid point.
+#[derive(Clone, Debug, Serialize)]
+pub struct PosteriorPoint {
+    /// Credit size in bytes.
+    pub credit: u64,
+    /// Posterior mean speed.
+    pub mean: f64,
+    /// 95 % CI bounds.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// The full Figure 9 artefact.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig09 {
+    /// The 7 profiled (credit, speed) samples, in sampling order.
+    pub samples: Vec<Sample>,
+    /// GP posterior over the credit axis after all samples.
+    pub posterior: Vec<PosteriorPoint>,
+    /// The credit BO would pick next (argmax posterior mean).
+    pub best_credit: u64,
+}
+
+/// Number of profiled samples, matching the figure.
+pub const NUM_SAMPLES: usize = 7;
+
+/// Runs the session: 1-D BO (EI, ξ = 0.1) over credit size with the
+/// partition fixed, on VGG16 / MXNet NCCL RDMA / 32 GPUs — the figure's
+/// setup. We run the link at 25 Gbps, where the credit knob has real
+/// curvature (at 100 Gbps VGG16-NCCL is compute-bound and the objective
+/// is flat to within noise).
+pub fn run_experiment(fid: Fidelity) -> Fig09 {
+    let space = SearchSpace::allreduce();
+    // Partition fixed; only credit varies.
+    let partition: u64 = 8 << 20;
+    let profile = |credit: u64, seed: u64| -> f64 {
+        let mut cfg = Setup::MxnetNcclRdma.config(
+            bs_models::zoo::vgg16(),
+            32,
+            25.0,
+            SchedulerKind::ByteScheduler { partition, credit },
+        );
+        fid.apply(&mut cfg);
+        cfg.seed = seed;
+        run(&cfg).speed
+    };
+    let decode = |x: f64| space.decode([space.encode(partition, 0)[0], x]).1;
+
+    let mut rng = SimRng::new(9);
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut samples = Vec::new();
+    for trial in 0..NUM_SAMPLES {
+        let x = if trial < 3 {
+            rng.next_f64()
+        } else {
+            // Maximise EI over a credit-axis grid.
+            let gp = Gp::fit(&xs, &ys);
+            let best = ys.iter().cloned().fold(f64::MIN, f64::max);
+            let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+            let spread = (ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / ys.len() as f64)
+                .sqrt()
+                .max(1e-9);
+            let xi = 0.1 * spread;
+            let mut best_x = 0.5;
+            let mut best_ei = f64::MIN;
+            for k in 0..64 {
+                let cand = k as f64 / 63.0;
+                let p = gp.predict(&[cand]);
+                let ei = if p.std_dev < 1e-12 {
+                    (p.mean - best - xi).max(0.0)
+                } else {
+                    let z = (p.mean - best - xi) / p.std_dev;
+                    (p.mean - best - xi) * big_phi(z) + p.std_dev * phi(z)
+                };
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_x = cand;
+                }
+            }
+            best_x
+        };
+        let credit = decode(x);
+        let speed = profile(credit, 1000 + trial as u64);
+        xs.push(vec![x]);
+        ys.push(speed);
+        samples.push(Sample { credit, speed });
+    }
+
+    let gp = Gp::fit(&xs, &ys);
+    let mut posterior = Vec::new();
+    let mut best_credit = samples[0].credit;
+    let mut best_mean = f64::MIN;
+    for k in 0..25 {
+        let x = k as f64 / 24.0;
+        let p = gp.predict(&[x]);
+        let (lo, hi) = p.ci95();
+        let credit = decode(x);
+        if p.mean > best_mean {
+            best_mean = p.mean;
+            best_credit = credit;
+        }
+        posterior.push(PosteriorPoint {
+            credit,
+            mean: p.mean,
+            lo,
+            hi,
+        });
+    }
+    Fig09 {
+        samples,
+        posterior,
+        best_credit,
+    }
+}
+
+/// Renders the session: the sample list plus the posterior band.
+pub fn render(r: &Fig09) -> String {
+    let mut s1 = Table::new(
+        "Figure 9 — BO tuning credit size (VGG16, MXNet all-reduce): samples",
+        &["#", "credit (MB)", "speed"],
+    );
+    for (i, smp) in r.samples.iter().enumerate() {
+        s1.row(vec![
+            format!("{}", i + 1),
+            fmt_mb(smp.credit),
+            fmt_speed(smp.speed),
+        ]);
+    }
+    let mut s2 = Table::new(
+        format!(
+            "GP posterior over credit (argmax mean at {} MB)",
+            fmt_mb(r.best_credit)
+        ),
+        &["credit (MB)", "mean", "95% lo", "95% hi"],
+    );
+    for p in &r.posterior {
+        s2.row(vec![
+            fmt_mb(p.credit),
+            fmt_speed(p.mean),
+            fmt_speed(p.lo),
+            fmt_speed(p.hi),
+        ]);
+    }
+    format!("{}\n{}", s1.render(), s2.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_seven_samples_and_a_posterior_band() {
+        let r = run_experiment(Fidelity::quick());
+        assert_eq!(r.samples.len(), NUM_SAMPLES);
+        assert_eq!(r.posterior.len(), 25);
+        for p in &r.posterior {
+            assert!(p.lo <= p.mean && p.mean <= p.hi, "CI must bracket mean");
+        }
+        // The posterior's confidence must tighten near sampled credits
+        // relative to the widest point of the band.
+        let widths: Vec<f64> = r.posterior.iter().map(|p| p.hi - p.lo).collect();
+        let min_w = widths.iter().cloned().fold(f64::MAX, f64::min);
+        let max_w = widths.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_w > min_w * 1.2, "band should vary: {min_w} vs {max_w}");
+    }
+}

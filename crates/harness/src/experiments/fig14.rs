@@ -1,0 +1,192 @@
+//! Figure 14: search cost of the auto-tuning strategies — how many
+//! profiling trials BO, SGD-with-momentum, random search and grid search
+//! need to reach the optimal configuration (as identified by grid
+//! search), for VGG-16 and Transformer on MXNet PS RDMA and NCCL RDMA.
+//! Error bars are std-dev across seeds (§6.3).
+
+use bs_models::DnnModel;
+use bs_runtime::{run, SchedulerKind, WorldConfig};
+use bs_sim::OnlineStats;
+use bs_tune::{BayesOpt, GridSearch, RandomSearch, SgdMomentum, Tuner};
+use serde::Serialize;
+
+use crate::fidelity::Fidelity;
+use crate::report::Table;
+use crate::setups::Setup;
+
+/// Trial cap per search (a strategy that never reaches the optimum is
+/// charged the cap, like a timed-out search).
+pub const MAX_TRIALS: usize = 30;
+/// Reaching within this fraction of the grid-identified optimum counts as
+/// "found it".
+pub const SUCCESS_FRACTION: f64 = 0.97;
+/// GPU count for the tuning objective.
+pub const GPUS: u64 = 16;
+/// Bandwidth for the tuning objective. 25 Gbps keeps communication
+/// consequential for every workload, so the (δ, c) surface has real
+/// structure for the tuners to find (at 100 Gbps the compute-bound
+/// models are flat and every strategy trivially succeeds).
+pub const BANDWIDTH_GBPS: f64 = 25.0;
+/// Reference grid resolution per axis.
+const REF_GRID: usize = 5;
+
+/// Search-cost statistics for one strategy on one workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cost {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Mean number of trials to success.
+    pub mean: f64,
+    /// Std-dev across seeds.
+    pub std: f64,
+}
+
+/// One workload's comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct Panel {
+    /// Model name.
+    pub model: String,
+    /// Setup.
+    pub setup: Setup,
+    /// The grid-identified optimal speed used as the success target.
+    pub target_speed: f64,
+    /// Costs per strategy, paper order: BO, SGD, Random, Grid.
+    pub costs: Vec<Cost>,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14 {
+    /// Four panels: {VGG16, Transformer} × {PS RDMA, NCCL RDMA}.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs the figure.
+pub fn run_experiment(fid: Fidelity) -> Fig14 {
+    let combos: Vec<(DnnModel, Setup)> = [bs_models::zoo::vgg16(), bs_models::zoo::transformer()]
+        .into_iter()
+        .flat_map(|m| {
+            [Setup::MxnetPsRdma, Setup::MxnetNcclRdma]
+                .into_iter()
+                .map(move |s| (m.clone(), s))
+        })
+        .collect();
+    let panels = crate::parallel::parallel_map(combos, |(model, setup)| {
+        run_panel(model.clone(), *setup, fid)
+    });
+    Fig14 { panels }
+}
+
+/// Profiles one (δ, c) under the workload.
+fn profile(base: &WorldConfig, setup: Setup, x: [f64; 2], seed: u64) -> f64 {
+    let (partition, credit) = setup.search_space().decode(x);
+    let mut cfg = base.clone();
+    cfg.scheduler = SchedulerKind::ByteScheduler { partition, credit };
+    cfg.seed = seed;
+    run(&cfg).speed
+}
+
+fn run_panel(model: DnnModel, setup: Setup, fid: Fidelity) -> Panel {
+    let mut base = setup.config(model.clone(), GPUS, BANDWIDTH_GBPS, SchedulerKind::Baseline);
+    fid.apply(&mut base);
+
+    // Establish the reference optimum the paper's protocol prescribes:
+    // "we stop searching when it reaches the optimal configuration (as
+    // identified by grid search)".
+    let mut ref_grid = GridSearch::new(REF_GRID);
+    let mut target_speed = f64::MIN;
+    for t in 0..REF_GRID * REF_GRID {
+        let x = ref_grid.suggest();
+        let y = profile(&base, setup, x, 0xF1_00 + t as u64);
+        ref_grid.observe(x, y);
+        target_speed = target_speed.max(y);
+    }
+    let threshold = SUCCESS_FRACTION * target_speed;
+
+    let mut costs = Vec::new();
+    for strategy in ["BO", "SGD-momentum", "Random", "Grid"] {
+        let mut stats = OnlineStats::new();
+        for seed in 0..fid.seeds {
+            let mut tuner: Box<dyn Tuner> = match strategy {
+                "BO" => Box::new(BayesOpt::new(seed)),
+                "SGD-momentum" => Box::new(SgdMomentum::new(seed)),
+                "Random" => Box::new(RandomSearch::new(seed)),
+                "Grid" => Box::new(GridSearch::new(REF_GRID)),
+                _ => unreachable!(),
+            };
+            let mut trials = MAX_TRIALS;
+            for t in 0..MAX_TRIALS {
+                let x = tuner.suggest();
+                let y = profile(&base, setup, x, seed.wrapping_mul(7919) + t as u64);
+                tuner.observe(x, y);
+                if y >= threshold {
+                    trials = t + 1;
+                    break;
+                }
+            }
+            stats.push(trials as f64);
+        }
+        costs.push(Cost {
+            strategy,
+            mean: stats.mean(),
+            std: stats.std_dev(),
+        });
+    }
+    Panel {
+        model: model.name,
+        setup,
+        target_speed,
+        costs,
+    }
+}
+
+/// Renders the comparison.
+pub fn render(fig: &Fig14) -> String {
+    let mut out = String::new();
+    for p in &fig.panels {
+        let mut t = Table::new(
+            format!(
+                "Figure 14 — search cost: {} on {} (target {:.0} samples/s)",
+                p.model,
+                p.setup.label(),
+                p.target_speed
+            ),
+            &["strategy", "trials (mean)", "± std"],
+        );
+        for c in &p.costs {
+            t.row(vec![
+                c.strategy.to_string(),
+                format!("{:.1}", c.mean),
+                format!("{:.1}", c.std),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §6.3's headline: BO reaches the optimum with fewer trials, on
+    /// average, than the alternatives. Checked on the cheaper ResNet-50
+    /// PS workload at quick fidelity (direction only; the full-fidelity
+    /// numbers go to EXPERIMENTS.md).
+    #[test]
+    fn bo_needs_no_more_trials_than_random() {
+        let p = run_panel(
+            bs_models::zoo::resnet50(),
+            Setup::MxnetPsRdma,
+            Fidelity::quick(),
+        );
+        let get = |name: &str| p.costs.iter().find(|c| c.strategy == name).unwrap().mean;
+        assert!(
+            get("BO") <= get("Random") + 2.0,
+            "BO {} vs Random {}",
+            get("BO"),
+            get("Random")
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper table/figure. Each exposes a `run(fidelity)`
+//! returning a serialisable result plus `render(&result)` producing the
+//! terminal table(s); the binaries glue them together.
+
+pub mod ablations;
+pub mod coschedule;
+pub mod dynamic;
+pub mod fig02;
+pub mod fig04;
+pub mod fig09;
+pub mod fig13;
+pub mod fig14;
+pub mod scaling;
+pub mod table1;

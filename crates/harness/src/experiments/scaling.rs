@@ -1,0 +1,193 @@
+//! Figures 10, 11, 12: training speed vs GPU count for VGG16, ResNet-50
+//! and Transformer across the five setups — baseline, ByteScheduler
+//! (auto-tuned), linear scaling, plus P3 in the MXNet-PS-TCP panel.
+
+use bs_models::DnnModel;
+use bs_runtime::{run, SchedulerKind};
+use serde::Serialize;
+
+use crate::autotune::tune;
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_mb, fmt_speed, fmt_speedup, Table};
+use crate::setups::Setup;
+
+/// GPU counts on the x-axis (§6.2).
+pub const GPU_COUNTS: [u64; 4] = [8, 16, 32, 64];
+/// Testbed bandwidth for the scaling figures.
+pub const BANDWIDTH_GBPS: f64 = 100.0;
+
+/// One (setup, gpu-count) measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Total GPUs.
+    pub gpus: u64,
+    /// Vanilla framework speed.
+    pub baseline: f64,
+    /// P3 speed (MXNet PS TCP panel only).
+    pub p3: Option<f64>,
+    /// ByteScheduler speed at the auto-tuned (δ, c).
+    pub bytescheduler: f64,
+    /// Linear-scaling reference.
+    pub linear: f64,
+    /// ByteScheduler gain over baseline.
+    pub speedup: f64,
+    /// Tuned partition size (bytes).
+    pub partition: u64,
+    /// Tuned credit size (bytes).
+    pub credit: u64,
+}
+
+/// One panel = one setup.
+#[derive(Clone, Debug, Serialize)]
+pub struct Panel {
+    /// The setup.
+    pub setup: Setup,
+    /// Rows by GPU count.
+    pub rows: Vec<Row>,
+}
+
+/// A whole scaling figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingFigure {
+    /// "Figure 10" / "Figure 11" / "Figure 12".
+    pub figure: &'static str,
+    /// Model name.
+    pub model: String,
+    /// Speed unit.
+    pub unit: &'static str,
+    /// The five panels, paper order.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs one scaling figure for `model`.
+pub fn run_experiment(figure: &'static str, model: DnnModel, fid: Fidelity) -> ScalingFigure {
+    let unit = model.sample_unit.label();
+    let name = model.name.clone();
+    let jobs: Vec<(Setup, u64)> = Setup::all()
+        .into_iter()
+        .flat_map(|s| GPU_COUNTS.iter().map(move |&g| (s, g)))
+        .collect();
+    let model_ref = &model;
+    let rows = crate::parallel::parallel_map(jobs.clone(), |&(setup, gpus)| {
+        measure_point(setup, model_ref.clone(), gpus, BANDWIDTH_GBPS, fid)
+    });
+    let mut panels: Vec<Panel> = Setup::all()
+        .into_iter()
+        .map(|setup| Panel {
+            setup,
+            rows: Vec::new(),
+        })
+        .collect();
+    for ((setup, _), row) in jobs.into_iter().zip(rows) {
+        panels
+            .iter_mut()
+            .find(|p| p.setup == setup)
+            .expect("panel exists")
+            .rows
+            .push(row);
+    }
+    ScalingFigure {
+        figure,
+        model: name,
+        unit,
+        panels,
+    }
+}
+
+/// Measures one point: baseline, tuned ByteScheduler, P3 where relevant.
+pub fn measure_point(setup: Setup, model: DnnModel, gpus: u64, gbps: f64, fid: Fidelity) -> Row {
+    let mut base_cfg = setup.config(model.clone(), gpus, gbps, SchedulerKind::Baseline);
+    fid.apply(&mut base_cfg);
+    let linear = base_cfg.linear_scaling_speed();
+    let baseline = run(&base_cfg);
+
+    let outcome = tune(&base_cfg, setup.search_space(), fid.tune_trials, 7 + gpus);
+    let mut bs_cfg = base_cfg.clone();
+    bs_cfg.scheduler = SchedulerKind::ByteScheduler {
+        partition: outcome.partition,
+        credit: outcome.credit,
+    };
+    let bs = run(&bs_cfg);
+
+    let p3 = (setup == Setup::MxnetPsTcp).then(|| {
+        let mut cfg = base_cfg.clone();
+        cfg.scheduler = SchedulerKind::P3;
+        run(&cfg).speed
+    });
+
+    Row {
+        gpus,
+        baseline: baseline.speed,
+        p3,
+        bytescheduler: bs.speed,
+        linear,
+        speedup: bs.speedup_over(&baseline),
+        partition: outcome.partition,
+        credit: outcome.credit,
+    }
+}
+
+/// Renders all five panels.
+pub fn render(fig: &ScalingFigure) -> String {
+    let mut out = String::new();
+    for (idx, panel) in fig.panels.iter().enumerate() {
+        let letter = (b'a' + idx as u8) as char;
+        let has_p3 = panel.rows.iter().any(|r| r.p3.is_some());
+        let mut header = vec!["GPUs", "Baseline"];
+        if has_p3 {
+            header.push("P3");
+        }
+        header.extend(["ByteScheduler", "Linear", "speedup", "δ (MB)", "c (MB)"]);
+        let mut t = Table::new(
+            format!(
+                "{} ({letter}) — {} on {} [{}]",
+                fig.figure,
+                fig.model,
+                panel.setup.label(),
+                fig.unit
+            ),
+            &header,
+        );
+        for r in &panel.rows {
+            let mut cells = vec![r.gpus.to_string(), fmt_speed(r.baseline)];
+            if has_p3 {
+                cells.push(r.p3.map(fmt_speed).unwrap_or_else(|| "-".into()));
+            }
+            cells.extend([
+                fmt_speed(r.bytescheduler),
+                fmt_speed(r.linear),
+                fmt_speedup(r.speedup),
+                fmt_mb(r.partition),
+                fmt_mb(r.credit),
+            ]);
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One point of the Figure-10 grid end-to-end: the headline claim is
+    /// that ByteScheduler accelerates training in **all** experimented
+    /// configurations; spot-check the flagship panel.
+    #[test]
+    fn vgg16_mxnet_ps_tcp_point_reproduces_orderings() {
+        let r = measure_point(
+            Setup::MxnetPsTcp,
+            bs_models::zoo::vgg16(),
+            16,
+            100.0,
+            Fidelity::quick(),
+        );
+        assert!(r.bytescheduler > r.baseline, "BS must beat baseline");
+        let p3 = r.p3.expect("P3 present in panel (a)");
+        assert!(p3 > r.baseline, "P3 must beat baseline");
+        assert!(r.bytescheduler > p3, "BS must beat P3");
+        assert!(r.bytescheduler <= r.linear * 1.02, "nothing beats linear");
+    }
+}

@@ -1,0 +1,128 @@
+//! Table 1: the best (partition, credit) sizes found by auto-tuning —
+//! per benchmark model, for MXNet PS RDMA and MXNet NCCL RDMA, at
+//! 100 Gbps with 32 GPUs.
+//!
+//! The paper's observations this table supports: NCCL needs much larger
+//! partitions and credits than PS (all-reduce pays a per-operation
+//! synchronisation cost), and the best sizes differ across models.
+
+use bs_models::DnnModel;
+use bs_runtime::SchedulerKind;
+use serde::Serialize;
+
+use crate::autotune::tune;
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_mb, Table};
+use crate::setups::Setup;
+
+/// GPU count used by the paper's Table 1.
+pub const GPUS: u64 = 32;
+
+/// One cell of the table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    /// Model name.
+    pub model: String,
+    /// Setup.
+    pub setup: Setup,
+    /// Best partition size found (bytes).
+    pub partition: u64,
+    /// Best credit size found (bytes).
+    pub credit: u64,
+    /// Speed at that point.
+    pub speed: f64,
+}
+
+/// The whole table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1 {
+    /// Cells: 3 models × 2 architectures.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the tuning grid.
+pub fn run_experiment(fid: Fidelity) -> Table1 {
+    let combos: Vec<(DnnModel, Setup)> = bs_models::zoo::benchmark_models()
+        .into_iter()
+        .flat_map(|m| {
+            [Setup::MxnetPsRdma, Setup::MxnetNcclRdma]
+                .into_iter()
+                .map(move |s| (m.clone(), s))
+        })
+        .collect();
+    let cells = crate::parallel::parallel_map(combos, |(model, setup)| {
+        let mut base = setup.config(model.clone(), GPUS, 100.0, SchedulerKind::Baseline);
+        fid.apply(&mut base);
+        // Table 1 is the headline tuning artefact: give it a roomier
+        // budget than the in-figure tunings.
+        let out = tune(&base, setup.search_space(), fid.tune_trials * 2, 21);
+        Cell {
+            model: model.name.clone(),
+            setup: *setup,
+            partition: out.partition,
+            credit: out.credit,
+            speed: out.speed,
+        }
+    });
+    Table1 { cells }
+}
+
+/// Renders in the paper's layout: rows = architecture, columns = model,
+/// cell = (partition MB, credit MB).
+pub fn render(t1: &Table1) -> String {
+    let models: Vec<&str> = ["VGG16", "ResNet50", "Transformer"].to_vec();
+    let mut header = vec!["(partition, credit) MB"];
+    header.extend(models.iter());
+    let mut t = Table::new(
+        "Table 1 — best partition and credit sizes (100 Gbps, 32 GPUs)",
+        &header,
+    );
+    for setup in [Setup::MxnetPsRdma, Setup::MxnetNcclRdma] {
+        let mut row = vec![setup.label().to_string()];
+        for m in &models {
+            let cell = t1
+                .cells
+                .iter()
+                .find(|c| c.setup == setup && c.model == *m)
+                .expect("cell exists");
+            row.push(format!(
+                "({}, {})",
+                fmt_mb(cell.partition),
+                fmt_mb(cell.credit)
+            ));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's structural claim: the NCCL optimum is far above the PS
+    /// optimum for the same model. Checked on ResNet-50 (cheapest) at
+    /// quick fidelity.
+    #[test]
+    fn nccl_wants_much_larger_partitions_than_ps() {
+        let fid = Fidelity::quick();
+        let tune_one = |setup: Setup| {
+            let mut base = setup.config(
+                bs_models::zoo::resnet50(),
+                GPUS,
+                100.0,
+                SchedulerKind::Baseline,
+            );
+            fid.apply(&mut base);
+            tune(&base, setup.search_space(), 8, 21)
+        };
+        let ps = tune_one(Setup::MxnetPsRdma);
+        let ar = tune_one(Setup::MxnetNcclRdma);
+        assert!(
+            ar.partition > ps.partition,
+            "NCCL δ {} must exceed PS δ {}",
+            ar.partition,
+            ps.partition
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Measurement fidelity: full (EXPERIMENTS.md numbers) vs quick (smoke
+//! tests and Criterion benches).
+
+use serde::Serialize;
+
+/// Controls how much work each experiment does.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Fidelity {
+    /// Iterations per simulated run.
+    pub iters: u64,
+    /// Warm-up iterations discarded before measuring.
+    pub warmup: u64,
+    /// Profiling trials the auto-tuner spends per configuration.
+    pub tune_trials: usize,
+    /// Seeds for experiments reporting mean ± std (Figure 14).
+    pub seeds: u64,
+    /// Compute jitter fraction.
+    pub jitter: f64,
+}
+
+impl Fidelity {
+    /// The fidelity EXPERIMENTS.md numbers are produced at.
+    pub fn full() -> Fidelity {
+        Fidelity {
+            iters: 18,
+            warmup: 3,
+            tune_trials: 14,
+            seeds: 8,
+            jitter: 0.01,
+        }
+    }
+
+    /// Cheap smoke fidelity for benches and integration tests.
+    pub fn quick() -> Fidelity {
+        Fidelity {
+            iters: 7,
+            warmup: 2,
+            tune_trials: 6,
+            seeds: 3,
+            jitter: 0.01,
+        }
+    }
+
+    /// Picks by the `BS_QUICK` environment variable (any non-empty value
+    /// other than `0` selects quick mode).
+    pub fn from_env() -> Fidelity {
+        match std::env::var("BS_QUICK") {
+            Ok(v) if !v.is_empty() && v != "0" => Fidelity::quick(),
+            _ => Fidelity::full(),
+        }
+    }
+
+    /// Applies this fidelity to a run configuration.
+    pub fn apply(&self, cfg: &mut bs_runtime::WorldConfig) {
+        cfg.iters = self.iters;
+        cfg.warmup = self.warmup;
+        cfg.jitter = self.jitter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_cheaper_than_full() {
+        let q = Fidelity::quick();
+        let f = Fidelity::full();
+        assert!(q.iters < f.iters);
+        assert!(q.tune_trials < f.tune_trials);
+        assert!(q.seeds < f.seeds);
+    }
+
+    #[test]
+    fn apply_overrides_measurement_knobs() {
+        let mut cfg = crate::Setup::MxnetPsTcp.config(
+            bs_models::zoo::resnet50(),
+            8,
+            100.0,
+            bs_runtime::SchedulerKind::Baseline,
+        );
+        Fidelity::quick().apply(&mut cfg);
+        assert_eq!(cfg.iters, 7);
+        assert_eq!(cfg.warmup, 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Scoped-thread fan-out for independent simulation runs.
+
+/// Maps `f` over `items` on up to `available_parallelism` worker threads,
+/// preserving input order in the output. Simulation runs are independent
+/// and CPU-bound, so a static block partition is all that's needed.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in islice.iter().zip(oslice.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..101).collect();
+        let out = parallel_map(items.clone(), |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parallel_map(vec![21], |&x| x * 2), vec![42]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Result rendering: aligned text tables for the terminal, JSON for
+//! `results/` (consumed when writing EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A text table with a title, per-figure.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                let pad = widths[c];
+                if c == 0 {
+                    let _ = write!(out, "{cell:<pad$}");
+                } else {
+                    let _ = write!(out, "  {cell:>pad$}");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a speed as the paper's axes do.
+pub fn fmt_speed(v: f64) -> String {
+    if v >= 100_000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else if v >= 10_000.0 {
+        format!("{:.2}k", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats a speed-up fraction as "+NN%".
+pub fn fmt_speedup(frac: f64) -> String {
+    format!("{:+.1}%", frac * 100.0)
+}
+
+/// Formats bytes in MB (the paper's Table 1 unit).
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+/// Directory where experiment JSON lands: `<workspace>/results`.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/harness; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    root.join("results")
+}
+
+/// Writes an experiment's machine-readable output to
+/// `results/<name>.json`. IO failures are reported but non-fatal: the
+/// printed table is the primary artefact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "speed"]);
+        t.row(vec!["baseline".into(), "123".into()]);
+        t.row(vec!["bs".into(), "45678".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with('-'));
+        // Right-aligned numeric column: both rows end at the same column.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters_produce_paper_style_strings() {
+        assert_eq!(fmt_speed(2742.4), "2742");
+        assert_eq!(fmt_speed(57_981.0), "57.98k");
+        assert_eq!(fmt_speed(113_167.0), "113.2k");
+        assert_eq!(fmt_speedup(0.94), "+94.0%");
+        assert_eq!(fmt_speedup(-0.012), "-1.2%");
+        assert_eq!(fmt_mb(6_000_000), "6.0");
+    }
+
+    #[test]
+    fn results_dir_is_inside_the_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,137 @@
+//! Fluent construction of [`DnnModel`]s from architectural layer shapes.
+
+use bs_sim::SimTime;
+
+use crate::gpu::GpuSpec;
+use crate::layer::{conv2d_flops, conv2d_params, fc_flops, fc_params, Layer, BYTES_PER_PARAM};
+use crate::model::{DnnModel, SampleUnit};
+
+/// Builds a [`DnnModel`] layer by layer, converting architectural shapes
+/// (convolutions, fully-connected layers) into parameter sizes and
+/// FLOP-derived compute times on a given [`GpuSpec`].
+///
+/// Used both by the built-in zoo and by downstream users defining custom
+/// models (see the `custom_model` example).
+pub struct ModelBuilder {
+    name: String,
+    gpu: GpuSpec,
+    batch: u64,
+    unit: SampleUnit,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given reporting name, GPU, per-worker batch
+    /// size and throughput unit.
+    pub fn new(name: impl Into<String>, gpu: GpuSpec, batch: u64, unit: SampleUnit) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        ModelBuilder {
+            name: name.into(),
+            gpu,
+            batch,
+            unit,
+            layers: Vec::new(),
+        }
+    }
+
+    fn push_from_flops(&mut self, name: String, params: u64, fp_flops_per_sample: f64) {
+        let flops = fp_flops_per_sample * self.batch as f64;
+        self.layers.push(Layer {
+            name,
+            param_bytes: params * BYTES_PER_PARAM,
+            fp_time: SimTime::from_secs_f64(self.gpu.fp_seconds(flops)),
+            bp_time: SimTime::from_secs_f64(self.gpu.bp_seconds(flops)),
+        });
+    }
+
+    /// Adds a 2-D convolution layer (`k`×`k`, `c_in`→`c_out`, output spatial
+    /// size `h_out`×`w_out`).
+    pub fn conv2d(
+        mut self,
+        name: impl Into<String>,
+        k: u64,
+        c_in: u64,
+        c_out: u64,
+        h_out: u64,
+        w_out: u64,
+    ) -> Self {
+        self.push_from_flops(
+            name.into(),
+            conv2d_params(k, c_in, c_out),
+            conv2d_flops(k, c_in, c_out, h_out, w_out),
+        );
+        self
+    }
+
+    /// Adds a fully-connected layer `d_in`→`d_out`.
+    pub fn fc(mut self, name: impl Into<String>, d_in: u64, d_out: u64) -> Self {
+        self.push_from_flops(name.into(), fc_params(d_in, d_out), fc_flops(d_in, d_out));
+        self
+    }
+
+    /// Adds a layer with explicit parameter count and forward FLOPs per
+    /// sample — the escape hatch for embeddings, attention blocks, etc.
+    pub fn raw(mut self, name: impl Into<String>, params: u64, fp_flops_per_sample: f64) -> Self {
+        self.push_from_flops(name.into(), params, fp_flops_per_sample);
+        self
+    }
+
+    /// Adds a layer with fully explicit size and times, bypassing the GPU
+    /// model. Used by the Figure 2 contrived example, which specifies times
+    /// directly.
+    pub fn explicit(
+        mut self,
+        name: impl Into<String>,
+        param_bytes: u64,
+        fp_time: SimTime,
+        bp_time: SimTime,
+    ) -> Self {
+        self.layers.push(Layer {
+            name: name.into(),
+            param_bytes,
+            fp_time,
+            bp_time,
+        });
+        self
+    }
+
+    /// Finalises the model.
+    pub fn build(self) -> DnnModel {
+        DnnModel::new(self.name, self.layers, self.batch, self.unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_computes_sizes_and_times() {
+        let gpu = GpuSpec::custom(1e12, 2.0);
+        let m = ModelBuilder::new("t", gpu, 10, SampleUnit::Images)
+            .conv2d("c1", 3, 3, 64, 224, 224)
+            .fc("f1", 4096, 1000)
+            .build();
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.layers[0].param_count(), 3 * 3 * 3 * 64 + 64);
+        assert_eq!(m.layers[1].param_count(), 4096 * 1000 + 1000);
+        // fc: 2 * 4096 * 1000 flops/sample * 10 samples / 1e12 flops/s.
+        let expect_fp = 2.0 * 4096.0 * 1000.0 * 10.0 / 1e12;
+        assert!((m.layers[1].fp_time.as_secs_f64() - expect_fp).abs() < 1e-12);
+        assert!(
+            (m.layers[1].bp_time.as_secs_f64() - 2.0 * expect_fp).abs() < 1e-12,
+            "bp should be 2x fp"
+        );
+    }
+
+    #[test]
+    fn explicit_layers_bypass_gpu_model() {
+        let gpu = GpuSpec::custom(1e12, 2.0);
+        let m = ModelBuilder::new("t", gpu, 1, SampleUnit::Images)
+            .explicit("l", 128, SimTime::from_millis(7), SimTime::from_millis(9))
+            .build();
+        assert_eq!(m.layers[0].fp_time, SimTime::from_millis(7));
+        assert_eq!(m.layers[0].bp_time, SimTime::from_millis(9));
+        assert_eq!(m.layers[0].param_bytes, 128);
+    }
+}

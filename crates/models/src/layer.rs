@@ -1,0 +1,98 @@
+//! A single schedulable DNN layer.
+
+use bs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per parameter. The paper trains in fp32.
+pub const BYTES_PER_PARAM: u64 = 4;
+
+/// One layer of a DNN as seen by the training system: a gradient/parameter
+/// tensor of `param_bytes` plus forward/backward compute times.
+///
+/// A "layer" here is the paper's scheduling unit: all tensors belonging to
+/// the same architectural layer share one priority, so we coalesce a layer's
+/// weight and bias into a single tensor (their sizes differ by orders of
+/// magnitude and frameworks transmit them back-to-back anyway).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (e.g. `"conv4_2"`, `"fc6"`).
+    pub name: String,
+    /// Size of the gradient (== parameter) tensor in bytes.
+    pub param_bytes: u64,
+    /// Forward-propagation compute time for one mini-batch on one worker.
+    pub fp_time: SimTime,
+    /// Backward-propagation compute time for one mini-batch on one worker.
+    pub bp_time: SimTime,
+}
+
+impl Layer {
+    /// Constructs a layer directly from sizes and times.
+    pub fn new(
+        name: impl Into<String>,
+        param_bytes: u64,
+        fp_time: SimTime,
+        bp_time: SimTime,
+    ) -> Self {
+        Layer {
+            name: name.into(),
+            param_bytes,
+            fp_time,
+            bp_time,
+        }
+    }
+
+    /// Number of parameters (fp32) this layer carries.
+    pub fn param_count(&self) -> u64 {
+        self.param_bytes / BYTES_PER_PARAM
+    }
+}
+
+/// FLOPs of a 2-D convolution: `2 · k² · C_in · C_out · H_out · W_out`
+/// per sample (multiply + add counted separately).
+pub fn conv2d_flops(k: u64, c_in: u64, c_out: u64, h_out: u64, w_out: u64) -> f64 {
+    2.0 * (k * k * c_in * c_out * h_out * w_out) as f64
+}
+
+/// Parameter count of a 2-D convolution: `k² · C_in · C_out + C_out` (bias).
+pub fn conv2d_params(k: u64, c_in: u64, c_out: u64) -> u64 {
+    k * k * c_in * c_out + c_out
+}
+
+/// FLOPs of a fully-connected layer: `2 · in · out` per sample.
+pub fn fc_flops(d_in: u64, d_out: u64) -> f64 {
+    2.0 * (d_in * d_out) as f64
+}
+
+/// Parameter count of a fully-connected layer: `in · out + out`.
+pub fn fc_params(d_in: u64, d_out: u64) -> u64 {
+    d_in * d_out + d_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_fc6_is_the_papers_400mb_tensor() {
+        // VGG16 fc6: 25088 -> 4096.
+        let params = fc_params(25088, 4096);
+        // The commonly quoted 102.76 M figure includes the bias.
+        assert_eq!(params, 102_764_544);
+        let bytes = params * BYTES_PER_PARAM;
+        assert!(bytes > 400_000_000, "fc6 must exceed 400 MB: {bytes}");
+    }
+
+    #[test]
+    fn conv_formulas_match_hand_computation() {
+        // 3x3 conv, 64 -> 128 channels, 112x112 output.
+        assert_eq!(conv2d_params(3, 64, 128), 3 * 3 * 64 * 128 + 128);
+        let f = conv2d_flops(3, 64, 128, 112, 112);
+        assert_eq!(f, 2.0 * (9u64 * 64 * 128 * 112 * 112) as f64);
+    }
+
+    #[test]
+    fn layer_param_count_round_trips() {
+        let l = Layer::new("x", 400, SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(l.param_count(), 100);
+    }
+}

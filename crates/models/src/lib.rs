@@ -1,0 +1,36 @@
+//! DNN model zoo for the ByteScheduler reproduction.
+//!
+//! The paper evaluates communication scheduling on VGG16, ResNet-50 and
+//! Transformer (plus AlexNet and VGG19 in passing). What the scheduler sees
+//! of a model is precisely two per-layer quantities:
+//!
+//! * the **parameter/gradient tensor size** of each layer (what gets pushed,
+//!   pulled or all-reduced), and
+//! * the **forward and backward compute time** of each layer (what the
+//!   communication must overlap with).
+//!
+//! This crate reconstructs both from the published architectures: parameter
+//! counts follow the real layer shapes (e.g. VGG16's `fc6` is 102.76 M
+//! parameters ≈ 411 MB in fp32 — the paper's "largest tensor is over 400 MB"),
+//! and compute times are derived from per-layer FLOP counts divided by an
+//! effective GPU throughput calibrated per model family to published V100
+//! numbers. Absolute times are approximate; the *structure* (which layers are
+//! parameter-heavy vs compute-heavy, where the big tensors sit relative to
+//! the input) is exact, and that structure is all the scheduling problem
+//! depends on.
+//!
+//! Layer index 0 is the layer nearest the model input: it runs first in
+//! forward propagation, produces its gradient last in backward propagation,
+//! and therefore gets the *highest* communication priority under the paper's
+//! scheduling algorithm.
+
+pub mod builder;
+pub mod gpu;
+pub mod layer;
+pub mod model;
+pub mod zoo;
+
+pub use builder::ModelBuilder;
+pub use gpu::GpuSpec;
+pub use layer::Layer;
+pub use model::{DnnModel, SampleUnit};

@@ -1,0 +1,203 @@
+//! The [`DnnModel`] type: an ordered stack of layers plus workload metadata.
+
+use bs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// What one "sample" means for a model's throughput metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleUnit {
+    /// CNNs report images/sec.
+    Images,
+    /// Sequence models report tokens/sec.
+    Tokens,
+}
+
+impl SampleUnit {
+    /// The unit label used in result tables, matching the paper's axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleUnit::Images => "images/sec",
+            SampleUnit::Tokens => "tokens/sec",
+        }
+    }
+}
+
+/// A DNN as seen by the distributed training system.
+///
+/// `layers[0]` is the layer nearest the input. Forward propagation runs
+/// layers in index order; backward propagation in reverse. The gradient of
+/// layer `i` becomes available when its backward step `b_i` completes, and
+/// the *next* iteration's forward step `f_i` needs layer `i`'s updated
+/// parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DnnModel {
+    /// Model name as used in result tables (e.g. `"VGG16"`).
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Samples processed per iteration per worker (mini-batch size).
+    pub batch_per_worker: u64,
+    /// Throughput unit for reporting.
+    pub sample_unit: SampleUnit,
+}
+
+impl DnnModel {
+    /// Constructs a model, validating that it is non-trivial.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        batch_per_worker: u64,
+        sample_unit: SampleUnit,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        assert!(batch_per_worker > 0, "batch size must be positive");
+        DnnModel {
+            name: name.into(),
+            layers,
+            batch_per_worker,
+            sample_unit,
+        }
+    }
+
+    /// Number of layers (== number of schedulable gradient tensors).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total model size in bytes (sum of all gradient tensors).
+    pub fn total_param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Total forward-propagation time for one iteration on one worker.
+    pub fn total_fp_time(&self) -> SimTime {
+        self.layers
+            .iter()
+            .fold(SimTime::ZERO, |acc, l| acc + l.fp_time)
+    }
+
+    /// Total backward-propagation time for one iteration on one worker.
+    pub fn total_bp_time(&self) -> SimTime {
+        self.layers
+            .iter()
+            .fold(SimTime::ZERO, |acc, l| acc + l.bp_time)
+    }
+
+    /// Pure-compute iteration time (no communication): `FP + BP`.
+    pub fn compute_time(&self) -> SimTime {
+        self.total_fp_time() + self.total_bp_time()
+    }
+
+    /// Single-worker training speed in samples/sec — the paper's
+    /// "linear scaling" reference is this multiplied by the worker count.
+    pub fn single_worker_speed(&self) -> f64 {
+        self.batch_per_worker as f64 / self.compute_time().as_secs_f64()
+    }
+
+    /// The largest gradient tensor in bytes.
+    pub fn largest_tensor(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).max().unwrap_or(0)
+    }
+
+    /// The smallest gradient tensor in bytes.
+    pub fn smallest_tensor(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).min().unwrap_or(0)
+    }
+
+    /// Communication-to-computation ratio at a given per-worker bandwidth
+    /// (bytes/sec): time to ship the whole model once, over compute time.
+    /// A quick predictor of how much scheduling can help (§6.2: ResNet-50's
+    /// low ratio explains its small gains at 100 Gbps).
+    pub fn comm_compute_ratio(&self, bandwidth_bytes_per_sec: f64) -> f64 {
+        let comm = self.total_param_bytes() as f64 / bandwidth_bytes_per_sec;
+        comm / self.compute_time().as_secs_f64()
+    }
+
+    /// Returns a copy with a different per-worker batch size, rescaling
+    /// compute times linearly (valid in the large-batch regime used here).
+    pub fn with_batch(&self, batch_per_worker: u64) -> DnnModel {
+        assert!(batch_per_worker > 0, "batch size must be positive");
+        let scale = batch_per_worker as f64 / self.batch_per_worker as f64;
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| Layer {
+                name: l.name.clone(),
+                param_bytes: l.param_bytes,
+                fp_time: SimTime::from_secs_f64(l.fp_time.as_secs_f64() * scale),
+                bp_time: SimTime::from_secs_f64(l.bp_time.as_secs_f64() * scale),
+            })
+            .collect();
+        DnnModel {
+            name: self.name.clone(),
+            layers,
+            batch_per_worker,
+            sample_unit: self.sample_unit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DnnModel {
+        DnnModel::new(
+            "tiny",
+            vec![
+                Layer::new("a", 100, SimTime::from_millis(1), SimTime::from_millis(2)),
+                Layer::new("b", 300, SimTime::from_millis(3), SimTime::from_millis(4)),
+            ],
+            32,
+            SampleUnit::Images,
+        )
+    }
+
+    #[test]
+    fn aggregates_are_sums() {
+        let m = tiny();
+        assert_eq!(m.total_param_bytes(), 400);
+        assert_eq!(m.total_fp_time(), SimTime::from_millis(4));
+        assert_eq!(m.total_bp_time(), SimTime::from_millis(6));
+        assert_eq!(m.compute_time(), SimTime::from_millis(10));
+        assert_eq!(m.largest_tensor(), 300);
+        assert_eq!(m.smallest_tensor(), 100);
+    }
+
+    #[test]
+    fn single_worker_speed_is_batch_over_compute() {
+        let m = tiny();
+        assert!((m.single_worker_speed() - 3200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_batch_rescales_compute_only() {
+        let m = tiny().with_batch(64);
+        assert_eq!(m.batch_per_worker, 64);
+        assert_eq!(m.total_param_bytes(), 400);
+        assert_eq!(m.compute_time(), SimTime::from_millis(20));
+        // Speed is unchanged when compute scales linearly with batch.
+        assert!((m.single_worker_speed() - 3200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comm_compute_ratio_scales_inversely_with_bandwidth() {
+        let m = tiny();
+        let r1 = m.comm_compute_ratio(1e6);
+        let r2 = m.comm_compute_ratio(2e6);
+        assert!((r1 / r2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        DnnModel::new("x", vec![], 1, SampleUnit::Images);
+    }
+}

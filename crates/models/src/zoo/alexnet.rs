@@ -1,0 +1,52 @@
+//! AlexNet (Krizhevsky et al., 2012), ungrouped single-tower variant.
+//!
+//! Used by the paper's §6.2 side experiment (96 % speed-up on 32 GPUs, MXNet
+//! PS RDMA). Like VGG it is dominated by fully-connected layers.
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// AlexNet with paper defaults (V100-calibrated GPU, batch 32).
+pub fn alexnet() -> DnnModel {
+    alexnet_with(GpuSpec::v100_vgg(), 32)
+}
+
+/// AlexNet with an explicit GPU and batch size.
+pub fn alexnet_with(gpu: GpuSpec, batch: u64) -> DnnModel {
+    ModelBuilder::new("AlexNet", gpu, batch, SampleUnit::Images)
+        .conv2d("conv1", 11, 3, 96, 55, 55)
+        .conv2d("conv2", 5, 96, 256, 27, 27)
+        .conv2d("conv3", 3, 256, 384, 13, 13)
+        .conv2d("conv4", 3, 384, 384, 13, 13)
+        .conv2d("conv5", 3, 384, 256, 13, 13)
+        .fc("fc6", 9216, 4096)
+        .fc("fc7", 4096, 4096)
+        .fc("fc8", 4096, 1000)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_near_published() {
+        // The canonical 60.97M figure counts the original two-tower grouped
+        // convolutions; the ungrouped variant is slightly larger.
+        let p = alexnet().total_params();
+        assert!((60_000_000..66_000_000).contains(&p), "AlexNet params {p}");
+    }
+
+    #[test]
+    fn fc_layers_carry_most_parameters() {
+        let m = alexnet();
+        let fc: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("fc"))
+            .map(|l| l.param_bytes)
+            .sum();
+        assert!(fc as f64 > 0.9 * m.total_param_bytes() as f64);
+    }
+}

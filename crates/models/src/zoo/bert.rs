@@ -1,0 +1,89 @@
+//! BERT-base (Devlin et al., 2018), encoder-only.
+//!
+//! A post-paper workload that stresses the same mechanisms as the paper's
+//! Transformer: a huge embedding at layer 0 (the worst possible FIFO
+//! position) over twelve uniform encoder layers. 110 M parameters
+//! (~438 MB fp32).
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// Hidden width.
+const D: u64 = 768;
+/// Feed-forward inner width.
+const FF: u64 = 3072;
+/// WordPiece vocabulary.
+const VOCAB: u64 = 30_522;
+/// Positions + segments.
+const EXTRA_EMB: u64 = 512 + 2;
+/// Encoder depth.
+const DEPTH: usize = 12;
+/// Training sequence length for attention FLOPs.
+const SEQ_LEN: f64 = 128.0;
+
+/// BERT-base with paper-style defaults (V100-calibrated GPU, batch 256
+/// tokens per GPU).
+pub fn bert_base() -> DnnModel {
+    bert_base_with(GpuSpec::v100_transformer(), 256)
+}
+
+/// BERT-base with an explicit GPU and per-worker token batch.
+pub fn bert_base_with(gpu: GpuSpec, batch_tokens: u64) -> DnnModel {
+    let attn_params = 4 * D * D + 4 * D;
+    let ffn_params = D * FF + FF + FF * D + D;
+    let attn_flops = 2.0 * (4 * D * D) as f64 + 4.0 * SEQ_LEN * D as f64;
+    let ffn_flops = 2.0 * (2 * D * FF) as f64;
+
+    let mut b = ModelBuilder::new("BERT-base", gpu, batch_tokens, SampleUnit::Tokens).raw(
+        "embeddings",
+        (VOCAB + EXTRA_EMB) * D,
+        2.0 * D as f64,
+    );
+    for i in 0..DEPTH {
+        b = b.raw(
+            format!("layer{i}"),
+            attn_params + ffn_params,
+            attn_flops + ffn_flops,
+        );
+    }
+    // MLM head: dense + decoder tied-ish (kept untied for scheduling).
+    b.raw(
+        "mlm_head",
+        D * D + D * VOCAB,
+        2.0 * (D * D + D * VOCAB) as f64,
+    )
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published_bert_base() {
+        // Published 110M; ours adds the untied MLM decoder (~24M).
+        let p = bert_base().total_params();
+        assert!((100_000_000..140_000_000).contains(&p), "BERT params {p}");
+    }
+
+    #[test]
+    fn embedding_is_the_first_and_a_large_tensor() {
+        let m = bert_base();
+        assert_eq!(m.layers[0].name, "embeddings");
+        assert!(m.layers[0].param_bytes > 90_000_000);
+    }
+
+    #[test]
+    fn encoder_layers_are_uniform() {
+        let m = bert_base();
+        let sizes: Vec<u64> = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("layer"))
+            .map(|l| l.param_bytes)
+            .collect();
+        assert_eq!(sizes.len(), 12);
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,125 @@
+//! Inception-v3 (Szegedy et al., 2015).
+//!
+//! Not in the paper's benchmark trio, but a useful zoo member: like
+//! ResNet-50 it is parameter-light and kernel-heavy (~23.8 M parameters
+//! over ~94 convolutions), so it predicts small scheduling gains at high
+//! bandwidth — a good negative control for downstream users.
+//!
+//! The factorised inception blocks are encoded at branch granularity
+//! (each branch's convolutions are schedulable tensors); exact filter
+//! geometry follows the torchvision implementation.
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// Inception-v3 with paper-style defaults (V100-calibrated GPU, batch 32).
+pub fn inception_v3() -> DnnModel {
+    inception_v3_with(GpuSpec::v100_resnet(), 32)
+}
+
+/// Inception-v3 with an explicit GPU and batch size.
+pub fn inception_v3_with(gpu: GpuSpec, batch: u64) -> DnnModel {
+    let mut b = ModelBuilder::new("InceptionV3", gpu, batch, SampleUnit::Images)
+        // Stem.
+        .conv2d("stem_1", 3, 3, 32, 149, 149)
+        .conv2d("stem_2", 3, 32, 32, 147, 147)
+        .conv2d("stem_3", 3, 32, 64, 147, 147)
+        .conv2d("stem_4", 1, 64, 80, 73, 73)
+        .conv2d("stem_5", 3, 80, 192, 71, 71);
+
+    // Three Inception-A blocks at 35x35 (input channels 192/256/288).
+    for (i, c_in) in [192u64, 256, 288].into_iter().enumerate() {
+        b = b
+            .conv2d(format!("a{i}_1x1"), 1, c_in, 64, 35, 35)
+            .conv2d(format!("a{i}_5x5a"), 1, c_in, 48, 35, 35)
+            .conv2d(format!("a{i}_5x5b"), 5, 48, 64, 35, 35)
+            .conv2d(format!("a{i}_3x3a"), 1, c_in, 64, 35, 35)
+            .conv2d(format!("a{i}_3x3b"), 3, 64, 96, 35, 35)
+            .conv2d(format!("a{i}_3x3c"), 3, 96, 96, 35, 35)
+            .conv2d(
+                format!("a{i}_pool"),
+                1,
+                c_in,
+                if i == 0 { 32 } else { 64 },
+                35,
+                35,
+            );
+    }
+    // Reduction-A to 17x17.
+    b = b
+        .conv2d("redA_3x3", 3, 288, 384, 17, 17)
+        .conv2d("redA_dbl_a", 1, 288, 64, 35, 35)
+        .conv2d("redA_dbl_b", 3, 64, 96, 35, 35)
+        .conv2d("redA_dbl_c", 3, 96, 96, 17, 17);
+
+    // Four Inception-B blocks at 17x17 (7x7 factorised into 1x7/7x1;
+    // encoded as 7-wide convs with equivalent parameter counts).
+    for (i, c7) in [128u64, 160, 160, 192].into_iter().enumerate() {
+        b = b
+            .conv2d(format!("b{i}_1x1"), 1, 768, 192, 17, 17)
+            .conv2d(format!("b{i}_7a"), 1, 768, c7, 17, 17)
+            .raw(
+                format!("b{i}_7b"),
+                7 * c7 * c7 + c7,
+                2.0 * (7 * c7 * c7 * 17 * 17) as f64,
+            )
+            .raw(
+                format!("b{i}_7c"),
+                7 * c7 * 192 + 192,
+                2.0 * (7 * c7 * 192 * 17 * 17) as f64,
+            )
+            .conv2d(format!("b{i}_pool"), 1, 768, 192, 17, 17);
+    }
+    // Reduction-B to 8x8 and two Inception-C blocks.
+    b = b
+        .conv2d("redB_a", 1, 768, 192, 17, 17)
+        .conv2d("redB_b", 3, 192, 320, 8, 8)
+        .conv2d("redB_c", 1, 768, 192, 17, 17)
+        .conv2d("redB_d", 3, 192, 192, 8, 8);
+    for (i, c_in) in [1280u64, 2048].into_iter().enumerate() {
+        b = b
+            .conv2d(format!("c{i}_1x1"), 1, c_in, 320, 8, 8)
+            .conv2d(format!("c{i}_3x3a"), 1, c_in, 384, 8, 8)
+            .conv2d(format!("c{i}_3x3b"), 3, 384, 768, 8, 8)
+            .conv2d(format!("c{i}_dbl_a"), 1, c_in, 448, 8, 8)
+            .conv2d(format!("c{i}_dbl_b"), 3, 448, 384, 8, 8)
+            .conv2d(format!("c{i}_dbl_c"), 3, 384, 768, 8, 8)
+            .conv2d(format!("c{i}_pool"), 1, c_in, 192, 8, 8);
+    }
+    b.fc("fc", 2048, 1000).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_in_the_published_ballpark() {
+        // torchvision inception_v3: 23.8M parameters (our branch-level
+        // encoding approximates the factorised 7x7 stacks).
+        let p = inception_v3().total_params();
+        assert!(
+            (20_000_000..30_000_000).contains(&p),
+            "InceptionV3 params {p}"
+        );
+    }
+
+    #[test]
+    fn is_compute_bound_like_resnet() {
+        let m = inception_v3();
+        let bw = 100e9 / 8.0;
+        assert!(
+            m.comm_compute_ratio(bw) < 0.2,
+            "ratio {:.2}",
+            m.comm_compute_ratio(bw)
+        );
+    }
+
+    #[test]
+    fn has_many_small_tensors() {
+        let m = inception_v3();
+        assert!(m.num_layers() > 50);
+        assert!(m.largest_tensor() < 20_000_000);
+    }
+}

@@ -1,0 +1,123 @@
+//! The built-in model zoo: the models used in the paper's evaluation.
+//!
+//! Every constructor comes in two flavours: a zero-argument version with the
+//! paper's defaults (V100-calibrated GPU, the paper's per-GPU batch size) and
+//! a `_with(gpu, batch)` version for what-if studies.
+
+mod alexnet;
+mod bert;
+mod inception;
+mod resnet;
+mod transformer;
+mod vgg;
+
+pub use alexnet::{alexnet, alexnet_with};
+pub use bert::{bert_base, bert_base_with};
+pub use inception::{inception_v3, inception_v3_with};
+pub use resnet::{resnet50, resnet50_with};
+pub use transformer::{transformer, transformer_with};
+pub use vgg::{vgg16, vgg16_with, vgg19, vgg19_with};
+
+use crate::model::DnnModel;
+
+/// All benchmark models at paper-default settings, for sweep harnesses.
+pub fn benchmark_models() -> Vec<DnnModel> {
+    vec![vgg16(), resnet50(), transformer()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published parameter counts the zoo must reproduce (within the slack
+    /// left by folding batch-norm parameters and grouping conventions).
+    #[test]
+    fn parameter_counts_match_published_architectures() {
+        let cases: [(DnnModel, u64, f64); 5] = [
+            (vgg16(), 138_357_544, 0.01),
+            (vgg19(), 143_667_240, 0.01),
+            (alexnet(), 60_965_224, 0.05),
+            (resnet50(), 25_557_032, 0.08),
+            // Our Transformer is a big-variant with untied 32k embeddings;
+            // target is the sum of its own layer spec (checked exactly in
+            // transformer.rs), here just sanity-scale vs transformer-big.
+            (transformer(), 213_000_000, 0.18),
+        ];
+        for (m, published, tol) in cases {
+            let got = m.total_params() as f64;
+            let rel = (got - published as f64).abs() / published as f64;
+            assert!(
+                rel <= tol,
+                "{}: got {} params, published {} (rel err {:.3})",
+                m.name,
+                got,
+                published,
+                rel
+            );
+        }
+    }
+
+    #[test]
+    fn layer_counts_are_plausible() {
+        assert_eq!(vgg16().num_layers(), 16);
+        assert_eq!(vgg19().num_layers(), 19);
+        assert_eq!(alexnet().num_layers(), 8);
+        assert_eq!(resnet50().num_layers(), 54);
+        assert_eq!(transformer().num_layers(), 14);
+    }
+
+    #[test]
+    fn all_models_have_positive_compute_and_comm() {
+        for m in benchmark_models() {
+            assert!(m.compute_time().as_nanos() > 0, "{}", m.name);
+            assert!(m.total_param_bytes() > 0, "{}", m.name);
+            for l in &m.layers {
+                assert!(l.param_bytes > 0, "{}:{}", m.name, l.name);
+            }
+        }
+    }
+
+    /// §6.2: at 100 Gbps ResNet-50 is compute-bound while VGG16 and
+    /// Transformer are communication-bound. This ratio ordering is what
+    /// produces the paper's speed-up ordering, so pin it.
+    #[test]
+    fn comm_compute_ratios_are_ordered_like_the_paper() {
+        let bw = 100e9 / 8.0; // 100 Gbps in bytes/sec
+        let r_vgg = vgg16().comm_compute_ratio(bw);
+        let r_res = resnet50().comm_compute_ratio(bw);
+        let r_trn = transformer().comm_compute_ratio(bw);
+        assert!(
+            r_res < r_vgg && r_res < r_trn,
+            "ResNet50 must be the most compute-bound: vgg={r_vgg:.2} res={r_res:.2} trn={r_trn:.2}"
+        );
+        assert!(r_res < 0.15, "ResNet50 at 100Gbps should be compute-bound");
+        assert!(r_vgg > 0.25, "VGG16 at 100Gbps should be comm-heavy");
+        assert!(r_trn > 0.5, "Transformer at 100Gbps should be comm-bound");
+    }
+
+    /// The paper quotes VGG16's tensor size spread: smallest 256 B, largest
+    /// over 400 MB. Our coalesced layers keep the >400 MB giant (fc6).
+    #[test]
+    fn vgg16_tensor_spread_matches_paper() {
+        let m = vgg16();
+        assert!(m.largest_tensor() > 400_000_000);
+        assert!(m.smallest_tensor() < 10 * 1024);
+    }
+
+    /// Iteration times must land near published V100 throughput (the
+    /// calibration promise in `GpuSpec`): VGG16 ~140ms, ResNet-50 ~90ms at
+    /// batch 32. Allow wide tolerance — calibration, not benchmarking.
+    #[test]
+    fn compute_times_are_v100_calibrated() {
+        let vgg_ms = vgg16().compute_time().as_millis_f64();
+        assert!(
+            (90.0..250.0).contains(&vgg_ms),
+            "VGG16 iteration {vgg_ms:.1} ms out of calibration range"
+        );
+        let res_ms = resnet50().compute_time().as_millis_f64();
+        assert!(
+            (50.0..150.0).contains(&res_ms),
+            "ResNet50 iteration {res_ms:.1} ms out of calibration range"
+        );
+    }
+}

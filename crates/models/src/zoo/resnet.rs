@@ -1,0 +1,94 @@
+//! ResNet-50 (He et al., 2016).
+//!
+//! The paper's compute-bound model: only ~25.5 M parameters spread over ~50
+//! convolutions, so at 100 Gbps communication is a small fraction of the
+//! iteration and scheduling gains are correspondingly small (§6.2). Each
+//! convolution is one schedulable tensor (batch-norm scale/shift parameters
+//! are folded into their convolution — they are 0.2 % of the model and
+//! frameworks transmit them adjacently).
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// ResNet-50 with paper defaults (V100-calibrated GPU, batch 32).
+pub fn resnet50() -> DnnModel {
+    resnet50_with(GpuSpec::v100_resnet(), 32)
+}
+
+/// ResNet-50 with an explicit GPU and batch size.
+pub fn resnet50_with(gpu: GpuSpec, batch: u64) -> DnnModel {
+    let mut b = ModelBuilder::new("ResNet50", gpu, batch, SampleUnit::Images)
+        .conv2d("conv1", 7, 3, 64, 112, 112);
+
+    // (stage name, spatial size, bottleneck width, block count, stage input channels)
+    let stages: [(&str, u64, u64, usize, u64); 4] = [
+        ("conv2", 56, 64, 3, 64),
+        ("conv3", 28, 128, 4, 256),
+        ("conv4", 14, 256, 6, 512),
+        ("conv5", 7, 512, 3, 1024),
+    ];
+
+    for (stage, hw, width, blocks, stage_in) in stages {
+        let out = width * 4;
+        for blk in 0..blocks {
+            let c_in = if blk == 0 { stage_in } else { out };
+            if blk == 0 {
+                // Projection shortcut for the first block of each stage.
+                b = b.conv2d(format!("{stage}_0_down"), 1, c_in, out, hw, hw);
+            }
+            b = b
+                .conv2d(format!("{stage}_{blk}_a"), 1, c_in, width, hw, hw)
+                .conv2d(format!("{stage}_{blk}_b"), 3, width, width, hw, hw)
+                .conv2d(format!("{stage}_{blk}_c"), 1, width, out, hw, hw);
+        }
+    }
+
+    b.fc("fc", 2048, 1000).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_near_published() {
+        // Published 25.557M includes batch-norm; conv+fc alone is ~25.5M.
+        let p = resnet50().total_params();
+        assert!((23_500_000..26_500_000).contains(&p), "ResNet50 params {p}");
+    }
+
+    #[test]
+    fn has_54_schedulable_tensors() {
+        // 1 stem + 4 downsamples + 16 bottlenecks * 3 convs + 1 fc = 54.
+        assert_eq!(resnet50().num_layers(), 54);
+    }
+
+    #[test]
+    fn no_tensor_is_huge() {
+        // ResNet has no VGG-style giant: the largest tensor (fc, 8.2 MB or
+        // conv5 3x3, 9.4 MB) is tiny next to VGG's 411 MB fc6.
+        let m = resnet50();
+        assert!(m.largest_tensor() < 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn downsample_layers_only_at_stage_starts() {
+        let m = resnet50();
+        let downs: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| l.name.ends_with("_down"))
+            .map(|l| l.name.clone())
+            .collect();
+        assert_eq!(
+            downs,
+            vec![
+                "conv2_0_down",
+                "conv3_0_down",
+                "conv4_0_down",
+                "conv5_0_down"
+            ]
+        );
+    }
+}

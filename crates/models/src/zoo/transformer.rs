@@ -1,0 +1,104 @@
+//! Transformer (Vaswani et al., 2017), big-model configuration.
+//!
+//! The paper's sequence model ("Transformer", reported in tokens/sec with a
+//! 512-sample batch). We use the big configuration: d_model = 1024,
+//! d_ff = 4096, 6 encoder + 6 decoder layers, 32 k vocabulary with untied
+//! input embedding and output projection. The two embedding matrices
+//! (33.5 M parameters ≈ 134 MB each) bracket the model: the input embedding
+//! is layer 0 — the *highest* communication priority and one of the largest
+//! tensors, which is exactly the combination where priority scheduling pays
+//! off most (its FIFO position would be dead last).
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// Model width.
+const D_MODEL: u64 = 1024;
+/// Feed-forward inner width.
+const D_FF: u64 = 4096;
+/// Vocabulary size.
+const VOCAB: u64 = 32_768;
+/// Encoder/decoder depth.
+const DEPTH: usize = 6;
+/// Typical training sequence length, used for attention FLOPs.
+const SEQ_LEN: f64 = 64.0;
+
+/// Transformer with paper defaults (V100-calibrated GPU, batch 512 tokens).
+pub fn transformer() -> DnnModel {
+    transformer_with(GpuSpec::v100_transformer(), 512)
+}
+
+/// Transformer with an explicit GPU and per-worker token batch.
+pub fn transformer_with(gpu: GpuSpec, batch_tokens: u64) -> DnnModel {
+    let d = D_MODEL;
+    let attn_params = 4 * d * d + 4 * d; // Q,K,V,O projections + biases
+    let ffn_params = d * D_FF + D_FF + D_FF * d + d;
+    // Per-token FLOPs: 2 FLOPs per parameter for the GEMMs, plus the
+    // sequence-length-dependent attention score/context terms.
+    let attn_flops = 2.0 * (4 * d * d) as f64 + 4.0 * SEQ_LEN * d as f64;
+    let ffn_flops = 2.0 * (2 * d * D_FF) as f64;
+
+    let mut b = ModelBuilder::new("Transformer", gpu, batch_tokens, SampleUnit::Tokens)
+        // Input embedding: parameter-huge, compute-trivial (table lookup).
+        .raw("embed", VOCAB * d, 2.0 * d as f64);
+    for i in 0..DEPTH {
+        b = b.raw(
+            format!("enc{i}"),
+            attn_params + ffn_params,
+            attn_flops + ffn_flops,
+        );
+    }
+    for i in 0..DEPTH {
+        // Decoder adds cross-attention.
+        b = b.raw(
+            format!("dec{i}"),
+            2 * attn_params + ffn_params,
+            2.0 * attn_flops + ffn_flops,
+        );
+    }
+    // Output projection + softmax over the vocabulary.
+    b.raw("out_proj", d * VOCAB, 2.0 * (d * VOCAB) as f64)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_layer_spec() {
+        let m = transformer();
+        let d = D_MODEL;
+        let attn = 4 * d * d + 4 * d;
+        let ffn = d * D_FF + D_FF + D_FF * d + d;
+        let expect = VOCAB * d + 6 * (attn + ffn) + 6 * (2 * attn + ffn) + d * VOCAB;
+        assert_eq!(m.total_params(), expect);
+        // Big-model territory: 200-250M parameters.
+        assert!((200_000_000..260_000_000).contains(&m.total_params()));
+    }
+
+    #[test]
+    fn embedding_is_layer_zero_and_large() {
+        let m = transformer();
+        assert_eq!(m.layers[0].name, "embed");
+        assert!(m.layers[0].param_bytes >= 128 * 1024 * 1024);
+        // ... while costing almost nothing to compute forward.
+        assert!(m.layers[0].fp_time < m.layers[1].fp_time);
+    }
+
+    #[test]
+    fn decoder_layers_are_heavier_than_encoder_layers() {
+        let m = transformer();
+        let enc = m.layers.iter().find(|l| l.name == "enc0").unwrap();
+        let dec = m.layers.iter().find(|l| l.name == "dec0").unwrap();
+        assert!(dec.param_bytes > enc.param_bytes);
+        assert!(dec.fp_time > enc.fp_time);
+    }
+
+    #[test]
+    fn throughput_unit_is_tokens() {
+        assert_eq!(transformer().sample_unit, SampleUnit::Tokens);
+        assert_eq!(transformer().batch_per_worker, 512);
+    }
+}

@@ -1,0 +1,103 @@
+//! VGG16 and VGG19 (Simonyan & Zisserman, 2014).
+//!
+//! These are the paper's flagship communication-bound models: ~138 M / 144 M
+//! parameters dominated by three fully-connected layers, with `fc6` alone at
+//! 102.76 M parameters (≈ 411 MB in fp32 — the paper's ">400 MB" tensor).
+
+use crate::builder::ModelBuilder;
+use crate::gpu::GpuSpec;
+use crate::model::{DnnModel, SampleUnit};
+
+/// Paper default batch size per GPU for CNNs.
+const DEFAULT_BATCH: u64 = 32;
+
+/// VGG16 with paper defaults (V100-calibrated GPU, batch 32).
+pub fn vgg16() -> DnnModel {
+    vgg16_with(GpuSpec::v100_vgg(), DEFAULT_BATCH)
+}
+
+/// VGG16 with an explicit GPU and batch size.
+pub fn vgg16_with(gpu: GpuSpec, batch: u64) -> DnnModel {
+    vgg_common("VGG16", gpu, batch, false)
+}
+
+/// VGG19 with paper defaults.
+pub fn vgg19() -> DnnModel {
+    vgg19_with(GpuSpec::v100_vgg(), DEFAULT_BATCH)
+}
+
+/// VGG19 with an explicit GPU and batch size.
+pub fn vgg19_with(gpu: GpuSpec, batch: u64) -> DnnModel {
+    vgg_common("VGG19", gpu, batch, true)
+}
+
+fn vgg_common(name: &str, gpu: GpuSpec, batch: u64, deep: bool) -> DnnModel {
+    let mut b = ModelBuilder::new(name, gpu, batch, SampleUnit::Images)
+        // Block 1: 224x224.
+        .conv2d("conv1_1", 3, 3, 64, 224, 224)
+        .conv2d("conv1_2", 3, 64, 64, 224, 224)
+        // Block 2: 112x112.
+        .conv2d("conv2_1", 3, 64, 128, 112, 112)
+        .conv2d("conv2_2", 3, 128, 128, 112, 112)
+        // Block 3: 56x56.
+        .conv2d("conv3_1", 3, 128, 256, 56, 56)
+        .conv2d("conv3_2", 3, 256, 256, 56, 56)
+        .conv2d("conv3_3", 3, 256, 256, 56, 56);
+    if deep {
+        b = b.conv2d("conv3_4", 3, 256, 256, 56, 56);
+    }
+    // Block 4: 28x28.
+    b = b
+        .conv2d("conv4_1", 3, 256, 512, 28, 28)
+        .conv2d("conv4_2", 3, 512, 512, 28, 28)
+        .conv2d("conv4_3", 3, 512, 512, 28, 28);
+    if deep {
+        b = b.conv2d("conv4_4", 3, 512, 512, 28, 28);
+    }
+    // Block 5: 14x14.
+    b = b
+        .conv2d("conv5_1", 3, 512, 512, 14, 14)
+        .conv2d("conv5_2", 3, 512, 512, 14, 14)
+        .conv2d("conv5_3", 3, 512, 512, 14, 14);
+    if deep {
+        b = b.conv2d("conv5_4", 3, 512, 512, 14, 14);
+    }
+    // Classifier: 512*7*7 = 25088 flattened features.
+    b.fc("fc6", 25088, 4096)
+        .fc("fc7", 4096, 4096)
+        .fc("fc8", 4096, 1000)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_exact_parameter_count() {
+        // Classic figure including biases: 138,357,544.
+        assert_eq!(vgg16().total_params(), 138_357_544);
+    }
+
+    #[test]
+    fn vgg19_exact_parameter_count() {
+        assert_eq!(vgg19().total_params(), 143_667_240);
+    }
+
+    #[test]
+    fn fc6_dominates_the_model() {
+        let m = vgg16();
+        let fc6 = m.layers.iter().find(|l| l.name == "fc6").unwrap();
+        assert!(fc6.param_bytes as f64 > 0.7 * m.largest_tensor() as f64);
+        assert_eq!(m.largest_tensor(), fc6.param_bytes);
+    }
+
+    #[test]
+    fn early_convs_are_compute_heavy_but_parameter_light() {
+        let m = vgg16();
+        let conv1_2 = &m.layers[1];
+        let fc7 = m.layers.iter().find(|l| l.name == "fc7").unwrap();
+        assert!(conv1_2.fp_time > fc7.fp_time);
+        assert!(conv1_2.param_bytes < fc7.param_bytes / 100);
+    }
+}

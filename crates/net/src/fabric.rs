@@ -1,0 +1,168 @@
+//! A fabric is either the FIFO network or the fluid network, behind one
+//! dispatching wrapper so the runtime can switch sharing disciplines with
+//! a config flag.
+
+use bs_sim::SimTime;
+use serde::Serialize;
+
+use crate::fluid::FluidNetwork;
+use crate::network::{NetEvent, Network, NodeId, TransferId};
+use crate::transport::NetConfig;
+
+/// Which sharing discipline the point-to-point fabric uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FabricModel {
+    /// Strict FIFO service per NIC direction with head-of-line blocking —
+    /// the paper's §2.2 abstraction of the communication stack (default).
+    SerialFifo,
+    /// Max-min fair fluid multiplexing — how multi-connection transports
+    /// actually share a NIC; see [`crate::fluid`].
+    FairShare,
+}
+
+/// A point-to-point fabric of either discipline.
+#[derive(Clone, Debug)]
+pub enum Fabric {
+    /// FIFO fabric.
+    Fifo(Network),
+    /// Fluid fabric.
+    Fluid(FluidNetwork),
+}
+
+impl Fabric {
+    /// Creates the fabric selected by `model`.
+    pub fn new(model: FabricModel, num_nodes: usize, cfg: NetConfig) -> Fabric {
+        match model {
+            FabricModel::SerialFifo => Fabric::Fifo(Network::new(num_nodes, cfg)),
+            FabricModel::FairShare => Fabric::Fluid(FluidNetwork::new(num_nodes, cfg)),
+        }
+    }
+
+    /// Submits a transfer (see the variants' docs for semantics).
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        match self {
+            Fabric::Fifo(n) => n.submit(now, src, dst, bytes, tag),
+            Fabric::Fluid(n) => n.submit(now, src, dst, bytes, tag),
+        }
+    }
+
+    /// Earliest instant anything changes.
+    pub fn next_event_time(&self) -> SimTime {
+        match self {
+            Fabric::Fifo(n) => n.next_event_time(),
+            Fabric::Fluid(n) => n.next_event_time(),
+        }
+    }
+
+    /// Processes everything up to `now`.
+    pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
+        match self {
+            Fabric::Fifo(n) => n.advance(now),
+            Fabric::Fluid(n) => n.advance(now),
+        }
+    }
+
+    /// Total payload bytes delivered so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        match self {
+            Fabric::Fifo(n) => n.bytes_delivered(),
+            Fabric::Fluid(n) => n.bytes_delivered(),
+        }
+    }
+
+    /// Transfers currently occupying wires.
+    pub fn in_flight(&self) -> usize {
+        match self {
+            Fabric::Fifo(n) => n.in_flight(),
+            Fabric::Fluid(n) => n.in_flight(),
+        }
+    }
+
+    /// Peak port utilisation over `makespan`: the busiest single NIC
+    /// direction's busy fraction (FIFO fabric; the fluid fabric does not
+    /// track occupancy). Identifies the bottleneck resource of a run.
+    pub fn peak_port_utilisation(&self, makespan: bs_sim::SimTime) -> f64 {
+        let Fabric::Fifo(n) = self else { return 0.0 };
+        if makespan.as_nanos() == 0 {
+            return 0.0;
+        }
+        let m = makespan.as_secs_f64();
+        n.uplink_busy()
+            .iter()
+            .chain(n.downlink_busy())
+            .map(|b| b.as_secs_f64() / m)
+            .fold(0.0, f64::max)
+    }
+
+    /// Enables wire-occupancy span recording (FIFO fabric only; the fluid
+    /// fabric's overlapping flows have no exclusive occupancy to record).
+    pub fn enable_trace(&mut self) {
+        if let Fabric::Fifo(n) = self {
+            n.enable_trace();
+        }
+    }
+
+    /// Drains recorded spans; empty for the fluid fabric.
+    pub fn take_trace(&mut self) -> Vec<crate::network::WireSpan> {
+        match self {
+            Fabric::Fifo(n) => n.take_trace(),
+            Fabric::Fluid(_) => Vec::new(),
+        }
+    }
+
+    /// Debug helper; see [`Network::debug_stalled`].
+    pub fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
+        match self {
+            Fabric::Fifo(n) => n.debug_stalled(),
+            Fabric::Fluid(_) => Vec::new(),
+        }
+    }
+
+    /// Transfers submitted but not yet on the wire.
+    pub fn queued(&self) -> usize {
+        match self {
+            Fabric::Fifo(n) => n.queued(),
+            // Fluid flows start immediately; nothing ever queues.
+            Fabric::Fluid(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    /// Both disciplines move the same bytes; the fluid one finishes an
+    /// incast no later than FIFO (work conservation), and both report the
+    /// identical unloaded single-transfer time.
+    #[test]
+    fn disciplines_agree_on_unloaded_transfers_and_totals() {
+        for model in [FabricModel::SerialFifo, FabricModel::FairShare] {
+            let cfg = NetConfig::gbps(8.0, Transport::ideal());
+            let mut f = Fabric::new(model, 3, cfg);
+            f.submit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 1);
+            let mut last = SimTime::ZERO;
+            loop {
+                let t = f.next_event_time();
+                if t.is_never() {
+                    break;
+                }
+                for e in f.advance(t) {
+                    if let NetEvent::Delivered(c) = e {
+                        last = c.finished_at;
+                    }
+                }
+            }
+            assert_eq!(last, SimTime::from_millis(1), "{model:?}");
+            assert_eq!(f.bytes_delivered(), 1_000_000);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! An alternative fabric model: max-min fair fluid sharing.
+//!
+//! The default [`crate::Network`] serves each NIC direction strictly FIFO,
+//! one message at a time — the paper's §2.2 abstraction of the
+//! communication stack, and the right model for reasoning about
+//! preemption. Real transports, however, multiplex flows: a worker
+//! pushing to four shards runs four connections that share its uplink
+//! fairly. This module provides that alternative: every submitted
+//! transfer becomes a *flow*, flow rates are the max-min fair allocation
+//! under per-port capacities (computed by progressive filling), and rates
+//! are recomputed whenever a flow starts or finishes.
+//!
+//! Per-message costs carry over: the wire-overhead component of θ is
+//! charged as extra flow volume (`θ · B` bytes), and the latency
+//! component delays delivery after the flow drains, exactly as in the
+//! FIFO fabric — so schedulers see the same interface and the same knob
+//! semantics, only the sharing discipline differs. The fabric-sensitivity
+//! ablation (`tests/fabrics.rs`) compares the two.
+
+use std::collections::VecDeque;
+
+use bs_sim::SimTime;
+
+use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId};
+use crate::transport::NetConfig;
+
+#[derive(Clone, Debug)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    /// Payload bytes (reported on completion).
+    bytes: u64,
+    tag: u64,
+    /// Remaining flow volume (payload + overhead equivalent), fractional
+    /// to avoid drift across many rate changes.
+    remaining: f64,
+    /// Current max-min fair rate, bytes/sec.
+    rate: f64,
+}
+
+/// A max-min fair fluid fabric with the same event interface as
+/// [`crate::Network`].
+#[derive(Clone, Debug)]
+pub struct FluidNetwork {
+    cfg: NetConfig,
+    num_nodes: usize,
+    /// Active flows by id.
+    flows: Vec<Option<Flow>>,
+    active: Vec<TransferId>,
+    /// Deliveries pending after their flow drained: (time, completed).
+    deliveries: VecDeque<(SimTime, CompletedTransfer)>,
+    /// Last instant `remaining` values were integrated to.
+    last_update: SimTime,
+    bytes_delivered: u64,
+}
+
+impl FluidNetwork {
+    /// Creates a fabric of `num_nodes` duplex NICs.
+    pub fn new(num_nodes: usize, cfg: NetConfig) -> Self {
+        assert!(num_nodes >= 2, "a network needs at least two nodes");
+        FluidNetwork {
+            cfg,
+            num_nodes,
+            flows: Vec::new(),
+            active: Vec::new(),
+            deliveries: VecDeque::new(),
+            last_update: SimTime::ZERO,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Total payload bytes delivered so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Number of flows currently transmitting.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when no flow is active and no delivery is pending.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.deliveries.is_empty()
+    }
+
+    /// Submits a transfer; it starts transmitting immediately at its fair
+    /// share.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        assert!(src.0 < self.num_nodes, "src {src:?} out of range");
+        assert!(dst.0 < self.num_nodes, "dst {dst:?} out of range");
+        assert_ne!(src, dst, "loopback transfers are not modelled");
+        self.integrate_to(now);
+        let overhead_bytes =
+            self.cfg.transport.wire_overhead.as_secs_f64() * self.cfg.bytes_per_sec();
+        let id = TransferId(self.flows.len() as u64);
+        self.flows.push(Some(Flow {
+            src,
+            dst,
+            bytes,
+            tag,
+            remaining: bytes as f64 + overhead_bytes,
+            rate: 0.0,
+        }));
+        self.active.push(id);
+        self.reallocate();
+        id
+    }
+
+    /// Earliest instant anything changes: the next flow drain or pending
+    /// delivery.
+    pub fn next_event_time(&self) -> SimTime {
+        let mut t = self
+            .deliveries
+            .front()
+            .map(|(d, _)| *d)
+            .unwrap_or(SimTime::MAX);
+        for id in &self.active {
+            let f = self.flows[id.0 as usize].as_ref().expect("active flow");
+            if f.rate > 0.0 {
+                // Round the drain ETA *up* to at least 1 ns past the last
+                // integration point: a sub-nanosecond residue must not
+                // produce a zero-length step (the event loop would spin
+                // at the same instant forever).
+                let dur = SimTime::from_secs_f64((f.remaining / f.rate).max(0.0))
+                    .max(SimTime::from_nanos(1));
+                t = t.min(self.last_update + dur);
+            }
+        }
+        t
+    }
+
+    /// Advances to `now`, draining flows and reporting releases and
+    /// deliveries in time order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
+        let mut out = Vec::new();
+        loop {
+            let next = self.next_event_time();
+            if next > now || next.is_never() {
+                break;
+            }
+            // Deliveries strictly before the next drain fire first.
+            if let Some(&(dt, _)) = self.deliveries.front() {
+                if dt <= next {
+                    let (dt, c) = self.deliveries.pop_front().expect("front exists");
+                    debug_assert_eq!(dt, c.finished_at);
+                    self.bytes_delivered += c.bytes;
+                    out.push(NetEvent::Delivered(c));
+                    continue;
+                }
+            }
+            // Drain flows to `next` and complete the ones that hit zero.
+            self.integrate_to(next);
+            let latency = self.cfg.transport.latency;
+            let mut finished: Vec<TransferId> = Vec::new();
+            self.active.retain(|id| {
+                let f = self.flows[id.0 as usize].as_ref().expect("active");
+                // Sub-byte residue counts as drained (float slop from many
+                // rate changes; half a byte is far below any payload).
+                if f.remaining <= 0.5 {
+                    finished.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+            for id in finished {
+                let f = self.flows[id.0 as usize].take().expect("finishing flow");
+                let done = CompletedTransfer {
+                    id,
+                    src: f.src,
+                    dst: f.dst,
+                    bytes: f.bytes,
+                    tag: f.tag,
+                    finished_at: next,
+                };
+                out.push(NetEvent::Released(done));
+                let mut delivered = done;
+                delivered.finished_at = next + latency;
+                // Keep deliveries time-ordered (latency is constant, so
+                // completion order == delivery order).
+                self.deliveries.push_back((next + latency, delivered));
+            }
+            self.reallocate();
+        }
+        self.integrate_to(now);
+        out
+    }
+
+    /// Integrates `remaining -= rate · dt` for all active flows.
+    fn integrate_to(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        for id in &self.active {
+            let f = self.flows[id.0 as usize].as_mut().expect("active");
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        self.last_update = now;
+    }
+
+    /// Progressive filling: repeatedly find the most-contended port,
+    /// freeze its flows at the equal share, remove the port, repeat.
+    fn reallocate(&mut self) {
+        let cap = self.cfg.bytes_per_sec();
+        // Port index: up ports are 0..n, down ports n..2n.
+        let up = |node: NodeId| node.0;
+        let down = |node: NodeId| self.num_nodes + node.0;
+        let mut port_cap = vec![cap; 2 * self.num_nodes];
+        let mut port_flows: Vec<Vec<TransferId>> = vec![Vec::new(); 2 * self.num_nodes];
+        let mut unfrozen: Vec<TransferId> = self.active.clone();
+        for id in &self.active {
+            let f = self.flows[id.0 as usize].as_ref().expect("active");
+            port_flows[up(f.src)].push(*id);
+            port_flows[down(f.dst)].push(*id);
+        }
+        let mut frozen = vec![false; self.flows.len()];
+        while !unfrozen.is_empty() {
+            // Bottleneck port: smallest fair share among ports that still
+            // carry unfrozen flows.
+            let mut best: Option<(f64, usize)> = None;
+            for (p, flows) in port_flows.iter().enumerate() {
+                let live = flows.iter().filter(|id| !frozen[id.0 as usize]).count();
+                if live == 0 {
+                    continue;
+                }
+                let share = port_cap[p] / live as f64;
+                if best.map(|(s, _)| share < s).unwrap_or(true) {
+                    best = Some((share, p));
+                }
+            }
+            let Some((share, port)) = best else { break };
+            // Freeze that port's unfrozen flows at the share, charging
+            // the other port they traverse.
+            let ids: Vec<TransferId> = port_flows[port]
+                .iter()
+                .filter(|id| !frozen[id.0 as usize])
+                .copied()
+                .collect();
+            for id in ids {
+                frozen[id.0 as usize] = true;
+                let f = self.flows[id.0 as usize].as_mut().expect("active");
+                f.rate = share;
+                let (a, b) = (up(f.src), down(f.dst));
+                let other = if a == port { b } else { a };
+                port_cap[other] = (port_cap[other] - share).max(0.0);
+            }
+            port_cap[port] = 0.0;
+            unfrozen.retain(|id| !frozen[id.0 as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    /// 8 Gbps ideal transport: 1e9 B/s, zero overheads.
+    fn net(n: usize) -> FluidNetwork {
+        FluidNetwork::new(n, NetConfig::gbps(8.0, Transport::ideal()))
+    }
+
+    fn mb(x: u64) -> u64 {
+        x * 1_000_000
+    }
+
+    fn drain(n: &mut FluidNetwork) -> Vec<(u64, SimTime)> {
+        let mut out = Vec::new();
+        loop {
+            let t = n.next_event_time();
+            if t.is_never() {
+                break;
+            }
+            out.extend(n.advance(t).into_iter().filter_map(|e| match e {
+                NetEvent::Delivered(c) => Some((c.tag, c.finished_at)),
+                NetEvent::Released(_) => None,
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_gets_the_full_rate() {
+        let mut n = net(2);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(1, SimTime::from_millis(1))]);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn two_flows_share_a_common_uplink_fairly() {
+        let mut n = net(3);
+        // Same source, different destinations: uplink is the bottleneck.
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(1), 2);
+        let done = drain(&mut n);
+        // Each at 0.5e9 B/s: both finish at 2 ms (no FIFO serialisation).
+        assert_eq!(done.len(), 2);
+        for (_, t) in done {
+            assert_eq!(t, SimTime::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn departures_speed_up_survivors() {
+        let mut n = net(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(3), 2);
+        let done = drain(&mut n);
+        // Both run at 0.5 GB/s; flow 1 drains at 2 ms; flow 2 then gets
+        // the full rate for its remaining 2 MB: 2 + 2 = 4 ms.
+        assert_eq!(done[0], (1, SimTime::from_millis(2)));
+        assert_eq!(done[1], (2, SimTime::from_millis(4)));
+    }
+
+    #[test]
+    fn incast_shares_the_downlink() {
+        let mut n = net(5);
+        for w in 0..4usize {
+            n.submit(SimTime::ZERO, NodeId(w), NodeId(4), mb(1), w as u64);
+        }
+        let done = drain(&mut n);
+        // Four flows at 0.25 GB/s each: all finish at 4 ms — same
+        // aggregate as FIFO, but simultaneous.
+        assert_eq!(done.len(), 4);
+        for (_, t) in &done {
+            assert_eq!(*t, SimTime::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn max_min_gives_unbottlenecked_flows_the_leftovers() {
+        let mut n = net(4);
+        // Flows A (0→2) and B (1→2) share node 2's downlink; flow C (1→3)
+        // shares node 1's uplink with B. Max-min: A = B = 0.5 at the
+        // downlink; C gets node 1's remaining 0.5.
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(2), 10);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(2), mb(2), 11);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(3), mb(2), 12);
+        // All three at 0.5 GB/s -> all complete at 4 ms.
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 3);
+        for (_, t) in &done {
+            assert_eq!(*t, SimTime::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn wire_overhead_charges_extra_volume_and_latency_delays_delivery() {
+        let cfg = NetConfig::gbps(
+            8.0,
+            Transport::custom(
+                "t",
+                SimTime::from_micros(100),
+                SimTime::from_micros(400),
+                1.0,
+            ),
+        );
+        let mut n = FluidNetwork::new(2, cfg);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        // Volume = 1 MB + 100 µs · 1e9 B/s = 1.1 MB -> drains at 1.1 ms;
+        // delivery 400 µs later.
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(1, SimTime::from_micros(1_500))]);
+    }
+
+    #[test]
+    fn staggered_arrival_reallocates_mid_flight() {
+        let mut n = net(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(2), 1);
+        // After 1 ms (1 MB sent), a competitor arrives on the uplink.
+        n.advance(SimTime::from_millis(1));
+        n.submit(SimTime::from_millis(1), NodeId(0), NodeId(2), mb(1), 2);
+        let done = drain(&mut n);
+        // Both now at 0.5 GB/s with 1 MB remaining each: finish at 3 ms.
+        assert_eq!(done[0].1, SimTime::from_millis(3));
+        assert_eq!(done[1].1, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn conserves_bytes() {
+        let mut n = net(4);
+        for s in 0..3usize {
+            for d in 0..4usize {
+                if s != d {
+                    n.submit(SimTime::ZERO, NodeId(s), NodeId(d), mb(1), 0);
+                }
+            }
+        }
+        drain(&mut n);
+        assert_eq!(n.bytes_delivered(), mb(9));
+        assert!(n.is_idle());
+    }
+}

@@ -1,0 +1,151 @@
+//! Measurement output of one run.
+
+use bs_sim::{OnlineStats, SimTime, Trace};
+use serde::Serialize;
+
+/// The measured outcome of one simulated training run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Steady-state iteration period in seconds (mean over the measured
+    /// window, excluding warm-up).
+    pub iteration_period: f64,
+    /// Training speed in samples/sec (images/sec or tokens/sec) across the
+    /// whole job — the y-axis of the paper's figures.
+    pub speed: f64,
+    /// Unit label for `speed`.
+    pub speed_unit: &'static str,
+    /// Scheduler label ("Baseline", "P3", "ByteScheduler", …).
+    pub scheduler: &'static str,
+    /// Per-iteration wall times (seconds) of the measured window.
+    pub iter_times: Vec<f64>,
+    /// Std-dev of the measured iteration times.
+    pub iter_time_std: f64,
+    /// Total payload bytes that crossed point-to-point wires.
+    pub p2p_bytes: u64,
+    /// Total payload bytes reduced by collectives.
+    pub collective_bytes: u64,
+    /// Virtual time at which the run ended.
+    pub finished_at: SimTime,
+    /// Execution trace (when `WorldConfig::record_trace` was set).
+    pub trace: Option<Trace>,
+    /// Busiest NIC direction's busy fraction over the run (PS / FIFO
+    /// fabric only; 0 otherwise). ~1.0 means a wire was the bottleneck.
+    pub peak_port_utilisation: f64,
+}
+
+impl RunResult {
+    /// Builds the result from the raw compute-iteration timestamps of the
+    /// measurement worker.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_iteration_marks(
+        marks: &[SimTime],
+        warmup: usize,
+        global_batch: u64,
+        speed_unit: &'static str,
+        scheduler: &'static str,
+        p2p_bytes: u64,
+        collective_bytes: u64,
+        finished_at: SimTime,
+    ) -> RunResult {
+        assert!(
+            marks.len() > warmup + 1,
+            "need at least two measured iterations (got {} marks, warmup {warmup})",
+            marks.len()
+        );
+        let mut stats = OnlineStats::new();
+        let mut iter_times = Vec::with_capacity(marks.len() - warmup - 1);
+        for w in warmup..marks.len() - 1 {
+            let dt = (marks[w + 1] - marks[w]).as_secs_f64();
+            iter_times.push(dt);
+            stats.push(dt);
+        }
+        let iteration_period = stats.mean();
+        RunResult {
+            iteration_period,
+            speed: global_batch as f64 / iteration_period,
+            speed_unit,
+            scheduler,
+            iter_times,
+            iter_time_std: stats.std_dev(),
+            p2p_bytes,
+            collective_bytes,
+            finished_at,
+            trace: None,
+            peak_port_utilisation: 0.0,
+        }
+    }
+
+    /// Speed-up of this run over `baseline`, as the paper reports it
+    /// (e.g. +0.85 ⇒ "85 % faster").
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        self.speed / baseline.speed - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marks(ms: &[u64]) -> Vec<SimTime> {
+        ms.iter().map(|&m| SimTime::from_millis(m)).collect()
+    }
+
+    #[test]
+    fn period_averages_post_warmup_intervals() {
+        // Iterations at 0, 100, 220, 320, 420 ms; warmup 1 discards the
+        // first interval: periods 120, 100, 100 -> mean 106.67 ms.
+        let r = RunResult::from_iteration_marks(
+            &marks(&[0, 100, 220, 320, 420]),
+            1,
+            1000,
+            "images/sec",
+            "Baseline",
+            0,
+            0,
+            SimTime::from_millis(420),
+        );
+        assert!((r.iteration_period - 0.10666667).abs() < 1e-6);
+        assert_eq!(r.iter_times.len(), 3);
+        assert!((r.speed - 1000.0 / 0.10666667).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_is_relative_speed_gain() {
+        let base = RunResult::from_iteration_marks(
+            &marks(&[0, 200, 400]),
+            0,
+            100,
+            "images/sec",
+            "Baseline",
+            0,
+            0,
+            SimTime::ZERO,
+        );
+        let fast = RunResult::from_iteration_marks(
+            &marks(&[0, 100, 200]),
+            0,
+            100,
+            "images/sec",
+            "ByteScheduler",
+            0,
+            0,
+            SimTime::ZERO,
+        );
+        assert!((fast.speedup_over(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two measured iterations")]
+    fn too_few_marks_rejected() {
+        RunResult::from_iteration_marks(
+            &marks(&[0, 100]),
+            1,
+            1,
+            "images/sec",
+            "Baseline",
+            0,
+            0,
+            SimTime::ZERO,
+        );
+    }
+}

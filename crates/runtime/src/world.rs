@@ -1,0 +1,1272 @@
+//! The co-simulation loop: engines × schedulers × comm backends.
+
+use bs_comm::{AllReduceConfig, ParamServer, PartitionKey, PsConfig, RingAllReduce, ShardAssign};
+use bs_core::{
+    partition_tensor, ByteScheduler, CommKind, CommTask, FifoScheduler, P3Scheduler, Scheduler,
+    WorkItem,
+};
+use bs_engine::{EngineEvent, ExternalRole, IterDag, WorkerEngine};
+use bs_net::{Fabric, NetEvent, NodeId};
+use bs_sim::{SimRng, SimTime};
+
+use crate::config::{Arch, SchedulerKind, WorldConfig};
+use crate::plugin::{ArPluginState, PsPluginState};
+use crate::result::RunResult;
+use crate::token::Token;
+use bs_engine::{NodeKind, Pass};
+use bs_sim::Trace;
+
+/// Internal event routed between subsystems during one timestamp.
+enum Ev {
+    Engine(usize, EngineEvent),
+    Net(NetEvent),
+    Ring(bs_comm::CompletedOp),
+}
+
+enum Backend {
+    Ps {
+        network: Fabric,
+        ps: ParamServer,
+    },
+    Ring {
+        ring: RingAllReduce,
+        /// Baseline fusion threshold (bytes); irrelevant for scheduled runs.
+        fusion_bytes: u64,
+        /// Baseline fusion-cycle launch delay; zero for scheduled runs.
+        cycle_delay: SimTime,
+    },
+}
+
+struct World {
+    num_workers: usize,
+    /// PS shard count (0 for all-reduce runs).
+    num_servers: usize,
+    iters: u64,
+    baseline_graph: bool,
+    /// Per-tensor partition byte sizes.
+    partitions: Vec<Vec<u64>>,
+    /// Per-tensor total bytes.
+    tensor_bytes: Vec<u64>,
+    /// Per-tensor scheduling priority.
+    priorities: Vec<u64>,
+    engines: Vec<WorkerEngine>,
+    /// PS: one per worker. All-reduce: a single master in slot 0 (§5).
+    scheds: Vec<Box<dyn Scheduler>>,
+    backend: Backend,
+    ps_plug: Option<PsPluginState>,
+    ar_plug: Option<ArPluginState>,
+    /// Co-tenant traffic configuration (PS only).
+    background: Option<crate::config::BackgroundLoad>,
+    /// Pending co-tenant re-submissions: (when, src, dst, tag).
+    bg_timers: std::collections::BTreeSet<(SimTime, usize, usize, u64)>,
+    /// Gap jitter for co-tenant bursts (real tenants are not
+    /// phase-locked; without jitter, deterministic bursts can starve a
+    /// connection forever on the FIFO fabric).
+    bg_rng: SimRng,
+    /// Worker 0's compute-iteration completion times.
+    marks: Vec<SimTime>,
+    /// Scheduled all-reduce: partitions released by the master scheduler,
+    /// awaiting fusion onto the ring (FIFO preserves the priority order
+    /// the scheduler chose).
+    ar_release_queue: std::collections::VecDeque<(u64, u64)>, // (token, bytes)
+    /// Scheduled all-reduce: in-flight fused ops by tag.
+    ar_sched_batches: std::collections::HashMap<u64, Vec<(u64, u64)>>,
+    ar_next_batch: u64,
+    now: SimTime,
+}
+
+/// Runs one configuration to completion and reports the measured speed.
+///
+/// Panics with a diagnostic if the configuration deadlocks — a scheduling
+/// policy that loses work or a dependency cycle is a bug, not a data point.
+pub fn run(cfg: &WorldConfig) -> RunResult {
+    let mut world = World::build(cfg);
+    world.run_loop();
+    world.into_result(cfg)
+}
+
+impl World {
+    fn build(cfg: &WorldConfig) -> World {
+        assert!(cfg.num_workers >= 1, "need at least one worker");
+        assert!(
+            cfg.warmup + 2 <= cfg.iters,
+            "need at least two measured iterations after warmup"
+        );
+        let n_layers = cfg.model.num_layers();
+
+        let engine_cfg = if cfg.scheduler.needs_scheduled_engine() {
+            cfg.engine.scheduled()
+        } else {
+            cfg.engine
+        };
+        let template = IterDag::build(n_layers, engine_cfg);
+
+        let partition_unit = match cfg.scheduler {
+            SchedulerKind::Baseline => None,
+            SchedulerKind::FifoPartitioned { partition } => Some(partition),
+            SchedulerKind::FifoCredit { partition, .. } => Some(partition),
+            SchedulerKind::P3 => Some(P3Scheduler::DEFAULT_PARTITION),
+            SchedulerKind::ByteScheduler { partition, .. } => Some(partition),
+        };
+
+        let tensor_bytes: Vec<u64> = cfg.model.layers.iter().map(|l| l.param_bytes).collect();
+        // MXNet-style big-array splitting: the vanilla PS baseline slices
+        // any tensor above 1 MB across the server shards (balanced
+        // placement), while keeping the *pull-after-whole-push* key-level
+        // dependency (§2.2). Scheduling policies use their own δ instead.
+        const BIGARRAY_BOUND: u64 = 1 << 20;
+        let baseline_split_servers = match (cfg.scheduler, cfg.arch) {
+            (
+                SchedulerKind::Baseline,
+                Arch::Ps {
+                    num_servers,
+                    baseline_bigarray_split: true,
+                    ..
+                },
+            ) => Some(num_servers as u64),
+            _ => None,
+        };
+        if cfg.per_tensor_partition.is_some() {
+            assert!(
+                matches!(cfg.scheduler, SchedulerKind::ByteScheduler { .. }),
+                "per-tensor partition sizes require the ByteScheduler policy"
+            );
+            assert_eq!(
+                cfg.per_tensor_partition.as_ref().map(Vec::len),
+                Some(n_layers),
+                "per-tensor partition override must cover every layer"
+            );
+        }
+        let partitions: Vec<Vec<u64>> = (0..n_layers)
+            .map(|i| {
+                let unit = if let Some(v) = &cfg.per_tensor_partition {
+                    Some(v[i].max(1))
+                } else if let Some(servers) = baseline_split_servers {
+                    let slices = servers.min(tensor_bytes[i].div_ceil(BIGARRAY_BOUND)).max(1);
+                    Some(tensor_bytes[i].div_ceil(slices).max(1))
+                } else {
+                    partition_unit
+                };
+                partition_tensor(
+                    &CommTask {
+                        tensor: i as u32,
+                        kind: CommKind::Push,
+                        bytes: tensor_bytes[i],
+                    },
+                    unit,
+                )
+                .iter()
+                .map(|s| s.bytes)
+                .collect()
+            })
+            .collect();
+
+        // FifoCredit isolates the credit knob: all priorities equal, so
+        // the ByteScheduler queue degenerates to arrival order.
+        let priorities: Vec<u64> = if let Some(p) = &cfg.priority_override {
+            assert_eq!(
+                p.len(),
+                n_layers,
+                "priority override must cover every layer"
+            );
+            p.clone()
+        } else if matches!(cfg.scheduler, SchedulerKind::FifoCredit { .. }) {
+            vec![0; n_layers]
+        } else {
+            (0..n_layers)
+                .map(|i| cfg.engine.kind.priority_of_layer(i, n_layers))
+                .collect()
+        };
+
+        let lanes = cfg.arch.num_lanes();
+        let num_scheds = match cfg.arch {
+            Arch::Ps { .. } => cfg.num_workers,
+            Arch::AllReduce { .. } => 1,
+        };
+        let scheds: Vec<Box<dyn Scheduler>> = (0..num_scheds)
+            .map(|_| -> Box<dyn Scheduler> {
+                match cfg.scheduler {
+                    SchedulerKind::Baseline => Box::new(FifoScheduler::new(lanes)),
+                    SchedulerKind::FifoPartitioned { partition } => {
+                        Box::new(FifoScheduler::with_partition(Some(partition), lanes))
+                    }
+                    SchedulerKind::P3 => Box::new(P3Scheduler::new(lanes)),
+                    SchedulerKind::ByteScheduler { partition, credit }
+                    | SchedulerKind::FifoCredit { partition, credit } => {
+                        Box::new(ByteScheduler::new(partition, credit, lanes))
+                    }
+                }
+            })
+            .collect();
+
+        let mut root_rng = SimRng::new(cfg.seed);
+        let engines: Vec<WorkerEngine> = (0..cfg.num_workers)
+            .map(|w| {
+                let jitter = if cfg.jitter > 0.0 {
+                    Some((root_rng.fork(w as u64), cfg.jitter))
+                } else {
+                    None
+                };
+                WorkerEngine::new(template.clone(), &cfg.model, cfg.iters, jitter)
+            })
+            .collect();
+
+        let (backend, ps_plug, ar_plug) = match cfg.arch {
+            Arch::Ps {
+                mode, num_servers, ..
+            } => {
+                let network = Fabric::new(cfg.fabric, cfg.num_workers + num_servers, cfg.net);
+                // Scheduling policies spread δ-sized keys round-robin
+                // (balanced); the unsplit baseline places whole tensors
+                // round-robin — the naive assignment whose imbalance §6.2
+                // calls out.
+                let assign = if partition_unit.is_some() || baseline_split_servers.is_some() {
+                    ShardAssign::PerPartition
+                } else {
+                    ShardAssign::PerTensor
+                };
+                let ps = ParamServer::new(PsConfig {
+                    num_workers: cfg.num_workers,
+                    num_servers,
+                    assign,
+                    mode,
+                });
+                (
+                    Backend::Ps { network, ps },
+                    Some(PsPluginState::new(cfg.num_workers, n_layers)),
+                    None,
+                )
+            }
+            Arch::AllReduce {
+                baseline_fusion_bytes,
+                baseline_cycle_delay_us,
+            } => {
+                assert!(cfg.num_workers >= 2, "a ring needs at least two workers");
+                let ring = RingAllReduce::new(AllReduceConfig::new(cfg.num_workers, cfg.net));
+                (
+                    Backend::Ring {
+                        ring,
+                        fusion_bytes: baseline_fusion_bytes.unwrap_or(0),
+                        cycle_delay: SimTime::from_micros(baseline_cycle_delay_us),
+                    },
+                    None,
+                    Some(ArPluginState::new(cfg.num_workers, n_layers)),
+                )
+            }
+        };
+
+        let num_servers = match cfg.arch {
+            Arch::Ps { num_servers, .. } => num_servers,
+            Arch::AllReduce { .. } => 0,
+        };
+        let mut engines = engines;
+        let mut backend = backend;
+        if cfg.record_trace {
+            for e in &mut engines {
+                e.enable_trace();
+            }
+            match &mut backend {
+                Backend::Ps { network, .. } => network.enable_trace(),
+                Backend::Ring { ring, .. } => ring.enable_trace(),
+            }
+        }
+        World {
+            num_workers: cfg.num_workers,
+            num_servers,
+            iters: cfg.iters,
+            baseline_graph: !cfg.scheduler.needs_scheduled_engine(),
+            partitions,
+            tensor_bytes,
+            priorities,
+            engines,
+            scheds,
+            backend,
+            ps_plug,
+            ar_plug,
+            background: cfg.background,
+            bg_timers: std::collections::BTreeSet::new(),
+            bg_rng: SimRng::new(cfg.seed ^ 0xB6_0000),
+            marks: Vec::new(),
+            ar_release_queue: std::collections::VecDeque::new(),
+            ar_sched_batches: std::collections::HashMap::new(),
+            ar_next_batch: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Tag bit marking a co-tenant (background) transfer; real subtask
+    /// tokens never set it (iterations stay far below 2^15).
+    const BG_TAG: u64 = 1 << 63;
+
+    /// Submits the co-tenant's initial bursts: one per worker NIC in each
+    /// direction, looped on delivery (see `handle_net`).
+    fn seed_background(&mut self) {
+        let Some(bg) = self.background else { return };
+        let Backend::Ps { network, ps } = &mut self.backend else {
+            assert!(
+                self.background.is_none(),
+                "background load is modelled for PS runs only"
+            );
+            return;
+        };
+        let _ = ps;
+        let num_servers = self.num_servers;
+        for w in 0..self.num_workers {
+            let server = NodeId(self.num_workers + (w % num_servers));
+            // Downlink contender (fights the worker's pulls)...
+            network.submit(
+                self.now,
+                server,
+                NodeId(w),
+                bg.burst_bytes,
+                Self::BG_TAG | (2 * w as u64),
+            );
+            // ...and an uplink contender (fights its pushes).
+            network.submit(
+                self.now,
+                NodeId(w),
+                server,
+                bg.burst_bytes,
+                Self::BG_TAG | (2 * w as u64 + 1),
+            );
+        }
+    }
+
+    fn run_loop(&mut self) {
+        self.seed_background();
+        let mut queue: Vec<Ev> = Vec::new();
+        let mut spins_at_same_instant: u64 = 0;
+        let mut last_now = SimTime::ZERO;
+        let debug_loop = std::env::var("BS_DEBUG_LOOP").is_ok();
+        loop {
+            if self.now == last_now {
+                spins_at_same_instant += 1;
+                assert!(
+                    spins_at_same_instant < 1_000_000,
+                    "event loop spinning at {} without progress",
+                    self.now
+                );
+            } else {
+                last_now = self.now;
+                spins_at_same_instant = 0;
+            }
+            if debug_loop {
+                self.debug_progress_line(spins_at_same_instant);
+            }
+            // Drain all cascades at the current instant.
+            while let Some(ev) = queue.pop() {
+                let more = self.handle(ev);
+                queue.extend(more);
+            }
+            if self
+                .engines
+                .iter()
+                .all(|e| e.done_iterations() == self.iters)
+            {
+                return;
+            }
+            // Find the next instant anything happens.
+            let mut t = SimTime::MAX;
+            for e in &self.engines {
+                t = t.min(e.next_event_time());
+            }
+            if let Some(&(bt, _, _, _)) = self.bg_timers.first() {
+                t = t.min(bt);
+            }
+            match &self.backend {
+                Backend::Ps { network, .. } => t = t.min(network.next_event_time()),
+                Backend::Ring { ring, .. } => t = t.min(ring.next_event_time()),
+            }
+            if t.is_never() {
+                panic!(
+                    "simulation stalled at {}: iterations done {:?}, queued work {:?}",
+                    self.now,
+                    self.engines
+                        .iter()
+                        .map(|e| e.done_iterations())
+                        .collect::<Vec<_>>(),
+                    self.scheds.iter().map(|s| s.queued()).collect::<Vec<_>>()
+                );
+            }
+            self.now = t;
+            // Fire due co-tenant bursts.
+            while let Some(&(bt, src, dst, tag)) = self.bg_timers.first() {
+                if bt > t {
+                    break;
+                }
+                self.bg_timers.pop_first();
+                if let Backend::Ps { network, .. } = &mut self.backend {
+                    network.submit(
+                        t,
+                        NodeId(src),
+                        NodeId(dst),
+                        self.background.expect("bg configured").burst_bytes,
+                        tag,
+                    );
+                }
+            }
+            for w in 0..self.engines.len() {
+                for ev in self.engines[w].advance(t) {
+                    queue.push(Ev::Engine(w, ev));
+                }
+            }
+            match &mut self.backend {
+                Backend::Ps { network, .. } => {
+                    for c in network.advance(t) {
+                        queue.push(Ev::Net(c));
+                    }
+                }
+                Backend::Ring { ring, .. } => {
+                    for c in ring.advance(t) {
+                        queue.push(Ev::Ring(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `BS_DEBUG_LOOP=1` diagnostics: a progress line every 100k loop
+    /// turns, with subsystem queue depths — the first tool to reach for
+    /// when a configuration seems wedged.
+    fn debug_progress_line(&self, spins: u64) {
+        static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let c = COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if !c.is_multiple_of(100_000) {
+            return;
+        }
+        let (nf, nq) = match &self.backend {
+            Backend::Ps { network, .. } => (network.in_flight(), network.queued()),
+            Backend::Ring { ring, .. } => (ring.outstanding(), 0),
+        };
+        eprintln!(
+            "loop {c}: now={} spins={spins} iters_done={:?} marks={} sched_q={:?}              net_flight={nf} net_q={nq} bg_timers={}",
+            self.now,
+            self.engines
+                .iter()
+                .map(|e| e.done_iterations())
+                .collect::<Vec<_>>(),
+            self.marks.len(),
+            self.scheds.iter().map(|s| s.queued()).collect::<Vec<_>>(),
+            self.bg_timers.len()
+        );
+        if let Backend::Ps { network, .. } = &self.backend {
+            for row in network.debug_stalled().iter().take(4) {
+                eprintln!("  stalled: {row:?}");
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) -> Vec<Ev> {
+        match ev {
+            Ev::Engine(w, event) => self.handle_engine(w, event),
+            Ev::Net(c) => self.handle_net(c),
+            Ev::Ring(c) => self.handle_ring(c),
+        }
+    }
+
+    fn handle_engine(&mut self, w: usize, event: EngineEvent) -> Vec<Ev> {
+        match event {
+            EngineEvent::ComputeIterDone { iter: _, at } => {
+                if w == 0 {
+                    self.marks.push(at);
+                }
+                Vec::new()
+            }
+            EngineEvent::AllDone { .. } => Vec::new(),
+            EngineEvent::ExternalReady { iter, role, .. } => match role {
+                ExternalRole::ProxyReady(i) | ExternalRole::Push(i)
+                    if matches!(self.backend, Backend::Ps { .. }) =>
+                {
+                    self.on_grad_ready_ps(w, i, iter);
+                    Vec::new()
+                }
+                ExternalRole::ProxyReady(i) | ExternalRole::AllReduce(i) => {
+                    self.on_grad_ready_ar(i, iter)
+                }
+                ExternalRole::Pull(_) | ExternalRole::ProxyFinish(_) => Vec::new(),
+                other => panic!("role {other:?} unexpected for this backend"),
+            },
+        }
+    }
+
+    /// Worker `w`'s gradient for tensor `i` is ready: submit its push
+    /// subtasks to the worker's scheduler.
+    fn on_grad_ready_ps(&mut self, w: usize, i: usize, iter: u64) {
+        let parts = self.partitions[i].len() as u32;
+        self.ps_plug
+            .as_mut()
+            .expect("PS plugin")
+            .on_grad_ready(w, i, iter, parts);
+        for (p, &bytes) in self.partitions[i].iter().enumerate() {
+            let token = Token {
+                iter,
+                worker: w,
+                kind: CommKind::Push,
+                tensor: i as u32,
+                part: p as u32,
+            }
+            .pack();
+            self.scheds[w].submit(
+                self.now,
+                WorkItem {
+                    lane: CommKind::Push.lane(),
+                    priority: self.priorities[i],
+                    bytes,
+                    token,
+                },
+            );
+        }
+        self.drain_sched(w);
+    }
+
+    /// A worker reported tensor `i` ready for all-reduce. When the last
+    /// worker reports, the master submits the collective (§5).
+    fn on_grad_ready_ar(&mut self, i: usize, iter: u64) -> Vec<Ev> {
+        let parts = if self.baseline_graph {
+            1
+        } else {
+            self.partitions[i].len() as u32
+        };
+        let all_ready = self
+            .ar_plug
+            .as_mut()
+            .expect("AR plugin")
+            .on_worker_ready(i, iter, parts);
+        if !all_ready {
+            return Vec::new();
+        }
+        if self.baseline_graph {
+            self.ar_plug
+                .as_mut()
+                .unwrap()
+                .queue_for_fusion(i as u32, iter, self.tensor_bytes[i]);
+            self.maybe_submit_fused();
+        } else {
+            for (p, &bytes) in self.partitions[i].iter().enumerate() {
+                let token = Token {
+                    iter,
+                    worker: 0,
+                    kind: CommKind::AllReduce,
+                    tensor: i as u32,
+                    part: p as u32,
+                }
+                .pack();
+                self.scheds[0].submit(
+                    self.now,
+                    WorkItem {
+                        lane: 0,
+                        priority: self.priorities[i],
+                        bytes,
+                        token,
+                    },
+                );
+            }
+            self.drain_sched(0);
+        }
+        Vec::new()
+    }
+
+    /// Hands everything the scheduler releases to the wire.
+    fn drain_sched(&mut self, s: usize) {
+        let items = self.scheds[s].poll(self.now);
+        let submitted_to_ring = !items.is_empty() && matches!(self.backend, Backend::Ring { .. });
+        for item in items {
+            match &mut self.backend {
+                Backend::Ps { network, ps } => {
+                    let tok = Token::unpack(item.token);
+                    let key = PartitionKey {
+                        tensor: tok.tensor,
+                        part: tok.part,
+                    };
+                    let shard = ps.shard_of(key);
+                    match tok.kind {
+                        CommKind::Push => {
+                            network.submit(
+                                self.now,
+                                NodeId(tok.worker),
+                                shard,
+                                item.bytes,
+                                item.token,
+                            );
+                        }
+                        CommKind::Pull => {
+                            network.submit(
+                                self.now,
+                                shard,
+                                NodeId(tok.worker),
+                                item.bytes,
+                                item.token,
+                            );
+                        }
+                        CommKind::AllReduce => unreachable!("all-reduce token on PS backend"),
+                    }
+                }
+                Backend::Ring { .. } => {
+                    // Released partitions pass through Horovod-style
+                    // fusion before reaching the ring (§5: ByteScheduler
+                    // wraps Horovod's DistributedOptimizer).
+                    self.ar_release_queue.push_back((item.token, item.bytes));
+                }
+            }
+        }
+        if submitted_to_ring {
+            self.maybe_submit_scheduled_fused();
+        }
+    }
+
+    /// Scheduled all-reduce: when the ring is idle, fuse the released
+    /// partitions at the head of the queue (up to the fusion threshold)
+    /// into one collective. Event-driven — no Horovod cycle delay, one of
+    /// ByteScheduler's implementation advantages.
+    fn maybe_submit_scheduled_fused(&mut self) {
+        let Backend::Ring {
+            ring, fusion_bytes, ..
+        } = &mut self.backend
+        else {
+            return;
+        };
+        if ring.outstanding() > 0 || self.ar_release_queue.is_empty() {
+            return;
+        }
+        let limit = (*fusion_bytes).max(1);
+        let mut members = Vec::new();
+        let mut total = 0u64;
+        while let Some(&(token, bytes)) = self.ar_release_queue.front() {
+            if !members.is_empty() && total + bytes > limit {
+                break;
+            }
+            self.ar_release_queue.pop_front();
+            members.push((token, bytes));
+            total += bytes;
+        }
+        let id = self.ar_next_batch;
+        self.ar_next_batch += 1;
+        self.ar_sched_batches.insert(id, members);
+        ring.submit(self.now, total, id);
+    }
+
+    /// Baseline all-reduce: launch the next fused collective if the ring
+    /// is idle (ring FIFO means pre-queueing buys nothing, and waiting
+    /// maximises fusion — Horovod's cycle behaviour).
+    fn maybe_submit_fused(&mut self) {
+        let Backend::Ring {
+            ring,
+            fusion_bytes,
+            cycle_delay,
+        } = &mut self.backend
+        else {
+            return;
+        };
+        if ring.outstanding() > 0 {
+            return;
+        }
+        if let Some((id, bytes)) = self
+            .ar_plug
+            .as_mut()
+            .expect("AR plugin")
+            .next_fused_batch(*fusion_bytes)
+        {
+            ring.submit_after(self.now, *cycle_delay, bytes, id);
+        }
+    }
+
+    /// Queues one pull partition on the worker's scheduler.
+    fn submit_pull(&mut self, worker: usize, tensor: usize, iter: u64, part: u32) {
+        let token = Token {
+            iter,
+            worker,
+            kind: CommKind::Pull,
+            tensor: tensor as u32,
+            part,
+        }
+        .pack();
+        let bytes = self.partitions[tensor][part as usize];
+        self.scheds[worker].submit(
+            self.now,
+            WorkItem {
+                lane: CommKind::Pull.lane(),
+                priority: self.priorities[tensor],
+                bytes,
+                token,
+            },
+        );
+    }
+
+    fn handle_net(&mut self, ev: NetEvent) -> Vec<Ev> {
+        // Co-tenant bursts loop forever: when one delivers, schedule the
+        // next after the configured gap. Releases are ignored.
+        if let NetEvent::Delivered(c) = ev {
+            if c.tag & Self::BG_TAG != 0 {
+                let bg = self.background.expect("bg transfer without config");
+                // Jittered gap: uniform in [0.5g, 1.5g] (plus up to 50 µs
+                // even at g = 0) so the co-tenant's cycle drifts relative
+                // to the job's — as real cross traffic does.
+                let g = bg.gap_us as f64;
+                let gap = self.bg_rng.uniform(0.5 * g, 1.5 * g + 50.0);
+                self.bg_timers.insert((
+                    self.now + SimTime::from_micros(gap as u64),
+                    c.src.0,
+                    c.dst.0,
+                    c.tag,
+                ));
+                return Vec::new();
+            }
+        }
+        if let NetEvent::Released(c) = ev {
+            if c.tag & Self::BG_TAG != 0 {
+                return Vec::new();
+            }
+        }
+        let c = match ev {
+            NetEvent::Released(c) => {
+                // Wire accepted the message: release-gated schedulers
+                // (P3's stop-and-wait) get their credit back now.
+                let tok = Token::unpack(c.tag);
+                if self.scheds[tok.worker].credit_on_release() {
+                    self.scheds[tok.worker].complete(self.now, tok.kind.lane(), c.bytes);
+                    self.drain_sched(tok.worker);
+                }
+                return Vec::new();
+            }
+            NetEvent::Delivered(c) => c,
+        };
+        let tok = Token::unpack(c.tag);
+        let (w, i) = (tok.worker, tok.tensor as usize);
+        let credit_on_delivery = !self.scheds[w].credit_on_release();
+        let mut out = Vec::new();
+        match tok.kind {
+            CommKind::Push => {
+                if credit_on_delivery {
+                    self.scheds[w].complete(self.now, CommKind::Push.lane(), c.bytes);
+                    self.drain_sched(w);
+                }
+                let all_pushed = self
+                    .ps_plug
+                    .as_mut()
+                    .expect("PS plugin")
+                    .on_push_part_done(w, i, tok.iter);
+                if all_pushed && self.baseline_graph {
+                    for ev in
+                        self.engines[w].complete_external(self.now, tok.iter, ExternalRole::Push(i))
+                    {
+                        out.push(Ev::Engine(w, ev));
+                    }
+                }
+                // Aggregation bookkeeping: which pulls became legal?
+                let Backend::Ps { ps, .. } = &mut self.backend else {
+                    unreachable!("push completion without PS backend")
+                };
+                let key = PartitionKey {
+                    tensor: tok.tensor,
+                    part: tok.part,
+                };
+                let grants = ps.on_push_complete(tok.iter, key, w);
+                for g in grants {
+                    if self.baseline_graph {
+                        // Key-level dependency: the worker pulls the
+                        // tensor only once every slice is aggregated.
+                        let all_granted = self
+                            .ps_plug
+                            .as_mut()
+                            .expect("PS plugin")
+                            .on_grant_part(g.worker, i, tok.iter);
+                        if all_granted {
+                            for p in 0..self.partitions[i].len() {
+                                self.submit_pull(g.worker, i, tok.iter, p as u32);
+                            }
+                            self.drain_sched(g.worker);
+                        }
+                    } else {
+                        // Partition-level dependency: partial pull after
+                        // partial push (Theorem 1 condition 3).
+                        self.submit_pull(g.worker, i, tok.iter, g.key.part);
+                        self.drain_sched(g.worker);
+                    }
+                }
+            }
+            CommKind::Pull => {
+                if credit_on_delivery {
+                    self.scheds[w].complete(self.now, CommKind::Pull.lane(), c.bytes);
+                    self.drain_sched(w);
+                }
+                let all_pulled = self
+                    .ps_plug
+                    .as_mut()
+                    .expect("PS plugin")
+                    .on_pull_part_done(w, i, tok.iter);
+                if all_pulled {
+                    let (iter, role) = if self.baseline_graph {
+                        (tok.iter, ExternalRole::Pull(i))
+                    } else {
+                        (tok.iter + 1, ExternalRole::ProxyFinish(i))
+                    };
+                    for ev in self.engines[w].complete_external(self.now, iter, role) {
+                        out.push(Ev::Engine(w, ev));
+                    }
+                }
+            }
+            CommKind::AllReduce => unreachable!("collective token on the p2p network"),
+        }
+        out
+    }
+
+    fn handle_ring(&mut self, c: bs_comm::CompletedOp) -> Vec<Ev> {
+        let mut out = Vec::new();
+        if self.baseline_graph {
+            let batch = self.ar_plug.as_mut().expect("AR plugin").take_batch(c.tag);
+            for (tensor, iter) in batch.tensors {
+                self.ar_plug
+                    .as_mut()
+                    .unwrap()
+                    .complete_whole_tensor(tensor as usize, iter);
+                for w in 0..self.num_workers {
+                    for ev in self.engines[w].complete_external(
+                        self.now,
+                        iter,
+                        ExternalRole::AllReduce(tensor as usize),
+                    ) {
+                        out.push(Ev::Engine(w, ev));
+                    }
+                }
+            }
+            self.maybe_submit_fused();
+        } else {
+            let members = self
+                .ar_sched_batches
+                .remove(&c.tag)
+                .expect("unknown scheduled batch");
+            for (token, bytes) in members {
+                let tok = Token::unpack(token);
+                self.scheds[0].complete(self.now, 0, bytes);
+                let done = self
+                    .ar_plug
+                    .as_mut()
+                    .expect("AR plugin")
+                    .on_part_done(tok.tensor as usize, tok.iter);
+                if done {
+                    for w in 0..self.num_workers {
+                        for ev in self.engines[w].complete_external(
+                            self.now,
+                            tok.iter + 1,
+                            ExternalRole::ProxyFinish(tok.tensor as usize),
+                        ) {
+                            out.push(Ev::Engine(w, ev));
+                        }
+                    }
+                }
+            }
+            self.drain_sched(0);
+            self.maybe_submit_scheduled_fused();
+        }
+        out
+    }
+
+    fn into_result(mut self, cfg: &WorldConfig) -> RunResult {
+        let trace = cfg.record_trace.then(|| self.assemble_trace());
+        let peak_util = match &self.backend {
+            Backend::Ps { network, .. } => network.peak_port_utilisation(self.now),
+            Backend::Ring { .. } => 0.0,
+        };
+        let (p2p, coll) = match &self.backend {
+            Backend::Ps { network, .. } => (network.bytes_delivered(), 0),
+            Backend::Ring { ring, .. } => (0, ring.bytes_reduced()),
+        };
+        let mut result = RunResult::from_iteration_marks(
+            &self.marks,
+            cfg.warmup as usize,
+            cfg.global_batch(),
+            cfg.model.sample_unit.label(),
+            cfg.scheduler.label(),
+            p2p,
+            coll,
+            self.now,
+        );
+        result.trace = trace;
+        result.peak_port_utilisation = peak_util;
+        result
+    }
+
+    /// Collects the recorded spans from every subsystem into one trace
+    /// with human-readable track and span names.
+    fn assemble_trace(&mut self) -> Trace {
+        let mut trace = Trace::new();
+        for (w, engine) in self.engines.iter_mut().enumerate() {
+            let dag = engine.dag().clone();
+            for (iter, node, start, end) in engine.take_trace() {
+                let name = match dag.nodes[node].kind {
+                    NodeKind::Compute { layer, pass } => match pass {
+                        Pass::Forward => format!("fwd{layer}@it{iter}"),
+                        Pass::Backward => format!("bwd{layer}@it{iter}"),
+                    },
+                    _ => continue,
+                };
+                trace.push(name, format!("worker{w}/gpu"), start, end);
+            }
+        }
+        match &mut self.backend {
+            Backend::Ps { network, .. } => {
+                for (tag, src, dst, start, end) in network.take_trace() {
+                    if tag & Self::BG_TAG != 0 {
+                        trace.push(
+                            "co-tenant burst",
+                            format!("node{src}->node{dst}/bg"),
+                            start,
+                            end,
+                        );
+                        continue;
+                    }
+                    let tok = Token::unpack(tag);
+                    let (name, track) = match tok.kind {
+                        CommKind::Push => (
+                            format!("push t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
+                            format!("worker{}/up", tok.worker),
+                        ),
+                        CommKind::Pull => (
+                            format!("pull t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
+                            format!("worker{}/down", tok.worker),
+                        ),
+                        CommKind::AllReduce => unreachable!("collective on p2p fabric"),
+                    };
+                    trace.push(name, track, start, end);
+                }
+            }
+            Backend::Ring { ring, .. } => {
+                for (tag, start, end) in ring.take_trace() {
+                    // Scheduled batches and baseline fused batches both
+                    // use opaque batch ids; name them generically.
+                    trace.push(format!("allreduce batch {tag}"), "ring", start, end);
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_engine::EngineConfig;
+    use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+    use bs_net::{NetConfig, Transport};
+
+    /// A small comm-heavy model: the first layer carries a big tensor
+    /// (VGG/Transformer-like inversion: big tensors near the input suffer
+    /// most under FIFO).
+    fn comm_heavy() -> DnnModel {
+        let gpu = GpuSpec::custom(1e12, 2.0);
+        ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+            .explicit(
+                "l0",
+                40_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .explicit(
+                "l1",
+                5_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .explicit(
+                "l2",
+                5_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .explicit(
+                "l3",
+                1_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .build()
+    }
+
+    fn net10g() -> NetConfig {
+        NetConfig::gbps(10.0, Transport::tcp())
+    }
+
+    fn cfg(
+        model: DnnModel,
+        workers: usize,
+        arch: Arch,
+        engine: EngineConfig,
+        sched: SchedulerKind,
+    ) -> WorldConfig {
+        let mut c = WorldConfig::new(model, workers, arch, net10g(), engine, sched);
+        c.iters = 10;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c
+    }
+
+    fn bs(partition: u64, credit: u64) -> SchedulerKind {
+        SchedulerKind::ByteScheduler { partition, credit }
+    }
+
+    #[test]
+    fn baseline_ps_runs_and_is_sublinear() {
+        let c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::Baseline,
+        );
+        let r = run(&c);
+        assert!(r.speed > 0.0);
+        assert!(
+            r.speed < c.linear_scaling_speed(),
+            "comm-heavy baseline cannot hit linear scaling"
+        );
+        assert!(r.p2p_bytes > 0);
+    }
+
+    #[test]
+    fn bytescheduler_beats_baseline_on_ps() {
+        let base = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::Baseline,
+        ));
+        let tuned = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(2_000_000, 8_000_000),
+        ));
+        assert!(
+            tuned.speed > base.speed,
+            "ByteScheduler {} must beat baseline {}",
+            tuned.speed,
+            base.speed
+        );
+    }
+
+    #[test]
+    fn barrier_engine_is_slower_than_per_layer_engine() {
+        let mxnet = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::Baseline,
+        ));
+        let tf = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::tensorflow_ps(),
+            SchedulerKind::Baseline,
+        ));
+        assert!(
+            tf.speed <= mxnet.speed + 1e-9,
+            "the global barrier cannot help: tf {} vs mxnet {}",
+            tf.speed,
+            mxnet.speed
+        );
+    }
+
+    #[test]
+    fn crossing_the_barrier_recovers_the_gap() {
+        // With ByteScheduler, the TF-style engine should perform like the
+        // MXNet-style engine: the barrier is crossed (§3.4).
+        let sched = bs(2_000_000, 8_000_000);
+        let mxnet = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            sched,
+        ));
+        let tf = run(&cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::tensorflow_ps(),
+            sched,
+        ));
+        let rel = (tf.speed - mxnet.speed).abs() / mxnet.speed;
+        assert!(
+            rel < 0.02,
+            "crossed-barrier TF must match MXNet: {} vs {}",
+            tf.speed,
+            mxnet.speed
+        );
+    }
+
+    #[test]
+    fn p3_lands_between_baseline_and_bytescheduler() {
+        let base = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::ps(4),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::Baseline,
+        ));
+        let p3 = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::ps(4),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::P3,
+        ));
+        let tuned = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::ps(4),
+            EngineConfig::mxnet_ps(),
+            bs(500_000, 1_000_000),
+        ));
+        assert!(
+            p3.speed > base.speed,
+            "P3 {} vs base {}",
+            p3.speed,
+            base.speed
+        );
+        assert!(
+            tuned.speed > p3.speed,
+            "ByteScheduler {} must beat P3 {} (stop-and-wait + tiny partitions)",
+            tuned.speed,
+            p3.speed
+        );
+    }
+
+    #[test]
+    fn allreduce_baseline_and_scheduled_both_run() {
+        let base = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::allreduce(),
+            EngineConfig::mxnet_allreduce(),
+            SchedulerKind::Baseline,
+        ));
+        let tuned = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::allreduce(),
+            EngineConfig::mxnet_allreduce(),
+            bs(8_000_000, 16_000_000),
+        ));
+        assert!(base.collective_bytes > 0);
+        assert!(
+            tuned.speed >= base.speed * 0.95,
+            "scheduled all-reduce must not regress much"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(2_000_000, 8_000_000),
+        );
+        c.jitter = 0.02;
+        c.seed = 42;
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.speed, b.speed);
+        c.seed = 43;
+        let d = run(&c);
+        assert_ne!(a.speed, d.speed);
+    }
+
+    #[test]
+    fn async_ps_runs() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(2_000_000, 8_000_000),
+        );
+        c.arch = Arch::Ps {
+            mode: bs_comm::PsMode::Asynchronous,
+            num_servers: 2,
+            baseline_bigarray_split: false,
+        };
+        let r = run(&c);
+        assert!(r.speed > 0.0);
+    }
+
+    #[test]
+    fn comm_bound_runs_show_a_saturated_port() {
+        // The comm-heavy toy at 10 Gbps: its bottleneck NIC should be
+        // busy most of the time; a compute-bound run at 100 Gbps should
+        // not be.
+        let r = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::ps(4),
+            EngineConfig::mxnet_ps(),
+            bs(1_000_000, 4_000_000),
+        ));
+        assert!(
+            r.peak_port_utilisation > 0.4,
+            "comm-bound peak utilisation {:.2}",
+            r.peak_port_utilisation
+        );
+        let mut light = cfg(
+            comm_heavy(),
+            4,
+            Arch::ps(4),
+            EngineConfig::mxnet_ps(),
+            bs(1_000_000, 4_000_000),
+        );
+        light.net = NetConfig::gbps(100.0, Transport::rdma());
+        let r2 = run(&light);
+        assert!(
+            r2.peak_port_utilisation < r.peak_port_utilisation,
+            "more bandwidth must lower utilisation: {:.2} vs {:.2}",
+            r2.peak_port_utilisation,
+            r.peak_port_utilisation
+        );
+    }
+
+    #[test]
+    fn recorded_trace_covers_compute_and_wire() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(1_000_000, 4_000_000),
+        );
+        c.record_trace = true;
+        let r = run(&c);
+        let trace = r.trace.expect("trace recorded");
+        assert!(!trace.is_empty());
+        let has = |prefix: &str| trace.spans.iter().any(|s| s.name.starts_with(prefix));
+        assert!(has("fwd0@"), "compute spans present");
+        assert!(has("bwd3@"), "backward spans present");
+        assert!(has("push t"), "push spans present");
+        assert!(has("pull t"), "pull spans present");
+        for s in &trace.spans {
+            assert!(s.end >= s.start);
+        }
+        // And the export parses as JSON.
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // Without the flag, no trace is attached.
+        c.record_trace = false;
+        assert!(run(&c).trace.is_none());
+    }
+
+    #[test]
+    fn pytorch_nccl_baseline_runs() {
+        let r = run(&cfg(
+            comm_heavy(),
+            4,
+            Arch::allreduce(),
+            EngineConfig::pytorch_allreduce(),
+            SchedulerKind::Baseline,
+        ));
+        assert!(r.speed > 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! A deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the calendar: fires `event` at `time`. `seq` provides the
+/// deterministic FIFO tie-break for events scheduled at the same instant.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A calendar queue of timestamped events with deterministic ordering.
+///
+/// Two properties matter for reproducibility and are guaranteed here:
+///
+/// 1. Events pop in non-decreasing time order; popping also advances the
+///    queue's notion of `now`.
+/// 2. Events scheduled for the same instant pop in the order they were
+///    scheduled (FIFO), independent of heap internals.
+///
+/// Scheduling an event in the past (before `now`) is a logic error in the
+/// caller and panics in debug builds; in release builds the event is clamped
+/// to `now` so a long experiment degrades rather than aborts.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled an event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Removes all pending events, leaving `now` unchanged.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), "c");
+        q.schedule(SimTime::from_micros(10), "a");
+        q.schedule(SimTime::from_micros(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 1);
+        q.pop();
+        q.schedule_after(SimTime::from_micros(5), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop_before(SimTime::from_micros(15)).unwrap().1, 1);
+        assert!(q.pop_before(SimTime::from_micros(15)).is_none());
+        assert_eq!(q.pop_before(SimTime::from_micros(25)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_micros(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn random_schedules_pop_in_nondecreasing_time_order() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::new(99);
+        let mut q = EventQueue::new();
+        for i in 0..5_000u64 {
+            q.schedule(SimTime::from_nanos(rng.below(1 << 30)), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "time went backwards: {t} after {last}");
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 10u64);
+        q.schedule(SimTime::from_micros(30), 30u64);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 10);
+        // Schedule something between the popped event and the remaining one.
+        q.schedule(SimTime::from_micros(20), 20u64);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}

@@ -1,0 +1,25 @@
+//! Auto-tuning of ByteScheduler's partition size δ and credit size c (§4.3).
+//!
+//! The training speed `D(δ, c)` is a black box: non-parametric, observable
+//! only through (noisy) profiling runs, expensive to sample (a PS run pays
+//! a checkpoint-restart per partition-size change, §5). The paper tunes it
+//! with Bayesian Optimization — a Gaussian-Process surrogate with the
+//! Expected Improvement acquisition (ξ = 0.1) — and compares against grid
+//! search, random search and SGD-with-momentum (§6.3, Figure 14).
+//!
+//! Everything here is built from scratch on a small dense-linear-algebra
+//! module ([`linalg`]): [`gp`] implements GP regression (RBF kernel,
+//! Cholesky solve, marginal-likelihood hyper-parameter selection), [`bo`]
+//! the EI acquisition loop, and [`tuners`] the unified [`tuners::Tuner`]
+//! interface plus the three comparison strategies. [`space`] maps the unit
+//! square to log-scaled (δ, c) ranges.
+
+pub mod bo;
+pub mod gp;
+pub mod linalg;
+pub mod space;
+pub mod tuners;
+
+pub use bo::BayesOpt;
+pub use space::SearchSpace;
+pub use tuners::{GridSearch, RandomSearch, SgdMomentum, Tuner};

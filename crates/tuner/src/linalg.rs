@@ -1,0 +1,213 @@
+//! Minimal dense linear algebra: exactly what GP regression needs.
+//!
+//! A Gaussian process over a handful of profiling samples needs only
+//! small symmetric positive-definite solves; a full linear-algebra crate
+//! would be massive overkill, so this module provides a compact Cholesky
+//! implementation with forward/backward substitution.
+
+/// A square matrix in row-major storage.
+#[derive(Clone, Debug)]
+pub struct Mat {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of size `n` × `n`.
+    pub fn zeros(n: usize) -> Mat {
+        Mat {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds from a closure over (row, col).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut m = Mat::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix. Returns `None` if the matrix is not (numerically) SPD —
+    /// callers add jitter to the diagonal and retry.
+    pub fn cholesky(&self) -> Option<Mat> {
+        let n = self.n;
+        let mut l = Mat::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `L·x = b` (forward substitution) for lower-triangular `L`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `Lᵀ·x = b` (backward substitution) for lower-triangular `L`.
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..self.n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A·x = b` given this matrix's Cholesky factor `L` (i.e.
+    /// `self` must be `L`): two triangular solves.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_lower_transpose(&y)
+    }
+
+    /// Log-determinant of `A` from its Cholesky factor `L` (`self`):
+    /// `2 Σ log L_ii`.
+    pub fn cholesky_log_det(&self) -> f64 {
+        (0..self.n).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        // A = B·Bᵀ + I for B random-ish: guaranteed SPD.
+        let mut a = Mat::zeros(3);
+        let b = [[2.0, 0.1, 0.4], [0.3, 1.5, 0.2], [0.7, 0.6, 1.1]];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for (k, _) in b.iter().enumerate() {
+                    s += b[i][k] * b[j][k];
+                }
+                a[(i, j)] = s;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = spd3();
+        let l = a.cholesky().expect("SPD");
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_inverts() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = l.cholesky_solve(&b);
+        // Check A·x == b.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..3 {
+                s += a[(i, j)] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = Mat::zeros(2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -1.0;
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn log_det_matches_direct_computation() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        // det via cofactor expansion for 3x3.
+        let d = |m: &Mat| {
+            m[(0, 0)] * (m[(1, 1)] * m[(2, 2)] - m[(1, 2)] * m[(2, 1)])
+                - m[(0, 1)] * (m[(1, 0)] * m[(2, 2)] - m[(1, 2)] * m[(2, 0)])
+                + m[(0, 2)] * (m[(1, 0)] * m[(2, 1)] - m[(1, 1)] * m[(2, 0)])
+        };
+        assert!((l.cholesky_log_det() - d(&a).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangular_solves_round_trip() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        let b = [3.0, 1.0, 2.0];
+        let y = l.solve_lower(&b);
+        // L·y must equal b.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for k in 0..=i {
+                s += l[(i, k)] * y[k];
+            }
+            assert!((s - b[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The (δ, c) search space.
+//!
+//! Partition and credit sizes span orders of magnitude (Table 1: PS wants
+//! single-digit MB, NCCL wants ~100 MB), so the tuners search the unit
+//! square and this module maps it log-uniformly onto byte ranges.
+
+use serde::Serialize;
+
+/// A log-scaled 2-D search space over (partition bytes, credit bytes).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SearchSpace {
+    /// Partition size δ bounds in bytes (inclusive).
+    pub partition: (u64, u64),
+    /// Credit size c bounds in bytes (inclusive).
+    pub credit: (u64, u64),
+}
+
+impl SearchSpace {
+    /// The space used for PS experiments: δ ∈ [64 KB, 64 MB],
+    /// c ∈ [64 KB, 256 MB].
+    pub fn ps() -> SearchSpace {
+        SearchSpace {
+            partition: (64 << 10, 64 << 20),
+            credit: (64 << 10, 256 << 20),
+        }
+    }
+
+    /// The space used for all-reduce experiments: both knobs reach into
+    /// the hundreds of MB (Table 1's NCCL optima are an order of
+    /// magnitude above the PS ones).
+    pub fn allreduce() -> SearchSpace {
+        SearchSpace {
+            partition: (1 << 20, 512 << 20),
+            credit: (1 << 20, 1 << 30),
+        }
+    }
+
+    /// Maps a unit-square point to (δ, c) bytes, log-uniformly. The
+    /// credit is clamped to at least the partition size — a window
+    /// smaller than one partition degenerates to stop-and-wait anyway,
+    /// and the paper's knobs respect c ≥ δ.
+    pub fn decode(&self, x: [f64; 2]) -> (u64, u64) {
+        let p = log_lerp(self.partition, x[0]);
+        let c = log_lerp(self.credit, x[1]).max(p);
+        (p, c)
+    }
+
+    /// Inverse of [`Self::decode`] (up to the credit clamp): maps (δ, c)
+    /// back into the unit square; used to seed tuners with known-good
+    /// points.
+    pub fn encode(&self, partition: u64, credit: u64) -> [f64; 2] {
+        [
+            log_unlerp(self.partition, partition),
+            log_unlerp(self.credit, credit),
+        ]
+    }
+}
+
+fn log_lerp((lo, hi): (u64, u64), t: f64) -> u64 {
+    assert!(lo > 0 && hi >= lo, "bad range");
+    let t = t.clamp(0.0, 1.0);
+    let v = (lo as f64).ln() + t * ((hi as f64).ln() - (lo as f64).ln());
+    v.exp().round().clamp(lo as f64, hi as f64) as u64
+}
+
+fn log_unlerp((lo, hi): (u64, u64), v: u64) -> f64 {
+    let v = (v.clamp(lo, hi)) as f64;
+    ((v.ln() - (lo as f64).ln()) / ((hi as f64).ln() - (lo as f64).ln())).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_hits_the_bounds() {
+        let s = SearchSpace::ps();
+        let (p0, _) = s.decode([0.0, 0.0]);
+        let (p1, c1) = s.decode([1.0, 1.0]);
+        assert_eq!(p0, 64 << 10);
+        assert_eq!(p1, 64 << 20);
+        assert_eq!(c1, 256 << 20);
+    }
+
+    #[test]
+    fn decode_is_log_uniform() {
+        let s = SearchSpace {
+            partition: (1_000, 1_000_000),
+            credit: (1_000, 1_000_000),
+        };
+        // Midpoint of a 3-decade log range is ~10^4.5.
+        let (p, _) = s.decode([0.5, 0.5]);
+        assert!((p as f64 / 31_623.0 - 1.0).abs() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn credit_is_clamped_to_partition() {
+        let s = SearchSpace::ps();
+        // Max partition, min credit: the clamp kicks in.
+        let (p, c) = s.decode([1.0, 0.0]);
+        assert_eq!(c, p);
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let s = SearchSpace::ps();
+        for raw in [[0.1, 0.7], [0.5, 0.5], [0.93, 0.2]] {
+            let (p, c) = s.decode(raw);
+            let x = s.encode(p, c);
+            let (p2, c2) = s.decode(x);
+            // Byte rounding allows tiny drift only.
+            assert!((p as f64 / p2 as f64 - 1.0).abs() < 1e-3);
+            assert!((c as f64 / c2 as f64 - 1.0).abs() < 1e-3);
+        }
+    }
+}

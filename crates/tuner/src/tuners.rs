@@ -1,0 +1,336 @@
+//! The unified tuner interface and the paper's comparison strategies.
+
+use bs_sim::SimRng;
+
+/// A sequential optimiser over the unit square, maximising a black-box
+/// objective. The driver loop is always:
+///
+/// ```text
+/// loop { x = suggest(); y = profile(decode(x)); observe(x, y); }
+/// ```
+pub trait Tuner {
+    /// Strategy name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// The next point to profile, in `[0,1]²`.
+    fn suggest(&mut self) -> [f64; 2];
+
+    /// Reports the observed objective value at `x`.
+    fn observe(&mut self, x: [f64; 2], y: f64);
+
+    /// Best observation so far.
+    fn best(&self) -> Option<([f64; 2], f64)>;
+}
+
+/// Shared best-tracking used by every strategy.
+#[derive(Debug, Default)]
+pub(crate) struct BestTracker {
+    best: Option<([f64; 2], f64)>,
+}
+
+impl BestTracker {
+    pub(crate) fn update(&mut self, x: [f64; 2], y: f64) {
+        if self.best.map(|(_, b)| y > b).unwrap_or(true) {
+            self.best = Some((x, y));
+        }
+    }
+
+    pub(crate) fn get(&self) -> Option<([f64; 2], f64)> {
+        self.best
+    }
+}
+
+/// Uniform random search (§6.3 comparison): every suggestion is an
+/// independent uniform sample.
+pub struct RandomSearch {
+    rng: SimRng,
+    tracker: BestTracker,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random search.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch {
+            rng: SimRng::new(seed),
+            tracker: BestTracker::default(),
+        }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn suggest(&mut self) -> [f64; 2] {
+        [self.rng.next_f64(), self.rng.next_f64()]
+    }
+
+    fn observe(&mut self, x: [f64; 2], y: f64) {
+        self.tracker.update(x, y);
+    }
+
+    fn best(&self) -> Option<([f64; 2], f64)> {
+        self.tracker.get()
+    }
+}
+
+/// Grid search (§6.3 comparison): a `k × k` lattice visited row-major;
+/// wraps around if asked for more points than the grid holds.
+pub struct GridSearch {
+    k: usize,
+    next: usize,
+    tracker: BestTracker,
+}
+
+impl GridSearch {
+    /// Creates a `k × k` grid search.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "a grid needs at least 2 points per axis");
+        GridSearch {
+            k,
+            next: 0,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// Grids are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Tuner for GridSearch {
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+
+    fn suggest(&mut self) -> [f64; 2] {
+        let idx = self.next % (self.k * self.k);
+        self.next += 1;
+        let (i, j) = (idx / self.k, idx % self.k);
+        let step = 1.0 / (self.k - 1) as f64;
+        [i as f64 * step, j as f64 * step]
+    }
+
+    fn observe(&mut self, x: [f64; 2], y: f64) {
+        self.tracker.update(x, y);
+    }
+
+    fn best(&self) -> Option<([f64; 2], f64)> {
+        self.tracker.get()
+    }
+}
+
+/// SGD with momentum (§6.3 comparison, following [30]): finite-difference
+/// gradient probes around the current point, a momentum step, and a random
+/// restart when progress stalls (the paper restarts it out of local
+/// optima). Probes count as trials — that, plus noisy derivatives, is why
+/// it costs more than BO (Figure 14).
+pub struct SgdMomentum {
+    rng: SimRng,
+    tracker: BestTracker,
+    /// Current iterate.
+    x: [f64; 2],
+    velocity: [f64; 2],
+    /// Finite-difference probe step.
+    probe: f64,
+    /// Learning rate.
+    lr: f64,
+    /// Momentum coefficient.
+    beta: f64,
+    /// Pending probe layout: values observed this round.
+    phase: SgdPhase,
+    base_y: f64,
+    grad: [f64; 2],
+    /// Consecutive steps without improvement, for restarts.
+    stall: u32,
+}
+
+enum SgdPhase {
+    /// Need the objective at the current iterate.
+    Base,
+    /// Need the +probe sample along axis 0.
+    Probe0,
+    /// Need the +probe sample along axis 1.
+    Probe1,
+}
+
+impl SgdMomentum {
+    /// Creates a seeded SGD-with-momentum tuner with the best
+    /// hyper-parameters from our own sweep (the paper likewise reports
+    /// its comparison "with the best parameters").
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let x = [rng.next_f64(), rng.next_f64()];
+        SgdMomentum {
+            rng,
+            tracker: BestTracker::default(),
+            x,
+            velocity: [0.0, 0.0],
+            probe: 0.08,
+            lr: 0.3,
+            beta: 0.7,
+            phase: SgdPhase::Base,
+            base_y: 0.0,
+            grad: [0.0, 0.0],
+            stall: 0,
+        }
+    }
+
+    fn clamp(x: &mut [f64; 2]) {
+        for v in x.iter_mut() {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+}
+
+impl Tuner for SgdMomentum {
+    fn name(&self) -> &'static str {
+        "SGD-momentum"
+    }
+
+    fn suggest(&mut self) -> [f64; 2] {
+        match self.phase {
+            SgdPhase::Base => self.x,
+            SgdPhase::Probe0 => {
+                let mut p = self.x;
+                p[0] = (p[0] + self.probe).min(1.0);
+                p
+            }
+            SgdPhase::Probe1 => {
+                let mut p = self.x;
+                p[1] = (p[1] + self.probe).min(1.0);
+                p
+            }
+        }
+    }
+
+    fn observe(&mut self, x: [f64; 2], y: f64) {
+        self.tracker.update(x, y);
+        match self.phase {
+            SgdPhase::Base => {
+                self.base_y = y;
+                self.phase = SgdPhase::Probe0;
+            }
+            SgdPhase::Probe0 => {
+                self.grad[0] = (y - self.base_y) / self.probe;
+                self.phase = SgdPhase::Probe1;
+            }
+            SgdPhase::Probe1 => {
+                self.grad[1] = (y - self.base_y) / self.probe;
+                // Momentum ascent step on the (noisy) gradient, with the
+                // gradient normalised so the step size is scale-free.
+                let norm = (self.grad[0].powi(2) + self.grad[1].powi(2)).sqrt();
+                let g = if norm > 1e-12 {
+                    [self.grad[0] / norm, self.grad[1] / norm]
+                } else {
+                    [0.0, 0.0]
+                };
+                let before = self.x;
+                for (d, &gd) in g.iter().enumerate() {
+                    self.velocity[d] = self.beta * self.velocity[d] + self.lr * self.probe * gd;
+                    self.x[d] += self.velocity[d];
+                }
+                Self::clamp(&mut self.x);
+                let moved = (self.x[0] - before[0]).abs() + (self.x[1] - before[1]).abs();
+                if moved < 1e-3 || norm < 1e-12 {
+                    self.stall += 1;
+                } else {
+                    self.stall = 0;
+                }
+                if self.stall >= 2 {
+                    // Random restart out of the (possibly local) optimum.
+                    self.x = [self.rng.next_f64(), self.rng.next_f64()];
+                    self.velocity = [0.0, 0.0];
+                    self.stall = 0;
+                }
+                self.phase = SgdPhase::Base;
+            }
+        }
+    }
+
+    fn best(&self) -> Option<([f64; 2], f64)> {
+        self.tracker.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth unimodal objective peaking at (0.3, 0.7).
+    fn bump(x: [f64; 2]) -> f64 {
+        let dx = x[0] - 0.3;
+        let dy = x[1] - 0.7;
+        (-8.0 * (dx * dx + dy * dy)).exp()
+    }
+
+    fn drive(t: &mut dyn Tuner, trials: usize) -> f64 {
+        for _ in 0..trials {
+            let x = t.suggest();
+            let y = bump(x);
+            t.observe(x, y);
+        }
+        t.best().expect("observed something").1
+    }
+
+    #[test]
+    fn grid_covers_the_square() {
+        let mut g = GridSearch::new(3);
+        let pts: Vec<[f64; 2]> = (0..9).map(|_| g.suggest()).collect();
+        assert!(pts.contains(&[0.0, 0.0]));
+        assert!(pts.contains(&[1.0, 1.0]));
+        assert!(pts.contains(&[0.5, 0.5]));
+        // Wraps after exhaustion.
+        assert_eq!(g.suggest(), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_strategies_find_a_decent_point_eventually() {
+        let best_random = drive(&mut RandomSearch::new(3), 60);
+        let best_grid = drive(&mut GridSearch::new(8), 64);
+        let best_sgd = drive(&mut SgdMomentum::new(3), 60);
+        assert!(best_random > 0.7, "random {best_random}");
+        assert!(best_grid > 0.8, "grid {best_grid}");
+        assert!(best_sgd > 0.7, "sgd {best_sgd}");
+    }
+
+    #[test]
+    fn sgd_improves_over_its_starting_point() {
+        let mut t = SgdMomentum::new(11);
+        let x0 = t.suggest();
+        let y0 = bump(x0);
+        let best = drive(&mut t, 45);
+        assert!(best >= y0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = RandomSearch::new(5);
+        let mut b = RandomSearch::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.suggest(), b.suggest());
+        }
+    }
+
+    #[test]
+    fn best_tracks_the_maximum() {
+        let mut g = GridSearch::new(2);
+        for _ in 0..4 {
+            let x = g.suggest();
+            g.observe(x, bump(x));
+        }
+        let (_, y) = g.best().unwrap();
+        let expect = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]
+            .iter()
+            .map(|&x| bump(x))
+            .fold(f64::MIN, f64::max);
+        assert_eq!(y, expect);
+    }
+}

@@ -1,0 +1,68 @@
+//! Crossing the global barrier (§3.4), demonstrated.
+//!
+//! ```text
+//! cargo run --release --example barrier_crossing
+//! ```
+//!
+//! TensorFlow and PyTorch put a global barrier between iterations
+//! (Figure 3): the next forward pass cannot start until *all* of the
+//! previous iteration's communication finished, so reordering transfers
+//! buys nothing. ByteScheduler replaces in-graph communication with async
+//! no-ops (the barrier passes immediately) and re-imposes *per-layer*
+//! dependencies from outside the engine (Figure 8). This example measures
+//! the same model and network under four combinations to isolate each
+//! mechanism's contribution.
+
+use bytescheduler::engine::EngineConfig;
+use bytescheduler::harness::Fidelity;
+use bytescheduler::models::zoo::vgg16;
+use bytescheduler::net::{NetConfig, Transport};
+use bytescheduler::runtime::{run, Arch, SchedulerKind, WorldConfig};
+
+fn measure(engine: EngineConfig, sched: SchedulerKind) -> f64 {
+    let mut cfg = WorldConfig::new(
+        vgg16(),
+        4,
+        Arch::ps(4),
+        NetConfig::gbps(25.0, Transport::tcp()),
+        engine,
+        sched,
+    );
+    Fidelity::quick().apply(&mut cfg);
+    run(&cfg).speed
+}
+
+fn main() {
+    let bs = SchedulerKind::ByteScheduler {
+        partition: 4 << 20,
+        credit: 16 << 20,
+    };
+    let rows = [
+        (
+            "MXNet-style engine (per-layer deps), vanilla",
+            measure(EngineConfig::mxnet_ps(), SchedulerKind::Baseline),
+        ),
+        (
+            "TF-style engine (global barrier), vanilla",
+            measure(EngineConfig::tensorflow_ps(), SchedulerKind::Baseline),
+        ),
+        (
+            "TF-style engine + ByteScheduler (barrier crossed)",
+            measure(EngineConfig::tensorflow_ps(), bs),
+        ),
+        (
+            "MXNet-style engine + ByteScheduler",
+            measure(EngineConfig::mxnet_ps(), bs),
+        ),
+    ];
+    println!("VGG16, 32 GPUs, PS over 25 Gbps TCP\n");
+    for (label, speed) in rows {
+        println!("{label:52} {speed:8.0} images/sec");
+    }
+    println!(
+        "\nThe two ByteScheduler rows should match: once the barrier is\n\
+         crossed and layer-wise out-of-engine dependencies are installed,\n\
+         the engine's own gating style no longer matters — the property\n\
+         that makes the scheduler generic."
+    );
+}

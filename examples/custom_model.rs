@@ -1,0 +1,68 @@
+//! Define your own model and see whether communication scheduling helps.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+//!
+//! The scheduler is generic over models: it only sees per-layer tensor
+//! sizes and compute times. This example builds a custom CNN with
+//! [`ModelBuilder`], checks its communication-to-computation ratio, and
+//! measures baseline vs ByteScheduler across *every* framework setup the
+//! paper evaluates — the generality claim, on your own architecture.
+
+use bytescheduler::harness::{Fidelity, Setup};
+use bytescheduler::models::{GpuSpec, ModelBuilder, SampleUnit};
+use bytescheduler::runtime::{run, SchedulerKind};
+
+fn main() {
+    // A deliberately communication-unfriendly CNN: a wide embedding-like
+    // layer right at the input (highest priority, yet FIFO sends it last).
+    let gpu = GpuSpec::custom(12e12, 2.0);
+    let model = ModelBuilder::new("MyNet", gpu, 64, SampleUnit::Images)
+        .fc("wide_in", 4096, 16384)
+        .conv2d("conv1", 3, 64, 128, 56, 56)
+        .conv2d("conv2", 3, 128, 256, 28, 28)
+        .conv2d("conv3", 3, 256, 256, 28, 28)
+        .fc("head", 4096, 1000)
+        .build();
+
+    println!(
+        "{}: {} layers, {:.0} MB of gradients, {:.1} ms compute/iter",
+        model.name,
+        model.num_layers(),
+        model.total_param_bytes() as f64 / 1e6,
+        model.compute_time().as_millis_f64()
+    );
+    let bw = 25e9 / 8.0;
+    println!(
+        "comm/compute ratio at 25 Gbps: {:.2} (>1 means communication-bound)\n",
+        model.comm_compute_ratio(bw)
+    );
+
+    let fid = Fidelity::quick();
+    println!(
+        "{:24} {:>10} {:>14} {:>8}",
+        "setup", "baseline", "bytescheduler", "gain"
+    );
+    for setup in Setup::all() {
+        let gpus = 32;
+        let mut base = setup.config(model.clone(), gpus, 25.0, SchedulerKind::Baseline);
+        fid.apply(&mut base);
+        let baseline = run(&base);
+
+        let outcome = bytescheduler::harness::tune(&base, setup.search_space(), fid.tune_trials, 5);
+        let mut bs = base.clone();
+        bs.scheduler = SchedulerKind::ByteScheduler {
+            partition: outcome.partition,
+            credit: outcome.credit,
+        };
+        let scheduled = run(&bs);
+        println!(
+            "{:24} {:>10.0} {:>14.0} {:>7.0}%",
+            setup.label(),
+            baseline.speed,
+            scheduled.speed,
+            100.0 * scheduled.speedup_over(&baseline)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproducibility guarantees: every experiment in this repository is a
+//! pure function of its configuration and seed.
+
+use bytescheduler::harness::{Fidelity, Setup};
+use bytescheduler::models::zoo;
+use bytescheduler::runtime::{run, SchedulerKind};
+
+fn speeds(setup: Setup, seed: u64, sched: SchedulerKind) -> (f64, Vec<f64>) {
+    let fid = Fidelity::quick();
+    let mut cfg = setup.config(zoo::resnet50(), 16, 25.0, sched);
+    fid.apply(&mut cfg);
+    cfg.seed = seed;
+    let r = run(&cfg);
+    (r.speed, r.iter_times)
+}
+
+#[test]
+fn identical_seeds_give_bitwise_identical_results() {
+    for setup in Setup::all() {
+        let sched = SchedulerKind::ByteScheduler {
+            partition: 4 << 20,
+            credit: 16 << 20,
+        };
+        let (s1, t1) = speeds(setup, 5, sched);
+        let (s2, t2) = speeds(setup, 5, sched);
+        assert_eq!(s1, s2, "{}", setup.label());
+        assert_eq!(t1, t2, "{}", setup.label());
+    }
+}
+
+#[test]
+fn different_seeds_jitter_the_measurement() {
+    let sched = SchedulerKind::Baseline;
+    let (s1, _) = speeds(Setup::MxnetPsRdma, 1, sched);
+    let (s2, _) = speeds(Setup::MxnetPsRdma, 2, sched);
+    assert_ne!(s1, s2, "jitter must depend on the seed");
+    // ... but only slightly: it is measurement noise, not chaos.
+    assert!((s1 - s2).abs() / s1 < 0.05);
+}
+
+#[test]
+fn zero_jitter_removes_all_randomness() {
+    let fid = Fidelity::quick();
+    let mut cfg = Setup::MxnetPsTcp.config(zoo::resnet50(), 16, 25.0, SchedulerKind::Baseline);
+    fid.apply(&mut cfg);
+    cfg.jitter = 0.0;
+    cfg.seed = 1;
+    let a = run(&cfg).speed;
+    cfg.seed = 999;
+    let b = run(&cfg).speed;
+    assert_eq!(a, b, "with jitter off, the seed must not matter");
+}

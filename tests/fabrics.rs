@@ -1,0 +1,104 @@
+//! Fabric sensitivity: the conclusions must not be artefacts of the
+//! serial-FIFO network abstraction. Re-run the key orderings on the
+//! max-min fair fluid fabric (how multiplexed transports actually share
+//! NICs) and check they hold there too.
+
+use bytescheduler::harness::{Fidelity, Setup};
+use bytescheduler::models::zoo;
+use bytescheduler::net::FabricModel;
+use bytescheduler::runtime::{run, RunResult, SchedulerKind};
+
+fn measure(fabric: FabricModel, sched: SchedulerKind) -> RunResult {
+    let mut cfg = Setup::MxnetPsRdma.config(zoo::vgg16(), 32, 100.0, sched);
+    Fidelity::quick().apply(&mut cfg);
+    cfg.fabric = fabric;
+    run(&cfg)
+}
+
+#[test]
+fn bytescheduler_beats_baseline_on_both_fabrics() {
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let base = measure(fabric, SchedulerKind::Baseline);
+        let bs = measure(
+            fabric,
+            SchedulerKind::ByteScheduler {
+                partition: 8 << 20,
+                credit: 32 << 20,
+            },
+        );
+        assert!(
+            bs.speed > base.speed * 1.2,
+            "{fabric:?}: BS {} vs baseline {}",
+            bs.speed,
+            base.speed
+        );
+    }
+}
+
+#[test]
+fn fluid_fabric_softens_but_does_not_remove_the_imbalance_penalty() {
+    // The §6.2 hot-shard problem is a *load* problem, not a queueing
+    // problem: fair sharing spreads the pain but the bottleneck NIC still
+    // carries n× the bytes. The naive baseline must stay well below
+    // linear on both fabrics.
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let base = measure(fabric, SchedulerKind::Baseline);
+        let mut cfg = Setup::MxnetPsRdma.config(zoo::vgg16(), 32, 100.0, SchedulerKind::Baseline);
+        Fidelity::quick().apply(&mut cfg);
+        let linear = cfg.linear_scaling_speed();
+        assert!(
+            base.speed < 0.75 * linear,
+            "{fabric:?}: naive baseline {} suspiciously close to linear {linear}",
+            base.speed
+        );
+    }
+}
+
+#[test]
+fn fabrics_agree_within_a_factor_on_scheduled_runs() {
+    // Well-scheduled communication (balanced, partitioned, windowed)
+    // should not depend much on the sharing discipline: partitions are
+    // small and every port is kept busy either way.
+    let fifo = measure(
+        FabricModel::SerialFifo,
+        SchedulerKind::ByteScheduler {
+            partition: 8 << 20,
+            credit: 32 << 20,
+        },
+    );
+    let fluid = measure(
+        FabricModel::FairShare,
+        SchedulerKind::ByteScheduler {
+            partition: 8 << 20,
+            credit: 32 << 20,
+        },
+    );
+    let ratio = fifo.speed / fluid.speed;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "scheduled runs diverge across fabrics: fifo {} vs fluid {}",
+        fifo.speed,
+        fluid.speed
+    );
+}
+
+#[test]
+fn byte_conservation_holds_on_the_fluid_fabric() {
+    let r = measure(
+        FabricModel::FairShare,
+        SchedulerKind::ByteScheduler {
+            partition: 8 << 20,
+            credit: 32 << 20,
+        },
+    );
+    let cfg = Setup::MxnetPsRdma.config(zoo::vgg16(), 32, 100.0, SchedulerKind::Baseline);
+    let per_iter = 2 * cfg.num_workers as u64 * zoo::vgg16().total_param_bytes();
+    let fid = Fidelity::quick();
+    assert!(
+        r.p2p_bytes >= (fid.iters - 1) * per_iter && r.p2p_bytes <= fid.iters * per_iter,
+        "delivered {} for {} iterations of {} bytes",
+        r.p2p_bytes,
+        fid.iters,
+        per_iter
+    );
+}

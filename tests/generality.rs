@@ -1,0 +1,194 @@
+//! The paper's headline claim, end-to-end: "ByteScheduler accelerates
+//! training with all experimented system configurations and DNN models."
+//!
+//! These tests run the complete stack — engine simulator, PS / ring
+//! backends, network, scheduler, auto-tuner — over the full setup × model
+//! grid at smoke fidelity and assert the orderings every figure depends
+//! on. (Exact magnitudes live in EXPERIMENTS.md at full fidelity.)
+
+use bytescheduler::harness::{tune, Fidelity, Setup};
+use bytescheduler::models::zoo;
+use bytescheduler::runtime::{run, RunResult, SchedulerKind};
+
+fn baseline_and_tuned(
+    setup: Setup,
+    model: bs_models::DnnModel,
+    gpus: u64,
+) -> (RunResult, RunResult) {
+    let fid = Fidelity::quick();
+    let mut base = setup.config(model, gpus, 100.0, SchedulerKind::Baseline);
+    fid.apply(&mut base);
+    let baseline = run(&base);
+    let outcome = tune(&base, setup.search_space(), fid.tune_trials, 11);
+    let mut bs = base.clone();
+    bs.scheduler = SchedulerKind::ByteScheduler {
+        partition: outcome.partition,
+        credit: outcome.credit,
+    };
+    (baseline, run(&bs))
+}
+
+/// ByteScheduler never loses to the baseline across the full grid. A 2 %
+/// tolerance absorbs profiling noise at smoke fidelity; the paper's
+/// actual claim is strictly positive gains.
+#[test]
+fn bytescheduler_accelerates_every_setup_and_model() {
+    for setup in Setup::all() {
+        for model in zoo::benchmark_models() {
+            let name = model.name.clone();
+            let (baseline, tuned) = baseline_and_tuned(setup, model, 16);
+            assert!(
+                tuned.speed >= baseline.speed * 0.98,
+                "{name} on {}: tuned {} vs baseline {}",
+                setup.label(),
+                tuned.speed,
+                baseline.speed
+            );
+        }
+    }
+}
+
+/// Nothing may exceed linear scaling (modulo measurement noise): the
+/// sanity ceiling every panel of Figures 10–12 shares.
+#[test]
+fn nothing_beats_linear_scaling() {
+    for setup in [Setup::MxnetPsRdma, Setup::MxnetNcclRdma] {
+        let model = zoo::vgg16();
+        let fid = Fidelity::quick();
+        let mut base = setup.config(model, 16, 100.0, SchedulerKind::Baseline);
+        fid.apply(&mut base);
+        let linear = base.linear_scaling_speed();
+        let (baseline, tuned) = baseline_and_tuned(setup, zoo::vgg16(), 16);
+        for r in [&baseline, &tuned] {
+            assert!(
+                r.speed <= linear * 1.03,
+                "{} {} exceeds linear {linear}",
+                r.scheduler,
+                r.speed
+            );
+        }
+    }
+}
+
+/// §6.2's architecture ordering: PS gains exceed all-reduce gains for the
+/// same communication-bound model, because PS benefits additionally from
+/// duplex pipelining and load balancing.
+#[test]
+fn ps_gains_exceed_allreduce_gains() {
+    let (b_ps, t_ps) = baseline_and_tuned(Setup::MxnetPsRdma, zoo::vgg16(), 16);
+    let (b_ar, t_ar) = baseline_and_tuned(Setup::MxnetNcclRdma, zoo::vgg16(), 16);
+    let ps_gain = t_ps.speedup_over(&b_ps);
+    let ar_gain = t_ar.speedup_over(&b_ar);
+    assert!(
+        ps_gain > ar_gain,
+        "PS gain {ps_gain:.2} must exceed all-reduce gain {ar_gain:.2}"
+    );
+}
+
+/// §6.2's model ordering at 100 Gbps: ResNet-50 (compute-bound) gains the
+/// least among the three benchmark models on PS RDMA.
+#[test]
+fn resnet_gains_least_at_100gbps() {
+    let gain = |model| {
+        let (b, t) = baseline_and_tuned(Setup::MxnetPsRdma, model, 16);
+        t.speedup_over(&b)
+    };
+    let g_vgg = gain(zoo::vgg16());
+    let g_res = gain(zoo::resnet50());
+    let g_trn = gain(zoo::transformer());
+    assert!(
+        g_res <= g_vgg && g_res <= g_trn,
+        "ResNet {g_res:.2} must gain least (vgg {g_vgg:.2}, transformer {g_trn:.2})"
+    );
+}
+
+/// The P3 comparison in its only supported setup (MXNet PS TCP): baseline
+/// < P3 < ByteScheduler, as Figure 10(a)/11(a)/12(a) show.
+#[test]
+fn p3_sits_between_baseline_and_bytescheduler() {
+    let setup = Setup::MxnetPsTcp;
+    let fid = Fidelity::quick();
+    let (baseline, tuned) = baseline_and_tuned(setup, zoo::vgg16(), 32);
+    let mut p3_cfg = setup.config(zoo::vgg16(), 32, 100.0, SchedulerKind::P3);
+    fid.apply(&mut p3_cfg);
+    let p3 = run(&p3_cfg);
+    assert!(
+        p3.speed > baseline.speed,
+        "P3 {} vs baseline {}",
+        p3.speed,
+        baseline.speed
+    );
+    assert!(
+        tuned.speed > p3.speed,
+        "BS {} vs P3 {}",
+        tuned.speed,
+        p3.speed
+    );
+}
+
+/// §6.1's aside, verified: "the training speedup of asynchronous mode is
+/// similar" — the ByteScheduler gain under async PS lands near the sync
+/// gain for the same workload.
+#[test]
+fn async_ps_speedup_is_similar_to_sync() {
+    use bytescheduler::comm::PsMode;
+    use bytescheduler::runtime::Arch;
+    let fid = Fidelity::quick();
+    let gain = |mode: PsMode| {
+        let mk = |sched| {
+            let mut cfg = Setup::MxnetPsRdma.config(zoo::vgg16(), 32, 100.0, sched);
+            fid.apply(&mut cfg);
+            cfg.arch = Arch::Ps {
+                mode,
+                num_servers: 4,
+                baseline_bigarray_split: false,
+            };
+            run(&cfg).speed
+        };
+        let base = mk(SchedulerKind::Baseline);
+        let bs = mk(SchedulerKind::ByteScheduler {
+            partition: 4 << 20,
+            credit: 32 << 20,
+        });
+        bs / base - 1.0
+    };
+    let sync_gain = gain(PsMode::Synchronous);
+    let async_gain = gain(PsMode::Asynchronous);
+    // "Similar" at the paper's granularity: both substantial, same order
+    // of magnitude. (The async *baseline* is already faster — no waiting
+    // for the slowest pusher — so its headroom is genuinely smaller.)
+    assert!(
+        sync_gain > 0.3,
+        "sync gain {sync_gain:.2} should be substantial"
+    );
+    assert!(
+        async_gain > 0.3,
+        "async gain {async_gain:.2} should be substantial"
+    );
+    assert!(
+        async_gain > sync_gain * 0.25 && async_gain < sync_gain * 4.0,
+        "gains should be the same order: sync {sync_gain:.2} vs async {async_gain:.2}"
+    );
+}
+
+/// Crossing the barrier makes the engine flavour irrelevant: TF-style and
+/// MXNet-style engines under ByteScheduler land within noise of each
+/// other on identical hardware.
+#[test]
+fn scheduled_engines_converge_across_frameworks() {
+    let fid = Fidelity::quick();
+    let sched = SchedulerKind::ByteScheduler {
+        partition: 4 << 20,
+        credit: 16 << 20,
+    };
+    let speed = |setup: Setup| {
+        let mut cfg = setup.config(zoo::vgg16(), 16, 100.0, sched);
+        fid.apply(&mut cfg);
+        cfg.jitter = 0.0;
+        run(&cfg).speed
+    };
+    let mxnet = speed(Setup::MxnetPsTcp);
+    let tf = speed(Setup::TfPsTcp);
+    let rel = (mxnet - tf).abs() / mxnet;
+    assert!(rel < 0.02, "MXNet {mxnet} vs TF {tf}: {rel:.3} apart");
+}

@@ -1,0 +1,204 @@
+//! Property-based tests over the full stack: random models, random
+//! configurations — the invariants must hold for *all* of them, not just
+//! the benchmark trio.
+
+use bytescheduler::core::{partition_tensor, CommKind, CommTask};
+use bytescheduler::core::{ByteScheduler, FifoScheduler, P3Scheduler, Scheduler, WorkItem};
+use bytescheduler::engine::EngineConfig;
+use bytescheduler::models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bytescheduler::net::{NetConfig, Transport};
+use bytescheduler::runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bytescheduler::sim::SimTime;
+use proptest::prelude::*;
+
+/// Strategy: a random small DNN (2–6 layers, 0.1–8 MB tensors, 0.5–4 ms
+/// compute per pass).
+fn arb_model() -> impl Strategy<Value = DnnModel> {
+    proptest::collection::vec((100_000u64..8_000_000, 500u64..4_000, 500u64..4_000), 2..=6)
+        .prop_map(|layers| {
+            let gpu = GpuSpec::custom(1e12, 2.0);
+            let mut b = ModelBuilder::new("prop", gpu, 4, SampleUnit::Images);
+            for (i, (bytes, fp_us, bp_us)) in layers.into_iter().enumerate() {
+                b = b.explicit(
+                    format!("l{i}"),
+                    bytes,
+                    SimTime::from_micros(fp_us),
+                    SimTime::from_micros(bp_us),
+                );
+            }
+            b.build()
+        })
+}
+
+fn small_cfg(model: DnnModel, ps: bool, sched: SchedulerKind) -> WorldConfig {
+    let (workers, arch, engine) = if ps {
+        (2, Arch::ps(2), EngineConfig::mxnet_ps())
+    } else {
+        (3, Arch::allreduce(), EngineConfig::mxnet_allreduce())
+    };
+    let mut cfg = WorldConfig::new(
+        model,
+        workers,
+        arch,
+        NetConfig::gbps(10.0, Transport::tcp()),
+        engine,
+        sched,
+    );
+    cfg.iters = 5;
+    cfg.warmup = 1;
+    cfg.jitter = 0.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random model trains to completion under every scheduler on
+    /// both architectures, and the measured speed is positive and below
+    /// linear scaling.
+    #[test]
+    fn any_model_runs_under_any_scheduler(model in arb_model(), ps in any::<bool>()) {
+        for sched in [
+            SchedulerKind::Baseline,
+            SchedulerKind::P3,
+            SchedulerKind::ByteScheduler { partition: 1 << 20, credit: 4 << 20 },
+        ] {
+            let cfg = small_cfg(model.clone(), ps, sched);
+            let r = run(&cfg);
+            prop_assert!(r.speed > 0.0);
+            prop_assert!(r.speed <= cfg.linear_scaling_speed() * 1.01,
+                "{} speed {} vs linear {}", sched.label(), r.speed, cfg.linear_scaling_speed());
+        }
+    }
+
+    /// Conservation: in a PS run, the bytes crossing the wire equal
+    /// iterations × workers × model size × 2 (push + pull), minus only the
+    /// final iteration's possibly-dangling tail.
+    #[test]
+    fn ps_byte_conservation(model in arb_model()) {
+        let cfg = small_cfg(model.clone(), true,
+            SchedulerKind::ByteScheduler { partition: 1 << 20, credit: 4 << 20 });
+        let r = run(&cfg);
+        let per_iter = 2 * cfg.num_workers as u64 * model.total_param_bytes();
+        let lo = (cfg.iters - 1) * per_iter;
+        let hi = cfg.iters * per_iter;
+        prop_assert!(r.p2p_bytes >= lo && r.p2p_bytes <= hi,
+            "delivered {} outside [{lo}, {hi}]", r.p2p_bytes);
+    }
+
+    /// Partitioning is a partition: sizes sum to the original, every piece
+    /// respects δ, indices are dense.
+    #[test]
+    fn partitioning_is_lossless(bytes in 1u64..1_000_000_000, unit in 1u64..50_000_000) {
+        let task = CommTask { tensor: 0, kind: CommKind::Push, bytes };
+        let parts = partition_tensor(&task, Some(unit));
+        prop_assert_eq!(parts.iter().map(|p| p.bytes).sum::<u64>(), bytes);
+        prop_assert!(parts.iter().all(|p| p.bytes <= unit));
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert_eq!(p.part as usize, i);
+            prop_assert_eq!(p.num_parts as usize, parts.len());
+        }
+    }
+
+    /// Scheduler contract for random workloads: no items lost, FIFO lanes
+    /// conserve work, and ByteScheduler drains in priority order when
+    /// everything is submitted before the first poll.
+    #[test]
+    fn schedulers_lose_nothing(
+        items in proptest::collection::vec((0usize..2, 0u64..100, 1u64..1_000_000), 1..60),
+        which in 0usize..3,
+    ) {
+        let mut sched: Box<dyn Scheduler> = match which {
+            0 => Box::new(ByteScheduler::new(500_000, 1_000_000, 2)),
+            1 => Box::new(FifoScheduler::new(2)),
+            _ => Box::new(P3Scheduler::new(2)),
+        };
+        let now = SimTime::ZERO;
+        let total = items.len();
+        for (i, (lane, priority, bytes)) in items.iter().enumerate() {
+            sched.submit(now, WorkItem { lane: *lane, priority: *priority, bytes: *bytes, token: i as u64 });
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut in_flight: Vec<WorkItem> = Vec::new();
+        let mut rounds = 0;
+        while seen.len() < total {
+            for item in sched.poll(now) {
+                prop_assert!(seen.insert(item.token), "token {} started twice", item.token);
+                in_flight.push(item);
+            }
+            if let Some(done) = in_flight.pop() {
+                sched.complete(now, done.lane, done.bytes);
+            } else if seen.len() < total {
+                prop_assert!(false, "stalled with {} queued", sched.queued());
+            }
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "did not drain");
+        }
+        prop_assert_eq!(sched.queued(), 0);
+    }
+
+    /// Algorithm 1's credit invariant: the bytes ByteScheduler has
+    /// released-but-uncompleted on a lane never exceed
+    /// `max(credit, largest single item)` (the anti-stall rule may ship
+    /// one oversized item alone, never more).
+    #[test]
+    fn bytescheduler_respects_its_credit_window(
+        ops in proptest::collection::vec((1u64..2_000_000, 0u64..8, any::<bool>()), 1..200),
+        credit in 100_000u64..4_000_000,
+    ) {
+        let mut s = ByteScheduler::new(1 << 20, credit, 1);
+        let now = SimTime::ZERO;
+        let mut in_flight: Vec<WorkItem> = Vec::new();
+        let mut in_flight_bytes = 0u64;
+        let mut max_item = 0u64;
+        let mut token = 0u64;
+        for (bytes, priority, complete_one) in ops {
+            s.submit(now, WorkItem { lane: 0, priority, bytes, token });
+            token += 1;
+            max_item = max_item.max(bytes);
+            for item in s.poll(now) {
+                in_flight_bytes += item.bytes;
+                in_flight.push(item);
+            }
+            prop_assert!(
+                in_flight_bytes <= credit.max(max_item),
+                "in flight {in_flight_bytes} exceeds window {credit} (max item {max_item})"
+            );
+            if complete_one {
+                if let Some(done) = in_flight.pop() {
+                    in_flight_bytes -= done.bytes;
+                    s.complete(now, 0, done.bytes);
+                }
+            }
+        }
+    }
+
+    /// ByteScheduler releases strictly by (priority, arrival) within a
+    /// lane when credit admits one item at a time.
+    #[test]
+    fn bytescheduler_release_order_is_priority_sorted(
+        priorities in proptest::collection::vec(0u64..50, 2..40),
+    ) {
+        let size = 1_000u64;
+        let mut s = ByteScheduler::new(size, size, 1); // stop-and-wait
+        let now = SimTime::ZERO;
+        for (i, &p) in priorities.iter().enumerate() {
+            s.submit(now, WorkItem { lane: 0, priority: p, bytes: size, token: i as u64 });
+        }
+        let mut released: Vec<u64> = Vec::new();
+        loop {
+            let batch = s.poll(now);
+            if batch.is_empty() {
+                break;
+            }
+            for item in batch {
+                released.push(item.priority);
+                s.complete(now, 0, size);
+            }
+        }
+        prop_assert_eq!(released.len(), priorities.len());
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(released, sorted);
+    }
+}

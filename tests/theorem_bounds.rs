@@ -1,0 +1,294 @@
+//! Cross-crate checks of the paper's §4 theory against the running system.
+//!
+//! Theorem 1 says priority queuing is optimal under ideal conditions
+//! (tiny partitions, zero overhead, free preemption); §4.1 bounds the gap
+//! for real δ and θ. These tests drive the *full* simulation — engines,
+//! PS/ring, network, scheduler — and compare measured iteration periods
+//! against the analytical expressions.
+
+use bytescheduler::core::analysis;
+use bytescheduler::engine::EngineConfig;
+use bytescheduler::models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bytescheduler::net::{NetConfig, Transport};
+use bytescheduler::runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bytescheduler::sim::SimTime;
+
+/// A 4-layer test model with the communication-hostile shape: big tensor
+/// near the input.
+fn model() -> DnnModel {
+    let gpu = GpuSpec::custom(1e12, 2.0);
+    ModelBuilder::new("bound-test", gpu, 8, SampleUnit::Images)
+        .explicit(
+            "l0",
+            24_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l1",
+            8_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l2",
+            4_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l3",
+            2_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .build()
+}
+
+/// Single worker + single shard: the §4.1 analysis is per-flow and
+/// assumes the scheduled sender is alone on its resources. (With several
+/// symmetric workers, aligned priority schedules collide on the same
+/// shard and the serial-FIFO fabric adds head-of-line waits the bound
+/// does not model — see DESIGN.md §Deviations.)
+fn cfg(transport: Transport, sched: SchedulerKind) -> WorldConfig {
+    let mut c = WorldConfig::new(
+        model(),
+        1,
+        Arch::ps(1),
+        NetConfig::gbps(8.0, transport),
+        EngineConfig::mxnet_ps(),
+        sched,
+    );
+    c.iters = 12;
+    c.warmup = 2;
+    c.jitter = 0.0;
+    c
+}
+
+fn period(c: &WorldConfig) -> f64 {
+    run(c).iteration_period
+}
+
+/// The Theorem 1 regime: ideal transport (θ = 0), partitions far smaller
+/// than any tensor. The measured iteration period must respect the
+/// universal lower bound, and sit close to it (the priority schedule is
+/// supposed to be *optimal* here).
+#[test]
+fn priority_schedule_approaches_the_ideal_lower_bound() {
+    let sched = SchedulerKind::ByteScheduler {
+        partition: 256 * 1024,
+        credit: 1024 * 1024,
+    };
+    let c = cfg(Transport::ideal(), sched);
+    let measured = period(&c);
+    let m = model();
+    let sizes: Vec<u64> = m.layers.iter().map(|l| l.param_bytes).collect();
+    let fp: Vec<_> = m.layers.iter().map(|l| l.fp_time).collect();
+    let bp: Vec<_> = m.layers.iter().map(|l| l.bp_time).collect();
+    let lb = analysis::iteration_lower_bound(
+        m.compute_time(),
+        m.total_param_bytes(),
+        c.net.bytes_per_sec(),
+    )
+    .max(analysis::ps_cycle_lower_bound(
+        &sizes,
+        &fp,
+        &bp,
+        c.net.bytes_per_sec(),
+    ))
+    .as_secs_f64();
+    assert!(
+        measured >= lb * 0.999,
+        "measured {measured} below the lower bound {lb}: impossible schedule"
+    );
+    assert!(
+        measured <= lb * 1.10,
+        "measured {measured} too far above the ideal bound {lb}: priority \
+         scheduling should be near-optimal under Theorem 1's conditions"
+    );
+}
+
+/// §4.1's delay bound: a real configuration (finite δ, TCP θ) may exceed
+/// the ideal-schedule period by at most the analytical bound.
+#[test]
+fn finite_partition_gap_respects_the_analysis_bound() {
+    // Ideal reference: near-zero overhead, tiny partitions.
+    let ideal = period(&cfg(
+        Transport::ideal(),
+        SchedulerKind::ByteScheduler {
+            partition: 256 * 1024,
+            credit: 1024 * 1024,
+        },
+    ));
+    for delta in [1u64 << 20, 4 << 20, 16 << 20] {
+        let real = period(&cfg(
+            Transport::tcp(),
+            SchedulerKind::ByteScheduler {
+                partition: delta,
+                credit: 4 * delta,
+            },
+        ));
+        let m = model();
+        let sizes: Vec<u64> = m.layers.iter().map(|l| l.param_bytes).collect();
+        let tcp_cfg = NetConfig::gbps(8.0, Transport::tcp());
+        let bound = analysis::ps_delay_bound(
+            &sizes,
+            delta,
+            Transport::tcp().total_overhead(),
+            tcp_cfg.bytes_per_sec(),
+        )
+        .as_secs_f64();
+        // The TCP run also loses the efficiency factor on the wire;
+        // account for it by scaling the ideal reference's comm share
+        // conservatively (push + pull directions): compare against
+        // ideal + bound + efficiency slack.
+        let eff_slack = 2.0
+            * m.total_param_bytes() as f64
+            * (1.0 / tcp_cfg.bytes_per_sec() - 1.0 / (8.0e9 / 8.0));
+        assert!(
+            real <= ideal + bound + eff_slack + 1e-4,
+            "δ={delta}: measured gap {} exceeds analytical bound {}",
+            real - ideal,
+            bound + eff_slack
+        );
+    }
+}
+
+/// The priority schedule must beat (or match) the FIFO schedule in the
+/// ideal regime too — optimality is about *all* schedules, FIFO included.
+#[test]
+fn priority_beats_fifo_in_the_ideal_regime() {
+    let bs = period(&cfg(
+        Transport::ideal(),
+        SchedulerKind::ByteScheduler {
+            partition: 512 * 1024,
+            credit: 2 << 20,
+        },
+    ));
+    let fifo = period(&cfg(Transport::ideal(), SchedulerKind::Baseline));
+    assert!(
+        bs <= fifo * 1.001,
+        "priority ({bs}) must not lose to FIFO ({fifo})"
+    );
+}
+
+/// Smaller partitions shrink the gap to ideal (until θ dominates):
+/// the paper's "the smaller the partition is, the closer it is to the
+/// ideal case", checked in the low-θ RDMA regime.
+#[test]
+fn smaller_partitions_track_the_ideal_more_closely() {
+    let p = |delta: u64| {
+        period(&cfg(
+            Transport::rdma(),
+            SchedulerKind::ByteScheduler {
+                partition: delta,
+                credit: 4 * delta,
+            },
+        ))
+    };
+    let small = p(1 << 20);
+    let large = p(24 << 20);
+    assert!(
+        small <= large * 1.001,
+        "1 MB partitions ({small}) should beat 24 MB partitions ({large})"
+    );
+}
+
+/// Theorem 1 by exhaustion: among **all 24 priority permutations** of a
+/// 4-layer model in the ideal regime, the paper's assignment (priority =
+/// layer index, layer 0 most urgent) minimises the iteration period.
+/// This is the strongest executable form of the optimality claim: not
+/// "beats FIFO", but "beats every other static priority order".
+#[test]
+fn canonical_priorities_are_optimal_among_all_permutations() {
+    fn permutations(items: Vec<u64>) -> Vec<Vec<u64>> {
+        if items.len() <= 1 {
+            return vec![items];
+        }
+        let mut out = Vec::new();
+        for i in 0..items.len() {
+            let mut rest = items.clone();
+            let head = rest.remove(i);
+            for mut tail in permutations(rest) {
+                tail.insert(0, head);
+                out.push(tail);
+            }
+        }
+        out
+    }
+
+    let sched = SchedulerKind::ByteScheduler {
+        partition: 256 * 1024,
+        credit: 1024 * 1024,
+    };
+    let mut best = f64::MAX;
+    let mut canonical = f64::MAX;
+    for perm in permutations(vec![0, 1, 2, 3]) {
+        let mut c = cfg(Transport::ideal(), sched);
+        let is_canonical = perm == vec![0, 1, 2, 3];
+        c.priority_override = Some(perm);
+        let p = period(&c);
+        best = best.min(p);
+        if is_canonical {
+            canonical = p;
+        }
+    }
+    assert!(
+        canonical <= best * 1.001,
+        "canonical priority order ({canonical}) must match the best permutation ({best})"
+    );
+}
+
+/// All-reduce delay bound, same exercise on the ring.
+#[test]
+fn allreduce_gap_respects_the_analysis_bound() {
+    let ring_cfg = |transport: Transport, sched: SchedulerKind| {
+        let mut c = WorldConfig::new(
+            model(),
+            4,
+            Arch::AllReduce {
+                baseline_fusion_bytes: None,
+                baseline_cycle_delay_us: 0,
+            },
+            NetConfig::gbps(8.0, transport),
+            EngineConfig::mxnet_allreduce(),
+            sched,
+        );
+        c.iters = 12;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c
+    };
+    let ideal = period(&ring_cfg(
+        Transport::ideal(),
+        SchedulerKind::ByteScheduler {
+            partition: 512 * 1024,
+            credit: 2 << 20,
+        },
+    ));
+    let delta = 4u64 << 20;
+    let real = period(&ring_cfg(
+        Transport::rdma(),
+        SchedulerKind::ByteScheduler {
+            partition: delta,
+            credit: 4 * delta,
+        },
+    ));
+    let m = model();
+    let sizes: Vec<u64> = m.layers.iter().map(|l| l.param_bytes).collect();
+    let rdma = NetConfig::gbps(8.0, Transport::rdma());
+    // The ring's per-op cost includes the collective sync; bound θ by the
+    // full sync overhead of the 4-rank ring.
+    let ring = bytescheduler::comm::AllReduceConfig::new(4, rdma);
+    let bound =
+        analysis::allreduce_delay_bound(&sizes, delta, ring.sync_overhead(), rdma.bytes_per_sec())
+            .as_secs_f64();
+    let eff_slack =
+        2.0 * m.total_param_bytes() as f64 * (1.0 / rdma.bytes_per_sec() - 1.0 / (8.0e9 / 8.0));
+    assert!(
+        real <= ideal + bound + eff_slack + 1e-4,
+        "all-reduce gap {} exceeds bound {}",
+        real - ideal,
+        bound + eff_slack
+    );
+}
