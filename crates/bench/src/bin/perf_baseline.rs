@@ -1,0 +1,398 @@
+//! Tracked performance runner: times the macro scenarios and fabric
+//! microbenchmarks that gate simulator-performance PRs, and writes the
+//! numbers to `BENCH_<n>.json` (committed, so the trajectory is diffable
+//! across PRs).
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p bs-bench --bin perf_baseline
+//! ```
+//!
+//! Environment knobs:
+//!
+//! - `BS_BENCH_OUT`    — output path (default `BENCH_1.json`).
+//! - `BS_BENCH_REPS`   — wall-clock repetitions per scenario (default 3;
+//!   the minimum is reported, which is the standard way to reject noise).
+//! - `BS_BENCH_QUICK`  — when set, one repetition and shrunken scenario
+//!   sizes; used by the CI smoke job where absolute numbers don't matter.
+//! - `BS_BENCH_BEFORE` — path to a previous `BENCH_*.json`; its `results`
+//!   section is embedded under `before` and per-scenario speedups are
+//!   computed, so a refactor PR can carry its own before/after evidence.
+//!
+//! Metrics per macro scenario: wall seconds (min over reps), simulated
+//! communication completions ("events") and events/sec, peak in-flight
+//! transfers, and the simulated training speed (which must not change
+//! across a pure-performance refactor — determinism is checked by the
+//! golden-trace test, not here).
+
+use std::time::Instant;
+
+use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bs_net::{FabricModel, FluidNetwork, NetConfig, Network, NodeId, Transport};
+use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bs_sim::SimTime;
+use serde::Value;
+
+/// The comm-heavy toy model used across the runtime tests: a big tensor
+/// near the input (VGG-like inversion) so FIFO order hurts and the
+/// scheduler has real work to do.
+fn comm_heavy() -> DnnModel {
+    let gpu = GpuSpec::custom(1e12, 2.0);
+    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+        .explicit(
+            "l0",
+            40_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l1",
+            5_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l2",
+            5_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l3",
+            1_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .build()
+}
+
+struct MacroScenario {
+    name: &'static str,
+    cfg: WorldConfig,
+}
+
+fn macro_scenarios(quick: bool) -> Vec<MacroScenario> {
+    let iters = if quick { 5 } else { 20 };
+    let net = NetConfig::gbps(10.0, Transport::tcp());
+    let bs = SchedulerKind::ByteScheduler {
+        partition: 500_000,
+        credit: 2_000_000,
+    };
+    let mk = |arch: Arch, engine, sched, fabric| {
+        let mut c = WorldConfig::new(comm_heavy(), 4, arch, net, engine, sched);
+        c.iters = iters;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c.seed = 1;
+        c.fabric = fabric;
+        c
+    };
+    vec![
+        MacroScenario {
+            name: "ps_fifo_bytescheduler",
+            cfg: mk(
+                Arch::ps(4),
+                bs_engine::EngineConfig::mxnet_ps(),
+                bs,
+                FabricModel::SerialFifo,
+            ),
+        },
+        MacroScenario {
+            name: "ps_fluid_bytescheduler",
+            cfg: mk(
+                Arch::ps(4),
+                bs_engine::EngineConfig::mxnet_ps(),
+                bs,
+                FabricModel::FairShare,
+            ),
+        },
+        MacroScenario {
+            name: "allreduce_bytescheduler",
+            cfg: mk(
+                Arch::allreduce(),
+                bs_engine::EngineConfig::mxnet_allreduce(),
+                SchedulerKind::ByteScheduler {
+                    partition: 2_000_000,
+                    credit: 8_000_000,
+                },
+                FabricModel::SerialFifo,
+            ),
+        },
+    ]
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn run_macro(s: &MacroScenario, reps: usize) -> Value {
+    let mut wall_min = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run(&s.cfg);
+        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let r = result.expect("at least one rep");
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, peak in-flight {}",
+        s.name,
+        wall_min * 1e3,
+        r.comm_events,
+        r.comm_events as f64 / wall_min,
+        r.peak_in_flight,
+    );
+    obj(vec![
+        ("name", Value::Str(s.name.to_string())),
+        ("wall_sec", Value::F64(wall_min)),
+        ("events", Value::U64(r.comm_events)),
+        (
+            "events_per_sec",
+            Value::F64(r.comm_events as f64 / wall_min),
+        ),
+        ("peak_in_flight", Value::U64(r.peak_in_flight as u64)),
+        ("sim_speed", Value::F64(r.speed)),
+        ("sim_finished_at_ns", Value::U64(r.finished_at.as_nanos())),
+    ])
+}
+
+/// Drains a fluid network to idle, stepping event by event.
+fn drain_fluid(n: &mut FluidNetwork) {
+    loop {
+        let t = n.next_event_time();
+        if t.is_never() {
+            break;
+        }
+        n.advance(t);
+    }
+}
+
+/// Sequential-churn micro: one flow at a time, many of them. Before the
+/// slot free-list this scaled quadratically (every `reallocate` walked a
+/// `frozen` vector sized by every transfer ever issued).
+fn micro_fluid_sequential(total: usize) -> (f64, u64) {
+    let mut n = FluidNetwork::new(16, NetConfig::gbps(8.0, Transport::ideal()));
+    let t0 = Instant::now();
+    let mut now = SimTime::ZERO;
+    for i in 0..total {
+        n.submit(now, NodeId(i % 8), NodeId(8 + (i % 8)), 1_000_000, i as u64);
+        drain_fluid(&mut n);
+        now = n.next_event_time().min(now + SimTime::from_millis(2));
+    }
+    (t0.elapsed().as_secs_f64(), total as u64)
+}
+
+/// Concurrent-churn micro: rounds of 64 simultaneous flows, drained to
+/// idle — `reallocate` under real contention.
+fn micro_fluid_concurrent(rounds: usize) -> (f64, u64) {
+    let mut n = FluidNetwork::new(16, NetConfig::gbps(8.0, Transport::ideal()));
+    let t0 = Instant::now();
+    let mut now = SimTime::ZERO;
+    let mut submitted = 0u64;
+    for round in 0..rounds {
+        for f in 0..64usize {
+            let src = f % 8;
+            let dst = 8 + ((f + round) % 8);
+            n.submit(now, NodeId(src), NodeId(dst), 500_000, submitted);
+            submitted += 1;
+        }
+        drain_fluid(&mut n);
+        now += SimTime::from_millis(10);
+    }
+    (t0.elapsed().as_secs_f64(), submitted)
+}
+
+/// Poll micro: `next_event_time` on a fluid fabric with 64 active flows.
+fn micro_fluid_poll(calls: usize) -> (f64, u64) {
+    let mut n = FluidNetwork::new(16, NetConfig::gbps(8.0, Transport::ideal()));
+    for f in 0..64usize {
+        n.submit(
+            SimTime::ZERO,
+            NodeId(f % 8),
+            NodeId(8 + (f % 8)),
+            1_000_000 + f as u64 * 1000,
+            f as u64,
+        );
+    }
+    let t0 = Instant::now();
+    let mut acc = SimTime::ZERO;
+    for _ in 0..calls {
+        acc = acc.max(std::hint::black_box(n.next_event_time()));
+    }
+    std::hint::black_box(acc);
+    (t0.elapsed().as_secs_f64(), calls as u64)
+}
+
+/// Poll micro: `next_event_time` on the FIFO fabric with 8 on-wire
+/// transfers and deep queues.
+fn micro_fifo_poll(calls: usize) -> (f64, u64) {
+    let mut n = Network::new(16, NetConfig::gbps(8.0, Transport::ideal()));
+    for f in 0..64usize {
+        n.submit(
+            SimTime::ZERO,
+            NodeId(f % 8),
+            NodeId(8 + (f % 8)),
+            1_000_000,
+            f as u64,
+        );
+    }
+    let t0 = Instant::now();
+    let mut acc = SimTime::ZERO;
+    for _ in 0..calls {
+        acc = acc.max(std::hint::black_box(n.next_event_time()));
+    }
+    std::hint::black_box(acc);
+    (t0.elapsed().as_secs_f64(), calls as u64)
+}
+
+fn micro_entry(name: &str, wall: f64, ops: u64) -> Value {
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} ops, {:>12.0} ops/sec",
+        name,
+        wall * 1e3,
+        ops,
+        ops as f64 / wall
+    );
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("wall_sec", Value::F64(wall)),
+        ("ops", Value::U64(ops)),
+        ("ops_per_sec", Value::F64(ops as f64 / wall)),
+    ])
+}
+
+/// Per-scenario wall-time ratios old/new, keyed by scenario name.
+fn speedups(before: &Value, after: &Value, section: &str, key: &str) -> Value {
+    let mut out = Vec::new();
+    let (Some(Value::Array(old)), Some(Value::Array(new))) =
+        (before.get(section), after.get(section))
+    else {
+        return Value::Object(out);
+    };
+    for n in new {
+        let Some(Value::Str(name)) = n.get("name") else {
+            continue;
+        };
+        let old_wall = old
+            .iter()
+            .find(|o| o.get("name") == n.get("name"))
+            .and_then(|o| o.get(key));
+        if let (Some(Value::F64(ow)), Some(Value::F64(nw))) = (old_wall, n.get(key)) {
+            if *nw > 0.0 {
+                out.push((name.clone(), Value::F64(ow / nw)));
+            }
+        }
+    }
+    Value::Object(out)
+}
+
+fn main() {
+    let quick = std::env::var("BS_BENCH_QUICK").is_ok();
+    let reps: usize = std::env::var("BS_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 })
+        .max(1);
+    let out_path = std::env::var("BS_BENCH_OUT").unwrap_or_else(|_| "BENCH_1.json".to_string());
+
+    eprintln!("macro scenarios ({reps} reps, min wall):");
+    let macros: Vec<Value> = macro_scenarios(quick)
+        .iter()
+        .map(|s| run_macro(s, reps))
+        .collect();
+
+    eprintln!("micro benches:");
+    let scale = if quick { 10 } else { 1 };
+    let micros = vec![
+        {
+            let (w, ops) = micro_fluid_sequential(10_000 / scale);
+            micro_entry("fluid_sequential_churn", w, ops)
+        },
+        {
+            let (w, ops) = micro_fluid_concurrent(50 / scale.min(10));
+            micro_entry("fluid_concurrent_churn", w, ops)
+        },
+        {
+            let (w, ops) = micro_fluid_poll(200_000 / scale);
+            micro_entry("fluid_poll", w, ops)
+        },
+        {
+            let (w, ops) = micro_fifo_poll(200_000 / scale);
+            micro_entry("fifo_poll", w, ops)
+        },
+    ];
+
+    let results = obj(vec![
+        ("macro", Value::Array(macros)),
+        ("micro", Value::Array(micros)),
+    ]);
+
+    let mut doc = vec![
+        ("bench", Value::Str("perf_baseline".to_string())),
+        ("quick", Value::Bool(quick)),
+        ("reps", Value::U64(reps as u64)),
+        (
+            "units",
+            obj(vec![
+                (
+                    "wall_sec",
+                    Value::Str("min wall-clock seconds over reps".to_string()),
+                ),
+                (
+                    "events_per_sec",
+                    Value::Str("simulated comm completions per wall second".to_string()),
+                ),
+                (
+                    "ops_per_sec",
+                    Value::Str("micro-bench operations per wall second".to_string()),
+                ),
+            ]),
+        ),
+        ("results", results.clone()),
+    ];
+
+    if let Ok(before_path) = std::env::var("BS_BENCH_BEFORE") {
+        // A missing or malformed baseline skips the comparison instead of
+        // discarding the measurements we just paid for.
+        match std::fs::read_to_string(&before_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(before) => {
+                let before_results = before
+                    .get("results")
+                    .cloned()
+                    .unwrap_or_else(|| before.clone());
+                doc.push((
+                    "speedup_wall",
+                    obj(vec![
+                        (
+                            "macro",
+                            speedups(&before_results, &results, "macro", "wall_sec"),
+                        ),
+                        (
+                            "micro",
+                            speedups(&before_results, &results, "micro", "wall_sec"),
+                        ),
+                    ]),
+                ));
+                doc.push(("before", before_results));
+            }
+            Err(e) => eprintln!("warning: ignoring BS_BENCH_BEFORE={before_path}: {e}"),
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&obj(doc)).expect("serialise bench output");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -107,6 +107,7 @@ pub struct RingAllReduce {
     free_at: SimTime,
     next_id: u64,
     bytes_reduced: u64,
+    ops_reduced: u64,
     /// When enabled, completed op spans: (tag, start, end).
     trace: Option<Vec<(u64, SimTime, SimTime)>>,
 }
@@ -121,6 +122,7 @@ impl RingAllReduce {
             free_at: SimTime::ZERO,
             next_id: 0,
             bytes_reduced: 0,
+            ops_reduced: 0,
             trace: None,
         }
     }
@@ -187,6 +189,7 @@ impl RingAllReduce {
             self.active = None;
             self.free_at = end;
             self.bytes_reduced += op.bytes;
+            self.ops_reduced += 1;
             if let Some(trace) = &mut self.trace {
                 let start = end.saturating_sub(self.cfg.op_time(op.bytes));
                 trace.push((op.tag, start, end));
@@ -234,6 +237,11 @@ impl RingAllReduce {
     /// Total payload bytes reduced so far.
     pub fn bytes_reduced(&self) -> u64 {
         self.bytes_reduced
+    }
+
+    /// Collectives completed so far.
+    pub fn ops_reduced(&self) -> u64 {
+        self.ops_reduced
     }
 }
 

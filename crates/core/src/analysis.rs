@@ -161,7 +161,7 @@ mod tests {
     fn cycle_bound_can_bind_on_inner_layers() {
         // Giant tensor at the output: its own wire time dominates even
         // though its compute suffix is short.
-        let sizes = [1 * MB, 1 * MB, 100 * MB];
+        let sizes = [MB, MB, 100 * MB];
         let fp = [SimTime::from_millis(1); 3];
         let bp = [SimTime::from_millis(1); 3];
         let b = ps_cycle_lower_bound(&sizes, &fp, &bp, 1e9);

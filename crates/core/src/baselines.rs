@@ -56,13 +56,17 @@ impl Scheduler for FifoScheduler {
 
     fn complete(&mut self, _now: SimTime, _lane: usize, _bytes: u64) {}
 
-    fn poll(&mut self, _now: SimTime) -> Vec<WorkItem> {
-        // Everything ready goes straight to the (FIFO) network stack.
+    fn poll(&mut self, now: SimTime) -> Vec<WorkItem> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    fn poll_into(&mut self, _now: SimTime, out: &mut Vec<WorkItem>) {
+        // Everything ready goes straight to the (FIFO) network stack.
         for q in &mut self.queues {
             out.extend(q.drain(..));
         }
-        out
     }
 
     fn num_lanes(&self) -> usize {
@@ -141,8 +145,13 @@ impl Scheduler for P3Scheduler {
         self.lanes[lane].in_flight = false;
     }
 
-    fn poll(&mut self, _now: SimTime) -> Vec<WorkItem> {
+    fn poll(&mut self, now: SimTime) -> Vec<WorkItem> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    fn poll_into(&mut self, _now: SimTime, out: &mut Vec<WorkItem>) {
         for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
             if lane.in_flight {
                 continue;
@@ -157,7 +166,6 @@ impl Scheduler for P3Scheduler {
                 });
             }
         }
-        out
     }
 
     fn num_lanes(&self) -> usize {
@@ -274,7 +282,7 @@ mod tests {
     #[test]
     fn both_baselines_conform_to_scheduler_contract() {
         let items: Vec<WorkItem> = (0..40)
-            .map(|i| item((i % 2) as usize, (40 - i) as u64, 64 + i, i))
+            .map(|i| item((i % 2) as usize, 40 - i, 64 + i, i))
             .collect();
         crate::scheduler::contract::check_no_loss_and_conservation(
             Box::new(FifoScheduler::new(2)),

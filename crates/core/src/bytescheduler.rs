@@ -119,8 +119,13 @@ impl Scheduler for ByteScheduler {
         debug_assert!(l.credit <= self.credit_bytes as i64);
     }
 
-    fn poll(&mut self, _now: SimTime) -> Vec<WorkItem> {
+    fn poll(&mut self, now: SimTime) -> Vec<WorkItem> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    fn poll_into(&mut self, _now: SimTime, out: &mut Vec<WorkItem>) {
         for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
             while let Some(Reverse((priority, _, item))) = lane.queue.peek().copied() {
                 let fits = lane.credit >= item.bytes as i64;
@@ -141,7 +146,6 @@ impl Scheduler for ByteScheduler {
                 });
             }
         }
-        out
     }
 
     fn num_lanes(&self) -> usize {
@@ -274,7 +278,7 @@ mod tests {
     #[test]
     fn conforms_to_scheduler_contract() {
         let items: Vec<WorkItem> = (0..50)
-            .map(|i| item((i % 2) as usize, (50 - i) as u64, 64 + i, i))
+            .map(|i| item((i % 2) as usize, 50 - i, 64 + i, i))
             .collect();
         crate::scheduler::contract::check_no_loss_and_conservation(
             Box::new(ByteScheduler::new(128, 256, 2)),

@@ -65,6 +65,14 @@ pub trait Scheduler {
     /// `start()` calls made by the SCHEDULE loop).
     fn poll(&mut self, now: SimTime) -> Vec<WorkItem>;
 
+    /// Like [`Scheduler::poll`] but appends into a caller-provided buffer,
+    /// so the runtime's event loop can reuse one allocation across the
+    /// millions of polls a long run performs. The default delegates to
+    /// `poll`; hot implementations override both to share one code path.
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<WorkItem>) {
+        out.extend(self.poll(now));
+    }
+
     /// Number of lanes this scheduler manages.
     fn num_lanes(&self) -> usize;
 

@@ -165,6 +165,14 @@ impl WorkerEngine {
 
     /// Advances to `now`, retiring GPU ops that end at or before it.
     pub fn advance(&mut self, now: SimTime) -> Vec<EngineEvent> {
+        self.advance_queued(now);
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Like [`Self::advance`] but leaves emitted events in the internal
+    /// buffer for [`Self::drain_pending`], so a hot event loop can move
+    /// them out without surrendering the buffer's allocation.
+    pub fn advance_queued(&mut self, now: SimTime) {
         while let Some((start, end, iter, node)) = self.gpu {
             if end > now {
                 break;
@@ -176,7 +184,17 @@ impl WorkerEngine {
             self.complete_node(end, iter, node);
             self.maybe_start_gpu(end);
         }
-        std::mem::take(&mut self.pending)
+    }
+
+    /// Moves out events emitted by the `*_queued` methods, keeping the
+    /// internal buffer's capacity for reuse.
+    pub fn drain_pending(&mut self) -> std::vec::Drain<'_, EngineEvent> {
+        self.pending.drain(..)
+    }
+
+    /// True when emitted events await [`Self::drain_pending`].
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Delivers an external completion signal — the runtime's translation
@@ -188,9 +206,16 @@ impl WorkerEngine {
         iter: u64,
         role: ExternalRole,
     ) -> Vec<EngineEvent> {
+        self.complete_external_queued(now, iter, role);
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Like [`Self::complete_external`] but leaves emitted events in the
+    /// internal buffer for [`Self::drain_pending`].
+    pub fn complete_external_queued(&mut self, now: SimTime, iter: u64, role: ExternalRole) {
         if iter >= self.max_iters {
             // Communication of the final iterations gates nothing.
-            return std::mem::take(&mut self.pending);
+            return;
         }
         let node = *self
             .role_index
@@ -199,7 +224,7 @@ impl WorkerEngine {
         let Some(state) = self.iters.get(&iter) else {
             // The iteration already retired in full (possible only for
             // signals that gate nothing, e.g. a duplicate); ignore.
-            return std::mem::take(&mut self.pending);
+            return;
         };
         assert!(
             !state.done[node],
@@ -211,7 +236,6 @@ impl WorkerEngine {
         );
         self.complete_node(now, iter, node);
         self.maybe_start_gpu(now);
-        std::mem::take(&mut self.pending)
     }
 
     /// Materialises iteration `k`.

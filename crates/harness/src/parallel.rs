@@ -22,17 +22,16 @@ where
     }
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in islice.iter().zip(oslice.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 

@@ -69,6 +69,26 @@ impl Fabric {
         }
     }
 
+    /// Like [`Self::advance`] but appends into a caller-provided buffer.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
+        match self {
+            Fabric::Fifo(n) => n.advance_into(now, out),
+            Fabric::Fluid(n) => n.advance_into(now, out),
+        }
+    }
+
+    /// True when `advance(now)` could change fabric state or emit events;
+    /// the event loop skips the call otherwise. The fluid fabric must
+    /// still integrate every tick while flows are active (see
+    /// [`FluidNetwork::wants_advance`]); the FIFO fabric only changes at
+    /// its scheduled release/delivery instants.
+    pub fn wants_advance(&self, now: SimTime) -> bool {
+        match self {
+            Fabric::Fifo(n) => n.next_event_time() <= now,
+            Fabric::Fluid(n) => n.wants_advance(now),
+        }
+    }
+
     /// Total payload bytes delivered so far.
     pub fn bytes_delivered(&self) -> u64 {
         match self {
@@ -82,6 +102,22 @@ impl Fabric {
         match self {
             Fabric::Fifo(n) => n.in_flight(),
             Fabric::Fluid(n) => n.in_flight(),
+        }
+    }
+
+    /// Transfers delivered end-to-end so far.
+    pub fn transfers_delivered(&self) -> u64 {
+        match self {
+            Fabric::Fifo(n) => n.transfers_delivered(),
+            Fabric::Fluid(n) => n.transfers_delivered(),
+        }
+    }
+
+    /// Highest number of simultaneously active transfers seen so far.
+    pub fn peak_in_flight(&self) -> usize {
+        match self {
+            Fabric::Fifo(n) => n.peak_in_flight(),
+            Fabric::Fluid(n) => n.peak_in_flight(),
         }
     }
 

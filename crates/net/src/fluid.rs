@@ -17,6 +17,7 @@
 //! semantics, only the sharing discipline differs. The fabric-sensitivity
 //! ablation (`tests/fabrics.rs`) compares the two.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use bs_sim::SimTime;
@@ -44,14 +45,36 @@ struct Flow {
 pub struct FluidNetwork {
     cfg: NetConfig,
     num_nodes: usize,
-    /// Active flows by id.
+    /// Flow slot table, indexed by [`TransferId`]. Slots are recycled via
+    /// `free_slots`, so the table length is bounded by the *peak* number
+    /// of concurrent flows, not by the total ever submitted.
     flows: Vec<Option<Flow>>,
+    /// Recycled slot indices (LIFO).
+    free_slots: Vec<u64>,
     active: Vec<TransferId>,
+    /// Flows per port in submission order, maintained incrementally
+    /// (up ports 0..n, down ports n..2n). Mirrors what `reallocate` used
+    /// to rebuild from `active` on every call.
+    port_flows: Vec<Vec<TransferId>>,
     /// Deliveries pending after their flow drained: (time, completed).
     deliveries: VecDeque<(SimTime, CompletedTransfer)>,
     /// Last instant `remaining` values were integrated to.
     last_update: SimTime,
+    /// Memoised earliest flow-drain instant; `None` means stale. Interior
+    /// mutability so `next_event_time(&self)` can fill it lazily; cleared
+    /// whenever rates, remaining volumes, or the active set change.
+    next_drain: Cell<Option<SimTime>>,
     bytes_delivered: u64,
+    transfers_delivered: u64,
+    /// High-water mark of concurrently active flows.
+    peak_in_flight: usize,
+    /// Scratch buffers reused across `reallocate`/`advance` calls so the
+    /// hot path performs no allocation.
+    scratch_frozen: Vec<bool>,
+    scratch_port_cap: Vec<f64>,
+    scratch_port_live: Vec<u32>,
+    scratch_ids: Vec<TransferId>,
+    scratch_finished: Vec<TransferId>,
 }
 
 impl FluidNetwork {
@@ -62,10 +85,20 @@ impl FluidNetwork {
             cfg,
             num_nodes,
             flows: Vec::new(),
+            free_slots: Vec::new(),
             active: Vec::new(),
+            port_flows: vec![Vec::new(); 2 * num_nodes],
             deliveries: VecDeque::new(),
             last_update: SimTime::ZERO,
+            next_drain: Cell::new(None),
             bytes_delivered: 0,
+            transfers_delivered: 0,
+            peak_in_flight: 0,
+            scratch_frozen: Vec::new(),
+            scratch_port_cap: Vec::new(),
+            scratch_port_live: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_finished: Vec::new(),
         }
     }
 
@@ -79,9 +112,26 @@ impl FluidNetwork {
         self.bytes_delivered
     }
 
+    /// Transfers delivered end-to-end so far.
+    pub fn transfers_delivered(&self) -> u64 {
+        self.transfers_delivered
+    }
+
     /// Number of flows currently transmitting.
     pub fn in_flight(&self) -> usize {
         self.active.len()
+    }
+
+    /// Highest number of simultaneously active flows seen so far.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Length of the flow slot table. With slot recycling this is bounded
+    /// by [`Self::peak_in_flight`], no matter how many transfers have ever
+    /// been submitted — the long-run boundedness tests assert on it.
+    pub fn flow_slots(&self) -> usize {
+        self.flows.len()
     }
 
     /// True when no flow is active and no delivery is pending.
@@ -105,28 +155,55 @@ impl FluidNetwork {
         self.integrate_to(now);
         let overhead_bytes =
             self.cfg.transport.wire_overhead.as_secs_f64() * self.cfg.bytes_per_sec();
-        let id = TransferId(self.flows.len() as u64);
-        self.flows.push(Some(Flow {
+        let flow = Flow {
             src,
             dst,
             bytes,
             tag,
             remaining: bytes as f64 + overhead_bytes,
             rate: 0.0,
-        }));
+        };
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                debug_assert!(self.flows[slot as usize].is_none(), "slot in use");
+                self.flows[slot as usize] = Some(flow);
+                TransferId(slot)
+            }
+            None => {
+                let id = TransferId(self.flows.len() as u64);
+                self.flows.push(Some(flow));
+                id
+            }
+        };
         self.active.push(id);
+        self.port_flows[src.0].push(id);
+        self.port_flows[self.num_nodes + dst.0].push(id);
+        self.peak_in_flight = self.peak_in_flight.max(self.active.len());
         self.reallocate();
         id
     }
 
     /// Earliest instant anything changes: the next flow drain or pending
     /// delivery.
+    ///
+    /// The drain scan is memoised: flow rates and volumes only change in
+    /// `submit`/`advance`, so between state changes the event loop can
+    /// poll this in O(1) instead of rescanning every active flow.
     pub fn next_event_time(&self) -> SimTime {
-        let mut t = self
+        let delivery = self
             .deliveries
             .front()
             .map(|(d, _)| *d)
             .unwrap_or(SimTime::MAX);
+        delivery.min(self.drain_time())
+    }
+
+    /// Earliest flow-drain instant, recomputed only when stale.
+    fn drain_time(&self) -> SimTime {
+        if let Some(t) = self.next_drain.get() {
+            return t;
+        }
+        let mut t = SimTime::MAX;
         for id in &self.active {
             let f = self.flows[id.0 as usize].as_ref().expect("active flow");
             if f.rate > 0.0 {
@@ -139,13 +216,30 @@ impl FluidNetwork {
                 t = t.min(self.last_update + dur);
             }
         }
+        self.next_drain.set(Some(t));
         t
+    }
+
+    /// True when `advance(now)` could change state or emit events: the
+    /// event loop skips the call otherwise. While flows are in flight the
+    /// fabric must integrate every tick (the split points of the numeric
+    /// integration are part of the deterministic trace), so this only
+    /// reports false when nothing is transmitting.
+    pub fn wants_advance(&self, now: SimTime) -> bool {
+        !self.active.is_empty() || self.next_event_time() <= now
     }
 
     /// Advances to `now`, draining flows and reporting releases and
     /// deliveries in time order.
     pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
         let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Like [`Self::advance`] but appends events into a caller-provided
+    /// buffer, so the event loop can reuse one allocation across ticks.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
         loop {
             let next = self.next_event_time();
             if next > now || next.is_never() {
@@ -157,6 +251,7 @@ impl FluidNetwork {
                     let (dt, c) = self.deliveries.pop_front().expect("front exists");
                     debug_assert_eq!(dt, c.finished_at);
                     self.bytes_delivered += c.bytes;
+                    self.transfers_delivered += 1;
                     out.push(NetEvent::Delivered(c));
                     continue;
                 }
@@ -164,7 +259,7 @@ impl FluidNetwork {
             // Drain flows to `next` and complete the ones that hit zero.
             self.integrate_to(next);
             let latency = self.cfg.transport.latency;
-            let mut finished: Vec<TransferId> = Vec::new();
+            let mut finished = std::mem::take(&mut self.scratch_finished);
             self.active.retain(|id| {
                 let f = self.flows[id.0 as usize].as_ref().expect("active");
                 // Sub-byte residue counts as drained (float slop from many
@@ -176,8 +271,14 @@ impl FluidNetwork {
                     true
                 }
             });
-            for id in finished {
+            for id in finished.drain(..) {
                 let f = self.flows[id.0 as usize].take().expect("finishing flow");
+                // Retire the slot and drop the flow from its two port
+                // lists (order-preserving, so later reallocations iterate
+                // exactly as a rebuild from `active` would).
+                self.free_slots.push(id.0);
+                self.port_flows[f.src.0].retain(|x| *x != id);
+                self.port_flows[self.num_nodes + f.dst.0].retain(|x| *x != id);
                 let done = CompletedTransfer {
                     id,
                     src: f.src,
@@ -193,10 +294,10 @@ impl FluidNetwork {
                 // completion order == delivery order).
                 self.deliveries.push_back((next + latency, delivered));
             }
+            self.scratch_finished = finished;
             self.reallocate();
         }
         self.integrate_to(now);
-        out
     }
 
     /// Integrates `remaining -= rate · dt` for all active flows.
@@ -204,6 +305,7 @@ impl FluidNetwork {
         if now <= self.last_update {
             return;
         }
+        self.next_drain.set(None);
         let dt = (now - self.last_update).as_secs_f64();
         for id in &self.active {
             let f = self.flows[id.0 as usize].as_mut().expect("active");
@@ -214,30 +316,45 @@ impl FluidNetwork {
 
     /// Progressive filling: repeatedly find the most-contended port,
     /// freeze its flows at the equal share, remove the port, repeat.
+    ///
+    /// Runs entirely on persistent state (`port_flows`) and reusable
+    /// scratch buffers: cost scales with the *current* number of active
+    /// flows and ports, never with the total number of transfers the
+    /// fabric has ever carried.
     fn reallocate(&mut self) {
+        self.next_drain.set(None);
         let cap = self.cfg.bytes_per_sec();
         // Port index: up ports are 0..n, down ports n..2n.
-        let up = |node: NodeId| node.0;
-        let down = |node: NodeId| self.num_nodes + node.0;
-        let mut port_cap = vec![cap; 2 * self.num_nodes];
-        let mut port_flows: Vec<Vec<TransferId>> = vec![Vec::new(); 2 * self.num_nodes];
-        let mut unfrozen: Vec<TransferId> = self.active.clone();
-        for id in &self.active {
-            let f = self.flows[id.0 as usize].as_ref().expect("active");
-            port_flows[up(f.src)].push(*id);
-            port_flows[down(f.dst)].push(*id);
+        let ports = 2 * self.num_nodes;
+        self.scratch_port_cap.clear();
+        self.scratch_port_cap.resize(ports, cap);
+        self.scratch_port_live.clear();
+        self.scratch_port_live.resize(ports, 0);
+        if self.scratch_frozen.len() < self.flows.len() {
+            self.scratch_frozen.resize(self.flows.len(), false);
         }
-        let mut frozen = vec![false; self.flows.len()];
-        while !unfrozen.is_empty() {
+        // Only active slots are ever read below, so only they need
+        // clearing — this keeps the reset O(active), not O(slots).
+        for id in &self.active {
+            self.scratch_frozen[id.0 as usize] = false;
+        }
+        // Unfrozen-flow count per port; freezing a flow decrements both
+        // ports it traverses, so each round sees the live count without
+        // rescanning the port's flow list.
+        for (p, flows) in self.port_flows.iter().enumerate() {
+            self.scratch_port_live[p] = flows.len() as u32;
+        }
+        let mut remaining_unfrozen = self.active.len();
+        while remaining_unfrozen > 0 {
             // Bottleneck port: smallest fair share among ports that still
             // carry unfrozen flows.
             let mut best: Option<(f64, usize)> = None;
-            for (p, flows) in port_flows.iter().enumerate() {
-                let live = flows.iter().filter(|id| !frozen[id.0 as usize]).count();
+            for p in 0..ports {
+                let live = self.scratch_port_live[p];
                 if live == 0 {
                     continue;
                 }
-                let share = port_cap[p] / live as f64;
+                let share = self.scratch_port_cap[p] / live as f64;
                 if best.map(|(s, _)| share < s).unwrap_or(true) {
                     best = Some((share, p));
                 }
@@ -245,21 +362,28 @@ impl FluidNetwork {
             let Some((share, port)) = best else { break };
             // Freeze that port's unfrozen flows at the share, charging
             // the other port they traverse.
-            let ids: Vec<TransferId> = port_flows[port]
-                .iter()
-                .filter(|id| !frozen[id.0 as usize])
-                .copied()
-                .collect();
-            for id in ids {
-                frozen[id.0 as usize] = true;
+            let mut ids = std::mem::take(&mut self.scratch_ids);
+            ids.clear();
+            let frozen = &self.scratch_frozen;
+            ids.extend(
+                self.port_flows[port]
+                    .iter()
+                    .filter(|id| !frozen[id.0 as usize])
+                    .copied(),
+            );
+            remaining_unfrozen -= ids.len();
+            for id in ids.drain(..) {
+                self.scratch_frozen[id.0 as usize] = true;
                 let f = self.flows[id.0 as usize].as_mut().expect("active");
                 f.rate = share;
-                let (a, b) = (up(f.src), down(f.dst));
+                let (a, b) = (f.src.0, self.num_nodes + f.dst.0);
                 let other = if a == port { b } else { a };
-                port_cap[other] = (port_cap[other] - share).max(0.0);
+                self.scratch_port_cap[other] = (self.scratch_port_cap[other] - share).max(0.0);
+                self.scratch_port_live[a] -= 1;
+                self.scratch_port_live[b] -= 1;
             }
-            port_cap[port] = 0.0;
-            unfrozen.retain(|id| !frozen[id.0 as usize]);
+            self.scratch_port_cap[port] = 0.0;
+            self.scratch_ids = ids;
         }
     }
 }

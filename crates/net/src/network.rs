@@ -1,5 +1,6 @@
 //! The point-to-point network state machine.
 
+use std::cell::Cell;
 use std::collections::{BTreeSet, VecDeque};
 
 use bs_sim::SimTime;
@@ -108,8 +109,15 @@ pub struct Network {
     releases: BTreeSet<(SimTime, TransferId)>,
     /// Delivery instants, ordered: completions reported at these.
     deliveries: BTreeSet<(SimTime, TransferId)>,
+    /// Memoised `min(releases.first, deliveries.first)`; `None` when
+    /// stale. Filled lazily so idle polls from the event loop are O(1).
+    next_event: Cell<Option<SimTime>>,
     /// Bytes delivered since construction.
     bytes_delivered: u64,
+    /// Transfers delivered since construction.
+    transfers_delivered: u64,
+    /// High-water mark of concurrently started (on-wire) transfers.
+    peak_in_flight: usize,
     /// When enabled, completed wire occupancies.
     trace: Option<Vec<WireSpan>>,
     /// Accumulated wire-busy time per uplink, for utilisation accounting.
@@ -132,7 +140,10 @@ impl Network {
             transfers: Vec::new(),
             releases: BTreeSet::new(),
             deliveries: BTreeSet::new(),
+            next_event: Cell::new(None),
             bytes_delivered: 0,
+            transfers_delivered: 0,
+            peak_in_flight: 0,
             trace: None,
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
@@ -181,6 +192,16 @@ impl Network {
         self.bytes_delivered
     }
 
+    /// Transfers delivered end-to-end so far.
+    pub fn transfers_delivered(&self) -> u64 {
+        self.transfers_delivered
+    }
+
+    /// Highest number of simultaneously on-wire transfers seen so far.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
     /// Submits a transfer at time `now`. It joins the `src → dst`
     /// connection queue and starts once it reaches that queue's head, the
     /// uplink picks the connection (round-robin) and `dst`'s downlink is
@@ -213,6 +234,9 @@ impl Network {
     /// Earliest instant at which anything changes (a port frees or a
     /// message delivers), or `SimTime::MAX` if the wire is silent.
     pub fn next_event_time(&self) -> SimTime {
+        if let Some(t) = self.next_event.get() {
+            return t;
+        }
         let r = self
             .releases
             .first()
@@ -223,7 +247,9 @@ impl Network {
             .first()
             .map(|(t, _)| *t)
             .unwrap_or(SimTime::MAX);
-        r.min(d)
+        let t = r.min(d);
+        self.next_event.set(Some(t));
+        t
     }
 
     /// Processes everything up to `now`: frees ports whose occupancy
@@ -232,6 +258,13 @@ impl Network {
     /// before `now` as [`NetEvent::Delivered`], all in time order.
     pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
         let mut done: Vec<NetEvent> = Vec::new();
+        self.advance_into(now, &mut done);
+        done
+    }
+
+    /// Like [`Self::advance`] but appends events into a caller-provided
+    /// buffer, so the event loop can reuse one allocation across ticks.
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<NetEvent>) {
         loop {
             let next_release = self.releases.first().copied();
             let next_delivery = self.deliveries.first().copied();
@@ -249,6 +282,7 @@ impl Network {
                     break;
                 }
                 self.releases.pop_first();
+                self.next_event.set(None);
                 let tr = &self.transfers[id.0 as usize];
                 let (src, dst, bytes, tag) = (tr.src, tr.dst, tr.bytes, tr.tag);
                 debug_assert_eq!(self.nics[src.0].up_current, Some(id));
@@ -280,8 +314,10 @@ impl Network {
                     break;
                 }
                 self.deliveries.pop_first();
+                self.next_event.set(None);
                 let tr = &self.transfers[id.0 as usize];
                 self.bytes_delivered += tr.bytes;
+                self.transfers_delivered += 1;
                 done.push(NetEvent::Delivered(CompletedTransfer {
                     id,
                     src: tr.src,
@@ -292,7 +328,6 @@ impl Network {
                 }));
             }
         }
-        done
     }
 
     /// Picks the next startable connection head at `src`'s uplink,
@@ -371,6 +406,8 @@ impl Network {
         self.nics[dst.0].down_current = Some(id);
         self.releases.insert((release, id));
         self.deliveries.insert((deliver, id));
+        self.next_event.set(None);
+        self.peak_in_flight = self.peak_in_flight.max(self.releases.len());
     }
 
     /// Number of transfers currently occupying wires.

@@ -31,6 +31,13 @@ pub struct RunResult {
     /// Busiest NIC direction's busy fraction over the run (PS / FIFO
     /// fabric only; 0 otherwise). ~1.0 means a wire was the bottleneck.
     pub peak_port_utilisation: f64,
+    /// Simulated communication completions: point-to-point deliveries on
+    /// PS runs, collectives on all-reduce runs. The perf runner divides
+    /// this by wall time for its events/sec figure.
+    pub comm_events: u64,
+    /// Highest number of simultaneously in-flight transfers on the
+    /// point-to-point fabric (0 for all-reduce runs).
+    pub peak_in_flight: usize,
 }
 
 impl RunResult {
@@ -72,6 +79,8 @@ impl RunResult {
             finished_at,
             trace: None,
             peak_port_utilisation: 0.0,
+            comm_events: 0,
+            peak_in_flight: 0,
         }
     }
 

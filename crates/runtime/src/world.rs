@@ -23,6 +23,8 @@ enum Ev {
     Ring(bs_comm::CompletedOp),
 }
 
+// One `Backend` exists per run, so the Ps/Ring size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Ps {
         network: Fabric,
@@ -72,6 +74,9 @@ struct World {
     /// Scheduled all-reduce: in-flight fused ops by tag.
     ar_sched_batches: std::collections::HashMap<u64, Vec<(u64, u64)>>,
     ar_next_batch: u64,
+    /// Reusable buffer for scheduler polls (`drain_sched` runs on every
+    /// completion; this keeps the hot path allocation-free).
+    sched_scratch: Vec<WorkItem>,
     now: SimTime,
 }
 
@@ -290,6 +295,7 @@ impl World {
             ar_release_queue: std::collections::VecDeque::new(),
             ar_sched_batches: std::collections::HashMap::new(),
             ar_next_batch: 0,
+            sched_scratch: Vec::new(),
             now: SimTime::ZERO,
         }
     }
@@ -335,6 +341,7 @@ impl World {
     fn run_loop(&mut self) {
         self.seed_background();
         let mut queue: Vec<Ev> = Vec::new();
+        let mut net_events: Vec<bs_net::NetEvent> = Vec::new();
         let mut spins_at_same_instant: u64 = 0;
         let mut last_now = SimTime::ZERO;
         let debug_loop = std::env::var("BS_DEBUG_LOOP").is_ok();
@@ -353,10 +360,11 @@ impl World {
             if debug_loop {
                 self.debug_progress_line(spins_at_same_instant);
             }
-            // Drain all cascades at the current instant.
+            // Drain all cascades at the current instant. `handle` pushes
+            // follow-on events directly onto the queue (same LIFO order
+            // as the old collect-then-extend, without the Vec churn).
             while let Some(ev) = queue.pop() {
-                let more = self.handle(ev);
-                queue.extend(more);
+                self.handle(ev, &mut queue);
             }
             if self
                 .engines
@@ -406,19 +414,31 @@ impl World {
                 }
             }
             for w in 0..self.engines.len() {
-                for ev in self.engines[w].advance(t) {
+                let e = &mut self.engines[w];
+                // An engine whose next GPU-op end lies beyond `t` (and
+                // with nothing buffered) cannot emit anything; skip it.
+                if e.next_event_time() > t && !e.has_pending() {
+                    continue;
+                }
+                e.advance_queued(t);
+                for ev in e.drain_pending() {
                     queue.push(Ev::Engine(w, ev));
                 }
             }
             match &mut self.backend {
                 Backend::Ps { network, .. } => {
-                    for c in network.advance(t) {
-                        queue.push(Ev::Net(c));
+                    if network.wants_advance(t) {
+                        network.advance_into(t, &mut net_events);
+                        for c in net_events.drain(..) {
+                            queue.push(Ev::Net(c));
+                        }
                     }
                 }
                 Backend::Ring { ring, .. } => {
-                    for c in ring.advance(t) {
-                        queue.push(Ev::Ring(c));
+                    if ring.next_event_time() <= t {
+                        for c in ring.advance(t) {
+                            queue.push(Ev::Ring(c));
+                        }
                     }
                 }
             }
@@ -456,34 +476,32 @@ impl World {
         }
     }
 
-    fn handle(&mut self, ev: Ev) -> Vec<Ev> {
+    fn handle(&mut self, ev: Ev, out: &mut Vec<Ev>) {
         match ev {
             Ev::Engine(w, event) => self.handle_engine(w, event),
-            Ev::Net(c) => self.handle_net(c),
-            Ev::Ring(c) => self.handle_ring(c),
+            Ev::Net(c) => self.handle_net(c, out),
+            Ev::Ring(c) => self.handle_ring(c, out),
         }
     }
 
-    fn handle_engine(&mut self, w: usize, event: EngineEvent) -> Vec<Ev> {
+    fn handle_engine(&mut self, w: usize, event: EngineEvent) {
         match event {
             EngineEvent::ComputeIterDone { iter: _, at } => {
                 if w == 0 {
                     self.marks.push(at);
                 }
-                Vec::new()
             }
-            EngineEvent::AllDone { .. } => Vec::new(),
+            EngineEvent::AllDone { .. } => {}
             EngineEvent::ExternalReady { iter, role, .. } => match role {
                 ExternalRole::ProxyReady(i) | ExternalRole::Push(i)
                     if matches!(self.backend, Backend::Ps { .. }) =>
                 {
                     self.on_grad_ready_ps(w, i, iter);
-                    Vec::new()
                 }
                 ExternalRole::ProxyReady(i) | ExternalRole::AllReduce(i) => {
-                    self.on_grad_ready_ar(i, iter)
+                    self.on_grad_ready_ar(i, iter);
                 }
-                ExternalRole::Pull(_) | ExternalRole::ProxyFinish(_) => Vec::new(),
+                ExternalRole::Pull(_) | ExternalRole::ProxyFinish(_) => {}
                 other => panic!("role {other:?} unexpected for this backend"),
             },
         }
@@ -521,7 +539,7 @@ impl World {
 
     /// A worker reported tensor `i` ready for all-reduce. When the last
     /// worker reports, the master submits the collective (§5).
-    fn on_grad_ready_ar(&mut self, i: usize, iter: u64) -> Vec<Ev> {
+    fn on_grad_ready_ar(&mut self, i: usize, iter: u64) {
         let parts = if self.baseline_graph {
             1
         } else {
@@ -533,7 +551,7 @@ impl World {
             .expect("AR plugin")
             .on_worker_ready(i, iter, parts);
         if !all_ready {
-            return Vec::new();
+            return;
         }
         if self.baseline_graph {
             self.ar_plug
@@ -563,14 +581,15 @@ impl World {
             }
             self.drain_sched(0);
         }
-        Vec::new()
     }
 
     /// Hands everything the scheduler releases to the wire.
     fn drain_sched(&mut self, s: usize) {
-        let items = self.scheds[s].poll(self.now);
+        let mut items = std::mem::take(&mut self.sched_scratch);
+        debug_assert!(items.is_empty());
+        self.scheds[s].poll_into(self.now, &mut items);
         let submitted_to_ring = !items.is_empty() && matches!(self.backend, Backend::Ring { .. });
-        for item in items {
+        for item in items.drain(..) {
             match &mut self.backend {
                 Backend::Ps { network, ps } => {
                     let tok = Token::unpack(item.token);
@@ -609,6 +628,7 @@ impl World {
                 }
             }
         }
+        self.sched_scratch = items;
         if submitted_to_ring {
             self.maybe_submit_scheduled_fused();
         }
@@ -692,7 +712,7 @@ impl World {
         );
     }
 
-    fn handle_net(&mut self, ev: NetEvent) -> Vec<Ev> {
+    fn handle_net(&mut self, ev: NetEvent, out: &mut Vec<Ev>) {
         // Co-tenant bursts loop forever: when one delivers, schedule the
         // next after the configured gap. Releases are ignored.
         if let NetEvent::Delivered(c) = ev {
@@ -709,12 +729,12 @@ impl World {
                     c.dst.0,
                     c.tag,
                 ));
-                return Vec::new();
+                return;
             }
         }
         if let NetEvent::Released(c) = ev {
             if c.tag & Self::BG_TAG != 0 {
-                return Vec::new();
+                return;
             }
         }
         let c = match ev {
@@ -726,14 +746,13 @@ impl World {
                     self.scheds[tok.worker].complete(self.now, tok.kind.lane(), c.bytes);
                     self.drain_sched(tok.worker);
                 }
-                return Vec::new();
+                return;
             }
             NetEvent::Delivered(c) => c,
         };
         let tok = Token::unpack(c.tag);
         let (w, i) = (tok.worker, tok.tensor as usize);
         let credit_on_delivery = !self.scheds[w].credit_on_release();
-        let mut out = Vec::new();
         match tok.kind {
             CommKind::Push => {
                 if credit_on_delivery {
@@ -746,9 +765,12 @@ impl World {
                     .expect("PS plugin")
                     .on_push_part_done(w, i, tok.iter);
                 if all_pushed && self.baseline_graph {
-                    for ev in
-                        self.engines[w].complete_external(self.now, tok.iter, ExternalRole::Push(i))
-                    {
+                    self.engines[w].complete_external_queued(
+                        self.now,
+                        tok.iter,
+                        ExternalRole::Push(i),
+                    );
+                    for ev in self.engines[w].drain_pending() {
                         out.push(Ev::Engine(w, ev));
                     }
                 }
@@ -800,18 +822,17 @@ impl World {
                     } else {
                         (tok.iter + 1, ExternalRole::ProxyFinish(i))
                     };
-                    for ev in self.engines[w].complete_external(self.now, iter, role) {
+                    self.engines[w].complete_external_queued(self.now, iter, role);
+                    for ev in self.engines[w].drain_pending() {
                         out.push(Ev::Engine(w, ev));
                     }
                 }
             }
             CommKind::AllReduce => unreachable!("collective token on the p2p network"),
         }
-        out
     }
 
-    fn handle_ring(&mut self, c: bs_comm::CompletedOp) -> Vec<Ev> {
-        let mut out = Vec::new();
+    fn handle_ring(&mut self, c: bs_comm::CompletedOp, out: &mut Vec<Ev>) {
         if self.baseline_graph {
             let batch = self.ar_plug.as_mut().expect("AR plugin").take_batch(c.tag);
             for (tensor, iter) in batch.tensors {
@@ -820,11 +841,12 @@ impl World {
                     .unwrap()
                     .complete_whole_tensor(tensor as usize, iter);
                 for w in 0..self.num_workers {
-                    for ev in self.engines[w].complete_external(
+                    self.engines[w].complete_external_queued(
                         self.now,
                         iter,
                         ExternalRole::AllReduce(tensor as usize),
-                    ) {
+                    );
+                    for ev in self.engines[w].drain_pending() {
                         out.push(Ev::Engine(w, ev));
                     }
                 }
@@ -845,11 +867,12 @@ impl World {
                     .on_part_done(tok.tensor as usize, tok.iter);
                 if done {
                     for w in 0..self.num_workers {
-                        for ev in self.engines[w].complete_external(
+                        self.engines[w].complete_external_queued(
                             self.now,
                             tok.iter + 1,
                             ExternalRole::ProxyFinish(tok.tensor as usize),
-                        ) {
+                        );
+                        for ev in self.engines[w].drain_pending() {
                             out.push(Ev::Engine(w, ev));
                         }
                     }
@@ -858,7 +881,6 @@ impl World {
             self.drain_sched(0);
             self.maybe_submit_scheduled_fused();
         }
-        out
     }
 
     fn into_result(mut self, cfg: &WorldConfig) -> RunResult {
@@ -870,6 +892,12 @@ impl World {
         let (p2p, coll) = match &self.backend {
             Backend::Ps { network, .. } => (network.bytes_delivered(), 0),
             Backend::Ring { ring, .. } => (0, ring.bytes_reduced()),
+        };
+        let (comm_events, peak_in_flight) = match &self.backend {
+            Backend::Ps { network, .. } => {
+                (network.transfers_delivered(), network.peak_in_flight())
+            }
+            Backend::Ring { ring, .. } => (ring.ops_reduced(), 0),
         };
         let mut result = RunResult::from_iteration_marks(
             &self.marks,
@@ -883,6 +911,8 @@ impl World {
         );
         result.trace = trace;
         result.peak_port_utilisation = peak_util;
+        result.comm_events = comm_events;
+        result.peak_in_flight = peak_in_flight;
         result
     }
 

@@ -223,7 +223,10 @@ mod tests {
             }
             // Do not observe: we are probing the acquisition only.
         }
-        assert!(right >= 6, "only {right}/10 suggestions near the good region");
+        assert!(
+            right >= 6,
+            "only {right}/10 suggestions near the good region"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ fn main() {
         model.sample_unit.label()
     );
     println!(
-        "{:>6} {:>12} {:>14} {:>8}   {}",
-        "Gbps", "baseline", "bytescheduler", "gain", "tuned (δ MB, c MB)"
+        "{:>6} {:>12} {:>14} {:>8}   tuned (δ MB, c MB)",
+        "Gbps", "baseline", "bytescheduler", "gain"
     );
     for gbps in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
         let mut base = setup.config(model.clone(), 32, gbps, SchedulerKind::Baseline);

@@ -1,0 +1,103 @@
+//! Property-style tests for `bs_sim::EventQueue`, the determinism
+//! foundation everything else builds on: same-instant FIFO ordering must
+//! survive arbitrary interleavings of scheduling and popping, and the
+//! past-event guard must clamp (release) or panic (debug) as documented.
+
+use std::collections::VecDeque;
+
+use bytescheduler::sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events scheduled at one shared instant pop in schedule order even
+    /// when pops interleave with the pushes — the heap's internal
+    /// reshuffling on pop must never reorder equal-time entries.
+    #[test]
+    fn same_instant_fifo_survives_interleaved_pops(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..4), 1..200),
+    ) {
+        let t = SimTime::from_micros(10);
+        let mut q = EventQueue::new();
+        let mut expected: VecDeque<u64> = VecDeque::new();
+        let mut next_id = 0u64;
+        for (push, burst) in ops {
+            if push {
+                for _ in 0..=burst {
+                    q.schedule(t, next_id);
+                    expected.push_back(next_id);
+                    next_id += 1;
+                }
+            } else if let Some((at, got)) = q.pop() {
+                prop_assert_eq!(at, t);
+                prop_assert_eq!(Some(got), expected.pop_front());
+            }
+        }
+        while let Some((_, got)) = q.pop() {
+            prop_assert_eq!(Some(got), expected.pop_front());
+        }
+        prop_assert!(expected.is_empty());
+    }
+
+    /// For arbitrary schedules interleaved with pops: every event comes
+    /// out, timestamps never decrease, and equal-time events preserve
+    /// their global scheduling order.
+    #[test]
+    fn pops_are_time_ordered_and_fifo_within_an_instant(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..50), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut scheduled = 0u64;
+        let mut popped: Vec<(SimTime, u64)> = Vec::new();
+        for (push, offset_us) in ops {
+            if push {
+                // Relative to `now`, so nothing lands in the past.
+                let at = q.now() + SimTime::from_micros(offset_us);
+                q.schedule(at, scheduled);
+                scheduled += 1;
+            } else if let Some(e) = q.pop() {
+                popped.push(e);
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), scheduled as usize, "no event may be lost");
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(
+                    w[0].1 < w[1].1,
+                    "same-instant events popped out of schedule order"
+                );
+            }
+        }
+    }
+}
+
+/// Scheduling before `now` is a caller bug and panics in debug builds.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "scheduled an event in the past")]
+fn past_schedule_panics_in_debug() {
+    let mut q = EventQueue::new();
+    q.schedule(SimTime::from_micros(10), 1u64);
+    q.pop();
+    q.schedule(SimTime::from_micros(5), 2u64);
+}
+
+/// In release builds the same mistake degrades gracefully: the event is
+/// clamped to `now`, and time still never runs backwards.
+#[cfg(not(debug_assertions))]
+#[test]
+fn past_schedule_clamps_to_now_in_release() {
+    let mut q = EventQueue::new();
+    q.schedule(SimTime::from_micros(10), 1u64);
+    q.pop();
+    q.schedule(SimTime::from_micros(5), 2u64);
+    let (t, e) = q.pop().expect("clamped event still fires");
+    assert_eq!(e, 2);
+    assert_eq!(t, SimTime::from_micros(10), "clamped to now, not the past");
+    assert_eq!(q.now(), SimTime::from_micros(10));
+}

@@ -151,10 +151,8 @@ proptest! {
         let mut in_flight: Vec<WorkItem> = Vec::new();
         let mut in_flight_bytes = 0u64;
         let mut max_item = 0u64;
-        let mut token = 0u64;
-        for (bytes, priority, complete_one) in ops {
-            s.submit(now, WorkItem { lane: 0, priority, bytes, token });
-            token += 1;
+        for (token, (bytes, priority, complete_one)) in ops.into_iter().enumerate() {
+            s.submit(now, WorkItem { lane: 0, priority, bytes, token: token as u64 });
             max_item = max_item.max(bytes);
             for item in s.poll(now) {
                 in_flight_bytes += item.bytes;

@@ -1,0 +1,102 @@
+//! Offline stand-in for [criterion](https://bheisler.github.io/criterion.rs).
+//!
+//! Provides the API surface `crates/bench/benches/*.rs` uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`] — with plain mean-of-N wall-clock
+//! timing instead of criterion's statistical machinery. Good enough to
+//! smoke the benches and print comparable numbers in an environment that
+//! cannot fetch the real dependency tree; the tracked perf trajectory
+//! lives in the `perf_baseline` runner and `BENCH_*.json`, not here.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints the mean sample time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mean = if b.samples.is_empty() {
+            0.0
+        } else {
+            b.samples.iter().sum::<f64>() / b.samples.len() as f64
+        };
+        println!(
+            "bench {id}: {:.3} ms/iter (mean of {})",
+            mean * 1e3,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `body` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Declares a benchmark group; both the `name/config/targets` form and
+/// the positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

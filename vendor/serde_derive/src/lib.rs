@@ -1,0 +1,292 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Implements `#[derive(Serialize)]` by hand-parsing the item's token
+//! stream (no `syn`/`quote` — those are exactly the dependencies the
+//! offline environment cannot fetch) and emitting an impl of the stub's
+//! tree-building `Serialize` trait. `#[derive(Deserialize)]` is accepted
+//! and expands to nothing; the workspace never decodes typed values.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! * structs with named fields → JSON object in field order
+//! * newtype structs → transparent (the inner value)
+//! * tuple structs (arity ≥ 2) → JSON array
+//! * unit structs → `null`
+//! * enums with unit / tuple / struct variants → externally tagged,
+//!   matching real serde (`"Variant"` / `{"Variant": ...}`)
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match parse_item(&tokens) {
+        Ok(item) => emit_impl(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: StructBody,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum StructBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: StructBody,
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<Item, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub: generic type `{name}` cannot derive Serialize"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    StructBody::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    StructBody::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => StructBody::Unit,
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                return Err("expected enum body".into());
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        other => Err(format!("serde stub: cannot derive Serialize for `{other}`")),
+    }
+}
+
+/// Advances `i` past any leading attributes (`#[...]`) and a visibility
+/// modifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a field's type (or a discriminant expression): everything up to
+/// the next comma at angle-bracket depth zero. Returns with `i` on the
+/// comma or at end-of-stream.
+fn skip_to_toplevel_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("expected field name".into());
+        };
+        fields.push(id.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_toplevel_comma(&tokens, &mut i);
+        i += 1; // ','
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_to_toplevel_comma(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("expected variant name".into());
+        };
+        let name = id.to_string();
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                StructBody::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                StructBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => StructBody::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        skip_to_toplevel_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+fn object_expr(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value({access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn emit_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let value_expr = match body {
+                StructBody::Unit => "::serde::Value::Null".to_string(),
+                StructBody::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                StructBody::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                StructBody::Named(fields) => object_expr(fields, "&self."),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {value_expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        StructBody::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        StructBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        StructBody::Named(fields) => {
+                            let inner = object_expr(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
