@@ -28,6 +28,7 @@
 
 use std::time::Instant;
 
+use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
 use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
 use bs_net::{FabricModel, FluidNetwork, NetConfig, Network, NodeId, Transport};
 use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
@@ -120,6 +121,72 @@ fn macro_scenarios(quick: bool) -> Vec<MacroScenario> {
             ),
         },
     ]
+}
+
+/// Cluster-mode macro: 4 comm-heavy jobs packed onto 8 machines of one
+/// shared fluid fabric — times the multi-job driver's tag demuxing and
+/// per-job advance loop under real contention. Events are total fabric
+/// deliveries across all tenants.
+fn run_cluster_macro(quick: bool, reps: usize) -> Value {
+    let iters = if quick { 5 } else { 20 };
+    let net = NetConfig::gbps(10.0, Transport::tcp());
+    let specs: Vec<JobSpec> = (0..4)
+        .map(|j| {
+            let mut c = WorldConfig::new(
+                comm_heavy(),
+                2,
+                Arch::ps(2),
+                net,
+                bs_engine::EngineConfig::mxnet_ps(),
+                if j % 2 == 0 {
+                    SchedulerKind::ByteScheduler {
+                        partition: 500_000,
+                        credit: 2_000_000,
+                    }
+                } else {
+                    SchedulerKind::Baseline
+                },
+            );
+            c.iters = iters;
+            c.warmup = 2;
+            c.jitter = 0.0;
+            c.seed = 1 + j as u64;
+            JobSpec::train(format!("job{j}"), c)
+        })
+        .collect();
+    let mut cluster = ClusterConfig::new(8, net);
+    cluster.fabric = FabricModel::FairShare;
+    cluster.placement = PlacementPolicy::Packed;
+
+    let mut wall_min = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run_cluster(&cluster, &specs);
+        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let r = result.expect("at least one rep");
+    let name = "cluster_4job_fluid_packed";
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, makespan {:?}",
+        name,
+        wall_min * 1e3,
+        r.fabric_events,
+        r.fabric_events as f64 / wall_min,
+        r.makespan,
+    );
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("wall_sec", Value::F64(wall_min)),
+        ("events", Value::U64(r.fabric_events)),
+        (
+            "events_per_sec",
+            Value::F64(r.fabric_events as f64 / wall_min),
+        ),
+        ("sim_jain_fairness", Value::F64(r.jain_fairness)),
+        ("sim_makespan_ns", Value::U64(r.makespan.as_nanos())),
+    ])
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -303,10 +370,11 @@ fn main() {
     let out_path = std::env::var("BS_BENCH_OUT").unwrap_or_else(|_| "BENCH_1.json".to_string());
 
     eprintln!("macro scenarios ({reps} reps, min wall):");
-    let macros: Vec<Value> = macro_scenarios(quick)
+    let mut macros: Vec<Value> = macro_scenarios(quick)
         .iter()
         .map(|s| run_macro(s, reps))
         .collect();
+    macros.push(run_cluster_macro(quick, reps));
 
     eprintln!("micro benches:");
     let scale = if quick { 10 } else { 1 };

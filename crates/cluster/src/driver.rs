@@ -1,0 +1,536 @@
+//! The cluster driver: N jobs, one fabric, one clock.
+//!
+//! Structurally this is [`bs_runtime::world`]'s event loop generalised to
+//! many [`JobState`]s. Per instant it (1) drains the LIFO cascade queue,
+//! routing each event to its owning job, (2) finds the earliest next
+//! event across every job and the shared fabric, (3) advances each job's
+//! own sources (co-tenant bursts, GPU ops, private ring streams) in job
+//! order, and (4) advances the shared fabric last, demultiplexing its
+//! events by the job-id bits of each transfer tag. With one job the event
+//! sequence is identical to the single-job driver's — the degenerate-case
+//! equivalence the test-suite pins bit-for-bit.
+
+use bs_net::{Fabric, NetEvent, NodeId};
+use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
+use bs_runtime::traffic::{BurstSource, BG_TAG};
+use bs_runtime::{JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
+use bs_sim::{SimTime, Trace};
+
+use crate::metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
+use crate::spec::{ClusterConfig, JobSpec};
+
+/// One tenant's live state.
+#[allow(clippy::large_enum_variant)]
+enum ClusterJob {
+    Train {
+        state: JobState,
+        cfg: WorldConfig,
+        arrival: SimTime,
+        finished: Option<SimTime>,
+    },
+    Burst {
+        src: BurstSource,
+        nodes: NodeMap,
+        pairs: usize,
+        seed_at: SimTime,
+        seeded: bool,
+    },
+}
+
+impl ClusterJob {
+    fn next_event_time(&self) -> SimTime {
+        match self {
+            ClusterJob::Train { state, .. } => state.next_event_time(),
+            ClusterJob::Burst {
+                src,
+                seed_at,
+                seeded,
+                ..
+            } => {
+                if *seeded {
+                    src.next_time()
+                } else {
+                    *seed_at
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self, t: SimTime, fabric: &mut Fabric, out: &mut Vec<JobEvent>) {
+        match self {
+            ClusterJob::Train { state, .. } => state.advance(t, fabric, out),
+            ClusterJob::Burst {
+                src,
+                nodes,
+                pairs,
+                seed_at,
+                seeded,
+            } => {
+                if !*seeded && *seed_at <= t {
+                    // First activation: one burst per pair in each
+                    // direction, mirroring the single-job co-tenant model
+                    // (workers are local nodes 0..pairs, "servers"
+                    // pairs..2*pairs).
+                    for w in 0..*pairs {
+                        let worker = nodes.node(w);
+                        let server = nodes.node(*pairs + w);
+                        src.seed(t, fabric, nodes, server, worker, BG_TAG | (2 * w as u64));
+                        src.seed(
+                            t,
+                            fabric,
+                            nodes,
+                            worker,
+                            server,
+                            BG_TAG | (2 * w as u64 + 1),
+                        );
+                    }
+                    *seeded = true;
+                }
+                src.fire_due(t, fabric, nodes);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: JobEvent, now: SimTime, fabric: &mut Fabric, out: &mut Vec<JobEvent>) {
+        match self {
+            ClusterJob::Train { state, .. } => state.handle(ev, now, fabric, out),
+            ClusterJob::Burst { src, .. } => {
+                // A burst tenant only ever sees its own wire milestones:
+                // re-arm on delivery, ignore releases.
+                if let JobEvent::Net(NetEvent::Delivered(c)) = ev {
+                    src.on_delivered(now, &c);
+                }
+            }
+        }
+    }
+}
+
+/// Runs every job to completion on one shared fabric and reports
+/// cluster-level metrics. Deterministic: the same specs and seeds produce
+/// a bit-identical result (including the trace).
+///
+/// Panics if the cluster deadlocks before every training job finishes.
+pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult {
+    assert!(!specs.is_empty(), "a cluster run needs at least one job");
+    assert!(
+        specs.len() <= MAX_JOBS,
+        "at most {MAX_JOBS} jobs per fabric (tag namespace)"
+    );
+    let placements = cluster.placement.place(cluster.machines, specs);
+    let mut fabric = Fabric::new(cluster.fabric, cluster.machines.max(2), cluster.net);
+    if cluster.record_trace {
+        fabric.enable_trace();
+    }
+
+    let mut jobs: Vec<ClusterJob> = specs
+        .iter()
+        .zip(&placements)
+        .enumerate()
+        .map(|(j, (spec, nodes))| match spec {
+            JobSpec::Train { arrival, cfg, .. } => {
+                let mut cfg = cfg.clone();
+                cfg.record_trace = cluster.record_trace;
+                let state = JobState::build_at(&cfg, NodeMap::new(j, nodes.clone()), *arrival);
+                ClusterJob::Train {
+                    state,
+                    cfg,
+                    arrival: *arrival,
+                    finished: None,
+                }
+            }
+            JobSpec::Burst {
+                arrival,
+                load,
+                pairs,
+                seed,
+                ..
+            } => ClusterJob::Burst {
+                src: BurstSource::new(*load, *seed),
+                nodes: NodeMap::new(j, nodes.clone()),
+                pairs: *pairs,
+                seed_at: *arrival,
+                seeded: false,
+            },
+        })
+        .collect();
+
+    let mut now = SimTime::ZERO;
+    // Training jobs' co-tenant bursts (if any) start with the simulation,
+    // exactly as the single-job driver seeds them before its loop.
+    for job in &mut jobs {
+        if let ClusterJob::Train { state, .. } = job {
+            state.seed_background(now, &mut fabric);
+        }
+    }
+
+    // Per-job traffic attribution and per-machine byte counters.
+    let mut job_bytes = vec![0u64; jobs.len()];
+    let mut job_events = vec![0u64; jobs.len()];
+    let mut up_bytes = vec![0u64; cluster.machines];
+    let mut down_bytes = vec![0u64; cluster.machines];
+
+    let mut queue: Vec<(usize, JobEvent)> = Vec::new();
+    let mut scratch: Vec<JobEvent> = Vec::new();
+    let mut net_events: Vec<NetEvent> = Vec::new();
+    let mut spins_at_same_instant: u64 = 0;
+    let mut last_now = SimTime::ZERO;
+    loop {
+        if now == last_now {
+            spins_at_same_instant += 1;
+            assert!(
+                spins_at_same_instant < 1_000_000,
+                "cluster event loop spinning at {now} without progress"
+            );
+        } else {
+            last_now = now;
+            spins_at_same_instant = 0;
+        }
+        // Drain all cascades at the current instant; follow-on events are
+        // appended in emission order, preserving the single-job driver's
+        // LIFO cascade order per job.
+        while let Some((j, ev)) = queue.pop() {
+            debug_assert!(scratch.is_empty());
+            jobs[j].handle(ev, now, &mut fabric, &mut scratch);
+            for e in scratch.drain(..) {
+                queue.push((j, e));
+            }
+        }
+        let mut all_done = true;
+        for job in &mut jobs {
+            if let ClusterJob::Train {
+                state, finished, ..
+            } = job
+            {
+                if finished.is_none() {
+                    if state.done() {
+                        *finished = Some(now);
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        let mut t = fabric.next_event_time();
+        for job in &jobs {
+            t = t.min(job.next_event_time());
+        }
+        if t.is_never() {
+            let progress: Vec<String> = jobs
+                .iter()
+                .enumerate()
+                .map(|(j, job)| match job {
+                    ClusterJob::Train { state, .. } => {
+                        format!("job{j}: iters {:?}", state.debug_iterations())
+                    }
+                    ClusterJob::Burst { src, .. } => {
+                        format!("job{j}: burst timers {}", src.pending())
+                    }
+                })
+                .collect();
+            panic!("cluster stalled at {now}: {}", progress.join("; "));
+        }
+        now = t;
+        // Job-owned sources in job order, then the shared fabric — the
+        // single-job driver's within-instant order, per job.
+        for (j, job) in jobs.iter_mut().enumerate() {
+            debug_assert!(scratch.is_empty());
+            job.advance(t, &mut fabric, &mut scratch);
+            for e in scratch.drain(..) {
+                queue.push((j, e));
+            }
+        }
+        if fabric.wants_advance(t) {
+            fabric.advance_into(t, &mut net_events);
+            for ev in net_events.drain(..) {
+                // Demultiplex by the tag's job-id bits; jobs see their
+                // own tag namespace (stripped tags), so their handlers
+                // are oblivious to co-tenancy.
+                let (j, stripped) = match ev {
+                    NetEvent::Released(mut c) => {
+                        let j = job_of_tag(c.tag);
+                        c.tag = inner_tag(c.tag);
+                        (j, NetEvent::Released(c))
+                    }
+                    NetEvent::Delivered(mut c) => {
+                        let j = job_of_tag(c.tag);
+                        c.tag = inner_tag(c.tag);
+                        job_bytes[j] += c.bytes;
+                        job_events[j] += 1;
+                        up_bytes[c.src.0] += c.bytes;
+                        down_bytes[c.dst.0] += c.bytes;
+                        (j, NetEvent::Delivered(c))
+                    }
+                };
+                queue.push((j, JobEvent::Net(stripped)));
+            }
+        }
+    }
+
+    let makespan = now;
+    let trace = cluster.record_trace.then(|| {
+        let mut trace = Trace::new();
+        for (j, job) in jobs.iter_mut().enumerate() {
+            if let ClusterJob::Train { state, .. } = job {
+                let prefix = format!("job{j}/");
+                state.append_compute_trace(&mut trace, &prefix);
+                state.append_ring_trace(&mut trace, &prefix);
+            }
+        }
+        for (tag, src, dst, start, end) in fabric.take_trace() {
+            let j = job_of_tag(tag);
+            let span = (inner_tag(tag), src, dst, start, end);
+            wire_span_into_trace(&mut trace, &span, &format!("job{j}/"));
+        }
+        trace
+    });
+
+    let peak_in_flight = fabric.peak_in_flight();
+    let peak_port_utilisation = fabric.peak_port_utilisation(makespan);
+    let fabric_events = fabric.transfers_delivered();
+
+    let outcomes: Vec<JobOutcome> = specs
+        .iter()
+        .zip(jobs)
+        .zip(&placements)
+        .enumerate()
+        .filter_map(|(j, ((spec, job), nodes))| {
+            let ClusterJob::Train {
+                state,
+                cfg,
+                arrival,
+                finished,
+            } = job
+            else {
+                return None;
+            };
+            let finished_at = finished.expect("training job finished");
+            let net = JobNetStats {
+                p2p_bytes: job_bytes[j],
+                comm_events: job_events[j],
+                peak_in_flight,
+                peak_port_utilisation,
+            };
+            Some(JobOutcome {
+                name: spec.name().to_string(),
+                arrival,
+                finished_at,
+                jct: finished_at - arrival,
+                machines: nodes.iter().map(|n: &NodeId| n.0).collect(),
+                result: state.into_result(&cfg, finished_at, net),
+            })
+        })
+        .collect();
+    assert!(
+        !outcomes.is_empty(),
+        "a cluster run needs at least one training job"
+    );
+
+    let throughputs: Vec<f64> = outcomes.iter().map(|o| 1.0 / o.jct.as_secs_f64()).collect();
+    let capacity = cluster.net.bytes_per_sec() * makespan.as_secs_f64();
+    let link_utilisation = (0..cluster.machines)
+        .map(|m| LinkUtil {
+            machine: m,
+            up: if capacity > 0.0 {
+                up_bytes[m] as f64 / capacity
+            } else {
+                0.0
+            },
+            down: if capacity > 0.0 {
+                down_bytes[m] as f64 / capacity
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    ClusterResult {
+        jobs: outcomes,
+        makespan,
+        jain_fairness: jain_index(&throughputs),
+        link_utilisation,
+        fabric_events,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementPolicy;
+    use bs_engine::EngineConfig;
+    use bs_net::{NetConfig, Transport};
+    use bs_runtime::{Arch, BackgroundLoad, SchedulerKind};
+    use bs_sim::SimTime;
+
+    /// The runtime test-suite's comm-heavy toy: a big first tensor.
+    fn comm_heavy() -> bs_models::DnnModel {
+        use bs_models::{GpuSpec, ModelBuilder, SampleUnit};
+        let gpu = GpuSpec::custom(1e12, 2.0);
+        ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+            .explicit(
+                "l0",
+                40_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .explicit(
+                "l1",
+                5_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .explicit(
+                "l2",
+                5_000_000,
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+            )
+            .build()
+    }
+
+    fn job_cfg(sched: SchedulerKind, seed: u64) -> WorldConfig {
+        let mut c = WorldConfig::new(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            NetConfig::gbps(10.0, Transport::tcp()),
+            EngineConfig::mxnet_ps(),
+            sched,
+        );
+        c.iters = 8;
+        c.warmup = 2;
+        c.jitter = 0.02;
+        c.seed = seed;
+        c
+    }
+
+    fn bs() -> SchedulerKind {
+        SchedulerKind::ByteScheduler {
+            partition: 2_000_000,
+            credit: 8_000_000,
+        }
+    }
+
+    #[test]
+    fn single_job_cluster_matches_solo_run() {
+        let cfg = job_cfg(bs(), 11);
+        let solo = bs_runtime::run(&cfg);
+        let cluster = ClusterConfig::new(4, cfg.net);
+        let r = run_cluster(&cluster, &[JobSpec::train("solo", cfg)]);
+        assert_eq!(r.jobs.len(), 1);
+        let j = &r.jobs[0];
+        assert_eq!(j.result.speed, solo.speed);
+        assert_eq!(j.finished_at, solo.finished_at);
+        assert_eq!(j.result.p2p_bytes, solo.p2p_bytes);
+        assert_eq!(j.result.comm_events, solo.comm_events);
+        assert_eq!(r.makespan, solo.finished_at);
+        assert_eq!(r.jain_fairness, 1.0);
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        cluster.record_trace = true;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 3)),
+            JobSpec::train("b", job_cfg(SchedulerKind::Baseline, 4)),
+        ];
+        let r1 = run_cluster(&cluster, &specs);
+        let r2 = run_cluster(&cluster, &specs);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.jain_fairness, r2.jain_fairness);
+        let t1 = r1.trace.unwrap().to_chrome_json();
+        let t2 = r2.trace.unwrap().to_chrome_json();
+        assert_eq!(t1, t2, "same seed must give a bit-identical trace");
+    }
+
+    #[test]
+    fn packed_jobs_contend_and_slow_each_other_down() {
+        let cfg = job_cfg(bs(), 5);
+        let solo = bs_runtime::run(&cfg);
+        let mut cluster = ClusterConfig::new(4, cfg.net);
+        cluster.placement = PlacementPolicy::Packed;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 5)),
+            JobSpec::train("b", job_cfg(bs(), 6)),
+        ];
+        let r = run_cluster(&cluster, &specs);
+        for j in &r.jobs {
+            assert!(
+                j.result.speed < solo.speed * 0.95,
+                "sharing every NIC must cost real throughput: {} vs solo {}",
+                j.result.speed,
+                solo.speed
+            );
+        }
+    }
+
+    #[test]
+    fn spread_placement_isolates_when_cluster_has_room() {
+        let mut packed = ClusterConfig::new(8, NetConfig::gbps(10.0, Transport::tcp()));
+        packed.placement = PlacementPolicy::Packed;
+        let mut spread = packed.clone();
+        spread.placement = PlacementPolicy::RoundRobinSpread;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 5)),
+            JobSpec::train("b", job_cfg(bs(), 6)),
+        ];
+        let rp = run_cluster(&packed, &specs);
+        let rs = run_cluster(&spread, &specs);
+        assert!(
+            rs.makespan < rp.makespan,
+            "disjoint placement must finish sooner: {} vs {}",
+            rs.makespan,
+            rp.makespan
+        );
+    }
+
+    #[test]
+    fn burst_tenant_slows_a_colocated_job() {
+        let specs_solo = vec![JobSpec::train("a", job_cfg(bs(), 5))];
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        let solo = run_cluster(&cluster, &specs_solo);
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 5)),
+            JobSpec::burst(
+                "cross-traffic",
+                BackgroundLoad {
+                    burst_bytes: 4 << 20,
+                    gap_us: 200,
+                },
+                2,
+                99,
+            ),
+        ];
+        let r = run_cluster(&cluster, &specs);
+        assert_eq!(r.jobs.len(), 1, "burst tenants produce no outcome");
+        assert!(
+            r.jobs[0].result.speed < solo.jobs[0].result.speed,
+            "co-located bursts must cost throughput: {} vs {}",
+            r.jobs[0].result.speed,
+            solo.jobs[0].result.speed
+        );
+    }
+
+    #[test]
+    fn late_arrival_shifts_completion_not_jct_much() {
+        let mut cluster = ClusterConfig::new(8, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::RoundRobinSpread;
+        let arrival = SimTime::from_millis(500);
+        let specs = vec![
+            JobSpec::train("early", job_cfg(bs(), 5)),
+            JobSpec::train_at("late", job_cfg(bs(), 6), arrival),
+        ];
+        let r = run_cluster(&cluster, &specs);
+        let late = &r.jobs[1];
+        assert_eq!(late.arrival, arrival);
+        assert!(late.finished_at > arrival);
+        assert_eq!(late.jct, late.finished_at - arrival);
+        assert!(r.makespan >= late.finished_at.max(r.jobs[0].finished_at));
+    }
+}

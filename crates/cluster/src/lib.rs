@@ -1,0 +1,49 @@
+//! Multi-job shared-fabric cluster simulation.
+//!
+//! The paper's §7 names co-scheduling in a shared cluster as the open
+//! problem: ByteScheduler orders one job's traffic perfectly but ignores
+//! what the *other* tenants of the network are doing. This crate builds
+//! the testbed that question needs — `N` concurrent training jobs
+//! multiplexed over **one** fabric under **one** simulated clock, so jobs
+//! genuinely contend on shared machine NICs rather than being approximated
+//! by synthetic burst generators.
+//!
+//! The pieces:
+//!
+//! * [`JobSpec`] — one tenant: a full training job (any model, PS or
+//!   all-reduce, any scheduler policy, an arrival time and iteration
+//!   budget), or a degenerate burst source that only injects co-tenant
+//!   traffic (the cluster-native form of
+//!   [`bs_runtime::BackgroundLoad`]).
+//! * [`PlacementPolicy`] — how job-local nodes map onto cluster machines:
+//!   round-robin spread, packed, or network-aware (CASSINI-style: place
+//!   to minimise expected link overlap between jobs).
+//! * [`run_cluster`] — the driver. It is the same pull-based event loop
+//!   as the single-job [`bs_runtime::world`] driver, generalised to many
+//!   [`bs_runtime::JobState`]s: per instant it drains the cascade queue,
+//!   advances each job's own sources (GPU ops, bursts, private rings) and
+//!   then the shared fabric, demultiplexing fabric events back to their
+//!   owning job via the tag namespace in [`bs_runtime::job`]. A
+//!   single-job cluster is *event-identical* to `World::run` — the
+//!   degenerate-case property the test-suite pins bit-for-bit.
+//! * [`ClusterResult`] — per-job completion times (JCT), makespan,
+//!   Jain's fairness index over per-job throughput, and per-machine link
+//!   utilisation; optionally a merged Chrome trace with one track group
+//!   per job.
+//!
+//! Contention semantics: jobs sharing a machine share that machine's NIC
+//! in both directions, under whichever [`bs_net::FabricModel`] the
+//! cluster uses (strict FIFO or max-min fair). All-reduce jobs keep their
+//! ring on a private collective stream (exactly as the single-job driver
+//! always has) and therefore only contend for machines, not wires; see
+//! DESIGN.md for the rationale and limits of that approximation.
+
+pub mod driver;
+pub mod metrics;
+pub mod placement;
+pub mod spec;
+
+pub use driver::run_cluster;
+pub use metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
+pub use placement::PlacementPolicy;
+pub use spec::{ClusterConfig, JobSpec};

@@ -1,0 +1,106 @@
+//! Cluster-level metrics: JCT, makespan, fairness, link utilisation.
+
+use bs_runtime::RunResult;
+use bs_sim::{SimTime, Trace};
+use serde::Serialize;
+
+/// Jain's fairness index over the given allocations:
+/// `(Σx)² / (n · Σx²)`. 1.0 = perfectly fair, `1/n` = one tenant takes
+/// everything. Empty input yields 1.0 (nothing to be unfair about).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// One machine NIC's utilisation over the cluster makespan, as delivered
+/// payload bytes over the effective link capacity.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LinkUtil {
+    /// Machine index.
+    pub machine: usize,
+    /// Uplink (egress) utilisation in [0, ~1].
+    pub up: f64,
+    /// Downlink (ingress) utilisation in [0, ~1].
+    pub down: f64,
+}
+
+/// One training job's cluster outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobOutcome {
+    /// The spec's display name.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the job's last iteration retired.
+    pub finished_at: SimTime,
+    /// Job completion time: `finished_at - arrival`.
+    pub jct: SimTime,
+    /// Machines backing the job's local nodes.
+    pub machines: Vec<usize>,
+    /// The job's full single-job measurement (speed, iteration times,
+    /// per-job traffic counters).
+    pub result: RunResult,
+}
+
+/// The outcome of one cluster run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterResult {
+    /// Training jobs in spec order (burst tenants produce no outcome).
+    pub jobs: Vec<JobOutcome>,
+    /// When the last training job finished.
+    pub makespan: SimTime,
+    /// Jain's index over per-job throughput (1/JCT) — how evenly the
+    /// fabric served the tenants.
+    pub jain_fairness: f64,
+    /// Per-machine NIC utilisation over the makespan (all tenants'
+    /// traffic, burst tenants included).
+    pub link_utilisation: Vec<LinkUtil>,
+    /// Total point-to-point deliveries on the shared fabric — the
+    /// cluster-mode events/sec numerator for the perf baseline.
+    pub fabric_events: u64,
+    /// Merged execution trace with per-job track groups (`job0/…`), when
+    /// [`crate::ClusterConfig::record_trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+impl ClusterResult {
+    /// The busiest NIC direction's utilisation.
+    pub fn peak_link_utilisation(&self) -> f64 {
+        self.link_utilisation
+            .iter()
+            .flat_map(|l| [l.up, l.down])
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean JCT across training jobs, seconds.
+    pub fn mean_jct_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.jct.as_secs_f64()).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        // One tenant hogging everything tends to 1/n.
+        let j = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((j - 1.0 / 3.0).abs() < 1e-12, "{j}");
+        // Moderate skew lands strictly between.
+        let j = jain_index(&[2.0, 1.0]);
+        assert!(j > 0.5 && j < 1.0);
+    }
+}

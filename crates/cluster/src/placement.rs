@@ -1,0 +1,174 @@
+//! Placement policies: which machines each job's nodes land on.
+//!
+//! Placement decides *how much* jobs contend: two jobs sharing a machine
+//! share its NIC in both directions. The three policies bracket the
+//! space: `Packed` maximises overlap (worst case / highest consolidation),
+//! `RoundRobinSpread` is the oblivious default schedulers actually use,
+//! and `NetworkAware` greedily minimises expected link overlap by placing
+//! each arriving job on the least-loaded machines — the greedy
+//! approximation of CASSINI-style network-aware scheduling (see
+//! PAPERS.md).
+
+use bs_net::NodeId;
+use serde::Serialize;
+
+use crate::spec::JobSpec;
+
+/// How job-local nodes map onto cluster machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum PlacementPolicy {
+    /// A global cursor walks the machines; each job takes the next `n`
+    /// consecutive machines (mod cluster size). Jobs overlap only once
+    /// the cluster wraps.
+    RoundRobinSpread,
+    /// Every job starts at machine 0: maximal NIC sharing. The
+    /// consolidation end of the spectrum, and the adversarial case for
+    /// fairness.
+    Packed,
+    /// Greedy network-aware placement: each job (in arrival order) takes
+    /// the machines with the least accumulated traffic demand, weighted
+    /// by the job's per-iteration gradient bytes. Minimises expected link
+    /// overlap between jobs.
+    NetworkAware,
+}
+
+impl PlacementPolicy {
+    /// Display name for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobinSpread => "round-robin",
+            PlacementPolicy::Packed => "packed",
+            PlacementPolicy::NetworkAware => "network-aware",
+        }
+    }
+
+    /// All policies, for comparisons.
+    pub fn all() -> [PlacementPolicy; 3] {
+        [
+            PlacementPolicy::RoundRobinSpread,
+            PlacementPolicy::Packed,
+            PlacementPolicy::NetworkAware,
+        ]
+    }
+
+    /// Assigns machines to every job, in spec order. Entry `j` lists the
+    /// machines backing job `j`'s local nodes 0, 1, …; machines within
+    /// one job are always distinct (a job's nodes never share a NIC —
+    /// loopback traffic is not modelled).
+    ///
+    /// Panics if any single job needs more machines than the cluster has.
+    pub fn place(&self, machines: usize, specs: &[JobSpec]) -> Vec<Vec<NodeId>> {
+        for s in specs {
+            assert!(
+                s.nodes_needed() <= machines,
+                "job '{}' needs {} machines but the cluster has {machines}",
+                s.name(),
+                s.nodes_needed()
+            );
+        }
+        match self {
+            PlacementPolicy::Packed => specs
+                .iter()
+                .map(|s| (0..s.nodes_needed()).map(NodeId).collect())
+                .collect(),
+            PlacementPolicy::RoundRobinSpread => {
+                let mut cursor = 0usize;
+                specs
+                    .iter()
+                    .map(|s| {
+                        let n = s.nodes_needed();
+                        let nodes = (0..n).map(|k| NodeId((cursor + k) % machines)).collect();
+                        cursor = (cursor + n) % machines;
+                        nodes
+                    })
+                    .collect()
+            }
+            PlacementPolicy::NetworkAware => {
+                let mut load = vec![0u64; machines];
+                specs
+                    .iter()
+                    .map(|s| {
+                        let n = s.nodes_needed();
+                        if n == 0 {
+                            return Vec::new();
+                        }
+                        // The n least-loaded machines, ties broken by
+                        // index; assigned in machine order so the mapping
+                        // is deterministic.
+                        let mut by_load: Vec<usize> = (0..machines).collect();
+                        by_load.sort_by_key(|&m| (load[m], m));
+                        let mut chosen: Vec<usize> = by_load[..n].to_vec();
+                        chosen.sort_unstable();
+                        let per_node = s.demand_bytes() / n as u64;
+                        for &m in &chosen {
+                            load[m] += per_node.max(1);
+                        }
+                        chosen.into_iter().map(NodeId).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_engine::EngineConfig;
+    use bs_net::{NetConfig, Transport};
+    use bs_runtime::{Arch, SchedulerKind, WorldConfig};
+
+    fn train(workers: usize) -> JobSpec {
+        let cfg = WorldConfig::new(
+            bs_models::zoo::vgg16(),
+            workers,
+            Arch::ps(workers),
+            NetConfig::gbps(10.0, Transport::tcp()),
+            EngineConfig::mxnet_ps(),
+            SchedulerKind::Baseline,
+        );
+        JobSpec::train(format!("j{workers}"), cfg)
+    }
+
+    #[test]
+    fn within_job_machines_are_always_distinct() {
+        let specs = vec![train(2), train(3), train(4)];
+        for p in PlacementPolicy::all() {
+            for nodes in p.place(8, &specs) {
+                let mut seen: Vec<usize> = nodes.iter().map(|n| n.0).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), nodes.len(), "{p:?} reused a machine in-job");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_overlaps_and_spread_separates_when_room() {
+        let specs = vec![train(2), train(2)];
+        // 2 workers + 2 shards = 4 machines per job; 8 machines fit both.
+        let packed = PlacementPolicy::Packed.place(8, &specs);
+        assert_eq!(packed[0], packed[1], "packed jobs share all machines");
+        let spread = PlacementPolicy::RoundRobinSpread.place(8, &specs);
+        assert!(
+            spread[0].iter().all(|n| !spread[1].contains(n)),
+            "spread jobs must be disjoint when the cluster has room"
+        );
+    }
+
+    #[test]
+    fn network_aware_fills_empty_machines_first() {
+        let specs = vec![train(2), train(2)];
+        let placed = PlacementPolicy::NetworkAware.place(8, &specs);
+        assert!(
+            placed[0].iter().all(|n| !placed[1].contains(n)),
+            "network-aware must avoid loaded machines while empty ones exist"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn oversized_jobs_rejected() {
+        PlacementPolicy::Packed.place(3, &[train(2)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cluster and job specifications.
+
+use bs_net::{FabricModel, NetConfig};
+use bs_runtime::{BackgroundLoad, JobState, WorldConfig};
+use bs_sim::SimTime;
+use serde::Serialize;
+
+use crate::placement::PlacementPolicy;
+
+/// The shared infrastructure every job runs on.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterConfig {
+    /// Machines in the cluster. Each machine is one fabric node (one
+    /// duplex NIC); a machine may host one job's worker and another job's
+    /// PS shard simultaneously — that is the contention being modelled.
+    pub machines: usize,
+    /// NIC bandwidth + transport, uniform across machines.
+    pub net: NetConfig,
+    /// Sharing discipline of the shared fabric.
+    pub fabric: FabricModel,
+    /// How job-local nodes map onto machines.
+    pub placement: PlacementPolicy,
+    /// Record a merged Chrome trace with per-job track groups.
+    pub record_trace: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster with the default FIFO fabric and round-robin placement.
+    pub fn new(machines: usize, net: NetConfig) -> ClusterConfig {
+        ClusterConfig {
+            machines,
+            net,
+            fabric: FabricModel::SerialFifo,
+            placement: PlacementPolicy::RoundRobinSpread,
+            record_trace: false,
+        }
+    }
+}
+
+/// One tenant of the cluster.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum JobSpec {
+    /// A full training job. `cfg.net` is used only for the job's private
+    /// collective stream (all-reduce); its point-to-point traffic rides
+    /// the *cluster's* fabric at the cluster's `net`.
+    Train {
+        /// Display name ("vgg16-bs", …).
+        name: String,
+        /// When the job's compute starts.
+        arrival: SimTime,
+        /// The complete run configuration.
+        cfg: WorldConfig,
+    },
+    /// A degenerate tenant that only injects looping co-tenant bursts —
+    /// the cluster-native form of [`BackgroundLoad`]. It occupies
+    /// `2 * pairs` machines (`pairs` "workers" and `pairs` "servers",
+    /// bursting both directions on each pair) and never finishes; the
+    /// cluster run ends when every training job does.
+    Burst {
+        /// Display name.
+        name: String,
+        /// When the first bursts are injected.
+        arrival: SimTime,
+        /// Burst size and gap.
+        load: BackgroundLoad,
+        /// Worker/server machine pairs carrying bursts.
+        pairs: usize,
+        /// Seed of the gap-jitter RNG stream.
+        seed: u64,
+    },
+}
+
+impl JobSpec {
+    /// A training job arriving at time zero.
+    pub fn train(name: impl Into<String>, cfg: WorldConfig) -> JobSpec {
+        JobSpec::train_at(name, cfg, SimTime::ZERO)
+    }
+
+    /// A training job arriving at `arrival`.
+    pub fn train_at(name: impl Into<String>, cfg: WorldConfig, arrival: SimTime) -> JobSpec {
+        JobSpec::Train {
+            name: name.into(),
+            arrival,
+            cfg,
+        }
+    }
+
+    /// A burst-only tenant active from time zero.
+    pub fn burst(
+        name: impl Into<String>,
+        load: BackgroundLoad,
+        pairs: usize,
+        seed: u64,
+    ) -> JobSpec {
+        JobSpec::Burst {
+            name: name.into(),
+            arrival: SimTime::ZERO,
+            load,
+            pairs,
+            seed,
+        }
+    }
+
+    /// The tenant's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            JobSpec::Train { name, .. } | JobSpec::Burst { name, .. } => name,
+        }
+    }
+
+    /// When the tenant becomes active.
+    pub fn arrival(&self) -> SimTime {
+        match self {
+            JobSpec::Train { arrival, .. } | JobSpec::Burst { arrival, .. } => *arrival,
+        }
+    }
+
+    /// Machines this tenant occupies on the shared fabric (0 for
+    /// all-reduce training jobs: their collective stream is private).
+    pub fn nodes_needed(&self) -> usize {
+        match self {
+            JobSpec::Train { cfg, .. } => JobState::fabric_nodes_needed(cfg),
+            JobSpec::Burst { pairs, .. } => 2 * pairs,
+        }
+    }
+
+    /// Rough traffic demand, used by network-aware placement to weight
+    /// machine load: gradient bytes per iteration for a training job, one
+    /// burst for a burst tenant.
+    pub fn demand_bytes(&self) -> u64 {
+        match self {
+            JobSpec::Train { cfg, .. } => {
+                cfg.model.layers.iter().map(|l| l.param_bytes).sum::<u64>()
+            }
+            JobSpec::Burst { load, .. } => load.burst_bytes,
+        }
+    }
+}

@@ -95,6 +95,19 @@ impl WorkerEngine {
         max_iters: u64,
         jitter: Option<(SimRng, f64)>,
     ) -> Self {
+        Self::new_at(dag, model, max_iters, jitter, SimTime::ZERO)
+    }
+
+    /// Like [`Self::new`] but with the first GPU op starting at `start`
+    /// instead of time zero — a job arriving into a running shared
+    /// cluster begins computing at its arrival instant.
+    pub fn new_at(
+        dag: IterDag,
+        model: &DnnModel,
+        max_iters: u64,
+        jitter: Option<(SimRng, f64)>,
+        start: SimTime,
+    ) -> Self {
         assert_eq!(
             dag.num_layers,
             model.num_layers(),
@@ -130,8 +143,8 @@ impl WorkerEngine {
             all_done_emitted: false,
             trace: None,
         };
-        engine.instantiate(0, SimTime::ZERO);
-        engine.maybe_start_gpu(SimTime::ZERO);
+        engine.instantiate(0, start);
+        engine.maybe_start_gpu(start);
         engine
     }
 

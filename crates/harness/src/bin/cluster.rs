@@ -1,0 +1,60 @@
+//! Runs the multi-job cluster experiment (`BS_QUICK=1` smoke), then
+//! verifies the two cluster-mode invariants the simulator promises:
+//! same seed ⇒ bit-identical trace, and a single-job cluster reproduces
+//! the standalone `World` run exactly.
+
+use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
+use bs_harness::experiments::cluster;
+use bs_harness::{report, Fidelity, Setup};
+use bs_runtime::SchedulerKind;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let r = cluster::run_experiment(fid);
+    print!("{}", cluster::render(&r));
+    report::write_json("cluster", &r);
+
+    // Determinism: the same 2-job cluster twice, traces recorded, must
+    // serialise to the same bytes.
+    let a = cluster::reference_run(fid);
+    let b = cluster::reference_run(fid);
+    let (ta, tb) = (
+        a.trace.as_ref().expect("trace recorded").to_chrome_json(),
+        b.trace.as_ref().expect("trace recorded").to_chrome_json(),
+    );
+    assert_eq!(ta, tb, "same seed must give a bit-identical cluster trace");
+    println!(
+        "determinism: 2-job rerun produced a bit-identical trace ({} bytes)",
+        ta.len()
+    );
+
+    // Degenerate case: a 1-job cluster is the standalone simulator.
+    let cfg = Setup::MxnetPsRdma.config(
+        bs_models::zoo::resnet50(),
+        16,
+        25.0,
+        SchedulerKind::ByteScheduler {
+            partition: 4_000_000,
+            credit: 16_000_000,
+        },
+    );
+    let mut cfg = cfg;
+    fid.apply(&mut cfg);
+    let solo = bs_runtime::run(&cfg);
+    let one = run_cluster(
+        &ClusterConfig {
+            placement: PlacementPolicy::Packed,
+            ..ClusterConfig::new(cfg.num_workers * 2, cfg.net)
+        },
+        &[JobSpec::train("solo", cfg.clone())],
+    );
+    let in_cluster = &one.jobs[0].result;
+    assert_eq!(solo.finished_at, in_cluster.finished_at, "finish time");
+    assert_eq!(solo.speed, in_cluster.speed, "training speed");
+    assert_eq!(solo.p2p_bytes, in_cluster.p2p_bytes, "fabric bytes");
+    assert_eq!(solo.comm_events, in_cluster.comm_events, "fabric events");
+    println!(
+        "degenerate case: 1-job cluster matches World::run exactly ({:.0} {} at t={:?})",
+        solo.speed, solo.speed_unit, solo.finished_at
+    );
+}

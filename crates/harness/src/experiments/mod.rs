@@ -3,6 +3,7 @@
 //! terminal table(s); the binaries glue them together.
 
 pub mod ablations;
+pub mod cluster;
 pub mod coschedule;
 pub mod dynamic;
 pub mod fig02;

@@ -137,19 +137,21 @@ impl Fabric {
             .fold(0.0, f64::max)
     }
 
-    /// Enables wire-occupancy span recording (FIFO fabric only; the fluid
-    /// fabric's overlapping flows have no exclusive occupancy to record).
+    /// Enables span recording. The FIFO fabric records exclusive wire
+    /// occupancies (start → release); the fluid fabric records flow
+    /// lifetimes (submit → drain), which may overlap.
     pub fn enable_trace(&mut self) {
-        if let Fabric::Fifo(n) = self {
-            n.enable_trace();
+        match self {
+            Fabric::Fifo(n) => n.enable_trace(),
+            Fabric::Fluid(n) => n.enable_trace(),
         }
     }
 
-    /// Drains recorded spans; empty for the fluid fabric.
+    /// Drains recorded spans: `(tag, src, dst, start, end)`.
     pub fn take_trace(&mut self) -> Vec<crate::network::WireSpan> {
         match self {
             Fabric::Fifo(n) => n.take_trace(),
-            Fabric::Fluid(_) => Vec::new(),
+            Fabric::Fluid(n) => n.take_trace(),
         }
     }
 

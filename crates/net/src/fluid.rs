@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 
 use bs_sim::SimTime;
 
-use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId};
+use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId, WireSpan};
 use crate::transport::NetConfig;
 
 #[derive(Clone, Debug)]
@@ -37,6 +37,8 @@ struct Flow {
     remaining: f64,
     /// Current max-min fair rate, bytes/sec.
     rate: f64,
+    /// Submission instant, recorded for flow-span tracing.
+    started_at: SimTime,
 }
 
 /// A max-min fair fluid fabric with the same event interface as
@@ -68,6 +70,10 @@ pub struct FluidNetwork {
     transfers_delivered: u64,
     /// High-water mark of concurrently active flows.
     peak_in_flight: usize,
+    /// When enabled, completed flow spans: `(tag, src, dst, submit,
+    /// drain)`. Unlike the FIFO fabric's exclusive wire occupancies,
+    /// fluid spans overlap — each covers a flow's whole lifetime.
+    trace: Option<Vec<WireSpan>>,
     /// Scratch buffers reused across `reallocate`/`advance` calls so the
     /// hot path performs no allocation.
     scratch_frozen: Vec<bool>,
@@ -94,6 +100,7 @@ impl FluidNetwork {
             bytes_delivered: 0,
             transfers_delivered: 0,
             peak_in_flight: 0,
+            trace: None,
             scratch_frozen: Vec::new(),
             scratch_port_cap: Vec::new(),
             scratch_port_live: Vec::new(),
@@ -115,6 +122,17 @@ impl FluidNetwork {
     /// Transfers delivered end-to-end so far.
     pub fn transfers_delivered(&self) -> u64 {
         self.transfers_delivered
+    }
+
+    /// Enables flow-span recording (see [`Self::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Drains the recorded spans: `(tag, src, dst, submit, drain)` per
+    /// completed flow, in drain order.
+    pub fn take_trace(&mut self) -> Vec<WireSpan> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Number of flows currently transmitting.
@@ -162,6 +180,7 @@ impl FluidNetwork {
             tag,
             remaining: bytes as f64 + overhead_bytes,
             rate: 0.0,
+            started_at: now,
         };
         let id = match self.free_slots.pop() {
             Some(slot) => {
@@ -279,6 +298,9 @@ impl FluidNetwork {
                 self.free_slots.push(id.0);
                 self.port_flows[f.src.0].retain(|x| *x != id);
                 self.port_flows[self.num_nodes + f.dst.0].retain(|x| *x != id);
+                if let Some(trace) = &mut self.trace {
+                    trace.push((f.tag, f.src.0, f.dst.0, f.started_at, next));
+                }
                 let done = CompletedTransfer {
                     id,
                     src: f.src,

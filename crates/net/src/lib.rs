@@ -26,5 +26,5 @@ pub mod transport;
 
 pub use fabric::{Fabric, FabricModel};
 pub use fluid::FluidNetwork;
-pub use network::{CompletedTransfer, NetEvent, Network, NodeId, TransferId};
+pub use network::{CompletedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan};
 pub use transport::{NetConfig, Transport};

@@ -1,0 +1,1059 @@
+//! Job-scoped simulation state: one training job's engines, schedulers,
+//! comm backend and plugins, decoupled from fabric ownership.
+//!
+//! Historically the single-job [`crate::world`] driver owned everything,
+//! including the point-to-point fabric. A shared cluster needs the
+//! opposite factoring: *N* jobs multiplex one fabric under one clock, so
+//! the per-job state lives here in [`JobState`] and the fabric is passed
+//! in by whichever driver owns it — [`crate::world::run`] for a solo job,
+//! `bs-cluster` for a co-scheduled fleet. A [`NodeMap`] translates
+//! job-local node indices (worker `w`, shard `s`) to fabric [`NodeId`]s
+//! and namespaces wire tags with the job's id, so transfers from
+//! different jobs are distinguishable on the shared wire.
+
+use bs_comm::{AllReduceConfig, ParamServer, PartitionKey, PsConfig, RingAllReduce, ShardAssign};
+use bs_core::{
+    partition_tensor, ByteScheduler, CommKind, CommTask, FifoScheduler, P3Scheduler, Scheduler,
+    WorkItem,
+};
+use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
+use bs_net::{Fabric, NetEvent, NodeId, WireSpan};
+use bs_sim::{SimRng, SimTime, Trace};
+
+use crate::config::{Arch, SchedulerKind, WorldConfig};
+use crate::plugin::{ArPluginState, PsPluginState};
+use crate::result::RunResult;
+use crate::token::Token;
+use crate::traffic::{is_burst_tag, BurstSource, BG_TAG};
+
+/// Bit position of the job-id field inside wire tags.
+pub const JOB_SHIFT: u32 = 58;
+/// Width of the job-id field. 5 bits ⇒ up to 32 jobs per fabric.
+pub const JOB_BITS: u32 = 5;
+/// Mask selecting the job-id field.
+pub const JOB_MASK: u64 = ((1 << JOB_BITS) - 1) << JOB_SHIFT;
+/// Most jobs a single fabric can multiplex.
+pub const MAX_JOBS: usize = 1 << JOB_BITS;
+
+/// Extracts the job id from a wire tag.
+pub fn job_of_tag(tag: u64) -> usize {
+    ((tag & JOB_MASK) >> JOB_SHIFT) as usize
+}
+
+/// Strips the job-id field, leaving the job-local tag.
+pub fn inner_tag(tag: u64) -> u64 {
+    tag & !JOB_MASK
+}
+
+/// Maps a job's local node indices onto fabric nodes and namespaces its
+/// wire tags.
+///
+/// Job-local node numbering follows the single-job convention: workers
+/// are `0..num_workers`, PS shards are `num_workers..num_workers +
+/// num_servers`. Job 0 with an identity map produces tags bit-identical
+/// to a solo [`crate::world::run`] — the equivalence the cluster's
+/// degenerate-case tests pin.
+#[derive(Clone, Debug)]
+pub struct NodeMap {
+    nodes: Vec<NodeId>,
+    job_bits: u64,
+}
+
+impl NodeMap {
+    /// Identity map for a solo job occupying fabric nodes `0..n` with
+    /// job id 0 (tags pass through unchanged).
+    pub fn identity(n: usize) -> NodeMap {
+        NodeMap {
+            nodes: (0..n).map(NodeId).collect(),
+            job_bits: 0,
+        }
+    }
+
+    /// Maps job `job`'s local nodes onto the given fabric nodes. The
+    /// placement must be injective — two of a job's nodes sharing a
+    /// machine would mean loopback traffic the fabric does not model.
+    pub fn new(job: usize, nodes: Vec<NodeId>) -> NodeMap {
+        assert!(
+            job < MAX_JOBS,
+            "job id {job} exceeds the {MAX_JOBS}-job tag budget"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for n in &nodes {
+            assert!(seen.insert(n.0), "node {n:?} assigned twice within one job");
+        }
+        NodeMap {
+            nodes,
+            job_bits: (job as u64) << JOB_SHIFT,
+        }
+    }
+
+    /// Number of fabric nodes this job occupies.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the job occupies no fabric nodes (all-reduce jobs ride a
+    /// private collective stream).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The fabric node backing job-local node `local`.
+    pub fn node(&self, local: usize) -> NodeId {
+        self.nodes[local]
+    }
+
+    /// All fabric nodes this job occupies, in job-local order.
+    pub fn fabric_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Namespaces a job-local tag for the wire.
+    pub fn tag(&self, inner: u64) -> u64 {
+        debug_assert_eq!(inner & JOB_MASK, 0, "inner tag overflows into job bits");
+        inner | self.job_bits
+    }
+}
+
+/// Internal event routed between a job's subsystems during one timestamp.
+pub enum JobEvent {
+    /// An engine event from worker `usize`.
+    Engine(usize, EngineEvent),
+    /// A point-to-point fabric milestone (tag already stripped to the
+    /// job-local form).
+    Net(NetEvent),
+    /// A completed collective on the job's private ring stream.
+    Ring(bs_comm::CompletedOp),
+}
+
+// One backend exists per job, so the Ps/Ring size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum JobBackend {
+    Ps {
+        ps: ParamServer,
+    },
+    Ring {
+        ring: RingAllReduce,
+        /// Baseline fusion threshold (bytes); irrelevant for scheduled runs.
+        fusion_bytes: u64,
+        /// Baseline fusion-cycle launch delay; zero for scheduled runs.
+        cycle_delay: SimTime,
+    },
+}
+
+/// Point-to-point statistics a driver attributes to one job when closing
+/// it out (the fabric's own counters are fabric-global).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobNetStats {
+    /// Payload bytes delivered for this job.
+    pub p2p_bytes: u64,
+    /// Point-to-point deliveries for this job.
+    pub comm_events: u64,
+    /// Peak concurrently in-flight transfers (fabric-global high-water).
+    pub peak_in_flight: usize,
+    /// Busiest NIC direction's busy fraction (FIFO fabric only).
+    pub peak_port_utilisation: f64,
+}
+
+/// One training job's complete simulation state minus the fabric.
+pub struct JobState {
+    num_workers: usize,
+    /// PS shard count (0 for all-reduce runs).
+    num_servers: usize,
+    iters: u64,
+    baseline_graph: bool,
+    /// Per-tensor partition byte sizes.
+    partitions: Vec<Vec<u64>>,
+    /// Per-tensor total bytes.
+    tensor_bytes: Vec<u64>,
+    /// Per-tensor scheduling priority.
+    priorities: Vec<u64>,
+    engines: Vec<WorkerEngine>,
+    /// PS: one per worker. All-reduce: a single master in slot 0 (§5).
+    scheds: Vec<Box<dyn Scheduler>>,
+    backend: JobBackend,
+    ps_plug: Option<PsPluginState>,
+    ar_plug: Option<ArPluginState>,
+    /// Co-tenant traffic source (PS only).
+    burst: Option<BurstSource>,
+    /// Job-local → fabric node translation and tag namespace.
+    nodes: NodeMap,
+    /// Worker 0's compute-iteration completion times.
+    marks: Vec<SimTime>,
+    /// Scheduled all-reduce: partitions released by the master scheduler,
+    /// awaiting fusion onto the ring (FIFO preserves the priority order
+    /// the scheduler chose).
+    ar_release_queue: std::collections::VecDeque<(u64, u64)>, // (token, bytes)
+    /// Scheduled all-reduce: in-flight fused ops by tag.
+    ar_sched_batches: std::collections::HashMap<u64, Vec<(u64, u64)>>,
+    ar_next_batch: u64,
+    /// Reusable buffer for scheduler polls (`drain_sched` runs on every
+    /// completion; this keeps the hot path allocation-free).
+    sched_scratch: Vec<WorkItem>,
+}
+
+impl JobState {
+    /// Fabric nodes a configuration needs: workers + shards for PS, none
+    /// for all-reduce (its collective stream is private).
+    pub fn fabric_nodes_needed(cfg: &WorldConfig) -> usize {
+        match cfg.arch {
+            Arch::Ps { num_servers, .. } => cfg.num_workers + num_servers,
+            Arch::AllReduce { .. } => 0,
+        }
+    }
+
+    /// Builds a job starting at time zero (the solo-run case).
+    pub fn build(cfg: &WorldConfig, nodes: NodeMap) -> JobState {
+        Self::build_at(cfg, nodes, SimTime::ZERO)
+    }
+
+    /// Builds a job whose compute begins at `arrival` — a job joining a
+    /// shared cluster mid-simulation.
+    pub fn build_at(cfg: &WorldConfig, nodes: NodeMap, arrival: SimTime) -> JobState {
+        assert!(cfg.num_workers >= 1, "need at least one worker");
+        assert!(
+            cfg.warmup + 2 <= cfg.iters,
+            "need at least two measured iterations after warmup"
+        );
+        assert_eq!(
+            nodes.len(),
+            Self::fabric_nodes_needed(cfg),
+            "node map must cover every worker and shard"
+        );
+        let n_layers = cfg.model.num_layers();
+
+        let engine_cfg = if cfg.scheduler.needs_scheduled_engine() {
+            cfg.engine.scheduled()
+        } else {
+            cfg.engine
+        };
+        let template = IterDag::build(n_layers, engine_cfg);
+
+        let partition_unit = match cfg.scheduler {
+            SchedulerKind::Baseline => None,
+            SchedulerKind::FifoPartitioned { partition } => Some(partition),
+            SchedulerKind::FifoCredit { partition, .. } => Some(partition),
+            SchedulerKind::P3 => Some(P3Scheduler::DEFAULT_PARTITION),
+            SchedulerKind::ByteScheduler { partition, .. } => Some(partition),
+        };
+
+        let tensor_bytes: Vec<u64> = cfg.model.layers.iter().map(|l| l.param_bytes).collect();
+        // MXNet-style big-array splitting: the vanilla PS baseline slices
+        // any tensor above 1 MB across the server shards (balanced
+        // placement), while keeping the *pull-after-whole-push* key-level
+        // dependency (§2.2). Scheduling policies use their own δ instead.
+        const BIGARRAY_BOUND: u64 = 1 << 20;
+        let baseline_split_servers = match (cfg.scheduler, cfg.arch) {
+            (
+                SchedulerKind::Baseline,
+                Arch::Ps {
+                    num_servers,
+                    baseline_bigarray_split: true,
+                    ..
+                },
+            ) => Some(num_servers as u64),
+            _ => None,
+        };
+        if cfg.per_tensor_partition.is_some() {
+            assert!(
+                matches!(cfg.scheduler, SchedulerKind::ByteScheduler { .. }),
+                "per-tensor partition sizes require the ByteScheduler policy"
+            );
+            assert_eq!(
+                cfg.per_tensor_partition.as_ref().map(Vec::len),
+                Some(n_layers),
+                "per-tensor partition override must cover every layer"
+            );
+        }
+        let partitions: Vec<Vec<u64>> = (0..n_layers)
+            .map(|i| {
+                let unit = if let Some(v) = &cfg.per_tensor_partition {
+                    Some(v[i].max(1))
+                } else if let Some(servers) = baseline_split_servers {
+                    let slices = servers.min(tensor_bytes[i].div_ceil(BIGARRAY_BOUND)).max(1);
+                    Some(tensor_bytes[i].div_ceil(slices).max(1))
+                } else {
+                    partition_unit
+                };
+                partition_tensor(
+                    &CommTask {
+                        tensor: i as u32,
+                        kind: CommKind::Push,
+                        bytes: tensor_bytes[i],
+                    },
+                    unit,
+                )
+                .iter()
+                .map(|s| s.bytes)
+                .collect()
+            })
+            .collect();
+
+        // FifoCredit isolates the credit knob: all priorities equal, so
+        // the ByteScheduler queue degenerates to arrival order.
+        let priorities: Vec<u64> = if let Some(p) = &cfg.priority_override {
+            assert_eq!(
+                p.len(),
+                n_layers,
+                "priority override must cover every layer"
+            );
+            p.clone()
+        } else if matches!(cfg.scheduler, SchedulerKind::FifoCredit { .. }) {
+            vec![0; n_layers]
+        } else {
+            (0..n_layers)
+                .map(|i| cfg.engine.kind.priority_of_layer(i, n_layers))
+                .collect()
+        };
+
+        let lanes = cfg.arch.num_lanes();
+        let num_scheds = match cfg.arch {
+            Arch::Ps { .. } => cfg.num_workers,
+            Arch::AllReduce { .. } => 1,
+        };
+        let scheds: Vec<Box<dyn Scheduler>> = (0..num_scheds)
+            .map(|_| -> Box<dyn Scheduler> {
+                match cfg.scheduler {
+                    SchedulerKind::Baseline => Box::new(FifoScheduler::new(lanes)),
+                    SchedulerKind::FifoPartitioned { partition } => {
+                        Box::new(FifoScheduler::with_partition(Some(partition), lanes))
+                    }
+                    SchedulerKind::P3 => Box::new(P3Scheduler::new(lanes)),
+                    SchedulerKind::ByteScheduler { partition, credit }
+                    | SchedulerKind::FifoCredit { partition, credit } => {
+                        Box::new(ByteScheduler::new(partition, credit, lanes))
+                    }
+                }
+            })
+            .collect();
+
+        let mut root_rng = SimRng::new(cfg.seed);
+        let engines: Vec<WorkerEngine> = (0..cfg.num_workers)
+            .map(|w| {
+                let jitter = if cfg.jitter > 0.0 {
+                    Some((root_rng.fork(w as u64), cfg.jitter))
+                } else {
+                    None
+                };
+                WorkerEngine::new_at(template.clone(), &cfg.model, cfg.iters, jitter, arrival)
+            })
+            .collect();
+
+        let (backend, ps_plug, ar_plug) = match cfg.arch {
+            Arch::Ps {
+                mode, num_servers, ..
+            } => {
+                // Scheduling policies spread δ-sized keys round-robin
+                // (balanced); the unsplit baseline places whole tensors
+                // round-robin — the naive assignment whose imbalance §6.2
+                // calls out.
+                let assign = if partition_unit.is_some() || baseline_split_servers.is_some() {
+                    ShardAssign::PerPartition
+                } else {
+                    ShardAssign::PerTensor
+                };
+                let ps = ParamServer::new(PsConfig {
+                    num_workers: cfg.num_workers,
+                    num_servers,
+                    assign,
+                    mode,
+                });
+                (
+                    JobBackend::Ps { ps },
+                    Some(PsPluginState::new(cfg.num_workers, n_layers)),
+                    None,
+                )
+            }
+            Arch::AllReduce {
+                baseline_fusion_bytes,
+                baseline_cycle_delay_us,
+            } => {
+                assert!(cfg.num_workers >= 2, "a ring needs at least two workers");
+                let ring = RingAllReduce::new(AllReduceConfig::new(cfg.num_workers, cfg.net));
+                (
+                    JobBackend::Ring {
+                        ring,
+                        fusion_bytes: baseline_fusion_bytes.unwrap_or(0),
+                        cycle_delay: SimTime::from_micros(baseline_cycle_delay_us),
+                    },
+                    None,
+                    Some(ArPluginState::new(cfg.num_workers, n_layers)),
+                )
+            }
+        };
+
+        let num_servers = match cfg.arch {
+            Arch::Ps { num_servers, .. } => num_servers,
+            Arch::AllReduce { .. } => 0,
+        };
+        let mut engines = engines;
+        let mut backend = backend;
+        if cfg.record_trace {
+            for e in &mut engines {
+                e.enable_trace();
+            }
+            if let JobBackend::Ring { ring, .. } = &mut backend {
+                ring.enable_trace();
+            }
+        }
+        let burst = cfg.background.map(|bg| {
+            assert!(
+                matches!(cfg.arch, Arch::Ps { .. }),
+                "background load is modelled for PS runs only"
+            );
+            BurstSource::new(bg, cfg.seed ^ 0xB6_0000)
+        });
+        JobState {
+            num_workers: cfg.num_workers,
+            num_servers,
+            iters: cfg.iters,
+            baseline_graph: !cfg.scheduler.needs_scheduled_engine(),
+            partitions,
+            tensor_bytes,
+            priorities,
+            engines,
+            scheds,
+            backend,
+            ps_plug,
+            ar_plug,
+            burst,
+            nodes,
+            marks: Vec::new(),
+            ar_release_queue: std::collections::VecDeque::new(),
+            ar_sched_batches: std::collections::HashMap::new(),
+            ar_next_batch: 0,
+            sched_scratch: Vec::new(),
+        }
+    }
+
+    /// Submits the co-tenant's initial bursts: one per worker NIC in each
+    /// direction, looped on delivery (see [`Self::handle`]).
+    pub fn seed_background(&mut self, now: SimTime, fabric: &mut Fabric) {
+        let Some(burst) = &mut self.burst else { return };
+        let num_servers = self.num_servers;
+        for w in 0..self.num_workers {
+            let server = self.nodes.node(self.num_workers + (w % num_servers));
+            let worker = self.nodes.node(w);
+            // Downlink contender (fights the worker's pulls)...
+            burst.seed(
+                now,
+                fabric,
+                &self.nodes,
+                server,
+                worker,
+                BG_TAG | (2 * w as u64),
+            );
+            // ...and an uplink contender (fights its pushes).
+            burst.seed(
+                now,
+                fabric,
+                &self.nodes,
+                worker,
+                server,
+                BG_TAG | (2 * w as u64 + 1),
+            );
+        }
+    }
+
+    /// True once every worker retired all its iterations.
+    pub fn done(&self) -> bool {
+        self.engines
+            .iter()
+            .all(|e| e.done_iterations() == self.iters)
+    }
+
+    /// This job's node map.
+    pub fn nodes(&self) -> &NodeMap {
+        &self.nodes
+    }
+
+    /// Earliest instant this job does anything on its own: a GPU op ends,
+    /// a co-tenant burst fires, or the private ring stream advances. The
+    /// shared fabric's next event is the driver's concern.
+    pub fn next_event_time(&self) -> SimTime {
+        let mut t = SimTime::MAX;
+        for e in &self.engines {
+            t = t.min(e.next_event_time());
+        }
+        if let Some(b) = &self.burst {
+            t = t.min(b.next_time());
+        }
+        if let JobBackend::Ring { ring, .. } = &self.backend {
+            t = t.min(ring.next_event_time());
+        }
+        t
+    }
+
+    /// Advances the job's own subsystems to `t`: fires due co-tenant
+    /// bursts, retires GPU ops, and advances the private ring stream.
+    /// Emitted events are pushed onto `queue` for the driver's cascade
+    /// loop. Fabric advancement stays with the driver.
+    pub fn advance(&mut self, t: SimTime, fabric: &mut Fabric, queue: &mut Vec<JobEvent>) {
+        if let Some(b) = &mut self.burst {
+            b.fire_due(t, fabric, &self.nodes);
+        }
+        for w in 0..self.engines.len() {
+            let e = &mut self.engines[w];
+            // An engine whose next GPU-op end lies beyond `t` (and with
+            // nothing buffered) cannot emit anything; skip it.
+            if e.next_event_time() > t && !e.has_pending() {
+                continue;
+            }
+            e.advance_queued(t);
+            for ev in e.drain_pending() {
+                queue.push(JobEvent::Engine(w, ev));
+            }
+        }
+        if let JobBackend::Ring { ring, .. } = &mut self.backend {
+            if ring.next_event_time() <= t {
+                for c in ring.advance(t) {
+                    queue.push(JobEvent::Ring(c));
+                }
+            }
+        }
+    }
+
+    /// Routes one event through the job's plugins, schedulers and
+    /// engines. Net events must carry job-local (stripped) tags.
+    pub fn handle(
+        &mut self,
+        ev: JobEvent,
+        now: SimTime,
+        fabric: &mut Fabric,
+        out: &mut Vec<JobEvent>,
+    ) {
+        match ev {
+            JobEvent::Engine(w, event) => self.handle_engine(w, event, now, fabric),
+            JobEvent::Net(c) => self.handle_net(c, now, fabric, out),
+            JobEvent::Ring(c) => self.handle_ring(c, now, out),
+        }
+    }
+
+    fn handle_engine(&mut self, w: usize, event: EngineEvent, now: SimTime, fabric: &mut Fabric) {
+        match event {
+            EngineEvent::ComputeIterDone { iter: _, at } => {
+                if w == 0 {
+                    self.marks.push(at);
+                }
+            }
+            EngineEvent::AllDone { .. } => {}
+            EngineEvent::ExternalReady { iter, role, .. } => match role {
+                ExternalRole::ProxyReady(i) | ExternalRole::Push(i)
+                    if matches!(self.backend, JobBackend::Ps { .. }) =>
+                {
+                    self.on_grad_ready_ps(w, i, iter, now, fabric);
+                }
+                ExternalRole::ProxyReady(i) | ExternalRole::AllReduce(i) => {
+                    self.on_grad_ready_ar(i, iter, now);
+                }
+                ExternalRole::Pull(_) | ExternalRole::ProxyFinish(_) => {}
+                other => panic!("role {other:?} unexpected for this backend"),
+            },
+        }
+    }
+
+    /// Worker `w`'s gradient for tensor `i` is ready: submit its push
+    /// subtasks to the worker's scheduler.
+    fn on_grad_ready_ps(
+        &mut self,
+        w: usize,
+        i: usize,
+        iter: u64,
+        now: SimTime,
+        fabric: &mut Fabric,
+    ) {
+        let parts = self.partitions[i].len() as u32;
+        self.ps_plug
+            .as_mut()
+            .expect("PS plugin")
+            .on_grad_ready(w, i, iter, parts);
+        for (p, &bytes) in self.partitions[i].iter().enumerate() {
+            let token = Token {
+                iter,
+                worker: w,
+                kind: CommKind::Push,
+                tensor: i as u32,
+                part: p as u32,
+            }
+            .pack();
+            self.scheds[w].submit(
+                now,
+                WorkItem {
+                    lane: CommKind::Push.lane(),
+                    priority: self.priorities[i],
+                    bytes,
+                    token,
+                },
+            );
+        }
+        self.drain_sched(w, now, fabric);
+    }
+
+    /// A worker reported tensor `i` ready for all-reduce. When the last
+    /// worker reports, the master submits the collective (§5).
+    fn on_grad_ready_ar(&mut self, i: usize, iter: u64, now: SimTime) {
+        let parts = if self.baseline_graph {
+            1
+        } else {
+            self.partitions[i].len() as u32
+        };
+        let all_ready = self
+            .ar_plug
+            .as_mut()
+            .expect("AR plugin")
+            .on_worker_ready(i, iter, parts);
+        if !all_ready {
+            return;
+        }
+        if self.baseline_graph {
+            self.ar_plug
+                .as_mut()
+                .unwrap()
+                .queue_for_fusion(i as u32, iter, self.tensor_bytes[i]);
+            self.maybe_submit_fused(now);
+        } else {
+            for (p, &bytes) in self.partitions[i].iter().enumerate() {
+                let token = Token {
+                    iter,
+                    worker: 0,
+                    kind: CommKind::AllReduce,
+                    tensor: i as u32,
+                    part: p as u32,
+                }
+                .pack();
+                self.scheds[0].submit(
+                    now,
+                    WorkItem {
+                        lane: 0,
+                        priority: self.priorities[i],
+                        bytes,
+                        token,
+                    },
+                );
+            }
+            self.drain_sched_ring(now);
+        }
+    }
+
+    /// Hands everything the scheduler releases to the wire.
+    fn drain_sched(&mut self, s: usize, now: SimTime, fabric: &mut Fabric) {
+        let mut items = std::mem::take(&mut self.sched_scratch);
+        debug_assert!(items.is_empty());
+        self.scheds[s].poll_into(now, &mut items);
+        for item in items.drain(..) {
+            match &mut self.backend {
+                JobBackend::Ps { ps } => {
+                    let tok = Token::unpack(item.token);
+                    let key = PartitionKey {
+                        tensor: tok.tensor,
+                        part: tok.part,
+                    };
+                    let shard = self.nodes.node(ps.shard_of(key).0);
+                    let worker = self.nodes.node(tok.worker);
+                    let tag = self.nodes.tag(item.token);
+                    match tok.kind {
+                        CommKind::Push => {
+                            fabric.submit(now, worker, shard, item.bytes, tag);
+                        }
+                        CommKind::Pull => {
+                            fabric.submit(now, shard, worker, item.bytes, tag);
+                        }
+                        CommKind::AllReduce => unreachable!("all-reduce token on PS backend"),
+                    }
+                }
+                JobBackend::Ring { .. } => {
+                    // Released partitions pass through Horovod-style
+                    // fusion before reaching the ring (§5: ByteScheduler
+                    // wraps Horovod's DistributedOptimizer).
+                    self.ar_release_queue.push_back((item.token, item.bytes));
+                }
+            }
+        }
+        self.sched_scratch = items;
+    }
+
+    /// Ring variant of [`Self::drain_sched`]: releases go to the fusion
+    /// queue and a fused collective may launch.
+    fn drain_sched_ring(&mut self, now: SimTime) {
+        let mut items = std::mem::take(&mut self.sched_scratch);
+        debug_assert!(items.is_empty());
+        self.scheds[0].poll_into(now, &mut items);
+        let submitted = !items.is_empty();
+        for item in items.drain(..) {
+            self.ar_release_queue.push_back((item.token, item.bytes));
+        }
+        self.sched_scratch = items;
+        if submitted {
+            self.maybe_submit_scheduled_fused(now);
+        }
+    }
+
+    /// Scheduled all-reduce: when the ring is idle, fuse the released
+    /// partitions at the head of the queue (up to the fusion threshold)
+    /// into one collective. Event-driven — no Horovod cycle delay, one of
+    /// ByteScheduler's implementation advantages.
+    fn maybe_submit_scheduled_fused(&mut self, now: SimTime) {
+        let JobBackend::Ring {
+            ring, fusion_bytes, ..
+        } = &mut self.backend
+        else {
+            return;
+        };
+        if ring.outstanding() > 0 || self.ar_release_queue.is_empty() {
+            return;
+        }
+        let limit = (*fusion_bytes).max(1);
+        let mut members = Vec::new();
+        let mut total = 0u64;
+        while let Some(&(token, bytes)) = self.ar_release_queue.front() {
+            if !members.is_empty() && total + bytes > limit {
+                break;
+            }
+            self.ar_release_queue.pop_front();
+            members.push((token, bytes));
+            total += bytes;
+        }
+        let id = self.ar_next_batch;
+        self.ar_next_batch += 1;
+        self.ar_sched_batches.insert(id, members);
+        ring.submit(now, total, id);
+    }
+
+    /// Baseline all-reduce: launch the next fused collective if the ring
+    /// is idle (ring FIFO means pre-queueing buys nothing, and waiting
+    /// maximises fusion — Horovod's cycle behaviour).
+    fn maybe_submit_fused(&mut self, now: SimTime) {
+        let JobBackend::Ring {
+            ring,
+            fusion_bytes,
+            cycle_delay,
+        } = &mut self.backend
+        else {
+            return;
+        };
+        if ring.outstanding() > 0 {
+            return;
+        }
+        if let Some((id, bytes)) = self
+            .ar_plug
+            .as_mut()
+            .expect("AR plugin")
+            .next_fused_batch(*fusion_bytes)
+        {
+            ring.submit_after(now, *cycle_delay, bytes, id);
+        }
+    }
+
+    /// Queues one pull partition on the worker's scheduler.
+    fn submit_pull(&mut self, worker: usize, tensor: usize, iter: u64, part: u32, now: SimTime) {
+        let token = Token {
+            iter,
+            worker,
+            kind: CommKind::Pull,
+            tensor: tensor as u32,
+            part,
+        }
+        .pack();
+        let bytes = self.partitions[tensor][part as usize];
+        self.scheds[worker].submit(
+            now,
+            WorkItem {
+                lane: CommKind::Pull.lane(),
+                priority: self.priorities[tensor],
+                bytes,
+                token,
+            },
+        );
+    }
+
+    fn handle_net(
+        &mut self,
+        ev: NetEvent,
+        now: SimTime,
+        fabric: &mut Fabric,
+        out: &mut Vec<JobEvent>,
+    ) {
+        // Co-tenant bursts loop forever: when one delivers, schedule the
+        // next after the configured gap. Releases are ignored.
+        if let NetEvent::Delivered(c) = ev {
+            if is_burst_tag(c.tag) {
+                self.burst
+                    .as_mut()
+                    .expect("bg transfer without config")
+                    .on_delivered(now, &c);
+                return;
+            }
+        }
+        if let NetEvent::Released(c) = ev {
+            if is_burst_tag(c.tag) {
+                return;
+            }
+        }
+        let c = match ev {
+            NetEvent::Released(c) => {
+                // Wire accepted the message: release-gated schedulers
+                // (P3's stop-and-wait) get their credit back now.
+                let tok = Token::unpack(c.tag);
+                if self.scheds[tok.worker].credit_on_release() {
+                    self.scheds[tok.worker].complete(now, tok.kind.lane(), c.bytes);
+                    self.drain_sched(tok.worker, now, fabric);
+                }
+                return;
+            }
+            NetEvent::Delivered(c) => c,
+        };
+        let tok = Token::unpack(c.tag);
+        let (w, i) = (tok.worker, tok.tensor as usize);
+        let credit_on_delivery = !self.scheds[w].credit_on_release();
+        match tok.kind {
+            CommKind::Push => {
+                if credit_on_delivery {
+                    self.scheds[w].complete(now, CommKind::Push.lane(), c.bytes);
+                    self.drain_sched(w, now, fabric);
+                }
+                let all_pushed = self
+                    .ps_plug
+                    .as_mut()
+                    .expect("PS plugin")
+                    .on_push_part_done(w, i, tok.iter);
+                if all_pushed && self.baseline_graph {
+                    self.engines[w].complete_external_queued(now, tok.iter, ExternalRole::Push(i));
+                    for ev in self.engines[w].drain_pending() {
+                        out.push(JobEvent::Engine(w, ev));
+                    }
+                }
+                // Aggregation bookkeeping: which pulls became legal?
+                let JobBackend::Ps { ps } = &mut self.backend else {
+                    unreachable!("push completion without PS backend")
+                };
+                let key = PartitionKey {
+                    tensor: tok.tensor,
+                    part: tok.part,
+                };
+                let grants = ps.on_push_complete(tok.iter, key, w);
+                for g in grants {
+                    if self.baseline_graph {
+                        // Key-level dependency: the worker pulls the
+                        // tensor only once every slice is aggregated.
+                        let all_granted = self
+                            .ps_plug
+                            .as_mut()
+                            .expect("PS plugin")
+                            .on_grant_part(g.worker, i, tok.iter);
+                        if all_granted {
+                            for p in 0..self.partitions[i].len() {
+                                self.submit_pull(g.worker, i, tok.iter, p as u32, now);
+                            }
+                            self.drain_sched(g.worker, now, fabric);
+                        }
+                    } else {
+                        // Partition-level dependency: partial pull after
+                        // partial push (Theorem 1 condition 3).
+                        self.submit_pull(g.worker, i, tok.iter, g.key.part, now);
+                        self.drain_sched(g.worker, now, fabric);
+                    }
+                }
+            }
+            CommKind::Pull => {
+                if credit_on_delivery {
+                    self.scheds[w].complete(now, CommKind::Pull.lane(), c.bytes);
+                    self.drain_sched(w, now, fabric);
+                }
+                let all_pulled = self
+                    .ps_plug
+                    .as_mut()
+                    .expect("PS plugin")
+                    .on_pull_part_done(w, i, tok.iter);
+                if all_pulled {
+                    let (iter, role) = if self.baseline_graph {
+                        (tok.iter, ExternalRole::Pull(i))
+                    } else {
+                        (tok.iter + 1, ExternalRole::ProxyFinish(i))
+                    };
+                    self.engines[w].complete_external_queued(now, iter, role);
+                    for ev in self.engines[w].drain_pending() {
+                        out.push(JobEvent::Engine(w, ev));
+                    }
+                }
+            }
+            CommKind::AllReduce => unreachable!("collective token on the p2p network"),
+        }
+    }
+
+    fn handle_ring(&mut self, c: bs_comm::CompletedOp, now: SimTime, out: &mut Vec<JobEvent>) {
+        if self.baseline_graph {
+            let batch = self.ar_plug.as_mut().expect("AR plugin").take_batch(c.tag);
+            for (tensor, iter) in batch.tensors {
+                self.ar_plug
+                    .as_mut()
+                    .unwrap()
+                    .complete_whole_tensor(tensor as usize, iter);
+                for w in 0..self.num_workers {
+                    self.engines[w].complete_external_queued(
+                        now,
+                        iter,
+                        ExternalRole::AllReduce(tensor as usize),
+                    );
+                    for ev in self.engines[w].drain_pending() {
+                        out.push(JobEvent::Engine(w, ev));
+                    }
+                }
+            }
+            self.maybe_submit_fused(now);
+        } else {
+            let members = self
+                .ar_sched_batches
+                .remove(&c.tag)
+                .expect("unknown scheduled batch");
+            for (token, bytes) in members {
+                let tok = Token::unpack(token);
+                self.scheds[0].complete(now, 0, bytes);
+                let done = self
+                    .ar_plug
+                    .as_mut()
+                    .expect("AR plugin")
+                    .on_part_done(tok.tensor as usize, tok.iter);
+                if done {
+                    for w in 0..self.num_workers {
+                        self.engines[w].complete_external_queued(
+                            now,
+                            tok.iter + 1,
+                            ExternalRole::ProxyFinish(tok.tensor as usize),
+                        );
+                        for ev in self.engines[w].drain_pending() {
+                            out.push(JobEvent::Engine(w, ev));
+                        }
+                    }
+                }
+            }
+            self.drain_sched_ring(now);
+            self.maybe_submit_scheduled_fused(now);
+        }
+    }
+
+    /// Closes the job out into a [`RunResult`]. `net` carries the
+    /// point-to-point statistics the driver attributes to this job (the
+    /// solo driver passes fabric totals; a cluster driver passes per-job
+    /// counters); ring statistics come from the job's private stream.
+    pub fn into_result(
+        self,
+        cfg: &WorldConfig,
+        finished_at: SimTime,
+        net: JobNetStats,
+    ) -> RunResult {
+        let (p2p, coll, comm_events, peak_in_flight) = match &self.backend {
+            JobBackend::Ps { .. } => (net.p2p_bytes, 0, net.comm_events, net.peak_in_flight),
+            JobBackend::Ring { ring, .. } => (0, ring.bytes_reduced(), ring.ops_reduced(), 0),
+        };
+        let mut result = RunResult::from_iteration_marks(
+            &self.marks,
+            cfg.warmup as usize,
+            cfg.global_batch(),
+            cfg.model.sample_unit.label(),
+            cfg.scheduler.label(),
+            p2p,
+            coll,
+            finished_at,
+        );
+        result.peak_port_utilisation = match self.backend {
+            JobBackend::Ps { .. } => net.peak_port_utilisation,
+            JobBackend::Ring { .. } => 0.0,
+        };
+        result.comm_events = comm_events;
+        result.peak_in_flight = peak_in_flight;
+        result
+    }
+
+    /// Appends this job's recorded compute spans to `trace`, with track
+    /// names prefixed by `prefix` (e.g. `"job0/"`).
+    pub fn append_compute_trace(&mut self, trace: &mut Trace, prefix: &str) {
+        for (w, engine) in self.engines.iter_mut().enumerate() {
+            let dag = engine.dag().clone();
+            for (iter, node, start, end) in engine.take_trace() {
+                let name = match dag.nodes[node].kind {
+                    NodeKind::Compute { layer, pass } => match pass {
+                        Pass::Forward => format!("fwd{layer}@it{iter}"),
+                        Pass::Backward => format!("bwd{layer}@it{iter}"),
+                    },
+                    _ => continue,
+                };
+                trace.push(name, format!("{prefix}worker{w}/gpu"), start, end);
+            }
+        }
+    }
+
+    /// Appends this job's recorded ring-collective spans to `trace`.
+    pub fn append_ring_trace(&mut self, trace: &mut Trace, prefix: &str) {
+        if let JobBackend::Ring { ring, .. } = &mut self.backend {
+            for (tag, start, end) in ring.take_trace() {
+                // Scheduled batches and baseline fused batches both use
+                // opaque batch ids; name them generically.
+                trace.push(
+                    format!("allreduce batch {tag}"),
+                    format!("{prefix}ring"),
+                    start,
+                    end,
+                );
+            }
+        }
+    }
+
+    /// Per-worker queued-subtask counts — the first tool to reach for
+    /// when a configuration seems wedged.
+    pub fn debug_sched_queues(&self) -> Vec<usize> {
+        self.scheds.iter().map(|s| s.queued()).collect()
+    }
+
+    /// Per-worker retired-iteration counts.
+    pub fn debug_iterations(&self) -> Vec<u64> {
+        self.engines.iter().map(|e| e.done_iterations()).collect()
+    }
+
+    /// Number of recorded iteration marks.
+    pub fn debug_marks(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Pending co-tenant burst timers.
+    pub fn debug_bg_timers(&self) -> usize {
+        self.burst.as_ref().map(|b| b.pending()).unwrap_or(0)
+    }
+
+    /// Outstanding collectives on the private ring stream.
+    pub fn debug_ring_outstanding(&self) -> usize {
+        match &self.backend {
+            JobBackend::Ring { ring, .. } => ring.outstanding(),
+            JobBackend::Ps { .. } => 0,
+        }
+    }
+}
+
+/// Names one wire span from its job-local tag, matching the single-job
+/// trace conventions: co-tenant bursts are labelled by node pair, subtask
+/// transfers by `(kind, tensor, partition, iteration)` on the owning
+/// worker's up/down track. Track names get `prefix` prepended.
+pub fn wire_span_into_trace(trace: &mut Trace, span: &WireSpan, prefix: &str) {
+    let (tag, src, dst, start, end) = *span;
+    if is_burst_tag(tag) {
+        trace.push(
+            "co-tenant burst",
+            format!("{prefix}node{src}->node{dst}/bg"),
+            start,
+            end,
+        );
+        return;
+    }
+    let tok = Token::unpack(tag);
+    let (name, track) = match tok.kind {
+        CommKind::Push => (
+            format!("push t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
+            format!("{prefix}worker{}/up", tok.worker),
+        ),
+        CommKind::Pull => (
+            format!("pull t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
+            format!("{prefix}worker{}/down", tok.worker),
+        ),
+        CommKind::AllReduce => unreachable!("collective on p2p fabric"),
+    };
+    trace.push(name, track, start, end);
+}

@@ -15,11 +15,14 @@
 //! plots.
 
 pub mod config;
+pub mod job;
 pub mod plugin;
 pub mod result;
 pub mod token;
+pub mod traffic;
 pub mod world;
 
 pub use config::{Arch, BackgroundLoad, SchedulerKind, WorldConfig};
+pub use job::{JobEvent, JobNetStats, JobState, NodeMap};
 pub use result::RunResult;
 pub use world::run;

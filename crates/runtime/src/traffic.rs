@@ -1,0 +1,121 @@
+//! Co-tenant burst traffic: the single injection path for
+//! [`BackgroundLoad`](crate::config::BackgroundLoad) bursts.
+//!
+//! Both the single-job [`crate::world`] driver and the shared-cluster
+//! driver (`bs-cluster`) model a synthetic co-tenant the same way: an
+//! initial burst per NIC pair, looped on delivery after a jittered gap.
+//! [`BurstSource`] owns the timers and the gap RNG; the driver decides
+//! which node pairs carry bursts and routes delivered burst events back
+//! here.
+
+use std::collections::BTreeSet;
+
+use bs_net::{CompletedTransfer, Fabric, NodeId};
+use bs_sim::{SimRng, SimTime};
+
+use crate::config::BackgroundLoad;
+use crate::job::NodeMap;
+
+/// Tag bit marking a co-tenant (background) transfer; real subtask
+/// tokens never set it (iterations stay far below 2^15).
+pub const BG_TAG: u64 = 1 << 63;
+
+/// True when `tag` identifies a co-tenant burst rather than a scheduled
+/// subtask.
+pub fn is_burst_tag(tag: u64) -> bool {
+    tag & BG_TAG != 0
+}
+
+/// A looping co-tenant burst generator over a fixed set of NIC pairs.
+///
+/// Timers and tags are kept in *job-local* (inner) terms; fabric node ids
+/// are recorded as delivered (they are already fabric-global), and tags
+/// are namespaced through the job's [`NodeMap`] on every submission so
+/// multiple burst sources can share one fabric.
+#[derive(Clone, Debug)]
+pub struct BurstSource {
+    load: BackgroundLoad,
+    /// Pending re-submissions: `(when, src, dst, inner tag)`.
+    timers: BTreeSet<(SimTime, usize, usize, u64)>,
+    /// Gap jitter (real tenants are not phase-locked; without jitter,
+    /// deterministic bursts can starve a connection forever on the FIFO
+    /// fabric).
+    rng: SimRng,
+}
+
+impl BurstSource {
+    /// Creates a source; `seed` keys the gap-jitter RNG stream.
+    pub fn new(load: BackgroundLoad, seed: u64) -> BurstSource {
+        BurstSource {
+            load,
+            timers: BTreeSet::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// The configured load.
+    pub fn load(&self) -> BackgroundLoad {
+        self.load
+    }
+
+    /// Submits one initial burst on a fabric pair. `inner_tag` must have
+    /// [`BG_TAG`] set so the delivery routes back to this source.
+    pub fn seed(
+        &mut self,
+        now: SimTime,
+        fabric: &mut Fabric,
+        nodes: &NodeMap,
+        src: NodeId,
+        dst: NodeId,
+        inner_tag: u64,
+    ) {
+        debug_assert!(is_burst_tag(inner_tag), "burst tags must set BG_TAG");
+        fabric.submit(now, src, dst, self.load.burst_bytes, nodes.tag(inner_tag));
+    }
+
+    /// Earliest pending re-submission, or `MAX` when none.
+    pub fn next_time(&self) -> SimTime {
+        self.timers
+            .first()
+            .map(|&(t, _, _, _)| t)
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Submits every burst due at or before `t`.
+    pub fn fire_due(&mut self, t: SimTime, fabric: &mut Fabric, nodes: &NodeMap) {
+        while let Some(&(bt, src, dst, tag)) = self.timers.first() {
+            if bt > t {
+                break;
+            }
+            self.timers.pop_first();
+            fabric.submit(
+                t,
+                NodeId(src),
+                NodeId(dst),
+                self.load.burst_bytes,
+                nodes.tag(tag),
+            );
+        }
+    }
+
+    /// A burst delivered: schedule the next one on the same pair after a
+    /// jittered gap — uniform in `[0.5g, 1.5g]` plus up to 50 µs even at
+    /// `g = 0`, so the co-tenant's cycle drifts relative to the job's, as
+    /// real cross traffic does. `c.tag` must already be stripped to the
+    /// inner tag.
+    pub fn on_delivered(&mut self, now: SimTime, c: &CompletedTransfer) {
+        let g = self.load.gap_us as f64;
+        let gap = self.rng.uniform(0.5 * g, 1.5 * g + 50.0);
+        self.timers.insert((
+            now + SimTime::from_micros(gap as u64),
+            c.src.0,
+            c.dst.0,
+            c.tag,
+        ));
+    }
+
+    /// Pending re-submission timers (for debug diagnostics).
+    pub fn pending(&self) -> usize {
+        self.timers.len()
+    }
+}

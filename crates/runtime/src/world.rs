@@ -1,82 +1,22 @@
-//! The co-simulation loop: engines × schedulers × comm backends.
+//! The single-job co-simulation driver: one [`JobState`] on a private
+//! fabric under one clock.
+//!
+//! All per-job mechanics (plugins, schedulers, backends) live in
+//! [`crate::job`]; this module owns what a *driver* owns — the fabric,
+//! the clock, and the cascade loop — which is exactly the split that lets
+//! `bs-cluster` multiplex many [`JobState`]s over one shared fabric with
+//! the same loop structure.
 
-use bs_comm::{AllReduceConfig, ParamServer, PartitionKey, PsConfig, RingAllReduce, ShardAssign};
-use bs_core::{
-    partition_tensor, ByteScheduler, CommKind, CommTask, FifoScheduler, P3Scheduler, Scheduler,
-    WorkItem,
-};
-use bs_engine::{EngineEvent, ExternalRole, IterDag, WorkerEngine};
-use bs_net::{Fabric, NetEvent, NodeId};
-use bs_sim::{SimRng, SimTime};
+use bs_net::Fabric;
+use bs_sim::{SimTime, Trace};
 
-use crate::config::{Arch, SchedulerKind, WorldConfig};
-use crate::plugin::{ArPluginState, PsPluginState};
+use crate::config::{Arch, WorldConfig};
+use crate::job::{wire_span_into_trace, JobEvent, JobNetStats, JobState, NodeMap};
 use crate::result::RunResult;
-use crate::token::Token;
-use bs_engine::{NodeKind, Pass};
-use bs_sim::Trace;
-
-/// Internal event routed between subsystems during one timestamp.
-enum Ev {
-    Engine(usize, EngineEvent),
-    Net(NetEvent),
-    Ring(bs_comm::CompletedOp),
-}
-
-// One `Backend` exists per run, so the Ps/Ring size gap costs nothing.
-#[allow(clippy::large_enum_variant)]
-enum Backend {
-    Ps {
-        network: Fabric,
-        ps: ParamServer,
-    },
-    Ring {
-        ring: RingAllReduce,
-        /// Baseline fusion threshold (bytes); irrelevant for scheduled runs.
-        fusion_bytes: u64,
-        /// Baseline fusion-cycle launch delay; zero for scheduled runs.
-        cycle_delay: SimTime,
-    },
-}
 
 struct World {
-    num_workers: usize,
-    /// PS shard count (0 for all-reduce runs).
-    num_servers: usize,
-    iters: u64,
-    baseline_graph: bool,
-    /// Per-tensor partition byte sizes.
-    partitions: Vec<Vec<u64>>,
-    /// Per-tensor total bytes.
-    tensor_bytes: Vec<u64>,
-    /// Per-tensor scheduling priority.
-    priorities: Vec<u64>,
-    engines: Vec<WorkerEngine>,
-    /// PS: one per worker. All-reduce: a single master in slot 0 (§5).
-    scheds: Vec<Box<dyn Scheduler>>,
-    backend: Backend,
-    ps_plug: Option<PsPluginState>,
-    ar_plug: Option<ArPluginState>,
-    /// Co-tenant traffic configuration (PS only).
-    background: Option<crate::config::BackgroundLoad>,
-    /// Pending co-tenant re-submissions: (when, src, dst, tag).
-    bg_timers: std::collections::BTreeSet<(SimTime, usize, usize, u64)>,
-    /// Gap jitter for co-tenant bursts (real tenants are not
-    /// phase-locked; without jitter, deterministic bursts can starve a
-    /// connection forever on the FIFO fabric).
-    bg_rng: SimRng,
-    /// Worker 0's compute-iteration completion times.
-    marks: Vec<SimTime>,
-    /// Scheduled all-reduce: partitions released by the master scheduler,
-    /// awaiting fusion onto the ring (FIFO preserves the priority order
-    /// the scheduler chose).
-    ar_release_queue: std::collections::VecDeque<(u64, u64)>, // (token, bytes)
-    /// Scheduled all-reduce: in-flight fused ops by tag.
-    ar_sched_batches: std::collections::HashMap<u64, Vec<(u64, u64)>>,
-    ar_next_batch: u64,
-    /// Reusable buffer for scheduler polls (`drain_sched` runs on every
-    /// completion; this keeps the hot path allocation-free).
-    sched_scratch: Vec<WorkItem>,
+    job: JobState,
+    fabric: Fabric,
     now: SimTime,
 }
 
@@ -92,255 +32,24 @@ pub fn run(cfg: &WorldConfig) -> RunResult {
 
 impl World {
     fn build(cfg: &WorldConfig) -> World {
-        assert!(cfg.num_workers >= 1, "need at least one worker");
-        assert!(
-            cfg.warmup + 2 <= cfg.iters,
-            "need at least two measured iterations after warmup"
-        );
-        let n_layers = cfg.model.num_layers();
-
-        let engine_cfg = if cfg.scheduler.needs_scheduled_engine() {
-            cfg.engine.scheduled()
-        } else {
-            cfg.engine
-        };
-        let template = IterDag::build(n_layers, engine_cfg);
-
-        let partition_unit = match cfg.scheduler {
-            SchedulerKind::Baseline => None,
-            SchedulerKind::FifoPartitioned { partition } => Some(partition),
-            SchedulerKind::FifoCredit { partition, .. } => Some(partition),
-            SchedulerKind::P3 => Some(P3Scheduler::DEFAULT_PARTITION),
-            SchedulerKind::ByteScheduler { partition, .. } => Some(partition),
-        };
-
-        let tensor_bytes: Vec<u64> = cfg.model.layers.iter().map(|l| l.param_bytes).collect();
-        // MXNet-style big-array splitting: the vanilla PS baseline slices
-        // any tensor above 1 MB across the server shards (balanced
-        // placement), while keeping the *pull-after-whole-push* key-level
-        // dependency (§2.2). Scheduling policies use their own δ instead.
-        const BIGARRAY_BOUND: u64 = 1 << 20;
-        let baseline_split_servers = match (cfg.scheduler, cfg.arch) {
-            (
-                SchedulerKind::Baseline,
-                Arch::Ps {
-                    num_servers,
-                    baseline_bigarray_split: true,
-                    ..
-                },
-            ) => Some(num_servers as u64),
-            _ => None,
-        };
-        if cfg.per_tensor_partition.is_some() {
-            assert!(
-                matches!(cfg.scheduler, SchedulerKind::ByteScheduler { .. }),
-                "per-tensor partition sizes require the ByteScheduler policy"
-            );
-            assert_eq!(
-                cfg.per_tensor_partition.as_ref().map(Vec::len),
-                Some(n_layers),
-                "per-tensor partition override must cover every layer"
-            );
+        let nodes_needed = JobState::fabric_nodes_needed(cfg);
+        // Ring runs keep their collective stream private and never touch
+        // the point-to-point fabric; give them a minimal idle one.
+        let mut fabric = Fabric::new(cfg.fabric, nodes_needed.max(2), cfg.net);
+        if cfg.record_trace && matches!(cfg.arch, Arch::Ps { .. }) {
+            fabric.enable_trace();
         }
-        let partitions: Vec<Vec<u64>> = (0..n_layers)
-            .map(|i| {
-                let unit = if let Some(v) = &cfg.per_tensor_partition {
-                    Some(v[i].max(1))
-                } else if let Some(servers) = baseline_split_servers {
-                    let slices = servers.min(tensor_bytes[i].div_ceil(BIGARRAY_BOUND)).max(1);
-                    Some(tensor_bytes[i].div_ceil(slices).max(1))
-                } else {
-                    partition_unit
-                };
-                partition_tensor(
-                    &CommTask {
-                        tensor: i as u32,
-                        kind: CommKind::Push,
-                        bytes: tensor_bytes[i],
-                    },
-                    unit,
-                )
-                .iter()
-                .map(|s| s.bytes)
-                .collect()
-            })
-            .collect();
-
-        // FifoCredit isolates the credit knob: all priorities equal, so
-        // the ByteScheduler queue degenerates to arrival order.
-        let priorities: Vec<u64> = if let Some(p) = &cfg.priority_override {
-            assert_eq!(
-                p.len(),
-                n_layers,
-                "priority override must cover every layer"
-            );
-            p.clone()
-        } else if matches!(cfg.scheduler, SchedulerKind::FifoCredit { .. }) {
-            vec![0; n_layers]
-        } else {
-            (0..n_layers)
-                .map(|i| cfg.engine.kind.priority_of_layer(i, n_layers))
-                .collect()
-        };
-
-        let lanes = cfg.arch.num_lanes();
-        let num_scheds = match cfg.arch {
-            Arch::Ps { .. } => cfg.num_workers,
-            Arch::AllReduce { .. } => 1,
-        };
-        let scheds: Vec<Box<dyn Scheduler>> = (0..num_scheds)
-            .map(|_| -> Box<dyn Scheduler> {
-                match cfg.scheduler {
-                    SchedulerKind::Baseline => Box::new(FifoScheduler::new(lanes)),
-                    SchedulerKind::FifoPartitioned { partition } => {
-                        Box::new(FifoScheduler::with_partition(Some(partition), lanes))
-                    }
-                    SchedulerKind::P3 => Box::new(P3Scheduler::new(lanes)),
-                    SchedulerKind::ByteScheduler { partition, credit }
-                    | SchedulerKind::FifoCredit { partition, credit } => {
-                        Box::new(ByteScheduler::new(partition, credit, lanes))
-                    }
-                }
-            })
-            .collect();
-
-        let mut root_rng = SimRng::new(cfg.seed);
-        let engines: Vec<WorkerEngine> = (0..cfg.num_workers)
-            .map(|w| {
-                let jitter = if cfg.jitter > 0.0 {
-                    Some((root_rng.fork(w as u64), cfg.jitter))
-                } else {
-                    None
-                };
-                WorkerEngine::new(template.clone(), &cfg.model, cfg.iters, jitter)
-            })
-            .collect();
-
-        let (backend, ps_plug, ar_plug) = match cfg.arch {
-            Arch::Ps {
-                mode, num_servers, ..
-            } => {
-                let network = Fabric::new(cfg.fabric, cfg.num_workers + num_servers, cfg.net);
-                // Scheduling policies spread δ-sized keys round-robin
-                // (balanced); the unsplit baseline places whole tensors
-                // round-robin — the naive assignment whose imbalance §6.2
-                // calls out.
-                let assign = if partition_unit.is_some() || baseline_split_servers.is_some() {
-                    ShardAssign::PerPartition
-                } else {
-                    ShardAssign::PerTensor
-                };
-                let ps = ParamServer::new(PsConfig {
-                    num_workers: cfg.num_workers,
-                    num_servers,
-                    assign,
-                    mode,
-                });
-                (
-                    Backend::Ps { network, ps },
-                    Some(PsPluginState::new(cfg.num_workers, n_layers)),
-                    None,
-                )
-            }
-            Arch::AllReduce {
-                baseline_fusion_bytes,
-                baseline_cycle_delay_us,
-            } => {
-                assert!(cfg.num_workers >= 2, "a ring needs at least two workers");
-                let ring = RingAllReduce::new(AllReduceConfig::new(cfg.num_workers, cfg.net));
-                (
-                    Backend::Ring {
-                        ring,
-                        fusion_bytes: baseline_fusion_bytes.unwrap_or(0),
-                        cycle_delay: SimTime::from_micros(baseline_cycle_delay_us),
-                    },
-                    None,
-                    Some(ArPluginState::new(cfg.num_workers, n_layers)),
-                )
-            }
-        };
-
-        let num_servers = match cfg.arch {
-            Arch::Ps { num_servers, .. } => num_servers,
-            Arch::AllReduce { .. } => 0,
-        };
-        let mut engines = engines;
-        let mut backend = backend;
-        if cfg.record_trace {
-            for e in &mut engines {
-                e.enable_trace();
-            }
-            match &mut backend {
-                Backend::Ps { network, .. } => network.enable_trace(),
-                Backend::Ring { ring, .. } => ring.enable_trace(),
-            }
-        }
+        let job = JobState::build(cfg, NodeMap::identity(nodes_needed));
         World {
-            num_workers: cfg.num_workers,
-            num_servers,
-            iters: cfg.iters,
-            baseline_graph: !cfg.scheduler.needs_scheduled_engine(),
-            partitions,
-            tensor_bytes,
-            priorities,
-            engines,
-            scheds,
-            backend,
-            ps_plug,
-            ar_plug,
-            background: cfg.background,
-            bg_timers: std::collections::BTreeSet::new(),
-            bg_rng: SimRng::new(cfg.seed ^ 0xB6_0000),
-            marks: Vec::new(),
-            ar_release_queue: std::collections::VecDeque::new(),
-            ar_sched_batches: std::collections::HashMap::new(),
-            ar_next_batch: 0,
-            sched_scratch: Vec::new(),
+            job,
+            fabric,
             now: SimTime::ZERO,
         }
     }
 
-    /// Tag bit marking a co-tenant (background) transfer; real subtask
-    /// tokens never set it (iterations stay far below 2^15).
-    const BG_TAG: u64 = 1 << 63;
-
-    /// Submits the co-tenant's initial bursts: one per worker NIC in each
-    /// direction, looped on delivery (see `handle_net`).
-    fn seed_background(&mut self) {
-        let Some(bg) = self.background else { return };
-        let Backend::Ps { network, ps } = &mut self.backend else {
-            assert!(
-                self.background.is_none(),
-                "background load is modelled for PS runs only"
-            );
-            return;
-        };
-        let _ = ps;
-        let num_servers = self.num_servers;
-        for w in 0..self.num_workers {
-            let server = NodeId(self.num_workers + (w % num_servers));
-            // Downlink contender (fights the worker's pulls)...
-            network.submit(
-                self.now,
-                server,
-                NodeId(w),
-                bg.burst_bytes,
-                Self::BG_TAG | (2 * w as u64),
-            );
-            // ...and an uplink contender (fights its pushes).
-            network.submit(
-                self.now,
-                NodeId(w),
-                server,
-                bg.burst_bytes,
-                Self::BG_TAG | (2 * w as u64 + 1),
-            );
-        }
-    }
-
     fn run_loop(&mut self) {
-        self.seed_background();
-        let mut queue: Vec<Ev> = Vec::new();
+        self.job.seed_background(self.now, &mut self.fabric);
+        let mut queue: Vec<JobEvent> = Vec::new();
         let mut net_events: Vec<bs_net::NetEvent> = Vec::new();
         let mut spins_at_same_instant: u64 = 0;
         let mut last_now = SimTime::ZERO;
@@ -364,82 +73,33 @@ impl World {
             // follow-on events directly onto the queue (same LIFO order
             // as the old collect-then-extend, without the Vec churn).
             while let Some(ev) = queue.pop() {
-                self.handle(ev, &mut queue);
+                self.job.handle(ev, self.now, &mut self.fabric, &mut queue);
             }
-            if self
-                .engines
-                .iter()
-                .all(|e| e.done_iterations() == self.iters)
-            {
+            if self.job.done() {
                 return;
             }
             // Find the next instant anything happens.
-            let mut t = SimTime::MAX;
-            for e in &self.engines {
-                t = t.min(e.next_event_time());
-            }
-            if let Some(&(bt, _, _, _)) = self.bg_timers.first() {
-                t = t.min(bt);
-            }
-            match &self.backend {
-                Backend::Ps { network, .. } => t = t.min(network.next_event_time()),
-                Backend::Ring { ring, .. } => t = t.min(ring.next_event_time()),
-            }
+            let t = self
+                .job
+                .next_event_time()
+                .min(self.fabric.next_event_time());
             if t.is_never() {
                 panic!(
                     "simulation stalled at {}: iterations done {:?}, queued work {:?}",
                     self.now,
-                    self.engines
-                        .iter()
-                        .map(|e| e.done_iterations())
-                        .collect::<Vec<_>>(),
-                    self.scheds.iter().map(|s| s.queued()).collect::<Vec<_>>()
+                    self.job.debug_iterations(),
+                    self.job.debug_sched_queues()
                 );
             }
             self.now = t;
-            // Fire due co-tenant bursts.
-            while let Some(&(bt, src, dst, tag)) = self.bg_timers.first() {
-                if bt > t {
-                    break;
-                }
-                self.bg_timers.pop_first();
-                if let Backend::Ps { network, .. } = &mut self.backend {
-                    network.submit(
-                        t,
-                        NodeId(src),
-                        NodeId(dst),
-                        self.background.expect("bg configured").burst_bytes,
-                        tag,
-                    );
-                }
-            }
-            for w in 0..self.engines.len() {
-                let e = &mut self.engines[w];
-                // An engine whose next GPU-op end lies beyond `t` (and
-                // with nothing buffered) cannot emit anything; skip it.
-                if e.next_event_time() > t && !e.has_pending() {
-                    continue;
-                }
-                e.advance_queued(t);
-                for ev in e.drain_pending() {
-                    queue.push(Ev::Engine(w, ev));
-                }
-            }
-            match &mut self.backend {
-                Backend::Ps { network, .. } => {
-                    if network.wants_advance(t) {
-                        network.advance_into(t, &mut net_events);
-                        for c in net_events.drain(..) {
-                            queue.push(Ev::Net(c));
-                        }
-                    }
-                }
-                Backend::Ring { ring, .. } => {
-                    if ring.next_event_time() <= t {
-                        for c in ring.advance(t) {
-                            queue.push(Ev::Ring(c));
-                        }
-                    }
+            // Job-owned sources first (co-tenant bursts, GPU ops, the
+            // private ring stream), then the shared fabric — the same
+            // within-instant order the loop has always used.
+            self.job.advance(t, &mut self.fabric, &mut queue);
+            if self.fabric.wants_advance(t) {
+                self.fabric.advance_into(t, &mut net_events);
+                for c in net_events.drain(..) {
+                    queue.push(JobEvent::Net(c));
                 }
             }
         }
@@ -454,465 +114,34 @@ impl World {
         if !c.is_multiple_of(100_000) {
             return;
         }
-        let (nf, nq) = match &self.backend {
-            Backend::Ps { network, .. } => (network.in_flight(), network.queued()),
-            Backend::Ring { ring, .. } => (ring.outstanding(), 0),
+        let (nf, nq) = if self.job.debug_ring_outstanding() > 0 {
+            (self.job.debug_ring_outstanding(), 0)
+        } else {
+            (self.fabric.in_flight(), self.fabric.queued())
         };
         eprintln!(
             "loop {c}: now={} spins={spins} iters_done={:?} marks={} sched_q={:?}              net_flight={nf} net_q={nq} bg_timers={}",
             self.now,
-            self.engines
-                .iter()
-                .map(|e| e.done_iterations())
-                .collect::<Vec<_>>(),
-            self.marks.len(),
-            self.scheds.iter().map(|s| s.queued()).collect::<Vec<_>>(),
-            self.bg_timers.len()
+            self.job.debug_iterations(),
+            self.job.debug_marks(),
+            self.job.debug_sched_queues(),
+            self.job.debug_bg_timers()
         );
-        if let Backend::Ps { network, .. } = &self.backend {
-            for row in network.debug_stalled().iter().take(4) {
-                eprintln!("  stalled: {row:?}");
-            }
-        }
-    }
-
-    fn handle(&mut self, ev: Ev, out: &mut Vec<Ev>) {
-        match ev {
-            Ev::Engine(w, event) => self.handle_engine(w, event),
-            Ev::Net(c) => self.handle_net(c, out),
-            Ev::Ring(c) => self.handle_ring(c, out),
-        }
-    }
-
-    fn handle_engine(&mut self, w: usize, event: EngineEvent) {
-        match event {
-            EngineEvent::ComputeIterDone { iter: _, at } => {
-                if w == 0 {
-                    self.marks.push(at);
-                }
-            }
-            EngineEvent::AllDone { .. } => {}
-            EngineEvent::ExternalReady { iter, role, .. } => match role {
-                ExternalRole::ProxyReady(i) | ExternalRole::Push(i)
-                    if matches!(self.backend, Backend::Ps { .. }) =>
-                {
-                    self.on_grad_ready_ps(w, i, iter);
-                }
-                ExternalRole::ProxyReady(i) | ExternalRole::AllReduce(i) => {
-                    self.on_grad_ready_ar(i, iter);
-                }
-                ExternalRole::Pull(_) | ExternalRole::ProxyFinish(_) => {}
-                other => panic!("role {other:?} unexpected for this backend"),
-            },
-        }
-    }
-
-    /// Worker `w`'s gradient for tensor `i` is ready: submit its push
-    /// subtasks to the worker's scheduler.
-    fn on_grad_ready_ps(&mut self, w: usize, i: usize, iter: u64) {
-        let parts = self.partitions[i].len() as u32;
-        self.ps_plug
-            .as_mut()
-            .expect("PS plugin")
-            .on_grad_ready(w, i, iter, parts);
-        for (p, &bytes) in self.partitions[i].iter().enumerate() {
-            let token = Token {
-                iter,
-                worker: w,
-                kind: CommKind::Push,
-                tensor: i as u32,
-                part: p as u32,
-            }
-            .pack();
-            self.scheds[w].submit(
-                self.now,
-                WorkItem {
-                    lane: CommKind::Push.lane(),
-                    priority: self.priorities[i],
-                    bytes,
-                    token,
-                },
-            );
-        }
-        self.drain_sched(w);
-    }
-
-    /// A worker reported tensor `i` ready for all-reduce. When the last
-    /// worker reports, the master submits the collective (§5).
-    fn on_grad_ready_ar(&mut self, i: usize, iter: u64) {
-        let parts = if self.baseline_graph {
-            1
-        } else {
-            self.partitions[i].len() as u32
-        };
-        let all_ready = self
-            .ar_plug
-            .as_mut()
-            .expect("AR plugin")
-            .on_worker_ready(i, iter, parts);
-        if !all_ready {
-            return;
-        }
-        if self.baseline_graph {
-            self.ar_plug
-                .as_mut()
-                .unwrap()
-                .queue_for_fusion(i as u32, iter, self.tensor_bytes[i]);
-            self.maybe_submit_fused();
-        } else {
-            for (p, &bytes) in self.partitions[i].iter().enumerate() {
-                let token = Token {
-                    iter,
-                    worker: 0,
-                    kind: CommKind::AllReduce,
-                    tensor: i as u32,
-                    part: p as u32,
-                }
-                .pack();
-                self.scheds[0].submit(
-                    self.now,
-                    WorkItem {
-                        lane: 0,
-                        priority: self.priorities[i],
-                        bytes,
-                        token,
-                    },
-                );
-            }
-            self.drain_sched(0);
-        }
-    }
-
-    /// Hands everything the scheduler releases to the wire.
-    fn drain_sched(&mut self, s: usize) {
-        let mut items = std::mem::take(&mut self.sched_scratch);
-        debug_assert!(items.is_empty());
-        self.scheds[s].poll_into(self.now, &mut items);
-        let submitted_to_ring = !items.is_empty() && matches!(self.backend, Backend::Ring { .. });
-        for item in items.drain(..) {
-            match &mut self.backend {
-                Backend::Ps { network, ps } => {
-                    let tok = Token::unpack(item.token);
-                    let key = PartitionKey {
-                        tensor: tok.tensor,
-                        part: tok.part,
-                    };
-                    let shard = ps.shard_of(key);
-                    match tok.kind {
-                        CommKind::Push => {
-                            network.submit(
-                                self.now,
-                                NodeId(tok.worker),
-                                shard,
-                                item.bytes,
-                                item.token,
-                            );
-                        }
-                        CommKind::Pull => {
-                            network.submit(
-                                self.now,
-                                shard,
-                                NodeId(tok.worker),
-                                item.bytes,
-                                item.token,
-                            );
-                        }
-                        CommKind::AllReduce => unreachable!("all-reduce token on PS backend"),
-                    }
-                }
-                Backend::Ring { .. } => {
-                    // Released partitions pass through Horovod-style
-                    // fusion before reaching the ring (§5: ByteScheduler
-                    // wraps Horovod's DistributedOptimizer).
-                    self.ar_release_queue.push_back((item.token, item.bytes));
-                }
-            }
-        }
-        self.sched_scratch = items;
-        if submitted_to_ring {
-            self.maybe_submit_scheduled_fused();
-        }
-    }
-
-    /// Scheduled all-reduce: when the ring is idle, fuse the released
-    /// partitions at the head of the queue (up to the fusion threshold)
-    /// into one collective. Event-driven — no Horovod cycle delay, one of
-    /// ByteScheduler's implementation advantages.
-    fn maybe_submit_scheduled_fused(&mut self) {
-        let Backend::Ring {
-            ring, fusion_bytes, ..
-        } = &mut self.backend
-        else {
-            return;
-        };
-        if ring.outstanding() > 0 || self.ar_release_queue.is_empty() {
-            return;
-        }
-        let limit = (*fusion_bytes).max(1);
-        let mut members = Vec::new();
-        let mut total = 0u64;
-        while let Some(&(token, bytes)) = self.ar_release_queue.front() {
-            if !members.is_empty() && total + bytes > limit {
-                break;
-            }
-            self.ar_release_queue.pop_front();
-            members.push((token, bytes));
-            total += bytes;
-        }
-        let id = self.ar_next_batch;
-        self.ar_next_batch += 1;
-        self.ar_sched_batches.insert(id, members);
-        ring.submit(self.now, total, id);
-    }
-
-    /// Baseline all-reduce: launch the next fused collective if the ring
-    /// is idle (ring FIFO means pre-queueing buys nothing, and waiting
-    /// maximises fusion — Horovod's cycle behaviour).
-    fn maybe_submit_fused(&mut self) {
-        let Backend::Ring {
-            ring,
-            fusion_bytes,
-            cycle_delay,
-        } = &mut self.backend
-        else {
-            return;
-        };
-        if ring.outstanding() > 0 {
-            return;
-        }
-        if let Some((id, bytes)) = self
-            .ar_plug
-            .as_mut()
-            .expect("AR plugin")
-            .next_fused_batch(*fusion_bytes)
-        {
-            ring.submit_after(self.now, *cycle_delay, bytes, id);
-        }
-    }
-
-    /// Queues one pull partition on the worker's scheduler.
-    fn submit_pull(&mut self, worker: usize, tensor: usize, iter: u64, part: u32) {
-        let token = Token {
-            iter,
-            worker,
-            kind: CommKind::Pull,
-            tensor: tensor as u32,
-            part,
-        }
-        .pack();
-        let bytes = self.partitions[tensor][part as usize];
-        self.scheds[worker].submit(
-            self.now,
-            WorkItem {
-                lane: CommKind::Pull.lane(),
-                priority: self.priorities[tensor],
-                bytes,
-                token,
-            },
-        );
-    }
-
-    fn handle_net(&mut self, ev: NetEvent, out: &mut Vec<Ev>) {
-        // Co-tenant bursts loop forever: when one delivers, schedule the
-        // next after the configured gap. Releases are ignored.
-        if let NetEvent::Delivered(c) = ev {
-            if c.tag & Self::BG_TAG != 0 {
-                let bg = self.background.expect("bg transfer without config");
-                // Jittered gap: uniform in [0.5g, 1.5g] (plus up to 50 µs
-                // even at g = 0) so the co-tenant's cycle drifts relative
-                // to the job's — as real cross traffic does.
-                let g = bg.gap_us as f64;
-                let gap = self.bg_rng.uniform(0.5 * g, 1.5 * g + 50.0);
-                self.bg_timers.insert((
-                    self.now + SimTime::from_micros(gap as u64),
-                    c.src.0,
-                    c.dst.0,
-                    c.tag,
-                ));
-                return;
-            }
-        }
-        if let NetEvent::Released(c) = ev {
-            if c.tag & Self::BG_TAG != 0 {
-                return;
-            }
-        }
-        let c = match ev {
-            NetEvent::Released(c) => {
-                // Wire accepted the message: release-gated schedulers
-                // (P3's stop-and-wait) get their credit back now.
-                let tok = Token::unpack(c.tag);
-                if self.scheds[tok.worker].credit_on_release() {
-                    self.scheds[tok.worker].complete(self.now, tok.kind.lane(), c.bytes);
-                    self.drain_sched(tok.worker);
-                }
-                return;
-            }
-            NetEvent::Delivered(c) => c,
-        };
-        let tok = Token::unpack(c.tag);
-        let (w, i) = (tok.worker, tok.tensor as usize);
-        let credit_on_delivery = !self.scheds[w].credit_on_release();
-        match tok.kind {
-            CommKind::Push => {
-                if credit_on_delivery {
-                    self.scheds[w].complete(self.now, CommKind::Push.lane(), c.bytes);
-                    self.drain_sched(w);
-                }
-                let all_pushed = self
-                    .ps_plug
-                    .as_mut()
-                    .expect("PS plugin")
-                    .on_push_part_done(w, i, tok.iter);
-                if all_pushed && self.baseline_graph {
-                    self.engines[w].complete_external_queued(
-                        self.now,
-                        tok.iter,
-                        ExternalRole::Push(i),
-                    );
-                    for ev in self.engines[w].drain_pending() {
-                        out.push(Ev::Engine(w, ev));
-                    }
-                }
-                // Aggregation bookkeeping: which pulls became legal?
-                let Backend::Ps { ps, .. } = &mut self.backend else {
-                    unreachable!("push completion without PS backend")
-                };
-                let key = PartitionKey {
-                    tensor: tok.tensor,
-                    part: tok.part,
-                };
-                let grants = ps.on_push_complete(tok.iter, key, w);
-                for g in grants {
-                    if self.baseline_graph {
-                        // Key-level dependency: the worker pulls the
-                        // tensor only once every slice is aggregated.
-                        let all_granted = self
-                            .ps_plug
-                            .as_mut()
-                            .expect("PS plugin")
-                            .on_grant_part(g.worker, i, tok.iter);
-                        if all_granted {
-                            for p in 0..self.partitions[i].len() {
-                                self.submit_pull(g.worker, i, tok.iter, p as u32);
-                            }
-                            self.drain_sched(g.worker);
-                        }
-                    } else {
-                        // Partition-level dependency: partial pull after
-                        // partial push (Theorem 1 condition 3).
-                        self.submit_pull(g.worker, i, tok.iter, g.key.part);
-                        self.drain_sched(g.worker);
-                    }
-                }
-            }
-            CommKind::Pull => {
-                if credit_on_delivery {
-                    self.scheds[w].complete(self.now, CommKind::Pull.lane(), c.bytes);
-                    self.drain_sched(w);
-                }
-                let all_pulled = self
-                    .ps_plug
-                    .as_mut()
-                    .expect("PS plugin")
-                    .on_pull_part_done(w, i, tok.iter);
-                if all_pulled {
-                    let (iter, role) = if self.baseline_graph {
-                        (tok.iter, ExternalRole::Pull(i))
-                    } else {
-                        (tok.iter + 1, ExternalRole::ProxyFinish(i))
-                    };
-                    self.engines[w].complete_external_queued(self.now, iter, role);
-                    for ev in self.engines[w].drain_pending() {
-                        out.push(Ev::Engine(w, ev));
-                    }
-                }
-            }
-            CommKind::AllReduce => unreachable!("collective token on the p2p network"),
-        }
-    }
-
-    fn handle_ring(&mut self, c: bs_comm::CompletedOp, out: &mut Vec<Ev>) {
-        if self.baseline_graph {
-            let batch = self.ar_plug.as_mut().expect("AR plugin").take_batch(c.tag);
-            for (tensor, iter) in batch.tensors {
-                self.ar_plug
-                    .as_mut()
-                    .unwrap()
-                    .complete_whole_tensor(tensor as usize, iter);
-                for w in 0..self.num_workers {
-                    self.engines[w].complete_external_queued(
-                        self.now,
-                        iter,
-                        ExternalRole::AllReduce(tensor as usize),
-                    );
-                    for ev in self.engines[w].drain_pending() {
-                        out.push(Ev::Engine(w, ev));
-                    }
-                }
-            }
-            self.maybe_submit_fused();
-        } else {
-            let members = self
-                .ar_sched_batches
-                .remove(&c.tag)
-                .expect("unknown scheduled batch");
-            for (token, bytes) in members {
-                let tok = Token::unpack(token);
-                self.scheds[0].complete(self.now, 0, bytes);
-                let done = self
-                    .ar_plug
-                    .as_mut()
-                    .expect("AR plugin")
-                    .on_part_done(tok.tensor as usize, tok.iter);
-                if done {
-                    for w in 0..self.num_workers {
-                        self.engines[w].complete_external_queued(
-                            self.now,
-                            tok.iter + 1,
-                            ExternalRole::ProxyFinish(tok.tensor as usize),
-                        );
-                        for ev in self.engines[w].drain_pending() {
-                            out.push(Ev::Engine(w, ev));
-                        }
-                    }
-                }
-            }
-            self.drain_sched(0);
-            self.maybe_submit_scheduled_fused();
+        for row in self.fabric.debug_stalled().iter().take(4) {
+            eprintln!("  stalled: {row:?}");
         }
     }
 
     fn into_result(mut self, cfg: &WorldConfig) -> RunResult {
         let trace = cfg.record_trace.then(|| self.assemble_trace());
-        let peak_util = match &self.backend {
-            Backend::Ps { network, .. } => network.peak_port_utilisation(self.now),
-            Backend::Ring { .. } => 0.0,
+        let net = JobNetStats {
+            p2p_bytes: self.fabric.bytes_delivered(),
+            comm_events: self.fabric.transfers_delivered(),
+            peak_in_flight: self.fabric.peak_in_flight(),
+            peak_port_utilisation: self.fabric.peak_port_utilisation(self.now),
         };
-        let (p2p, coll) = match &self.backend {
-            Backend::Ps { network, .. } => (network.bytes_delivered(), 0),
-            Backend::Ring { ring, .. } => (0, ring.bytes_reduced()),
-        };
-        let (comm_events, peak_in_flight) = match &self.backend {
-            Backend::Ps { network, .. } => {
-                (network.transfers_delivered(), network.peak_in_flight())
-            }
-            Backend::Ring { ring, .. } => (ring.ops_reduced(), 0),
-        };
-        let mut result = RunResult::from_iteration_marks(
-            &self.marks,
-            cfg.warmup as usize,
-            cfg.global_batch(),
-            cfg.model.sample_unit.label(),
-            cfg.scheduler.label(),
-            p2p,
-            coll,
-            self.now,
-        );
+        let mut result = self.job.into_result(cfg, self.now, net);
         result.trace = trace;
-        result.peak_port_utilisation = peak_util;
-        result.comm_events = comm_events;
-        result.peak_in_flight = peak_in_flight;
         result
     }
 
@@ -920,54 +149,11 @@ impl World {
     /// with human-readable track and span names.
     fn assemble_trace(&mut self) -> Trace {
         let mut trace = Trace::new();
-        for (w, engine) in self.engines.iter_mut().enumerate() {
-            let dag = engine.dag().clone();
-            for (iter, node, start, end) in engine.take_trace() {
-                let name = match dag.nodes[node].kind {
-                    NodeKind::Compute { layer, pass } => match pass {
-                        Pass::Forward => format!("fwd{layer}@it{iter}"),
-                        Pass::Backward => format!("bwd{layer}@it{iter}"),
-                    },
-                    _ => continue,
-                };
-                trace.push(name, format!("worker{w}/gpu"), start, end);
-            }
+        self.job.append_compute_trace(&mut trace, "");
+        for span in self.fabric.take_trace() {
+            wire_span_into_trace(&mut trace, &span, "");
         }
-        match &mut self.backend {
-            Backend::Ps { network, .. } => {
-                for (tag, src, dst, start, end) in network.take_trace() {
-                    if tag & Self::BG_TAG != 0 {
-                        trace.push(
-                            "co-tenant burst",
-                            format!("node{src}->node{dst}/bg"),
-                            start,
-                            end,
-                        );
-                        continue;
-                    }
-                    let tok = Token::unpack(tag);
-                    let (name, track) = match tok.kind {
-                        CommKind::Push => (
-                            format!("push t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
-                            format!("worker{}/up", tok.worker),
-                        ),
-                        CommKind::Pull => (
-                            format!("pull t{}.p{}@it{}", tok.tensor, tok.part, tok.iter),
-                            format!("worker{}/down", tok.worker),
-                        ),
-                        CommKind::AllReduce => unreachable!("collective on p2p fabric"),
-                    };
-                    trace.push(name, track, start, end);
-                }
-            }
-            Backend::Ring { ring, .. } => {
-                for (tag, start, end) in ring.take_trace() {
-                    // Scheduled batches and baseline fused batches both
-                    // use opaque batch ids; name them generically.
-                    trace.push(format!("allreduce batch {tag}"), "ring", start, end);
-                }
-            }
-        }
+        self.job.append_ring_trace(&mut trace, "");
         trace
     }
 }
@@ -975,6 +161,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SchedulerKind;
     use bs_engine::EngineConfig;
     use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
     use bs_net::{NetConfig, Transport};

@@ -25,10 +25,14 @@
 //!   credit-based preemption) plus the FIFO and P3 baselines.
 //! * [`runtime`] — the world driver wiring all of the above into a
 //!   multi-worker training simulation.
+//! * [`cluster`] — multi-job cluster simulation: N concurrent training
+//!   jobs contending on one shared fabric, placement policies, and
+//!   cluster-level metrics (JCT, makespan, Jain's fairness).
 //! * [`tune`] — Bayesian-Optimization auto-tuning of partition and credit
 //!   sizes, with grid / random / SGD-momentum comparison tuners.
 //! * [`harness`] — one experiment runner per paper table and figure.
 
+pub use bs_cluster as cluster;
 pub use bs_comm as comm;
 pub use bs_core as core;
 pub use bs_engine as engine;

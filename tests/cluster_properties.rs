@@ -1,0 +1,152 @@
+//! Property tests for the cluster layer.
+//!
+//! Two invariants the whole design rests on:
+//!
+//! 1. **Placement safety** — every policy gives each job distinct in-job
+//!    machines that exist in the cluster, for arbitrary job mixes. A
+//!    violation would alias two of one job's nodes onto one NIC and
+//!    silently change the contention model.
+//! 2. **Degenerate-case equivalence** — a single-job cluster is the
+//!    standalone simulator: `run_cluster` with one job must reproduce
+//!    `bs_runtime::run` exactly (finish time, speed, iteration vector,
+//!    byte and event counts) for any scheduler, fabric, and seed. This is
+//!    what makes every existing single-job result in this repo a valid
+//!    cluster baseline.
+
+use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
+use bs_engine::EngineConfig;
+use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bs_net::{FabricModel, NetConfig, Transport};
+use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bs_sim::SimTime;
+use proptest::prelude::*;
+
+/// A small comm-heavy toy so each property case simulates in ~ms.
+fn toy() -> DnnModel {
+    let gpu = GpuSpec::custom(1e12, 2.0);
+    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+        .explicit(
+            "l0",
+            12_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l1",
+            3_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l2",
+            1_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .build()
+}
+
+fn train_spec(workers: usize, seed: u64) -> JobSpec {
+    let mut cfg = WorldConfig::new(
+        toy(),
+        workers,
+        Arch::ps(workers),
+        NetConfig::gbps(10.0, Transport::tcp()),
+        EngineConfig::mxnet_ps(),
+        SchedulerKind::Baseline,
+    );
+    cfg.seed = seed;
+    JobSpec::train(format!("w{workers}s{seed}"), cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every policy, for any mix of job sizes that fits: machines within
+    /// one job are pairwise distinct and in range.
+    #[test]
+    fn placements_are_in_range_and_distinct_within_each_job(
+        sizes in proptest::collection::vec(1usize..5, 1..6),
+        extra_room in 0usize..5,
+    ) {
+        // Each PS job needs workers + servers = 2 * workers machines.
+        let largest = sizes.iter().map(|w| 2 * w).max().unwrap();
+        let machines = largest + extra_room;
+        let specs: Vec<JobSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| train_spec(w, i as u64))
+            .collect();
+        for policy in PlacementPolicy::all() {
+            let placed = policy.place(machines, &specs);
+            prop_assert_eq!(placed.len(), specs.len());
+            for (spec, nodes) in specs.iter().zip(&placed) {
+                prop_assert_eq!(nodes.len(), spec.nodes_needed());
+                let mut seen: Vec<usize> = nodes.iter().map(|n| n.0).collect();
+                seen.sort_unstable();
+                for m in &seen {
+                    prop_assert!(*m < machines, "{policy:?} placed on machine {m} of {machines}");
+                }
+                seen.dedup();
+                prop_assert_eq!(
+                    seen.len(),
+                    nodes.len(),
+                    "{:?} reused a machine within one job",
+                    policy
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs two full simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One-job cluster ≡ `World::run`, over schedulers × fabrics × seeds
+    /// × placement policies.
+    #[test]
+    fn single_job_cluster_reproduces_the_standalone_run(
+        seed in 0u64..1000,
+        sched_pick in 0usize..3,
+        fluid in any::<bool>(),
+        policy_pick in 0usize..3,
+        workers in 2usize..4,
+    ) {
+        let sched = match sched_pick {
+            0 => SchedulerKind::Baseline,
+            1 => SchedulerKind::ByteScheduler { partition: 800_000, credit: 3_200_000 },
+            _ => SchedulerKind::P3,
+        };
+        let fabric = if fluid { FabricModel::FairShare } else { FabricModel::SerialFifo };
+        let mut cfg = WorldConfig::new(
+            toy(),
+            workers,
+            Arch::ps(workers),
+            NetConfig::gbps(10.0, Transport::tcp()),
+            EngineConfig::mxnet_ps(),
+            sched,
+        );
+        cfg.iters = 5;
+        cfg.warmup = 1;
+        cfg.jitter = 0.02;
+        cfg.seed = seed;
+        cfg.fabric = fabric;
+
+        let solo = run(&cfg);
+
+        let mut cluster = ClusterConfig::new(2 * workers, cfg.net);
+        cluster.fabric = fabric;
+        cluster.placement = PlacementPolicy::all()[policy_pick];
+        let r = run_cluster(&cluster, &[JobSpec::train("solo", cfg.clone())]);
+        prop_assert_eq!(r.jobs.len(), 1);
+        let job = &r.jobs[0].result;
+
+        prop_assert_eq!(solo.finished_at, job.finished_at);
+        prop_assert_eq!(solo.speed, job.speed);
+        prop_assert_eq!(&solo.iter_times, &job.iter_times);
+        prop_assert_eq!(solo.p2p_bytes, job.p2p_bytes);
+        prop_assert_eq!(solo.comm_events, job.comm_events);
+        prop_assert_eq!(r.makespan, solo.finished_at);
+    }
+}
