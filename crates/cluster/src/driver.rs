@@ -15,6 +15,7 @@ use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
 use bs_runtime::traffic::{BurstSource, BG_TAG};
 use bs_runtime::{JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
 use bs_sim::{SimTime, Trace};
+use bs_telemetry::MetricSet;
 
 use crate::metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
 use crate::spec::{ClusterConfig, JobSpec};
@@ -121,6 +122,9 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     if cluster.record_trace {
         fabric.enable_trace();
     }
+    if cluster.record_metrics {
+        fabric.enable_telemetry(SimTime::ZERO);
+    }
 
     let mut jobs: Vec<ClusterJob> = specs
         .iter()
@@ -130,6 +134,7 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
             JobSpec::Train { arrival, cfg, .. } => {
                 let mut cfg = cfg.clone();
                 cfg.record_trace = cluster.record_trace;
+                cfg.record_metrics = cluster.record_metrics;
                 let state = JobState::build_at(&cfg, NodeMap::new(j, nodes.clone()), *arrival);
                 ClusterJob::Train {
                     state,
@@ -168,6 +173,12 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     let mut job_events = vec![0u64; jobs.len()];
     let mut up_bytes = vec![0u64; cluster.machines];
     let mut down_bytes = vec![0u64; cluster.machines];
+    // Per-(job, machine) delivered bytes — `[j][m] = (up, down)` — for
+    // the per-NIC traffic-share metrics. Recording-only, like every
+    // other telemetry path.
+    let mut job_nic_bytes: Option<Vec<Vec<(u64, u64)>>> = cluster
+        .record_metrics
+        .then(|| vec![vec![(0u64, 0u64); cluster.machines]; jobs.len()]);
 
     let mut queue: Vec<(usize, JobEvent)> = Vec::new();
     let mut scratch: Vec<JobEvent> = Vec::new();
@@ -261,6 +272,10 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
                         job_events[j] += 1;
                         up_bytes[c.src.0] += c.bytes;
                         down_bytes[c.dst.0] += c.bytes;
+                        if let Some(share) = job_nic_bytes.as_mut() {
+                            share[j][c.src.0].0 += c.bytes;
+                            share[j][c.dst.0].1 += c.bytes;
+                        }
                         (j, NetEvent::Delivered(c))
                     }
                 };
@@ -291,38 +306,85 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     let peak_port_utilisation = fabric.peak_port_utilisation(makespan);
     let fabric_events = fabric.transfers_delivered();
 
-    let outcomes: Vec<JobOutcome> = specs
+    // Cluster-level metrics: the shared fabric's telemetry plus each
+    // tenant's share of every NIC's delivered traffic.
+    let mut metrics = cluster.record_metrics.then(MetricSet::new);
+    if let Some(ms) = metrics.as_mut() {
+        ms.horizon = makespan;
+        if let Some(fm) = fabric.take_metrics(makespan) {
+            ms.absorb("net/", fm);
+        }
+        if let Some(share) = &job_nic_bytes {
+            for (j, per_machine) in share.iter().enumerate() {
+                for (m, &(up, down)) in per_machine.iter().enumerate() {
+                    if up == 0 && down == 0 {
+                        continue;
+                    }
+                    ms.counter(format!("job{j}/nic{m}/up_bytes"), up);
+                    ms.counter(format!("job{j}/nic{m}/down_bytes"), down);
+                    let frac = |part: u64, total: u64| {
+                        if total > 0 {
+                            part as f64 / total as f64
+                        } else {
+                            0.0
+                        }
+                    };
+                    ms.gauge(format!("job{j}/nic{m}/up_share"), frac(up, up_bytes[m]));
+                    ms.gauge(
+                        format!("job{j}/nic{m}/down_share"),
+                        frac(down, down_bytes[m]),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut trace = trace;
+    if let (Some(trace), Some(ms)) = (trace.as_mut(), metrics.as_ref()) {
+        for t in ms.counter_tracks() {
+            trace.push_counter(t.name, t.samples);
+        }
+    }
+
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    for (j, (spec, (job, nodes))) in specs
         .iter()
-        .zip(jobs)
-        .zip(&placements)
+        .zip(jobs.into_iter().zip(&placements))
         .enumerate()
-        .filter_map(|(j, ((spec, job), nodes))| {
-            let ClusterJob::Train {
-                state,
-                cfg,
-                arrival,
-                finished,
-            } = job
-            else {
-                return None;
-            };
-            let finished_at = finished.expect("training job finished");
-            let net = JobNetStats {
-                p2p_bytes: job_bytes[j],
-                comm_events: job_events[j],
-                peak_in_flight,
-                peak_port_utilisation,
-            };
-            Some(JobOutcome {
-                name: spec.name().to_string(),
-                arrival,
-                finished_at,
-                jct: finished_at - arrival,
-                machines: nodes.iter().map(|n: &NodeId| n.0).collect(),
-                result: state.into_result(&cfg, finished_at, net),
-            })
-        })
-        .collect();
+    {
+        let ClusterJob::Train {
+            state,
+            cfg,
+            arrival,
+            finished,
+        } = job
+        else {
+            continue;
+        };
+        let finished_at = finished.expect("training job finished");
+        let net = JobNetStats {
+            p2p_bytes: job_bytes[j],
+            comm_events: job_events[j],
+            peak_in_flight,
+            peak_port_utilisation,
+        };
+        let result = state.into_result(&cfg, finished_at, net);
+        // Per-job series double as counter tracks in the merged trace,
+        // prefixed like the job's span tracks.
+        if let (Some(trace), Some(ms)) = (trace.as_mut(), result.metrics.as_ref()) {
+            for t in ms.counter_tracks() {
+                trace.push_counter(format!("job{j}/{}", t.name), t.samples);
+            }
+        }
+        outcomes.push(JobOutcome {
+            name: spec.name().to_string(),
+            arrival,
+            finished_at,
+            jct: finished_at - arrival,
+            machines: nodes.iter().map(|n: &NodeId| n.0).collect(),
+            result,
+        });
+    }
     assert!(
         !outcomes.is_empty(),
         "a cluster run needs at least one training job"
@@ -353,6 +415,7 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         link_utilisation,
         fabric_events,
         trace,
+        metrics,
     }
 }
 
@@ -515,6 +578,51 @@ mod tests {
             r.jobs[0].result.speed,
             solo.jobs[0].result.speed
         );
+    }
+
+    #[test]
+    fn recorded_metrics_cover_jobs_fabric_and_nic_shares() {
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 3)),
+            JobSpec::train("b", job_cfg(SchedulerKind::Baseline, 4)),
+        ];
+        let plain = run_cluster(&cluster, &specs);
+        assert!(plain.metrics.is_none());
+        assert!(plain.jobs.iter().all(|j| j.result.metrics.is_none()));
+
+        cluster.record_metrics = true;
+        cluster.record_trace = true;
+        let r = run_cluster(&cluster, &specs);
+        // Telemetry is recording-only: the simulation is unchanged.
+        assert_eq!(r.makespan, plain.makespan);
+        assert_eq!(r.jobs[0].result.speed, plain.jobs[0].result.speed);
+
+        let ms = r.metrics.as_ref().expect("cluster metrics");
+        assert_eq!(ms.horizon, r.makespan);
+        assert!(ms.get_series("net/nic0/up_util").is_some());
+        // Packed placement: both jobs share every NIC, and their shares
+        // of each NIC's delivered bytes sum to 1.
+        for m in 0..4 {
+            let s0 = ms.get_gauge(&format!("job0/nic{m}/up_share"));
+            let s1 = ms.get_gauge(&format!("job1/nic{m}/up_share"));
+            let (s0, s1) = (s0.expect("job0 share"), s1.expect("job1 share"));
+            assert!(s0 > 0.0 && s1 > 0.0);
+            assert!((s0 + s1 - 1.0).abs() < 1e-12);
+        }
+        // Each job carries its own scheduler/GPU telemetry and stall
+        // accounting closed at its own finish time.
+        for j in &r.jobs {
+            let jm = j.result.metrics.as_ref().expect("job metrics");
+            assert_eq!(jm.horizon, j.finished_at);
+            assert!(jm.get_gauge("worker0/comm_stall_secs").expect("stall") > 0.0);
+            assert!(jm.get_series("worker0/gpu_busy").is_some());
+        }
+        // The merged trace carries job-prefixed counter tracks.
+        let trace = r.trace.as_ref().expect("trace");
+        assert!(trace.counters.iter().any(|t| t.name.starts_with("job1/")));
+        assert!(trace.counters.iter().any(|t| t.name.starts_with("net/")));
     }
 
     #[test]

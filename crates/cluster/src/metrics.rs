@@ -2,6 +2,7 @@
 
 use bs_runtime::RunResult;
 use bs_sim::{SimTime, Trace};
+use bs_telemetry::MetricSet;
 use serde::Serialize;
 
 /// Jain's fairness index over the given allocations:
@@ -68,6 +69,12 @@ pub struct ClusterResult {
     /// Merged execution trace with per-job track groups (`job0/…`), when
     /// [`crate::ClusterConfig::record_trace`] was set.
     pub trace: Option<Trace>,
+    /// Cluster-level metrics, when
+    /// [`crate::ClusterConfig::record_metrics`] was set: shared-fabric
+    /// telemetry under `net/` and per-job per-NIC traffic shares under
+    /// `job{j}/nic{m}/`. Per-job scheduler/GPU metrics live in each
+    /// job's [`JobOutcome::result`].
+    pub metrics: Option<MetricSet>,
 }
 
 impl ClusterResult {

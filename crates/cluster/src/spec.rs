@@ -22,6 +22,12 @@ pub struct ClusterConfig {
     pub placement: PlacementPolicy,
     /// Record a merged Chrome trace with per-job track groups.
     pub record_trace: bool,
+    /// Record run metrics: per-job scheduler/GPU telemetry (landing in
+    /// each [`crate::JobOutcome`]'s `result.metrics`) plus cluster-level
+    /// fabric utilisation and per-job per-NIC traffic shares (landing in
+    /// [`crate::ClusterResult::metrics`]). Off by default, same overhead
+    /// contract as [`WorldConfig::record_metrics`].
+    pub record_metrics: bool,
 }
 
 impl ClusterConfig {
@@ -33,6 +39,7 @@ impl ClusterConfig {
             fabric: FabricModel::SerialFifo,
             placement: PlacementPolicy::RoundRobinSpread,
             record_trace: false,
+            record_metrics: false,
         }
     }
 }

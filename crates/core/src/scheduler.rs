@@ -89,6 +89,20 @@ pub trait Scheduler {
 
     /// Queued (submitted but not yet started) items across lanes.
     fn queued(&self) -> usize;
+
+    /// Starts recording per-lane telemetry (credit occupancy, queue
+    /// depth, stall intervals). Policies without instrumentation ignore
+    /// this; recording never changes scheduling decisions.
+    fn enable_telemetry(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Takes the recorded metrics with summaries closed at `now`.
+    /// `None` if telemetry was never enabled or the policy has none.
+    fn take_metrics(&mut self, now: SimTime) -> Option<bs_telemetry::MetricSet> {
+        let _ = now;
+        None
+    }
 }
 
 #[cfg(test)]

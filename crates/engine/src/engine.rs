@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use bs_models::DnnModel;
 use bs_sim::{SimRng, SimTime};
+use bs_telemetry::TimeSeries;
 
 use crate::dag::{ExternalRole, IterDag, NodeKind, Pass};
 
@@ -82,6 +83,10 @@ pub struct WorkerEngine {
     all_done_emitted: bool,
     /// When enabled, completed compute spans: (iter, node, start, end).
     trace: Option<Vec<(u64, usize, SimTime, SimTime)>>,
+    /// When enabled, a 0/1 series of GPU occupancy. Its integral is the
+    /// worker's compute-busy time; the complement of the run window is
+    /// the communication-stall time the paper's Fig. 1 visualises.
+    gpu_busy: Option<TimeSeries>,
 }
 
 impl WorkerEngine {
@@ -142,6 +147,7 @@ impl WorkerEngine {
             done_iters: 0,
             all_done_emitted: false,
             trace: None,
+            gpu_busy: None,
         };
         engine.instantiate(0, start);
         engine.maybe_start_gpu(start);
@@ -162,6 +168,22 @@ impl WorkerEngine {
     /// end)` per retired GPU op.
     pub fn take_trace(&mut self) -> Vec<(u64, usize, SimTime, SimTime)> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Starts recording the GPU busy/idle series. Recording never changes
+    /// engine behaviour.
+    pub fn enable_telemetry(&mut self, now: SimTime) {
+        if self.gpu_busy.is_none() {
+            let mut s = TimeSeries::new();
+            s.record(now, if self.gpu.is_some() { 1.0 } else { 0.0 });
+            self.gpu_busy = Some(s);
+        }
+    }
+
+    /// Takes the recorded GPU busy/idle series, or `None` if telemetry
+    /// was never enabled.
+    pub fn take_gpu_busy(&mut self) -> Option<TimeSeries> {
+        self.gpu_busy.take()
     }
 
     /// Iterations fully retired so far.
@@ -193,6 +215,9 @@ impl WorkerEngine {
             self.gpu = None;
             if let Some(trace) = &mut self.trace {
                 trace.push((iter, node, start, end));
+            }
+            if let Some(busy) = &mut self.gpu_busy {
+                busy.record(end, 0.0);
             }
             self.complete_node(end, iter, node);
             self.maybe_start_gpu(end);
@@ -399,6 +424,9 @@ impl WorkerEngine {
             None => base,
         };
         self.gpu = Some((now, now + dur, iter, node));
+        if let Some(busy) = &mut self.gpu_busy {
+            busy.record(now, 1.0);
+        }
     }
 }
 

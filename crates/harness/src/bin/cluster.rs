@@ -2,13 +2,24 @@
 //! verifies the two cluster-mode invariants the simulator promises:
 //! same seed ⇒ bit-identical trace, and a single-job cluster reproduces
 //! the standalone `World` run exactly.
+//!
+//! `--metrics [FILE]` additionally records run telemetry on the 2-job
+//! reference cluster, prints the cluster metrics summary (per-job stall
+//! breakdown, per-NIC utilisation, per-job NIC shares) and, when FILE is
+//! given, writes the machine-readable metrics.json there.
 
 use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
 use bs_harness::experiments::cluster;
-use bs_harness::{report, Fidelity, Setup};
+use bs_harness::{metrics_report, report, Fidelity, Setup};
 use bs_runtime::SchedulerKind;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_at = args.iter().position(|a| a == "--metrics");
+    let metrics_file = metrics_at
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"));
+
     let fid = Fidelity::from_env();
     let r = cluster::run_experiment(fid);
     print!("{}", cluster::render(&r));
@@ -16,8 +27,8 @@ fn main() {
 
     // Determinism: the same 2-job cluster twice, traces recorded, must
     // serialise to the same bytes.
-    let a = cluster::reference_run(fid);
-    let b = cluster::reference_run(fid);
+    let a = cluster::reference_run(fid, metrics_at.is_some());
+    let b = cluster::reference_run(fid, metrics_at.is_some());
     let (ta, tb) = (
         a.trace.as_ref().expect("trace recorded").to_chrome_json(),
         b.trace.as_ref().expect("trace recorded").to_chrome_json(),
@@ -27,6 +38,15 @@ fn main() {
         "determinism: 2-job rerun produced a bit-identical trace ({} bytes)",
         ta.len()
     );
+
+    if metrics_at.is_some() {
+        println!();
+        print!("{}", metrics_report::render_cluster_metrics(&a));
+        if let (Some(path), Some(ms)) = (metrics_file, &a.metrics) {
+            metrics_report::write_metrics_json(path, ms);
+            println!("metrics: {} entries -> {path}", ms.entries().len());
+        }
+    }
 
     // Degenerate case: a 1-job cluster is the standalone simulator.
     let cfg = Setup::MxnetPsRdma.config(

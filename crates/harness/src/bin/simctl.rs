@@ -20,6 +20,11 @@
 //! --fabric fifo|fluid                                (fifo)
 //! --iters N --warmup N --seed N --jitter F
 //! --trace FILE      write a chrome://tracing JSON of the run
+//! --metrics FILE    record run telemetry: print the summary tables
+//!                   (per-worker stall breakdown, per-lane credit
+//!                   occupancy, per-NIC utilisation) and write the
+//!                   machine-readable metrics.json to FILE ("-" prints
+//!                   the tables only)
 //! ```
 //!
 //! `--scheduler tuned` auto-tunes (δ, c) with BO before the measured run.
@@ -132,6 +137,8 @@ fn main() {
 
     let trace_path = args.0.get("trace").cloned();
     cfg.record_trace = trace_path.is_some();
+    let metrics_path = args.0.get("metrics").cloned();
+    cfg.record_metrics = metrics_path.is_some();
 
     let linear = cfg.linear_scaling_speed();
     let r = run(&cfg);
@@ -167,6 +174,14 @@ fn main() {
                 trace.len()
             ),
             Err(e) => eprintln!("simctl: cannot write trace to {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(ms)) = (metrics_path, &r.metrics) {
+        println!();
+        print!("{}", bs_harness::metrics_report::render_run_metrics(ms));
+        if path != "-" {
+            bs_harness::metrics_report::write_metrics_json(&path, ms);
+            println!("metrics     {:>12} entries -> {path}", ms.entries().len());
         }
     }
 }

@@ -167,12 +167,14 @@ pub fn run_experiment(fid: Fidelity) -> ClusterStudy {
 
 /// Runs one deterministic 2-job cluster with a recorded trace — the
 /// configuration the `cluster` binary uses for its bit-identical-trace
-/// verification and JSON artefact.
-pub fn reference_run(fid: Fidelity) -> ClusterResult {
+/// verification and JSON artefact. `record_metrics` additionally turns
+/// on run telemetry (the `cluster --metrics` path).
+pub fn reference_run(fid: Fidelity, record_metrics: bool) -> ClusterResult {
     let bs_cfg = job_cfg(fid, bytescheduler(), 21);
     let fifo_cfg = job_cfg(fid, SchedulerKind::Baseline, 22);
     let mut c = cluster(bs_cfg.num_workers * 2, PlacementPolicy::Packed, &bs_cfg);
     c.record_trace = true;
+    c.record_metrics = record_metrics;
     run_cluster(
         &c,
         &[

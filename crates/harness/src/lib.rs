@@ -25,6 +25,7 @@
 pub mod autotune;
 pub mod experiments;
 pub mod fidelity;
+pub mod metrics_report;
 pub mod parallel;
 pub mod report;
 pub mod setups;

@@ -1,0 +1,296 @@
+//! Human rendering of recorded run metrics: the `simctl --metrics` and
+//! `cluster --metrics` summary tables.
+//!
+//! The [`bs_telemetry::MetricSet`] is the machine artefact; these
+//! renderers pull out the three questions an operator actually asks of a
+//! run — *where did the time go* (communication-stall breakdown),
+//! *was the scheduler's credit the bottleneck* (per-lane occupancy and
+//! stall accounting), and *were the wires busy* (per-NIC utilisation).
+
+use std::fmt::Write as _;
+
+use bs_cluster::ClusterResult;
+use bs_telemetry::MetricSet;
+
+use crate::report::Table;
+
+/// Renders the single-run summary: per-worker stall breakdown, per-lane
+/// scheduler telemetry, per-NIC utilisation. Sections whose metrics were
+/// not recorded (e.g. no fabric telemetry on all-reduce runs) are
+/// omitted.
+pub fn render_run_metrics(ms: &MetricSet) -> String {
+    let mut out = String::new();
+    let window = ms.horizon.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "## Run metrics (window {:.3} s, {} metrics)",
+        window,
+        ms.entries().len()
+    );
+
+    let stalls = stall_rows(ms, "");
+    if !stalls.is_empty() {
+        let mut t = Table::new(
+            "Communication stall per worker (GPU idle waiting on the network)",
+            &["worker", "busy (s)", "stall (s)", "stall %"],
+        );
+        for (label, busy, stall) in &stalls {
+            t.row(stall_cells(label, *busy, *stall));
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
+    let lanes = lane_prefixes(ms);
+    if !lanes.is_empty() {
+        let mut t = Table::new(
+            "Scheduler lanes (time-weighted credit occupancy, bytes)",
+            &[
+                "lane",
+                "mean",
+                "p95",
+                "max",
+                "stalled (s)",
+                "stalls",
+                "preempt",
+                "released",
+            ],
+        );
+        for prefix in &lanes {
+            let occ = ms
+                .get_series(&format!("{prefix}credit_in_use"))
+                .expect("lane series")
+                .summary(ms.horizon);
+            let stalled = ms
+                .get_series(&format!("{prefix}credit_stalled"))
+                .map_or(0.0, |s| s.integral_secs(ms.horizon));
+            let counter = |suffix: &str| {
+                ms.get_counter(&format!("{prefix}{suffix}"))
+                    .unwrap_or(0)
+                    .to_string()
+            };
+            t.row(vec![
+                prefix.trim_end_matches('/').to_string(),
+                format!("{:.0}", occ.mean),
+                format!("{:.0}", occ.p95),
+                format!("{:.0}", occ.max),
+                format!("{stalled:.4}"),
+                counter("stall_events"),
+                counter("preemptions"),
+                counter("released"),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
+    if let Some(t) = nic_table(ms, "net/") {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders the cluster summary: per-job stall breakdown, the shared
+/// fabric's per-NIC utilisation, and each tenant's share of every NIC's
+/// delivered traffic.
+pub fn render_cluster_metrics(r: &ClusterResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Cluster metrics (makespan {:.3} s, {} jobs)",
+        r.makespan.as_secs_f64(),
+        r.jobs.len()
+    );
+
+    let mut t = Table::new(
+        "Communication stall per job (summed over workers, window = JCT)",
+        &["job", "JCT (s)", "busy (s)", "stall (s)", "stall %"],
+    );
+    let mut any = false;
+    for j in &r.jobs {
+        let Some(ms) = &j.result.metrics else {
+            continue;
+        };
+        let rows = stall_rows(ms, "");
+        let busy: f64 = rows.iter().map(|r| r.1).sum();
+        let stall: f64 = rows.iter().map(|r| r.2).sum();
+        let mut cells = vec![j.name.clone(), format!("{:.3}", j.jct.as_secs_f64())];
+        cells.extend(stall_cells("", busy, stall).into_iter().skip(1));
+        t.row(cells);
+        any = true;
+    }
+    if any {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
+    if let Some(ms) = &r.metrics {
+        if let Some(t) = nic_table(ms, "net/") {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        let mut t = Table::new(
+            "Per-job NIC traffic share (fraction of each NIC's delivered bytes)",
+            &["tenant", "nic", "up share", "down share"],
+        );
+        let mut any = false;
+        for (name, _) in ms.entries() {
+            let Some((tenant, rest)) = name.split_once("/nic") else {
+                continue;
+            };
+            let Some(nic) = rest.strip_suffix("/up_share") else {
+                continue;
+            };
+            let up = ms.get_gauge(name).unwrap_or(0.0);
+            let down = ms
+                .get_gauge(&format!("{tenant}/nic{nic}/down_share"))
+                .unwrap_or(0.0);
+            t.row(vec![
+                tenant.to_string(),
+                format!("nic{nic}"),
+                format!("{:.1}%", 100.0 * up),
+                format!("{:.1}%", 100.0 * down),
+            ]);
+            any = true;
+        }
+        if any {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+    }
+    out
+}
+
+/// `(label, busy secs, stall secs)` per worker, in registration order.
+/// `prefix` narrows to one job's namespace inside a merged set.
+fn stall_rows(ms: &MetricSet, prefix: &str) -> Vec<(String, f64, f64)> {
+    ms.entries()
+        .iter()
+        .filter_map(|(name, _)| {
+            let label = name
+                .strip_prefix(prefix)?
+                .strip_suffix("/gpu_busy_secs")?
+                .to_string();
+            let busy = ms.get_gauge(name)?;
+            let stall = ms.get_gauge(&format!("{prefix}{label}/comm_stall_secs"))?;
+            Some((label, busy, stall))
+        })
+        .collect()
+}
+
+fn stall_cells(label: &str, busy: f64, stall: f64) -> Vec<String> {
+    let window = busy + stall;
+    let pct = if window > 0.0 {
+        100.0 * stall / window
+    } else {
+        0.0
+    };
+    vec![
+        label.to_string(),
+        format!("{busy:.3}"),
+        format!("{stall:.3}"),
+        format!("{pct:.1}%"),
+    ]
+}
+
+/// Every scheduler-lane prefix (the part before `credit_in_use`), in
+/// registration order.
+fn lane_prefixes(ms: &MetricSet) -> Vec<String> {
+    ms.entries()
+        .iter()
+        .filter_map(|(name, _)| Some(name.strip_suffix("credit_in_use")?.to_string()))
+        .collect()
+}
+
+/// Per-NIC utilisation table from `{prefix}nic{i}/up_util` series, or
+/// `None` when the set carries no fabric telemetry.
+fn nic_table(ms: &MetricSet, prefix: &str) -> Option<Table> {
+    let mut t = Table::new(
+        "NIC utilisation (time-weighted busy fraction)",
+        &["nic", "up mean", "up p95", "down mean", "down p95"],
+    );
+    let mut any = false;
+    for (name, _) in ms.entries() {
+        let Some(nic) = name
+            .strip_prefix(prefix)
+            .and_then(|n| n.strip_prefix("nic"))
+            .and_then(|n| n.strip_suffix("/up_util"))
+        else {
+            continue;
+        };
+        let up = ms.get_series(name)?.summary(ms.horizon);
+        let down = ms
+            .get_series(&format!("{prefix}nic{nic}/down_util"))?
+            .summary(ms.horizon);
+        t.row(vec![
+            format!("nic{nic}"),
+            format!("{:.2}", up.mean),
+            format!("{:.2}", up.p95),
+            format!("{:.2}", down.mean),
+            format!("{:.2}", down.p95),
+        ]);
+        any = true;
+    }
+    any.then_some(t)
+}
+
+/// Writes a `MetricSet` as pretty-printed `metrics.json` to `path`.
+/// IO failures are reported but non-fatal, matching
+/// [`crate::report::write_json`].
+pub fn write_metrics_json(path: &str, ms: &MetricSet) {
+    match serde_json::to_string_pretty(ms) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: cannot write metrics to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise metrics: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_sim::SimTime;
+    use bs_telemetry::TimeSeries;
+
+    fn sample_set() -> MetricSet {
+        let mut ms = MetricSet::new();
+        ms.horizon = SimTime::from_millis(100);
+        ms.gauge("worker0/gpu_busy_secs", 0.06);
+        ms.gauge("worker0/comm_stall_secs", 0.04);
+        let mut occ = TimeSeries::new();
+        occ.record(SimTime::ZERO, 0.0);
+        occ.record(SimTime::from_millis(10), 4_000_000.0);
+        ms.series("worker0/sched/lane0/credit_in_use", occ);
+        let mut stalled = TimeSeries::new();
+        stalled.record(SimTime::ZERO, 0.0);
+        ms.series("worker0/sched/lane0/credit_stalled", stalled);
+        ms.counter("worker0/sched/lane0/preemptions", 2);
+        let mut util = TimeSeries::new();
+        util.record(SimTime::ZERO, 1.0);
+        ms.series("net/nic0/up_util", util.clone());
+        ms.series("net/nic0/down_util", util);
+        ms
+    }
+
+    #[test]
+    fn run_summary_reports_stall_lanes_and_nics() {
+        let s = render_run_metrics(&sample_set());
+        assert!(s.contains("Communication stall per worker"));
+        assert!(s.contains("40.0%"), "stall percent rendered: {s}");
+        assert!(s.contains("Scheduler lanes"));
+        assert!(s.contains("worker0/sched/lane0"));
+        assert!(s.contains("NIC utilisation"));
+        assert!(s.contains("nic0"));
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let ms = MetricSet::new();
+        let s = render_run_metrics(&ms);
+        assert!(!s.contains("Scheduler lanes"));
+        assert!(!s.contains("NIC utilisation"));
+    }
+}

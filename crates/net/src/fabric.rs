@@ -137,6 +137,26 @@ impl Fabric {
             .fold(0.0, f64::max)
     }
 
+    /// Starts recording metric series (per-port utilisation, active and
+    /// queued transfers). Recording never changes fabric behaviour.
+    pub fn enable_telemetry(&mut self, now: SimTime) {
+        match self {
+            Fabric::Fifo(n) => n.enable_telemetry(now),
+            Fabric::Fluid(n) => n.enable_telemetry(now),
+        }
+    }
+
+    /// Takes the recorded metrics with summaries closed at `now`, or
+    /// `None` if telemetry was never enabled. Both disciplines export the
+    /// same metric names; FIFO port utilisation is busy/idle (0 or 1),
+    /// fluid port utilisation is the allocated-rate fraction.
+    pub fn take_metrics(&mut self, now: SimTime) -> Option<bs_telemetry::MetricSet> {
+        match self {
+            Fabric::Fifo(n) => n.take_metrics(now),
+            Fabric::Fluid(n) => n.take_metrics(now),
+        }
+    }
+
     /// Enables span recording. The FIFO fabric records exclusive wire
     /// occupancies (start → release); the fluid fabric records flow
     /// lifetimes (submit → drain), which may overlap.

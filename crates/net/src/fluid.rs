@@ -21,6 +21,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 
 use bs_sim::SimTime;
+use bs_telemetry::{MetricSet, TimeSeries};
 
 use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId, WireSpan};
 use crate::transport::NetConfig;
@@ -81,6 +82,20 @@ pub struct FluidNetwork {
     scratch_port_live: Vec<u32>,
     scratch_ids: Vec<TransferId>,
     scratch_finished: Vec<TransferId>,
+    /// `Some` only while metrics recording is enabled.
+    telem: Option<FluidTelemetry>,
+}
+
+/// Metric series for the fluid fabric. Per-port utilisation is the
+/// allocated-rate sum over capacity (a fraction in `[0, 1]`), resampled
+/// after every reallocation — the exact step function the max-min
+/// allocator produces, not a polled approximation.
+#[derive(Clone, Debug)]
+struct FluidTelemetry {
+    /// Up ports `0..n`, down ports `n..2n`, matching `port_flows`.
+    port_util: Vec<TimeSeries>,
+    /// Concurrently active flows.
+    active_flows: TimeSeries,
 }
 
 impl FluidNetwork {
@@ -106,7 +121,53 @@ impl FluidNetwork {
             scratch_port_live: Vec::new(),
             scratch_ids: Vec::new(),
             scratch_finished: Vec::new(),
+            telem: None,
         }
+    }
+
+    /// Starts recording per-port utilisation and active-flow series.
+    /// Recording never changes fabric behaviour.
+    pub fn enable_telemetry(&mut self, now: SimTime) {
+        if self.telem.is_none() {
+            let mut zero = TimeSeries::new();
+            zero.record(now, 0.0);
+            self.telem = Some(FluidTelemetry {
+                port_util: vec![zero.clone(); 2 * self.num_nodes],
+                active_flows: zero,
+            });
+        }
+    }
+
+    /// Takes the recorded metrics with summaries closed at `now`, or
+    /// `None` if telemetry was never enabled.
+    pub fn take_metrics(&mut self, now: SimTime) -> Option<MetricSet> {
+        let t = self.telem.take()?;
+        let n = self.num_nodes;
+        let mut set = MetricSet::new();
+        set.horizon = now;
+        set.counter("transfers_delivered", self.transfers_delivered);
+        set.counter("bytes_delivered", self.bytes_delivered);
+        set.series("active_transfers", t.active_flows);
+        // Fluid flows start transmitting on submission; nothing ever
+        // queues. Kept as a constant-zero series so both fabrics export
+        // the same metric names.
+        let mut zero = TimeSeries::new();
+        zero.record(SimTime::ZERO, 0.0);
+        set.series("queued_transfers", zero);
+        let mut ports = t.port_util.into_iter();
+        for i in 0..n {
+            set.series(
+                format!("nic{i}/up_util"),
+                ports.next().expect("up port series"),
+            );
+        }
+        for i in 0..n {
+            set.series(
+                format!("nic{i}/down_util"),
+                ports.next().expect("down port series"),
+            );
+        }
+        Some(set)
     }
 
     /// The network configuration.
@@ -406,6 +467,19 @@ impl FluidNetwork {
             }
             self.scratch_port_cap[port] = 0.0;
             self.scratch_ids = ids;
+        }
+        if let Some(te) = self.telem.as_mut() {
+            // `last_update` is the allocation instant: every caller
+            // integrates to "now" before reallocating.
+            let at = self.last_update;
+            for (p, flows) in self.port_flows.iter().enumerate() {
+                let rate: f64 = flows
+                    .iter()
+                    .map(|id| self.flows[id.0 as usize].as_ref().expect("active").rate)
+                    .sum();
+                te.port_util[p].record(at, rate / cap);
+            }
+            te.active_flows.record(at, self.active.len() as f64);
         }
     }
 }

@@ -4,6 +4,7 @@ use std::cell::Cell;
 use std::collections::{BTreeSet, VecDeque};
 
 use bs_sim::SimTime;
+use bs_telemetry::{MetricSet, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::transport::NetConfig;
@@ -124,6 +125,34 @@ pub struct Network {
     up_busy: Vec<SimTime>,
     /// Accumulated wire-busy time per downlink.
     down_busy: Vec<SimTime>,
+    /// `Some` only while metrics recording is enabled.
+    telem: Option<NetTelemetry>,
+}
+
+/// Metric series for the FIFO fabric; each NIC direction is busy (1) or
+/// idle (0), so the per-port utilisation series integrates to exactly the
+/// accumulated wire-busy time.
+#[derive(Clone, Debug)]
+struct NetTelemetry {
+    up_util: Vec<TimeSeries>,
+    down_util: Vec<TimeSeries>,
+    /// Transfers currently occupying wires.
+    active: TimeSeries,
+    /// Transfers submitted but not yet on the wire.
+    queued: TimeSeries,
+}
+
+impl NetTelemetry {
+    fn new(now: SimTime, num_nodes: usize) -> NetTelemetry {
+        let mut zero = TimeSeries::new();
+        zero.record(now, 0.0);
+        NetTelemetry {
+            up_util: vec![zero.clone(); num_nodes],
+            down_util: vec![zero.clone(); num_nodes],
+            active: zero.clone(),
+            queued: zero,
+        }
+    }
 }
 
 impl Network {
@@ -147,7 +176,35 @@ impl Network {
             trace: None,
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
+            telem: None,
         }
+    }
+
+    /// Starts recording per-port utilisation and queue-depth series.
+    /// Recording never changes fabric behaviour.
+    pub fn enable_telemetry(&mut self, now: SimTime) {
+        if self.telem.is_none() {
+            self.telem = Some(NetTelemetry::new(now, self.nics.len()));
+        }
+    }
+
+    /// Takes the recorded metrics with summaries closed at `now`, or
+    /// `None` if telemetry was never enabled.
+    pub fn take_metrics(&mut self, now: SimTime) -> Option<MetricSet> {
+        let t = self.telem.take()?;
+        let mut set = MetricSet::new();
+        set.horizon = now;
+        set.counter("transfers_delivered", self.transfers_delivered);
+        set.counter("bytes_delivered", self.bytes_delivered);
+        set.series("active_transfers", t.active);
+        set.series("queued_transfers", t.queued);
+        for (i, s) in t.up_util.into_iter().enumerate() {
+            set.series(format!("nic{i}/up_util"), s);
+        }
+        for (i, s) in t.down_util.into_iter().enumerate() {
+            set.series(format!("nic{i}/down_util"), s);
+        }
+        Some(set)
     }
 
     /// Accumulated wire-busy time of every uplink (completed occupancies
@@ -227,6 +284,9 @@ impl Network {
             started_at: SimTime::ZERO,
         });
         self.nics[src.0].up_queues[dst.0].push_back(id);
+        if let Some(t) = self.telem.as_mut() {
+            t.queued.step(now, 1.0);
+        }
         self.try_start(now, src);
         id
     }
@@ -297,6 +357,11 @@ impl Network {
                 if let Some(trace) = &mut self.trace {
                     let started_at = self.transfers[id.0 as usize].started_at;
                     trace.push((tag, src.0, dst.0, started_at, t));
+                }
+                if let Some(te) = self.telem.as_mut() {
+                    te.active.step(t, -1.0);
+                    te.up_util[src.0].record(t, 0.0);
+                    te.down_util[dst.0].record(t, 0.0);
                 }
                 self.try_start(t, src);
                 self.serve_down_waiters(t, dst);
@@ -408,6 +473,12 @@ impl Network {
         self.deliveries.insert((deliver, id));
         self.next_event.set(None);
         self.peak_in_flight = self.peak_in_flight.max(self.releases.len());
+        if let Some(t) = self.telem.as_mut() {
+            t.queued.step(now, -1.0);
+            t.active.step(now, 1.0);
+            t.up_util[src.0].record(now, 1.0);
+            t.down_util[dst.0].record(now, 1.0);
+        }
     }
 
     /// Number of transfers currently occupying wires.

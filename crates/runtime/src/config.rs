@@ -181,6 +181,12 @@ pub struct WorldConfig {
     /// collectives) into [`crate::RunResult::trace`], exportable to
     /// `chrome://tracing` via `bs_sim::Trace::to_chrome_json`.
     pub record_trace: bool,
+    /// Record run metrics (credit occupancy, queue depths, per-NIC
+    /// utilisation, GPU busy/stall accounting) into
+    /// [`crate::RunResult::metrics`]. Off by default: the disabled path
+    /// costs one branch per instrumented point, keeping benchmark runs
+    /// bit-identical with or without the telemetry layer compiled in.
+    pub record_metrics: bool,
     /// Iterations to run.
     pub iters: u64,
     /// Iterations discarded before measuring (the paper warms up for 10).
@@ -219,6 +225,7 @@ impl WorldConfig {
             priority_override: None,
             background: None,
             record_trace: false,
+            record_metrics: false,
             iters: 18,
             warmup: 3,
             seed: 1,

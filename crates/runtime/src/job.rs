@@ -19,6 +19,7 @@ use bs_core::{
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
 use bs_net::{Fabric, NetEvent, NodeId, WireSpan};
 use bs_sim::{SimRng, SimTime, Trace};
+use bs_telemetry::MetricSet;
 
 use crate::config::{Arch, SchedulerKind, WorldConfig};
 use crate::plugin::{ArPluginState, PsPluginState};
@@ -388,12 +389,21 @@ impl JobState {
         };
         let mut engines = engines;
         let mut backend = backend;
+        let mut scheds = scheds;
         if cfg.record_trace {
             for e in &mut engines {
                 e.enable_trace();
             }
             if let JobBackend::Ring { ring, .. } = &mut backend {
                 ring.enable_trace();
+            }
+        }
+        if cfg.record_metrics {
+            for e in &mut engines {
+                e.enable_telemetry(arrival);
+            }
+            for s in &mut scheds {
+                s.enable_telemetry(arrival);
             }
         }
         let burst = cfg.background.map(|bg| {
@@ -935,12 +945,59 @@ impl JobState {
     /// point-to-point statistics the driver attributes to this job (the
     /// solo driver passes fabric totals; a cluster driver passes per-job
     /// counters); ring statistics come from the job's private stream.
+    /// Flushes every instrumented subsystem into one [`MetricSet`] with
+    /// summaries closed at `now`. Returns `None` when the job was built
+    /// without `record_metrics`. Scheduler metrics get a `worker{w}/sched/`
+    /// prefix (PS: one scheduler per worker) or `sched/` (all-reduce: a
+    /// single master); GPU-occupancy series land as `worker{w}/gpu_busy`
+    /// alongside derived `gpu_busy_secs` / `comm_stall_secs` gauges — the
+    /// stall being the part of the worker's window its GPU sat idle
+    /// waiting on communication (Fig. 1's "network idle" time).
+    pub fn take_metrics(&mut self, now: SimTime) -> Option<MetricSet> {
+        let mut ms = MetricSet::new();
+        ms.horizon = now;
+        let solo_sched = self.scheds.len() == 1;
+        for (s, sched) in self.scheds.iter_mut().enumerate() {
+            if let Some(m) = sched.take_metrics(now) {
+                if solo_sched {
+                    ms.absorb("sched/", m);
+                } else {
+                    ms.absorb(&format!("worker{s}/sched/"), m);
+                }
+            }
+        }
+        for (w, engine) in self.engines.iter_mut().enumerate() {
+            if let Some(busy) = engine.take_gpu_busy() {
+                let busy_secs = busy.integral_secs(now);
+                let window = busy
+                    .samples()
+                    .first()
+                    .map_or(0.0, |&(t0, _)| now.saturating_sub(t0).as_secs_f64());
+                ms.gauge(format!("worker{w}/gpu_busy_secs"), busy_secs);
+                ms.gauge(
+                    format!("worker{w}/comm_stall_secs"),
+                    (window - busy_secs).max(0.0),
+                );
+                ms.series(format!("worker{w}/gpu_busy"), busy);
+            }
+        }
+        if ms.is_empty() {
+            None
+        } else {
+            Some(ms)
+        }
+    }
+
     pub fn into_result(
-        self,
+        mut self,
         cfg: &WorldConfig,
         finished_at: SimTime,
         net: JobNetStats,
     ) -> RunResult {
+        let metrics = cfg
+            .record_metrics
+            .then(|| self.take_metrics(finished_at))
+            .flatten();
         let (p2p, coll, comm_events, peak_in_flight) = match &self.backend {
             JobBackend::Ps { .. } => (net.p2p_bytes, 0, net.comm_events, net.peak_in_flight),
             JobBackend::Ring { ring, .. } => (0, ring.bytes_reduced(), ring.ops_reduced(), 0),
@@ -961,6 +1018,7 @@ impl JobState {
         };
         result.comm_events = comm_events;
         result.peak_in_flight = peak_in_flight;
+        result.metrics = metrics;
         result
     }
 

@@ -1,6 +1,7 @@
 //! Measurement output of one run.
 
 use bs_sim::{OnlineStats, SimTime, Trace};
+use bs_telemetry::MetricSet;
 use serde::Serialize;
 
 /// The measured outcome of one simulated training run.
@@ -38,6 +39,10 @@ pub struct RunResult {
     /// Highest number of simultaneously in-flight transfers on the
     /// point-to-point fabric (0 for all-reduce runs).
     pub peak_in_flight: usize,
+    /// Run metrics (when `WorldConfig::record_metrics` was set): credit
+    /// occupancy and stall series per lane, per-NIC utilisation, per-GPU
+    /// busy/idle, with summaries closed at `finished_at`.
+    pub metrics: Option<MetricSet>,
 }
 
 impl RunResult {
@@ -81,6 +86,7 @@ impl RunResult {
             peak_port_utilisation: 0.0,
             comm_events: 0,
             peak_in_flight: 0,
+            metrics: None,
         }
     }
 

@@ -39,6 +39,9 @@ impl World {
         if cfg.record_trace && matches!(cfg.arch, Arch::Ps { .. }) {
             fabric.enable_trace();
         }
+        if cfg.record_metrics && matches!(cfg.arch, Arch::Ps { .. }) {
+            fabric.enable_telemetry(SimTime::ZERO);
+        }
         let job = JobState::build(cfg, NodeMap::identity(nodes_needed));
         World {
             job,
@@ -140,8 +143,22 @@ impl World {
             peak_in_flight: self.fabric.peak_in_flight(),
             peak_port_utilisation: self.fabric.peak_port_utilisation(self.now),
         };
+        let fabric_metrics = self.fabric.take_metrics(self.now);
         let mut result = self.job.into_result(cfg, self.now, net);
         result.trace = trace;
+        if let Some(fm) = fabric_metrics {
+            result
+                .metrics
+                .get_or_insert_with(bs_telemetry::MetricSet::new)
+                .absorb("net/", fm);
+        }
+        // With both recorders on, the run's series double as Perfetto
+        // counter tracks alongside the span trace.
+        if let (Some(trace), Some(ms)) = (&mut result.trace, &result.metrics) {
+            for t in ms.counter_tracks() {
+                trace.push_counter(t.name, t.samples);
+            }
+        }
         result
     }
 
@@ -473,6 +490,60 @@ mod tests {
         // Without the flag, no trace is attached.
         c.record_trace = false;
         assert!(run(&c).trace.is_none());
+    }
+
+    #[test]
+    fn recorded_metrics_cover_scheduler_fabric_and_gpus() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(1_000_000, 4_000_000),
+        );
+        c.record_metrics = true;
+        c.record_trace = true;
+        let r = run(&c);
+        let ms = r.metrics.as_ref().expect("metrics recorded");
+        assert_eq!(ms.horizon, r.finished_at);
+        // Scheduler, engine and fabric layers all reported.
+        assert!(ms.get_series("worker0/sched/lane0/credit_in_use").is_some());
+        assert!(ms.get_series("worker1/gpu_busy").is_some());
+        assert!(ms.get_series("net/nic0/up_util").is_some());
+        assert!(ms.get_counter("net/transfers_delivered").unwrap_or(0) > 0);
+        // Stall accounting: busy + stall covers each worker's window.
+        let busy = ms.get_gauge("worker0/gpu_busy_secs").expect("busy gauge");
+        let stall = ms
+            .get_gauge("worker0/comm_stall_secs")
+            .expect("stall gauge");
+        assert!(busy > 0.0 && stall > 0.0);
+        assert!((busy + stall - r.finished_at.as_secs_f64()).abs() < 1e-9);
+        // With both recorders on, series ride along as counter tracks.
+        let trace = r.trace.as_ref().expect("trace recorded");
+        assert!(!trace.counters.is_empty());
+        assert!(trace.to_chrome_json().contains("\"ph\":\"C\""));
+        // Metrics stay off (and absent) by default.
+        c.record_metrics = false;
+        c.record_trace = false;
+        assert!(run(&c).metrics.is_none());
+    }
+
+    #[test]
+    fn metrics_recording_does_not_change_results() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(2_000_000, 8_000_000),
+        );
+        c.jitter = 0.02;
+        let off = run(&c);
+        c.record_metrics = true;
+        let on = run(&c);
+        assert_eq!(off.speed, on.speed);
+        assert_eq!(off.finished_at, on.finished_at);
+        assert_eq!(off.p2p_bytes, on.p2p_bytes);
     }
 
     #[test]

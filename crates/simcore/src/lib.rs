@@ -31,4 +31,4 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Percentiles};
 pub use time::SimTime;
-pub use trace::{Span, Trace};
+pub use trace::{CounterTrack, Span, Trace};

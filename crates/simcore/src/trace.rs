@@ -7,6 +7,8 @@
 //! simulated training run into the familiar timeline picture — Figure 1
 //! of the paper, but measured.
 
+use std::collections::HashMap;
+
 use serde::Serialize;
 
 use crate::time::SimTime;
@@ -24,11 +26,23 @@ pub struct Span {
     pub end: SimTime,
 }
 
+/// A quantity-over-time track: piecewise-constant samples rendered as
+/// Perfetto counter (`"ph":"C"`) events next to the span timeline.
+#[derive(Clone, Debug, Serialize)]
+pub struct CounterTrack {
+    /// Counter name (e.g. `"job0/credit_in_use"`).
+    pub name: String,
+    /// `(instant, value)` samples; the value holds until the next sample.
+    pub samples: Vec<(SimTime, f64)>,
+}
+
 /// A recorded execution trace.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct Trace {
     /// All spans, in no particular order.
     pub spans: Vec<Span>,
+    /// Counter tracks (empty unless metrics recording is enabled).
+    pub counters: Vec<CounterTrack>,
 }
 
 impl Trace {
@@ -37,7 +51,10 @@ impl Trace {
         Trace::default()
     }
 
-    /// Records one span.
+    /// Records one span. A span whose `end` precedes its `start` is a
+    /// caller bug (asserted in debug builds); release builds clamp it to
+    /// zero duration rather than emitting a negative-duration event that
+    /// corrupts the timeline render.
     pub fn push(
         &mut self,
         name: impl Into<String>,
@@ -50,13 +67,22 @@ impl Trace {
             name: name.into(),
             track: track.into(),
             start,
-            end,
+            end: end.max(start),
         });
     }
 
-    /// Appends another trace's spans.
+    /// Records one counter track.
+    pub fn push_counter(&mut self, name: impl Into<String>, samples: Vec<(SimTime, f64)>) {
+        self.counters.push(CounterTrack {
+            name: name.into(),
+            samples,
+        });
+    }
+
+    /// Appends another trace's spans and counters.
     pub fn extend(&mut self, other: Trace) {
         self.spans.extend(other.spans);
+        self.counters.extend(other.counters);
     }
 
     /// Number of spans.
@@ -71,16 +97,19 @@ impl Trace {
 
     /// Serialises to the Chrome trace-event format (JSON array of
     /// complete events). Tracks become thread ids under one process;
-    /// thread-name metadata makes them readable.
+    /// thread-name metadata makes them readable. Counter tracks (if any)
+    /// render as Perfetto counter events after the spans.
     pub fn to_chrome_json(&self) -> String {
         // Stable track → tid mapping in first-appearance order.
         let mut tracks: Vec<&str> = Vec::new();
+        let mut tid_of: HashMap<&str, usize> = HashMap::new();
         for s in &self.spans {
-            if !tracks.contains(&s.track.as_str()) {
+            let next = tracks.len() + 1;
+            tid_of.entry(&s.track).or_insert_with(|| {
                 tracks.push(&s.track);
-            }
+                next
+            });
         }
-        let tid = |t: &str| tracks.iter().position(|x| *x == t).expect("seen") + 1;
 
         let mut out = String::from("[");
         let mut first = true;
@@ -105,8 +134,21 @@ impl Trace {
             out.push_str(&format!(
                 r#"{{"name":{},"ph":"X","pid":1,"tid":{},"ts":{ts:.3},"dur":{dur:.3}}}"#,
                 json_string(&s.name),
-                tid(&s.track)
+                tid_of[s.track.as_str()]
             ));
+        }
+        for c in &self.counters {
+            let name = json_string(&c.name);
+            for &(at, value) in &c.samples {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let ts = at.as_micros_f64();
+                out.push_str(&format!(
+                    r#"{{"name":{name},"ph":"C","pid":1,"ts":{ts:.3},"args":{{"value":{value:.3}}}}}"#,
+                ));
+            }
         }
         out.push(']');
         out
@@ -183,6 +225,81 @@ mod tests {
         // "a" is tid 1, "b" is tid 2; "z" shares tid 1.
         assert_eq!(j.matches(r#""tid":1"#).count(), 3); // meta + x + z
         assert_eq!(j.matches(r#""tid":2"#).count(), 2); // meta + y
+    }
+
+    #[test]
+    fn chrome_json_event_count_scales_with_spans() {
+        // Regression for the O(n²) track lookup: every span must emit
+        // exactly one "X" event and every distinct track one "M" event,
+        // for a span count large enough that quadratic scans would be
+        // visible if reintroduced.
+        let mut t = Trace::new();
+        let n_tracks = 64;
+        let n_spans = 20_000;
+        for i in 0..n_spans {
+            let at = SimTime::from_micros(i as u64);
+            t.push(format!("op{i}"), format!("trk{}", i % n_tracks), at, at);
+        }
+        let j = t.to_chrome_json();
+        assert_eq!(j.matches(r#""ph":"M""#).count(), n_tracks);
+        assert_eq!(j.matches(r#""ph":"X""#).count(), n_spans);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_builds_clamp_reversed_spans() {
+        let mut t = Trace::new();
+        t.push(
+            "r",
+            "trk",
+            SimTime::from_micros(10),
+            SimTime::from_micros(4),
+        );
+        assert_eq!(t.spans[0].start, SimTime::from_micros(10));
+        assert_eq!(t.spans[0].end, SimTime::from_micros(10));
+        assert!(t.to_chrome_json().contains(r#""dur":0.000"#));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "span ends before it starts")]
+    fn debug_builds_assert_on_reversed_spans() {
+        let mut t = Trace::new();
+        t.push(
+            "r",
+            "trk",
+            SimTime::from_micros(10),
+            SimTime::from_micros(4),
+        );
+    }
+
+    #[test]
+    fn counter_tracks_render_as_counter_events() {
+        let mut t = Trace::new();
+        t.push("a", "gpu", SimTime::ZERO, SimTime::from_micros(5));
+        t.push_counter(
+            "credit_in_use",
+            vec![
+                (SimTime::ZERO, 0.0),
+                (SimTime::from_micros(2), 4.0),
+                (SimTime::from_micros(5), 1.0),
+            ],
+        );
+        let j = t.to_chrome_json();
+        assert_eq!(j.matches(r#""ph":"C""#).count(), 3);
+        assert!(j.contains(
+            r#""name":"credit_in_use","ph":"C","pid":1,"ts":2.000,"args":{"value":4.000}"#
+        ));
+        let parsed: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        assert!(parsed.is_array());
+    }
+
+    #[test]
+    fn empty_counters_do_not_change_output() {
+        let mut t = Trace::new();
+        t.push("a", "gpu", SimTime::ZERO, SimTime::from_micros(5));
+        let j = t.to_chrome_json();
+        assert!(!j.contains(r#""ph":"C""#));
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! Simulation-clock-driven metrics for the ByteScheduler reproduction.
+//!
+//! The tracing layer ([`bs_sim::Trace`]) answers *what happened when*;
+//! this crate answers *how much of it there was*: credit in use, queued
+//! bytes, per-port utilisation, stall time. Three primitives cover every
+//! instrumented quantity in the workspace:
+//!
+//! * [`Counter`] — a monotonically increasing event count (preemptions,
+//!   transfers, bursts).
+//! * [`Gauge`] — a point-in-time scalar with no history (peaks, finals).
+//! * [`TimeSeries`] — a piecewise-constant function of [`SimTime`]: each
+//!   `(instant, value)` sample holds until the next one. All derived
+//!   summaries (time-weighted mean, time-weighted percentiles, integral)
+//!   follow from that step-function reading, so a series sampled only on
+//!   change is *exact*, not an approximation.
+//!
+//! Named metrics aggregate into a [`MetricSet`], the unit of export: it
+//! renders to a `metrics.json` tree (via [`serde::Serialize`]), to
+//! Perfetto counter tracks ([`MetricSet::counter_tracks`]) appended to a
+//! Chrome trace, and to the `simctl metrics` summary table.
+//!
+//! Everything here is recording-only: nothing feeds back into the
+//! simulation, so enabling telemetry cannot change event order or any
+//! simulated result — only emit more output. The overhead contract is
+//! enforced one layer up: instrumented components hold
+//! `Option<...Telemetry>` fields that are `None` unless a run asks for
+//! metrics, so the disabled path costs one branch per touch point.
+
+use bs_sim::{CounterTrack, SimTime};
+use serde::{Serialize, Value};
+
+/// A monotonically increasing event count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.value
+    }
+}
+
+/// A point-in-time scalar with no history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Adds to the value.
+    pub fn add(&mut self, d: f64) {
+        self.value += d;
+    }
+
+    /// Keeps the maximum of the current and given value.
+    pub fn max_with(&mut self, v: f64) {
+        if v > self.value {
+            self.value = v;
+        }
+    }
+
+    /// Current value.
+    pub fn get(self) -> f64 {
+        self.value
+    }
+}
+
+/// A piecewise-constant function of simulation time.
+///
+/// Samples are `(instant, value)` pairs in non-decreasing time order;
+/// each value holds until the next sample. Record only on change — the
+/// step-function semantics make the derived statistics exact regardless
+/// of sampling density.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Records `value` from `at` onwards. A second record at the same
+    /// instant overwrites (the series is a function of time); a record
+    /// equal to the current value is dropped (the step function is
+    /// unchanged). Time must not go backwards — asserted in debug
+    /// builds, clamped to the last instant in release builds.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(last) = self.samples.last_mut() {
+            debug_assert!(at >= last.0, "time series sampled in the past");
+            let at = at.max(last.0);
+            if last.1 == value {
+                return;
+            }
+            if last.0 == at {
+                last.1 = value;
+                // Collapse with the sample before, if this overwrite
+                // restored its value.
+                let n = self.samples.len();
+                if n >= 2 && self.samples[n - 2].1 == value {
+                    self.samples.pop();
+                }
+                return;
+            }
+        }
+        self.samples.push((at, value));
+    }
+
+    /// Adjusts the current value by `delta` from `at` onwards (an empty
+    /// series is treated as holding 0).
+    pub fn step(&mut self, at: SimTime, delta: f64) {
+        self.record(at, self.last_value() + delta);
+    }
+
+    /// The current (last recorded) value; 0 for an empty series.
+    pub fn last_value(&self) -> f64 {
+        self.samples.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `(duration, value)` segments of the step function on
+    /// `[first sample, until)`.
+    fn segments(&self, until: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let n = self.samples.len();
+        self.samples
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &(t0, v))| {
+                let t1 = if i + 1 < n {
+                    self.samples[i + 1].0
+                } else {
+                    until
+                };
+                let t1 = t1.min(until);
+                (t1 > t0).then(|| (t1.saturating_sub(t0), v))
+            })
+    }
+
+    /// `∫ value dt` over `[first sample, until)`, in value·seconds.
+    pub fn integral_secs(&self, until: SimTime) -> f64 {
+        self.segments(until)
+            .map(|(dt, v)| v * dt.as_secs_f64())
+            .sum()
+    }
+
+    /// Time-weighted mean over `[first sample, until)`; 0 if the window
+    /// is empty.
+    pub fn time_weighted_mean(&self, until: SimTime) -> f64 {
+        let (mut area, mut dur) = (0.0, 0.0);
+        for (dt, v) in self.segments(until) {
+            area += v * dt.as_secs_f64();
+            dur += dt.as_secs_f64();
+        }
+        if dur > 0.0 {
+            area / dur
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted quantile `q ∈ [0, 1]` over `[first sample, until)`:
+    /// the smallest value `x` such that the series is ≤ `x` for at least
+    /// a fraction `q` of the window. Degenerate windows yield the last
+    /// value.
+    pub fn quantile(&self, q: f64, until: SimTime) -> f64 {
+        let mut segs: Vec<(SimTime, f64)> = self.segments(until).collect();
+        if segs.is_empty() {
+            return self.last_value();
+        }
+        segs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = segs.iter().map(|(dt, _)| dt.as_secs_f64()).sum();
+        if total <= 0.0 {
+            return self.last_value();
+        }
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0;
+        for &(dt, v) in &segs {
+            acc += dt.as_secs_f64();
+            if acc >= target {
+                return v;
+            }
+        }
+        segs.last().expect("non-empty").1
+    }
+
+    /// Maximum recorded value; 0 for an empty series.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// All derived summaries over `[first sample, until)`.
+    pub fn summary(&self, until: SimTime) -> SeriesSummary {
+        SeriesSummary {
+            mean: self.time_weighted_mean(until),
+            p50: self.quantile(0.50, until),
+            p95: self.quantile(0.95, until),
+            max: self.max_value(),
+            integral_secs: self.integral_secs(until),
+            samples: self.samples.len(),
+        }
+    }
+}
+
+/// Derived summaries of one [`TimeSeries`].
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SeriesSummary {
+    /// Time-weighted mean.
+    pub mean: f64,
+    /// Time-weighted median.
+    pub p50: f64,
+    /// Time-weighted 95th percentile.
+    pub p95: f64,
+    /// Maximum recorded value.
+    pub max: f64,
+    /// `∫ value dt` in value·seconds.
+    pub integral_secs: f64,
+    /// Number of change points recorded.
+    pub samples: usize,
+}
+
+/// One named metric inside a [`MetricSet`].
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A monotonic event count.
+    Counter(u64),
+    /// A point-in-time scalar.
+    Gauge(f64),
+    /// A quantity over time.
+    Series(TimeSeries),
+}
+
+/// An insertion-ordered registry of named metrics — the unit of export.
+///
+/// Component telemetry structs flush into one `MetricSet` per run (with
+/// a per-component name prefix); the set then renders to `metrics.json`,
+/// Perfetto counter tracks, and the human summary table.
+#[derive(Clone, Debug, Default)]
+pub struct MetricSet {
+    entries: Vec<(String, Metric)>,
+    /// End of the observation window; series summaries integrate up to
+    /// this instant.
+    pub horizon: SimTime,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    /// Registers a counter value.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.entries.push((name.into(), Metric::Counter(value)));
+    }
+
+    /// Registers a gauge value.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), Metric::Gauge(value)));
+    }
+
+    /// Registers a time series.
+    pub fn series(&mut self, name: impl Into<String>, ts: TimeSeries) {
+        self.entries.push((name.into(), Metric::Series(ts)));
+    }
+
+    /// Absorbs another set, prefixing every entry name (`prefix` +
+    /// entry name) and keeping the later horizon.
+    pub fn absorb(&mut self, prefix: &str, other: MetricSet) {
+        for (name, m) in other.entries {
+            self.entries.push((format!("{prefix}{name}"), m));
+        }
+        self.horizon = self.horizon.max(other.horizon);
+    }
+
+    /// Entries in registration order.
+    pub fn entries(&self) -> &[(String, Metric)] {
+        &self.entries
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Counter(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Gauge(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a series by exact name.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Series(ts) if n == name => Some(ts),
+            _ => None,
+        })
+    }
+
+    /// Every series as a Perfetto counter track, in registration order.
+    /// Series with no samples are skipped (an empty counter track is
+    /// render noise).
+    pub fn counter_tracks(&self) -> Vec<CounterTrack> {
+        self.entries
+            .iter()
+            .filter_map(|(name, m)| match m {
+                Metric::Series(ts) if !ts.is_empty() => Some(CounterTrack {
+                    name: name.clone(),
+                    samples: ts.samples().to_vec(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Serialize for MetricSet {
+    fn to_value(&self) -> Value {
+        let metrics = self
+            .entries
+            .iter()
+            .map(|(name, m)| {
+                let body = match m {
+                    Metric::Counter(v) => Value::Object(vec![
+                        ("kind".into(), Value::Str("counter".into())),
+                        ("value".into(), Value::U64(*v)),
+                    ]),
+                    Metric::Gauge(v) => Value::Object(vec![
+                        ("kind".into(), Value::Str("gauge".into())),
+                        ("value".into(), Value::F64(*v)),
+                    ]),
+                    Metric::Series(ts) => {
+                        let s = ts.summary(self.horizon);
+                        Value::Object(vec![
+                            ("kind".into(), Value::Str("series".into())),
+                            ("mean".into(), Value::F64(s.mean)),
+                            ("p50".into(), Value::F64(s.p50)),
+                            ("p95".into(), Value::F64(s.p95)),
+                            ("max".into(), Value::F64(s.max)),
+                            ("integral_secs".into(), Value::F64(s.integral_secs)),
+                            ("samples".into(), Value::U64(s.samples as u64)),
+                        ])
+                    }
+                };
+                (name.clone(), body)
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema_version".into(), Value::U64(1)),
+            (
+                "horizon_us".into(),
+                Value::F64(self.horizon.as_micros_f64()),
+            ),
+            ("metrics".into(), Value::Object(metrics)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::new();
+        g.set(2.0);
+        g.add(0.5);
+        g.max_with(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.max_with(9.0);
+        assert_eq!(g.get(), 9.0);
+    }
+
+    #[test]
+    fn series_dedups_unchanged_and_overwrites_same_instant() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(0), 1.0);
+        ts.record(us(5), 1.0); // unchanged → dropped
+        ts.record(us(10), 3.0);
+        ts.record(us(10), 4.0); // same instant → overwrite
+        assert_eq!(ts.samples(), &[(us(0), 1.0), (us(10), 4.0)]);
+        // Overwrite back to the previous value collapses the sample.
+        ts.record(us(10), 1.0);
+        assert_eq!(ts.samples(), &[(us(0), 1.0)]);
+    }
+
+    #[test]
+    fn step_tracks_running_value() {
+        let mut ts = TimeSeries::new();
+        ts.step(us(1), 2.0);
+        ts.step(us(3), 3.0);
+        ts.step(us(7), -5.0);
+        assert_eq!(ts.last_value(), 0.0);
+        assert_eq!(ts.samples(), &[(us(1), 2.0), (us(3), 5.0), (us(7), 0.0)]);
+    }
+
+    /// Hand-computed fixture: value 2 on [0, 10)µs, 6 on [10, 30)µs,
+    /// 0 on [30, 40)µs.
+    fn fixture() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        ts.record(us(0), 2.0);
+        ts.record(us(10), 6.0);
+        ts.record(us(30), 0.0);
+        ts
+    }
+
+    #[test]
+    fn time_weighted_mean_matches_hand_computation() {
+        let ts = fixture();
+        // (2·10 + 6·20 + 0·10) / 40 = 140/40 = 3.5
+        assert!((ts.time_weighted_mean(us(40)) - 3.5).abs() < 1e-12);
+        // Truncated window [0, 20): (2·10 + 6·10)/20 = 4.0
+        assert!((ts.time_weighted_mean(us(20)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_matches_hand_computation() {
+        let ts = fixture();
+        // 2·10µs + 6·20µs = 140 value·µs = 1.4e-4 value·s
+        assert!((ts.integral_secs(us(40)) - 1.4e-4).abs() < 1e-16);
+    }
+
+    #[test]
+    fn quantiles_match_hand_computation() {
+        let ts = fixture();
+        // Durations: value 0 → 10µs (25%), value 2 → 10µs (50%),
+        // value 6 → 20µs (100%).
+        assert_eq!(ts.quantile(0.10, us(40)), 0.0);
+        assert_eq!(ts.quantile(0.25, us(40)), 0.0);
+        assert_eq!(ts.quantile(0.50, us(40)), 2.0);
+        assert_eq!(ts.quantile(0.95, us(40)), 6.0);
+        assert_eq!(ts.quantile(1.0, us(40)), 6.0);
+        assert_eq!(ts.max_value(), 6.0);
+    }
+
+    #[test]
+    fn degenerate_windows_are_safe() {
+        let ts = TimeSeries::new();
+        assert_eq!(ts.time_weighted_mean(us(10)), 0.0);
+        assert_eq!(ts.integral_secs(us(10)), 0.0);
+        assert_eq!(ts.quantile(0.5, us(10)), 0.0);
+
+        let mut one = TimeSeries::new();
+        one.record(us(5), 7.0);
+        // Window ends at (or before) the only sample: no duration.
+        assert_eq!(one.time_weighted_mean(us(5)), 0.0);
+        assert_eq!(one.quantile(0.5, us(5)), 7.0);
+        assert_eq!(one.integral_secs(us(3)), 0.0);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let s = fixture().summary(us(40));
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 6.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn metric_set_exports_counter_tracks_and_json() {
+        let mut set = MetricSet::new();
+        set.counter("preemptions", 3);
+        set.gauge("peak_in_flight", 12.0);
+        set.series("credit_in_use", fixture());
+        set.series("empty", TimeSeries::new());
+        set.horizon = us(40);
+
+        let tracks = set.counter_tracks();
+        assert_eq!(tracks.len(), 1); // empty series skipped
+        assert_eq!(tracks[0].name, "credit_in_use");
+        assert_eq!(tracks[0].samples.len(), 3);
+
+        let v = set.to_value();
+        let json = serde_json::to_string_pretty(&v).expect("render");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"preemptions\""));
+        let metrics = v.get("metrics").expect("metrics object");
+        let credit = metrics.get("credit_in_use").expect("series entry");
+        assert_eq!(credit.get("kind"), Some(&Value::Str("series".into())));
+    }
+
+    #[test]
+    fn absorb_prefixes_and_merges_horizon() {
+        let mut a = MetricSet::new();
+        a.counter("x", 1);
+        a.horizon = us(10);
+        let mut b = MetricSet::new();
+        b.counter("x", 2);
+        b.horizon = us(20);
+        a.absorb("job0/", b);
+        assert_eq!(a.get_counter("x"), Some(1));
+        assert_eq!(a.get_counter("job0/x"), Some(2));
+        assert_eq!(a.horizon, us(20));
+    }
+}

@@ -15,6 +15,8 @@
 //! The crates, bottom-up:
 //!
 //! * [`sim`] — discrete-event kernel (virtual time, event queue, RNG, stats).
+//! * [`telemetry`] — simulation-clock metrics: counters, gauges,
+//!   piecewise-constant time series with time-weighted summaries.
 //! * [`models`] — DNN zoo with per-layer tensor sizes and compute times.
 //! * [`net`] — duplex FIFO network ports with per-message overhead; TCP/RDMA.
 //! * [`comm`] — Parameter Server and ring all-reduce architectures.
@@ -41,4 +43,5 @@ pub use bs_models as models;
 pub use bs_net as net;
 pub use bs_runtime as runtime;
 pub use bs_sim as sim;
+pub use bs_telemetry as telemetry;
 pub use bs_tune as tune;

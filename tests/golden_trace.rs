@@ -6,6 +6,9 @@
 //! before the PR-1 fluid/world optimisation work. Every run since must
 //! reproduce it bit-for-bit: floats are rendered with Rust's
 //! shortest-round-trip formatting, so string equality is bit equality.
+//! The scenario and fingerprint live in `tests/common/mod.rs`, shared
+//! with `metrics_schema.rs` (which re-pins the fixture with telemetry
+//! recording turned on).
 //!
 //! To regenerate after an *intentional* model change (one that is
 //! expected to alter simulated behaviour):
@@ -16,110 +19,14 @@
 //!
 //! and review the fixture diff like any other behavioural change.
 
-use bs_engine::EngineConfig;
-use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
-use bs_net::{FabricModel, NetConfig, Transport};
-use bs_runtime::{run, Arch, RunResult, SchedulerKind, WorldConfig};
-use bs_sim::SimTime;
-use serde_json::Value;
+#[allow(dead_code)]
+mod common;
 
-/// The comm-heavy toy shared with the runtime tests and the perf runner:
-/// a big first tensor so scheduling order matters.
-fn comm_heavy() -> DnnModel {
-    let gpu = GpuSpec::custom(1e12, 2.0);
-    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
-        .explicit(
-            "l0",
-            40_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l1",
-            5_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l2",
-            5_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l3",
-            1_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .build()
-}
-
-fn scenario(fabric: FabricModel) -> WorldConfig {
-    let mut c = WorldConfig::new(
-        comm_heavy(),
-        2,
-        Arch::ps(2),
-        NetConfig::gbps(10.0, Transport::tcp()),
-        EngineConfig::mxnet_ps(),
-        SchedulerKind::ByteScheduler {
-            partition: 1_000_000,
-            credit: 4_000_000,
-        },
-    );
-    c.fabric = fabric;
-    c.iters = 8;
-    c.warmup = 2;
-    // Non-zero jitter so the fixture also pins the RNG stream.
-    c.jitter = 0.02;
-    c.seed = 7;
-    c
-}
-
-/// The determinism-relevant surface of a run, rendered to JSON. Includes
-/// every quantity a fabric or event-loop change could disturb: virtual
-/// end time in nanoseconds, the full per-iteration timing vector, byte
-/// and event counts.
-fn fingerprint(label: &str, r: &RunResult) -> Value {
-    let fields = vec![
-        ("scenario".to_string(), Value::Str(label.to_string())),
-        ("scheduler".to_string(), Value::Str(r.scheduler.to_string())),
-        (
-            "finished_at_ns".to_string(),
-            Value::U64(r.finished_at.as_nanos()),
-        ),
-        (
-            "iter_times".to_string(),
-            Value::Array(r.iter_times.iter().map(|t| Value::F64(*t)).collect()),
-        ),
-        ("speed".to_string(), Value::F64(r.speed)),
-        ("p2p_bytes".to_string(), Value::U64(r.p2p_bytes)),
-        ("comm_events".to_string(), Value::U64(r.comm_events)),
-        (
-            "peak_in_flight".to_string(),
-            Value::U64(r.peak_in_flight as u64),
-        ),
-    ];
-    Value::Object(fields)
-}
-
-fn fixture_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_comm_heavy.json")
-}
-
-fn render() -> String {
-    let fifo = run(&scenario(FabricModel::SerialFifo));
-    let fluid = run(&scenario(FabricModel::FairShare));
-    let doc = Value::Array(vec![
-        fingerprint("comm_heavy_ps_fifo", &fifo),
-        fingerprint("comm_heavy_ps_fluid", &fluid),
-    ]);
-    serde_json::to_string_pretty(&doc).expect("render fingerprint") + "\n"
-}
+use common::{fixture_path, render};
 
 #[test]
 fn matches_committed_fixture_on_both_fabrics() {
-    let actual = render();
+    let actual = render(false);
     let path = fixture_path();
     if std::env::var("BS_UPDATE_GOLDEN").is_ok() {
         std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
@@ -146,7 +53,7 @@ fn matches_committed_fixture_on_both_fabrics() {
 /// would drift together).
 #[test]
 fn repeated_runs_are_bit_identical() {
-    let a = render();
-    let b = render();
+    let a = render(false);
+    let b = render(false);
     assert_eq!(a, b);
 }
