@@ -125,6 +125,9 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     if cluster.record_metrics {
         fabric.enable_telemetry(SimTime::ZERO);
     }
+    if cluster.record_xray {
+        fabric.enable_xray();
+    }
 
     let mut jobs: Vec<ClusterJob> = specs
         .iter()
@@ -135,6 +138,7 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
                 let mut cfg = cfg.clone();
                 cfg.record_trace = cluster.record_trace;
                 cfg.record_metrics = cluster.record_metrics;
+                cfg.record_xray = cluster.record_xray;
                 let state = JobState::build_at(&cfg, NodeMap::new(j, nodes.clone()), *arrival);
                 ClusterJob::Train {
                     state,
@@ -285,6 +289,28 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     }
 
     let makespan = now;
+    // Demultiplex the fabric's transfer lifecycles by job id (stripping
+    // the namespace bits) and hand each training job its own — before the
+    // trace is assembled, since flow arrows point at wire-start instants.
+    if cluster.record_xray {
+        let mut per_job: Vec<Vec<bs_net::WireXrayRecord>> = vec![Vec::new(); jobs.len()];
+        for (tag, src, dst, submitted, started, released, delivered) in fabric.take_xray() {
+            per_job[job_of_tag(tag)].push((
+                inner_tag(tag),
+                src,
+                dst,
+                submitted,
+                started,
+                released,
+                delivered,
+            ));
+        }
+        for (j, job) in jobs.iter_mut().enumerate() {
+            if let ClusterJob::Train { state, .. } = job {
+                state.absorb_wire_xray(&per_job[j]);
+            }
+        }
+    }
     let trace = cluster.record_trace.then(|| {
         let mut trace = Trace::new();
         for (j, job) in jobs.iter_mut().enumerate() {
@@ -292,6 +318,7 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
                 let prefix = format!("job{j}/");
                 state.append_compute_trace(&mut trace, &prefix);
                 state.append_ring_trace(&mut trace, &prefix);
+                state.append_xray_flows(&mut trace, &prefix);
             }
         }
         for (tag, src, dst, start, end) in fabric.take_trace() {
@@ -623,6 +650,43 @@ mod tests {
         let trace = r.trace.as_ref().expect("trace");
         assert!(trace.counters.iter().any(|t| t.name.starts_with("job1/")));
         assert!(trace.counters.iter().any(|t| t.name.starts_with("net/")));
+    }
+
+    #[test]
+    fn recorded_xray_attributes_each_job_independently() {
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 3)),
+            JobSpec::train("b", job_cfg(SchedulerKind::Baseline, 4)),
+        ];
+        let plain = run_cluster(&cluster, &specs);
+        assert!(plain.jobs.iter().all(|j| j.result.xray.is_none()));
+
+        cluster.record_xray = true;
+        cluster.record_trace = true;
+        let r = run_cluster(&cluster, &specs);
+        // Recording-only: the shared simulation is unchanged.
+        assert_eq!(r.makespan, plain.makespan);
+        for (j, p) in r.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(j.result.speed, p.result.speed);
+            let x = j.result.xray.as_ref().expect("per-job xray");
+            for it in &x.iterations {
+                assert_eq!(it.attribution.total_ns(), it.wall_ns());
+            }
+            assert_eq!(x.totals.total_ns(), x.measured_wall_ns);
+            assert!(x.totals.wire_ns > 0, "contended jobs spend wire time");
+        }
+        assert_eq!(
+            r.jobs[0].result.xray.as_ref().unwrap().scheduler,
+            "ByteScheduler"
+        );
+        // Flow arrows land in the merged trace under job prefixes.
+        let trace = r.trace.as_ref().expect("trace");
+        assert!(trace
+            .flows
+            .iter()
+            .any(|f| f.from_track.starts_with("job1/")));
     }
 
     #[test]

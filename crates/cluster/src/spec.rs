@@ -28,6 +28,10 @@ pub struct ClusterConfig {
     /// [`crate::ClusterResult::metrics`]). Off by default, same overhead
     /// contract as [`WorldConfig::record_metrics`].
     pub record_metrics: bool,
+    /// Record each training job's causal event log and attach per-job
+    /// critical-path attribution to its `result.xray`. Off by default,
+    /// same recording-only contract as [`WorldConfig::record_xray`].
+    pub record_xray: bool,
 }
 
 impl ClusterConfig {
@@ -40,6 +44,7 @@ impl ClusterConfig {
             placement: PlacementPolicy::RoundRobinSpread,
             record_trace: false,
             record_metrics: false,
+            record_xray: false,
         }
     }
 }

@@ -110,6 +110,9 @@ pub struct RingAllReduce {
     ops_reduced: u64,
     /// When enabled, completed op spans: (tag, start, end).
     trace: Option<Vec<(u64, SimTime, SimTime)>>,
+    /// When enabled, the same spans recorded for causal tracing (xray);
+    /// a separate buffer so both consumers can drain independently.
+    xray: Option<Vec<(u64, SimTime, SimTime)>>,
 }
 
 impl RingAllReduce {
@@ -124,6 +127,7 @@ impl RingAllReduce {
             bytes_reduced: 0,
             ops_reduced: 0,
             trace: None,
+            xray: None,
         }
     }
 
@@ -135,6 +139,18 @@ impl RingAllReduce {
     /// Drains the recorded op spans: `(tag, start, end)` per collective.
     pub fn take_trace(&mut self) -> Vec<(u64, SimTime, SimTime)> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Enables op-span recording for causal tracing (xray).
+    pub fn enable_xray(&mut self) {
+        if self.xray.is_none() {
+            self.xray = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded xray op spans: `(tag, start, end)`.
+    pub fn take_xray(&mut self) -> Vec<(u64, SimTime, SimTime)> {
+        self.xray.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The configuration.
@@ -190,9 +206,14 @@ impl RingAllReduce {
             self.free_at = end;
             self.bytes_reduced += op.bytes;
             self.ops_reduced += 1;
-            if let Some(trace) = &mut self.trace {
+            if self.trace.is_some() || self.xray.is_some() {
                 let start = end.saturating_sub(self.cfg.op_time(op.bytes));
-                trace.push((op.tag, start, end));
+                if let Some(trace) = &mut self.trace {
+                    trace.push((op.tag, start, end));
+                }
+                if let Some(xray) = &mut self.xray {
+                    xray.push((op.tag, start, end));
+                }
             }
             done.push(CompletedOp {
                 id: op.id,

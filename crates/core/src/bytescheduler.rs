@@ -90,6 +90,45 @@ impl LaneTelemetry {
     }
 }
 
+/// Per-lane credit-stall interval recorder; exists only while xray
+/// recording is enabled. An interval that closes and reopens at the same
+/// instant — e.g. a completion whose freed credit is immediately
+/// re-consumed around a preemption — coalesces into one continuous
+/// interval, mirroring the collapse semantics of the telemetry series.
+#[derive(Debug, Default)]
+struct LaneXray {
+    /// Start of the currently open stall, if the lane is credit-blocked.
+    open: Option<SimTime>,
+    /// Closed `(start, end)` stall intervals, in time order.
+    closed: Vec<(SimTime, SimTime)>,
+}
+
+impl LaneXray {
+    fn note(&mut self, now: SimTime, blocked: bool) {
+        match (self.open, blocked) {
+            (None, true) => {
+                // Reopening at the instant the last interval closed
+                // continues that interval rather than starting a new one.
+                if let Some(&(start, end)) = self.closed.last() {
+                    if end == now {
+                        self.closed.pop();
+                        self.open = Some(start);
+                        return;
+                    }
+                }
+                self.open = Some(now);
+            }
+            (Some(start), false) => {
+                self.open = None;
+                if start < now {
+                    self.closed.push((start, now));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// The ByteScheduler policy: Algorithm 1 of the paper.
 ///
 /// * `PARTITION`: tensors are sliced into subtasks of at most
@@ -112,6 +151,8 @@ pub struct ByteScheduler {
     /// `Some` only while telemetry is recording (one entry per lane);
     /// the disabled path costs one branch per scheduler call.
     telemetry: Option<Vec<LaneTelemetry>>,
+    /// `Some` only while xray recording is on (one entry per lane).
+    xray: Option<Vec<LaneXray>>,
 }
 
 impl ByteScheduler {
@@ -126,6 +167,16 @@ impl ByteScheduler {
             credit_bytes,
             lanes: (0..num_lanes).map(|_| Lane::new(credit_bytes)).collect(),
             telemetry: None,
+            xray: None,
+        }
+    }
+
+    /// Re-examines one lane's blocked state for the xray recorder; a
+    /// no-op unless xray recording is on.
+    fn note_xray(&mut self, lane: usize, now: SimTime) {
+        if let Some(x) = self.xray.as_mut() {
+            let blocked = self.lanes[lane].credit_blocked();
+            x[lane].note(now, blocked);
         }
     }
 
@@ -174,6 +225,7 @@ impl Scheduler for ByteScheduler {
             let blocked = self.lanes[item.lane].credit_blocked();
             telem[item.lane].record_stall(now, blocked);
         }
+        self.note_xray(item.lane, now);
     }
 
     fn complete(&mut self, now: SimTime, lane: usize, bytes: u64) {
@@ -189,6 +241,7 @@ impl Scheduler for ByteScheduler {
                 .record(now, (self.credit_bytes as i64 - l.credit) as f64);
             t.record_stall(now, l.credit_blocked());
         }
+        self.note_xray(lane, now);
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<WorkItem> {
@@ -234,6 +287,9 @@ impl Scheduler for ByteScheduler {
                         .record(now, (self.credit_bytes as i64 - lane.credit) as f64);
                     t.record_stall(now, lane.credit_blocked());
                 }
+                if let Some(x) = self.xray.as_mut() {
+                    x[lane_idx].note(now, lane.credit_blocked());
+                }
             }
         }
     }
@@ -275,6 +331,21 @@ impl Scheduler for ByteScheduler {
             set.series(format!("lane{i}/credit_stalled"), t.stalled);
         }
         Some(set)
+    }
+
+    fn enable_xray(&mut self, _now: SimTime) {
+        self.xray
+            .get_or_insert_with(|| (0..self.lanes.len()).map(|_| LaneXray::default()).collect());
+    }
+
+    fn take_xray(&mut self, now: SimTime) -> Option<Vec<(usize, SimTime, SimTime)>> {
+        let lanes = self.xray.take()?;
+        let mut out = Vec::new();
+        for (i, mut lx) in lanes.into_iter().enumerate() {
+            lx.note(now, false);
+            out.extend(lx.closed.into_iter().map(|(s, e)| (i, s, e)));
+        }
+        Some(out)
     }
 }
 
@@ -450,5 +521,53 @@ mod tests {
         assert_eq!(credit.max_value(), 200.0);
         // Second take yields nothing and recording is off again.
         assert!(s.take_metrics(at(20)).is_none());
+    }
+
+    /// Regression: a preemption landing *mid-stall* must not split the
+    /// stall interval. The higher-priority arrival (and the completion
+    /// that immediately re-consumes the freed credit to release it)
+    /// transiently re-evaluates the blocked state, but the lane never
+    /// actually unblocks — so `comm_stall_secs` integrates the interval
+    /// exactly once and both recorders report one continuous stall.
+    #[test]
+    fn preemption_mid_stall_closes_and_reopens_exactly_once() {
+        let sz = 100u64;
+        let mut s = ByteScheduler::new(sz, 2 * sz, 1);
+        s.enable_telemetry(SimTime::ZERO);
+        s.enable_xray(SimTime::ZERO);
+        let at = SimTime::from_micros;
+        // Fill the credit window: two items on the wire.
+        s.submit(at(0), item(0, 2, sz, 1));
+        assert_eq!(tokens(&s.poll(at(0))), vec![1]);
+        s.submit(at(1), item(0, 3, sz, 2));
+        assert_eq!(tokens(&s.poll(at(1))), vec![2]);
+        // t=2: a third item arrives — the lane is now credit-blocked.
+        s.submit(at(2), item(0, 4, sz, 3));
+        assert!(s.poll(at(2)).is_empty());
+        // t=3: a preemption arrives mid-stall (priority 1 jumps the head).
+        s.submit(at(3), item(0, 1, sz, 4));
+        assert!(s.poll(at(3)).is_empty());
+        // t=10: a completion frees one credit slot which the preemptor
+        // immediately re-consumes — the lane stays blocked throughout.
+        s.complete(at(10), 0, sz);
+        assert_eq!(tokens(&s.poll(at(10))), vec![4]);
+        // t=15: the next completion releases the last item; the queue
+        // drains and the stall ends.
+        s.complete(at(15), 0, sz);
+        assert_eq!(tokens(&s.poll(at(15))), vec![3]);
+
+        let m = s.take_metrics(at(20)).expect("telemetry enabled");
+        assert_eq!(m.get_counter("lane0/preemptions"), Some(1));
+        // One stall event, not two: the interval survived the preemption.
+        assert_eq!(m.get_counter("lane0/stall_events"), Some(1));
+        let stalled = m.get_series("lane0/credit_stalled").expect("series");
+        // Blocked [2, 15)µs exactly — no double-count from the close/
+        // reopen at t=3 or t=10.
+        assert!((stalled.integral_secs(at(20)) - 13e-6).abs() < 1e-12);
+
+        // The xray recorder agrees: exactly one closed interval [2, 15].
+        let spans = s.take_xray(at(20)).expect("xray enabled");
+        assert_eq!(spans, vec![(0, at(2), at(15))]);
+        assert!(s.take_xray(at(20)).is_none(), "take drains the recorder");
     }
 }

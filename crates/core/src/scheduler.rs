@@ -103,6 +103,21 @@ pub trait Scheduler {
         let _ = now;
         None
     }
+
+    /// Starts recording causal-tracing (xray) state: per-lane
+    /// credit-stall intervals. Like telemetry, recording never changes
+    /// scheduling decisions; policies without instrumentation ignore it.
+    fn enable_xray(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Takes the recorded credit-stall intervals as `(lane, start, end)`
+    /// tuples, closing any open interval at `now`. `None` if xray was
+    /// never enabled or the policy has no instrumentation.
+    fn take_xray(&mut self, now: SimTime) -> Option<Vec<(usize, SimTime, SimTime)>> {
+        let _ = now;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,10 @@ pub struct WorkerEngine {
     all_done_emitted: bool,
     /// When enabled, completed compute spans: (iter, node, start, end).
     trace: Option<Vec<(u64, usize, SimTime, SimTime)>>,
+    /// When enabled, the same spans recorded for causal tracing (xray).
+    /// A separate buffer so the chrome-trace path and the xray analyser
+    /// can drain independently.
+    xray: Option<Vec<(u64, usize, SimTime, SimTime)>>,
     /// When enabled, a 0/1 series of GPU occupancy. Its integral is the
     /// worker's compute-busy time; the complement of the run window is
     /// the communication-stall time the paper's Fig. 1 visualises.
@@ -147,6 +151,7 @@ impl WorkerEngine {
             done_iters: 0,
             all_done_emitted: false,
             trace: None,
+            xray: None,
             gpu_busy: None,
         };
         engine.instantiate(0, start);
@@ -168,6 +173,20 @@ impl WorkerEngine {
     /// end)` per retired GPU op.
     pub fn take_trace(&mut self) -> Vec<(u64, usize, SimTime, SimTime)> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Enables compute-span recording for causal tracing (xray); same
+    /// tuples as [`Self::take_trace`] but drained independently.
+    pub fn enable_xray(&mut self) {
+        if self.xray.is_none() {
+            self.xray = Some(Vec::new());
+        }
+    }
+
+    /// Drains recorded xray compute spans: `(iteration, template node,
+    /// start, end)` per retired GPU op.
+    pub fn take_xray(&mut self) -> Vec<(u64, usize, SimTime, SimTime)> {
+        self.xray.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Starts recording the GPU busy/idle series. Recording never changes
@@ -215,6 +234,9 @@ impl WorkerEngine {
             self.gpu = None;
             if let Some(trace) = &mut self.trace {
                 trace.push((iter, node, start, end));
+            }
+            if let Some(xray) = &mut self.xray {
+                xray.push((iter, node, start, end));
             }
             if let Some(busy) = &mut self.gpu_busy {
                 busy.record(end, 0.0);

@@ -7,18 +7,28 @@
 //! reference cluster, prints the cluster metrics summary (per-job stall
 //! breakdown, per-NIC utilisation, per-job NIC shares) and, when FILE is
 //! given, writes the machine-readable metrics.json there.
+//!
+//! `--xray [FILE]` records the causal event log on the same reference
+//! cluster, prints each job's critical-path attribution (per-category
+//! breakdown, top critical tensors) and, when FILE is given, writes the
+//! lead job's schema-versioned critical_path.json there.
 
 use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
 use bs_harness::experiments::cluster;
-use bs_harness::{metrics_report, report, Fidelity, Setup};
+use bs_harness::{metrics_report, report, xray_report, Fidelity, Setup};
 use bs_runtime::SchedulerKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_at = args.iter().position(|a| a == "--metrics");
-    let metrics_file = metrics_at
-        .and_then(|i| args.get(i + 1))
-        .filter(|v| !v.starts_with("--"));
+    let flag_file = |flag: &str| {
+        let at = args.iter().position(|a| a == flag);
+        let file = at
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"));
+        (at.is_some(), file)
+    };
+    let (metrics_on, metrics_file) = flag_file("--metrics");
+    let (xray_on, xray_file) = flag_file("--xray");
 
     let fid = Fidelity::from_env();
     let r = cluster::run_experiment(fid);
@@ -27,8 +37,8 @@ fn main() {
 
     // Determinism: the same 2-job cluster twice, traces recorded, must
     // serialise to the same bytes.
-    let a = cluster::reference_run(fid, metrics_at.is_some());
-    let b = cluster::reference_run(fid, metrics_at.is_some());
+    let a = cluster::reference_run(fid, metrics_on, xray_on);
+    let b = cluster::reference_run(fid, metrics_on, xray_on);
     let (ta, tb) = (
         a.trace.as_ref().expect("trace recorded").to_chrome_json(),
         b.trace.as_ref().expect("trace recorded").to_chrome_json(),
@@ -39,12 +49,24 @@ fn main() {
         ta.len()
     );
 
-    if metrics_at.is_some() {
+    if metrics_on {
         println!();
         print!("{}", metrics_report::render_cluster_metrics(&a));
         if let (Some(path), Some(ms)) = (metrics_file, &a.metrics) {
             metrics_report::write_metrics_json(path, ms);
             println!("metrics: {} entries -> {path}", ms.entries().len());
+        }
+    }
+
+    if xray_on {
+        println!();
+        print!("{}", xray_report::render_cluster_xray(&a));
+        if let (Some(path), Some(x)) = (
+            xray_file,
+            a.jobs.first().and_then(|j| j.result.xray.as_ref()),
+        ) {
+            xray_report::write_critical_path_json(path, x);
+            println!("xray: critical path of {} -> {path}", a.jobs[0].name);
         }
     }
 

@@ -25,6 +25,12 @@
 //!                   occupancy, per-NIC utilisation) and write the
 //!                   machine-readable metrics.json to FILE ("-" prints
 //!                   the tables only)
+//! --xray FILE       record the causal event log: print the
+//!                   critical-path attribution (per-category breakdown
+//!                   summing exactly to the measured wall time, top-10
+//!                   critical tensors) and write the schema-versioned
+//!                   critical_path.json to FILE ("-" prints the tables
+//!                   only)
 //! ```
 //!
 //! `--scheduler tuned` auto-tunes (δ, c) with BO before the measured run.
@@ -139,6 +145,8 @@ fn main() {
     cfg.record_trace = trace_path.is_some();
     let metrics_path = args.0.get("metrics").cloned();
     cfg.record_metrics = metrics_path.is_some();
+    let xray_path = args.0.get("xray").cloned();
+    cfg.record_xray = xray_path.is_some();
 
     let linear = cfg.linear_scaling_speed();
     let r = run(&cfg);
@@ -182,6 +190,17 @@ fn main() {
         if path != "-" {
             bs_harness::metrics_report::write_metrics_json(&path, ms);
             println!("metrics     {:>12} entries -> {path}", ms.entries().len());
+        }
+    }
+    if let (Some(path), Some(x)) = (xray_path, &r.xray) {
+        println!();
+        print!("{}", bs_harness::xray_report::render_xray(x));
+        if path != "-" {
+            bs_harness::xray_report::write_critical_path_json(&path, x);
+            println!(
+                "xray        {:>12} events -> {path}",
+                x.counts.parts + x.counts.compute_spans
+            );
         }
     }
 }

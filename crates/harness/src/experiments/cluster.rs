@@ -168,13 +168,16 @@ pub fn run_experiment(fid: Fidelity) -> ClusterStudy {
 /// Runs one deterministic 2-job cluster with a recorded trace — the
 /// configuration the `cluster` binary uses for its bit-identical-trace
 /// verification and JSON artefact. `record_metrics` additionally turns
-/// on run telemetry (the `cluster --metrics` path).
-pub fn reference_run(fid: Fidelity, record_metrics: bool) -> ClusterResult {
+/// on run telemetry (the `cluster --metrics` path); `record_xray` turns
+/// on the causal event log and per-job critical-path attribution (the
+/// `cluster --xray` path).
+pub fn reference_run(fid: Fidelity, record_metrics: bool, record_xray: bool) -> ClusterResult {
     let bs_cfg = job_cfg(fid, bytescheduler(), 21);
     let fifo_cfg = job_cfg(fid, SchedulerKind::Baseline, 22);
     let mut c = cluster(bs_cfg.num_workers * 2, PlacementPolicy::Packed, &bs_cfg);
     c.record_trace = true;
     c.record_metrics = record_metrics;
+    c.record_xray = record_xray;
     run_cluster(
         &c,
         &[

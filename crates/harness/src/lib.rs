@@ -29,6 +29,7 @@ pub mod metrics_report;
 pub mod parallel;
 pub mod report;
 pub mod setups;
+pub mod xray_report;
 
 pub use autotune::{tune, TuneOutcome};
 pub use fidelity::Fidelity;

@@ -1,0 +1,155 @@
+//! Human rendering of critical-path attribution: the `simctl --xray` and
+//! `cluster --xray` summary tables.
+//!
+//! The [`bs_xray::XrayReport`] is the machine artefact
+//! (`critical_path.json`); these renderers answer the two questions an
+//! operator asks of a slow run — *which resource owned the critical
+//! path* (the per-category breakdown, which sums exactly to the measured
+//! wall time) and *which tensors to repartition or reprioritise first*
+//! (the top-10 critical tensors).
+
+use std::fmt::Write as _;
+
+use bs_cluster::ClusterResult;
+use bs_xray::{Category, XrayReport};
+
+use crate::report::Table;
+
+/// Renders the single-run summary: the critical-path attribution over
+/// the measured (post-warm-up) iterations and the top-10 tensors by
+/// critical-path share.
+pub fn render_xray(r: &XrayReport) -> String {
+    let mut out = String::new();
+    let measured = r.iterations.len().saturating_sub(r.warmup);
+    let _ = writeln!(
+        out,
+        "## Critical path ({}, {} measured iterations, mean {:.3} ms)",
+        r.scheduler,
+        measured,
+        r.mean_iter_ns() as f64 / 1e6
+    );
+
+    let wall = r.measured_wall_ns.max(1) as f64;
+    let mut t = Table::new(
+        "Critical-path attribution (sums exactly to measured wall time)",
+        &["category", "time (ms)", "share"],
+    );
+    for c in Category::ALL {
+        let ns = r.totals.get(c);
+        t.row(vec![
+            c.label().to_string(),
+            format!("{:.3}", ns as f64 / 1e6),
+            format!("{:.1}%", 100.0 * ns as f64 / wall),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        format!("{:.3}", r.measured_wall_ns as f64 / 1e6),
+        "100.0%".to_string(),
+    ]);
+    out.push('\n');
+    out.push_str(&t.render());
+
+    if !r.tensors.is_empty() {
+        let mut t = Table::new(
+            "Top critical tensors (non-compute critical-path time)",
+            &["tensor", "critical (ms)", "share of wall"],
+        );
+        for s in r.tensors.iter().take(10) {
+            t.row(vec![
+                format!("t{}", s.tensor),
+                format!("{:.3}", s.critical_ns as f64 / 1e6),
+                format!("{:.1}%", 100.0 * s.critical_ns as f64 / wall),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders every training job's attribution in a cluster run, one
+/// section per job in spec order. Jobs without a recorded report (xray
+/// was off, or the tenant never trained) are skipped.
+pub fn render_cluster_xray(r: &ClusterResult) -> String {
+    let mut out = String::new();
+    for j in &r.jobs {
+        let Some(x) = &j.result.xray else {
+            continue;
+        };
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "=== {} ===", j.name);
+        out.push_str(&render_xray(x));
+    }
+    out
+}
+
+/// Writes an [`XrayReport`] as pretty-printed `critical_path.json` to
+/// `path`. IO failures are reported but non-fatal, matching
+/// [`crate::report::write_json`].
+pub fn write_critical_path_json(path: &str, r: &XrayReport) {
+    match serde_json::to_string_pretty(r) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: cannot write critical path to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise critical path: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_sim::SimTime;
+    use bs_xray::{ComputeSpan, XrayLog};
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    fn sample_report() -> XrayReport {
+        // Two 20 µs iterations fully tiled by backward compute.
+        let log = XrayLog {
+            scheduler: "ByteScheduler".into(),
+            start: SimTime::ZERO,
+            end: us(40),
+            warmup: 0,
+            marks: vec![us(20), us(40)],
+            compute: (0..2)
+                .map(|k| ComputeSpan {
+                    worker: 0,
+                    iter: k,
+                    layer: 0,
+                    backward: true,
+                    start: us(20 * k),
+                    end: us(20 * (k + 1)),
+                })
+                .collect(),
+            ..Default::default()
+        };
+        XrayReport::build(&log)
+    }
+
+    #[test]
+    fn summary_renders_every_category_and_the_exact_total() {
+        let r = sample_report();
+        let s = render_xray(&r);
+        assert!(s.contains("Critical path (ByteScheduler, 2 measured"));
+        for c in Category::ALL {
+            assert!(s.contains(c.label()), "missing {}: {s}", c.label());
+        }
+        // 40 µs of pure compute: compute row and total row agree.
+        assert!(s.contains("compute"));
+        assert!(s.contains("0.040"), "total ms rendered: {s}");
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn tensor_table_is_omitted_without_transfer_segments() {
+        let s = render_xray(&sample_report());
+        assert!(!s.contains("Top critical tensors"));
+    }
+}

@@ -175,6 +175,26 @@ impl Fabric {
         }
     }
 
+    /// Enables full-lifecycle transfer recording for causal tracing.
+    /// Recording never changes fabric behaviour.
+    pub fn enable_xray(&mut self) {
+        match self {
+            Fabric::Fifo(n) => n.enable_xray(),
+            Fabric::Fluid(n) => n.enable_xray(),
+        }
+    }
+
+    /// Drains recorded transfer lifecycles:
+    /// `(tag, src, dst, submitted, wire_start, released, delivered)`.
+    /// The fluid fabric starts flows at submission, so its records have
+    /// `submitted == wire_start`.
+    pub fn take_xray(&mut self) -> Vec<crate::network::WireXrayRecord> {
+        match self {
+            Fabric::Fifo(n) => n.take_xray(),
+            Fabric::Fluid(n) => n.take_xray(),
+        }
+    }
+
     /// Debug helper; see [`Network::debug_stalled`].
     pub fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
         match self {

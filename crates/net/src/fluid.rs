@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use bs_sim::SimTime;
 use bs_telemetry::{MetricSet, TimeSeries};
 
-use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId, WireSpan};
+use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId, WireSpan, WireXrayRecord};
 use crate::transport::NetConfig;
 
 #[derive(Clone, Debug)]
@@ -75,6 +75,9 @@ pub struct FluidNetwork {
     /// drain)`. Unlike the FIFO fabric's exclusive wire occupancies,
     /// fluid spans overlap — each covers a flow's whole lifetime.
     trace: Option<Vec<WireSpan>>,
+    /// When enabled, full flow lifecycles for causal tracing. A fluid
+    /// flow starts at submission, so submitted == wire-start.
+    xray: Option<Vec<WireXrayRecord>>,
     /// Scratch buffers reused across `reallocate`/`advance` calls so the
     /// hot path performs no allocation.
     scratch_frozen: Vec<bool>,
@@ -116,6 +119,7 @@ impl FluidNetwork {
             transfers_delivered: 0,
             peak_in_flight: 0,
             trace: None,
+            xray: None,
             scratch_frozen: Vec::new(),
             scratch_port_cap: Vec::new(),
             scratch_port_live: Vec::new(),
@@ -194,6 +198,19 @@ impl FluidNetwork {
     /// completed flow, in drain order.
     pub fn take_trace(&mut self) -> Vec<WireSpan> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Enables full-lifecycle flow recording for causal tracing.
+    /// Recording never changes fabric behaviour.
+    pub fn enable_xray(&mut self) {
+        if self.xray.is_none() {
+            self.xray = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded flow lifecycles, in drain order.
+    pub fn take_xray(&mut self) -> Vec<WireXrayRecord> {
+        self.xray.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Number of flows currently transmitting.
@@ -361,6 +378,17 @@ impl FluidNetwork {
                 self.port_flows[self.num_nodes + f.dst.0].retain(|x| *x != id);
                 if let Some(trace) = &mut self.trace {
                     trace.push((f.tag, f.src.0, f.dst.0, f.started_at, next));
+                }
+                if let Some(xray) = &mut self.xray {
+                    xray.push((
+                        f.tag,
+                        f.src.0,
+                        f.dst.0,
+                        f.started_at,
+                        f.started_at,
+                        next,
+                        next + latency,
+                    ));
                 }
                 let done = CompletedTransfer {
                     id,

@@ -26,5 +26,7 @@ pub mod transport;
 
 pub use fabric::{Fabric, FabricModel};
 pub use fluid::FluidNetwork;
-pub use network::{CompletedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan};
+pub use network::{
+    CompletedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan, WireXrayRecord,
+};
 pub use transport::{NetConfig, Transport};

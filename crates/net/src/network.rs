@@ -12,6 +12,10 @@ use crate::transport::NetConfig;
 /// A recorded wire occupancy: `(tag, src, dst, start, end)`.
 pub type WireSpan = (u64, usize, usize, SimTime, SimTime);
 
+/// A recorded full transfer lifecycle for causal tracing:
+/// `(tag, src, dst, submitted, wire_start, released, delivered)`.
+pub type WireXrayRecord = (u64, usize, usize, SimTime, SimTime, SimTime, SimTime);
+
 /// Index of a node (worker or parameter-server shard) in the fabric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
@@ -62,6 +66,8 @@ struct Transfer {
     started: bool,
     /// Wire-occupancy start, for trace recording.
     started_at: SimTime,
+    /// Submission instant, for xray recording.
+    submitted_at: SimTime,
 }
 
 /// One node's NIC state.
@@ -121,6 +127,8 @@ pub struct Network {
     peak_in_flight: usize,
     /// When enabled, completed wire occupancies.
     trace: Option<Vec<WireSpan>>,
+    /// When enabled, full transfer lifecycles for causal tracing.
+    xray: Option<Vec<WireXrayRecord>>,
     /// Accumulated wire-busy time per uplink, for utilisation accounting.
     up_busy: Vec<SimTime>,
     /// Accumulated wire-busy time per downlink.
@@ -174,6 +182,7 @@ impl Network {
             transfers_delivered: 0,
             peak_in_flight: 0,
             trace: None,
+            xray: None,
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
             telem: None,
@@ -229,6 +238,19 @@ impl Network {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
+    /// Enables full-lifecycle transfer recording for causal tracing.
+    /// Recording never changes fabric behaviour.
+    pub fn enable_xray(&mut self) {
+        if self.xray.is_none() {
+            self.xray = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded transfer lifecycles, in release order.
+    pub fn take_xray(&mut self) -> Vec<WireXrayRecord> {
+        self.xray.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// The network configuration.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
@@ -282,6 +304,7 @@ impl Network {
             tag,
             started: false,
             started_at: SimTime::ZERO,
+            submitted_at: now,
         });
         self.nics[src.0].up_queues[dst.0].push_back(id);
         if let Some(t) = self.telem.as_mut() {
@@ -357,6 +380,18 @@ impl Network {
                 if let Some(trace) = &mut self.trace {
                     let started_at = self.transfers[id.0 as usize].started_at;
                     trace.push((tag, src.0, dst.0, started_at, t));
+                }
+                if let Some(xray) = &mut self.xray {
+                    let tr = &self.transfers[id.0 as usize];
+                    xray.push((
+                        tag,
+                        src.0,
+                        dst.0,
+                        tr.submitted_at,
+                        tr.started_at,
+                        t,
+                        t + self.cfg.transport.latency,
+                    ));
                 }
                 if let Some(te) = self.telem.as_mut() {
                     te.active.step(t, -1.0);
@@ -750,6 +785,28 @@ mod tests {
         assert!(!n.is_idle(), "delivery still pending");
         n.advance(SimTime::from_micros(1_500));
         assert!(n.is_idle());
+    }
+
+    #[test]
+    fn xray_records_full_transfer_lifecycle() {
+        let mut n = net_lat(2);
+        n.enable_xray();
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 2);
+        drain(&mut n);
+        let us = SimTime::from_micros;
+        let recs = n.take_xray();
+        // (tag, src, dst, submitted, wire_start, released, delivered):
+        // the second message queued behind the first from submission at
+        // t=0 until the port freed at 1.1 ms.
+        assert_eq!(
+            recs,
+            vec![
+                (1, 0, 1, us(0), us(0), us(1_100), us(1_500)),
+                (2, 0, 1, us(0), us(1_100), us(2_200), us(2_600)),
+            ]
+        );
+        assert!(n.take_xray().is_empty(), "take drains the recorder");
     }
 
     #[test]

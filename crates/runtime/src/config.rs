@@ -187,6 +187,13 @@ pub struct WorldConfig {
     /// costs one branch per instrumented point, keeping benchmark runs
     /// bit-identical with or without the telemetry layer compiled in.
     pub record_metrics: bool,
+    /// Record the causal event log (per-partition lifecycles, compute
+    /// spans, credit stalls, aggregation instants) and attach the derived
+    /// critical-path attribution to [`crate::RunResult::xray`]. With
+    /// `record_trace` also set, flow arrows (BP → wire) ride along in the
+    /// Perfetto trace. Off by default and recording-only — results stay
+    /// bit-identical with or without it.
+    pub record_xray: bool,
     /// Iterations to run.
     pub iters: u64,
     /// Iterations discarded before measuring (the paper warms up for 10).
@@ -226,6 +233,7 @@ impl WorldConfig {
             background: None,
             record_trace: false,
             record_metrics: false,
+            record_xray: false,
             iters: 18,
             warmup: 3,
             seed: 1,

@@ -17,9 +17,10 @@ use bs_core::{
     WorkItem,
 };
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
-use bs_net::{Fabric, NetEvent, NodeId, WireSpan};
+use bs_net::{Fabric, NetEvent, NodeId, WireSpan, WireXrayRecord};
 use bs_sim::{SimRng, SimTime, Trace};
 use bs_telemetry::MetricSet;
+use bs_xray::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog, XrayReport};
 
 use crate::config::{Arch, SchedulerKind, WorldConfig};
 use crate::plugin::{ArPluginState, PsPluginState};
@@ -191,6 +192,36 @@ pub struct JobState {
     /// Reusable buffer for scheduler polls (`drain_sched` runs on every
     /// completion; this keeps the hot path allocation-free).
     sched_scratch: Vec<WorkItem>,
+    /// Causal-tracing state (`None` unless `record_xray` was set).
+    xray: Option<JobXray>,
+}
+
+/// Per-job causal-tracing state: one [`PartRecord`] per submitted
+/// partition, indexed by its unique token so scheduler grants and fabric
+/// lifecycles can be matched back in O(1).
+struct JobXray {
+    /// Job start (arrival) instant.
+    start: SimTime,
+    parts: Vec<PartRecord>,
+    /// token → index into `parts`.
+    index: std::collections::HashMap<u64, usize>,
+}
+
+impl JobXray {
+    fn note_enqueue(&mut self, token: u64, lane: usize, pull: bool, bytes: u64, now: SimTime) {
+        let tok = Token::unpack(token);
+        let rec = PartRecord::enqueued_at(
+            token, tok.iter, tok.worker, tok.tensor, tok.part, lane, pull, bytes, now,
+        );
+        self.index.insert(token, self.parts.len());
+        self.parts.push(rec);
+    }
+
+    fn note_granted(&mut self, token: u64, now: SimTime) {
+        if let Some(&i) = self.index.get(&token) {
+            self.parts[i].granted = now;
+        }
+    }
 }
 
 impl JobState {
@@ -406,6 +437,23 @@ impl JobState {
                 s.enable_telemetry(arrival);
             }
         }
+        let xray = cfg.record_xray.then(|| {
+            for e in &mut engines {
+                e.enable_xray();
+            }
+            for s in &mut scheds {
+                s.enable_xray(arrival);
+            }
+            match &mut backend {
+                JobBackend::Ps { ps } => ps.enable_xray(),
+                JobBackend::Ring { ring, .. } => ring.enable_xray(),
+            }
+            JobXray {
+                start: arrival,
+                parts: Vec::new(),
+                index: std::collections::HashMap::new(),
+            }
+        });
         let burst = cfg.background.map(|bg| {
             assert!(
                 matches!(cfg.arch, Arch::Ps { .. }),
@@ -433,6 +481,7 @@ impl JobState {
             ar_sched_batches: std::collections::HashMap::new(),
             ar_next_batch: 0,
             sched_scratch: Vec::new(),
+            xray,
         }
     }
 
@@ -586,6 +635,11 @@ impl JobState {
                 part: p as u32,
             }
             .pack();
+            if let Some(x) = self.xray.as_mut() {
+                // BP produced the gradient this instant; the runtime
+                // enqueues it in the same instant (produced == enqueued).
+                x.note_enqueue(token, CommKind::Push.lane(), false, bytes, now);
+            }
             self.scheds[w].submit(
                 now,
                 WorkItem {
@@ -631,6 +685,9 @@ impl JobState {
                     part: p as u32,
                 }
                 .pack();
+                if let Some(x) = self.xray.as_mut() {
+                    x.note_enqueue(token, 0, false, bytes, now);
+                }
                 self.scheds[0].submit(
                     now,
                     WorkItem {
@@ -651,6 +708,9 @@ impl JobState {
         debug_assert!(items.is_empty());
         self.scheds[s].poll_into(now, &mut items);
         for item in items.drain(..) {
+            if let Some(x) = self.xray.as_mut() {
+                x.note_granted(item.token, now);
+            }
             match &mut self.backend {
                 JobBackend::Ps { ps } => {
                     let tok = Token::unpack(item.token);
@@ -690,6 +750,9 @@ impl JobState {
         self.scheds[0].poll_into(now, &mut items);
         let submitted = !items.is_empty();
         for item in items.drain(..) {
+            if let Some(x) = self.xray.as_mut() {
+                x.note_granted(item.token, now);
+            }
             self.ar_release_queue.push_back((item.token, item.bytes));
         }
         self.sched_scratch = items;
@@ -765,6 +828,11 @@ impl JobState {
         }
         .pack();
         let bytes = self.partitions[tensor][part as usize];
+        if let Some(x) = self.xray.as_mut() {
+            // For a pull, "produced" is the grant instant that made it
+            // legal — which is exactly when the runtime enqueues it.
+            x.note_enqueue(token, CommKind::Pull.lane(), true, bytes, now);
+        }
         self.scheds[worker].submit(
             now,
             WorkItem {
@@ -840,7 +908,7 @@ impl JobState {
                     tensor: tok.tensor,
                     part: tok.part,
                 };
-                let grants = ps.on_push_complete(tok.iter, key, w);
+                let grants = ps.on_push_complete(now, tok.iter, key, w);
                 for g in grants {
                     if self.baseline_graph {
                         // Key-level dependency: the worker pulls the
@@ -988,12 +1056,117 @@ impl JobState {
         }
     }
 
+    /// Fills the wire-lifecycle fields of this job's partition records
+    /// from fabric xray records. Tags must already be job-local (the
+    /// cluster driver strips the job namespace); co-tenant bursts are
+    /// skipped. Call before [`Self::into_result`] — and before appending
+    /// flow arrows — so the records are complete.
+    pub fn absorb_wire_xray(&mut self, recs: &[WireXrayRecord]) {
+        let Some(x) = self.xray.as_mut() else { return };
+        for &(tag, _src, _dst, submitted, started, released, delivered) in recs {
+            if is_burst_tag(tag) {
+                continue;
+            }
+            if let Some(&i) = x.index.get(&tag) {
+                let p = &mut x.parts[i];
+                p.wire_submit = submitted;
+                p.wire_start = started;
+                p.wire_end = released;
+                p.delivered = delivered;
+                p.wire_seen = true;
+            }
+        }
+    }
+
+    /// Appends causal flow arrows (BP production → wire start, one per
+    /// push partition that reached the wire) to `trace`. The arrows bind
+    /// to the compute and wire spans by track name, so call this with the
+    /// same `prefix` the span appenders used.
+    pub fn append_xray_flows(&self, trace: &mut Trace, prefix: &str) {
+        let Some(x) = &self.xray else { return };
+        for p in &x.parts {
+            if p.pull || !p.wire_seen {
+                continue;
+            }
+            trace.push_flow(
+                format!("t{}.p{}@it{}", p.tensor, p.part, p.iter),
+                format!("{prefix}worker{}/gpu", p.worker),
+                p.produced,
+                format!("{prefix}worker{}/up", p.worker),
+                p.wire_start,
+            );
+        }
+    }
+
+    /// Drains every xray buffer into one [`XrayLog`], or `None` when the
+    /// job was built without `record_xray`.
+    fn take_xray_log(&mut self, cfg: &WorldConfig, finished_at: SimTime) -> Option<XrayLog> {
+        let x = self.xray.take()?;
+        let mut log = XrayLog {
+            scheduler: cfg.scheduler.label().to_string(),
+            start: x.start,
+            end: finished_at,
+            warmup: cfg.warmup as usize,
+            marks: self.marks.clone(),
+            parts: x.parts,
+            ..XrayLog::default()
+        };
+        for (w, engine) in self.engines.iter_mut().enumerate() {
+            let dag = engine.dag().clone();
+            for (iter, node, start, end) in engine.take_xray() {
+                if let NodeKind::Compute { layer, pass } = dag.nodes[node].kind {
+                    log.compute.push(ComputeSpan {
+                        worker: w,
+                        iter,
+                        layer: layer as u32,
+                        backward: matches!(pass, Pass::Backward),
+                        start,
+                        end,
+                    });
+                }
+            }
+        }
+        for (s, sched) in self.scheds.iter_mut().enumerate() {
+            if let Some(stalls) = sched.take_xray(finished_at) {
+                for (lane, start, end) in stalls {
+                    log.stalls.push(StallSpan {
+                        worker: s,
+                        lane,
+                        start,
+                        end,
+                    });
+                }
+            }
+        }
+        match &mut self.backend {
+            JobBackend::Ps { ps } => {
+                for (iter, tensor, part, at) in ps.take_xray() {
+                    log.aggs.push(AggEvent {
+                        iter,
+                        tensor,
+                        part,
+                        at,
+                    });
+                }
+            }
+            JobBackend::Ring { ring, .. } => {
+                for (tag, start, end) in ring.take_xray() {
+                    log.ring_ops.push(RingOp { tag, start, end });
+                }
+            }
+        }
+        Some(log)
+    }
+
     pub fn into_result(
         mut self,
         cfg: &WorldConfig,
         finished_at: SimTime,
         net: JobNetStats,
     ) -> RunResult {
+        let xray = self
+            .take_xray_log(cfg, finished_at)
+            .map(|log| XrayReport::build(&log));
         let metrics = cfg
             .record_metrics
             .then(|| self.take_metrics(finished_at))
@@ -1019,6 +1192,7 @@ impl JobState {
         result.comm_events = comm_events;
         result.peak_in_flight = peak_in_flight;
         result.metrics = metrics;
+        result.xray = xray;
         result
     }
 

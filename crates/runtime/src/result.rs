@@ -43,6 +43,11 @@ pub struct RunResult {
     /// occupancy and stall series per lane, per-NIC utilisation, per-GPU
     /// busy/idle, with summaries closed at `finished_at`.
     pub metrics: Option<MetricSet>,
+    /// Critical-path attribution (when `WorldConfig::record_xray` was
+    /// set): per-iteration wall time split across compute / wire /
+    /// credit-wait / queue-wait / aggregation / barrier, plus the tensors
+    /// owning the most critical-path time.
+    pub xray: Option<bs_xray::XrayReport>,
 }
 
 impl RunResult {
@@ -87,6 +92,7 @@ impl RunResult {
             comm_events: 0,
             peak_in_flight: 0,
             metrics: None,
+            xray: None,
         }
     }
 

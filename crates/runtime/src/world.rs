@@ -42,6 +42,9 @@ impl World {
         if cfg.record_metrics && matches!(cfg.arch, Arch::Ps { .. }) {
             fabric.enable_telemetry(SimTime::ZERO);
         }
+        if cfg.record_xray && matches!(cfg.arch, Arch::Ps { .. }) {
+            fabric.enable_xray();
+        }
         let job = JobState::build(cfg, NodeMap::identity(nodes_needed));
         World {
             job,
@@ -136,6 +139,12 @@ impl World {
     }
 
     fn into_result(mut self, cfg: &WorldConfig) -> RunResult {
+        // Wire lifecycles must land in the partition records before the
+        // trace is assembled: flow arrows point at wire-start instants.
+        if cfg.record_xray {
+            let recs = self.fabric.take_xray();
+            self.job.absorb_wire_xray(&recs);
+        }
         let trace = cfg.record_trace.then(|| self.assemble_trace());
         let net = JobNetStats {
             p2p_bytes: self.fabric.bytes_delivered(),
@@ -171,6 +180,7 @@ impl World {
             wire_span_into_trace(&mut trace, &span, "");
         }
         self.job.append_ring_trace(&mut trace, "");
+        self.job.append_xray_flows(&mut trace, "");
         trace
     }
 }
@@ -526,6 +536,71 @@ mod tests {
         c.record_metrics = false;
         c.record_trace = false;
         assert!(run(&c).metrics.is_none());
+    }
+
+    #[test]
+    fn recorded_xray_attributes_every_iteration_exactly() {
+        let mut c = cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(1_000_000, 4_000_000),
+        );
+        c.record_xray = true;
+        c.record_trace = true;
+        let r = run(&c);
+        let x = r.xray.as_ref().expect("xray recorded");
+        assert_eq!(x.scheduler, "ByteScheduler");
+        assert!(!x.iterations.is_empty());
+        // Exact tiling: every measured iteration's categories sum to its
+        // wall time, and the totals sum to the measured window.
+        for it in &x.iterations {
+            assert_eq!(it.attribution.total_ns(), it.wall_ns());
+        }
+        assert_eq!(
+            x.totals.total_ns(),
+            x.measured_wall_ns,
+            "attribution must tile the measured window"
+        );
+        // A comm-heavy run spends critical-path time on the wire, and the
+        // big first tensor dominates the tensor ranking.
+        assert!(x.totals.wire_ns > 0, "wire time on the critical path");
+        assert!(x.totals.compute_ns > 0);
+        assert_eq!(x.tensors.first().map(|t| t.tensor), Some(0));
+        // Flow arrows rode along into the Perfetto trace.
+        let trace = r.trace.as_ref().expect("trace recorded");
+        assert!(!trace.flows.is_empty(), "BP->wire flow arrows present");
+        assert!(trace.to_chrome_json().contains("\"ph\":\"s\""));
+        // Off by default.
+        c.record_xray = false;
+        c.record_trace = false;
+        assert!(run(&c).xray.is_none());
+    }
+
+    #[test]
+    fn xray_recording_does_not_change_results() {
+        for fabric in [
+            bs_net::FabricModel::SerialFifo,
+            bs_net::FabricModel::FairShare,
+        ] {
+            let mut c = cfg(
+                comm_heavy(),
+                2,
+                Arch::ps(2),
+                EngineConfig::mxnet_ps(),
+                bs(2_000_000, 8_000_000),
+            );
+            c.fabric = fabric;
+            c.jitter = 0.02;
+            let off = run(&c);
+            c.record_xray = true;
+            let on = run(&c);
+            assert_eq!(off.speed, on.speed, "{fabric:?}");
+            assert_eq!(off.finished_at, on.finished_at, "{fabric:?}");
+            assert_eq!(off.p2p_bytes, on.p2p_bytes, "{fabric:?}");
+            assert_eq!(off.iter_times, on.iter_times, "{fabric:?}");
+        }
     }
 
     #[test]

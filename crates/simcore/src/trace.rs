@@ -36,6 +36,24 @@ pub struct CounterTrack {
     pub samples: Vec<(SimTime, f64)>,
 }
 
+/// A causal arrow between two instants on two tracks, rendered as a
+/// Perfetto flow event pair (`"ph":"s"` → `"ph":"f"`). Each end binds to
+/// the slice enclosing its timestamp on its track, so an arrow from a BP
+/// span to the wire span it produced draws as a connecting line.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlowArrow {
+    /// Display name shared by both ends (e.g. `"t13.p4@it2"`).
+    pub name: String,
+    /// Track the arrow starts on (e.g. `"worker0/gpu"`).
+    pub from_track: String,
+    /// Instant of the arrow's tail.
+    pub from_ts: SimTime,
+    /// Track the arrow ends on (e.g. `"worker0/up"`).
+    pub to_track: String,
+    /// Instant of the arrow's head.
+    pub to_ts: SimTime,
+}
+
 /// A recorded execution trace.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct Trace {
@@ -43,6 +61,8 @@ pub struct Trace {
     pub spans: Vec<Span>,
     /// Counter tracks (empty unless metrics recording is enabled).
     pub counters: Vec<CounterTrack>,
+    /// Causal flow arrows (empty unless xray recording is enabled).
+    pub flows: Vec<FlowArrow>,
 }
 
 impl Trace {
@@ -79,10 +99,29 @@ impl Trace {
         });
     }
 
-    /// Appends another trace's spans and counters.
+    /// Records one causal flow arrow.
+    pub fn push_flow(
+        &mut self,
+        name: impl Into<String>,
+        from_track: impl Into<String>,
+        from_ts: SimTime,
+        to_track: impl Into<String>,
+        to_ts: SimTime,
+    ) {
+        self.flows.push(FlowArrow {
+            name: name.into(),
+            from_track: from_track.into(),
+            from_ts,
+            to_track: to_track.into(),
+            to_ts,
+        });
+    }
+
+    /// Appends another trace's spans, counters, and flows.
     pub fn extend(&mut self, other: Trace) {
         self.spans.extend(other.spans);
         self.counters.extend(other.counters);
+        self.flows.extend(other.flows);
     }
 
     /// Number of spans.
@@ -97,18 +136,67 @@ impl Trace {
 
     /// Serialises to the Chrome trace-event format (JSON array of
     /// complete events). Tracks become thread ids under one process;
-    /// thread-name metadata makes them readable. Counter tracks (if any)
-    /// render as Perfetto counter events after the spans.
+    /// thread-name metadata makes them readable. Flow arrows (if any)
+    /// render as `"ph":"s"`/`"ph":"f"` pairs after the spans, and counter
+    /// tracks as Perfetto counter events after those.
+    ///
+    /// The output is deterministic regardless of recording interleaving:
+    /// spans are emitted stable-sorted by `(track, start, name)`, counters
+    /// by name, and flows by `(from_track, from_ts, to_track, to_ts,
+    /// name)`; the track → tid mapping follows the sorted span/flow order,
+    /// so two traces with the same contents produce identical bytes.
     pub fn to_chrome_json(&self) -> String {
-        // Stable track → tid mapping in first-appearance order.
-        let mut tracks: Vec<&str> = Vec::new();
-        let mut tid_of: HashMap<&str, usize> = HashMap::new();
-        for s in &self.spans {
+        let mut span_order: Vec<usize> = (0..self.spans.len()).collect();
+        span_order.sort_by(|&a, &b| {
+            let (sa, sb) = (&self.spans[a], &self.spans[b]);
+            (sa.track.as_str(), sa.start, sa.name.as_str()).cmp(&(
+                sb.track.as_str(),
+                sb.start,
+                sb.name.as_str(),
+            ))
+        });
+        let mut counter_order: Vec<usize> = (0..self.counters.len()).collect();
+        counter_order.sort_by(|&a, &b| self.counters[a].name.cmp(&self.counters[b].name));
+        let mut flow_order: Vec<usize> = (0..self.flows.len()).collect();
+        flow_order.sort_by(|&a, &b| {
+            let (fa, fb) = (&self.flows[a], &self.flows[b]);
+            (
+                fa.from_track.as_str(),
+                fa.from_ts,
+                fa.to_track.as_str(),
+                fa.to_ts,
+                fa.name.as_str(),
+            )
+                .cmp(&(
+                    fb.from_track.as_str(),
+                    fb.from_ts,
+                    fb.to_track.as_str(),
+                    fb.to_ts,
+                    fb.name.as_str(),
+                ))
+        });
+
+        // Track → tid mapping in sorted first-appearance order; flow-only
+        // tracks still get thread-name metadata.
+        fn intern<'t>(
+            tracks: &mut Vec<&'t str>,
+            tid_of: &mut HashMap<&'t str, usize>,
+            track: &'t str,
+        ) {
             let next = tracks.len() + 1;
-            tid_of.entry(&s.track).or_insert_with(|| {
-                tracks.push(&s.track);
+            tid_of.entry(track).or_insert_with(|| {
+                tracks.push(track);
                 next
             });
+        }
+        let mut tracks: Vec<&str> = Vec::new();
+        let mut tid_of: HashMap<&str, usize> = HashMap::new();
+        for &i in &span_order {
+            intern(&mut tracks, &mut tid_of, &self.spans[i].track);
+        }
+        for &i in &flow_order {
+            intern(&mut tracks, &mut tid_of, &self.flows[i].from_track);
+            intern(&mut tracks, &mut tid_of, &self.flows[i].to_track);
         }
 
         let mut out = String::from("[");
@@ -124,7 +212,8 @@ impl Trace {
                 json_string(track)
             ));
         }
-        for s in &self.spans {
+        for &i in &span_order {
+            let s = &self.spans[i];
             if !first {
                 out.push(',');
             }
@@ -137,7 +226,27 @@ impl Trace {
                 tid_of[s.track.as_str()]
             ));
         }
-        for c in &self.counters {
+        for (id, &i) in flow_order.iter().enumerate() {
+            let f = &self.flows[i];
+            let name = json_string(&f.name);
+            let from_ts = f.from_ts.as_micros_f64();
+            let to_ts = f.to_ts.as_micros_f64();
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                r#"{{"name":{name},"cat":"xray","ph":"s","id":{id},"pid":1,"tid":{},"ts":{from_ts:.3}}}"#,
+                tid_of[f.from_track.as_str()]
+            ));
+            out.push(',');
+            out.push_str(&format!(
+                r#"{{"name":{name},"cat":"xray","ph":"f","bp":"e","id":{id},"pid":1,"tid":{},"ts":{to_ts:.3}}}"#,
+                tid_of[f.to_track.as_str()]
+            ));
+        }
+        for &i in &counter_order {
+            let c = &self.counters[i];
             let name = json_string(&c.name);
             for &(at, value) in &c.samples {
                 if !first {
@@ -300,6 +409,82 @@ mod tests {
         t.push("a", "gpu", SimTime::ZERO, SimTime::from_micros(5));
         let j = t.to_chrome_json();
         assert!(!j.contains(r#""ph":"C""#));
+    }
+
+    #[test]
+    fn chrome_json_is_independent_of_recording_interleaving() {
+        // Two traces with identical contents recorded in different orders
+        // (as concurrent subsystems legitimately do) must serialise to
+        // identical bytes — golden-fixture diffs depend on it.
+        let a_spans = [
+            ("fwd0", "worker0/gpu", 0u64, 10u64),
+            ("push t0.p0", "worker0/up", 5, 20),
+            ("bwd0", "worker1/gpu", 3, 12),
+            ("push t0.p0", "worker1/up", 6, 21),
+        ];
+        let mut t1 = Trace::new();
+        let mut t2 = Trace::new();
+        for &(name, track, s, e) in &a_spans {
+            t1.push(
+                name,
+                track,
+                SimTime::from_micros(s),
+                SimTime::from_micros(e),
+            );
+        }
+        for &(name, track, s, e) in a_spans.iter().rev() {
+            t2.push(
+                name,
+                track,
+                SimTime::from_micros(s),
+                SimTime::from_micros(e),
+            );
+        }
+        t1.push_counter("cred", vec![(SimTime::ZERO, 1.0)]);
+        t1.push_counter("busy", vec![(SimTime::ZERO, 0.0)]);
+        t2.push_counter("busy", vec![(SimTime::ZERO, 0.0)]);
+        t2.push_counter("cred", vec![(SimTime::ZERO, 1.0)]);
+        t1.push_flow(
+            "f",
+            "worker0/gpu",
+            SimTime::from_micros(9),
+            "worker0/up",
+            SimTime::from_micros(5),
+        );
+        t2.push_flow(
+            "f",
+            "worker0/gpu",
+            SimTime::from_micros(9),
+            "worker0/up",
+            SimTime::from_micros(5),
+        );
+        assert_eq!(t1.to_chrome_json(), t2.to_chrome_json());
+    }
+
+    #[test]
+    fn flow_arrows_render_as_start_finish_pairs() {
+        let mut t = Trace::new();
+        t.push(
+            "bwd0",
+            "worker0/gpu",
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+        );
+        t.push_flow(
+            "t0.p0@it0",
+            "worker0/gpu",
+            SimTime::from_micros(9),
+            "worker0/up",
+            SimTime::from_micros(12),
+        );
+        let j = t.to_chrome_json();
+        // Flow-only track "worker0/up" still gets thread metadata.
+        assert_eq!(j.matches(r#""ph":"M""#).count(), 2);
+        assert_eq!(j.matches(r#""ph":"s""#).count(), 1);
+        assert_eq!(j.matches(r#""ph":"f""#).count(), 1);
+        assert!(j.contains(r#""ph":"f","bp":"e","id":0"#));
+        let parsed: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        assert!(parsed.is_array());
     }
 
     #[test]

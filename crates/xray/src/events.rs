@@ -1,0 +1,173 @@
+//! Typed lifecycle events for the causal run DAG.
+//!
+//! Every CommTask partition leaves a [`PartRecord`] behind: the full
+//! BP-produced → enqueued → credit-granted → wire-start/wire-end →
+//! delivered chain, with the aggregation and dependency-release edges
+//! recoverable from the surrounding [`XrayLog`] (compute spans, PS
+//! aggregation events, ring ops, scheduler stall intervals). The log is
+//! recording-only: subsystems append to their own buffers behind
+//! `Option<…>` fields and the runtime assembles one `XrayLog` per job at
+//! teardown.
+
+use bs_sim::SimTime;
+
+/// One engine compute operation (one forward or backward layer op).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeSpan {
+    /// Worker rank the op ran on.
+    pub worker: usize,
+    /// Training iteration the op belongs to.
+    pub iter: u64,
+    /// Layer index.
+    pub layer: u32,
+    /// `true` for the backward pass, `false` for forward.
+    pub backward: bool,
+    /// Op start instant.
+    pub start: SimTime,
+    /// Op end instant.
+    pub end: SimTime,
+}
+
+/// The lifecycle of one CommTask partition on one worker.
+///
+/// Times are filled in as the partition moves through the stack:
+/// `produced`/`enqueued`/`granted` by the runtime at the scheduler
+/// boundary, the `wire_*` fields by the fabric once the transfer is
+/// released (matched back by the partition's unique token). A record
+/// whose transfer never completed keeps `wire_seen == false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartRecord {
+    /// The packed subtask token (job-local, no job-namespace bits).
+    pub token: u64,
+    /// Training iteration.
+    pub iter: u64,
+    /// Worker rank.
+    pub worker: usize,
+    /// Tensor (layer) index.
+    pub tensor: u32,
+    /// Partition index within the tensor.
+    pub part: u32,
+    /// Scheduler lane the item occupied.
+    pub lane: usize,
+    /// `true` for a PS pull, `false` for a push.
+    pub pull: bool,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// When BP produced the gradient (== `enqueued` for pushes; for
+    /// pulls, the grant instant that made the pull possible).
+    pub produced: SimTime,
+    /// When the runtime submitted the item to the scheduler.
+    pub enqueued: SimTime,
+    /// When the scheduler released the item (credit granted).
+    pub granted: SimTime,
+    /// When the fabric accepted the transfer.
+    pub wire_submit: SimTime,
+    /// When bytes started moving on the wire.
+    pub wire_start: SimTime,
+    /// When the wire was released (last byte sent).
+    pub wire_end: SimTime,
+    /// When the transfer was delivered end-to-end.
+    pub delivered: SimTime,
+    /// Whether the wire fields were filled from a fabric record.
+    pub wire_seen: bool,
+}
+
+impl PartRecord {
+    /// A fresh record at the enqueue instant; wire fields unset.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueued_at(
+        token: u64,
+        iter: u64,
+        worker: usize,
+        tensor: u32,
+        part: u32,
+        lane: usize,
+        pull: bool,
+        bytes: u64,
+        now: SimTime,
+    ) -> PartRecord {
+        PartRecord {
+            token,
+            iter,
+            worker,
+            tensor,
+            part,
+            lane,
+            pull,
+            bytes,
+            produced: now,
+            enqueued: now,
+            granted: now,
+            wire_submit: now,
+            wire_start: now,
+            wire_end: now,
+            delivered: now,
+            wire_seen: false,
+        }
+    }
+}
+
+/// One closed credit-stall interval on one scheduler lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallSpan {
+    /// Worker rank owning the scheduler.
+    pub worker: usize,
+    /// Lane index within that scheduler.
+    pub lane: usize,
+    /// Stall start (lane became credit-blocked).
+    pub start: SimTime,
+    /// Stall end (credit freed or queue drained).
+    pub end: SimTime,
+}
+
+/// One parameter-server aggregation completion: the instant a key's
+/// partition had been pushed by every worker (sync) or by its sender
+/// (async) and pull grants were issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggEvent {
+    /// Training iteration.
+    pub iter: u64,
+    /// Tensor (layer) index.
+    pub tensor: u32,
+    /// Partition index within the tensor.
+    pub part: u32,
+    /// Aggregation-complete instant.
+    pub at: SimTime,
+}
+
+/// One ring all-reduce operation (a fused batch on the collective stream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingOp {
+    /// The batch tag.
+    pub tag: u64,
+    /// Op start instant.
+    pub start: SimTime,
+    /// Op end instant.
+    pub end: SimTime,
+}
+
+/// The assembled causal event log for one job's run.
+#[derive(Clone, Debug, Default)]
+pub struct XrayLog {
+    /// Scheduler policy label (for the report header).
+    pub scheduler: String,
+    /// Job start (arrival) instant.
+    pub start: SimTime,
+    /// Run end (barrier exit of the last iteration).
+    pub end: SimTime,
+    /// Warm-up iterations excluded from measured totals.
+    pub warmup: usize,
+    /// Iteration boundary marks: `marks[k]` is the barrier-exit instant
+    /// of iteration `k` on worker 0.
+    pub marks: Vec<SimTime>,
+    /// All engine compute ops.
+    pub compute: Vec<ComputeSpan>,
+    /// All partition lifecycle records.
+    pub parts: Vec<PartRecord>,
+    /// All scheduler credit-stall intervals.
+    pub stalls: Vec<StallSpan>,
+    /// All PS aggregation completions.
+    pub aggs: Vec<AggEvent>,
+    /// All ring all-reduce ops.
+    pub ring_ops: Vec<RingOp>,
+}

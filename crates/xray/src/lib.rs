@@ -1,0 +1,24 @@
+//! `bs-xray` — causal event tracing and critical-path attribution.
+//!
+//! PR 3's telemetry answers "how much time was lost"; this crate answers
+//! *where and to which tensor*. Subsystems record typed lifecycle events
+//! for every CommTask partition — BP-produced → enqueued →
+//! credit-granted → wire-start/wire-end → aggregated → update-ready →
+//! FP-dependency-released — into an [`XrayLog`]. [`analysis::analyze`]
+//! walks the longest dependency chain backward through each iteration
+//! window and attributes every nanosecond to one of {compute, wire,
+//! credit wait, queue wait, aggregation, barrier}; [`XrayReport`] is the
+//! schema-versioned `critical_path.json` the harness writes and tables
+//! render from.
+//!
+//! Recording is off by default and strictly observational: enabling it
+//! must not change a single simulation event (pinned by the golden
+//! byte-identity tests at the workspace root).
+
+pub mod analysis;
+pub mod events;
+pub mod report;
+
+pub use analysis::{analyze, Attribution, Category, IterBreakdown, Segment};
+pub use events::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog};
+pub use report::{Counts, TensorShare, XrayReport, SCHEMA_VERSION};

@@ -1,0 +1,234 @@
+//! The schema-versioned critical-path report (`critical_path.json`).
+
+use serde::{Serialize, Value};
+
+use bs_sim::SimTime;
+
+use crate::analysis::{analyze, Attribution, Category, IterBreakdown};
+use crate::events::XrayLog;
+
+/// Schema version written into every report; bump on breaking shape
+/// changes and keep `results/critical_path.schema.json` in step.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One tensor's share of critical-path time (non-compute segments only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorShare {
+    /// Tensor (layer) index.
+    pub tensor: u32,
+    /// Critical-path nanoseconds attributed to this tensor's transfers.
+    pub critical_ns: u64,
+}
+
+/// Event-count summary, for sanity checks and the smoke job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Partition lifecycle records.
+    pub parts: u64,
+    /// Engine compute ops.
+    pub compute_spans: u64,
+    /// Scheduler credit-stall intervals.
+    pub stalls: u64,
+    /// PS aggregation completions.
+    pub aggregations: u64,
+    /// Ring all-reduce ops.
+    pub ring_ops: u64,
+}
+
+/// The assembled critical-path attribution for one job's run.
+#[derive(Clone, Debug)]
+pub struct XrayReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Scheduler policy label.
+    pub scheduler: String,
+    /// Run horizon (job start → last barrier exit).
+    pub horizon: SimTime,
+    /// Warm-up iterations excluded from `totals`.
+    pub warmup: usize,
+    /// Per-iteration breakdowns, warm-up included.
+    pub iterations: Vec<IterBreakdown>,
+    /// Category totals over measured (non-warm-up) iterations.
+    pub totals: Attribution,
+    /// Wall time of the measured iterations; equals `totals.total_ns()`.
+    pub measured_wall_ns: u64,
+    /// Tensors by critical-path share, descending (tables print top 10).
+    pub tensors: Vec<TensorShare>,
+    /// Recorded-event counts.
+    pub counts: Counts,
+}
+
+impl XrayReport {
+    /// Analyzes a log into a report.
+    pub fn build(log: &XrayLog) -> XrayReport {
+        let iterations = analyze(log);
+        let mut totals = Attribution::default();
+        let mut measured_wall_ns = 0u64;
+        let mut tensor_ns: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for b in iterations.iter().skip(log.warmup) {
+            totals.absorb(&b.attribution);
+            measured_wall_ns += b.wall_ns();
+            for s in &b.segments {
+                if let Some(t) = s.tensor {
+                    *tensor_ns.entry(t).or_default() += s.end.as_nanos() - s.start.as_nanos();
+                }
+            }
+        }
+        let mut tensors: Vec<TensorShare> = tensor_ns
+            .into_iter()
+            .map(|(tensor, critical_ns)| TensorShare {
+                tensor,
+                critical_ns,
+            })
+            .collect();
+        tensors.sort_by_key(|t| (std::cmp::Reverse(t.critical_ns), t.tensor));
+        XrayReport {
+            schema_version: SCHEMA_VERSION,
+            scheduler: log.scheduler.clone(),
+            horizon: log.end.saturating_sub(log.start),
+            warmup: log.warmup,
+            iterations,
+            totals,
+            measured_wall_ns,
+            tensors,
+            counts: Counts {
+                parts: log.parts.len() as u64,
+                compute_spans: log.compute.len() as u64,
+                stalls: log.stalls.len() as u64,
+                aggregations: log.aggs.len() as u64,
+                ring_ops: log.ring_ops.len() as u64,
+            },
+        }
+    }
+
+    /// Mean measured iteration time in nanoseconds (0 if nothing
+    /// measured).
+    pub fn mean_iter_ns(&self) -> u64 {
+        let n = self.iterations.len().saturating_sub(self.warmup) as u64;
+        self.measured_wall_ns.checked_div(n).unwrap_or(0)
+    }
+}
+
+fn attribution_fields(a: &Attribution, out: &mut Vec<(String, Value)>) {
+    for c in Category::ALL {
+        out.push((format!("{}_ns", c.label()), Value::U64(a.get(c))));
+    }
+}
+
+impl Serialize for XrayReport {
+    fn to_value(&self) -> Value {
+        let mut totals = vec![("wall_ns".to_string(), Value::U64(self.measured_wall_ns))];
+        attribution_fields(&self.totals, &mut totals);
+        let iterations: Vec<Value> = self
+            .iterations
+            .iter()
+            .map(|b| {
+                let mut o = vec![
+                    ("iter".to_string(), Value::U64(b.iter)),
+                    ("start_ns".to_string(), Value::U64(b.start.as_nanos())),
+                    ("end_ns".to_string(), Value::U64(b.end.as_nanos())),
+                    ("wall_ns".to_string(), Value::U64(b.wall_ns())),
+                ];
+                attribution_fields(&b.attribution, &mut o);
+                Value::Object(o)
+            })
+            .collect();
+        let tensors: Vec<Value> = self
+            .tensors
+            .iter()
+            .map(|t| {
+                Value::Object(vec![
+                    ("tensor".to_string(), Value::U64(t.tensor as u64)),
+                    ("critical_ns".to_string(), Value::U64(t.critical_ns)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::U64(self.schema_version),
+            ),
+            ("scheduler".to_string(), Value::Str(self.scheduler.clone())),
+            (
+                "horizon_us".to_string(),
+                Value::F64(self.horizon.as_micros_f64()),
+            ),
+            ("warmup".to_string(), Value::U64(self.warmup as u64)),
+            ("totals".to_string(), Value::Object(totals)),
+            ("iterations".to_string(), Value::Array(iterations)),
+            ("top_tensors".to_string(), Value::Array(tensors)),
+            (
+                "counts".to_string(),
+                Value::Object(vec![
+                    ("parts".to_string(), Value::U64(self.counts.parts)),
+                    (
+                        "compute_spans".to_string(),
+                        Value::U64(self.counts.compute_spans),
+                    ),
+                    ("stalls".to_string(), Value::U64(self.counts.stalls)),
+                    (
+                        "aggregations".to_string(),
+                        Value::U64(self.counts.aggregations),
+                    ),
+                    ("ring_ops".to_string(), Value::U64(self.counts.ring_ops)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::ComputeSpan;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn report_totals_exclude_warmup_and_sum_exactly() {
+        let log = XrayLog {
+            scheduler: "test".into(),
+            start: SimTime::ZERO,
+            end: us(60),
+            warmup: 1,
+            marks: vec![us(20), us(40), us(60)],
+            compute: (0..3)
+                .map(|k| ComputeSpan {
+                    worker: 0,
+                    iter: k,
+                    layer: 0,
+                    backward: true,
+                    start: us(20 * k),
+                    end: us(20 * (k + 1)),
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let r = XrayReport::build(&log);
+        assert_eq!(r.iterations.len(), 3);
+        assert_eq!(r.measured_wall_ns, 40_000);
+        assert_eq!(r.totals.total_ns(), r.measured_wall_ns);
+        assert_eq!(r.mean_iter_ns(), 20_000);
+        assert_eq!(r.counts.compute_spans, 3);
+    }
+
+    #[test]
+    fn report_serialises_with_schema_version() {
+        let log = XrayLog {
+            scheduler: "test".into(),
+            start: SimTime::ZERO,
+            end: us(10),
+            marks: vec![us(10)],
+            ..Default::default()
+        };
+        let r = XrayReport::build(&log);
+        let text = serde_json::to_string_pretty(&r).expect("serialises");
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"totals\""));
+        assert!(text.contains("\"credit_wait_ns\""));
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(parsed.get("counts").is_some());
+    }
+}

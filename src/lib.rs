@@ -30,6 +30,10 @@
 //! * [`cluster`] — multi-job cluster simulation: N concurrent training
 //!   jobs contending on one shared fabric, placement policies, and
 //!   cluster-level metrics (JCT, makespan, Jain's fairness).
+//! * [`xray`] — causal event tracing and critical-path attribution:
+//!   per-partition lifecycle records analyzed into per-iteration
+//!   {compute, wire, credit-wait, queue-wait, aggregation, barrier}
+//!   breakdowns (`critical_path.json`).
 //! * [`tune`] — Bayesian-Optimization auto-tuning of partition and credit
 //!   sizes, with grid / random / SGD-momentum comparison tuners.
 //! * [`harness`] — one experiment runner per paper table and figure.
@@ -45,3 +49,4 @@ pub use bs_runtime as runtime;
 pub use bs_sim as sim;
 pub use bs_telemetry as telemetry;
 pub use bs_tune as tune;
+pub use bs_xray as xray;

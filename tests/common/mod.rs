@@ -4,6 +4,8 @@
 //! stores. Kept here so `metrics_schema.rs` can prove telemetry-on runs
 //! reproduce the *same* fixture `golden_trace.rs` pins for plain runs.
 
+pub mod schema;
+
 use bs_engine::EngineConfig;
 use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
 use bs_net::{FabricModel, NetConfig, Transport};
@@ -101,10 +103,19 @@ pub fn fixture_path() -> std::path::PathBuf {
 /// on. Telemetry is recording-only, so the rendered bytes must be the
 /// same either way — `metrics_schema.rs` asserts exactly that.
 pub fn render(record_metrics: bool) -> String {
+    render_with(record_metrics, false)
+}
+
+/// [`render`] with independent control of both recording subsystems.
+/// Xray is recording-only too, so `xray_schema.rs` demands the same
+/// fixture bytes with `record_xray` on.
+pub fn render_with(record_metrics: bool, record_xray: bool) -> String {
     let mut fifo_cfg = scenario(FabricModel::SerialFifo);
     let mut fluid_cfg = scenario(FabricModel::FairShare);
-    fifo_cfg.record_metrics = record_metrics;
-    fluid_cfg.record_metrics = record_metrics;
+    for cfg in [&mut fifo_cfg, &mut fluid_cfg] {
+        cfg.record_metrics = record_metrics;
+        cfg.record_xray = record_xray;
+    }
     let fifo = run(&fifo_cfg);
     let fluid = run(&fluid_cfg);
     let doc = Value::Array(vec![

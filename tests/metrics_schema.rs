@@ -2,10 +2,8 @@
 //!
 //! 1. `results/metrics.schema.json` is the checked-in JSON-Schema for
 //!    every `metrics.json` the harness writes. A real run's metrics are
-//!    serialised, re-parsed, and validated against it here, with a
-//!    validator that implements exactly the draft-07 subset the schema
-//!    uses (`type`, `enum`, `required`, `properties`,
-//!    `additionalProperties`, `oneOf`, `minimum`).
+//!    serialised, re-parsed, and validated against it here with the
+//!    shared draft-07-subset validator in `common::schema`.
 //! 2. Telemetry must be *recording-only*: re-rendering the golden
 //!    comm-heavy fingerprints with `record_metrics = true` must
 //!    reproduce `tests/fixtures/golden_comm_heavy.json` byte-for-byte.
@@ -15,122 +13,8 @@ mod common;
 
 use bs_net::FabricModel;
 use bs_runtime::run;
+use common::schema::{committed, validate};
 use serde_json::Value;
-
-// --- A minimal JSON-Schema (draft-07 subset) validator. -----------------
-
-fn obj(v: &Value) -> Option<&[(String, Value)]> {
-    match v {
-        Value::Object(entries) => Some(entries),
-        _ => None,
-    }
-}
-
-fn as_f64(v: &Value) -> Option<f64> {
-    match *v {
-        Value::I64(n) => Some(n as f64),
-        Value::U64(n) => Some(n as f64),
-        Value::F64(n) => Some(n),
-        _ => None,
-    }
-}
-
-fn type_matches(ty: &str, v: &Value) -> bool {
-    match ty {
-        "object" => matches!(v, Value::Object(_)),
-        "array" => matches!(v, Value::Array(_)),
-        "string" => matches!(v, Value::Str(_)),
-        "boolean" => matches!(v, Value::Bool(_)),
-        "null" => matches!(v, Value::Null),
-        "integer" => matches!(v, Value::I64(_) | Value::U64(_)),
-        "number" => matches!(v, Value::I64(_) | Value::U64(_) | Value::F64(_)),
-        other => panic!("schema uses unsupported type {other:?}"),
-    }
-}
-
-/// Literal equality for `enum`, with numbers compared numerically so
-/// `1`, `1.0`, and an i64/u64 split all agree.
-fn value_eq(a: &Value, b: &Value) -> bool {
-    match (as_f64(a), as_f64(b)) {
-        (Some(x), Some(y)) => x == y,
-        _ => match (a, b) {
-            (Value::Str(x), Value::Str(y)) => x == y,
-            (Value::Bool(x), Value::Bool(y)) => x == y,
-            (Value::Null, Value::Null) => true,
-            _ => false,
-        },
-    }
-}
-
-fn validate(schema: &Value, v: &Value, path: &str, errs: &mut Vec<String>) {
-    if let Some(Value::Array(options)) = schema.get("enum") {
-        if !options.iter().any(|o| value_eq(o, v)) {
-            errs.push(format!("{path}: {v:?} not in enum {options:?}"));
-            return;
-        }
-    }
-    if let Some(Value::Str(ty)) = schema.get("type") {
-        if !type_matches(ty, v) {
-            errs.push(format!("{path}: expected {ty}, got {v:?}"));
-            return;
-        }
-    }
-    if let Some(min) = schema.get("minimum").and_then(as_f64) {
-        if let Some(x) = as_f64(v) {
-            if x < min {
-                errs.push(format!("{path}: {x} below minimum {min}"));
-            }
-        }
-    }
-    if let Some(Value::Array(options)) = schema.get("oneOf") {
-        let matching = options
-            .iter()
-            .filter(|opt| {
-                let mut sub = Vec::new();
-                validate(opt, v, path, &mut sub);
-                sub.is_empty()
-            })
-            .count();
-        if matching != 1 {
-            errs.push(format!(
-                "{path}: matched {matching} of {} oneOf branches (need exactly 1)",
-                options.len()
-            ));
-        }
-    }
-
-    let Some(entries) = obj(v) else { return };
-    if let Some(Value::Array(required)) = schema.get("required") {
-        for name in required {
-            if let Value::Str(name) = name {
-                if !entries.iter().any(|(k, _)| k == name) {
-                    errs.push(format!("{path}: missing required property {name:?}"));
-                }
-            }
-        }
-    }
-    let props = schema.get("properties").and_then(obj).unwrap_or(&[]);
-    let additional = schema.get("additionalProperties");
-    for (key, val) in entries {
-        match props.iter().find(|(name, _)| name == key) {
-            Some((_, sub)) => validate(sub, val, &format!("{path}/{key}"), errs),
-            None => match additional {
-                Some(Value::Bool(false)) => {
-                    errs.push(format!("{path}: unexpected property {key:?}"));
-                }
-                Some(sub) if sub.is_object() => validate(sub, val, &format!("{path}/{key}"), errs),
-                _ => {}
-            },
-        }
-    }
-}
-
-fn committed_schema() -> Value {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/metrics.schema.json");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing schema {} ({e})", path.display()));
-    serde_json::from_str(&text).expect("schema parses as JSON")
-}
 
 /// A real run's metrics, serialised exactly as `write_metrics_json`
 /// writes them and re-parsed.
@@ -149,7 +33,7 @@ fn run_metrics_doc() -> Value {
 
 #[test]
 fn metrics_json_validates_against_committed_schema() {
-    let schema = committed_schema();
+    let schema = committed("metrics.schema.json");
     let doc = run_metrics_doc();
     let mut errs = Vec::new();
     validate(&schema, &doc, "$", &mut errs);
@@ -160,7 +44,7 @@ fn metrics_json_validates_against_committed_schema() {
 /// different ways and demand a complaint each time.
 #[test]
 fn validator_rejects_malformed_documents() {
-    let schema = committed_schema();
+    let schema = committed("metrics.schema.json");
     let good = run_metrics_doc();
     type Corruption = Box<dyn Fn(&mut Vec<(String, Value)>)>;
     let corrupt: Vec<(&str, Corruption)> = vec![

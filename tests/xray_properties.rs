@@ -1,0 +1,134 @@
+//! Property-based tests of the xray invariants over the full stack:
+//! for *any* random model, scheduler, fabric and jitter stream —
+//!
+//! 1. **Exact tiling** — every iteration's category sums equal its wall
+//!    time to the nanosecond; no residual bucket, no double counting.
+//! 2. **Critical path ≤ makespan** — the measured critical-path time
+//!    never exceeds the run horizon, on both fabric models.
+//! 3. **Recording-only** — turning `record_xray` on changes nothing a
+//!    [`bytescheduler::runtime::RunResult`] measures.
+
+use bytescheduler::engine::EngineConfig;
+use bytescheduler::models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bytescheduler::net::{FabricModel, NetConfig, Transport};
+use bytescheduler::runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bytescheduler::sim::SimTime;
+use proptest::prelude::*;
+
+/// Strategy: a random small DNN (2–5 layers, 0.1–8 MB tensors, 0.5–4 ms
+/// compute per pass).
+fn arb_model() -> impl Strategy<Value = DnnModel> {
+    proptest::collection::vec((100_000u64..8_000_000, 500u64..4_000, 500u64..4_000), 2..=5)
+        .prop_map(|layers| {
+            let gpu = GpuSpec::custom(1e12, 2.0);
+            let mut b = ModelBuilder::new("prop", gpu, 4, SampleUnit::Images);
+            for (i, (bytes, fp_us, bp_us)) in layers.into_iter().enumerate() {
+                b = b.explicit(
+                    format!("l{i}"),
+                    bytes,
+                    SimTime::from_micros(fp_us),
+                    SimTime::from_micros(bp_us),
+                );
+            }
+            b.build()
+        })
+}
+
+fn xray_cfg(
+    model: DnnModel,
+    sched: SchedulerKind,
+    fabric: FabricModel,
+    seed: u64,
+    jitter: f64,
+) -> WorldConfig {
+    let mut cfg = WorldConfig::new(
+        model,
+        2,
+        Arch::ps(2),
+        NetConfig::gbps(10.0, Transport::tcp()),
+        EngineConfig::mxnet_ps(),
+        sched,
+    );
+    cfg.iters = 4;
+    cfg.warmup = 1;
+    cfg.seed = seed;
+    cfg.jitter = jitter;
+    cfg.fabric = fabric;
+    cfg.record_xray = true;
+    cfg
+}
+
+fn schedulers() -> [SchedulerKind; 3] {
+    [
+        SchedulerKind::Baseline,
+        SchedulerKind::P3,
+        SchedulerKind::ByteScheduler {
+            partition: 1 << 20,
+            credit: 4 << 20,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Exact tiling and the makespan bound, on both fabrics, under every
+    /// scheduler.
+    #[test]
+    fn attribution_tiles_every_iteration_exactly(
+        model in arb_model(),
+        seed in 1u64..1_000,
+        jitter in 0.0f64..0.05,
+    ) {
+        for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+            for sched in schedulers() {
+                let cfg = xray_cfg(model.clone(), sched, fabric, seed, jitter);
+                let r = run(&cfg);
+                let x = r.xray.as_ref().expect("xray recorded");
+                prop_assert_eq!(x.iterations.len() as u64, cfg.iters,
+                    "one breakdown per iteration");
+                for it in &x.iterations {
+                    prop_assert_eq!(
+                        it.attribution.total_ns(), it.wall_ns(),
+                        "iter {} of {} on {:?}: category sums must tile the window",
+                        it.iter, sched.label(), fabric
+                    );
+                }
+                prop_assert_eq!(x.totals.total_ns(), x.measured_wall_ns,
+                    "totals must tile the measured window");
+                // The measured critical path is a sub-interval of the run.
+                prop_assert!(x.measured_wall_ns <= r.finished_at.as_nanos(),
+                    "critical path {} exceeds makespan {}",
+                    x.measured_wall_ns, r.finished_at.as_nanos());
+                // Compute always appears; per-tensor shares never exceed
+                // the measured wall time.
+                prop_assert!(x.totals.compute_ns > 0, "compute on the critical path");
+                for t in &x.tensors {
+                    prop_assert!(t.critical_ns <= x.measured_wall_ns);
+                }
+            }
+        }
+    }
+
+    /// Recording is strictly observational: every measured quantity is
+    /// bit-identical with xray on and off.
+    #[test]
+    fn xray_recording_never_perturbs_the_run(
+        model in arb_model(),
+        seed in 1u64..1_000,
+        fabric_fifo in any::<bool>(),
+    ) {
+        let fabric = if fabric_fifo { FabricModel::SerialFifo } else { FabricModel::FairShare };
+        let sched = SchedulerKind::ByteScheduler { partition: 1 << 20, credit: 4 << 20 };
+        let on = xray_cfg(model.clone(), sched, fabric, seed, 0.02);
+        let mut off = on.clone();
+        off.record_xray = false;
+        let (a, b) = (run(&on), run(&off));
+        prop_assert!(a.xray.is_some() && b.xray.is_none());
+        prop_assert_eq!(a.finished_at, b.finished_at);
+        prop_assert_eq!(a.speed, b.speed);
+        prop_assert_eq!(a.p2p_bytes, b.p2p_bytes);
+        prop_assert_eq!(a.comm_events, b.comm_events);
+        prop_assert_eq!(a.iter_times, b.iter_times);
+    }
+}

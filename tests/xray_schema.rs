@@ -1,0 +1,108 @@
+//! The xray export contract, pinned two ways:
+//!
+//! 1. `results/critical_path.schema.json` is the checked-in JSON-Schema
+//!    for every `critical_path.json` the harness writes. A real run's
+//!    report is serialised exactly as `write_critical_path_json` writes
+//!    it, re-parsed, and validated against it with the shared
+//!    draft-07-subset validator in `common::schema`.
+//! 2. Xray must be *recording-only*: re-rendering the golden comm-heavy
+//!    fingerprints with `record_xray = true` must reproduce
+//!    `tests/fixtures/golden_comm_heavy.json` byte-for-byte.
+
+#[allow(dead_code)]
+mod common;
+
+use bs_net::FabricModel;
+use bs_runtime::run;
+use common::schema::{committed, validate};
+use serde_json::Value;
+
+/// A real run's critical-path report, serialised exactly as
+/// `write_critical_path_json` writes it and re-parsed.
+fn run_xray_doc() -> Value {
+    let mut cfg = common::scenario(FabricModel::SerialFifo);
+    cfg.record_xray = true;
+    let r = run(&cfg);
+    let x = r.xray.expect("xray recorded");
+    assert!(
+        x.counts.parts > 0 && x.counts.compute_spans > 0,
+        "golden scenario should produce a non-trivial event log"
+    );
+    let text = serde_json::to_string_pretty(&x).expect("serialise report");
+    serde_json::from_str(&text).expect("critical_path.json round-trips through the parser")
+}
+
+#[test]
+fn critical_path_json_validates_against_committed_schema() {
+    let schema = committed("critical_path.schema.json");
+    let doc = run_xray_doc();
+    let mut errs = Vec::new();
+    validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "schema violations: {errs:#?}");
+}
+
+/// The schema must have teeth: corrupt the document three different ways
+/// and demand a complaint each time.
+#[test]
+fn schema_rejects_malformed_documents() {
+    let schema = committed("critical_path.schema.json");
+    let good = run_xray_doc();
+    type Corruption = Box<dyn Fn(&mut Vec<(String, Value)>)>;
+    let corrupt: Vec<(&str, Corruption)> = vec![
+        (
+            "wrong schema_version",
+            Box::new(|top| {
+                top[0].1 = Value::U64(99);
+            }),
+        ),
+        (
+            "missing totals",
+            Box::new(|top| {
+                top.retain(|(k, _)| k != "totals");
+            }),
+        ),
+        (
+            "negative iteration wall time",
+            Box::new(|top| {
+                let Some((_, Value::Array(iters))) =
+                    top.iter_mut().find(|(k, _)| k == "iterations")
+                else {
+                    panic!("iterations array")
+                };
+                let Value::Object(first) = &mut iters[0] else {
+                    panic!("iteration object")
+                };
+                let (_, wall) = first
+                    .iter_mut()
+                    .find(|(k, _)| k == "wall_ns")
+                    .expect("wall_ns present");
+                *wall = Value::I64(-1);
+            }),
+        ),
+    ];
+    for (what, mutate) in corrupt {
+        let mut doc = good.clone();
+        let Value::Object(top) = &mut doc else {
+            panic!("top-level object")
+        };
+        mutate(top);
+        let mut errs = Vec::new();
+        validate(&schema, &doc, "$", &mut errs);
+        assert!(
+            !errs.is_empty(),
+            "validator accepted a document with {what}"
+        );
+    }
+}
+
+#[test]
+fn xray_on_reproduces_the_golden_fixture() {
+    let actual = common::render_with(false, true);
+    let expected = std::fs::read_to_string(common::fixture_path())
+        .expect("golden fixture is committed; see tests/golden_trace.rs");
+    assert_eq!(
+        actual, expected,
+        "recording xray events perturbed the simulation: the golden \
+         fingerprints must be identical with record_xray on and off"
+    );
+}
