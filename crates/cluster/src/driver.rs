@@ -135,6 +135,11 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         .enumerate()
         .map(|(j, (spec, nodes))| match spec {
             JobSpec::Train { arrival, cfg, .. } => {
+                assert!(
+                    cfg.faults.as_ref().is_none_or(|p| p.is_empty()),
+                    "fault plans are single-job: cluster tenants share fabric \
+                     ports, so one job's link faults would hit its neighbours"
+                );
                 let mut cfg = cfg.clone();
                 cfg.record_trace = cluster.record_trace;
                 cfg.record_metrics = cluster.record_metrics;

@@ -71,6 +71,8 @@ struct LaneTelemetry {
     released: Counter,
     /// Anti-stall releases of items larger than the remaining credit.
     forced: Counter,
+    /// Credit bytes reclaimed from lost (never-delivered) items.
+    reclaimed: Counter,
 }
 
 impl LaneTelemetry {
@@ -153,6 +155,11 @@ pub struct ByteScheduler {
     telemetry: Option<Vec<LaneTelemetry>>,
     /// `Some` only while xray recording is on (one entry per lane).
     xray: Option<Vec<LaneXray>>,
+    /// Total credit bytes returned through [`Scheduler::reclaim`] — lost
+    /// partitions whose credit came back without a delivery. Always
+    /// counted (no recording gate): the runtime reports it on
+    /// `RunResult` regardless of telemetry.
+    reclaimed_bytes: u64,
 }
 
 impl ByteScheduler {
@@ -168,7 +175,13 @@ impl ByteScheduler {
             lanes: (0..num_lanes).map(|_| Lane::new(credit_bytes)).collect(),
             telemetry: None,
             xray: None,
+            reclaimed_bytes: 0,
         }
+    }
+
+    /// Total credit bytes reclaimed from lost items so far.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_bytes
     }
 
     /// Re-examines one lane's blocked state for the xray recorder; a
@@ -242,6 +255,29 @@ impl Scheduler for ByteScheduler {
             t.record_stall(now, l.credit_blocked());
         }
         self.note_xray(lane, now);
+    }
+
+    fn reclaim(&mut self, now: SimTime, lane: usize, bytes: u64) {
+        self.reclaimed_bytes += bytes;
+        if let Some(telem) = self.telemetry.as_mut() {
+            telem[lane].reclaimed.add(bytes);
+        }
+        // Credit-wise a loss is a completion: the window slot frees and
+        // the lane re-evaluates its blocked state.
+        self.complete(now, lane, bytes);
+    }
+
+    fn teardown(&mut self, now: SimTime) {
+        if let Some(telem) = self.telemetry.as_mut() {
+            for t in telem.iter_mut() {
+                t.record_stall(now, false);
+            }
+        }
+        if let Some(xray) = self.xray.as_mut() {
+            for lx in xray.iter_mut() {
+                lx.note(now, false);
+            }
+        }
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<WorkItem> {
@@ -325,6 +361,7 @@ impl Scheduler for ByteScheduler {
             set.counter(format!("lane{i}/preemptions"), t.preemptions.get());
             set.counter(format!("lane{i}/released"), t.released.get());
             set.counter(format!("lane{i}/forced_oversize"), t.forced.get());
+            set.counter(format!("lane{i}/reclaimed_bytes"), t.reclaimed.get());
             set.counter(format!("lane{i}/stall_events"), t.stall_events());
             set.series(format!("lane{i}/credit_in_use"), t.credit_in_use);
             set.series(format!("lane{i}/queued_bytes"), t.queued_bytes);
@@ -569,5 +606,57 @@ mod tests {
         let spans = s.take_xray(at(20)).expect("xray enabled");
         assert_eq!(spans, vec![(0, at(2), at(15))]);
         assert!(s.take_xray(at(20)).is_none(), "take drains the recorder");
+    }
+
+    /// A lost item's credit comes back through `reclaim`: the window slot
+    /// frees (so the lane unblocks exactly as it would on completion) and
+    /// the reclamation is accounted separately from successful releases.
+    #[test]
+    fn reclaim_returns_credit_and_is_counted() {
+        let sz = 100u64;
+        let mut s = ByteScheduler::new(sz, 2 * sz, 1);
+        s.enable_telemetry(SimTime::ZERO);
+        let at = SimTime::from_micros;
+        s.submit(at(0), item(0, 1, sz, 1));
+        s.submit(at(0), item(0, 2, sz, 2));
+        s.submit(at(0), item(0, 3, sz, 3));
+        assert_eq!(tokens(&s.poll(at(0))), vec![1, 2], "window fills");
+        assert!(s.poll(at(0)).is_empty(), "third item credit-blocked");
+        // Item 1 is lost on the wire: reclaiming its credit must unblock
+        // the lane just like a completion would.
+        s.reclaim(at(5), 0, sz);
+        assert_eq!(s.reclaimed_bytes(), sz);
+        assert_eq!(tokens(&s.poll(at(5))), vec![3]);
+        s.complete(at(9), 0, sz);
+        s.complete(at(9), 0, sz);
+        let m = s.take_metrics(at(10)).expect("telemetry enabled");
+        assert_eq!(m.get_counter("lane0/reclaimed_bytes"), Some(sz));
+        assert_eq!(m.get_counter("lane0/released"), Some(3));
+    }
+
+    /// Mid-run teardown (a fault-aborted run) closes open stall intervals
+    /// at the teardown instant, so stall totals cover only the lane's
+    /// lifetime — not the gap between abort and the metrics drain.
+    #[test]
+    fn teardown_closes_open_stall_intervals() {
+        let sz = 100u64;
+        let mut s = ByteScheduler::new(sz, 2 * sz, 1);
+        s.enable_telemetry(SimTime::ZERO);
+        s.enable_xray(SimTime::ZERO);
+        let at = SimTime::from_micros;
+        s.submit(at(0), item(0, 1, sz, 1));
+        s.submit(at(0), item(0, 2, sz, 2));
+        assert_eq!(s.poll(at(0)).len(), 2);
+        // t=2: a third item blocks on credit, opening a stall.
+        s.submit(at(2), item(0, 3, sz, 3));
+        assert!(s.poll(at(2)).is_empty());
+        // t=5: the run aborts and the lane is torn down mid-stall.
+        s.teardown(at(5));
+        // Draining later must report the stall as [2, 5), not [2, 20).
+        let m = s.take_metrics(at(20)).expect("telemetry enabled");
+        let stalled = m.get_series("lane0/credit_stalled").expect("series");
+        assert!((stalled.integral_secs(at(20)) - 3e-6).abs() < 1e-12);
+        let spans = s.take_xray(at(20)).expect("xray enabled");
+        assert_eq!(spans, vec![(0, at(2), at(5))]);
     }
 }

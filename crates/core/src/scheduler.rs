@@ -61,6 +61,24 @@ pub trait Scheduler {
     /// FINISH).
     fn complete(&mut self, now: SimTime, lane: usize, bytes: u64);
 
+    /// A previously started item was *lost* (transfer dropped or killed
+    /// by a link fault) and its payload never arrived. The bytes must
+    /// still return to the lane's credit — a lost partition that kept its
+    /// credit would shrink the window forever and eventually deadlock the
+    /// lane — but the policy may account the reclamation separately from
+    /// a successful `complete`. The default treats loss like completion.
+    fn reclaim(&mut self, now: SimTime, lane: usize, bytes: u64) {
+        self.complete(now, lane, bytes);
+    }
+
+    /// The lane set is being torn down mid-run (e.g. a fault-aborted
+    /// run): close any open recording intervals at `now` so stall totals
+    /// cover only the time the lanes actually existed. Policies without
+    /// instrumentation ignore this; it never changes scheduling state.
+    fn teardown(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// Items to hand to the network *now*, in order (the paper's
     /// `start()` calls made by the SCHEDULE loop).
     fn poll(&mut self, now: SimTime) -> Vec<WorkItem>;

@@ -78,6 +78,11 @@ pub struct WorkerEngine {
     pending: Vec<EngineEvent>,
     /// Optional multiplicative compute-time jitter: (rng, fraction).
     jitter: Option<(SimRng, f64)>,
+    /// Deterministic per-iteration compute-time multipliers
+    /// `(from_iter, to_iter, factor)`, each applied to every GPU op of
+    /// iterations in `[from, to)` — fault-injected stragglers. Empty when
+    /// unfaulted.
+    straggle: Vec<(u64, u64, f64)>,
     /// Iterations fully retired.
     done_iters: u64,
     all_done_emitted: bool,
@@ -148,6 +153,7 @@ impl WorkerEngine {
             gpu: None,
             pending: Vec::new(),
             jitter,
+            straggle: Vec::new(),
             done_iters: 0,
             all_done_emitted: false,
             trace: None,
@@ -162,6 +168,25 @@ impl WorkerEngine {
     /// The template in use.
     pub fn dag(&self) -> &IterDag {
         &self.dag
+    }
+
+    /// Registers a deterministic straggler: every GPU op of iterations in
+    /// `[from_iter, to_iter)` runs `factor` × as long. Overlapping ranges
+    /// multiply. Intended for setup time; the op already on the GPU is
+    /// rescaled in place so a range covering iteration 0 takes effect
+    /// from the very first op.
+    pub fn add_compute_scale(&mut self, from_iter: u64, to_iter: u64, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "straggler factor must be finite and > 0 (got {factor})"
+        );
+        self.straggle.push((from_iter, to_iter, factor));
+        if let Some((start, end, iter, node)) = self.gpu {
+            if iter >= from_iter && iter < to_iter {
+                let dur = SimTime::from_secs_f64((end - start).as_secs_f64() * factor);
+                self.gpu = Some((start, start + dur, iter, node));
+            }
+        }
     }
 
     /// Enables compute-span recording (see [`Self::take_trace`]).
@@ -445,6 +470,21 @@ impl WorkerEngine {
             }
             None => base,
         };
+        let dur = if self.straggle.is_empty() {
+            dur
+        } else {
+            let mut factor = 1.0;
+            for &(from, to, f) in &self.straggle {
+                if iter >= from && iter < to {
+                    factor *= f;
+                }
+            }
+            if factor == 1.0 {
+                dur
+            } else {
+                SimTime::from_secs_f64(dur.as_secs_f64() * factor)
+            }
+        };
         self.gpu = Some((now, now + dur, iter, node));
         if let Some(busy) = &mut self.gpu_busy {
             busy.record(now, 1.0);
@@ -699,6 +739,60 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn straggler_scale_slows_only_its_iteration_range() {
+        let dag = IterDag::build(3, EngineConfig::mxnet_ps());
+        let events = {
+            let model = model3();
+            let mut eng = WorkerEngine::new(dag, &model, 3, None);
+            // Iteration 1 runs 2× slower; 0 and 2 are untouched.
+            eng.add_compute_scale(1, 2, 2.0);
+            let mut events = Vec::new();
+            loop {
+                let t = eng.next_event_time();
+                if t.is_never() {
+                    break;
+                }
+                let mut queue = eng.advance(t);
+                while let Some(ev) = queue.pop() {
+                    if let EngineEvent::ExternalReady { iter, role, at } = ev {
+                        if !matches!(
+                            role,
+                            ExternalRole::ProxyReady(_) | ExternalRole::ProxyFinish(_)
+                        ) {
+                            queue.extend(eng.complete_external(at, iter, role));
+                            continue;
+                        }
+                    }
+                    events.push(ev);
+                }
+            }
+            events
+        };
+        let done: Vec<(u64, SimTime)> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::ComputeIterDone { iter, at } => Some((*iter, *at)),
+                _ => None,
+            })
+            .collect();
+        // fp+bp = 9 ms per clean iteration; iteration 1 takes 18 ms.
+        assert_eq!(done[0], (0, SimTime::from_millis(9)));
+        assert_eq!(done[1], (1, SimTime::from_millis(27)));
+        assert_eq!(done[2], (2, SimTime::from_millis(36)));
+    }
+
+    #[test]
+    fn straggler_covering_iteration_zero_rescales_the_op_in_flight() {
+        let dag = IterDag::build(3, EngineConfig::mxnet_ps());
+        let model = model3();
+        let mut eng = WorkerEngine::new(dag, &model, 1, None);
+        // fwd_0 (1 ms) is already on the GPU; a 3× straggler must stretch
+        // it too.
+        eng.add_compute_scale(0, 1, 3.0);
+        assert_eq!(eng.next_event_time(), SimTime::from_millis(3));
     }
 
     #[test]

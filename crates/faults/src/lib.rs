@@ -1,0 +1,652 @@
+//! Deterministic fault injection for degraded-fabric experiments.
+//!
+//! ByteScheduler's paper argues the scheduler must keep working when the
+//! environment shifts (§3.5 re-runs Bayesian Optimization "when the
+//! environment changes"; §6 evaluates under varying bandwidth). This crate
+//! is the vocabulary for *making* the environment shift, reproducibly:
+//!
+//! * [`FaultPlan`] — a declarative, JSON-(de)serialisable schedule of
+//!   seeded fault events: link bandwidth degradation/restoration, link
+//!   flaps (down intervals that kill in-flight transfers), per-transfer
+//!   Bernoulli loss, and per-iteration worker compute stragglers, plus
+//!   the [`RecoveryPolicy`] (retransmit timeout, exponential backoff,
+//!   retry cap) the runtime applies when transfers are lost.
+//! * [`FaultInjector`] — the runtime-facing cursor over a plan: a merged,
+//!   time-sorted timeline of [`LinkChange`]s, a seeded loss stream on its
+//!   own RNG (forked from the world seed with a constant distinct from
+//!   the co-tenant burst stream's, so recorded runs stay bit-identical),
+//!   and straggler lookups.
+//!
+//! The empty plan is the identity: an injector built from
+//! [`FaultPlan::empty`] schedules nothing, never draws from its RNG, and
+//! scales nothing — runs with `faults: Some(empty)` are bit-identical to
+//! runs with `faults: None`, the "empty-plan-only" extension of the
+//! recording-only guarantee, pinned by `tests/faults.rs`.
+
+use bs_sim::{SimRng, SimTime};
+use serde::Serialize;
+use serde_json::Value;
+
+/// Schema version stamped into serialised plans; bump on breaking change.
+pub const FAULT_PLAN_SCHEMA_VERSION: u64 = 1;
+
+/// XOR constant folding the world seed into the loss RNG stream. Distinct
+/// from the co-tenant burst stream's `0xB6_0000` so enabling faults never
+/// perturbs background traffic (and vice versa).
+const LOSS_SEED_XOR: u64 = 0xFA_0000;
+
+/// One direction of a NIC port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum LinkDir {
+    /// The node's uplink (sender side).
+    Up,
+    /// The node's downlink (receiver side).
+    Down,
+}
+
+/// A scheduled bandwidth change on one NIC direction: at `at_us`, the
+/// port's capacity becomes `scale` × nominal. `scale` 1.0 restores the
+/// link; 0.25 models a 4× degradation. Scales must be positive — a dead
+/// link is a [`LinkFlap`], not a zero scale, because flaps also kill
+/// in-flight transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct LinkEvent {
+    /// Virtual time of the change, microseconds.
+    pub at_us: u64,
+    /// Machine whose NIC changes.
+    pub node: usize,
+    /// Which direction of the NIC.
+    pub dir: LinkDir,
+    /// New capacity as a fraction of nominal (> 0).
+    pub scale: f64,
+}
+
+/// A link-down interval on one machine's NIC (both directions): in-flight
+/// transfers occupying the port at `from_us` are killed, no new transfer
+/// starts until `to_us`, then the link restores to nominal.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct LinkFlap {
+    /// Machine whose link goes down.
+    pub node: usize,
+    /// Start of the down interval, microseconds.
+    pub from_us: u64,
+    /// End of the down interval, microseconds (exclusive; must be
+    /// > `from_us`).
+    pub to_us: u64,
+}
+
+/// A compute slowdown on one worker over an iteration range: the GPU time
+/// of iterations in `[from_iter, to_iter)` is multiplied by `factor`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct StragglerSpec {
+    /// The straggling worker.
+    pub worker: usize,
+    /// First slowed iteration (inclusive).
+    pub from_iter: u64,
+    /// End of the slowed range (exclusive).
+    pub to_iter: u64,
+    /// Compute-time multiplier (> 0; > 1 slows the worker down).
+    pub factor: f64,
+}
+
+/// How the runtime recovers lost transfers: a lost partition is
+/// retransmitted after `timeout_us × 2^attempt` (exponential backoff),
+/// up to `max_retries` attempts per partition; exceeding the cap fails
+/// the run with `RunOutcome::Failed`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RecoveryPolicy {
+    /// Base retransmit timeout, microseconds.
+    pub timeout_us: u64,
+    /// Maximum retransmit attempts per partition.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            timeout_us: 50_000,
+            max_retries: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff delay before retransmit attempt number `attempt` (1-based):
+    /// `timeout × 2^(attempt-1)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let factor = 1u64 << (attempt.saturating_sub(1)).min(20);
+        SimTime::from_micros(self.timeout_us.saturating_mul(factor))
+    }
+}
+
+/// A deterministic, seeded schedule of faults for one run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Scheduled bandwidth changes.
+    pub link_events: Vec<LinkEvent>,
+    /// Link-down intervals.
+    pub flaps: Vec<LinkFlap>,
+    /// Per-transfer Bernoulli drop probability at delivery, in `[0, 1)`.
+    pub loss_rate: f64,
+    /// Worker compute slowdowns.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Recovery policy applied to lost transfers.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: injects nothing, draws nothing.
+    pub fn empty() -> Self {
+        FaultPlan {
+            link_events: Vec::new(),
+            flaps: Vec::new(),
+            loss_rate: 0.0,
+            stragglers: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// True when the plan schedules no fault of any kind.
+    pub fn is_empty(&self) -> bool {
+        self.link_events.is_empty()
+            && self.flaps.is_empty()
+            && self.loss_rate == 0.0
+            && self.stragglers.is_empty()
+    }
+
+    /// Validates invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.loss_rate) {
+            return Err(format!("loss_rate {} outside [0, 1)", self.loss_rate));
+        }
+        for e in &self.link_events {
+            if e.scale <= 0.0 || !e.scale.is_finite() {
+                return Err(format!(
+                    "link event at {}us on node {}: scale {} must be finite and > 0 \
+                     (use a flap for a dead link)",
+                    e.at_us, e.node, e.scale
+                ));
+            }
+        }
+        for f in &self.flaps {
+            if f.to_us <= f.from_us {
+                return Err(format!(
+                    "flap on node {}: empty interval [{}us, {}us)",
+                    f.node, f.from_us, f.to_us
+                ));
+            }
+        }
+        for s in &self.stragglers {
+            if s.factor <= 0.0 || !s.factor.is_finite() {
+                return Err(format!(
+                    "straggler on worker {}: factor {} must be finite and > 0",
+                    s.worker, s.factor
+                ));
+            }
+            if s.to_iter <= s.from_iter {
+                return Err(format!(
+                    "straggler on worker {}: empty iteration range [{}, {})",
+                    s.worker, s.from_iter, s.to_iter
+                ));
+            }
+        }
+        if self.recovery.timeout_us == 0 {
+            return Err("recovery timeout must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Renders the plan as the schema-versioned JSON document
+    /// `results/fault_plan.schema.json` describes.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![(
+            "schema_version".to_string(),
+            Value::U64(FAULT_PLAN_SCHEMA_VERSION),
+        )];
+        if let Value::Object(body) = self.to_value() {
+            fields.extend(body);
+        }
+        serde_json::to_string_pretty(&Value::Object(fields)).expect("plan renders") + "\n"
+    }
+
+    /// Parses a plan from its JSON form. Every field except
+    /// `schema_version` is optional and defaults to the empty plan's
+    /// value, so `{"schema_version": 1}` is the identity plan.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let doc = serde_json::from_str(text).map_err(|e| format!("fault plan: {e}"))?;
+        Self::from_value(&doc)
+    }
+
+    /// Parses a plan from an already-decoded JSON tree.
+    pub fn from_value(doc: &Value) -> Result<FaultPlan, String> {
+        let version = get_u64(doc, "schema_version")?
+            .ok_or("fault plan: missing schema_version".to_string())?;
+        if version != FAULT_PLAN_SCHEMA_VERSION {
+            return Err(format!(
+                "fault plan: schema_version {version} unsupported (expected \
+                 {FAULT_PLAN_SCHEMA_VERSION})"
+            ));
+        }
+        let mut plan = FaultPlan::empty();
+        if let Some(rate) = get_f64(doc, "loss_rate")? {
+            plan.loss_rate = rate;
+        }
+        if let Some(items) = get_array(doc, "link_events")? {
+            for (i, item) in items.iter().enumerate() {
+                let dir = match get_str(item, "dir")? {
+                    Some("Up") => LinkDir::Up,
+                    Some("Down") => LinkDir::Down,
+                    Some(s) => return Err(format!("link_events[{i}]: bad dir {s:?}")),
+                    None => return Err(format!("link_events[{i}]: missing dir")),
+                };
+                plan.link_events.push(LinkEvent {
+                    at_us: require_u64(item, "at_us", &format!("link_events[{i}]"))?,
+                    node: require_u64(item, "node", &format!("link_events[{i}]"))? as usize,
+                    dir,
+                    scale: require_f64(item, "scale", &format!("link_events[{i}]"))?,
+                });
+            }
+        }
+        if let Some(items) = get_array(doc, "flaps")? {
+            for (i, item) in items.iter().enumerate() {
+                plan.flaps.push(LinkFlap {
+                    node: require_u64(item, "node", &format!("flaps[{i}]"))? as usize,
+                    from_us: require_u64(item, "from_us", &format!("flaps[{i}]"))?,
+                    to_us: require_u64(item, "to_us", &format!("flaps[{i}]"))?,
+                });
+            }
+        }
+        if let Some(items) = get_array(doc, "stragglers")? {
+            for (i, item) in items.iter().enumerate() {
+                plan.stragglers.push(StragglerSpec {
+                    worker: require_u64(item, "worker", &format!("stragglers[{i}]"))? as usize,
+                    from_iter: require_u64(item, "from_iter", &format!("stragglers[{i}]"))?,
+                    to_iter: require_u64(item, "to_iter", &format!("stragglers[{i}]"))?,
+                    factor: require_f64(item, "factor", &format!("stragglers[{i}]"))?,
+                });
+            }
+        }
+        if let Some(rec) = doc.get("recovery") {
+            plan.recovery = RecoveryPolicy {
+                timeout_us: require_u64(rec, "timeout_us", "recovery")?,
+                max_retries: require_u64(rec, "max_retries", "recovery")? as u32,
+            };
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::U64(n)) => Ok(Some(*n)),
+        Some(Value::I64(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(Value::F64(x)) if *x >= 0.0 && x.trunc() == *x => Ok(Some(*x as u64)),
+        Some(other) => Err(format!(
+            "fault plan: {key} must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::F64(x)) => Ok(Some(*x)),
+        Some(Value::U64(n)) => Ok(Some(*n as f64)),
+        Some(Value::I64(n)) => Ok(Some(*n as f64)),
+        Some(other) => Err(format!("fault plan: {key} must be a number, got {other:?}")),
+    }
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(other) => Err(format!("fault plan: {key} must be a string, got {other:?}")),
+    }
+}
+
+fn get_array<'v>(v: &'v Value, key: &str) -> Result<Option<&'v [Value]>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Array(items)) => Ok(Some(items)),
+        Some(other) => Err(format!("fault plan: {key} must be an array, got {other:?}")),
+    }
+}
+
+fn require_u64(v: &Value, key: &str, at: &str) -> Result<u64, String> {
+    get_u64(v, key)?.ok_or_else(|| format!("fault plan: {at}: missing {key}"))
+}
+
+fn require_f64(v: &Value, key: &str, at: &str) -> Result<f64, String> {
+    get_f64(v, key)?.ok_or_else(|| format!("fault plan: {at}: missing {key}"))
+}
+
+/// One due change on the fabric, produced by [`FaultInjector::pop_due`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkChange {
+    /// Scale one NIC direction's capacity to `scale` × nominal.
+    Scale {
+        /// Affected machine.
+        node: usize,
+        /// Affected direction.
+        dir: LinkDir,
+        /// New capacity fraction.
+        scale: f64,
+    },
+    /// Take a machine's link down (both directions): kill in-flight
+    /// transfers on its ports and admit no new ones.
+    FlapDown {
+        /// Affected machine.
+        node: usize,
+    },
+    /// Restore a flapped link to nominal capacity.
+    FlapUp {
+        /// Affected machine.
+        node: usize,
+    },
+}
+
+/// Runtime-facing cursor over a [`FaultPlan`]: a merged, time-sorted
+/// timeline of link changes plus the seeded loss stream and straggler
+/// table. Built once per run; never rewinds.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    timeline: Vec<(SimTime, LinkChange)>,
+    cursor: usize,
+    loss_rate: f64,
+    rng: SimRng,
+    stragglers: Vec<StragglerSpec>,
+    policy: RecoveryPolicy,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `plan`, with the loss stream forked from
+    /// the world `seed`. Panics on an invalid plan — validate at the
+    /// parse boundary for recoverable errors.
+    pub fn new(plan: &FaultPlan, seed: u64) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        let mut timeline: Vec<(SimTime, LinkChange)> = Vec::new();
+        for e in &plan.link_events {
+            timeline.push((
+                SimTime::from_micros(e.at_us),
+                LinkChange::Scale {
+                    node: e.node,
+                    dir: e.dir,
+                    scale: e.scale,
+                },
+            ));
+        }
+        for f in &plan.flaps {
+            timeline.push((
+                SimTime::from_micros(f.from_us),
+                LinkChange::FlapDown { node: f.node },
+            ));
+            timeline.push((
+                SimTime::from_micros(f.to_us),
+                LinkChange::FlapUp { node: f.node },
+            ));
+        }
+        // Stable sort: same-instant changes apply in plan order, with
+        // flap edges after explicit scale events at the same instant
+        // (insertion order above), keeping replay deterministic.
+        timeline.sort_by_key(|&(t, _)| t);
+        FaultInjector {
+            timeline,
+            cursor: 0,
+            loss_rate: plan.loss_rate,
+            rng: SimRng::new(seed ^ LOSS_SEED_XOR),
+            stragglers: plan.stragglers.clone(),
+            policy: plan.recovery,
+        }
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Earliest pending link change, or `MAX` when the timeline is spent.
+    pub fn next_change_time(&self) -> SimTime {
+        self.timeline
+            .get(self.cursor)
+            .map(|&(t, _)| t)
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Pops the next link change due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<LinkChange> {
+        match self.timeline.get(self.cursor) {
+            Some(&(t, change)) if t <= now => {
+                self.cursor += 1;
+                Some(change)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when the plan can lose transfers at all. When false,
+    /// [`Self::should_drop`] is never called and the RNG never advances —
+    /// the empty-plan identity depends on this.
+    pub fn has_loss(&self) -> bool {
+        self.loss_rate > 0.0
+    }
+
+    /// Draws the Bernoulli loss stream: true = drop this delivery. Call
+    /// exactly once per candidate delivery, in delivery order, so the
+    /// stream is reproducible.
+    pub fn should_drop(&mut self) -> bool {
+        debug_assert!(self.loss_rate > 0.0, "loss draw on a lossless plan");
+        self.rng.next_f64() < self.loss_rate
+    }
+
+    /// Compute-time multiplier for `worker` at `iter`: the product of all
+    /// matching straggler factors (1.0 when none match).
+    pub fn compute_scale(&self, worker: usize, iter: u64) -> f64 {
+        let mut scale = 1.0;
+        for s in &self.stragglers {
+            if s.worker == worker && iter >= s.from_iter && iter < s.to_iter {
+                scale *= s.factor;
+            }
+        }
+        scale
+    }
+
+    /// True when the plan slows any iteration of `worker`.
+    pub fn has_straggler(&self, worker: usize) -> bool {
+        self.stragglers.iter().any(|s| s.worker == worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            link_events: vec![
+                LinkEvent {
+                    at_us: 1_000_000,
+                    node: 2,
+                    dir: LinkDir::Up,
+                    scale: 0.25,
+                },
+                LinkEvent {
+                    at_us: 3_000_000,
+                    node: 2,
+                    dir: LinkDir::Up,
+                    scale: 1.0,
+                },
+            ],
+            flaps: vec![LinkFlap {
+                node: 1,
+                from_us: 2_000_000,
+                to_us: 2_200_000,
+            }],
+            loss_rate: 0.001,
+            stragglers: vec![StragglerSpec {
+                worker: 0,
+                from_iter: 3,
+                to_iter: 5,
+                factor: 2.5,
+            }],
+            recovery: RecoveryPolicy {
+                timeout_us: 100_000,
+                max_retries: 6,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_plan() {
+        let plan = sample_plan();
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("parses");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn minimal_document_is_the_empty_plan() {
+        let plan = FaultPlan::from_json("{\"schema_version\": 1}").expect("parses");
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::empty());
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_with_context() {
+        for (doc, needle) in [
+            ("{}", "schema_version"),
+            ("{\"schema_version\": 2}", "unsupported"),
+            ("{\"schema_version\": 1, \"loss_rate\": 1.5}", "loss_rate"),
+            (
+                "{\"schema_version\": 1, \"flaps\": [{\"node\": 0, \"from_us\": 5, \"to_us\": 5}]}",
+                "empty interval",
+            ),
+            (
+                "{\"schema_version\": 1, \"link_events\": [{\"at_us\": 0, \"node\": 0, \
+                 \"dir\": \"Sideways\", \"scale\": 0.5}]}",
+                "bad dir",
+            ),
+            (
+                "{\"schema_version\": 1, \"link_events\": [{\"at_us\": 0, \"node\": 0, \
+                 \"dir\": \"Up\", \"scale\": 0.0}]}",
+                "scale",
+            ),
+            (
+                "{\"schema_version\": 1, \"stragglers\": [{\"worker\": 0, \"from_iter\": 2, \
+                 \"to_iter\": 2, \"factor\": 2.0}]}",
+                "iteration range",
+            ),
+            (
+                "{\"schema_version\": 1, \"recovery\": {\"timeout_us\": 0, \"max_retries\": 3}}",
+                "timeout",
+            ),
+        ] {
+            let err = FaultPlan::from_json(doc).expect_err(doc);
+            assert!(err.contains(needle), "{doc}: {err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn injector_timeline_is_time_sorted_and_single_pass() {
+        let mut inj = FaultInjector::new(&sample_plan(), 7);
+        let mut times = Vec::new();
+        loop {
+            let t = inj.next_change_time();
+            if t == SimTime::MAX {
+                break;
+            }
+            let change = inj.pop_due(t).expect("due change");
+            times.push((t, change));
+        }
+        assert_eq!(times.len(), 4);
+        assert!(times.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(
+            times[1].1,
+            LinkChange::FlapDown { node: 1 },
+            "flap down at 2s sits between the 1s degrade and 2.2s restore"
+        );
+        assert!(inj.pop_due(SimTime::MAX).is_none(), "timeline spent");
+    }
+
+    #[test]
+    fn pop_due_holds_future_changes_back() {
+        let mut inj = FaultInjector::new(&sample_plan(), 7);
+        assert_eq!(inj.next_change_time(), SimTime::from_micros(1_000_000));
+        assert!(inj.pop_due(SimTime::from_micros(999_999)).is_none());
+        assert!(inj.pop_due(SimTime::from_micros(1_000_000)).is_some());
+    }
+
+    #[test]
+    fn loss_stream_is_seed_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan {
+            loss_rate: 0.5,
+            ..FaultPlan::empty()
+        };
+        let draw = |seed: u64| -> Vec<bool> {
+            let mut inj = FaultInjector::new(&plan, seed);
+            (0..64).map(|_| inj.should_drop()).collect()
+        };
+        assert_eq!(draw(1), draw(1), "same seed, same stream");
+        assert_ne!(draw(1), draw(2), "different seed, different stream");
+        let hits = draw(3).iter().filter(|&&d| d).count();
+        assert!(
+            (16..=48).contains(&hits),
+            "rate roughly honoured: {hits}/64"
+        );
+    }
+
+    #[test]
+    fn straggler_scale_applies_only_in_range() {
+        let inj = FaultInjector::new(&sample_plan(), 1);
+        assert_eq!(inj.compute_scale(0, 2), 1.0);
+        assert_eq!(inj.compute_scale(0, 3), 2.5);
+        assert_eq!(inj.compute_scale(0, 4), 2.5);
+        assert_eq!(inj.compute_scale(0, 5), 1.0);
+        assert_eq!(inj.compute_scale(1, 3), 1.0, "other workers unaffected");
+        assert!(inj.has_straggler(0));
+        assert!(!inj.has_straggler(1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RecoveryPolicy {
+            timeout_us: 100,
+            max_retries: 4,
+        };
+        assert_eq!(p.backoff(1), SimTime::from_micros(100));
+        assert_eq!(p.backoff(2), SimTime::from_micros(200));
+        assert_eq!(p.backoff(3), SimTime::from_micros(400));
+        // Deep attempts clamp the shift instead of overflowing.
+        assert_eq!(p.backoff(80), SimTime::from_micros(100 << 20));
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        let inj = FaultInjector::new(&plan, 9);
+        assert_eq!(inj.next_change_time(), SimTime::MAX);
+        assert!(!inj.has_loss());
+        assert_eq!(inj.compute_scale(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn injector_rejects_invalid_plans() {
+        let plan = FaultPlan {
+            loss_rate: 2.0,
+            ..FaultPlan::empty()
+        };
+        FaultInjector::new(&plan, 1);
+    }
+}

@@ -19,6 +19,11 @@
 //! --partition-mb F  --credit-mb F    (bytescheduler only)
 //! --fabric fifo|fluid                                (fifo)
 //! --iters N --warmup N --seed N --jitter F
+//! --faults FILE     inject the fault plan in FILE (JSON per
+//!                   results/fault_plan.schema.json): link degradations
+//!                   and flaps, seeded transfer loss, stragglers; the
+//!                   run's outcome line then reports Completed /
+//!                   DegradedCompleted / Failed with retry counts
 //! --trace FILE      write a chrome://tracing JSON of the run
 //! --metrics FILE    record run telemetry: print the summary tables
 //!                   (per-worker stall breakdown, per-lane credit
@@ -141,6 +146,14 @@ fn main() {
         other => fail(&format!("unknown scheduler {other:?}")),
     };
 
+    if let Some(path) = args.0.get("faults") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read fault plan {path}: {e}")));
+        let plan = bs_faults::FaultPlan::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        cfg.faults = Some(plan);
+    }
+
     let trace_path = args.0.get("trace").cloned();
     cfg.record_trace = trace_path.is_some();
     let metrics_path = args.0.get("metrics").cloned();
@@ -175,6 +188,17 @@ fn main() {
         "wire bytes  {:>12} p2p, {} collective",
         r.p2p_bytes, r.collective_bytes
     );
+    if cfg.faults.is_some() {
+        use bs_runtime::RunOutcome;
+        let line = match &r.outcome {
+            RunOutcome::Completed => "Completed (no recovery needed)".to_string(),
+            RunOutcome::DegradedCompleted { retries, reroutes } => {
+                format!("DegradedCompleted ({retries} retries, {reroutes} reroutes)")
+            }
+            RunOutcome::Failed { reason } => format!("Failed: {reason}"),
+        };
+        println!("outcome     {line:>12}");
+    }
     if let (Some(path), Some(trace)) = (trace_path, &r.trace) {
         match std::fs::write(&path, trace.to_chrome_json()) {
             Ok(()) => println!(

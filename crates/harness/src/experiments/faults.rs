@@ -1,0 +1,284 @@
+//! Robustness under degraded fabrics: BS vs FIFO when the network
+//! misbehaves.
+//!
+//! The paper evaluates ByteScheduler on healthy fabrics; this experiment
+//! asks whether its credit-based pipelining survives unhealthy ones. It
+//! replays the committed fault fixture (`tests/fixtures/fault_plan.json`:
+//! a 2 s 4× degradation of worker 0's NIC, 0.1 % transfer loss, one 1.5×
+//! straggler) and its single-fault projections against VGG16 on PS at
+//! 25 Gbps, for both schedulers on both fabric models. Three questions:
+//!
+//! 1. **Degradation curve** — how much speed does each fault regime cost,
+//!    and does ByteScheduler keep its advantage over FIFO throughout?
+//!    (It should: loss retransmits re-enter the *priority* queue, so
+//!    recovery traffic competes like any other urgent partition.)
+//! 2. **Graceful completion** — every faulted run must end in
+//!    `DegradedCompleted` with bounded retries, never a deadlock.
+//! 3. **Re-tune trigger** (§3.5) — feeding the per-iteration throughput
+//!    into [`bs_tune::DriftDetector`] must fire during the bandwidth
+//!    shift on faulted runs and stay silent on clean ones, the signal
+//!    that restarts Bayesian Optimization when the environment changes.
+
+use bs_faults::FaultPlan;
+use bs_net::FabricModel;
+use bs_runtime::{run, RunOutcome, SchedulerKind};
+use bs_tune::DriftDetector;
+use serde::Serialize;
+
+use crate::fidelity::Fidelity;
+use crate::report::{fmt_speed, fmt_speedup, Table};
+use crate::setups::Setup;
+
+/// Link bandwidth of the study.
+pub const GBPS: f64 = 25.0;
+/// Total GPUs (8 per machine ⇒ 4 worker machines + 4 PS shards).
+pub const GPUS: u64 = 32;
+/// Fixed ByteScheduler knobs (δ, c) — tuned values for this setup.
+pub const KNOBS: (u64, u64) = (4_000_000, 16_000_000);
+
+/// Loads the committed fault-plan fixture the CI smoke and `tests/faults.rs`
+/// also replay.
+pub fn fixture_plan() -> FaultPlan {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/fault_plan.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fault fixture {} ({e})", path.display()));
+    FaultPlan::from_json(&text).expect("committed fixture parses")
+}
+
+/// One (fabric, condition, scheduler) measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultRow {
+    /// Fabric model label ("fifo" / "fluid").
+    pub fabric: &'static str,
+    /// Fault condition label.
+    pub condition: &'static str,
+    /// Scheduler label.
+    pub scheduler: &'static str,
+    /// Training speed under the condition.
+    pub speed: f64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Drift-detector behaviour on clean vs faulted throughput signals.
+#[derive(Clone, Debug, Serialize)]
+pub struct DriftOutcome {
+    /// Re-tune triggers on the clean run (must be 0).
+    pub clean_drifts: u64,
+    /// Re-tune triggers on the fully-faulted run.
+    pub faulted_drifts: u64,
+    /// Measured iteration (0-based, post-warmup) of the first trigger.
+    pub first_drift_iter: Option<usize>,
+}
+
+/// Full robustness-study results.
+#[derive(Clone, Debug, Serialize)]
+pub struct Faults {
+    /// The degradation grid.
+    pub rows: Vec<FaultRow>,
+    /// §3.5 re-tune trigger check.
+    pub drift: DriftOutcome,
+}
+
+/// The fault conditions, weakest to strongest: each is a projection of
+/// the committed fixture so the study has one source of truth.
+fn conditions() -> Vec<(&'static str, Option<FaultPlan>)> {
+    let plan = fixture_plan();
+    vec![
+        ("clean", None),
+        (
+            "0.1% loss",
+            Some(FaultPlan {
+                link_events: Vec::new(),
+                stragglers: Vec::new(),
+                ..plan.clone()
+            }),
+        ),
+        (
+            "4x degrade",
+            Some(FaultPlan {
+                loss_rate: 0.0,
+                stragglers: Vec::new(),
+                ..plan.clone()
+            }),
+        ),
+        ("full plan", Some(plan)),
+    ]
+}
+
+/// Feeds a run's post-warmup iteration throughputs into a fresh
+/// [`DriftDetector`]; returns (drifts fired, first firing index).
+fn drift_scan(iter_times: &[f64]) -> (u64, Option<usize>) {
+    let mut det = DriftDetector::paper_default();
+    let mut first = None;
+    for (i, &dt) in iter_times.iter().enumerate() {
+        if det.observe(1.0 / dt) && first.is_none() {
+            first = Some(i);
+        }
+    }
+    (det.drifts(), first)
+}
+
+/// Runs the grid: 2 fabrics × 4 conditions × 2 schedulers, VGG16 PS TCP.
+pub fn run_experiment(fid: Fidelity) -> Faults {
+    let setup = Setup::MxnetPsTcp;
+    let mut rows = Vec::new();
+    let mut clean_times = Vec::new();
+    let mut faulted_times = Vec::new();
+    for (fabric, flabel) in [
+        (FabricModel::SerialFifo, "fifo"),
+        (FabricModel::FairShare, "fluid"),
+    ] {
+        for (condition, plan) in conditions() {
+            for sched in [
+                SchedulerKind::Baseline,
+                SchedulerKind::ByteScheduler {
+                    partition: KNOBS.0,
+                    credit: KNOBS.1,
+                },
+            ] {
+                let mut cfg = setup.config(bs_models::zoo::vgg16(), GPUS, GBPS, sched);
+                fid.apply(&mut cfg);
+                cfg.fabric = fabric;
+                cfg.faults = plan.clone();
+                let r = run(&cfg);
+                if flabel == "fifo" && r.scheduler == "ByteScheduler" {
+                    if condition == "clean" {
+                        clean_times = r.iter_times.clone();
+                    } else if condition == "full plan" {
+                        faulted_times = r.iter_times.clone();
+                    }
+                }
+                rows.push(FaultRow {
+                    fabric: flabel,
+                    condition,
+                    scheduler: r.scheduler,
+                    speed: r.speed,
+                    outcome: r.outcome,
+                });
+            }
+        }
+    }
+    let (clean_drifts, _) = drift_scan(&clean_times);
+    let (faulted_drifts, first_drift_iter) = drift_scan(&faulted_times);
+    Faults {
+        rows,
+        drift: DriftOutcome {
+            clean_drifts,
+            faulted_drifts,
+            first_drift_iter,
+        },
+    }
+}
+
+fn outcome_cell(o: &RunOutcome) -> String {
+    match o {
+        RunOutcome::Completed => "completed".into(),
+        RunOutcome::DegradedCompleted { retries, reroutes } => {
+            format!("degraded ({retries} retries, {reroutes} reroutes)")
+        }
+        RunOutcome::Failed { reason } => format!("FAILED: {reason}"),
+    }
+}
+
+/// Renders the degradation table and the drift-trigger summary.
+pub fn render(f: &Faults) -> String {
+    let mut t = Table::new(
+        format!(
+            "robustness — VGG16, PS TCP, {GPUS} GPUs @ {GBPS:.0} Gbps, committed fault fixture"
+        ),
+        &["fabric", "condition", "FIFO", "BS", "BS gain", "BS outcome"],
+    );
+    for fabric in ["fifo", "fluid"] {
+        for (condition, _) in conditions() {
+            let find = |sched: &str| {
+                f.rows
+                    .iter()
+                    .find(|r| {
+                        r.fabric == fabric && r.condition == condition && r.scheduler == sched
+                    })
+                    .expect("grid is complete")
+            };
+            let base = find("Baseline");
+            let bs = find("ByteScheduler");
+            t.row(vec![
+                fabric.into(),
+                condition.into(),
+                fmt_speed(base.speed),
+                fmt_speed(bs.speed),
+                fmt_speedup(bs.speed / base.speed - 1.0),
+                outcome_cell(&bs.outcome),
+            ]);
+        }
+    }
+    let drift = format!(
+        "re-tune trigger (§3.5): clean run fired {} drifts; faulted run fired {}{}\n",
+        f.drift.clean_drifts,
+        f.drift.faulted_drifts,
+        f.drift
+            .first_drift_iter
+            .map(|i| format!(" (first at measured iteration {i})"))
+            .unwrap_or_default(),
+    );
+    format!("{}\n{drift}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulted_runs_degrade_gracefully_and_bs_keeps_winning() {
+        let f = run_experiment(Fidelity::quick());
+        for r in &f.rows {
+            assert!(
+                !matches!(r.outcome, RunOutcome::Failed { .. }),
+                "{} / {} / {}: failed",
+                r.fabric,
+                r.condition,
+                r.scheduler
+            );
+            if r.condition == "clean" {
+                assert_eq!(r.outcome, RunOutcome::Completed);
+            }
+            assert!(r.speed > 0.0);
+        }
+        // BS retains its advantage over FIFO under every fault regime.
+        for fabric in ["fifo", "fluid"] {
+            for (condition, _) in conditions() {
+                let get = |s: &str| {
+                    f.rows
+                        .iter()
+                        .find(|r| {
+                            r.fabric == fabric && r.condition == condition && r.scheduler == s
+                        })
+                        .unwrap()
+                        .speed
+                };
+                assert!(
+                    get("ByteScheduler") > get("Baseline"),
+                    "{fabric}/{condition}: BS lost its edge"
+                );
+            }
+        }
+        // Loss-bearing conditions actually exercised recovery.
+        let lossy_retried = f.rows.iter().any(
+            |r| matches!(r.outcome, RunOutcome::DegradedCompleted { retries, .. } if retries > 0),
+        );
+        assert!(lossy_retried, "no run retried anything");
+    }
+
+    #[test]
+    fn drift_detector_fires_only_under_faults() {
+        let f = run_experiment(Fidelity::quick());
+        assert_eq!(
+            f.drift.clean_drifts, 0,
+            "clean run must not trigger re-tuning"
+        );
+        assert!(
+            f.drift.faulted_drifts > 0,
+            "the 4x degradation must trigger re-tuning"
+        );
+    }
+}

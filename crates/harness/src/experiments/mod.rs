@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod cluster;
 pub mod coschedule;
 pub mod dynamic;
+pub mod faults;
 pub mod fig02;
 pub mod fig04;
 pub mod fig09;

@@ -6,7 +6,7 @@ use bs_sim::SimTime;
 use serde::Serialize;
 
 use crate::fluid::FluidNetwork;
-use crate::network::{NetEvent, Network, NodeId, TransferId};
+use crate::network::{DroppedTransfer, NetEvent, Network, NodeId, TransferId};
 use crate::transport::NetConfig;
 
 /// Which sharing discipline the point-to-point fabric uses.
@@ -192,6 +192,36 @@ impl Fabric {
         match self {
             Fabric::Fifo(n) => n.take_xray(),
             Fabric::Fluid(n) => n.take_xray(),
+        }
+    }
+
+    /// Rescales one NIC direction's capacity to `scale` × nominal at
+    /// `now`. In-flight transfers keep their progress: the FIFO fabric
+    /// stretches the occupant's remaining occupancy, the fluid fabric
+    /// refits all flow rates. Use [`Self::kill_port`] for outages — a
+    /// zero scale is rejected.
+    pub fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        match self {
+            Fabric::Fifo(n) => n.set_port_scale(now, node, up, scale),
+            Fabric::Fluid(n) => n.set_port_scale(now, node, up, scale),
+        }
+    }
+
+    /// Flaps `node` down at `now`, killing the transfers currently on its
+    /// ports; returns them so the caller can recover (reclaim credit,
+    /// retransmit). Transfers past wire release / drain still deliver.
+    pub fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        match self {
+            Fabric::Fifo(n) => n.kill_port(now, node),
+            Fabric::Fluid(n) => n.kill_port(now, node),
+        }
+    }
+
+    /// Brings `node` back up at `now` and resumes service through it.
+    pub fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        match self {
+            Fabric::Fifo(n) => n.revive_port(now, node),
+            Fabric::Fluid(n) => n.revive_port(now, node),
         }
     }
 

@@ -23,8 +23,23 @@ use std::collections::VecDeque;
 use bs_sim::SimTime;
 use bs_telemetry::{MetricSet, TimeSeries};
 
-use crate::network::{CompletedTransfer, NetEvent, NodeId, TransferId, WireSpan, WireXrayRecord};
+use crate::network::{
+    CompletedTransfer, DroppedTransfer, NetEvent, NodeId, TransferId, WireSpan, WireXrayRecord,
+};
 use crate::transport::NetConfig;
+
+/// Fault-injection state, allocated lazily on the first fault hook call
+/// so unfaulted runs take exactly the original code paths.
+#[derive(Clone, Debug)]
+struct FaultState {
+    /// Per-port capacity scale (up ports 0..n, down ports n..2n),
+    /// 1.0 = nominal. A flapped-down node has both scales forced to zero
+    /// in the allocator (its flows were killed; late retransmits toward
+    /// it idle at rate 0 until the revive).
+    port_scale: Vec<f64>,
+    /// Nodes currently flapped down.
+    down: Vec<bool>,
+}
 
 #[derive(Clone, Debug)]
 struct Flow {
@@ -87,6 +102,8 @@ pub struct FluidNetwork {
     scratch_finished: Vec<TransferId>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<FluidTelemetry>,
+    /// `Some` only once a fault hook has been exercised.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Metric series for the fluid fabric. Per-port utilisation is the
@@ -126,6 +143,7 @@ impl FluidNetwork {
             scratch_ids: Vec::new(),
             scratch_finished: Vec::new(),
             telem: None,
+            faults: None,
         }
     }
 
@@ -411,6 +429,95 @@ impl FluidNetwork {
         self.integrate_to(now);
     }
 
+    /// Lazily materialises the fault state (all scales 1.0, nothing down).
+    fn fault_state(&mut self) -> &mut FaultState {
+        let ports = 2 * self.num_nodes;
+        let n = self.num_nodes;
+        self.faults.get_or_insert_with(|| {
+            Box::new(FaultState {
+                port_scale: vec![1.0; ports],
+                down: vec![false; n],
+            })
+        })
+    }
+
+    /// Rescales one NIC direction's capacity to `scale` × nominal at
+    /// `now`; all flow rates are refitted immediately (in-flight flows
+    /// keep their accumulated progress). Use [`Self::kill_port`] for
+    /// outages — a zero scale is rejected.
+    pub fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be finite and > 0 (got {scale}); use kill_port for outages"
+        );
+        assert!(node.0 < self.num_nodes, "node {node:?} out of range");
+        self.integrate_to(now);
+        let n = self.num_nodes;
+        let port = if up { node.0 } else { n + node.0 };
+        self.fault_state().port_scale[port] = scale;
+        self.reallocate();
+    }
+
+    /// Flaps `node` down at `now`: every active flow through either of
+    /// its ports is killed — removed without delivering — and returned so
+    /// the caller can recover them (reclaim credit, retransmit). Flows
+    /// already drained but awaiting delivery still deliver. New flows
+    /// submitted toward the node idle at rate 0 until [`Self::revive_port`].
+    pub fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        assert!(node.0 < self.num_nodes, "node {node:?} out of range");
+        self.integrate_to(now);
+        self.fault_state().down[node.0] = true;
+        let mut victims = std::mem::take(&mut self.scratch_finished);
+        victims.clear();
+        victims.extend(self.active.iter().copied().filter(|id| {
+            let f = self.flows[id.0 as usize].as_ref().expect("active flow");
+            f.src == node || f.dst == node
+        }));
+        let mut dropped = Vec::with_capacity(victims.len());
+        for id in victims.drain(..) {
+            let f = self.flows[id.0 as usize].take().expect("victim flow");
+            self.active.retain(|x| *x != id);
+            self.free_slots.push(id.0);
+            self.port_flows[f.src.0].retain(|x| *x != id);
+            self.port_flows[self.num_nodes + f.dst.0].retain(|x| *x != id);
+            if let Some(trace) = &mut self.trace {
+                trace.push((f.tag, f.src.0, f.dst.0, f.started_at, now));
+            }
+            if let Some(xray) = &mut self.xray {
+                // Killed at now; the retransmit shows up as a separate
+                // record.
+                xray.push((
+                    f.tag,
+                    f.src.0,
+                    f.dst.0,
+                    f.started_at,
+                    f.started_at,
+                    now,
+                    now,
+                ));
+            }
+            dropped.push(DroppedTransfer {
+                tag: f.tag,
+                src: f.src,
+                dst: f.dst,
+                bytes: f.bytes,
+            });
+        }
+        self.scratch_finished = victims;
+        self.reallocate();
+        dropped
+    }
+
+    /// Brings `node` back up at `now`; stalled flows pick their fair
+    /// rates back up. Capacity scales set before or during the outage
+    /// persist.
+    pub fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        assert!(node.0 < self.num_nodes, "node {node:?} out of range");
+        self.integrate_to(now);
+        self.fault_state().down[node.0] = false;
+        self.reallocate();
+    }
+
     /// Integrates `remaining -= rate · dt` for all active flows.
     fn integrate_to(&mut self, now: SimTime) {
         if now <= self.last_update {
@@ -439,6 +546,16 @@ impl FluidNetwork {
         let ports = 2 * self.num_nodes;
         self.scratch_port_cap.clear();
         self.scratch_port_cap.resize(ports, cap);
+        if let Some(fs) = &self.faults {
+            for (p, c) in self.scratch_port_cap.iter_mut().enumerate() {
+                let node = p % self.num_nodes;
+                *c = if fs.down[node] {
+                    0.0
+                } else {
+                    cap * fs.port_scale[p]
+                };
+            }
+        }
         self.scratch_port_live.clear();
         self.scratch_port_live.resize(ports, 0);
         if self.scratch_frozen.len() < self.flows.len() {
@@ -638,6 +755,53 @@ mod tests {
         // Both now at 0.5 GB/s with 1 MB remaining each: finish at 3 ms.
         assert_eq!(done[0].1, SimTime::from_millis(3));
         assert_eq!(done[1].1, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn degraded_port_slows_flows_mid_flight() {
+        let mut n = net(2);
+        // 2 MB at 1 GB/s: would drain at 2 ms.
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(2), 1);
+        // At 1 ms (1 MB left) the downlink degrades 4×: the remaining
+        // 1 MB trickles at 0.25 GB/s → 4 more ms, drain at 5 ms.
+        n.advance(SimTime::from_millis(1));
+        n.set_port_scale(SimTime::from_millis(1), NodeId(1), false, 0.25);
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(1, SimTime::from_millis(5))]);
+    }
+
+    #[test]
+    fn kill_port_drops_flows_and_revive_resumes_stalled_ones() {
+        let mut n = net(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(2), 1);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(2), mb(2), 2);
+        // Incast at 0.5 GB/s each; node 2 flaps at 1 ms with 1.5 MB left
+        // in each flow.
+        n.advance(SimTime::from_millis(1));
+        let dropped = n.kill_port(SimTime::from_millis(1), NodeId(2));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[0].tag, 1);
+        assert_eq!(dropped[1].tag, 2);
+        assert!(n.is_idle(), "killed flows vacate the fabric");
+        // A retransmit submitted during the outage idles at rate 0...
+        n.submit(SimTime::from_millis(2), NodeId(0), NodeId(2), mb(1), 3);
+        assert!(n.next_event_time().is_never());
+        // ...and picks up the full rate on revive at 10 ms.
+        n.revive_port(SimTime::from_millis(10), NodeId(2));
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(3, SimTime::from_millis(11))]);
+    }
+
+    #[test]
+    fn kill_port_spares_flows_not_touching_the_node() {
+        let mut n = net(4);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(2), NodeId(3), mb(1), 2);
+        let dropped = n.kill_port(SimTime::ZERO, NodeId(1));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].tag, 1);
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(2, SimTime::from_millis(1))]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod transport;
 pub use fabric::{Fabric, FabricModel};
 pub use fluid::FluidNetwork;
 pub use network::{
-    CompletedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan, WireXrayRecord,
+    CompletedTransfer, DroppedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan,
+    WireXrayRecord,
 };
 pub use transport::{NetConfig, Transport};

@@ -56,6 +56,21 @@ pub struct CompletedTransfer {
     pub finished_at: SimTime,
 }
 
+/// A transfer that was killed mid-flight by a port outage
+/// ([`Network::kill_port`]): the payload never arrived and the caller
+/// must recover it (reclaim credit, retransmit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DroppedTransfer {
+    /// Caller-defined tag, passed through verbatim.
+    pub tag: u64,
+    /// Sender node.
+    pub src: NodeId,
+    /// Receiver node.
+    pub dst: NodeId,
+    /// Payload size.
+    pub bytes: u64,
+}
+
 #[derive(Clone, Debug)]
 struct Transfer {
     src: NodeId,
@@ -68,6 +83,27 @@ struct Transfer {
     started_at: SimTime,
     /// Submission instant, for xray recording.
     submitted_at: SimTime,
+    /// Scheduled wire-release instant (valid while on the wire); kept so
+    /// fault rescaling can find and move the `releases` entry.
+    release_at: SimTime,
+    /// Scheduled delivery instant (valid while on the wire).
+    deliver_at: SimTime,
+    /// Effective capacity scale the occupancy was computed at:
+    /// `min(up_scale[src], down_scale[dst])`, 1.0 when unfaulted.
+    eff: f64,
+}
+
+/// Fault-injection state, allocated lazily on the first fault hook call
+/// so unfaulted runs take exactly the original code paths.
+#[derive(Clone, Debug)]
+struct FaultState {
+    /// Per-node uplink capacity scale (1.0 = nominal).
+    up_scale: Vec<f64>,
+    /// Per-node downlink capacity scale.
+    down_scale: Vec<f64>,
+    /// Nodes currently flapped down: no transfer may start or continue
+    /// on either of their ports.
+    down: Vec<bool>,
 }
 
 /// One node's NIC state.
@@ -135,6 +171,8 @@ pub struct Network {
     down_busy: Vec<SimTime>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<NetTelemetry>,
+    /// `Some` only once a fault hook has been exercised.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Metric series for the FIFO fabric; each NIC direction is busy (1) or
@@ -186,6 +224,7 @@ impl Network {
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
             telem: None,
+            faults: None,
         }
     }
 
@@ -305,6 +344,9 @@ impl Network {
             started: false,
             started_at: SimTime::ZERO,
             submitted_at: now,
+            release_at: SimTime::ZERO,
+            deliver_at: SimTime::ZERO,
+            eff: 1.0,
         });
         self.nics[src.0].up_queues[dst.0].push_back(id);
         if let Some(t) = self.telem.as_mut() {
@@ -437,6 +479,9 @@ impl Network {
         if self.nics[src.0].up_current.is_some() {
             return;
         }
+        if self.port_down(src) {
+            return;
+        }
         let n = self.nics.len();
         let start = self.nics[src.0].rr_cursor;
         for k in 0..n {
@@ -445,6 +490,11 @@ impl Network {
                 continue;
             };
             if self.transfers[head.0 as usize].started {
+                continue;
+            }
+            if self.port_down(NodeId(dst)) {
+                // Down destination: hold the connection; a revive re-kicks
+                // every sender, so no waiter registration is needed.
                 continue;
             }
             if self.nics[dst].down_current.is_some() {
@@ -466,6 +516,9 @@ impl Network {
     /// phase-locked competitor starve the connection forever); senders
     /// with nothing left for this destination are dropped as stale.
     fn serve_down_waiters(&mut self, now: SimTime, dst: NodeId) {
+        if self.port_down(dst) {
+            return;
+        }
         let mut rotations = self.nics[dst.0].down_waiters.len();
         while self.nics[dst.0].down_current.is_none() && rotations > 0 {
             rotations -= 1;
@@ -475,6 +528,11 @@ impl Network {
             let head = self.nics[waiter.0].up_queues[dst.0].front().copied();
             match head {
                 Some(h) if !self.transfers[h.0 as usize].started => {
+                    if self.port_down(waiter) {
+                        // Down sender: drop the reservation; a revive
+                        // re-kicks every sender.
+                        continue;
+                    }
                     if self.nics[waiter.0].up_current.is_none() {
                         self.nics[waiter.0].rr_cursor = (dst.0 + 1) % self.nics.len();
                         self.start(now, h);
@@ -494,11 +552,27 @@ impl Network {
 
     fn start(&mut self, now: SimTime, id: TransferId) {
         let bytes = self.transfers[id.0 as usize].bytes;
-        let release = now + self.cfg.occupancy(bytes);
+        let (tsrc, tdst) = {
+            let t = &self.transfers[id.0 as usize];
+            (t.src, t.dst)
+        };
+        let eff = self.effective_scale(tsrc, tdst);
+        let occ = self.cfg.occupancy(bytes);
+        // Unfaulted paths keep the exact integer arithmetic; only a
+        // degraded link pays the float division.
+        let occ = if eff == 1.0 {
+            occ
+        } else {
+            SimTime::from_secs_f64(occ.as_secs_f64() / eff)
+        };
+        let release = now + occ;
         let deliver = release + self.cfg.transport.latency;
         let t = &mut self.transfers[id.0 as usize];
         t.started = true;
         t.started_at = now;
+        t.release_at = release;
+        t.deliver_at = deliver;
+        t.eff = eff;
         let (src, dst) = (t.src, t.dst);
         debug_assert!(self.nics[src.0].up_current.is_none());
         debug_assert!(self.nics[dst.0].down_current.is_none());
@@ -514,6 +588,171 @@ impl Network {
             t.up_util[src.0].record(now, 1.0);
             t.down_util[dst.0].record(now, 1.0);
         }
+    }
+
+    /// True when `node` is currently flapped down.
+    fn port_down(&self, node: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.down[node.0])
+    }
+
+    /// Effective capacity scale for a `src → dst` occupancy.
+    fn effective_scale(&self, src: NodeId, dst: NodeId) -> f64 {
+        match &self.faults {
+            None => 1.0,
+            Some(f) => f.up_scale[src.0].min(f.down_scale[dst.0]),
+        }
+    }
+
+    /// Lazily materialises the fault state (all scales 1.0, nothing down).
+    fn fault_state(&mut self) -> &mut FaultState {
+        let n = self.nics.len();
+        self.faults.get_or_insert_with(|| {
+            Box::new(FaultState {
+                up_scale: vec![1.0; n],
+                down_scale: vec![1.0; n],
+                down: vec![false; n],
+            })
+        })
+    }
+
+    /// Rescales one NIC direction's capacity to `scale` × nominal at
+    /// `now`. The direction's current occupant (if any) keeps its
+    /// progress: the remaining occupancy stretches or shrinks by
+    /// `old_eff / new_eff`. Use [`Self::kill_port`] for outages — a zero
+    /// scale is rejected.
+    pub fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be finite and > 0 (got {scale}); use kill_port for outages"
+        );
+        let fs = self.fault_state();
+        let vec = if up {
+            &mut fs.up_scale
+        } else {
+            &mut fs.down_scale
+        };
+        if vec[node.0] == scale {
+            return;
+        }
+        vec[node.0] = scale;
+        // FIFO service: at most one transfer occupies the direction.
+        let occupant = if up {
+            self.nics[node.0].up_current
+        } else {
+            self.nics[node.0].down_current
+        };
+        let Some(id) = occupant else { return };
+        let (src, dst, old_eff, release_at, deliver_at) = {
+            let t = &self.transfers[id.0 as usize];
+            (t.src, t.dst, t.eff, t.release_at, t.deliver_at)
+        };
+        let new_eff = self.effective_scale(src, dst);
+        if new_eff == old_eff {
+            return;
+        }
+        let left = release_at.saturating_sub(now);
+        let left = SimTime::from_secs_f64(left.as_secs_f64() * old_eff / new_eff);
+        let release = now + left;
+        let deliver = release + self.cfg.transport.latency;
+        let had_release = self.releases.remove(&(release_at, id));
+        let had_delivery = self.deliveries.remove(&(deliver_at, id));
+        debug_assert!(had_release && had_delivery, "occupant must be scheduled");
+        self.releases.insert((release, id));
+        self.deliveries.insert((deliver, id));
+        let t = &mut self.transfers[id.0 as usize];
+        t.release_at = release;
+        t.deliver_at = deliver;
+        t.eff = new_eff;
+        self.next_event.set(None);
+    }
+
+    /// Flaps `node` down at `now`: both its NIC directions stop carrying
+    /// traffic, and the transfers currently occupying them are killed —
+    /// removed from the wire without delivering. Returns the killed
+    /// transfers so the caller can recover them (reclaim credit,
+    /// retransmit). Transfers already past wire release (in the latency
+    /// phase) still deliver: the receiver's stack accepted them.
+    /// Queued transfers stay queued until [`Self::revive_port`].
+    pub fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        self.fault_state().down[node.0] = true;
+        let victims: Vec<TransferId> =
+            [self.nics[node.0].up_current, self.nics[node.0].down_current]
+                .into_iter()
+                .flatten()
+                .collect();
+        let mut dropped = Vec::with_capacity(victims.len());
+        for id in victims {
+            let (src, dst, bytes, tag, started_at, release_at, deliver_at) = {
+                let t = &self.transfers[id.0 as usize];
+                (
+                    t.src,
+                    t.dst,
+                    t.bytes,
+                    t.tag,
+                    t.started_at,
+                    t.release_at,
+                    t.deliver_at,
+                )
+            };
+            let had_release = self.releases.remove(&(release_at, id));
+            let had_delivery = self.deliveries.remove(&(deliver_at, id));
+            debug_assert!(
+                had_release && had_delivery,
+                "on-wire victim must be scheduled"
+            );
+            self.nics[src.0].up_current = None;
+            self.nics[dst.0].down_current = None;
+            let popped = self.nics[src.0].up_queues[dst.0].pop_front();
+            debug_assert_eq!(popped, Some(id));
+            // The aborted occupancy still held the wire until now.
+            let occ = now.saturating_sub(started_at);
+            self.up_busy[src.0] += occ;
+            self.down_busy[dst.0] += occ;
+            if let Some(trace) = &mut self.trace {
+                trace.push((tag, src.0, dst.0, started_at, now));
+            }
+            if let Some(xray) = &mut self.xray {
+                // A killed transfer releases and "delivers" (dies) at now;
+                // the retransmit shows up as a separate record.
+                xray.push((
+                    tag,
+                    src.0,
+                    dst.0,
+                    self.transfers[id.0 as usize].submitted_at,
+                    started_at,
+                    now,
+                    now,
+                ));
+            }
+            if let Some(te) = self.telem.as_mut() {
+                te.active.step(now, -1.0);
+                te.up_util[src.0].record(now, 0.0);
+                te.down_util[dst.0].record(now, 0.0);
+            }
+            dropped.push(DroppedTransfer {
+                tag,
+                src,
+                dst,
+                bytes,
+            });
+            // The surviving side's port freed: let it take other work
+            // (guards skip the down node).
+            self.try_start(now, src);
+            self.serve_down_waiters(now, dst);
+        }
+        self.next_event.set(None);
+        dropped
+    }
+
+    /// Brings `node` back up at `now` and restarts service on every
+    /// connection the outage was blocking. Capacity scales set before or
+    /// during the outage persist.
+    pub fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        self.fault_state().down[node.0] = false;
+        for s in 0..self.nics.len() {
+            self.try_start(now, NodeId(s));
+        }
+        self.next_event.set(None);
     }
 
     /// Number of transfers currently occupying wires.
@@ -807,6 +1046,90 @@ mod tests {
             ]
         );
         assert!(n.take_xray().is_empty(), "take drains the recorder");
+    }
+
+    #[test]
+    fn degraded_uplink_stretches_the_occupant_mid_flight() {
+        let mut n = net(2);
+        // 1 MB at 1e9 B/s + 100 µs overhead: release at 1.1 ms unfaulted.
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 7);
+        // At 0.5 ms, 0.6 ms of occupancy remains; a 4× degradation
+        // stretches it to 2.4 ms → release at 2.9 ms.
+        n.advance(SimTime::from_micros(500));
+        n.set_port_scale(SimTime::from_micros(500), NodeId(0), true, 0.25);
+        assert_eq!(n.next_event_time(), SimTime::from_micros(2_900));
+        // Restoring mid-flight shrinks the remainder: at 1.9 ms, 1.0 ms
+        // remains at 0.25× ≡ 0.25 ms at full rate → release at 2.15 ms.
+        n.advance(SimTime::from_micros(1_900));
+        n.set_port_scale(SimTime::from_micros(1_900), NodeId(0), true, 1.0);
+        assert_eq!(n.next_event_time(), SimTime::from_micros(2_150));
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(7, SimTime::from_micros(2_150))]);
+    }
+
+    #[test]
+    fn degraded_link_slows_new_transfers() {
+        let mut n = net(2);
+        n.set_port_scale(SimTime::ZERO, NodeId(1), false, 0.5);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        // Occupancy doubles: (100 µs + 1 ms) / 0.5 = 2.2 ms.
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(1, SimTime::from_micros(2_200))]);
+    }
+
+    #[test]
+    fn kill_port_drops_in_flight_and_revive_restarts_queued() {
+        let mut n = net(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(2), mb(1), 2);
+        // Node 2 flaps at 0.3 ms: tag 1 (on the wire) is killed; tag 2
+        // (queued behind the busy downlink) stays queued.
+        let dropped = n.kill_port(SimTime::from_micros(300), NodeId(2));
+        assert_eq!(
+            dropped,
+            vec![DroppedTransfer {
+                tag: 1,
+                src: NodeId(0),
+                dst: NodeId(2),
+                bytes: mb(1),
+            }]
+        );
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.queued(), 1);
+        // Nothing can start while the node is down.
+        assert!(n.next_event_time().is_never());
+        // Revive at 10 ms: tag 2 starts and completes 1.1 ms later.
+        n.revive_port(SimTime::from_millis(10), NodeId(2));
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(2, SimTime::from_micros(11_100))]);
+    }
+
+    #[test]
+    fn kill_port_lets_the_survivor_take_other_work() {
+        let mut n = net(3);
+        // 0 → 1 occupies node 0's uplink; 0 → 2 queues behind it.
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(10), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(1), 2);
+        // Node 1 flaps: the killed transfer frees node 0's uplink, which
+        // immediately starts the transfer to the healthy node 2.
+        let dropped = n.kill_port(SimTime::from_micros(200), NodeId(1));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(n.in_flight(), 1);
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(2, SimTime::from_micros(1_300))]);
+    }
+
+    #[test]
+    fn latency_phase_transfers_survive_a_flap() {
+        let mut n = net_lat(2);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        // Past release (1.1 ms) but before delivery (1.5 ms): the stack
+        // accepted the message, so a flap must not kill it.
+        n.advance(SimTime::from_micros(1_200));
+        let dropped = n.kill_port(SimTime::from_micros(1_200), NodeId(1));
+        assert!(dropped.is_empty());
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(1, SimTime::from_micros(1_500))]);
     }
 
     #[test]

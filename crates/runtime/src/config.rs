@@ -177,6 +177,12 @@ pub struct WorldConfig {
     /// A co-tenant's traffic contending on this job's NICs (§7 "shared
     /// network with congestion"). PS runs only.
     pub background: Option<BackgroundLoad>,
+    /// Deterministic fault schedule for this run: link degradations and
+    /// flaps (PS fabrics), per-transfer Bernoulli loss, and worker
+    /// stragglers, recovered per the plan's
+    /// [`bs_faults::RecoveryPolicy`]. `None` — and the empty plan — leave
+    /// every run bit-identical to a fault-free one.
+    pub faults: Option<bs_faults::FaultPlan>,
     /// Record an execution trace (compute ops, wire occupancies,
     /// collectives) into [`crate::RunResult::trace`], exportable to
     /// `chrome://tracing` via `bs_sim::Trace::to_chrome_json`.
@@ -231,6 +237,7 @@ impl WorldConfig {
             per_tensor_partition: None,
             priority_override: None,
             background: None,
+            faults: None,
             record_trace: false,
             record_metrics: false,
             record_xray: false,

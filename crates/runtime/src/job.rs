@@ -17,14 +17,15 @@ use bs_core::{
     WorkItem,
 };
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
-use bs_net::{Fabric, NetEvent, NodeId, WireSpan, WireXrayRecord};
+use bs_faults::{FaultInjector, FaultPlan, LinkChange, LinkDir};
+use bs_net::{DroppedTransfer, Fabric, NetEvent, NodeId, WireSpan, WireXrayRecord};
 use bs_sim::{SimRng, SimTime, Trace};
 use bs_telemetry::MetricSet;
 use bs_xray::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog, XrayReport};
 
 use crate::config::{Arch, SchedulerKind, WorldConfig};
 use crate::plugin::{ArPluginState, PsPluginState};
-use crate::result::RunResult;
+use crate::result::{RunOutcome, RunResult};
 use crate::token::Token;
 use crate::traffic::{is_burst_tag, BurstSource, BG_TAG};
 
@@ -194,6 +195,55 @@ pub struct JobState {
     sched_scratch: Vec<WorkItem>,
     /// Causal-tracing state (`None` unless `record_xray` was set).
     xray: Option<JobXray>,
+    /// Fault injection and loss recovery (`None` without a fault plan).
+    faults: Option<Box<JobFaults>>,
+}
+
+/// A lost partition waiting out its retransmit backoff.
+#[derive(Clone, Copy, Debug)]
+struct LostPart {
+    token: u64,
+    bytes: u64,
+}
+
+/// Fault-injection cursor plus the recovery state machine: lost
+/// partitions sit in `pending` keyed by a monotonic sequence number until
+/// their backoff `timers` fire, then re-enter the scheduler under the
+/// same token. `attempts` is the per-partition retry ledger that enforces
+/// the plan's retry cap; exceeding it sets `failed` and aborts the run
+/// with [`RunOutcome::Failed`].
+struct JobFaults {
+    injector: FaultInjector,
+    /// Pending backoff timers, earliest first; `seq` breaks ties.
+    timers: std::collections::BTreeSet<(SimTime, u64)>,
+    /// `seq` → the lost partition its timer will resubmit.
+    pending: std::collections::HashMap<u64, LostPart>,
+    next_seq: u64,
+    /// token (or collective tag) → retransmit attempts so far. Cleared
+    /// on successful delivery.
+    attempts: std::collections::HashMap<u64, u32>,
+    retries: u64,
+    reroutes: u64,
+    dropped_bytes: u64,
+    reclaimed_bytes: u64,
+    failed: Option<String>,
+}
+
+impl JobFaults {
+    fn new(plan: &FaultPlan, seed: u64) -> JobFaults {
+        JobFaults {
+            injector: FaultInjector::new(plan, seed),
+            timers: std::collections::BTreeSet::new(),
+            pending: std::collections::HashMap::new(),
+            next_seq: 0,
+            attempts: std::collections::HashMap::new(),
+            retries: 0,
+            reroutes: 0,
+            dropped_bytes: 0,
+            reclaimed_bytes: 0,
+            failed: None,
+        }
+    }
 }
 
 /// Per-job causal-tracing state: one [`PartRecord`] per submitted
@@ -461,6 +511,44 @@ impl JobState {
             );
             BurstSource::new(bg, cfg.seed ^ 0xB6_0000)
         });
+        let faults = cfg.faults.as_ref().map(|plan| {
+            if let Err(e) = plan.validate() {
+                panic!("invalid fault plan: {e}");
+            }
+            if matches!(cfg.arch, Arch::AllReduce { .. }) {
+                assert!(
+                    plan.link_events.is_empty() && plan.flaps.is_empty(),
+                    "link faults target the p2p fabric; all-reduce runs model \
+                     loss and stragglers only"
+                );
+            }
+            for e in &plan.link_events {
+                assert!(
+                    e.node < nodes.len(),
+                    "link event node {} outside this job's {} fabric nodes",
+                    e.node,
+                    nodes.len()
+                );
+            }
+            for f in &plan.flaps {
+                assert!(
+                    f.node < nodes.len(),
+                    "flap node {} outside this job's {} fabric nodes",
+                    f.node,
+                    nodes.len()
+                );
+            }
+            for s in &plan.stragglers {
+                assert!(
+                    s.worker < cfg.num_workers,
+                    "straggler worker {} outside this job's {} workers",
+                    s.worker,
+                    cfg.num_workers
+                );
+                engines[s.worker].add_compute_scale(s.from_iter, s.to_iter, s.factor);
+            }
+            Box::new(JobFaults::new(plan, cfg.seed))
+        });
         JobState {
             num_workers: cfg.num_workers,
             num_servers,
@@ -482,6 +570,7 @@ impl JobState {
             ar_next_batch: 0,
             sched_scratch: Vec::new(),
             xray,
+            faults,
         }
     }
 
@@ -514,11 +603,19 @@ impl JobState {
         }
     }
 
-    /// True once every worker retired all its iterations.
+    /// True once every worker retired all its iterations — or the run
+    /// failed (recovery exhausted its retry budget) and must stop.
     pub fn done(&self) -> bool {
-        self.engines
-            .iter()
-            .all(|e| e.done_iterations() == self.iters)
+        self.failed().is_some()
+            || self
+                .engines
+                .iter()
+                .all(|e| e.done_iterations() == self.iters)
+    }
+
+    /// The abort reason, once recovery has given up on this run.
+    pub fn failed(&self) -> Option<&str> {
+        self.faults.as_ref().and_then(|f| f.failed.as_deref())
     }
 
     /// This job's node map.
@@ -540,6 +637,14 @@ impl JobState {
         if let JobBackend::Ring { ring, .. } = &self.backend {
             t = t.min(ring.next_event_time());
         }
+        if let Some(f) = &self.faults {
+            if f.failed.is_none() {
+                t = t.min(f.injector.next_change_time());
+                if let Some(&(due, _)) = f.timers.first() {
+                    t = t.min(due);
+                }
+            }
+        }
         t
     }
 
@@ -548,6 +653,9 @@ impl JobState {
     /// Emitted events are pushed onto `queue` for the driver's cascade
     /// loop. Fabric advancement stays with the driver.
     pub fn advance(&mut self, t: SimTime, fabric: &mut Fabric, queue: &mut Vec<JobEvent>) {
+        if self.faults.is_some() {
+            self.apply_due_faults(t, fabric);
+        }
         if let Some(b) = &mut self.burst {
             b.fire_due(t, fabric, &self.nodes);
         }
@@ -581,10 +689,163 @@ impl JobState {
         fabric: &mut Fabric,
         out: &mut Vec<JobEvent>,
     ) {
+        // A failed run is over: stop routing events so the driver's
+        // `done()` check ends the loop without scheduling more work.
+        if self.failed().is_some() {
+            return;
+        }
         match ev {
             JobEvent::Engine(w, event) => self.handle_engine(w, event, now, fabric),
             JobEvent::Net(c) => self.handle_net(c, now, fabric, out),
             JobEvent::Ring(c) => self.handle_ring(c, now, out),
+        }
+    }
+
+    /// Applies every fault-plan change due at `t`: bandwidth scales,
+    /// flaps (whose killed in-flight transfers enter recovery), link
+    /// revivals, then due retransmit backoff timers — link changes
+    /// first, so a retransmit firing at the same instant sees the
+    /// post-change fabric.
+    fn apply_due_faults(&mut self, t: SimTime, fabric: &mut Fabric) {
+        loop {
+            let change = match self.faults.as_mut() {
+                Some(f) if f.failed.is_none() => f.injector.pop_due(t),
+                _ => return,
+            };
+            let Some(change) = change else { break };
+            match change {
+                LinkChange::Scale { node, dir, scale } => {
+                    let up = matches!(dir, LinkDir::Up);
+                    fabric.set_port_scale(t, self.nodes.node(node), up, scale);
+                }
+                LinkChange::FlapDown { node } => {
+                    for d in fabric.kill_port(t, self.nodes.node(node)) {
+                        self.on_transfer_dropped(d, t, fabric);
+                    }
+                }
+                LinkChange::FlapUp { node } => fabric.revive_port(t, self.nodes.node(node)),
+            }
+        }
+        loop {
+            let Some(f) = self.faults.as_mut() else {
+                return;
+            };
+            if f.failed.is_some() {
+                return;
+            }
+            let Some(&(due, seq)) = f.timers.first() else {
+                break;
+            };
+            if due > t {
+                break;
+            }
+            f.timers.pop_first();
+            let lost = f
+                .pending
+                .remove(&seq)
+                .expect("timer without pending partition");
+            self.resubmit_lost(lost, t, fabric);
+        }
+    }
+
+    /// A link flap killed transfer `d` mid-wire. Co-tenant bursts simply
+    /// re-arm (the tenant tries again next cycle); the job's own
+    /// partitions reclaim their credit — the wire never released them,
+    /// so it is still out under either credit-timing discipline — and
+    /// enter retransmit backoff.
+    fn on_transfer_dropped(&mut self, d: DroppedTransfer, now: SimTime, fabric: &mut Fabric) {
+        let tag = inner_tag(d.tag);
+        if is_burst_tag(tag) {
+            if let Some(b) = self.burst.as_mut() {
+                b.requeue(now, d.src, d.dst, tag);
+            }
+            return;
+        }
+        let tok = Token::unpack(tag);
+        {
+            let f = self.faults.as_mut().expect("kill without fault state");
+            f.dropped_bytes += d.bytes;
+            f.reclaimed_bytes += d.bytes;
+        }
+        self.scheds[tok.worker].reclaim(now, tok.kind.lane(), d.bytes);
+        self.drain_sched(tok.worker, now, fabric);
+        self.schedule_retransmit(tag, d.bytes, true, now);
+    }
+
+    /// A delivered transfer was picked by the Bernoulli loss stream: the
+    /// payload is gone before any completion bookkeeping ran. Return the
+    /// credit the lane still holds for it and book the retransmit.
+    fn on_delivery_lost(&mut self, tag: u64, bytes: u64, now: SimTime, fabric: &mut Fabric) {
+        let tok = Token::unpack(tag);
+        self.faults
+            .as_mut()
+            .expect("loss without fault state")
+            .dropped_bytes += bytes;
+        // Release-gated schedulers (P3) already took their credit back
+        // when the wire released the message; delivery-gated ones still
+        // hold it and must reclaim, or the lane leaks and deadlocks.
+        if !self.scheds[tok.worker].credit_on_release() {
+            self.scheds[tok.worker].reclaim(now, tok.kind.lane(), bytes);
+            self.faults.as_mut().unwrap().reclaimed_bytes += bytes;
+            self.drain_sched(tok.worker, now, fabric);
+        }
+        self.schedule_retransmit(tag, bytes, false, now);
+    }
+
+    /// Books a retransmit for a lost partition after the policy backoff,
+    /// failing the run when the partition's retry budget is exhausted.
+    fn schedule_retransmit(&mut self, token: u64, bytes: u64, flap: bool, now: SimTime) {
+        let f = self
+            .faults
+            .as_mut()
+            .expect("retransmit without fault state");
+        if f.failed.is_some() {
+            return;
+        }
+        let attempt = f.attempts.entry(token).or_insert(0);
+        *attempt += 1;
+        let attempt = *attempt;
+        let policy = f.injector.policy();
+        if attempt > policy.max_retries {
+            let tok = Token::unpack(token);
+            f.failed = Some(format!(
+                "tensor {} part {} (iter {}, worker {}) exceeded {} retransmit attempts",
+                tok.tensor, tok.part, tok.iter, tok.worker, policy.max_retries
+            ));
+            // Close instrumented intervals so the aborted run still
+            // reports correct stall totals.
+            for s in &mut self.scheds {
+                s.teardown(now);
+            }
+            return;
+        }
+        f.retries += 1;
+        if flap {
+            f.reroutes += 1;
+        }
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        f.timers.insert((now + policy.backoff(attempt), seq));
+        f.pending.insert(seq, LostPart { token, bytes });
+    }
+
+    /// A backoff timer fired: re-drive the lost partition through its
+    /// scheduler — same token, same priority, so recovery rides the
+    /// normal grant path and shows up as an extra wire span.
+    fn resubmit_lost(&mut self, lost: LostPart, now: SimTime, fabric: &mut Fabric) {
+        let tok = Token::unpack(lost.token);
+        let item = WorkItem {
+            lane: tok.kind.lane(),
+            priority: self.priorities[tok.tensor as usize],
+            bytes: lost.bytes,
+            token: lost.token,
+        };
+        match self.backend {
+            JobBackend::Ps { .. } => {
+                self.scheds[tok.worker].submit(now, item);
+                self.drain_sched(tok.worker, now, fabric);
+            }
+            JobBackend::Ring { .. } => unreachable!("ring losses retry on the collective stream"),
         }
     }
 
@@ -880,6 +1141,18 @@ impl JobState {
             }
             NetEvent::Delivered(c) => c,
         };
+        if let Some(f) = self.faults.as_mut() {
+            // One Bernoulli draw per candidate delivery, in delivery
+            // order — the loss stream's determinism contract.
+            if f.injector.has_loss() && f.injector.should_drop() {
+                self.on_delivery_lost(c.tag, c.bytes, now, fabric);
+                return;
+            }
+            // Delivered for real: close the partition's retry ledger.
+            if !f.attempts.is_empty() {
+                f.attempts.remove(&c.tag);
+            }
+        }
         let tok = Token::unpack(c.tag);
         let (w, i) = (tok.worker, tok.tensor as usize);
         let credit_on_delivery = !self.scheds[w].credit_on_release();
@@ -959,6 +1232,39 @@ impl JobState {
     }
 
     fn handle_ring(&mut self, c: bs_comm::CompletedOp, now: SimTime, out: &mut Vec<JobEvent>) {
+        if self.faults.as_ref().is_some_and(|f| f.injector.has_loss()) {
+            let f = self.faults.as_mut().unwrap();
+            if f.injector.should_drop() {
+                // The collective failed: no member completes. Re-run the
+                // whole op after backoff — the ring is analytic, so the
+                // retry is a fresh submission under the same tag.
+                f.dropped_bytes += c.bytes;
+                let attempt = f.attempts.entry(c.tag).or_insert(0);
+                *attempt += 1;
+                let attempt = *attempt;
+                let policy = f.injector.policy();
+                if attempt > policy.max_retries {
+                    f.failed = Some(format!(
+                        "collective {} exceeded {} retransmit attempts",
+                        c.tag, policy.max_retries
+                    ));
+                    for s in &mut self.scheds {
+                        s.teardown(now);
+                    }
+                    return;
+                }
+                f.retries += 1;
+                let delay = policy.backoff(attempt);
+                let JobBackend::Ring { ring, .. } = &mut self.backend else {
+                    unreachable!("ring completion without ring backend")
+                };
+                ring.submit_after(now, delay, c.bytes, c.tag);
+                return;
+            }
+            if !f.attempts.is_empty() {
+                f.attempts.remove(&c.tag);
+            }
+        }
         if self.baseline_graph {
             let batch = self.ar_plug.as_mut().expect("AR plugin").take_batch(c.tag);
             for (tensor, iter) in batch.tensors {
@@ -1048,6 +1354,12 @@ impl JobState {
                 );
                 ms.series(format!("worker{w}/gpu_busy"), busy);
             }
+        }
+        if let Some(f) = &self.faults {
+            ms.counter("faults/retries", f.retries);
+            ms.counter("faults/reroutes", f.reroutes);
+            ms.counter("faults/dropped_bytes", f.dropped_bytes);
+            ms.counter("faults/reclaimed_bytes", f.reclaimed_bytes);
         }
         if ms.is_empty() {
             None
@@ -1164,6 +1476,22 @@ impl JobState {
         finished_at: SimTime,
         net: JobNetStats,
     ) -> RunResult {
+        if let Some(reason) = self.faults.as_ref().and_then(|f| f.failed.clone()) {
+            // The run aborted before measuring anything; report the
+            // outcome (and whatever metrics were recorded) instead of
+            // asserting on missing iteration marks.
+            let mut result = RunResult::failed(
+                cfg.model.sample_unit.label(),
+                cfg.scheduler.label(),
+                finished_at,
+                reason,
+            );
+            result.metrics = cfg
+                .record_metrics
+                .then(|| self.take_metrics(finished_at))
+                .flatten();
+            return result;
+        }
         let xray = self
             .take_xray_log(cfg, finished_at)
             .map(|log| XrayReport::build(&log));
@@ -1193,6 +1521,14 @@ impl JobState {
         result.peak_in_flight = peak_in_flight;
         result.metrics = metrics;
         result.xray = xray;
+        if let Some(f) = &self.faults {
+            if f.retries > 0 || f.dropped_bytes > 0 {
+                result.outcome = RunOutcome::DegradedCompleted {
+                    retries: f.retries,
+                    reroutes: f.reroutes,
+                };
+            }
+        }
         result
     }
 

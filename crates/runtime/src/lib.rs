@@ -24,5 +24,5 @@ pub mod world;
 
 pub use config::{Arch, BackgroundLoad, SchedulerKind, WorldConfig};
 pub use job::{JobEvent, JobNetStats, JobState, NodeMap};
-pub use result::RunResult;
+pub use result::{RunOutcome, RunResult};
 pub use world::run;

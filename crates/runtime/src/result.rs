@@ -4,6 +4,28 @@ use bs_sim::{OnlineStats, SimTime, Trace};
 use bs_telemetry::MetricSet;
 use serde::Serialize;
 
+/// How a run ended — the distinction that lets fault experiments tell
+/// graceful degradation from silent wrongness.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum RunOutcome {
+    /// Nothing was lost; the run needed no recovery action.
+    Completed,
+    /// Faults perturbed the run but every lost transfer was recovered and
+    /// training finished correctly.
+    DegradedCompleted {
+        /// Retransmit attempts performed (timeouts + flap kills).
+        retries: u64,
+        /// Retransmits re-driven after a link flap killed the original
+        /// in-flight transfer.
+        reroutes: u64,
+    },
+    /// The run aborted: recovery exhausted its retry budget.
+    Failed {
+        /// Human-readable abort cause.
+        reason: String,
+    },
+}
+
 /// The measured outcome of one simulated training run.
 #[derive(Clone, Debug, Serialize)]
 pub struct RunResult {
@@ -48,6 +70,9 @@ pub struct RunResult {
     /// credit-wait / queue-wait / aggregation / barrier, plus the tensors
     /// owning the most critical-path time.
     pub xray: Option<bs_xray::XrayReport>,
+    /// How the run ended. Always [`RunOutcome::Completed`] without a
+    /// fault plan.
+    pub outcome: RunOutcome,
 }
 
 impl RunResult {
@@ -93,6 +118,36 @@ impl RunResult {
             peak_in_flight: 0,
             metrics: None,
             xray: None,
+            outcome: RunOutcome::Completed,
+        }
+    }
+
+    /// Builds the result of a run that aborted before measuring anything
+    /// (recovery exhausted its retry budget): no speed, no iteration
+    /// statistics — just the outcome and whatever virtual time elapsed.
+    pub(crate) fn failed(
+        speed_unit: &'static str,
+        scheduler: &'static str,
+        finished_at: SimTime,
+        reason: String,
+    ) -> RunResult {
+        RunResult {
+            iteration_period: 0.0,
+            speed: 0.0,
+            speed_unit,
+            scheduler,
+            iter_times: Vec::new(),
+            iter_time_std: 0.0,
+            p2p_bytes: 0,
+            collective_bytes: 0,
+            finished_at,
+            trace: None,
+            peak_port_utilisation: 0.0,
+            comm_events: 0,
+            peak_in_flight: 0,
+            metrics: None,
+            xray: None,
+            outcome: RunOutcome::Failed { reason },
         }
     }
 

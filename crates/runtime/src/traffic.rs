@@ -104,13 +104,21 @@ impl BurstSource {
     /// real cross traffic does. `c.tag` must already be stripped to the
     /// inner tag.
     pub fn on_delivered(&mut self, now: SimTime, c: &CompletedTransfer) {
+        self.requeue(now, c.src, c.dst, c.tag);
+    }
+
+    /// Schedules the next burst on a pair after the jittered gap. Also
+    /// the re-arm path when a link flap kills an in-flight burst: the
+    /// co-tenant's traffic generator does not stop because one burst was
+    /// lost, it just tries again next cycle.
+    pub fn requeue(&mut self, now: SimTime, src: NodeId, dst: NodeId, inner_tag: u64) {
         let g = self.load.gap_us as f64;
         let gap = self.rng.uniform(0.5 * g, 1.5 * g + 50.0);
         self.timers.insert((
             now + SimTime::from_micros(gap as u64),
-            c.src.0,
-            c.dst.0,
-            c.tag,
+            src.0,
+            dst.0,
+            inner_tag,
         ));
     }
 

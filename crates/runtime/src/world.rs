@@ -632,4 +632,282 @@ mod tests {
         ));
         assert!(r.speed > 0.0);
     }
+
+    use crate::result::RunOutcome;
+    use bs_faults::{FaultPlan, LinkDir, LinkEvent, LinkFlap, RecoveryPolicy, StragglerSpec};
+
+    fn fault_cfg() -> WorldConfig {
+        cfg(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            EngineConfig::mxnet_ps(),
+            bs(2_000_000, 8_000_000),
+        )
+    }
+
+    /// The empty plan is the identity: attaching it changes not one bit
+    /// of the run — the "empty-plan-only" recording guarantee.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_none() {
+        for fabric in [
+            bs_net::FabricModel::SerialFifo,
+            bs_net::FabricModel::FairShare,
+        ] {
+            let mut c = fault_cfg();
+            c.fabric = fabric;
+            c.jitter = 0.02;
+            let bare = run(&c);
+            c.faults = Some(FaultPlan::empty());
+            let planned = run(&c);
+            assert_eq!(bare.speed, planned.speed, "{fabric:?}");
+            assert_eq!(bare.finished_at, planned.finished_at, "{fabric:?}");
+            assert_eq!(bare.iter_times, planned.iter_times, "{fabric:?}");
+            assert_eq!(bare.p2p_bytes, planned.p2p_bytes, "{fabric:?}");
+            assert_eq!(planned.outcome, RunOutcome::Completed, "{fabric:?}");
+        }
+    }
+
+    /// Bernoulli loss with retries: the run completes degraded on both
+    /// fabrics, every retry is counted, and the loss costs time.
+    #[test]
+    fn loss_recovers_and_reports_degraded() {
+        for fabric in [
+            bs_net::FabricModel::SerialFifo,
+            bs_net::FabricModel::FairShare,
+        ] {
+            let mut c = fault_cfg();
+            c.fabric = fabric;
+            let clean = run(&c);
+            c.faults = Some(FaultPlan {
+                loss_rate: 0.02,
+                recovery: RecoveryPolicy {
+                    timeout_us: 1_000,
+                    max_retries: 16,
+                },
+                ..FaultPlan::empty()
+            });
+            let lossy = run(&c);
+            let RunOutcome::DegradedCompleted { retries, .. } = lossy.outcome else {
+                panic!(
+                    "{fabric:?}: expected degraded completion, got {:?}",
+                    lossy.outcome
+                );
+            };
+            assert!(retries > 0, "{fabric:?}");
+            assert!(
+                lossy.finished_at >= clean.finished_at,
+                "{fabric:?}: recovery cannot make the run faster"
+            );
+        }
+    }
+
+    /// A mid-run link flap kills in-flight transfers; recovery re-drives
+    /// them and the run completes with reroutes counted.
+    #[test]
+    fn flap_kills_in_flight_transfers_and_recovers() {
+        for fabric in [
+            bs_net::FabricModel::SerialFifo,
+            bs_net::FabricModel::FairShare,
+        ] {
+            let mut c = fault_cfg();
+            c.fabric = fabric;
+            // Worker 0's NIC drops for 30 ms in the middle of iteration-1
+            // comm (the first window where transfers are on the wire).
+            c.faults = Some(FaultPlan {
+                flaps: vec![LinkFlap {
+                    node: 0,
+                    from_us: 40_000,
+                    to_us: 70_000,
+                }],
+                recovery: RecoveryPolicy {
+                    timeout_us: 1_000,
+                    max_retries: 8,
+                },
+                ..FaultPlan::empty()
+            });
+            let r = run(&c);
+            let RunOutcome::DegradedCompleted { retries, reroutes } = r.outcome else {
+                panic!(
+                    "{fabric:?}: expected degraded completion, got {:?}",
+                    r.outcome
+                );
+            };
+            assert!(reroutes > 0, "{fabric:?}: the flap must kill something");
+            assert!(retries >= reroutes, "{fabric:?}");
+        }
+    }
+
+    /// Degrading a NIC mid-run slows the run down; restoring it later
+    /// still leaves the total behind the fault-free run.
+    #[test]
+    fn link_degradation_costs_time() {
+        let mut c = fault_cfg();
+        let clean = run(&c);
+        c.faults = Some(FaultPlan {
+            link_events: vec![
+                LinkEvent {
+                    at_us: 20_000,
+                    node: 2,
+                    dir: LinkDir::Down,
+                    scale: 0.25,
+                },
+                LinkEvent {
+                    at_us: 120_000,
+                    node: 2,
+                    dir: LinkDir::Down,
+                    scale: 1.0,
+                },
+            ],
+            ..FaultPlan::empty()
+        });
+        let degraded = run(&c);
+        assert_eq!(degraded.outcome, RunOutcome::Completed, "nothing was lost");
+        assert!(
+            degraded.finished_at > clean.finished_at,
+            "a 4x slower shard downlink must cost wall time: {} vs {}",
+            degraded.finished_at,
+            clean.finished_at
+        );
+    }
+
+    /// A straggling worker drags the whole synchronous job.
+    #[test]
+    fn straggler_slows_the_job() {
+        let mut c = fault_cfg();
+        let clean = run(&c);
+        c.faults = Some(FaultPlan {
+            stragglers: vec![StragglerSpec {
+                worker: 1,
+                from_iter: 2,
+                to_iter: 8,
+                factor: 3.0,
+            }],
+            ..FaultPlan::empty()
+        });
+        let slow = run(&c);
+        assert_eq!(slow.outcome, RunOutcome::Completed);
+        assert!(
+            slow.finished_at > clean.finished_at,
+            "a 3x straggler must cost wall time"
+        );
+    }
+
+    /// Exhausting the retry cap aborts the run with a reason instead of
+    /// deadlocking the event loop.
+    #[test]
+    fn retry_cap_exhaustion_fails_the_run() {
+        let mut c = fault_cfg();
+        c.faults = Some(FaultPlan {
+            loss_rate: 0.95,
+            recovery: RecoveryPolicy {
+                timeout_us: 100,
+                max_retries: 1,
+            },
+            ..FaultPlan::empty()
+        });
+        let r = run(&c);
+        let RunOutcome::Failed { reason } = r.outcome else {
+            panic!("expected failure, got {:?}", r.outcome);
+        };
+        assert!(reason.contains("retransmit attempts"), "{reason}");
+        assert_eq!(r.speed, 0.0);
+        assert!(r.iter_times.is_empty());
+    }
+
+    /// Ring collectives lose and retry too, in both baseline (fused) and
+    /// scheduled modes.
+    #[test]
+    fn ring_loss_recovers_on_both_graph_modes() {
+        for sched in [SchedulerKind::Baseline, bs(8_000_000, 16_000_000)] {
+            let mut c = cfg(
+                comm_heavy(),
+                4,
+                Arch::allreduce(),
+                EngineConfig::mxnet_allreduce(),
+                sched,
+            );
+            // Fused baseline graphs run few collectives, so the rate must
+            // be high enough that the fixed seed drops at least one.
+            c.faults = Some(FaultPlan {
+                loss_rate: 0.15,
+                recovery: RecoveryPolicy {
+                    timeout_us: 1_000,
+                    max_retries: 16,
+                },
+                ..FaultPlan::empty()
+            });
+            let r = run(&c);
+            let RunOutcome::DegradedCompleted { retries, .. } = r.outcome else {
+                panic!(
+                    "{sched:?}: expected degraded completion, got {:?}",
+                    r.outcome
+                );
+            };
+            assert!(retries > 0, "{sched:?}");
+        }
+    }
+
+    /// Fault runs are deterministic: same seed and plan, same everything;
+    /// a different seed shifts the loss stream.
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let mut c = fault_cfg();
+        c.jitter = 0.02;
+        c.faults = Some(FaultPlan {
+            loss_rate: 0.02,
+            recovery: RecoveryPolicy {
+                timeout_us: 1_000,
+                max_retries: 16,
+            },
+            ..FaultPlan::empty()
+        });
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.speed, b.speed);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.outcome, b.outcome);
+        c.seed = 99;
+        let d = run(&c);
+        assert_ne!(a.finished_at, d.finished_at);
+    }
+
+    /// Fault telemetry counters ride the normal metrics channel, and the
+    /// reclaimed credit shows up on the scheduler's own ledger.
+    #[test]
+    fn fault_counters_land_in_metrics() {
+        let mut c = fault_cfg();
+        c.record_metrics = true;
+        c.faults = Some(FaultPlan {
+            loss_rate: 0.02,
+            recovery: RecoveryPolicy {
+                timeout_us: 1_000,
+                max_retries: 16,
+            },
+            ..FaultPlan::empty()
+        });
+        let r = run(&c);
+        let ms = r.metrics.as_ref().expect("metrics recorded");
+        let retries = ms.get_counter("faults/retries").expect("retries counter");
+        assert!(retries > 0);
+        assert!(ms.get_counter("faults/dropped_bytes").unwrap_or(0) > 0);
+        assert_eq!(
+            ms.get_counter("faults/reclaimed_bytes"),
+            ms.get_counter("faults/dropped_bytes"),
+            "delivery-gated credit: every dropped byte was reclaimed"
+        );
+        // The schedulers' own reclaim ledgers agree in total.
+        let sched_reclaimed: u64 = (0..2)
+            .map(|w| {
+                ms.get_counter(&format!("worker{w}/sched/lane0/reclaimed_bytes"))
+                    .unwrap_or(0)
+                    + ms.get_counter(&format!("worker{w}/sched/lane1/reclaimed_bytes"))
+                        .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(
+            Some(sched_reclaimed),
+            ms.get_counter("faults/reclaimed_bytes")
+        );
+    }
 }

@@ -1,0 +1,175 @@
+//! Bandwidth-drift detection for adaptive re-tuning (§3.5).
+//!
+//! The best (δ, c) depends on the available bandwidth, and the paper's
+//! design re-runs Bayesian Optimization "when the available bandwidth
+//! changes beyond a threshold" — e.g. when a co-tenant arrives or a link
+//! degrades mid-training. [`DriftDetector`] is that trigger: it watches a
+//! smoothed throughput signal and fires when it moves beyond a relative
+//! threshold of the established baseline, after which the caller discards
+//! its tuner state and restarts the search under the new conditions.
+
+/// Watches a throughput signal and reports when it drifts beyond a
+/// relative threshold — the re-tuning trigger of §3.5.
+///
+/// Observations are smoothed with an exponential moving average so a
+/// single noisy iteration cannot trigger a (checkpoint-restart-priced)
+/// re-tune; a genuine bandwidth shift moves the average within a few
+/// iterations. On drift the baseline re-anchors to the current smoothed
+/// value, so a degradation and the later restoration each fire once.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    /// Relative change that counts as drift (e.g. 0.2 = ±20 %).
+    threshold: f64,
+    /// EMA smoothing weight of the newest observation.
+    alpha: f64,
+    /// Throughput the current tuning ran against.
+    baseline: Option<f64>,
+    /// Smoothed current throughput.
+    smoothed: Option<f64>,
+    /// Drifts detected so far.
+    drifts: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector firing at ±`threshold` relative change, with an
+    /// EMA weight of `alpha` on each new observation.
+    pub fn new(threshold: f64, alpha: f64) -> DriftDetector {
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "drift threshold must be a positive fraction"
+        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "EMA weight must be in (0, 1]");
+        DriftDetector {
+            threshold,
+            alpha,
+            baseline: None,
+            smoothed: None,
+            drifts: 0,
+        }
+    }
+
+    /// The paper's setting: re-tune on a ±20 % bandwidth shift, smoothed
+    /// over roughly three iterations.
+    pub fn paper_default() -> DriftDetector {
+        DriftDetector::new(0.2, 0.3)
+    }
+
+    /// Feeds one throughput sample (any consistent unit). Returns `true`
+    /// when the smoothed signal has drifted beyond the threshold from the
+    /// baseline — the caller should restart its tuner; the detector
+    /// re-anchors to the current level so the *next* shift fires again.
+    pub fn observe(&mut self, throughput: f64) -> bool {
+        assert!(
+            throughput.is_finite() && throughput >= 0.0,
+            "throughput samples must be finite and non-negative"
+        );
+        let s = match self.smoothed {
+            None => throughput,
+            Some(prev) => self.alpha * throughput + (1.0 - self.alpha) * prev,
+        };
+        self.smoothed = Some(s);
+        let Some(base) = self.baseline else {
+            self.baseline = Some(s);
+            return false;
+        };
+        if (s - base).abs() > self.threshold * base {
+            // Re-anchor to the *raw* level, not the transient EMA: during
+            // a step change the average trails the signal for several
+            // samples, and chasing it would fire once per sample until it
+            // converges instead of once per shift.
+            self.baseline = Some(throughput);
+            self.smoothed = Some(throughput);
+            self.drifts += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Throughput level the current tuning is anchored to.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Drift events fired so far.
+    pub fn drifts(&self) -> u64 {
+        self.drifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_signal_never_drifts() {
+        let mut d = DriftDetector::new(0.2, 0.5);
+        for _ in 0..50 {
+            assert!(!d.observe(100.0));
+        }
+        assert_eq!(d.drifts(), 0);
+        assert_eq!(d.baseline(), Some(100.0));
+    }
+
+    #[test]
+    fn noise_below_threshold_is_ignored() {
+        let mut d = DriftDetector::new(0.2, 0.5);
+        for i in 0..40 {
+            let y = 100.0 + if i % 2 == 0 { 8.0 } else { -8.0 };
+            assert!(!d.observe(y), "±8 % noise must not trigger at ±20 %");
+        }
+    }
+
+    #[test]
+    fn degradation_fires_once_then_rebases() {
+        let mut d = DriftDetector::new(0.2, 0.5);
+        for _ in 0..5 {
+            d.observe(100.0);
+        }
+        // Bandwidth drops 4x: fires within a few smoothed samples.
+        let mut fired = 0;
+        for _ in 0..10 {
+            if d.observe(25.0) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "one shift, one re-tune");
+        assert!(d.baseline().unwrap() < 60.0, "re-anchored low");
+    }
+
+    #[test]
+    fn restoration_fires_again() {
+        let mut d = DriftDetector::new(0.2, 0.5);
+        for _ in 0..5 {
+            d.observe(100.0);
+        }
+        for _ in 0..10 {
+            d.observe(25.0);
+        }
+        let mut fired = 0;
+        for _ in 0..10 {
+            if d.observe(100.0) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "the recovery is its own drift");
+        assert_eq!(d.drifts(), 2);
+    }
+
+    #[test]
+    fn single_outlier_is_smoothed_away() {
+        let mut d = DriftDetector::new(0.2, 0.3);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        assert!(!d.observe(50.0), "one bad iteration is not a drift");
+        assert!(!d.observe(100.0));
+        assert!(!d.observe(100.0));
+        assert_eq!(d.drifts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive fraction")]
+    fn zero_threshold_rejected() {
+        DriftDetector::new(0.0, 0.5);
+    }
+}

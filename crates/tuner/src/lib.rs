@@ -15,11 +15,13 @@
 //! square to log-scaled (δ, c) ranges.
 
 pub mod bo;
+pub mod drift;
 pub mod gp;
 pub mod linalg;
 pub mod space;
 pub mod tuners;
 
 pub use bo::BayesOpt;
+pub use drift::DriftDetector;
 pub use space::SearchSpace;
 pub use tuners::{GridSearch, RandomSearch, SgdMomentum, Tuner};

@@ -25,6 +25,9 @@
 //! * [`core`] — the paper's contribution: the generic scheduler Core
 //!   (CommTask abstraction, tensor partitioning, priority queue with
 //!   credit-based preemption) plus the FIFO and P3 baselines.
+//! * [`faults`] — deterministic fault injection: JSON fault plans (link
+//!   degradation, flaps, transfer loss, stragglers) and the recovery
+//!   policy (timeout, exponential backoff, retry cap) the runtime applies.
 //! * [`runtime`] — the world driver wiring all of the above into a
 //!   multi-worker training simulation.
 //! * [`cluster`] — multi-job cluster simulation: N concurrent training
@@ -42,6 +45,7 @@ pub use bs_cluster as cluster;
 pub use bs_comm as comm;
 pub use bs_core as core;
 pub use bs_engine as engine;
+pub use bs_faults as faults;
 pub use bs_harness as harness;
 pub use bs_models as models;
 pub use bs_net as net;

@@ -102,6 +102,9 @@ pub fn fixture_path() -> std::path::PathBuf {
 /// Renders both-fabric fingerprints, optionally with telemetry recording
 /// on. Telemetry is recording-only, so the rendered bytes must be the
 /// same either way — `metrics_schema.rs` asserts exactly that.
+// Each test binary compiles its own copy of this module; not all of them
+// call the render helpers (`faults.rs` fingerprints custom configs).
+#[allow(dead_code)]
 pub fn render(record_metrics: bool) -> String {
     render_with(record_metrics, false)
 }
@@ -109,6 +112,7 @@ pub fn render(record_metrics: bool) -> String {
 /// [`render`] with independent control of both recording subsystems.
 /// Xray is recording-only too, so `xray_schema.rs` demands the same
 /// fixture bytes with `record_xray` on.
+#[allow(dead_code)]
 pub fn render_with(record_metrics: bool, record_xray: bool) -> String {
     let mut fifo_cfg = scenario(FabricModel::SerialFifo);
     let mut fluid_cfg = scenario(FabricModel::FairShare);

@@ -1,8 +1,9 @@
 //! A minimal JSON-Schema (draft-07 subset) validator shared by the
-//! export-contract tests (`metrics_schema.rs`, `xray_schema.rs`). It
-//! implements exactly the subset the committed schemas use: `type`,
-//! `enum`, `required`, `properties`, `additionalProperties`, `items`,
-//! `oneOf`, `minimum`.
+//! export-contract tests (`metrics_schema.rs`, `xray_schema.rs`,
+//! `faults.rs`). It implements exactly the subset the committed schemas
+//! use: `type`, `enum`, `required`, `properties`,
+//! `additionalProperties`, `items`, `oneOf`, `minimum`,
+//! `exclusiveMinimum`, `exclusiveMaximum`.
 
 use serde_json::Value;
 
@@ -68,6 +69,20 @@ pub fn validate(schema: &Value, v: &Value, path: &str, errs: &mut Vec<String>) {
         if let Some(x) = as_f64(v) {
             if x < min {
                 errs.push(format!("{path}: {x} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(min) = schema.get("exclusiveMinimum").and_then(as_f64) {
+        if let Some(x) = as_f64(v) {
+            if x <= min {
+                errs.push(format!("{path}: {x} not above exclusiveMinimum {min}"));
+            }
+        }
+    }
+    if let Some(max) = schema.get("exclusiveMaximum").and_then(as_f64) {
+        if let Some(x) = as_f64(v) {
+            if x >= max {
+                errs.push(format!("{path}: {x} not below exclusiveMaximum {max}"));
             }
         }
     }

@@ -1,0 +1,332 @@
+//! Fault-injection contract tests: the committed fault-plan fixture, the
+//! empty-plan identity, determinism under faults, graceful degradation on
+//! both fabrics, and the no-credit-leak invariant under random loss.
+
+mod common;
+
+use bytescheduler::faults::{FaultPlan, RecoveryPolicy};
+use bytescheduler::harness::Setup;
+use bytescheduler::net::FabricModel;
+use bytescheduler::runtime::{run, RunOutcome, RunResult, SchedulerKind, WorldConfig};
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn plan_fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fault_plan.json")
+}
+
+fn plan_fixture_text() -> String {
+    std::fs::read_to_string(plan_fixture_path()).expect("committed fault plan exists")
+}
+
+/// The committed plan validates against its committed JSON schema.
+#[test]
+fn committed_plan_matches_schema() {
+    let schema = common::schema::committed("fault_plan.schema.json");
+    let doc: Value = serde_json::from_str(&plan_fixture_text()).expect("fixture parses");
+    let mut errs = Vec::new();
+    common::schema::validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "schema violations:\n{}", errs.join("\n"));
+}
+
+/// Parse → render → parse is the identity on the committed plan.
+#[test]
+fn committed_plan_round_trips() {
+    let plan = FaultPlan::from_json(&plan_fixture_text()).expect("fixture parses");
+    assert!(!plan.is_empty());
+    let again = FaultPlan::from_json(&plan.to_json()).expect("rendered plan parses");
+    assert_eq!(plan, again);
+    // And the rendered form still satisfies the schema.
+    let schema = common::schema::committed("fault_plan.schema.json");
+    let doc: Value = serde_json::from_str(&plan.to_json()).expect("rendered parses");
+    let mut errs = Vec::new();
+    common::schema::validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "schema violations:\n{}", errs.join("\n"));
+}
+
+/// Attaching the *empty* plan changes not one byte of the golden
+/// fixture: fault support is pay-for-what-you-inject.
+#[test]
+fn empty_plan_reproduces_golden_fixture_bytes() {
+    let mut fifo_cfg = common::scenario(FabricModel::SerialFifo);
+    let mut fluid_cfg = common::scenario(FabricModel::FairShare);
+    for cfg in [&mut fifo_cfg, &mut fluid_cfg] {
+        cfg.faults = Some(FaultPlan::empty());
+    }
+    let doc = Value::Array(vec![
+        common::fingerprint("comm_heavy_ps_fifo", &run(&fifo_cfg)),
+        common::fingerprint("comm_heavy_ps_fluid", &run(&fluid_cfg)),
+    ]);
+    let rendered = serde_json::to_string_pretty(&doc).expect("render") + "\n";
+    let committed = std::fs::read_to_string(common::fixture_path())
+        .expect("golden fixture exists (generate with BS_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        rendered, committed,
+        "an empty fault plan must be the identity on the golden scenario"
+    );
+}
+
+/// Same seed + same plan ⇒ bit-identical outcomes, on both fabrics.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let plan = FaultPlan {
+        loss_rate: 0.02,
+        recovery: RecoveryPolicy {
+            timeout_us: 1_000,
+            max_retries: 20,
+        },
+        ..FaultPlan::empty()
+    };
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let mut cfg = common::scenario(fabric);
+        cfg.faults = Some(plan.clone());
+        let a = common::fingerprint("det", &run(&cfg));
+        let b = common::fingerprint("det", &run(&cfg));
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap(),
+            "{fabric:?}: faulted runs must replay bit-identically"
+        );
+    }
+}
+
+/// The committed fixture's scenario: VGG16 on PS TCP at 25 Gbps, the
+/// setting of the harness robustness study and the CI faults smoke.
+fn vgg_cfg(sched: SchedulerKind, fabric: FabricModel) -> WorldConfig {
+    let mut cfg = Setup::MxnetPsTcp.config(bytescheduler::models::zoo::vgg16(), 32, 25.0, sched);
+    cfg.iters = 10;
+    cfg.warmup = 2;
+    cfg.jitter = 0.01;
+    cfg.fabric = fabric;
+    cfg
+}
+
+/// The no-credit-leak contract, in its externally observable form.
+///
+/// A run ends at engines-done with the final iteration's trailing
+/// transfers legitimately still on the wire (clean runs too), so
+/// "credit-in-use is zero at the end" is not directly assertable.
+/// Instead:
+///
+/// * a *deficit* leak (lost credit never reclaimed) starves the lane and
+///   deadlocks the run — completion itself rules it out;
+/// * a *surplus* leak (credit returned twice) trips the scheduler's
+///   `debug_assert!(credit <= credit_bytes)` on the next return — these
+///   tests run in debug mode, so every exercised path is checked;
+/// * the ledgers must agree: every dropped byte reclaimed exactly once,
+///   and the in-use level stays within the configured window.
+fn assert_no_credit_leak(r: &RunResult, workers: usize, credit: u64) {
+    let ms = r.metrics.as_ref().expect("metrics recorded");
+    for w in 0..workers {
+        for lane in 0..2 {
+            let name = format!("worker{w}/sched/lane{lane}/credit_in_use");
+            let series = ms.get_series(&name).expect("credit series recorded");
+            let last = series.last_value();
+            assert!(
+                (0.0..=credit as f64).contains(&last),
+                "{name}: {last} outside the credit window 0..={credit}"
+            );
+        }
+    }
+    assert_eq!(
+        ms.get_counter("faults/reclaimed_bytes"),
+        ms.get_counter("faults/dropped_bytes"),
+        "every dropped byte must be reclaimed (delivery-gated credit)"
+    );
+}
+
+/// Acceptance scenario: under the committed fixture (4× degradation +
+/// 0.1 % loss + one straggler), both fabrics finish `DegradedCompleted`
+/// with bounded retries, no leaked credit, and ByteScheduler still beats
+/// FIFO.
+#[test]
+fn committed_fixture_degrades_gracefully_on_both_fabrics() {
+    let plan = FaultPlan::from_json(&plan_fixture_text()).expect("fixture parses");
+    let bs = SchedulerKind::ByteScheduler {
+        partition: 4_000_000,
+        credit: 16_000_000,
+    };
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let mut cfg = vgg_cfg(bs, fabric);
+        cfg.faults = Some(plan.clone());
+        cfg.record_metrics = true;
+        let r = run(&cfg);
+        let RunOutcome::DegradedCompleted { retries, .. } = r.outcome else {
+            panic!(
+                "{fabric:?}: expected degraded completion, got {:?}",
+                r.outcome
+            );
+        };
+        assert!(retries > 0, "{fabric:?}: the 0.1% loss must cost retries");
+        assert!(
+            retries < 500,
+            "{fabric:?}: {retries} retries is runaway recovery"
+        );
+        assert_no_credit_leak(&r, cfg.num_workers, 16_000_000);
+
+        let mut base_cfg = vgg_cfg(SchedulerKind::Baseline, fabric);
+        base_cfg.faults = Some(plan.clone());
+        let base = run(&base_cfg);
+        assert!(
+            r.speed > base.speed,
+            "{fabric:?}: BS ({:.0}) must retain its edge over FIFO ({:.0}) under faults",
+            r.speed,
+            base.speed
+        );
+    }
+}
+
+/// Retransmits stay visible to the xray: extra wire spans appear for
+/// re-driven transfers, yet the critical-path attribution still tiles
+/// every iteration's wall time exactly — recovery time is attributed,
+/// not lost.
+#[test]
+fn xray_attribution_tiles_exactly_under_faults() {
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let mut cfg = common::scenario(fabric);
+        cfg.record_xray = true;
+        cfg.faults = Some(FaultPlan {
+            loss_rate: 0.02,
+            recovery: RecoveryPolicy {
+                timeout_us: 1_000,
+                max_retries: 20,
+            },
+            ..FaultPlan::empty()
+        });
+        let r = run(&cfg);
+        assert!(
+            matches!(r.outcome, RunOutcome::DegradedCompleted { .. }),
+            "{fabric:?}: {:?}",
+            r.outcome
+        );
+        let x = r.xray.as_ref().expect("xray recorded");
+        assert_eq!(x.iterations.len() as u64, cfg.iters);
+        for it in &x.iterations {
+            assert_eq!(
+                it.attribution.total_ns(),
+                it.wall_ns(),
+                "{fabric:?} iter {}: attribution must tile the window under retransmits",
+                it.iter
+            );
+        }
+        assert_eq!(x.totals.total_ns(), x.measured_wall_ns);
+    }
+}
+
+/// Exceeding the retry cap must abort cleanly, not deadlock: the world
+/// loop exits with `Failed` and the harness-visible reason.
+#[test]
+fn retry_cap_fails_closed() {
+    let mut cfg = common::scenario(FabricModel::SerialFifo);
+    cfg.faults = Some(FaultPlan {
+        loss_rate: 0.9,
+        recovery: RecoveryPolicy {
+            timeout_us: 100,
+            max_retries: 1,
+        },
+        ..FaultPlan::empty()
+    });
+    let r = run(&cfg);
+    assert!(
+        matches!(r.outcome, RunOutcome::Failed { .. }),
+        "{:?}",
+        r.outcome
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any small loss rate and any seed, a PS run with retries
+    /// completes (a credit-deficit leak would deadlock it; a surplus
+    /// leak trips the scheduler's debug assertions, active here), every
+    /// dropped byte is reclaimed exactly once, and the credit-in-use
+    /// level stays within the configured window on every lane.
+    #[test]
+    fn random_loss_never_leaks_credit_on_ps(
+        loss in 0.001f64..0.05,
+        seed in 0u64..1_000,
+        timeout_us in 200u64..5_000,
+    ) {
+        let mut cfg = common::scenario(FabricModel::SerialFifo);
+        cfg.seed = seed;
+        cfg.record_metrics = true;
+        cfg.faults = Some(FaultPlan {
+            loss_rate: loss,
+            recovery: RecoveryPolicy { timeout_us, max_retries: 30 },
+            ..FaultPlan::empty()
+        });
+        let r = run(&cfg);
+        prop_assert!(
+            !matches!(r.outcome, RunOutcome::Failed { .. }),
+            "outcome {:?}", r.outcome
+        );
+        prop_assert!(r.speed > 0.0);
+        let ms = r.metrics.as_ref().expect("metrics recorded");
+        for w in 0..cfg.num_workers {
+            for lane in 0..2 {
+                let name = format!("worker{w}/sched/lane{lane}/credit_in_use");
+                let s = ms.get_series(&name).expect("credit series");
+                let last = s.last_value();
+                prop_assert!(
+                    (0.0..=4_000_000.0).contains(&last),
+                    "{}: {} outside the credit window", name, last
+                );
+            }
+        }
+        prop_assert_eq!(
+            ms.get_counter("faults/reclaimed_bytes"),
+            ms.get_counter("faults/dropped_bytes")
+        );
+    }
+
+    /// Ring all-reduce under random loss: every lost collective is
+    /// re-driven and the run completes on both the fused-baseline and
+    /// scheduled graphs.
+    #[test]
+    fn random_loss_recovers_on_ring(
+        loss in 0.01f64..0.2,
+        seed in 0u64..1_000,
+        scheduled in any::<bool>(),
+    ) {
+        use bytescheduler::engine::EngineConfig;
+        use bytescheduler::models::{GpuSpec, ModelBuilder, SampleUnit};
+        use bytescheduler::net::{NetConfig, Transport};
+        use bytescheduler::runtime::Arch;
+        use bytescheduler::sim::SimTime;
+
+        let gpu = GpuSpec::custom(1e12, 2.0);
+        let model = ModelBuilder::new("ring-toy", gpu, 8, SampleUnit::Images)
+            .explicit("l0", 12_000_000, SimTime::from_millis(2), SimTime::from_millis(4))
+            .explicit("l1", 3_000_000, SimTime::from_millis(2), SimTime::from_millis(4))
+            .build();
+        let sched = if scheduled {
+            SchedulerKind::ByteScheduler { partition: 4_000_000, credit: 8_000_000 }
+        } else {
+            SchedulerKind::Baseline
+        };
+        let mut cfg = WorldConfig::new(
+            model,
+            3,
+            Arch::allreduce(),
+            NetConfig::gbps(10.0, Transport::tcp()),
+            EngineConfig::mxnet_allreduce(),
+            sched,
+        );
+        cfg.iters = 6;
+        cfg.warmup = 1;
+        cfg.jitter = 0.0;
+        cfg.seed = seed;
+        cfg.faults = Some(FaultPlan {
+            loss_rate: loss,
+            recovery: RecoveryPolicy { timeout_us: 500, max_retries: 30 },
+            ..FaultPlan::empty()
+        });
+        let r = run(&cfg);
+        prop_assert!(
+            !matches!(r.outcome, RunOutcome::Failed { .. }),
+            "outcome {:?}", r.outcome
+        );
+        prop_assert!(r.collective_bytes > 0);
+    }
+}
