@@ -1,0 +1,456 @@
+//! Shared machinery for the tracked performance runner
+//! (`bin/perf_baseline`) and the CI regression gate (`bin/perf_gate`).
+//!
+//! Both binaries must time the *same* scenarios for their numbers to be
+//! comparable, so the scenario definitions, the timing loops, and the
+//! gate's comparison rule all live here. The committed `BENCH_<n>.json`
+//! files at the repository root are produced by `perf_baseline` from
+//! these definitions; `perf_gate` re-times the macro scenarios fresh and
+//! compares events/sec against the newest committed baseline.
+
+use std::time::Instant;
+
+use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
+use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bs_net::{FabricModel, NetConfig, Transport};
+use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bs_sim::SimTime;
+use serde::Value;
+
+/// The comm-heavy toy model used across the runtime tests: a big tensor
+/// near the input (VGG-like inversion) so FIFO order hurts and the
+/// scheduler has real work to do.
+pub fn comm_heavy() -> DnnModel {
+    let gpu = GpuSpec::custom(1e12, 2.0);
+    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+        .explicit(
+            "l0",
+            40_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l1",
+            5_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l2",
+            5_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .explicit(
+            "l3",
+            1_000_000,
+            SimTime::from_millis(4),
+            SimTime::from_millis(8),
+        )
+        .build()
+}
+
+/// A single-job macro scenario.
+pub struct MacroScenario {
+    pub name: &'static str,
+    pub cfg: WorldConfig,
+}
+
+/// The tracked single-job macro scenarios.
+pub fn macro_scenarios(quick: bool) -> Vec<MacroScenario> {
+    let iters = if quick { 5 } else { 20 };
+    let net = NetConfig::gbps(10.0, Transport::tcp());
+    let bs = SchedulerKind::ByteScheduler {
+        partition: 500_000,
+        credit: 2_000_000,
+    };
+    let mk = |arch: Arch, engine, sched, fabric| {
+        let mut c = WorldConfig::new(comm_heavy(), 4, arch, net, engine, sched);
+        c.iters = iters;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c.seed = 1;
+        c.fabric = fabric;
+        c
+    };
+    vec![
+        MacroScenario {
+            name: "ps_fifo_bytescheduler",
+            cfg: mk(
+                Arch::ps(4),
+                bs_engine::EngineConfig::mxnet_ps(),
+                bs,
+                FabricModel::SerialFifo,
+            ),
+        },
+        MacroScenario {
+            name: "ps_fluid_bytescheduler",
+            cfg: mk(
+                Arch::ps(4),
+                bs_engine::EngineConfig::mxnet_ps(),
+                bs,
+                FabricModel::FairShare,
+            ),
+        },
+        MacroScenario {
+            name: "allreduce_bytescheduler",
+            cfg: mk(
+                Arch::allreduce(),
+                bs_engine::EngineConfig::mxnet_allreduce(),
+                SchedulerKind::ByteScheduler {
+                    partition: 2_000_000,
+                    credit: 8_000_000,
+                },
+                FabricModel::SerialFifo,
+            ),
+        },
+    ]
+}
+
+/// Times one single-job macro scenario (`reps` repetitions, min wall)
+/// and renders its tracked entry.
+pub fn run_macro(s: &MacroScenario, reps: usize) -> Value {
+    // One untimed warmup rep: the first simulation in a process pays
+    // first-touch page faults and clock ramp-up, which would otherwise
+    // poison low-rep runs (the CI gate uses few reps).
+    std::hint::black_box(run(&s.cfg));
+    let mut wall_min = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run(&s.cfg);
+        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let r = result.expect("at least one rep");
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, peak in-flight {}",
+        s.name,
+        wall_min * 1e3,
+        r.comm_events,
+        r.comm_events as f64 / wall_min,
+        r.peak_in_flight,
+    );
+    obj(vec![
+        ("name", Value::Str(s.name.to_string())),
+        ("wall_sec", Value::F64(wall_min)),
+        ("events", Value::U64(r.comm_events)),
+        (
+            "events_per_sec",
+            Value::F64(r.comm_events as f64 / wall_min),
+        ),
+        ("peak_in_flight", Value::U64(r.peak_in_flight as u64)),
+        ("sim_speed", Value::F64(r.speed)),
+        ("sim_finished_at_ns", Value::U64(r.finished_at.as_nanos())),
+    ])
+}
+
+/// One timed cluster scenario: a config, its tenants, and a name for the
+/// tracked entry.
+pub struct ClusterMacro {
+    pub name: String,
+    pub cluster: ClusterConfig,
+    pub specs: Vec<JobSpec>,
+}
+
+/// Cluster-mode macro: 4 comm-heavy jobs packed onto 8 machines of one
+/// shared fluid fabric — times the multi-job driver's tag demuxing and
+/// per-job advance loop under real contention. Events are total fabric
+/// deliveries across all tenants.
+pub fn cluster_4job_macro(quick: bool) -> ClusterMacro {
+    let iters = if quick { 5 } else { 20 };
+    let net = NetConfig::gbps(10.0, Transport::tcp());
+    let specs: Vec<JobSpec> = (0..4)
+        .map(|j| {
+            let mut c = WorldConfig::new(
+                comm_heavy(),
+                2,
+                Arch::ps(2),
+                net,
+                bs_engine::EngineConfig::mxnet_ps(),
+                if j % 2 == 0 {
+                    SchedulerKind::ByteScheduler {
+                        partition: 500_000,
+                        credit: 2_000_000,
+                    }
+                } else {
+                    SchedulerKind::Baseline
+                },
+            );
+            c.iters = iters;
+            c.warmup = 2;
+            c.jitter = 0.0;
+            c.seed = 1 + j as u64;
+            JobSpec::train(format!("job{j}"), c)
+        })
+        .collect();
+    let mut cluster = ClusterConfig::new(8, net);
+    cluster.fabric = FabricModel::FairShare;
+    cluster.placement = PlacementPolicy::Packed;
+    ClusterMacro {
+        name: "cluster_4job_fluid_packed".to_string(),
+        cluster,
+        specs,
+    }
+}
+
+/// Mixed co-tenancy macro for the conservative-parallel driver: `n_ps`
+/// 2-worker PS jobs contending on the shared fabric plus `n_ar`
+/// all-reduce jobs whose collective streams are private. The AR tenants
+/// are permanent free-run candidates, so this is the workload where the
+/// parallel core's speedup lives; the PS tenants keep the shared-fabric
+/// path honest at the same time.
+pub fn cluster_mixed_macro(name: &str, n_ps: usize, n_ar: usize, quick: bool) -> ClusterMacro {
+    let iters = if quick { 4 } else { 10 };
+    let net = NetConfig::gbps(10.0, Transport::tcp());
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for j in 0..n_ps {
+        let mut c = WorldConfig::new(
+            comm_heavy(),
+            2,
+            Arch::ps(2),
+            net,
+            bs_engine::EngineConfig::mxnet_ps(),
+            if j % 2 == 0 {
+                SchedulerKind::ByteScheduler {
+                    partition: 500_000,
+                    credit: 2_000_000,
+                }
+            } else {
+                SchedulerKind::Baseline
+            },
+        );
+        c.iters = iters;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c.seed = 1 + j as u64;
+        specs.push(JobSpec::train(format!("ps{j}"), c));
+    }
+    for j in 0..n_ar {
+        let mut c = WorldConfig::new(
+            comm_heavy(),
+            2,
+            Arch::allreduce(),
+            net,
+            bs_engine::EngineConfig::mxnet_allreduce(),
+            SchedulerKind::ByteScheduler {
+                partition: 2_000_000,
+                credit: 8_000_000,
+            },
+        );
+        // AR tenants carry extra iterations: their whole lifetime runs on
+        // worker threads in parallel mode, so weighting them up widens
+        // the measurable gap between the sequential and parallel cores.
+        c.iters = iters * 2;
+        c.warmup = 2;
+        c.jitter = 0.0;
+        c.seed = 100 + j as u64;
+        specs.push(JobSpec::train(format!("ar{j}"), c));
+    }
+    let mut cluster = ClusterConfig::new((2 * n_ps).max(2), net);
+    cluster.fabric = FabricModel::FairShare;
+    cluster.placement = PlacementPolicy::Packed;
+    ClusterMacro {
+        name: name.to_string(),
+        cluster,
+        specs,
+    }
+}
+
+/// Times a cluster macro (`reps` repetitions, min wall) and renders its
+/// tracked entry. Events are total shared-fabric deliveries; simulated
+/// outputs (makespan, fairness) are recorded so a perf refactor can show
+/// its numbers did not move.
+pub fn run_cluster_macro(m: &ClusterMacro, reps: usize) -> Value {
+    // Untimed warmup rep, as in `run_macro`.
+    std::hint::black_box(run_cluster(&m.cluster, &m.specs));
+    let mut wall_min = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run_cluster(&m.cluster, &m.specs);
+        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let r = result.expect("at least one rep");
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, makespan {:?} ({} threads)",
+        m.name,
+        wall_min * 1e3,
+        r.fabric_events,
+        r.fabric_events as f64 / wall_min,
+        r.makespan,
+        m.cluster.threads.max(1),
+    );
+    obj(vec![
+        ("name", Value::Str(m.name.clone())),
+        ("threads", Value::U64(m.cluster.threads.max(1) as u64)),
+        ("wall_sec", Value::F64(wall_min)),
+        ("events", Value::U64(r.fabric_events)),
+        (
+            "events_per_sec",
+            Value::F64(r.fabric_events as f64 / wall_min),
+        ),
+        ("sim_jain_fairness", Value::F64(r.jain_fairness)),
+        ("sim_makespan_ns", Value::U64(r.makespan.as_nanos())),
+    ])
+}
+
+/// Builds a JSON object from string keys.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Reads a float field from a macro entry.
+pub fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::F64(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Appends a field to a JSON object entry.
+pub fn push_field(entry: &mut Value, key: &str, value: Value) {
+    if let Value::Object(fields) = entry {
+        fields.push((key.to_string(), value));
+    }
+}
+
+/// Per-scenario wall-time ratios old/new, keyed by scenario name.
+pub fn speedups(before: &Value, after: &Value, section: &str, key: &str) -> Value {
+    let mut out = Vec::new();
+    let (Some(Value::Array(old)), Some(Value::Array(new))) =
+        (before.get(section), after.get(section))
+    else {
+        return Value::Object(out);
+    };
+    for n in new {
+        let Some(Value::Str(name)) = n.get("name") else {
+            continue;
+        };
+        let old_wall = old
+            .iter()
+            .find(|o| o.get("name") == n.get("name"))
+            .and_then(|o| o.get(key));
+        if let (Some(Value::F64(ow)), Some(Value::F64(nw))) = (old_wall, n.get(key)) {
+            if *nw > 0.0 {
+                out.push((name.clone(), Value::F64(ow / nw)));
+            }
+        }
+    }
+    Value::Object(out)
+}
+
+/// The effective thread count for parallel cluster scenarios:
+/// `BS_BENCH_THREADS`, or every available core.
+pub fn bench_threads() -> usize {
+    std::env::var("BS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Extracts `(name, events_per_sec)` for every macro entry of a
+/// `BENCH_<n>.json` document (or of its bare `results` section).
+pub fn macro_events_per_sec(doc: &Value) -> Vec<(String, f64)> {
+    let results = doc.get("results").unwrap_or(doc);
+    let Some(Value::Array(entries)) = results.get("macro") else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| match (e.get("name"), e.get("events_per_sec")) {
+            (Some(Value::Str(n)), Some(Value::F64(eps))) => Some((n.clone(), *eps)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The gate rule: a fresh macro scenario regresses when its events/sec
+/// falls more than `tolerance` below the committed baseline's. Scenarios
+/// present on only one side are ignored (new scenarios gate from the
+/// next baseline on). Returns one human-readable line per regression.
+pub fn gate_failures(
+    baseline: &[(String, f64)],
+    fresh: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, new_eps) in fresh {
+        let Some((_, old_eps)) = baseline.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let floor = old_eps * (1.0 - tolerance);
+        if *new_eps < floor {
+            failures.push(format!(
+                "{name}: {new_eps:.0} events/sec is {:.1}% below the \
+                 baseline's {old_eps:.0} (floor {floor:.0} at {:.0}% tolerance)",
+                (1.0 - new_eps / old_eps) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(rows: &[(&str, f64)]) -> Vec<(String, f64)> {
+        rows.iter().map(|(n, e)| (n.to_string(), *e)).collect()
+    }
+
+    /// The gate demonstrably fails against a doctored (inflated)
+    /// baseline, and names the offending scenario.
+    #[test]
+    fn gate_fails_on_doctored_baseline() {
+        let doctored = entries(&[("ps_fifo_bytescheduler", 1e12)]);
+        let fresh = entries(&[("ps_fifo_bytescheduler", 2_500_000.0)]);
+        let failures = gate_failures(&doctored, &fresh, 0.15);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("ps_fifo_bytescheduler"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_ignores_unknown_scenarios() {
+        let baseline = entries(&[("a", 1000.0), ("gone", 500.0)]);
+        // 14% below baseline: inside the 15% band. "new" has no baseline
+        // yet and must not trip the gate.
+        let fresh = entries(&[("a", 860.0), ("new", 1.0)]);
+        assert!(gate_failures(&baseline, &fresh, 0.15).is_empty());
+        // 16% below: outside the band.
+        let fresh = entries(&[("a", 840.0)]);
+        assert_eq!(gate_failures(&baseline, &fresh, 0.15).len(), 1);
+    }
+
+    /// End-to-end through the JSON path: a doctored BENCH document makes
+    /// the gate fail.
+    #[test]
+    fn gate_fails_through_a_doctored_bench_document() {
+        let doc = obj(vec![(
+            "results",
+            obj(vec![(
+                "macro",
+                Value::Array(vec![obj(vec![
+                    ("name", Value::Str("cluster_4job_fluid_packed".into())),
+                    ("events_per_sec", Value::F64(9e9)),
+                ])]),
+            )]),
+        )]);
+        let baseline = macro_events_per_sec(&doc);
+        assert_eq!(baseline.len(), 1);
+        let fresh = entries(&[("cluster_4job_fluid_packed", 1_500_000.0)]);
+        assert_eq!(gate_failures(&baseline, &fresh, 0.15).len(), 1);
+    }
+}

@@ -1,7 +1,9 @@
 //! Tracked performance runner: times the macro scenarios and fabric
 //! microbenchmarks that gate simulator-performance PRs, and writes the
 //! numbers to `BENCH_<n>.json` (committed, so the trajectory is diffable
-//! across PRs).
+//! across PRs). Scenario definitions live in [`bs_bench::baseline`],
+//! shared with the CI regression gate (`bin/perf_gate`) so the two
+//! always time the same thing.
 //!
 //! Run from the repository root:
 //!
@@ -11,12 +13,14 @@
 //!
 //! Environment knobs:
 //!
-//! - `BS_BENCH_OUT`    — output path (default `BENCH_1.json`).
-//! - `BS_BENCH_REPS`   — wall-clock repetitions per scenario (default 3;
+//! - `BS_BENCH_OUT`     — output path (default `BENCH_1.json`).
+//! - `BS_BENCH_REPS`    — wall-clock repetitions per scenario (default 3;
 //!   the minimum is reported, which is the standard way to reject noise).
-//! - `BS_BENCH_QUICK`  — when set, one repetition and shrunken scenario
+//! - `BS_BENCH_QUICK`   — when set, one repetition and shrunken scenario
 //!   sizes; used by the CI smoke job where absolute numbers don't matter.
-//! - `BS_BENCH_BEFORE` — path to a previous `BENCH_*.json`; its `results`
+//! - `BS_BENCH_THREADS` — thread count for the `*_par` cluster scenarios
+//!   (default: every available core).
+//! - `BS_BENCH_BEFORE`  — path to a previous `BENCH_*.json`; its `results`
 //!   section is embedded under `before` and per-scenario speedups are
 //!   computed, so a refactor PR can carry its own before/after evidence.
 //!
@@ -24,211 +28,19 @@
 //! communication completions ("events") and events/sec, peak in-flight
 //! transfers, and the simulated training speed (which must not change
 //! across a pure-performance refactor — determinism is checked by the
-//! golden-trace test, not here).
+//! golden-trace test, not here). The mixed cluster scenarios come in
+//! `_seq`/`_par` pairs; the `_par` entry records its thread count and
+//! wall-clock speedup over the sequential twin.
 
 use std::time::Instant;
 
-use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
-use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
-use bs_net::{FabricModel, FluidNetwork, NetConfig, Network, NodeId, Transport};
-use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bs_bench::baseline::{
+    bench_threads, cluster_4job_macro, cluster_mixed_macro, get_f64, macro_scenarios, obj,
+    push_field, run_cluster_macro, run_macro, speedups,
+};
+use bs_net::{FluidNetwork, NetConfig, Network, NodeId, Transport};
 use bs_sim::SimTime;
 use serde::Value;
-
-/// The comm-heavy toy model used across the runtime tests: a big tensor
-/// near the input (VGG-like inversion) so FIFO order hurts and the
-/// scheduler has real work to do.
-fn comm_heavy() -> DnnModel {
-    let gpu = GpuSpec::custom(1e12, 2.0);
-    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
-        .explicit(
-            "l0",
-            40_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l1",
-            5_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l2",
-            5_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .explicit(
-            "l3",
-            1_000_000,
-            SimTime::from_millis(4),
-            SimTime::from_millis(8),
-        )
-        .build()
-}
-
-struct MacroScenario {
-    name: &'static str,
-    cfg: WorldConfig,
-}
-
-fn macro_scenarios(quick: bool) -> Vec<MacroScenario> {
-    let iters = if quick { 5 } else { 20 };
-    let net = NetConfig::gbps(10.0, Transport::tcp());
-    let bs = SchedulerKind::ByteScheduler {
-        partition: 500_000,
-        credit: 2_000_000,
-    };
-    let mk = |arch: Arch, engine, sched, fabric| {
-        let mut c = WorldConfig::new(comm_heavy(), 4, arch, net, engine, sched);
-        c.iters = iters;
-        c.warmup = 2;
-        c.jitter = 0.0;
-        c.seed = 1;
-        c.fabric = fabric;
-        c
-    };
-    vec![
-        MacroScenario {
-            name: "ps_fifo_bytescheduler",
-            cfg: mk(
-                Arch::ps(4),
-                bs_engine::EngineConfig::mxnet_ps(),
-                bs,
-                FabricModel::SerialFifo,
-            ),
-        },
-        MacroScenario {
-            name: "ps_fluid_bytescheduler",
-            cfg: mk(
-                Arch::ps(4),
-                bs_engine::EngineConfig::mxnet_ps(),
-                bs,
-                FabricModel::FairShare,
-            ),
-        },
-        MacroScenario {
-            name: "allreduce_bytescheduler",
-            cfg: mk(
-                Arch::allreduce(),
-                bs_engine::EngineConfig::mxnet_allreduce(),
-                SchedulerKind::ByteScheduler {
-                    partition: 2_000_000,
-                    credit: 8_000_000,
-                },
-                FabricModel::SerialFifo,
-            ),
-        },
-    ]
-}
-
-/// Cluster-mode macro: 4 comm-heavy jobs packed onto 8 machines of one
-/// shared fluid fabric — times the multi-job driver's tag demuxing and
-/// per-job advance loop under real contention. Events are total fabric
-/// deliveries across all tenants.
-fn run_cluster_macro(quick: bool, reps: usize) -> Value {
-    let iters = if quick { 5 } else { 20 };
-    let net = NetConfig::gbps(10.0, Transport::tcp());
-    let specs: Vec<JobSpec> = (0..4)
-        .map(|j| {
-            let mut c = WorldConfig::new(
-                comm_heavy(),
-                2,
-                Arch::ps(2),
-                net,
-                bs_engine::EngineConfig::mxnet_ps(),
-                if j % 2 == 0 {
-                    SchedulerKind::ByteScheduler {
-                        partition: 500_000,
-                        credit: 2_000_000,
-                    }
-                } else {
-                    SchedulerKind::Baseline
-                },
-            );
-            c.iters = iters;
-            c.warmup = 2;
-            c.jitter = 0.0;
-            c.seed = 1 + j as u64;
-            JobSpec::train(format!("job{j}"), c)
-        })
-        .collect();
-    let mut cluster = ClusterConfig::new(8, net);
-    cluster.fabric = FabricModel::FairShare;
-    cluster.placement = PlacementPolicy::Packed;
-
-    let mut wall_min = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = run_cluster(&cluster, &specs);
-        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
-        result = Some(r);
-    }
-    let r = result.expect("at least one rep");
-    let name = "cluster_4job_fluid_packed";
-    eprintln!(
-        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, makespan {:?}",
-        name,
-        wall_min * 1e3,
-        r.fabric_events,
-        r.fabric_events as f64 / wall_min,
-        r.makespan,
-    );
-    obj(vec![
-        ("name", Value::Str(name.to_string())),
-        ("wall_sec", Value::F64(wall_min)),
-        ("events", Value::U64(r.fabric_events)),
-        (
-            "events_per_sec",
-            Value::F64(r.fabric_events as f64 / wall_min),
-        ),
-        ("sim_jain_fairness", Value::F64(r.jain_fairness)),
-        ("sim_makespan_ns", Value::U64(r.makespan.as_nanos())),
-    ])
-}
-
-fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-fn run_macro(s: &MacroScenario, reps: usize) -> Value {
-    let mut wall_min = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = run(&s.cfg);
-        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
-        result = Some(r);
-    }
-    let r = result.expect("at least one rep");
-    eprintln!(
-        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, peak in-flight {}",
-        s.name,
-        wall_min * 1e3,
-        r.comm_events,
-        r.comm_events as f64 / wall_min,
-        r.peak_in_flight,
-    );
-    obj(vec![
-        ("name", Value::Str(s.name.to_string())),
-        ("wall_sec", Value::F64(wall_min)),
-        ("events", Value::U64(r.comm_events)),
-        (
-            "events_per_sec",
-            Value::F64(r.comm_events as f64 / wall_min),
-        ),
-        ("peak_in_flight", Value::U64(r.peak_in_flight as u64)),
-        ("sim_speed", Value::F64(r.speed)),
-        ("sim_finished_at_ns", Value::U64(r.finished_at.as_nanos())),
-    ])
-}
 
 /// Drains a fluid network to idle, stepping event by event.
 fn drain_fluid(n: &mut FluidNetwork) {
@@ -335,31 +147,6 @@ fn micro_entry(name: &str, wall: f64, ops: u64) -> Value {
     ])
 }
 
-/// Per-scenario wall-time ratios old/new, keyed by scenario name.
-fn speedups(before: &Value, after: &Value, section: &str, key: &str) -> Value {
-    let mut out = Vec::new();
-    let (Some(Value::Array(old)), Some(Value::Array(new))) =
-        (before.get(section), after.get(section))
-    else {
-        return Value::Object(out);
-    };
-    for n in new {
-        let Some(Value::Str(name)) = n.get("name") else {
-            continue;
-        };
-        let old_wall = old
-            .iter()
-            .find(|o| o.get("name") == n.get("name"))
-            .and_then(|o| o.get(key));
-        if let (Some(Value::F64(ow)), Some(Value::F64(nw))) = (old_wall, n.get(key)) {
-            if *nw > 0.0 {
-                out.push((name.clone(), Value::F64(ow / nw)));
-            }
-        }
-    }
-    Value::Object(out)
-}
-
 fn main() {
     let quick = std::env::var("BS_BENCH_QUICK").is_ok();
     let reps: usize = std::env::var("BS_BENCH_REPS")
@@ -368,13 +155,34 @@ fn main() {
         .unwrap_or(if quick { 1 } else { 3 })
         .max(1);
     let out_path = std::env::var("BS_BENCH_OUT").unwrap_or_else(|_| "BENCH_1.json".to_string());
+    let threads = bench_threads();
 
     eprintln!("macro scenarios ({reps} reps, min wall):");
     let mut macros: Vec<Value> = macro_scenarios(quick)
         .iter()
         .map(|s| run_macro(s, reps))
         .collect();
-    macros.push(run_cluster_macro(quick, reps));
+    macros.push(run_cluster_macro(&cluster_4job_macro(quick), reps));
+    for (name, n_ps, n_ar) in [
+        ("cluster_8job_mixed", 3usize, 5usize),
+        ("cluster_16job_mixed", 6, 10),
+    ] {
+        let seq = cluster_mixed_macro(&format!("{name}_seq"), n_ps, n_ar, quick);
+        let seq_entry = run_cluster_macro(&seq, reps);
+        let seq_wall = get_f64(&seq_entry, "wall_sec");
+        macros.push(seq_entry);
+        // At least 2, so the `_par` entry always exercises the parallel
+        // core (and reports its overhead honestly) even on one core.
+        let mut par = cluster_mixed_macro(&format!("{name}_par"), n_ps, n_ar, quick);
+        par.cluster.threads = threads.max(2);
+        let mut par_entry = run_cluster_macro(&par, reps);
+        if let (Some(sw), Some(pw)) = (seq_wall, get_f64(&par_entry, "wall_sec")) {
+            if pw > 0.0 {
+                push_field(&mut par_entry, "speedup_vs_seq", Value::F64(sw / pw));
+            }
+        }
+        macros.push(par_entry);
+    }
 
     eprintln!("micro benches:");
     let scale = if quick { 10 } else { 1 };

@@ -1,1 +1,6 @@
-//! Criterion benchmark crate; see `benches/`.
+//! Performance tooling: shared macro-scenario definitions and timing
+//! loops for the tracked runner (`bin/perf_baseline`) and the CI
+//! regression gate (`bin/perf_gate`), plus the optional criterion
+//! benches under `benches/`.
+
+pub mod baseline;

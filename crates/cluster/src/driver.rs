@@ -9,12 +9,45 @@
 //! events by the job-id bits of each transfer tag. With one job the event
 //! sequence is identical to the single-job driver's — the degenerate-case
 //! equivalence the test-suite pins bit-for-bit.
+//!
+//! # Conservative-parallel mode (`ClusterConfig::threads > 1`)
+//!
+//! Between shared-fabric interaction points, co-tenant jobs are causally
+//! independent: a job with no transfer pending on the fabric cannot
+//! receive a fabric event, and everything else it does (GPU ops, ring
+//! steps, fault timers) is private. The parallel core exploits exactly
+//! that lookahead, and nothing more — which is why it is *conservative*
+//! in the classic Chandy–Misra sense and reproduces the sequential event
+//! order bit-for-bit (pinned by the `parallel_*` tests and the proptest
+//! suite in `tests/cluster_parallel_properties.rs`):
+//!
+//! 1. **Plan.** With the cascade queue empty, scan the fabric's pending
+//!    tags; jobs owning none of them are candidates.
+//! 2. **Free-run.** Fan the candidates across a persistent
+//!    [`WorkerPool`]. Each worker advances its job against a
+//!    [`SubmitLog`] — a fabric stand-in that records submissions instead
+//!    of simulating them — and parks at the end of the first instant in
+//!    which the job submitted anything (its next fabric interaction).
+//!    Every advance up to that point is a per-instant `Step` in the log.
+//! 3. **Replay.** Back on the driver thread, a logged job's clock is its
+//!    next unconsumed step. Each global iteration consumes at most one
+//!    step: advance-phase submissions are replayed in job order, and a
+//!    marker pushed where the job's cascade block would sit replays the
+//!    step's cascade-phase submissions when it pops. The job's *state*
+//!    was already mutated by the free-run; the replay only re-times its
+//!    fabric traffic.
+//!
+//! Correctness leans on one engine-level invariant, asserted in
+//! `DESIGN.md §13`: advancing a job at an instant where it has nothing
+//! due is a strict no-op, so free-running a job only at its own event
+//! instants is state-identical to the sequential loop advancing it at
+//! every global instant.
 
-use bs_net::{Fabric, NetEvent, NodeId};
+use bs_net::{Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, SubmitLog};
 use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
 use bs_runtime::traffic::{BurstSource, BG_TAG};
 use bs_runtime::{JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
-use bs_sim::{SimTime, Trace};
+use bs_sim::{SimTime, Trace, WorkerPool};
 use bs_telemetry::MetricSet;
 
 use crate::metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
@@ -57,7 +90,7 @@ impl ClusterJob {
         }
     }
 
-    fn advance(&mut self, t: SimTime, fabric: &mut Fabric, out: &mut Vec<JobEvent>) {
+    fn advance<P: NetPort>(&mut self, t: SimTime, fabric: &mut P, out: &mut Vec<JobEvent>) {
         match self {
             ClusterJob::Train { state, .. } => state.advance(t, fabric, out),
             ClusterJob::Burst {
@@ -92,7 +125,13 @@ impl ClusterJob {
         }
     }
 
-    fn handle(&mut self, ev: JobEvent, now: SimTime, fabric: &mut Fabric, out: &mut Vec<JobEvent>) {
+    fn handle<P: NetPort>(
+        &mut self,
+        ev: JobEvent,
+        now: SimTime,
+        fabric: &mut P,
+        out: &mut Vec<JobEvent>,
+    ) {
         match self {
             ClusterJob::Train { state, .. } => state.handle(ev, now, fabric, out),
             ClusterJob::Burst { src, .. } => {
@@ -104,6 +143,340 @@ impl ClusterJob {
             }
         }
     }
+}
+
+/// Free-runs are shipped to pool workers, so a tenant's whole state must
+/// be `Send`; this fails to compile if any job component regresses.
+#[allow(dead_code)]
+fn cluster_jobs_are_send(job: ClusterJob) -> impl Send {
+    job
+}
+
+/// One queue entry: a routed job event, or (parallel mode only) a replay
+/// marker standing where a free-run job's cascade block would sit.
+enum QueueItem {
+    Ev(JobEvent),
+    /// Replay marker for step `.0` of the owning job's log: popping it
+    /// replays that step's cascade-phase submissions.
+    Marker(usize),
+}
+
+/// One free-run instant: everything the job did at time `t`, split at the
+/// advance/cascade boundary so the replay can interleave with the global
+/// loop's two phases. Submission indices are prefix ends into
+/// [`JobLog::submits`]; a step's advance range starts at the previous
+/// step's `cascade_end`.
+struct Step {
+    t: SimTime,
+    adv_end: u32,
+    cascade_end: u32,
+}
+
+/// The complete record of one job's free-run: its per-instant steps and
+/// every fabric submission, in call order.
+struct JobLog {
+    submits: Vec<LoggedSubmit>,
+    steps: Vec<Step>,
+}
+
+/// Replay cursor over a [`JobLog`]. While one of these exists for a job,
+/// the job's *state* is already at the park point; only its fabric
+/// traffic is still being re-timed into the shared simulation.
+struct Replay {
+    log: JobLog,
+    /// Next step to consume in the advance phase. Markers pop in the
+    /// drain immediately after the advance that pushed them, so at every
+    /// plan/clock/done decision point this also counts replayed cascades.
+    next_step: usize,
+}
+
+/// Parallel-mode state: the persistent worker pool plus one optional
+/// replay cursor per job.
+struct ParCtx {
+    pool: WorkerPool,
+    replays: Vec<Option<Replay>>,
+    iters_since_plan: u64,
+}
+
+/// Iterations between free-run plans. Planning costs a pending-tag scan
+/// plus a pool fan-out, so it cannot run every instant; once per
+/// `PLAN_INTERVAL` keeps the overhead off the hot loop while still
+/// catching jobs inside their compute phases.
+const PLAN_INTERVAL: u64 = 32;
+
+/// Upper bound on steps per free-run, purely defensive: breaking early
+/// is always safe (the replay simply covers a shorter prefix), so a
+/// pathological never-submitting job degrades to sequential execution
+/// instead of unbounded log growth.
+const FREE_RUN_STEP_CAP: usize = 1 << 20;
+
+/// Runs `job` forward against a [`SubmitLog`] until the end of the first
+/// instant in which it submitted to the fabric (its next shared
+/// interaction), it finishes, or it runs out of private events.
+///
+/// The loop is the sequential driver's per-job projection: pick the job's
+/// own next instant, advance, then drain its cascades LIFO. Because a
+/// candidate job has nothing pending on the fabric, the sequential loop
+/// would feed it no events and advance it as a no-op at every foreign
+/// instant — so this produces the identical state trajectory.
+fn free_run(job: &mut ClusterJob) -> JobLog {
+    // A finished training job only carries background bursts; its
+    // `done()` is permanently true and must not end the run early.
+    let check_done = matches!(job, ClusterJob::Train { finished: None, .. });
+    let mut log = SubmitLog::new();
+    let mut steps: Vec<Step> = Vec::new();
+    let mut queue: Vec<JobEvent> = Vec::new();
+    loop {
+        let t = job.next_event_time();
+        if t.is_never() {
+            break;
+        }
+        let adv_start = log.len();
+        job.advance(t, &mut log, &mut queue);
+        let adv_end = log.len();
+        while let Some(ev) = queue.pop() {
+            job.handle(ev, t, &mut log, &mut queue);
+        }
+        let cascade_end = log.len();
+        steps.push(Step {
+            t,
+            adv_end: adv_end as u32,
+            cascade_end: cascade_end as u32,
+        });
+        let done = check_done && matches!(job, ClusterJob::Train { state, .. } if state.done());
+        if done || cascade_end > adv_start || steps.len() >= FREE_RUN_STEP_CAP {
+            break;
+        }
+    }
+    JobLog {
+        submits: log.submits,
+        steps,
+    }
+}
+
+/// Finds jobs with no stake in the shared fabric and free-runs them on
+/// the pool. Must be called with the cascade queue empty and every prior
+/// replay fully consumed.
+fn plan_free_runs<P: NetPort>(jobs: &mut [ClusterJob], fabric: &P, ctx: &mut ParCtx) {
+    debug_assert!(ctx.replays.iter().all(|r| r.is_none()));
+    // A job owning any pending transfer (queued, on-wire, or awaiting
+    // delivery) may receive a fabric event at an instant it cannot
+    // predict alone — it must stay on the sequential path.
+    let mut pending: u32 = 0;
+    fabric.for_each_pending_tag(&mut |tag| pending |= 1 << job_of_tag(tag));
+    let mut candidates: Vec<(usize, &mut ClusterJob)> = jobs
+        .iter_mut()
+        .enumerate()
+        .filter(|(j, job)| pending & (1u32 << *j) == 0 && !job.next_event_time().is_never())
+        .collect();
+    if candidates.len() < 2 {
+        // One lone candidate gains nothing from a detour through a log.
+        return;
+    }
+    let mut logs: Vec<(usize, Option<JobLog>)> =
+        candidates.iter().map(|(j, _)| (*j, None)).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = candidates
+        .iter_mut()
+        .zip(logs.iter_mut())
+        .map(|((_, job), (_, slot))| {
+            let job: &mut ClusterJob = job;
+            let t: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = Some(free_run(job)));
+            t
+        })
+        .collect();
+    ctx.pool.run_scoped(tasks);
+    for (j, log) in logs {
+        let log = log.expect("free-run task ran to completion");
+        if !log.steps.is_empty() {
+            ctx.replays[j] = Some(Replay { log, next_step: 0 });
+        }
+    }
+}
+
+/// Per-job and per-machine traffic attribution recorded by the drive
+/// loop's fabric-demux phase.
+struct Accounting {
+    job_bytes: Vec<u64>,
+    job_events: Vec<u64>,
+    up_bytes: Vec<u64>,
+    down_bytes: Vec<u64>,
+    /// `[j][m] = (up, down)` delivered bytes, metrics mode only.
+    job_nic_bytes: Option<Vec<Vec<(u64, u64)>>>,
+}
+
+/// The cluster event loop, monomorphised over the concrete fabric.
+/// Returns the makespan. With `par == None` this is exactly the
+/// sequential driver; with a [`ParCtx`] it interleaves free-run planning
+/// and replay without perturbing the event order (see the module docs).
+fn drive<P: NetPort>(
+    jobs: &mut [ClusterJob],
+    fabric: &mut P,
+    acct: &mut Accounting,
+    mut par: Option<&mut ParCtx>,
+) -> SimTime {
+    let mut now = SimTime::ZERO;
+    let mut queue: Vec<(usize, QueueItem)> = Vec::new();
+    let mut scratch: Vec<JobEvent> = Vec::new();
+    let mut net_events: Vec<NetEvent> = Vec::new();
+    let mut spins_at_same_instant: u64 = 0;
+    let mut last_now = SimTime::ZERO;
+    loop {
+        if now == last_now {
+            spins_at_same_instant += 1;
+            assert!(
+                spins_at_same_instant < 1_000_000,
+                "cluster event loop spinning at {now} without progress"
+            );
+        } else {
+            last_now = now;
+            spins_at_same_instant = 0;
+        }
+        // Drain all cascades at the current instant; follow-on events are
+        // appended in emission order, preserving the single-job driver's
+        // LIFO cascade order per job. Fabric events pushed after a replay
+        // marker pop before it, exactly as they pop before the live job's
+        // cascade block they stand for.
+        while let Some((j, item)) = queue.pop() {
+            match item {
+                QueueItem::Ev(ev) => {
+                    debug_assert!(scratch.is_empty());
+                    jobs[j].handle(ev, now, fabric, &mut scratch);
+                    for e in scratch.drain(..) {
+                        queue.push((j, QueueItem::Ev(e)));
+                    }
+                }
+                QueueItem::Marker(step) => {
+                    let ctx = par.as_deref_mut().expect("markers imply parallel mode");
+                    let r = ctx.replays[j].as_mut().expect("marker implies a replay");
+                    let s = &r.log.steps[step];
+                    debug_assert_eq!(s.t, now, "marker must pop at its own instant");
+                    for ls in &r.log.submits[s.adv_end as usize..s.cascade_end as usize] {
+                        fabric.submit(now, ls.src, ls.dst, ls.bytes, ls.tag);
+                    }
+                    if step + 1 == r.log.steps.len() {
+                        // Log exhausted: the job is live again, its state
+                        // already at the park point.
+                        ctx.replays[j] = None;
+                    }
+                }
+            }
+        }
+        let mut all_done = true;
+        for (j, job) in jobs.iter_mut().enumerate() {
+            if let ClusterJob::Train {
+                state, finished, ..
+            } = job
+            {
+                if finished.is_none() {
+                    // A mid-replay job's state is ahead of the shared
+                    // clock; it counts as done only once its final step
+                    // has replayed (which clears the replay above).
+                    let replaying = par.as_deref().is_some_and(|c| c.replays[j].is_some());
+                    if !replaying && state.done() {
+                        *finished = Some(now);
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if let Some(ctx) = par.as_deref_mut() {
+            ctx.iters_since_plan += 1;
+            if ctx.iters_since_plan >= PLAN_INTERVAL && ctx.replays.iter().all(|r| r.is_none()) {
+                ctx.iters_since_plan = 0;
+                plan_free_runs(jobs, fabric, ctx);
+            }
+        }
+        let mut t = fabric.next_event_time();
+        for (j, job) in jobs.iter().enumerate() {
+            // A replaying job's clock is its next unconsumed step.
+            let jt = match par.as_deref().and_then(|c| c.replays[j].as_ref()) {
+                Some(r) => r.log.steps[r.next_step].t,
+                None => job.next_event_time(),
+            };
+            t = t.min(jt);
+        }
+        if t.is_never() {
+            let progress: Vec<String> = jobs
+                .iter()
+                .enumerate()
+                .map(|(j, job)| match job {
+                    ClusterJob::Train { state, .. } => {
+                        format!("job{j}: iters {:?}", state.debug_iterations())
+                    }
+                    ClusterJob::Burst { src, .. } => {
+                        format!("job{j}: burst timers {}", src.pending())
+                    }
+                })
+                .collect();
+            panic!("cluster stalled at {now}: {}", progress.join("; "));
+        }
+        now = t;
+        // Job-owned sources in job order, then the shared fabric — the
+        // single-job driver's within-instant order, per job. A replaying
+        // job consumes at most one step: its advance-phase submissions go
+        // to the fabric here (in job order, like a live advance would),
+        // and a marker queued in place of its cascade block defers the
+        // rest to the next drain.
+        for (j, job) in jobs.iter_mut().enumerate() {
+            if let Some(r) = par.as_deref_mut().and_then(|c| c.replays[j].as_mut()) {
+                let s = &r.log.steps[r.next_step];
+                if s.t <= t {
+                    debug_assert_eq!(s.t, t, "steps replay at their own instants");
+                    let start = match r.next_step {
+                        0 => 0,
+                        k => r.log.steps[k - 1].cascade_end,
+                    };
+                    for ls in &r.log.submits[start as usize..s.adv_end as usize] {
+                        fabric.submit(t, ls.src, ls.dst, ls.bytes, ls.tag);
+                    }
+                    queue.push((j, QueueItem::Marker(r.next_step)));
+                    r.next_step += 1;
+                }
+                // `s.t > t`: nothing of this job's is due; the sequential
+                // loop's advance would be a strict no-op here.
+            } else {
+                debug_assert!(scratch.is_empty());
+                job.advance(t, fabric, &mut scratch);
+                for e in scratch.drain(..) {
+                    queue.push((j, QueueItem::Ev(e)));
+                }
+            }
+        }
+        if fabric.wants_advance(t) {
+            fabric.advance_into(t, &mut net_events);
+            for ev in net_events.drain(..) {
+                // Demultiplex by the tag's job-id bits; jobs see their
+                // own tag namespace (stripped tags), so their handlers
+                // are oblivious to co-tenancy.
+                let (j, stripped) = match ev {
+                    NetEvent::Released(mut c) => {
+                        let j = job_of_tag(c.tag);
+                        c.tag = inner_tag(c.tag);
+                        (j, NetEvent::Released(c))
+                    }
+                    NetEvent::Delivered(mut c) => {
+                        let j = job_of_tag(c.tag);
+                        c.tag = inner_tag(c.tag);
+                        acct.job_bytes[j] += c.bytes;
+                        acct.job_events[j] += 1;
+                        acct.up_bytes[c.src.0] += c.bytes;
+                        acct.down_bytes[c.dst.0] += c.bytes;
+                        if let Some(share) = acct.job_nic_bytes.as_mut() {
+                            share[j][c.src.0].0 += c.bytes;
+                            share[j][c.dst.0].1 += c.bytes;
+                        }
+                        (j, NetEvent::Delivered(c))
+                    }
+                };
+                queue.push((j, QueueItem::Ev(JobEvent::Net(stripped))));
+            }
+        }
+    }
+    now
 }
 
 /// Runs every job to completion on one shared fabric and reports
@@ -136,9 +509,13 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         .map(|(j, (spec, nodes))| match spec {
             JobSpec::Train { arrival, cfg, .. } => {
                 assert!(
-                    cfg.faults.as_ref().is_none_or(|p| p.is_empty()),
-                    "fault plans are single-job: cluster tenants share fabric \
-                     ports, so one job's link faults would hit its neighbours"
+                    cfg.faults
+                        .as_ref()
+                        .is_none_or(|p| p.link_events.is_empty() && p.flaps.is_empty()),
+                    "link-level fault events are single-job: cluster tenants \
+                     share fabric ports, so one job's link kills or rescales \
+                     would hit its neighbours. Loss and straggler plans are \
+                     job-private and allowed."
                 );
                 let mut cfg = cfg.clone();
                 cfg.record_trace = cluster.record_trace;
@@ -168,132 +545,49 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         })
         .collect();
 
-    let mut now = SimTime::ZERO;
     // Training jobs' co-tenant bursts (if any) start with the simulation,
     // exactly as the single-job driver seeds them before its loop.
     for job in &mut jobs {
         if let ClusterJob::Train { state, .. } = job {
-            state.seed_background(now, &mut fabric);
+            state.seed_background(SimTime::ZERO, &mut fabric);
         }
     }
 
-    // Per-job traffic attribution and per-machine byte counters.
-    let mut job_bytes = vec![0u64; jobs.len()];
-    let mut job_events = vec![0u64; jobs.len()];
-    let mut up_bytes = vec![0u64; cluster.machines];
-    let mut down_bytes = vec![0u64; cluster.machines];
-    // Per-(job, machine) delivered bytes — `[j][m] = (up, down)` — for
-    // the per-NIC traffic-share metrics. Recording-only, like every
-    // other telemetry path.
-    let mut job_nic_bytes: Option<Vec<Vec<(u64, u64)>>> = cluster
-        .record_metrics
-        .then(|| vec![vec![(0u64, 0u64); cluster.machines]; jobs.len()]);
+    // Per-job traffic attribution and per-machine byte counters. The
+    // per-(job, machine) share matrix is recording-only, like every other
+    // telemetry path.
+    let mut acct = Accounting {
+        job_bytes: vec![0u64; jobs.len()],
+        job_events: vec![0u64; jobs.len()],
+        up_bytes: vec![0u64; cluster.machines],
+        down_bytes: vec![0u64; cluster.machines],
+        job_nic_bytes: cluster
+            .record_metrics
+            .then(|| vec![vec![(0u64, 0u64); cluster.machines]; jobs.len()]),
+    };
 
-    let mut queue: Vec<(usize, JobEvent)> = Vec::new();
-    let mut scratch: Vec<JobEvent> = Vec::new();
-    let mut net_events: Vec<NetEvent> = Vec::new();
-    let mut spins_at_same_instant: u64 = 0;
-    let mut last_now = SimTime::ZERO;
-    loop {
-        if now == last_now {
-            spins_at_same_instant += 1;
-            assert!(
-                spins_at_same_instant < 1_000_000,
-                "cluster event loop spinning at {now} without progress"
-            );
-        } else {
-            last_now = now;
-            spins_at_same_instant = 0;
-        }
-        // Drain all cascades at the current instant; follow-on events are
-        // appended in emission order, preserving the single-job driver's
-        // LIFO cascade order per job.
-        while let Some((j, ev)) = queue.pop() {
-            debug_assert!(scratch.is_empty());
-            jobs[j].handle(ev, now, &mut fabric, &mut scratch);
-            for e in scratch.drain(..) {
-                queue.push((j, e));
-            }
-        }
-        let mut all_done = true;
-        for job in &mut jobs {
-            if let ClusterJob::Train {
-                state, finished, ..
-            } = job
-            {
-                if finished.is_none() {
-                    if state.done() {
-                        *finished = Some(now);
-                    } else {
-                        all_done = false;
-                    }
-                }
-            }
-        }
-        if all_done {
-            break;
-        }
-        let mut t = fabric.next_event_time();
-        for job in &jobs {
-            t = t.min(job.next_event_time());
-        }
-        if t.is_never() {
-            let progress: Vec<String> = jobs
-                .iter()
-                .enumerate()
-                .map(|(j, job)| match job {
-                    ClusterJob::Train { state, .. } => {
-                        format!("job{j}: iters {:?}", state.debug_iterations())
-                    }
-                    ClusterJob::Burst { src, .. } => {
-                        format!("job{j}: burst timers {}", src.pending())
-                    }
-                })
-                .collect();
-            panic!("cluster stalled at {now}: {}", progress.join("; "));
-        }
-        now = t;
-        // Job-owned sources in job order, then the shared fabric — the
-        // single-job driver's within-instant order, per job.
-        for (j, job) in jobs.iter_mut().enumerate() {
-            debug_assert!(scratch.is_empty());
-            job.advance(t, &mut fabric, &mut scratch);
-            for e in scratch.drain(..) {
-                queue.push((j, e));
-            }
-        }
-        if fabric.wants_advance(t) {
-            fabric.advance_into(t, &mut net_events);
-            for ev in net_events.drain(..) {
-                // Demultiplex by the tag's job-id bits; jobs see their
-                // own tag namespace (stripped tags), so their handlers
-                // are oblivious to co-tenancy.
-                let (j, stripped) = match ev {
-                    NetEvent::Released(mut c) => {
-                        let j = job_of_tag(c.tag);
-                        c.tag = inner_tag(c.tag);
-                        (j, NetEvent::Released(c))
-                    }
-                    NetEvent::Delivered(mut c) => {
-                        let j = job_of_tag(c.tag);
-                        c.tag = inner_tag(c.tag);
-                        job_bytes[j] += c.bytes;
-                        job_events[j] += 1;
-                        up_bytes[c.src.0] += c.bytes;
-                        down_bytes[c.dst.0] += c.bytes;
-                        if let Some(share) = job_nic_bytes.as_mut() {
-                            share[j][c.src.0].0 += c.bytes;
-                            share[j][c.dst.0].1 += c.bytes;
-                        }
-                        (j, NetEvent::Delivered(c))
-                    }
-                };
-                queue.push((j, JobEvent::Net(stripped)));
-            }
-        }
-    }
-
-    let makespan = now;
+    // The parallel core needs a second tenant to overlap with; its pool
+    // contributes `threads - 1` workers because the driver thread also
+    // executes free-runs while it waits at the fan-out barrier.
+    let mut par = (cluster.threads > 1 && jobs.len() >= 2).then(|| ParCtx {
+        pool: WorkerPool::new(cluster.threads - 1),
+        replays: (0..jobs.len()).map(|_| None).collect(),
+        // Plan at the first opportunity: at time zero nothing is on the
+        // fabric yet, so every tenant is a candidate.
+        iters_since_plan: PLAN_INTERVAL,
+    });
+    let makespan = match &mut fabric {
+        Fabric::Fifo(n) => drive(&mut jobs, n, &mut acct, par.as_mut()),
+        Fabric::Fluid(n) => drive(&mut jobs, n, &mut acct, par.as_mut()),
+    };
+    drop(par);
+    let Accounting {
+        job_bytes,
+        job_events,
+        up_bytes,
+        down_bytes,
+        job_nic_bytes,
+    } = acct;
     // Demultiplex the fabric's transfer lifecycles by job id (stripping
     // the namespace bits) and hand each training job its own — before the
     // trace is assembled, since flow arrows point at wire-start instants.
@@ -456,7 +750,7 @@ mod tests {
     use super::*;
     use crate::PlacementPolicy;
     use bs_engine::EngineConfig;
-    use bs_net::{NetConfig, Transport};
+    use bs_net::{FabricModel, NetConfig, Transport};
     use bs_runtime::{Arch, BackgroundLoad, SchedulerKind};
     use bs_sim::SimTime;
 
@@ -692,6 +986,103 @@ mod tests {
             .flows
             .iter()
             .any(|f| f.from_track.starts_with("job1/")));
+    }
+
+    /// An all-reduce tenant: its collective stream is private (zero
+    /// shared-fabric nodes), which makes it a permanent free-run
+    /// candidate in parallel mode.
+    fn ar_cfg(seed: u64) -> WorldConfig {
+        let mut c = WorldConfig::new(
+            comm_heavy(),
+            2,
+            Arch::allreduce(),
+            NetConfig::gbps(10.0, Transport::tcp()),
+            bs_engine::EngineConfig::mxnet_allreduce(),
+            bs(),
+        );
+        c.iters = 8;
+        c.warmup = 2;
+        c.jitter = 0.02;
+        c.seed = seed;
+        c
+    }
+
+    /// The complete observable surface of a run — outcomes, metrics,
+    /// xray, trace, link utilisation — rendered to JSON. Floats use
+    /// shortest-round-trip formatting, so string equality is bit
+    /// equality.
+    fn full_fingerprint(r: &ClusterResult) -> String {
+        serde_json::to_string(r).expect("serialize cluster result")
+    }
+
+    /// The tentpole contract: the conservative-parallel driver replays
+    /// the *identical* event sequence, so every observable — traces,
+    /// metrics, xray attribution, fault outcomes — matches the
+    /// sequential driver bit-for-bit, on both fabrics, at any thread
+    /// count, with every recorder on.
+    #[test]
+    fn parallel_replay_is_bit_identical_with_all_recorders() {
+        use bs_faults::{FaultPlan, RecoveryPolicy, StragglerSpec};
+        for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+            let mut cluster = ClusterConfig::new(6, NetConfig::gbps(10.0, Transport::tcp()));
+            cluster.fabric = fabric;
+            cluster.placement = PlacementPolicy::Packed;
+            cluster.record_trace = true;
+            cluster.record_metrics = true;
+            cluster.record_xray = true;
+            let mut faulty = job_cfg(bs(), 21);
+            faulty.faults = Some(FaultPlan {
+                loss_rate: 0.02,
+                recovery: RecoveryPolicy {
+                    timeout_us: 1_000,
+                    max_retries: 20,
+                },
+                stragglers: vec![StragglerSpec {
+                    worker: 0,
+                    from_iter: 2,
+                    to_iter: 4,
+                    factor: 2.0,
+                }],
+                ..FaultPlan::empty()
+            });
+            let specs = vec![
+                JobSpec::train("faulty", faulty),
+                JobSpec::train("plain", job_cfg(SchedulerKind::Baseline, 22)),
+                JobSpec::train("ring", ar_cfg(23)),
+                JobSpec::burst(
+                    "bg",
+                    BackgroundLoad {
+                        burst_bytes: 1 << 20,
+                        gap_us: 500,
+                    },
+                    1,
+                    99,
+                ),
+            ];
+            let seq = full_fingerprint(&run_cluster(&cluster, &specs));
+            for threads in [2usize, 4] {
+                let mut par = cluster.clone();
+                par.threads = threads;
+                let got = full_fingerprint(&run_cluster(&par, &specs));
+                assert_eq!(
+                    got, seq,
+                    "{fabric:?} threads={threads}: parallel run diverged from sequential"
+                );
+            }
+        }
+    }
+
+    /// A single-tenant cluster has nothing to overlap; `threads > 1`
+    /// must silently fall back to the sequential core and still match.
+    #[test]
+    fn parallel_single_job_cluster_falls_back_to_sequential() {
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.record_trace = true;
+        let specs = vec![JobSpec::train("solo", job_cfg(bs(), 11))];
+        let seq = full_fingerprint(&run_cluster(&cluster, &specs));
+        cluster.threads = 8;
+        let got = full_fingerprint(&run_cluster(&cluster, &specs));
+        assert_eq!(got, seq);
     }
 
     #[test]

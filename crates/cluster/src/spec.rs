@@ -32,6 +32,13 @@ pub struct ClusterConfig {
     /// critical-path attribution to its `result.xray`. Off by default,
     /// same recording-only contract as [`WorldConfig::record_xray`].
     pub record_xray: bool,
+    /// Simulation threads for the conservative-parallel driver core.
+    /// `1` (the default) runs the plain sequential event loop; `N > 1`
+    /// free-runs fabric-independent jobs on `N - 1` pool workers plus the
+    /// driver thread between shared-fabric interaction points. Results
+    /// are bit-identical at every thread count — this knob trades wall
+    /// clock only, never behaviour.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -45,6 +52,7 @@ impl ClusterConfig {
             record_trace: false,
             record_metrics: false,
             record_xray: false,
+            threads: 1,
         }
     }
 }

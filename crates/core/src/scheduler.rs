@@ -45,7 +45,7 @@ pub struct WorkItem {
 ///    (given that completions keep arriving).
 /// 2. **Work conservation**: if a lane has queued items and no in-flight
 ///    bytes, `poll` returns at least one item for that lane.
-pub trait Scheduler {
+pub trait Scheduler: Send {
     /// Human-readable policy name for result tables.
     fn name(&self) -> &'static str;
 

@@ -12,6 +12,11 @@
 //! cluster, prints each job's critical-path attribution (per-category
 //! breakdown, top critical tensors) and, when FILE is given, writes the
 //! lead job's schema-versioned critical_path.json there.
+//!
+//! `--threads N` sets the thread count for the conservative-parallel
+//! core check (default: every available core). The binary runs a
+//! 4-tenant mix sequentially and at N threads, asserts the traces are
+//! bit-identical, and reports the wall-clock speedup.
 
 use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
 use bs_harness::experiments::cluster;
@@ -29,6 +34,15 @@ fn main() {
     };
     let (metrics_on, metrics_file) = flag_file("--metrics");
     let (xray_on, xray_file) = flag_file("--xray");
+    let threads: usize = flag_file("--threads")
+        .1
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(2);
 
     let fid = Fidelity::from_env();
     let r = cluster::run_experiment(fid);
@@ -69,6 +83,23 @@ fn main() {
             println!("xray: critical path of {} -> {path}", a.jobs[0].name);
         }
     }
+
+    // Parallel core: the same 4-tenant mix through the sequential and the
+    // conservative-parallel driver must produce bit-identical traces; the
+    // thread count only buys wall clock.
+    let (seq_wall, seq) = cluster::parallel_reference(fid, 1);
+    let (par_wall, par) = cluster::parallel_reference(fid, threads);
+    assert_eq!(
+        seq.trace.as_ref().expect("trace recorded").to_chrome_json(),
+        par.trace.as_ref().expect("trace recorded").to_chrome_json(),
+        "parallel core must be bit-identical to the sequential core"
+    );
+    println!(
+        "parallel core: {threads} threads ran the 4-tenant mix in {:.1} ms vs {:.1} ms sequential ({:.2}x), bit-identical trace",
+        par_wall * 1e3,
+        seq_wall * 1e3,
+        seq_wall / par_wall
+    );
 
     // Degenerate case: a 1-job cluster is the standalone simulator.
     let cfg = Setup::MxnetPsRdma.config(

@@ -1,6 +1,9 @@
-//! Scoped-thread fan-out for independent simulation runs.
+//! Thread fan-out for independent simulation runs, built on the
+//! simulation kernel's persistent [`WorkerPool`].
 
-/// Maps `f` over `items` on up to `available_parallelism` worker threads,
+use bs_sim::WorkerPool;
+
+/// Maps `f` over `items` on up to `available_parallelism` threads,
 /// preserving input order in the output. Simulation runs are independent
 /// and CPU-bound, so a static block partition is all that's needed.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -20,18 +23,25 @@ where
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
+    // The caller participates in the scope, so `threads - 1` pool workers
+    // give `threads`-way parallelism.
+    let pool = WorkerPool::new(threads - 1);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send>> = items
+        .chunks(chunk)
+        .zip(out.chunks_mut(chunk))
+        .map(|(islice, oslice)| {
+            let t: Box<dyn FnOnce() + Send> = Box::new(move || {
                 for (item, slot) in islice.iter().zip(oslice.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
-        }
-    });
+            t
+        })
+        .collect();
+    pool.run_scoped(tasks);
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 

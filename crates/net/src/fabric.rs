@@ -39,6 +39,7 @@ impl Fabric {
     }
 
     /// Submits a transfer (see the variants' docs for semantics).
+    #[inline]
     pub fn submit(
         &mut self,
         now: SimTime,
@@ -54,6 +55,7 @@ impl Fabric {
     }
 
     /// Earliest instant anything changes.
+    #[inline]
     pub fn next_event_time(&self) -> SimTime {
         match self {
             Fabric::Fifo(n) => n.next_event_time(),
@@ -70,6 +72,7 @@ impl Fabric {
     }
 
     /// Like [`Self::advance`] but appends into a caller-provided buffer.
+    #[inline]
     pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
         match self {
             Fabric::Fifo(n) => n.advance_into(now, out),
@@ -82,6 +85,7 @@ impl Fabric {
     /// still integrate every tick while flows are active (see
     /// [`FluidNetwork::wants_advance`]); the FIFO fabric only changes at
     /// its scheduled release/delivery instants.
+    #[inline]
     pub fn wants_advance(&self, now: SimTime) -> bool {
         match self {
             Fabric::Fifo(n) => n.next_event_time() <= now,
@@ -240,6 +244,74 @@ impl Fabric {
             // Fluid flows start immediately; nothing ever queues.
             Fabric::Fluid(_) => 0,
         }
+    }
+
+    /// Calls `f` with the tag of every pending transfer (queued, on the
+    /// wire, or awaiting delivery). Tags may repeat; callers fold the
+    /// stream into a set or bitmask. The parallel cluster driver uses
+    /// this to find jobs with nothing at stake on the shared fabric.
+    pub fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        match self {
+            Fabric::Fifo(n) => n.for_each_pending_tag(f),
+            Fabric::Fluid(n) => n.for_each_pending_tag(f),
+        }
+    }
+}
+
+impl crate::port::NetPort for Fabric {
+    #[inline]
+    fn submit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        Fabric::submit(self, now, src, dst, bytes, tag)
+    }
+
+    #[inline]
+    fn next_event_time(&self) -> SimTime {
+        Fabric::next_event_time(self)
+    }
+
+    #[inline]
+    fn wants_advance(&self, now: SimTime) -> bool {
+        Fabric::wants_advance(self, now)
+    }
+
+    #[inline]
+    fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
+        Fabric::advance_into(self, now, out)
+    }
+
+    fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        Fabric::set_port_scale(self, now, node, up, scale)
+    }
+
+    fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        Fabric::kill_port(self, now, node)
+    }
+
+    fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        Fabric::revive_port(self, now, node)
+    }
+
+    fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        Fabric::for_each_pending_tag(self, f)
+    }
+
+    fn in_flight(&self) -> usize {
+        Fabric::in_flight(self)
+    }
+
+    fn queued(&self) -> usize {
+        Fabric::queued(self)
+    }
+
+    fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
+        Fabric::debug_stalled(self)
     }
 }
 

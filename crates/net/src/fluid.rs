@@ -627,6 +627,68 @@ impl FluidNetwork {
             te.active_flows.record(at, self.active.len() as f64);
         }
     }
+
+    /// Calls `f` with the tag of every pending transfer — actively
+    /// draining or awaiting delivery. Unlike the FIFO fabric's scan, tags
+    /// never repeat here (a flow leaves the active set when its delivery
+    /// is queued), but callers should not rely on that.
+    pub fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        for id in &self.active {
+            f(self.flows[id.0 as usize].as_ref().expect("active").tag);
+        }
+        for (_, c) in &self.deliveries {
+            f(c.tag);
+        }
+    }
+}
+
+impl crate::port::NetPort for FluidNetwork {
+    #[inline]
+    fn submit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        FluidNetwork::submit(self, now, src, dst, bytes, tag)
+    }
+
+    #[inline]
+    fn next_event_time(&self) -> SimTime {
+        FluidNetwork::next_event_time(self)
+    }
+
+    #[inline]
+    fn wants_advance(&self, now: SimTime) -> bool {
+        FluidNetwork::wants_advance(self, now)
+    }
+
+    #[inline]
+    fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
+        FluidNetwork::advance_into(self, now, out)
+    }
+
+    fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        FluidNetwork::set_port_scale(self, now, node, up, scale)
+    }
+
+    fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        FluidNetwork::kill_port(self, now, node)
+    }
+
+    fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        FluidNetwork::revive_port(self, now, node)
+    }
+
+    fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        FluidNetwork::for_each_pending_tag(self, f)
+    }
+
+    fn in_flight(&self) -> usize {
+        FluidNetwork::in_flight(self)
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 pub mod fabric;
 pub mod fluid;
 pub mod network;
+pub mod port;
 pub mod transport;
 
 pub use fabric::{Fabric, FabricModel};
@@ -30,4 +31,5 @@ pub use network::{
     CompletedTransfer, DroppedTransfer, NetEvent, Network, NodeId, TransferId, WireSpan,
     WireXrayRecord,
 };
+pub use port::{LoggedSubmit, NetPort, SubmitLog};
 pub use transport::{NetConfig, Transport};

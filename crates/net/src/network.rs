@@ -358,6 +358,7 @@ impl Network {
 
     /// Earliest instant at which anything changes (a port frees or a
     /// message delivers), or `SimTime::MAX` if the wire is silent.
+    #[inline]
     pub fn next_event_time(&self) -> SimTime {
         if let Some(t) = self.next_event.get() {
             return t;
@@ -810,6 +811,80 @@ impl Network {
     /// True when nothing is queued, in flight, or awaiting delivery.
     pub fn is_idle(&self) -> bool {
         self.in_flight() == 0 && self.queued() == 0 && self.deliveries.is_empty()
+    }
+
+    /// Calls `f` with the tag of every pending transfer — queued, on the
+    /// wire, or awaiting delivery. Tags may repeat (an on-wire transfer
+    /// sits in both its connection queue and the delivery set); callers
+    /// fold the stream into a set or bitmask.
+    pub fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        for nic in &self.nics {
+            for q in &nic.up_queues {
+                for id in q {
+                    f(self.transfers[id.0 as usize].tag);
+                }
+            }
+        }
+        for (_, id) in &self.deliveries {
+            f(self.transfers[id.0 as usize].tag);
+        }
+    }
+}
+
+impl crate::port::NetPort for Network {
+    #[inline]
+    fn submit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        Network::submit(self, now, src, dst, bytes, tag)
+    }
+
+    #[inline]
+    fn next_event_time(&self) -> SimTime {
+        Network::next_event_time(self)
+    }
+
+    #[inline]
+    fn wants_advance(&self, now: SimTime) -> bool {
+        Network::next_event_time(self) <= now
+    }
+
+    #[inline]
+    fn advance_into(&mut self, now: SimTime, out: &mut Vec<NetEvent>) {
+        Network::advance_into(self, now, out)
+    }
+
+    fn set_port_scale(&mut self, now: SimTime, node: NodeId, up: bool, scale: f64) {
+        Network::set_port_scale(self, now, node, up, scale)
+    }
+
+    fn kill_port(&mut self, now: SimTime, node: NodeId) -> Vec<DroppedTransfer> {
+        Network::kill_port(self, now, node)
+    }
+
+    fn revive_port(&mut self, now: SimTime, node: NodeId) {
+        Network::revive_port(self, now, node)
+    }
+
+    fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
+        Network::for_each_pending_tag(self, f)
+    }
+
+    fn in_flight(&self) -> usize {
+        Network::in_flight(self)
+    }
+
+    fn queued(&self) -> usize {
+        Network::queued(self)
+    }
+
+    fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
+        Network::debug_stalled(self)
     }
 }
 

@@ -18,7 +18,7 @@ use bs_core::{
 };
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
 use bs_faults::{FaultInjector, FaultPlan, LinkChange, LinkDir};
-use bs_net::{DroppedTransfer, Fabric, NetEvent, NodeId, WireSpan, WireXrayRecord};
+use bs_net::{DroppedTransfer, NetEvent, NetPort, NodeId, WireSpan, WireXrayRecord};
 use bs_sim::{SimRng, SimTime, Trace};
 use bs_telemetry::MetricSet;
 use bs_xray::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog, XrayReport};
@@ -576,7 +576,7 @@ impl JobState {
 
     /// Submits the co-tenant's initial bursts: one per worker NIC in each
     /// direction, looped on delivery (see [`Self::handle`]).
-    pub fn seed_background(&mut self, now: SimTime, fabric: &mut Fabric) {
+    pub fn seed_background<P: NetPort>(&mut self, now: SimTime, fabric: &mut P) {
         let Some(burst) = &mut self.burst else { return };
         let num_servers = self.num_servers;
         for w in 0..self.num_workers {
@@ -652,7 +652,7 @@ impl JobState {
     /// bursts, retires GPU ops, and advances the private ring stream.
     /// Emitted events are pushed onto `queue` for the driver's cascade
     /// loop. Fabric advancement stays with the driver.
-    pub fn advance(&mut self, t: SimTime, fabric: &mut Fabric, queue: &mut Vec<JobEvent>) {
+    pub fn advance<P: NetPort>(&mut self, t: SimTime, fabric: &mut P, queue: &mut Vec<JobEvent>) {
         if self.faults.is_some() {
             self.apply_due_faults(t, fabric);
         }
@@ -682,11 +682,11 @@ impl JobState {
 
     /// Routes one event through the job's plugins, schedulers and
     /// engines. Net events must carry job-local (stripped) tags.
-    pub fn handle(
+    pub fn handle<P: NetPort>(
         &mut self,
         ev: JobEvent,
         now: SimTime,
-        fabric: &mut Fabric,
+        fabric: &mut P,
         out: &mut Vec<JobEvent>,
     ) {
         // A failed run is over: stop routing events so the driver's
@@ -706,7 +706,7 @@ impl JobState {
     /// revivals, then due retransmit backoff timers — link changes
     /// first, so a retransmit firing at the same instant sees the
     /// post-change fabric.
-    fn apply_due_faults(&mut self, t: SimTime, fabric: &mut Fabric) {
+    fn apply_due_faults<P: NetPort>(&mut self, t: SimTime, fabric: &mut P) {
         loop {
             let change = match self.faults.as_mut() {
                 Some(f) if f.failed.is_none() => f.injector.pop_due(t),
@@ -753,7 +753,12 @@ impl JobState {
     /// partitions reclaim their credit — the wire never released them,
     /// so it is still out under either credit-timing discipline — and
     /// enter retransmit backoff.
-    fn on_transfer_dropped(&mut self, d: DroppedTransfer, now: SimTime, fabric: &mut Fabric) {
+    fn on_transfer_dropped<P: NetPort>(
+        &mut self,
+        d: DroppedTransfer,
+        now: SimTime,
+        fabric: &mut P,
+    ) {
         let tag = inner_tag(d.tag);
         if is_burst_tag(tag) {
             if let Some(b) = self.burst.as_mut() {
@@ -775,7 +780,7 @@ impl JobState {
     /// A delivered transfer was picked by the Bernoulli loss stream: the
     /// payload is gone before any completion bookkeeping ran. Return the
     /// credit the lane still holds for it and book the retransmit.
-    fn on_delivery_lost(&mut self, tag: u64, bytes: u64, now: SimTime, fabric: &mut Fabric) {
+    fn on_delivery_lost<P: NetPort>(&mut self, tag: u64, bytes: u64, now: SimTime, fabric: &mut P) {
         let tok = Token::unpack(tag);
         self.faults
             .as_mut()
@@ -832,7 +837,7 @@ impl JobState {
     /// A backoff timer fired: re-drive the lost partition through its
     /// scheduler — same token, same priority, so recovery rides the
     /// normal grant path and shows up as an extra wire span.
-    fn resubmit_lost(&mut self, lost: LostPart, now: SimTime, fabric: &mut Fabric) {
+    fn resubmit_lost<P: NetPort>(&mut self, lost: LostPart, now: SimTime, fabric: &mut P) {
         let tok = Token::unpack(lost.token);
         let item = WorkItem {
             lane: tok.kind.lane(),
@@ -849,7 +854,13 @@ impl JobState {
         }
     }
 
-    fn handle_engine(&mut self, w: usize, event: EngineEvent, now: SimTime, fabric: &mut Fabric) {
+    fn handle_engine<P: NetPort>(
+        &mut self,
+        w: usize,
+        event: EngineEvent,
+        now: SimTime,
+        fabric: &mut P,
+    ) {
         match event {
             EngineEvent::ComputeIterDone { iter: _, at } => {
                 if w == 0 {
@@ -874,13 +885,13 @@ impl JobState {
 
     /// Worker `w`'s gradient for tensor `i` is ready: submit its push
     /// subtasks to the worker's scheduler.
-    fn on_grad_ready_ps(
+    fn on_grad_ready_ps<P: NetPort>(
         &mut self,
         w: usize,
         i: usize,
         iter: u64,
         now: SimTime,
-        fabric: &mut Fabric,
+        fabric: &mut P,
     ) {
         let parts = self.partitions[i].len() as u32;
         self.ps_plug
@@ -964,7 +975,7 @@ impl JobState {
     }
 
     /// Hands everything the scheduler releases to the wire.
-    fn drain_sched(&mut self, s: usize, now: SimTime, fabric: &mut Fabric) {
+    fn drain_sched<P: NetPort>(&mut self, s: usize, now: SimTime, fabric: &mut P) {
         let mut items = std::mem::take(&mut self.sched_scratch);
         debug_assert!(items.is_empty());
         self.scheds[s].poll_into(now, &mut items);
@@ -1105,11 +1116,11 @@ impl JobState {
         );
     }
 
-    fn handle_net(
+    fn handle_net<P: NetPort>(
         &mut self,
         ev: NetEvent,
         now: SimTime,
-        fabric: &mut Fabric,
+        fabric: &mut P,
         out: &mut Vec<JobEvent>,
     ) {
         // Co-tenant bursts loop forever: when one delivers, schedule the

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use bs_net::{CompletedTransfer, Fabric, NodeId};
+use bs_net::{CompletedTransfer, NetPort, NodeId};
 use bs_sim::{SimRng, SimTime};
 
 use crate::config::BackgroundLoad;
@@ -60,10 +60,10 @@ impl BurstSource {
 
     /// Submits one initial burst on a fabric pair. `inner_tag` must have
     /// [`BG_TAG`] set so the delivery routes back to this source.
-    pub fn seed(
+    pub fn seed<P: NetPort>(
         &mut self,
         now: SimTime,
-        fabric: &mut Fabric,
+        fabric: &mut P,
         nodes: &NodeMap,
         src: NodeId,
         dst: NodeId,
@@ -82,7 +82,7 @@ impl BurstSource {
     }
 
     /// Submits every burst due at or before `t`.
-    pub fn fire_due(&mut self, t: SimTime, fabric: &mut Fabric, nodes: &NodeMap) {
+    pub fn fire_due<P: NetPort>(&mut self, t: SimTime, fabric: &mut P, nodes: &NodeMap) {
         while let Some(&(bt, src, dst, tag)) = self.timers.first() {
             if bt > t {
                 break;

@@ -7,7 +7,7 @@
 //! `bs-cluster` multiplex many [`JobState`]s over one shared fabric with
 //! the same loop structure.
 
-use bs_net::Fabric;
+use bs_net::{Fabric, NetPort};
 use bs_sim::{SimTime, Trace};
 
 use crate::config::{Arch, WorldConfig};
@@ -28,6 +28,91 @@ pub fn run(cfg: &WorldConfig) -> RunResult {
     let mut world = World::build(cfg);
     world.run_loop();
     world.into_result(cfg)
+}
+
+/// The single-job event loop, generic over the fabric so each fabric gets
+/// its own fully inlined instantiation.
+fn drive_job<P: NetPort>(job: &mut JobState, fabric: &mut P, now: &mut SimTime) {
+    job.seed_background(*now, fabric);
+    let mut queue: Vec<JobEvent> = Vec::new();
+    let mut net_events: Vec<bs_net::NetEvent> = Vec::new();
+    let mut spins_at_same_instant: u64 = 0;
+    let mut last_now = SimTime::ZERO;
+    let debug_loop = std::env::var("BS_DEBUG_LOOP").is_ok();
+    loop {
+        if *now == last_now {
+            spins_at_same_instant += 1;
+            assert!(
+                spins_at_same_instant < 1_000_000,
+                "event loop spinning at {} without progress",
+                now
+            );
+        } else {
+            last_now = *now;
+            spins_at_same_instant = 0;
+        }
+        if debug_loop {
+            debug_progress_line(job, fabric, *now, spins_at_same_instant);
+        }
+        // Drain all cascades at the current instant. `handle` pushes
+        // follow-on events directly onto the queue (same LIFO order
+        // as the old collect-then-extend, without the Vec churn).
+        while let Some(ev) = queue.pop() {
+            job.handle(ev, *now, fabric, &mut queue);
+        }
+        if job.done() {
+            return;
+        }
+        // Find the next instant anything happens.
+        let t = job.next_event_time().min(fabric.next_event_time());
+        if t.is_never() {
+            panic!(
+                "simulation stalled at {}: iterations done {:?}, queued work {:?}",
+                now,
+                job.debug_iterations(),
+                job.debug_sched_queues()
+            );
+        }
+        *now = t;
+        // Job-owned sources first (co-tenant bursts, GPU ops, the
+        // private ring stream), then the shared fabric — the same
+        // within-instant order the loop has always used.
+        job.advance(t, fabric, &mut queue);
+        if fabric.wants_advance(t) {
+            fabric.advance_into(t, &mut net_events);
+            for c in net_events.drain(..) {
+                queue.push(JobEvent::Net(c));
+            }
+        }
+    }
+}
+
+/// `BS_DEBUG_LOOP=1` diagnostics: a progress line every 100k loop
+/// turns, with subsystem queue depths — the first tool to reach for
+/// when a configuration seems wedged.
+#[cold]
+fn debug_progress_line<P: NetPort>(job: &JobState, fabric: &P, now: SimTime, spins: u64) {
+    static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let c = COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if !c.is_multiple_of(100_000) {
+        return;
+    }
+    let (nf, nq) = if job.debug_ring_outstanding() > 0 {
+        (job.debug_ring_outstanding(), 0)
+    } else {
+        (fabric.in_flight(), fabric.queued())
+    };
+    eprintln!(
+        "loop {c}: now={} spins={spins} iters_done={:?} marks={} sched_q={:?}              net_flight={nf} net_q={nq} bg_timers={}",
+        now,
+        job.debug_iterations(),
+        job.debug_marks(),
+        job.debug_sched_queues(),
+        job.debug_bg_timers()
+    );
+    for row in fabric.debug_stalled().iter().take(4) {
+        eprintln!("  stalled: {row:?}");
+    }
 }
 
 impl World {
@@ -54,88 +139,15 @@ impl World {
     }
 
     fn run_loop(&mut self) {
-        self.job.seed_background(self.now, &mut self.fabric);
-        let mut queue: Vec<JobEvent> = Vec::new();
-        let mut net_events: Vec<bs_net::NetEvent> = Vec::new();
-        let mut spins_at_same_instant: u64 = 0;
-        let mut last_now = SimTime::ZERO;
-        let debug_loop = std::env::var("BS_DEBUG_LOOP").is_ok();
-        loop {
-            if self.now == last_now {
-                spins_at_same_instant += 1;
-                assert!(
-                    spins_at_same_instant < 1_000_000,
-                    "event loop spinning at {} without progress",
-                    self.now
-                );
-            } else {
-                last_now = self.now;
-                spins_at_same_instant = 0;
-            }
-            if debug_loop {
-                self.debug_progress_line(spins_at_same_instant);
-            }
-            // Drain all cascades at the current instant. `handle` pushes
-            // follow-on events directly onto the queue (same LIFO order
-            // as the old collect-then-extend, without the Vec churn).
-            while let Some(ev) = queue.pop() {
-                self.job.handle(ev, self.now, &mut self.fabric, &mut queue);
-            }
-            if self.job.done() {
-                return;
-            }
-            // Find the next instant anything happens.
-            let t = self
-                .job
-                .next_event_time()
-                .min(self.fabric.next_event_time());
-            if t.is_never() {
-                panic!(
-                    "simulation stalled at {}: iterations done {:?}, queued work {:?}",
-                    self.now,
-                    self.job.debug_iterations(),
-                    self.job.debug_sched_queues()
-                );
-            }
-            self.now = t;
-            // Job-owned sources first (co-tenant bursts, GPU ops, the
-            // private ring stream), then the shared fabric — the same
-            // within-instant order the loop has always used.
-            self.job.advance(t, &mut self.fabric, &mut queue);
-            if self.fabric.wants_advance(t) {
-                self.fabric.advance_into(t, &mut net_events);
-                for c in net_events.drain(..) {
-                    queue.push(JobEvent::Net(c));
-                }
-            }
+        // Monomorphise the hot loop over the concrete fabric: every
+        // per-event submit/advance call inlines instead of dispatching
+        // through the enum millions of times per run.
+        let mut now = self.now;
+        match &mut self.fabric {
+            Fabric::Fifo(n) => drive_job(&mut self.job, n, &mut now),
+            Fabric::Fluid(n) => drive_job(&mut self.job, n, &mut now),
         }
-    }
-
-    /// `BS_DEBUG_LOOP=1` diagnostics: a progress line every 100k loop
-    /// turns, with subsystem queue depths — the first tool to reach for
-    /// when a configuration seems wedged.
-    fn debug_progress_line(&self, spins: u64) {
-        static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let c = COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if !c.is_multiple_of(100_000) {
-            return;
-        }
-        let (nf, nq) = if self.job.debug_ring_outstanding() > 0 {
-            (self.job.debug_ring_outstanding(), 0)
-        } else {
-            (self.fabric.in_flight(), self.fabric.queued())
-        };
-        eprintln!(
-            "loop {c}: now={} spins={spins} iters_done={:?} marks={} sched_q={:?}              net_flight={nf} net_q={nq} bg_timers={}",
-            self.now,
-            self.job.debug_iterations(),
-            self.job.debug_marks(),
-            self.job.debug_sched_queues(),
-            self.job.debug_bg_timers()
-        );
-        for row in self.fabric.debug_stalled().iter().take(4) {
-            eprintln!("  stalled: {row:?}");
-        }
+        self.now = now;
     }
 
     fn into_result(mut self, cfg: &WorldConfig) -> RunResult {

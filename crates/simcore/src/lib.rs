@@ -21,12 +21,14 @@
 //! the runtime driver advances whichever subsystem owns the earliest event.
 //! [`EventQueue`] is the building block those subsystems use internally.
 
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use pool::WorkerPool;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Percentiles};

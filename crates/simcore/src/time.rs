@@ -47,6 +47,7 @@ impl SimTime {
 
     /// Constructs a time from fractional seconds, rounding to the nearest
     /// nanosecond. Negative and non-finite inputs clamp to zero / `MAX`.
+    #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         if !s.is_finite() || s <= 0.0 {
             return if s > 0.0 { SimTime::MAX } else { SimTime::ZERO };
@@ -65,27 +66,32 @@ impl SimTime {
     }
 
     /// The time as fractional microseconds.
+    #[inline]
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
     /// The time as fractional milliseconds.
+    #[inline]
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
     /// The time as fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// Saturating difference, useful when subtracting a possibly-later
     /// deadline from `now`.
+    #[inline]
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
 
     /// Returns the earlier of two times.
+    #[inline]
     pub fn min(self, rhs: SimTime) -> SimTime {
         if self <= rhs {
             self
@@ -95,6 +101,7 @@ impl SimTime {
     }
 
     /// Returns the later of two times.
+    #[inline]
     pub fn max(self, rhs: SimTime) -> SimTime {
         if self >= rhs {
             self
@@ -111,12 +118,14 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
         self.0 = self.0.saturating_add(rhs.0);
     }
@@ -124,6 +133,7 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
         debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
         SimTime(self.0.saturating_sub(rhs.0))

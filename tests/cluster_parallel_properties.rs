@@ -1,0 +1,160 @@
+//! Property test for the conservative-parallel cluster core: for *any*
+//! job mix, placement, fabric, recorder set, and thread count, the
+//! parallel driver must reproduce the sequential driver bit-for-bit.
+//!
+//! The entire [`bs_cluster::ClusterResult`] — job outcomes, iteration
+//! vectors, metrics, xray, traces, link utilisation — is serialised to
+//! JSON and compared as a string. Floats render with shortest-round-trip
+//! formatting, so string equality is bit equality. `threads == 1` cases
+//! degenerate into a determinism check of the sequential driver itself.
+
+use bs_cluster::{run_cluster, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy};
+use bs_engine::EngineConfig;
+use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
+use bs_net::{FabricModel, NetConfig, Transport};
+use bs_runtime::{Arch, BackgroundLoad, SchedulerKind, WorldConfig};
+use bs_sim::SimTime;
+use proptest::prelude::*;
+
+/// A small comm-heavy toy so each property case simulates in ~ms.
+fn toy() -> DnnModel {
+    let gpu = GpuSpec::custom(1e12, 2.0);
+    ModelBuilder::new("toy", gpu, 8, SampleUnit::Images)
+        .explicit(
+            "l0",
+            12_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l1",
+            3_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .explicit(
+            "l2",
+            1_000_000,
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        )
+        .build()
+}
+
+/// One randomly-shaped tenant. `kind_pick` chooses PS training (two
+/// scheduler flavours), all-reduce training (never touches the shared
+/// fabric — the always-parallel case), or a burst tenant (never
+/// finishes — the forever-live case).
+fn tenant(i: usize, kind_pick: usize, seed: u64, arrival_ms: u64) -> JobSpec {
+    let arrival = SimTime::from_millis(arrival_ms);
+    match kind_pick {
+        0 | 1 => {
+            let sched = if kind_pick == 0 {
+                SchedulerKind::Baseline
+            } else {
+                SchedulerKind::ByteScheduler {
+                    partition: 800_000,
+                    credit: 3_200_000,
+                }
+            };
+            let mut cfg = WorldConfig::new(
+                toy(),
+                2,
+                Arch::ps(2),
+                NetConfig::gbps(10.0, Transport::tcp()),
+                EngineConfig::mxnet_ps(),
+                sched,
+            );
+            cfg.iters = 4;
+            cfg.warmup = 1;
+            cfg.jitter = 0.02;
+            cfg.seed = seed;
+            JobSpec::train_at(format!("ps{i}"), cfg, arrival)
+        }
+        2 => {
+            let mut cfg = WorldConfig::new(
+                toy(),
+                2,
+                Arch::allreduce(),
+                NetConfig::gbps(10.0, Transport::tcp()),
+                EngineConfig::mxnet_allreduce(),
+                SchedulerKind::ByteScheduler {
+                    partition: 800_000,
+                    credit: 3_200_000,
+                },
+            );
+            cfg.iters = 4;
+            cfg.warmup = 1;
+            cfg.jitter = 0.02;
+            cfg.seed = seed;
+            JobSpec::train_at(format!("ar{i}"), cfg, arrival)
+        }
+        _ => JobSpec::Burst {
+            name: format!("bg{i}"),
+            arrival,
+            load: BackgroundLoad {
+                burst_bytes: 1 << 20,
+                gap_us: 400,
+            },
+            pairs: 1,
+            seed,
+        },
+    }
+}
+
+fn fingerprint(r: &ClusterResult) -> String {
+    serde_json::to_string(r).expect("serialize cluster result")
+}
+
+proptest! {
+    // Each case runs two full cluster simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn parallel_cluster_matches_sequential_for_any_mix(
+        kinds in proptest::collection::vec((0usize..4, 0u64..1000, 0u64..30), 2..6),
+        fluid in any::<bool>(),
+        packed in any::<bool>(),
+        threads in 1usize..6,
+        record in any::<bool>(),
+    ) {
+        // At least one training job, or the run never terminates.
+        let mut kinds = kinds;
+        if kinds.iter().all(|(k, _, _)| *k >= 3) {
+            kinds[0].0 = 1;
+        }
+        let specs: Vec<JobSpec> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, seed, arr))| tenant(i, k, seed, arr))
+            .collect();
+        let machines = specs.iter().map(|s| s.nodes_needed()).max().unwrap().max(2)
+            + specs.iter().map(|s| s.nodes_needed()).sum::<usize>() / 2;
+        let mut cluster = ClusterConfig::new(
+            machines,
+            NetConfig::gbps(10.0, Transport::tcp()),
+        );
+        cluster.fabric = if fluid { FabricModel::FairShare } else { FabricModel::SerialFifo };
+        cluster.placement = if packed {
+            PlacementPolicy::Packed
+        } else {
+            PlacementPolicy::RoundRobinSpread
+        };
+        cluster.record_trace = record;
+        cluster.record_metrics = record;
+        cluster.record_xray = record;
+
+        let seq = fingerprint(&run_cluster(&cluster, &specs));
+        let mut par = cluster.clone();
+        par.threads = threads;
+        let got = fingerprint(&run_cluster(&par, &specs));
+        prop_assert_eq!(
+            got,
+            seq,
+            "threads={} fabric={:?} placement={:?} diverged",
+            threads,
+            cluster.fabric,
+            cluster.placement
+        );
+    }
+}
