@@ -296,6 +296,113 @@ pub fn run_cluster_macro(m: &ClusterMacro, reps: usize) -> Value {
     ])
 }
 
+/// One timed what-if-service scenario: a normalized trace, base replay
+/// options, and the query stream driven through a fresh
+/// [`bs_replay::ReplayService`].
+pub struct ReplayServiceMacro {
+    pub name: String,
+    pub jobs: Vec<bs_replay::TraceJob>,
+    pub base: bs_replay::ReplayOptions,
+    pub queries: Vec<bs_replay::WhatIfQuery>,
+    pub batch: usize,
+}
+
+/// What-if service macro: the committed Philly-style fixture (truncated),
+/// a 6-config query mix cycled to 12 queries in batches of 4 — times
+/// trace replay on the shared worker pool *and* the service's
+/// fingerprint/dedup/LRU path. Events are aggregate shared-fabric
+/// deliveries across all answers (cached answers included: the service
+/// answered them), so the existing events/sec gate rule applies
+/// unchanged.
+pub fn replay_service_macro(quick: bool) -> ReplayServiceMacro {
+    let text = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/traces/philly_day.json"
+    ));
+    let jobs = bs_replay::load_trace(text, bs_replay::TraceFormat::PhillyJson)
+        .expect("committed fixture loads");
+    let base = bs_replay::ReplayOptions {
+        iters_cap: 3,
+        truncate: Some(if quick { 6 } else { 16 }),
+        ..bs_replay::ReplayOptions::default()
+    };
+    let mut mix: Vec<bs_replay::WhatIfQuery> = Vec::new();
+    for b in [10.0, 25.0, 40.0] {
+        mix.push(bs_replay::WhatIfQuery {
+            bandwidth_gbps: Some(b),
+            ..bs_replay::WhatIfQuery::default()
+        });
+    }
+    for p in [PlacementPolicy::Packed, PlacementPolicy::NetworkAware] {
+        mix.push(bs_replay::WhatIfQuery {
+            placement: Some(p),
+            ..bs_replay::WhatIfQuery::default()
+        });
+    }
+    mix.push(bs_replay::WhatIfQuery {
+        scheduler: Some(SchedulerKind::Baseline),
+        ..bs_replay::WhatIfQuery::default()
+    });
+    let n_queries = mix.len() * 2; // every config repeats once → cache hits
+    let queries = (0..n_queries).map(|i| mix[i % mix.len()].clone()).collect();
+    ReplayServiceMacro {
+        name: "replay_whatif_service".to_string(),
+        jobs,
+        base,
+        queries,
+        batch: 4,
+    }
+}
+
+/// Times a what-if-service macro (`reps` repetitions, min wall; a fresh
+/// service per rep so the LRU starts cold every time) and renders its
+/// tracked entry. Events aggregate fabric deliveries over all answers.
+pub fn run_replay_macro(m: &ReplayServiceMacro, reps: usize) -> Value {
+    let serve = || {
+        let mut svc = bs_replay::ReplayService::new(m.jobs.clone(), m.base.clone(), 8);
+        let mut events = 0u64;
+        for chunk in m.queries.chunks(m.batch) {
+            for a in svc.submit_batch(chunk) {
+                events += a.report.fabric_events;
+            }
+        }
+        (events, svc.stats())
+    };
+    // Untimed warmup rep, as in `run_macro`.
+    std::hint::black_box(serve());
+    let mut wall_min = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = serve();
+        wall_min = wall_min.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let (events, stats) = result.expect("at least one rep");
+    let qps = m.queries.len() as f64 / wall_min;
+    eprintln!(
+        "  {:<28} {:>8.1} ms wall, {} events, {:>12.0} events/sec, {:.1} queries/sec ({} cached, {} deduped)",
+        m.name,
+        wall_min * 1e3,
+        events,
+        events as f64 / wall_min,
+        qps,
+        stats.cache_hits,
+        stats.batch_dedup,
+    );
+    obj(vec![
+        ("name", Value::Str(m.name.clone())),
+        ("wall_sec", Value::F64(wall_min)),
+        ("events", Value::U64(events)),
+        ("events_per_sec", Value::F64(events as f64 / wall_min)),
+        ("queries", Value::U64(m.queries.len() as u64)),
+        ("queries_per_sec", Value::F64(qps)),
+        ("cache_hits", Value::U64(stats.cache_hits)),
+        ("batch_dedup", Value::U64(stats.batch_dedup)),
+        ("executed", Value::U64(stats.executed)),
+    ])
+}
+
 /// Builds a JSON object from string keys.
 pub fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(

@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use bs_bench::baseline::{
     bench_threads, cluster_4job_macro, cluster_mixed_macro, get_f64, macro_scenarios, obj,
-    push_field, run_cluster_macro, run_macro, speedups,
+    push_field, replay_service_macro, run_cluster_macro, run_macro, run_replay_macro, speedups,
 };
 use bs_net::{FluidNetwork, NetConfig, Network, NodeId, Transport};
 use bs_sim::SimTime;
@@ -183,6 +183,7 @@ fn main() {
         }
         macros.push(par_entry);
     }
+    macros.push(run_replay_macro(&replay_service_macro(quick), reps));
 
     eprintln!("micro benches:");
     let scale = if quick { 10 } else { 1 };

@@ -34,7 +34,8 @@ use std::path::PathBuf;
 
 use bs_bench::baseline::{
     bench_threads, cluster_4job_macro, cluster_mixed_macro, gate_failures, get_f64,
-    macro_events_per_sec, macro_scenarios, run_cluster_macro, run_macro,
+    macro_events_per_sec, macro_scenarios, replay_service_macro, run_cluster_macro, run_macro,
+    run_replay_macro,
 };
 use serde::Value;
 
@@ -140,6 +141,11 @@ fn main() {
         let mut m = cluster_mixed_macro(name, n_ps, n_ar, false);
         m.cluster.threads = threads;
         let entry = run_cluster_macro(&m, reps);
+        record(&m.name, &entry);
+    }
+    {
+        let m = replay_service_macro(false);
+        let entry = run_replay_macro(&m, reps);
         record(&m.name, &entry);
     }
 

@@ -44,6 +44,8 @@ pub mod placement;
 pub mod spec;
 
 pub use driver::run_cluster;
-pub use metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
+pub use metrics::{
+    jain_index, percentile_nearest_rank, ClusterResult, DistSummary, JobOutcome, LinkUtil,
+};
 pub use placement::PlacementPolicy;
 pub use spec::{ClusterConfig, JobSpec};

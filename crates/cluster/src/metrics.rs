@@ -20,6 +20,63 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     sum * sum / (xs.len() as f64 * sq)
 }
 
+/// Nearest-rank percentile of `sorted` (ascending): the value at 1-based
+/// rank `⌈p/100 · n⌉`, clamped to `[1, n]`.
+///
+/// Tie-breaking is by construction exact: the result is always an element
+/// of the input (never an interpolation), and equal values occupy
+/// consecutive ranks in their input order, so `percentile(xs, 100.0)` is
+/// the maximum and `percentile(xs, 0.0)` the minimum. Panics on an empty
+/// slice — an empty distribution has no percentiles; callers decide what
+/// that means.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty distribution");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// A full distribution summary: the tail percentiles the replay layer
+/// reports instead of means. All values are in the unit of the input
+/// (seconds for JCT distributions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DistSummary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Nearest-rank 50th percentile.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarises `xs` (any order). Panics when empty, like
+    /// [`percentile_nearest_rank`].
+    pub fn from_unsorted(mut xs: Vec<f64>) -> DistSummary {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        DistSummary {
+            n: xs.len(),
+            mean,
+            p50: percentile_nearest_rank(&xs, 50.0),
+            p95: percentile_nearest_rank(&xs, 95.0),
+            p99: percentile_nearest_rank(&xs, 99.0),
+            max: *xs.last().expect("non-empty"),
+        }
+    }
+}
+
 /// One machine NIC's utilisation over the cluster makespan, as delivered
 /// payload bytes over the effective link capacity.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -93,11 +150,65 @@ impl ClusterResult {
         }
         self.jobs.iter().map(|j| j.jct.as_secs_f64()).sum::<f64>() / self.jobs.len() as f64
     }
+
+    /// The full JCT distribution across training jobs (seconds) — tail
+    /// percentiles, not just the mean.
+    pub fn jct_summary(&self) -> DistSummary {
+        DistSummary::from_unsorted(self.jobs.iter().map(|j| j.jct.as_secs_f64()).collect())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Hand-computed nearest-rank fixtures. For n = 10 and p = 50,
+    /// rank = ⌈0.5 · 10⌉ = 5 → the 5th smallest; p = 95 → rank ⌈9.5⌉ =
+    /// 10 → the max; p = 99 likewise. For n = 100, p95 is exactly the
+    /// 95th smallest.
+    #[test]
+    fn nearest_rank_matches_hand_computed_fixtures() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile_nearest_rank(&xs, 50.0), 5.0);
+        assert_eq!(percentile_nearest_rank(&xs, 90.0), 9.0);
+        assert_eq!(percentile_nearest_rank(&xs, 95.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&xs, 99.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&xs, 100.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&xs, 0.0), 1.0);
+
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_nearest_rank(&xs, 50.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&xs, 95.0), 95.0);
+        assert_eq!(percentile_nearest_rank(&xs, 99.0), 99.0);
+
+        // Ties: the result is an input element, so a run of equal values
+        // spanning the rank yields exactly that value.
+        let xs = [1.0, 2.0, 2.0, 2.0, 9.0];
+        assert_eq!(percentile_nearest_rank(&xs, 50.0), 2.0);
+        assert_eq!(percentile_nearest_rank(&xs, 99.0), 9.0);
+
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile_nearest_rank(&[7.5], 1.0), 7.5);
+        assert_eq!(percentile_nearest_rank(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn dist_summary_sorts_and_orders_percentiles() {
+        let s = DistSummary::from_unsorted(vec![9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.p95, 9.0);
+        assert_eq!(s.p99, 9.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile_nearest_rank(&[], 50.0);
+    }
 
     #[test]
     fn jain_bounds() {

@@ -1,0 +1,73 @@
+//! Replays a cluster trace through the shared-fabric simulator and
+//! exercises the what-if query service (`BS_QUICK=1` truncates for
+//! smoke runs).
+//!
+//! `--trace FILE` selects the trace (Philly-style `.json` or PAI-style
+//! `.csv`; default: the committed `philly_day.json` fixture).
+//!
+//! `--serve N` drives `N` what-if queries through a [`ReplayService`]
+//! in batches (default 16), printing throughput, per-batch latency and
+//! the cache/dedup counters; with enough repeats the run asserts the
+//! LRU actually hit.
+//!
+//! The binary also re-replays the trace and asserts the two reports
+//! serialize to identical bytes — the determinism contract CI leans on.
+
+use bs_harness::experiments::replay;
+use bs_harness::{report, Fidelity};
+use bs_replay::replay_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    let trace_path = flag_value("--trace").unwrap_or_else(|| replay::DEFAULT_TRACE.to_string());
+    let n_queries: usize = flag_value("--serve")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    let fid = Fidelity::from_env();
+    let opts = replay::base_options(fid);
+    println!(
+        "replaying {trace_path} (wave {}, arrival scale {}, iters cap {}, seed {})",
+        opts.wave, opts.arrival_scale, opts.iters_cap, opts.seed
+    );
+
+    let s = replay::run_experiment(fid, &trace_path, n_queries);
+    print!("{}", replay::render(&s));
+    report::write_json("replay", &s);
+
+    // Determinism: the same trace under the same options must serialize
+    // to byte-identical reports.
+    let jobs = replay::load_trace_file(&trace_path).expect("trace loads");
+    let a = serde_json::to_string(&replay_trace(&jobs, &opts)).expect("report serializes");
+    let b = serde_json::to_string(&replay_trace(&jobs, &opts)).expect("report serializes");
+    assert_eq!(a, b, "same trace + seed must give a byte-identical report");
+    println!(
+        "determinism: re-replay produced a byte-identical report ({} bytes)",
+        a.len()
+    );
+
+    // Service contract: with more queries than unique configs, repeats
+    // must be answered from the cache (or collapse inside a batch).
+    if n_queries > s.serve.unique_configs {
+        assert!(
+            s.serve.cache_hits > 0,
+            "repeat queries must hit the LRU cache: {:?}",
+            s.serve
+        );
+        assert_eq!(
+            s.serve.executed as usize, s.serve.unique_configs,
+            "every duplicate must be served without re-execution"
+        );
+    }
+    println!(
+        "service: {} queries -> {} executed, {} cache hits, {} batch-dedup",
+        s.serve.queries, s.serve.executed, s.serve.cache_hits, s.serve.batch_dedup
+    );
+}

@@ -12,5 +12,6 @@ pub mod fig04;
 pub mod fig09;
 pub mod fig13;
 pub mod fig14;
+pub mod replay;
 pub mod scaling;
 pub mod table1;

@@ -1,11 +1,17 @@
 //! Thread fan-out for independent simulation runs, built on the
-//! simulation kernel's persistent [`WorkerPool`].
+//! simulation kernel's process-wide shared [`WorkerPool`].
+//!
+//! Earlier versions constructed a fresh pool (and therefore fresh OS
+//! threads) per call; every fan-out in the process — harness sweeps and
+//! the replay what-if service alike — now rides [`WorkerPool::shared`],
+//! so repeated sweeps reuse the same persistent workers.
 
 use bs_sim::WorkerPool;
 
-/// Maps `f` over `items` on up to `available_parallelism` threads,
-/// preserving input order in the output. Simulation runs are independent
-/// and CPU-bound, so a static block partition is all that's needed.
+/// Maps `f` over `items` on the shared pool's threads (plus the calling
+/// thread), preserving input order in the output. Simulation runs are
+/// independent and CPU-bound, so a static block partition is all that's
+/// needed.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -16,16 +22,13 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let pool = WorkerPool::shared();
+    // The caller participates in the scope, so `workers + 1` threads run
+    // `threads`-way parallel.
+    let threads = (pool.workers() + 1).min(n);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
-    // The caller participates in the scope, so `threads - 1` pool workers
-    // give `threads`-way parallelism.
-    let pool = WorkerPool::new(threads - 1);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
     let f = &f;
@@ -65,5 +68,18 @@ mod tests {
     #[test]
     fn single_item_runs_inline() {
         assert_eq!(parallel_map(vec![21], |&x| x * 2), vec![42]);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_shared_pool() {
+        // Two consecutive fan-outs must both complete on the same shared
+        // pool (no per-call pool teardown in between).
+        let a = parallel_map((0..64u64).collect(), |&x| x + 1);
+        let b = parallel_map((0..64u64).collect(), |&x| x + 1);
+        assert_eq!(a, b);
+        assert_eq!(
+            WorkerPool::shared().workers(),
+            bs_sim::WorkerPool::shared().workers()
+        );
     }
 }

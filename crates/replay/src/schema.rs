@@ -1,0 +1,181 @@
+//! A minimal JSON-Schema (draft-07 subset) validator.
+//!
+//! Grown from the test-suite's export-contract validator
+//! (`tests/common/schema.rs` now delegates here) because trace ingestion
+//! needs the same machinery at *runtime*: every trace a replay loads is
+//! validated against its committed schema before normalization, so a
+//! malformed trace fails with a row-level message instead of a panic
+//! deep inside the simulator. It implements exactly the subset the
+//! committed schemas use: `type`, `enum`, `required`, `properties`,
+//! `additionalProperties`, `items`, `oneOf`, `minimum`,
+//! `exclusiveMinimum`, `exclusiveMaximum`.
+
+use serde_json::Value;
+
+fn obj(v: &Value) -> Option<&[(String, Value)]> {
+    match v {
+        Value::Object(entries) => Some(entries),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::I64(n) => Some(n as f64),
+        Value::U64(n) => Some(n as f64),
+        Value::F64(n) => Some(n),
+        _ => None,
+    }
+}
+
+fn type_matches(ty: &str, v: &Value) -> bool {
+    match ty {
+        "object" => matches!(v, Value::Object(_)),
+        "array" => matches!(v, Value::Array(_)),
+        "string" => matches!(v, Value::Str(_)),
+        "boolean" => matches!(v, Value::Bool(_)),
+        "null" => matches!(v, Value::Null),
+        "integer" => matches!(v, Value::I64(_) | Value::U64(_)),
+        "number" => matches!(v, Value::I64(_) | Value::U64(_) | Value::F64(_)),
+        other => panic!("schema uses unsupported type {other:?}"),
+    }
+}
+
+/// Literal equality for `enum`, with numbers compared numerically so
+/// `1`, `1.0`, and an i64/u64 split all agree.
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (as_f64(a), as_f64(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => match (a, b) {
+            (Value::Str(x), Value::Str(y)) => x == y,
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        },
+    }
+}
+
+/// Validates `v` against `schema`, appending one message per violation
+/// to `errs` with `path` as the JSON-pointer-ish location prefix.
+pub fn validate(schema: &Value, v: &Value, path: &str, errs: &mut Vec<String>) {
+    if let Some(Value::Array(options)) = schema.get("enum") {
+        if !options.iter().any(|o| value_eq(o, v)) {
+            errs.push(format!("{path}: {v:?} not in enum {options:?}"));
+            return;
+        }
+    }
+    if let Some(Value::Str(ty)) = schema.get("type") {
+        if !type_matches(ty, v) {
+            errs.push(format!("{path}: expected {ty}, got {v:?}"));
+            return;
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(as_f64) {
+        if let Some(x) = as_f64(v) {
+            if x < min {
+                errs.push(format!("{path}: {x} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(min) = schema.get("exclusiveMinimum").and_then(as_f64) {
+        if let Some(x) = as_f64(v) {
+            if x <= min {
+                errs.push(format!("{path}: {x} not above exclusiveMinimum {min}"));
+            }
+        }
+    }
+    if let Some(max) = schema.get("exclusiveMaximum").and_then(as_f64) {
+        if let Some(x) = as_f64(v) {
+            if x >= max {
+                errs.push(format!("{path}: {x} not below exclusiveMaximum {max}"));
+            }
+        }
+    }
+    if let Some(Value::Array(options)) = schema.get("oneOf") {
+        let matching = options
+            .iter()
+            .filter(|opt| {
+                let mut sub = Vec::new();
+                validate(opt, v, path, &mut sub);
+                sub.is_empty()
+            })
+            .count();
+        if matching != 1 {
+            errs.push(format!(
+                "{path}: matched {matching} of {} oneOf branches (need exactly 1)",
+                options.len()
+            ));
+        }
+    }
+    if let Some(item_schema) = schema.get("items") {
+        if let Value::Array(items) = v {
+            for (i, item) in items.iter().enumerate() {
+                validate(item_schema, item, &format!("{path}[{i}]"), errs);
+            }
+        }
+    }
+
+    let Some(entries) = obj(v) else { return };
+    if let Some(Value::Array(required)) = schema.get("required") {
+        for name in required {
+            if let Value::Str(name) = name {
+                if !entries.iter().any(|(k, _)| k == name) {
+                    errs.push(format!("{path}: missing required property {name:?}"));
+                }
+            }
+        }
+    }
+    let props = schema.get("properties").and_then(obj).unwrap_or(&[]);
+    let additional = schema.get("additionalProperties");
+    for (key, val) in entries {
+        match props.iter().find(|(name, _)| name == key) {
+            Some((_, sub)) => validate(sub, val, &format!("{path}/{key}"), errs),
+            None => match additional {
+                Some(Value::Bool(false)) => {
+                    errs.push(format!("{path}: unexpected property {key:?}"));
+                }
+                Some(sub) if sub.is_object() => validate(sub, val, &format!("{path}/{key}"), errs),
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Validates and collects: `Ok(())` on conformance, every violation
+/// message otherwise.
+pub fn check(schema: &Value, v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    validate(schema, v, "$", &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).expect("test JSON parses")
+    }
+
+    #[test]
+    fn accepts_conforming_and_rejects_violations() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["n", "tag"],
+                "properties": {
+                    "n": {"type": "integer", "minimum": 1},
+                    "tag": {"type": "string", "enum": ["a", "b"]}
+                },
+                "additionalProperties": false
+            }"#,
+        );
+        assert!(check(&schema, &parse(r#"{"n": 3, "tag": "a"}"#)).is_ok());
+        let errs = check(&schema, &parse(r#"{"n": 0, "tag": "c", "x": 1}"#)).unwrap_err();
+        assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+}

@@ -1,0 +1,477 @@
+//! Trace ingestion: Philly-style JSON and Alibaba-PAI-style CSV job
+//! traces, schema-validated and normalized into one [`TraceJob`] stream.
+//!
+//! Public cluster logs come in two shapes the loader understands:
+//!
+//! * **Philly-style JSON** — one document with a `jobs` array; each row
+//!   carries `jobid`, `vc`, `submitted_time` (seconds), `gpus`
+//!   (whole GPUs), `duration` (seconds) and a terminal `status`.
+//! * **PAI-style CSV** — one row per job with header
+//!   `job_name,submit_time,end_time,plan_gpu,status`; `plan_gpu` is in
+//!   the PAI convention of centi-GPUs (100 = one GPU).
+//!
+//! Both are validated against their committed schemas
+//! (`results/trace_philly.schema.json`, `results/trace_pai.schema.json`,
+//! embedded at compile time) by the shared draft-07-subset validator in
+//! [`crate::schema`] before a single row is normalized, so malformed
+//! traces fail with a row-level message, never a panic mid-replay.
+//!
+//! # Normalization rules (DESIGN.md §14)
+//!
+//! Neither trace names the model a job trained, and both use wall-clock
+//! spans far longer than a simulated iteration. Normalization is
+//! therefore explicit and deterministic:
+//!
+//! * **Arrival** — `submitted_time` (PAI: `submit_time`), shifted so the
+//!   earliest job in the trace arrives at 0. The replay layer compresses
+//!   this axis by its `arrival_scale` when building the simulation.
+//! * **GPU demand** — Philly `gpus` directly; PAI `round(plan_gpu/100)`,
+//!   floored at one GPU.
+//! * **Model class** — bucketed by GPU demand (≥16 GPUs draw from the
+//!   large-model pool, ≥8 from the mid pool, the rest from the small
+//!   pool), then picked inside the bucket by an FNV-1a hash of the job
+//!   name. Same trace, same classes — byte-stable across runs.
+//! * **Iterations** — one simulated iteration per 10 trace-minutes of
+//!   recorded duration, clamped to `[3, cap]` (the floor is the
+//!   simulator's warmup+2 minimum; the cap is a replay option). The
+//!   heavy-tailed duration mix survives as a heavy-tailed iteration mix.
+
+use bs_models::DnnModel;
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::schema;
+
+/// The committed Philly-style trace schema.
+pub const PHILLY_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/trace_philly.schema.json"
+));
+/// The committed PAI-style trace schema (one CSV row, parsed).
+pub const PAI_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/trace_pai.schema.json"
+));
+
+/// Which trace dialect a text is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TraceFormat {
+    /// Philly-style JSON document.
+    PhillyJson,
+    /// PAI-style CSV table.
+    PaiCsv,
+}
+
+impl TraceFormat {
+    /// Guesses the dialect from a filename (`.json` → Philly, `.csv` →
+    /// PAI), falling back to content sniffing: a JSON document starts
+    /// with `{`.
+    pub fn detect(path: &str, text: &str) -> TraceFormat {
+        if path.ends_with(".json") {
+            TraceFormat::PhillyJson
+        } else if path.ends_with(".csv") {
+            TraceFormat::PaiCsv
+        } else if text.trim_start().starts_with('{') {
+            TraceFormat::PhillyJson
+        } else {
+            TraceFormat::PaiCsv
+        }
+    }
+}
+
+/// The model classes a trace job can normalize onto — the
+/// `crates/models` zoo, bucketed by typical size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ModelClass {
+    /// Small CNN (61 M params).
+    Alexnet,
+    /// Mid CNN, compute-heavy (26 M params).
+    Resnet50,
+    /// Mid CNN (24 M params).
+    InceptionV3,
+    /// Large CNN, comm-heavy (138 M params).
+    Vgg16,
+    /// Large sequence model (213 M params).
+    Transformer,
+    /// Large sequence model (110 M params).
+    BertBase,
+}
+
+impl ModelClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelClass::Alexnet => "alexnet",
+            ModelClass::Resnet50 => "resnet50",
+            ModelClass::InceptionV3 => "inception_v3",
+            ModelClass::Vgg16 => "vgg16",
+            ModelClass::Transformer => "transformer",
+            ModelClass::BertBase => "bert_base",
+        }
+    }
+
+    /// Parses a label (the serialized form).
+    pub fn from_label(s: &str) -> Option<ModelClass> {
+        Some(match s {
+            "alexnet" => ModelClass::Alexnet,
+            "resnet50" => ModelClass::Resnet50,
+            "inception_v3" => ModelClass::InceptionV3,
+            "vgg16" => ModelClass::Vgg16,
+            "transformer" => ModelClass::Transformer,
+            "bert_base" => ModelClass::BertBase,
+            _ => return None,
+        })
+    }
+
+    /// The zoo model this class maps onto.
+    pub fn model(self) -> DnnModel {
+        match self {
+            ModelClass::Alexnet => bs_models::zoo::alexnet(),
+            ModelClass::Resnet50 => bs_models::zoo::resnet50(),
+            ModelClass::InceptionV3 => bs_models::zoo::inception_v3(),
+            ModelClass::Vgg16 => bs_models::zoo::vgg16(),
+            ModelClass::Transformer => bs_models::zoo::transformer(),
+            ModelClass::BertBase => bs_models::zoo::bert_base(),
+        }
+    }
+
+    /// The deterministic demand→class mapping described in the module
+    /// docs: bucket by GPU count, pick within the bucket by name hash.
+    pub fn assign(name: &str, gpus: u64) -> ModelClass {
+        let h = fnv1a(name.as_bytes());
+        if gpus >= 16 {
+            [
+                ModelClass::Transformer,
+                ModelClass::BertBase,
+                ModelClass::Vgg16,
+            ][(h % 3) as usize]
+        } else if gpus >= 8 {
+            [
+                ModelClass::Vgg16,
+                ModelClass::Resnet50,
+                ModelClass::InceptionV3,
+            ][(h % 3) as usize]
+        } else {
+            [
+                ModelClass::Alexnet,
+                ModelClass::Resnet50,
+                ModelClass::InceptionV3,
+            ][(h % 3) as usize]
+        }
+    }
+}
+
+/// FNV-1a, the classic byte-stable string hash — no RandomState, so the
+/// class assignment is identical across processes and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One normalized trace job: the common stream both dialects reduce to,
+/// and the unit the replay layer schedules.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TraceJob {
+    /// Job identifier from the trace.
+    pub name: String,
+    /// Arrival in trace seconds, shifted so the trace's earliest job
+    /// arrives at 0 (uncompressed; the replay applies `arrival_scale`).
+    pub submit_secs: f64,
+    /// Whole-GPU demand after normalization (≥ 1).
+    pub gpus: u64,
+    /// Recorded wall duration in trace seconds.
+    pub duration_secs: f64,
+    /// Assigned model class (serialized as its label).
+    pub class: ModelClass,
+    /// Simulated iterations the duration maps onto (before the replay
+    /// cap).
+    pub iters: u64,
+}
+
+impl TraceJob {
+    /// Rebuilds a job from its serialized form — the round-trip
+    /// direction the ingestion tests pin.
+    pub fn from_value(v: &Value) -> Result<TraceJob, String> {
+        let name = match v.get("name") {
+            Some(Value::Str(s)) => s.clone(),
+            other => return Err(format!("job name: expected string, got {other:?}")),
+        };
+        let class = match v.get("class") {
+            Some(Value::Str(s)) => ModelClass::from_label(s)
+                .ok_or_else(|| format!("{name}: unknown model class {s:?}"))?,
+            other => return Err(format!("{name}: class: expected string, got {other:?}")),
+        };
+        Ok(TraceJob {
+            submit_secs: req_f64(v, "submit_secs", &name)?,
+            gpus: req_u64(v, "gpus", &name)?,
+            duration_secs: req_f64(v, "duration_secs", &name)?,
+            iters: req_u64(v, "iters", &name)?,
+            name,
+            class,
+        })
+    }
+}
+
+// `ModelClass` serializes as its label so the round trip is readable.
+impl ModelClass {
+    fn to_value(self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+/// Serializes jobs to the normalized-form JSON array used by the
+/// round-trip tests and artefact dumps.
+pub fn jobs_to_value(jobs: &[TraceJob]) -> Value {
+    Value::Array(
+        jobs.iter()
+            .map(|j| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(j.name.clone())),
+                    ("submit_secs".into(), Value::F64(j.submit_secs)),
+                    ("gpus".into(), Value::U64(j.gpus)),
+                    ("duration_secs".into(), Value::F64(j.duration_secs)),
+                    ("class".into(), j.class.to_value()),
+                    ("iters".into(), Value::U64(j.iters)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the normalized-form array back into jobs.
+pub fn jobs_from_value(v: &Value) -> Result<Vec<TraceJob>, String> {
+    let Value::Array(items) = v else {
+        return Err(format!("normalized trace: expected array, got {v:?}"));
+    };
+    items.iter().map(TraceJob::from_value).collect()
+}
+
+/// Loads and normalizes a trace text in the given dialect. The result is
+/// in trace order; arrivals are shifted so the earliest is 0.
+pub fn load_trace(text: &str, format: TraceFormat) -> Result<Vec<TraceJob>, String> {
+    let mut jobs = match format {
+        TraceFormat::PhillyJson => load_philly(text)?,
+        TraceFormat::PaiCsv => load_pai(text)?,
+    };
+    if jobs.is_empty() {
+        return Err("trace contains no jobs".to_string());
+    }
+    let t0 = jobs
+        .iter()
+        .map(|j| j.submit_secs)
+        .fold(f64::INFINITY, f64::min);
+    for j in &mut jobs {
+        j.submit_secs -= t0;
+    }
+    Ok(jobs)
+}
+
+/// Simulated iterations for a recorded duration: one per 10
+/// trace-minutes, floored at the simulator's warmup+2 minimum. The
+/// replay layer applies its own upper cap.
+fn iters_for_duration(duration_secs: f64) -> u64 {
+    ((duration_secs / 600.0).round() as u64).max(3)
+}
+
+fn load_philly(text: &str) -> Result<Vec<TraceJob>, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("philly trace: {e}"))?;
+    let schema: Value = serde_json::from_str(PHILLY_SCHEMA).expect("committed schema parses");
+    schema::check(&schema, &doc)
+        .map_err(|errs| format!("philly trace: schema violations: {}", errs.join("; ")))?;
+    let Some(Value::Array(rows)) = doc.get("jobs") else {
+        return Err("philly trace: missing jobs array".to_string());
+    };
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let ctx = format!("jobs[{i}]");
+            let name = match row.get("jobid") {
+                Some(Value::Str(s)) => s.clone(),
+                other => return Err(format!("{ctx}: jobid: expected string, got {other:?}")),
+            };
+            let gpus = req_u64(row, "gpus", &ctx)?;
+            let duration_secs = req_f64(row, "duration", &ctx)?;
+            Ok(TraceJob {
+                submit_secs: req_f64(row, "submitted_time", &ctx)?,
+                class: ModelClass::assign(&name, gpus),
+                iters: iters_for_duration(duration_secs),
+                gpus,
+                duration_secs,
+                name,
+            })
+        })
+        .collect()
+}
+
+/// The exact header a PAI-style CSV must carry, in order.
+pub const PAI_HEADER: &str = "job_name,submit_time,end_time,plan_gpu,status";
+
+fn load_pai(text: &str) -> Result<Vec<TraceJob>, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err("pai trace: empty file".to_string());
+    };
+    if header.trim() != PAI_HEADER {
+        return Err(format!(
+            "pai trace: header {:?} != expected {PAI_HEADER:?}",
+            header.trim()
+        ));
+    }
+    let schema: Value = serde_json::from_str(PAI_SCHEMA).expect("committed schema parses");
+    let mut jobs = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = lineno + 1; // 1-based, matching editors.
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "pai trace row {row}: expected 5 columns, got {}",
+                cols.len()
+            ));
+        }
+        let num = |i: usize, field: &str| -> Result<f64, String> {
+            cols[i]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("pai trace row {row}: {field} {:?} is not a number", cols[i]))
+        };
+        // Parse the row into a JSON object and run it through the
+        // committed row schema, so CSV and JSON dialects share one
+        // validation story.
+        let parsed = Value::Object(vec![
+            ("job_name".into(), Value::Str(cols[0].trim().to_string())),
+            ("submit_time".into(), Value::F64(num(1, "submit_time")?)),
+            ("end_time".into(), Value::F64(num(2, "end_time")?)),
+            ("plan_gpu".into(), Value::F64(num(3, "plan_gpu")?)),
+            ("status".into(), Value::Str(cols[4].trim().to_string())),
+        ]);
+        schema::check(&schema, &parsed)
+            .map_err(|errs| format!("pai trace row {row}: {}", errs.join("; ")))?;
+        let submit = num(1, "submit_time")?;
+        let end = num(2, "end_time")?;
+        if end <= submit {
+            return Err(format!(
+                "pai trace row {row}: end_time {end} not after submit_time {submit}"
+            ));
+        }
+        let plan_gpu = num(3, "plan_gpu")?;
+        // PAI convention: plan_gpu 100 == one whole GPU.
+        let gpus = ((plan_gpu / 100.0).round() as u64).max(1);
+        let name = cols[0].trim().to_string();
+        jobs.push(TraceJob {
+            submit_secs: submit,
+            duration_secs: end - submit,
+            class: ModelClass::assign(&name, gpus),
+            iters: iters_for_duration(end - submit),
+            gpus,
+            name,
+        });
+    }
+    Ok(jobs)
+}
+
+fn req_f64(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::F64(x)) => Ok(*x),
+        Some(Value::I64(n)) => Ok(*n as f64),
+        Some(Value::U64(n)) => Ok(*n as f64),
+        other => Err(format!("{ctx}: {key}: expected number, got {other:?}")),
+    }
+}
+
+fn req_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Ok(*n),
+        Some(Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+        other => Err(format!(
+            "{ctx}: {key}: expected non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_assignment_is_deterministic_and_bucketed() {
+        let a = ModelClass::assign("job-123", 32);
+        assert_eq!(a, ModelClass::assign("job-123", 32));
+        // Large bucket never yields the small-pool models.
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            let c = ModelClass::assign(name, 16);
+            assert!(
+                matches!(
+                    c,
+                    ModelClass::Transformer | ModelClass::BertBase | ModelClass::Vgg16
+                ),
+                "{name}: {c:?}"
+            );
+            let c = ModelClass::assign(name, 1);
+            assert!(
+                matches!(
+                    c,
+                    ModelClass::Alexnet | ModelClass::Resnet50 | ModelClass::InceptionV3
+                ),
+                "{name}: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_mapping_floors_at_three() {
+        assert_eq!(iters_for_duration(1.0), 3);
+        assert_eq!(iters_for_duration(600.0), 3);
+        assert_eq!(iters_for_duration(6000.0), 10);
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(TraceFormat::detect("x.json", ""), TraceFormat::PhillyJson);
+        assert_eq!(TraceFormat::detect("x.csv", ""), TraceFormat::PaiCsv);
+        assert_eq!(
+            TraceFormat::detect("x", "  {\"jobs\": []}"),
+            TraceFormat::PhillyJson
+        );
+        assert_eq!(TraceFormat::detect("x", "a,b\n"), TraceFormat::PaiCsv);
+    }
+
+    #[test]
+    fn pai_rejects_bad_header_and_bad_rows() {
+        assert!(load_trace("nope\n", TraceFormat::PaiCsv)
+            .unwrap_err()
+            .contains("header"));
+        let bad_cols = format!("{PAI_HEADER}\nj1,0.0,10.0,100\n");
+        assert!(load_trace(&bad_cols, TraceFormat::PaiCsv)
+            .unwrap_err()
+            .contains("5 columns"));
+        let bad_num = format!("{PAI_HEADER}\nj1,zero,10.0,100,Terminated\n");
+        assert!(load_trace(&bad_num, TraceFormat::PaiCsv)
+            .unwrap_err()
+            .contains("not a number"));
+        let bad_span = format!("{PAI_HEADER}\nj1,10.0,10.0,100,Terminated\n");
+        assert!(load_trace(&bad_span, TraceFormat::PaiCsv)
+            .unwrap_err()
+            .contains("not after"));
+        let bad_status = format!("{PAI_HEADER}\nj1,0.0,10.0,100,Sleeping\n");
+        assert!(load_trace(&bad_status, TraceFormat::PaiCsv)
+            .unwrap_err()
+            .contains("enum"));
+    }
+
+    #[test]
+    fn arrivals_shift_to_zero() {
+        let text =
+            format!("{PAI_HEADER}\nj1,100.0,700.0,100,Terminated\nj2,40.0,640.0,200,Terminated\n");
+        let jobs = load_trace(&text, TraceFormat::PaiCsv).expect("loads");
+        assert_eq!(jobs[0].submit_secs, 60.0);
+        assert_eq!(jobs[1].submit_secs, 0.0);
+        assert_eq!(jobs[1].gpus, 2);
+    }
+}

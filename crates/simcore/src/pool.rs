@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A queued unit of work plus the barrier of the scope that submitted it.
@@ -86,6 +86,26 @@ impl WorkerPool {
     /// Number of pool-owned worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The process-wide shared pool, sized to `available_parallelism - 1`
+    /// workers (the caller of [`Self::run_scoped`] contributes the last
+    /// thread). Components that fan out independent work — the harness's
+    /// sweep `parallel_map`, the replay what-if service — share these
+    /// threads instead of spawning their own per call; the caller-assist
+    /// loop in `run_scoped` keeps concurrent scopes from one another's
+    /// pools deadlock-free (a waiting scope executes whatever is queued,
+    /// including another scope's tasks). The cluster driver's
+    /// conservative-parallel core keeps its own pool: its thread count is
+    /// a per-run configuration knob, not a process property.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            WorkerPool::new(threads.saturating_sub(1))
+        })
     }
 
     /// Runs every closure to completion, in parallel across the pool's

@@ -95,6 +95,7 @@ pub fn fingerprint(label: &str, r: &RunResult) -> Value {
 }
 
 /// Where the committed fixture lives.
+#[allow(dead_code)]
 pub fn fixture_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_comm_heavy.json")
 }

@@ -1,0 +1,212 @@
+//! Trace-ingestion contract tests:
+//!
+//! 1. Both committed fixtures (`philly_day.json`, `pai_day.csv`)
+//!    validate against their committed schemas, and the schemas the
+//!    crate embeds at compile time are byte-identical to the committed
+//!    files (one source of truth).
+//! 2. Normalization round-trips: load → serialize → parse ⇒ the same
+//!    jobs, on both dialects.
+//! 3. Malformed input is rejected row-by-row with a message naming the
+//!    violation, never a panic.
+//! 4. Replay is deterministic — the same trace and seed serialize to
+//!    byte-identical reports — and the truncated-fixture JCT summary is
+//!    pinned to a committed golden file, so refactors of the wave
+//!    scheduler can prove they preserved behaviour. Regenerate after an
+//!    intentional change with `BS_UPDATE_GOLDEN=1 cargo test --test
+//!    replay_ingest` and review the diff.
+
+mod common;
+
+use bs_replay::trace::{jobs_from_value, jobs_to_value, PAI_HEADER, PAI_SCHEMA, PHILLY_SCHEMA};
+use bs_replay::{load_trace, replay_trace, ReplayOptions, TraceFormat};
+use common::schema::{committed, validate};
+use serde::Serialize;
+use serde_json::Value;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/traces")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+}
+
+fn quick_opts() -> ReplayOptions {
+    ReplayOptions {
+        iters_cap: 3,
+        truncate: Some(8),
+        ..ReplayOptions::default()
+    }
+}
+
+#[test]
+fn embedded_schemas_match_the_committed_files() {
+    let read = |name: &str| {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("results")
+            .join(name);
+        std::fs::read_to_string(path).expect("committed schema readable")
+    };
+    assert_eq!(PHILLY_SCHEMA, read("trace_philly.schema.json"));
+    assert_eq!(PAI_SCHEMA, read("trace_pai.schema.json"));
+}
+
+#[test]
+fn philly_fixture_validates_against_the_committed_schema() {
+    let doc: Value = serde_json::from_str(&fixture("philly_day.json")).expect("fixture parses");
+    let schema = committed("trace_philly.schema.json");
+    let mut errs = Vec::new();
+    validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "fixture violates schema: {errs:?}");
+}
+
+#[test]
+fn pai_fixture_rows_validate_against_the_committed_schema() {
+    let text = fixture("pai_day.csv");
+    let schema = committed("trace_pai.schema.json");
+    let mut rows = 0;
+    for line in text.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 5, "fixture row malformed: {line}");
+        let parsed = Value::Object(vec![
+            ("job_name".into(), Value::Str(cols[0].into())),
+            ("submit_time".into(), Value::F64(cols[1].parse().unwrap())),
+            ("end_time".into(), Value::F64(cols[2].parse().unwrap())),
+            ("plan_gpu".into(), Value::F64(cols[3].parse().unwrap())),
+            ("status".into(), Value::Str(cols[4].into())),
+        ]);
+        let mut errs = Vec::new();
+        validate(&schema, &parsed, "$", &mut errs);
+        assert!(errs.is_empty(), "row {line:?} violates schema: {errs:?}");
+        rows += 1;
+    }
+    assert!(
+        rows >= 16,
+        "fixture should carry a real job mix, got {rows}"
+    );
+}
+
+#[test]
+fn both_dialects_round_trip_through_the_normalized_form() {
+    for (name, format) in [
+        ("philly_day.json", TraceFormat::PhillyJson),
+        ("pai_day.csv", TraceFormat::PaiCsv),
+    ] {
+        let jobs = load_trace(&fixture(name), format).expect("fixture loads");
+        assert!(jobs.len() >= 16, "{name}: expected a real mix");
+        let rendered = jobs_to_value(&jobs);
+        // Through actual JSON text, not just the Value tree.
+        let text = serde_json::to_string(&rendered).expect("serializes");
+        let reparsed: Value = serde_json::from_str(&text).expect("parses back");
+        let back = jobs_from_value(&reparsed).expect("normalized form parses");
+        assert_eq!(jobs, back, "{name}: round trip changed the jobs");
+    }
+}
+
+#[test]
+fn malformed_philly_rows_are_rejected_with_row_messages() {
+    let cases = [
+        // Missing a required field.
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": 0, "duration": 10, "status": "Pass"}]}"#,
+            "gpus",
+        ),
+        // Wrong type.
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": "late", "gpus": 1, "duration": 10, "status": "Pass"}]}"#,
+            "submitted_time",
+        ),
+        // Status outside the enum.
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": 0, "gpus": 1, "duration": 10, "status": "Sleeping"}]}"#,
+            "enum",
+        ),
+        // Zero GPUs (minimum 1).
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": 0, "gpus": 0, "duration": 10, "status": "Pass"}]}"#,
+            "minimum",
+        ),
+        // Unknown extra property.
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": 0, "gpus": 1, "duration": 10, "status": "Pass", "surprise": 1}]}"#,
+            "surprise",
+        ),
+        // Zero duration (exclusiveMinimum 0).
+        (
+            r#"{"schema_version": 1, "jobs": [{"jobid": "j", "vc": "v", "submitted_time": 0, "gpus": 1, "duration": 0, "status": "Pass"}]}"#,
+            "exclusiveMinimum",
+        ),
+    ];
+    for (text, needle) in cases {
+        let err = load_trace(text, TraceFormat::PhillyJson)
+            .expect_err("malformed trace must be rejected");
+        assert!(
+            err.contains(needle),
+            "error {err:?} should mention {needle:?}"
+        );
+    }
+    // An empty jobs array is schema-valid but unreplayable.
+    let err = load_trace(
+        r#"{"schema_version": 1, "jobs": []}"#,
+        TraceFormat::PhillyJson,
+    )
+    .expect_err("empty trace rejected");
+    assert!(err.contains("no jobs"), "{err:?}");
+}
+
+#[test]
+fn malformed_pai_rows_are_rejected_with_row_numbers() {
+    let bad =
+        format!("{PAI_HEADER}\npai_ok,0.0,700.0,100,Terminated\npai_bad,5.0,nine,100,Terminated\n");
+    let err = load_trace(&bad, TraceFormat::PaiCsv).expect_err("bad number rejected");
+    assert!(err.contains("row 3"), "error should name the row: {err:?}");
+}
+
+#[test]
+fn same_trace_and_seed_replay_to_byte_identical_reports() {
+    for (name, format) in [
+        ("philly_day.json", TraceFormat::PhillyJson),
+        ("pai_day.csv", TraceFormat::PaiCsv),
+    ] {
+        let jobs = load_trace(&fixture(name), format).expect("fixture loads");
+        let opts = quick_opts();
+        let a = serde_json::to_string(&replay_trace(&jobs, &opts)).expect("serializes");
+        let b = serde_json::to_string(&replay_trace(&jobs, &opts)).expect("serializes");
+        assert_eq!(a, b, "{name}: replay must be deterministic");
+    }
+}
+
+#[test]
+fn truncated_replay_jct_summary_matches_the_golden_fixture() {
+    let jobs =
+        load_trace(&fixture("philly_day.json"), TraceFormat::PhillyJson).expect("fixture loads");
+    let r = replay_trace(&jobs, &quick_opts());
+    let doc = Value::Object(vec![
+        ("jobs".into(), Value::U64(r.jobs.len() as u64)),
+        ("waves".into(), Value::U64(r.waves as u64)),
+        ("jct".into(), r.jct.to_value()),
+        ("queueing".into(), r.queueing.to_value()),
+        ("run".into(), r.run.to_value()),
+        ("makespan_secs".into(), Value::F64(r.makespan_secs)),
+        ("fabric_events".into(), Value::U64(r.fabric_events)),
+    ]);
+    let actual = serde_json::to_string_pretty(&doc).expect("serializes") + "\n";
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_replay.json");
+    if std::env::var("BS_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &actual).expect("write fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with BS_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "replay JCT summary diverged from the golden fixture; if the \
+         behaviour change is intentional, regenerate with BS_UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}

@@ -1,0 +1,90 @@
+//! Property tests for the JCT-percentile math behind the replay layer's
+//! distribution summaries.
+//!
+//! [`percentile_nearest_rank`] is exact by construction (the result is
+//! always an input element), so the properties are sharp, not
+//! approximate: element membership, monotonicity in `p`, the
+//! p50 ≤ p95 ≤ p99 ≤ max ordering of every [`DistSummary`], and
+//! agreement with a brute-force count-based definition of nearest rank.
+
+use bs_cluster::{percentile_nearest_rank, DistSummary};
+use proptest::prelude::*;
+
+/// Brute-force nearest rank: the smallest element with at least
+/// ⌈p/100·n⌉ elements ≤ it (counting from the sorted order).
+fn brute_force(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil().clamp(1.0, n as f64) as usize;
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_an_element_and_matches_brute_force(
+        xs in proptest::collection::vec(0u32..10_000, 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let mut xs = xs;
+        xs.sort_unstable();
+        let sorted: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let got = percentile_nearest_rank(&sorted, p);
+        prop_assert!(
+            sorted.contains(&got),
+            "percentile must be an input element, got {got}"
+        );
+        prop_assert_eq!(got, brute_force(&sorted, p));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        xs in proptest::collection::vec(0u32..10_000, 1..200),
+        p_lo in 0.0f64..100.0,
+        p_hi in 0.0f64..100.0,
+    ) {
+        let mut xs = xs;
+        xs.sort_unstable();
+        let sorted: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let (lo, hi) = if p_lo <= p_hi { (p_lo, p_hi) } else { (p_hi, p_lo) };
+        prop_assert!(
+            percentile_nearest_rank(&sorted, lo) <= percentile_nearest_rank(&sorted, hi),
+            "p{lo} must not exceed p{hi}"
+        );
+    }
+
+    #[test]
+    fn summary_tail_ordering_holds_for_any_sample(
+        xs in proptest::collection::vec(0u32..1_000_000, 1..300),
+    ) {
+        let samples: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let s = DistSummary::from_unsorted(samples.clone());
+        prop_assert_eq!(s.n, samples.len());
+        prop_assert!(s.p50 <= s.p95, "p50 {} > p95 {}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {} > p99 {}", s.p95, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 {} > max {}", s.p99, s.max);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.mean >= lo && s.mean <= hi, "mean {} outside [{lo}, {hi}]", s.mean);
+        // Every reported percentile is a sample.
+        for v in [s.p50, s.p95, s.p99, s.max] {
+            prop_assert!(samples.contains(&v), "{v} is not a sample");
+        }
+    }
+
+    /// Duplicating every sample never changes any percentile: nearest
+    /// rank depends on order statistics, not multiplicity scaling.
+    #[test]
+    fn percentiles_are_invariant_under_duplication(
+        xs in proptest::collection::vec(0u32..10_000, 1..100),
+    ) {
+        let once: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let mut twice = once.clone();
+        twice.extend_from_slice(&once);
+        let a = DistSummary::from_unsorted(once);
+        let b = DistSummary::from_unsorted(twice);
+        prop_assert_eq!(a.p50, b.p50);
+        prop_assert_eq!(a.p95, b.p95);
+        prop_assert_eq!(a.p99, b.p99);
+        prop_assert_eq!(a.max, b.max);
+    }
+}
