@@ -1,0 +1,356 @@
+//! Reduction of raw link-contention recordings into the per-link
+//! contention matrix exported as `contention.json`.
+//!
+//! The fabric records two things per NIC direction (see
+//! [`bs_net::contention`]): an active-job bitmask series and per-transfer
+//! occupancy spans. This module folds them into the observables the
+//! CASSINI-style credit broker needs (PAPERS.md):
+//!
+//! * per link — total busy and contended (≥ 2 jobs active) seconds, and
+//!   per job its active seconds plus its bytes split into *solo* (no
+//!   co-tenant active) and *contended* shares, attributed proportionally
+//!   by overlap time against the active-set step function;
+//! * per job pair — overlap seconds (both active on the same direction,
+//!   summed over links) and the *phase-collision fraction*:
+//!   `overlap / min(active_a, active_b)`, clamped to `[0, 1]` — 1.0 means
+//!   the rarer job's comm phases always land on top of the other's.
+//!
+//! Everything here is plain folds over recorded step functions in fixed
+//! index order — float sums in deterministic order — so the exported
+//! JSON is byte-stable across runs and thread counts.
+
+use bs_net::ContentionLog;
+use bs_sim::SimTime;
+use serde::{Serialize, Value};
+
+/// Schema version written into every `contention.json`; bump on breaking
+/// shape changes and keep `results/contention.schema.json` in step.
+pub const CONTENTION_SCHEMA_VERSION: u64 = 1;
+
+/// The committed `contention.json` schema, embedded so validation never
+/// depends on the working directory. Byte-identity with the committed
+/// file is pinned by test.
+pub const CONTENTION_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/contention.schema.json"
+));
+
+/// One job's share of one NIC direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobLinkShare {
+    /// Job index (into [`ContentionMatrix::jobs`]).
+    pub job: usize,
+    /// Seconds the job had at least one transfer pending here.
+    pub active_secs: f64,
+    /// Bytes moved while no co-tenant was active on the direction.
+    pub solo_bytes: f64,
+    /// Bytes moved while at least one co-tenant was active.
+    pub contended_bytes: f64,
+}
+
+/// One NIC direction's contention summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkContention {
+    /// Machine index.
+    pub machine: usize,
+    /// `true` for the uplink (egress), `false` for the downlink.
+    pub up: bool,
+    /// Seconds any job was active on the direction.
+    pub busy_secs: f64,
+    /// Seconds at least two jobs were active simultaneously.
+    pub contended_secs: f64,
+    /// Per-job shares, in job-index order; jobs that never touched the
+    /// direction are omitted.
+    pub jobs: Vec<JobLinkShare>,
+}
+
+/// One job pair's overlap summary, aggregated over all NIC directions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairContention {
+    /// Lower job index of the pair.
+    pub a: usize,
+    /// Higher job index of the pair.
+    pub b: usize,
+    /// Seconds both jobs were active on the same NIC direction, summed
+    /// over directions.
+    pub overlap_secs: f64,
+    /// Fraction of the rarer job's active time spent overlapping:
+    /// `overlap / min(active_a, active_b)`, clamped to `[0, 1]`.
+    pub phase_collision: f64,
+}
+
+/// The schema-versioned contention matrix for one cluster run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContentionMatrix {
+    /// [`CONTENTION_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Observation horizon (the cluster makespan).
+    pub horizon: SimTime,
+    /// Tenant display names, in spec order; indices elsewhere refer here.
+    pub jobs: Vec<String>,
+    /// Per NIC direction, machine-major with uplink before downlink;
+    /// directions that never carried traffic are omitted.
+    pub links: Vec<LinkContention>,
+    /// Per job pair (`a < b`), for pairs where both jobs touched the
+    /// fabric; sorted by `(a, b)`.
+    pub pairs: Vec<PairContention>,
+}
+
+impl ContentionMatrix {
+    /// Folds a raw recording into the matrix. `jobs` are the tenant
+    /// names in spec order (= tag-namespace order).
+    pub fn reduce(log: &ContentionLog, horizon: SimTime, jobs: Vec<String>) -> ContentionMatrix {
+        let n = log.nodes;
+        let nj = jobs.len();
+        // Accumulators in fixed (port, job) order so float sums are
+        // byte-reproducible.
+        let mut active = vec![vec![0.0f64; nj]; 2 * n];
+        let mut busy = vec![0.0f64; 2 * n];
+        let mut contended = vec![0.0f64; 2 * n];
+        let mut job_total = vec![0.0f64; nj];
+        let mut overlap = vec![vec![0.0f64; nj]; nj];
+        for (p, series) in log.active.iter().enumerate() {
+            for (t0, t1, mask) in series.segments(horizon) {
+                if mask == 0 {
+                    continue;
+                }
+                let dur = t1.saturating_sub(t0).as_secs_f64();
+                busy[p] += dur;
+                if mask.count_ones() >= 2 {
+                    contended[p] += dur;
+                }
+                for a in 0..nj {
+                    if mask & (1 << a) == 0 {
+                        continue;
+                    }
+                    active[p][a] += dur;
+                    job_total[a] += dur;
+                    for (b, o) in overlap[a].iter_mut().enumerate().skip(a + 1) {
+                        if mask & (1 << b) != 0 {
+                            *o += dur;
+                        }
+                    }
+                }
+            }
+        }
+        // Occupancy spans split into solo vs contended byte shares by
+        // overlap against the direction's active-set step function. A
+        // span is "contended" exactly while a *co-tenant* is active —
+        // the owning job's own bit does not count against it.
+        let mut solo = vec![vec![0.0f64; nj]; 2 * n];
+        let mut cont = vec![vec![0.0f64; nj]; 2 * n];
+        for &(p, job, bytes, start, end) in &log.occupancy {
+            if job >= nj {
+                continue;
+            }
+            let others = !(1u64 << job);
+            let total = end.saturating_sub(start).as_secs_f64();
+            if total <= 0.0 {
+                // Instantaneous span: attribute by the mask in force at
+                // `start` (the last segment opening at or before it).
+                let mask = log.active[p]
+                    .samples()
+                    .iter()
+                    .take_while(|&&(t, _)| t <= start)
+                    .last()
+                    .map_or(0, |&(_, m)| m);
+                if mask & others != 0 {
+                    cont[p][job] += bytes as f64;
+                } else {
+                    solo[p][job] += bytes as f64;
+                }
+                continue;
+            }
+            let mut contended_dur = 0.0f64;
+            for (t0, t1, mask) in log.active[p].segments(SimTime::MAX) {
+                let s = t0.max(start);
+                let e = t1.min(end);
+                if e > s && mask & others != 0 {
+                    contended_dur += e.saturating_sub(s).as_secs_f64();
+                }
+            }
+            let frac = (contended_dur / total).clamp(0.0, 1.0);
+            cont[p][job] += bytes as f64 * frac;
+            solo[p][job] += bytes as f64 * (1.0 - frac);
+        }
+        // Assemble: machine-major, uplink before downlink, so the output
+        // order is a pure function of the topology.
+        let mut links = Vec::new();
+        for m in 0..n {
+            for (up, p) in [(true, m), (false, n + m)] {
+                let shares: Vec<JobLinkShare> = (0..nj)
+                    .filter(|&j| active[p][j] > 0.0 || solo[p][j] > 0.0 || cont[p][j] > 0.0)
+                    .map(|j| JobLinkShare {
+                        job: j,
+                        active_secs: active[p][j],
+                        solo_bytes: solo[p][j],
+                        contended_bytes: cont[p][j],
+                    })
+                    .collect();
+                if shares.is_empty() {
+                    continue;
+                }
+                links.push(LinkContention {
+                    machine: m,
+                    up,
+                    busy_secs: busy[p],
+                    contended_secs: contended[p],
+                    jobs: shares,
+                });
+            }
+        }
+        let mut pairs = Vec::new();
+        for a in 0..nj {
+            for b in (a + 1)..nj {
+                if job_total[a] <= 0.0 || job_total[b] <= 0.0 {
+                    continue;
+                }
+                let min_active = job_total[a].min(job_total[b]);
+                pairs.push(PairContention {
+                    a,
+                    b,
+                    overlap_secs: overlap[a][b],
+                    phase_collision: (overlap[a][b] / min_active).clamp(0.0, 1.0),
+                });
+            }
+        }
+        ContentionMatrix {
+            schema_version: CONTENTION_SCHEMA_VERSION,
+            horizon,
+            jobs,
+            links,
+            pairs,
+        }
+    }
+}
+
+impl Serialize for ContentionMatrix {
+    fn to_value(&self) -> Value {
+        let links: Vec<Value> = self
+            .links
+            .iter()
+            .map(|l| {
+                let jobs: Vec<Value> = l
+                    .jobs
+                    .iter()
+                    .map(|s| {
+                        Value::Object(vec![
+                            ("job".into(), Value::U64(s.job as u64)),
+                            ("active_secs".into(), Value::F64(s.active_secs)),
+                            ("solo_bytes".into(), Value::F64(s.solo_bytes)),
+                            ("contended_bytes".into(), Value::F64(s.contended_bytes)),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("machine".into(), Value::U64(l.machine as u64)),
+                    (
+                        "dir".into(),
+                        Value::Str(if l.up { "up" } else { "down" }.into()),
+                    ),
+                    ("busy_secs".into(), Value::F64(l.busy_secs)),
+                    ("contended_secs".into(), Value::F64(l.contended_secs)),
+                    ("jobs".into(), Value::Array(jobs)),
+                ])
+            })
+            .collect();
+        let pairs: Vec<Value> = self
+            .pairs
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("a".into(), Value::U64(p.a as u64)),
+                    ("b".into(), Value::U64(p.b as u64)),
+                    ("overlap_secs".into(), Value::F64(p.overlap_secs)),
+                    ("phase_collision".into(), Value::F64(p.phase_collision)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema_version".into(), Value::U64(self.schema_version)),
+            (
+                "horizon_us".into(),
+                Value::F64(self.horizon.as_micros_f64()),
+            ),
+            (
+                "jobs".into(),
+                Value::Array(self.jobs.iter().map(|j| Value::Str(j.clone())).collect()),
+            ),
+            ("links".into(), Value::Array(links)),
+            ("pairs".into(), Value::Array(pairs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_net::ContentionRecorder;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    fn low_bits(tag: u64) -> usize {
+        (tag & 0b11) as usize
+    }
+
+    /// Hand-computed fixture: jobs 0 and 1 share node 0's uplink; job 0
+    /// is active [0, 30)µs, job 1 [10, 20)µs → overlap 10 µs. Job 0
+    /// moves 3000 bytes over its whole window (1000 during the overlap),
+    /// job 1 moves 500 bytes entirely inside the overlap.
+    #[test]
+    fn matrix_matches_hand_computation() {
+        let mut r = ContentionRecorder::new(us(0), 2, low_bits);
+        r.on_submit(us(0), 0, 1, 0);
+        r.on_submit(us(10), 0, 1, 1);
+        r.on_delivered(us(20), 0, 1, 1);
+        r.on_delivered(us(30), 0, 1, 0);
+        r.on_wire(0, 1, 0, 3000, us(0), us(30));
+        r.on_wire(0, 1, 1, 500, us(10), us(20));
+        let log = r.take();
+        let m = ContentionMatrix::reduce(&log, us(30), vec!["a".into(), "b".into()]);
+
+        assert_eq!(m.schema_version, CONTENTION_SCHEMA_VERSION);
+        // Node 0 uplink and node 1 downlink carry identical state; no
+        // other direction appears.
+        assert_eq!(m.links.len(), 2);
+        let l = &m.links[0];
+        assert!(l.machine == 0 && l.up);
+        assert!((l.busy_secs - 30e-6).abs() < 1e-12);
+        assert!((l.contended_secs - 10e-6).abs() < 1e-12);
+        assert_eq!(l.jobs.len(), 2);
+        // Job 0: 1/3 of its span overlapped → 1000 contended, 2000 solo.
+        assert!((l.jobs[0].active_secs - 30e-6).abs() < 1e-12);
+        assert!((l.jobs[0].solo_bytes - 2000.0).abs() < 1e-9);
+        assert!((l.jobs[0].contended_bytes - 1000.0).abs() < 1e-9);
+        // Job 1: fully inside the overlap → all 500 contended.
+        assert!((l.jobs[1].solo_bytes - 0.0).abs() < 1e-9);
+        assert!((l.jobs[1].contended_bytes - 500.0).abs() < 1e-9);
+        // Pair: overlap 10 µs on each of 2 directions = 20 µs; job 1's
+        // total active is 20 µs → collision fraction 1.0.
+        assert_eq!(m.pairs.len(), 1);
+        let p = &m.pairs[0];
+        assert_eq!((p.a, p.b), (0, 1));
+        assert!((p.overlap_secs - 20e-6).abs() < 1e-12);
+        assert!((p.phase_collision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialises_deterministically_with_schema_version() {
+        let mut r = ContentionRecorder::new(us(0), 2, low_bits);
+        r.on_submit(us(0), 0, 1, 0);
+        r.on_delivered(us(10), 0, 1, 0);
+        r.on_wire(0, 1, 0, 100, us(0), us(10));
+        let log = r.take();
+        let m = ContentionMatrix::reduce(&log, us(10), vec!["solo".into()]);
+        let a = serde_json::to_string_pretty(&m).expect("serialises");
+        let b = serde_json::to_string_pretty(&m).expect("serialises");
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"solo_bytes\""));
+        // A lone tenant yields no pairs and no contended time.
+        assert!(m.pairs.is_empty());
+        assert_eq!(m.links[0].contended_secs, 0.0);
+    }
+}

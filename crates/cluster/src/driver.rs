@@ -44,6 +44,8 @@
 //! every global instant.
 
 use bs_net::{Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, SubmitLog};
+
+use crate::contention::ContentionMatrix;
 use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
 use bs_runtime::traffic::{BurstSource, BG_TAG};
 use bs_runtime::{JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
@@ -501,6 +503,11 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
     if cluster.record_xray {
         fabric.enable_xray();
     }
+    if cluster.record_contention {
+        // The tag namespace is the job extractor: bits 58.. of every
+        // fabric tag name the owning job.
+        fabric.enable_contention(SimTime::ZERO, job_of_tag);
+    }
 
     let mut jobs: Vec<ClusterJob> = specs
         .iter()
@@ -665,6 +672,11 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         }
     }
 
+    let contention = fabric.take_contention().map(|log| {
+        let names = specs.iter().map(|s| s.name().to_string()).collect();
+        ContentionMatrix::reduce(&log, makespan, names)
+    });
+
     let mut trace = trace;
     if let (Some(trace), Some(ms)) = (trace.as_mut(), metrics.as_ref()) {
         for t in ms.counter_tracks() {
@@ -742,6 +754,7 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         fabric_events,
         trace,
         metrics,
+        contention,
     }
 }
 
@@ -988,6 +1001,58 @@ mod tests {
             .any(|f| f.from_track.starts_with("job1/")));
     }
 
+    #[test]
+    fn recorded_contention_measures_link_overlap() {
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        let specs = vec![
+            JobSpec::train("a", job_cfg(bs(), 3)),
+            JobSpec::train("b", job_cfg(SchedulerKind::Baseline, 4)),
+        ];
+        let plain = run_cluster(&cluster, &specs);
+        assert!(plain.contention.is_none());
+
+        cluster.record_contention = true;
+        let r = run_cluster(&cluster, &specs);
+        // Recording-only: the shared simulation is unchanged.
+        assert_eq!(r.makespan, plain.makespan);
+        assert_eq!(r.jobs[0].result.speed, plain.jobs[0].result.speed);
+
+        let m = r.contention.as_ref().expect("contention matrix");
+        assert_eq!(m.schema_version, crate::CONTENTION_SCHEMA_VERSION);
+        assert_eq!(m.horizon, r.makespan);
+        assert_eq!(m.jobs, vec!["a".to_string(), "b".to_string()]);
+        // Packed placement: both PS jobs push traffic through every
+        // machine's NIC in both directions.
+        assert_eq!(m.links.len(), 2 * cluster.machines);
+        for l in &m.links {
+            assert!(l.busy_secs > 0.0, "machine {} idle", l.machine);
+            assert!(l.contended_secs <= l.busy_secs + 1e-12);
+            assert_eq!(l.jobs.len(), 2, "both tenants touch every NIC");
+            for s in &l.jobs {
+                assert!(s.active_secs > 0.0);
+                assert!(s.solo_bytes >= 0.0 && s.contended_bytes >= 0.0);
+            }
+        }
+        assert!(
+            m.links.iter().any(|l| l.contended_secs > 0.0),
+            "co-located tenants must collide somewhere"
+        );
+        // Exactly one pair, genuinely overlapping.
+        assert_eq!(m.pairs.len(), 1);
+        let p = &m.pairs[0];
+        assert_eq!((p.a, p.b), (0, 1));
+        assert!(p.overlap_secs > 0.0);
+        assert!(p.phase_collision > 0.0 && p.phase_collision <= 1.0);
+
+        // Byte-deterministic: a repeat run renders identical JSON.
+        let again = run_cluster(&cluster, &specs);
+        assert_eq!(
+            serde_json::to_string_pretty(m).unwrap(),
+            serde_json::to_string_pretty(again.contention.as_ref().unwrap()).unwrap()
+        );
+    }
+
     /// An all-reduce tenant: its collective stream is private (zero
     /// shared-fabric nodes), which makes it a permanent free-run
     /// candidate in parallel mode.
@@ -1030,6 +1095,7 @@ mod tests {
             cluster.record_trace = true;
             cluster.record_metrics = true;
             cluster.record_xray = true;
+            cluster.record_contention = true;
             let mut faulty = job_cfg(bs(), 21);
             faulty.faults = Some(FaultPlan {
                 loss_rate: 0.02,

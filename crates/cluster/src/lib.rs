@@ -38,11 +38,16 @@
 //! always has) and therefore only contend for machines, not wires; see
 //! DESIGN.md for the rationale and limits of that approximation.
 
+pub mod contention;
 pub mod driver;
 pub mod metrics;
 pub mod placement;
 pub mod spec;
 
+pub use contention::{
+    ContentionMatrix, JobLinkShare, LinkContention, PairContention, CONTENTION_SCHEMA,
+    CONTENTION_SCHEMA_VERSION,
+};
 pub use driver::run_cluster;
 pub use metrics::{
     jain_index, percentile_nearest_rank, ClusterResult, DistSummary, JobOutcome, LinkUtil,

@@ -1,6 +1,8 @@
 //! Cluster-level metrics: JCT, makespan, fairness, link utilisation.
 
 use bs_runtime::RunResult;
+
+use crate::contention::ContentionMatrix;
 use bs_sim::{SimTime, Trace};
 use bs_telemetry::MetricSet;
 use serde::Serialize;
@@ -132,6 +134,11 @@ pub struct ClusterResult {
     /// `job{j}/nic{m}/`. Per-job scheduler/GPU metrics live in each
     /// job's [`JobOutcome::result`].
     pub metrics: Option<MetricSet>,
+    /// Link-contention matrix (per NIC direction busy/contended time,
+    /// per-job solo vs contended byte shares, pairwise phase-collision
+    /// fractions), when [`crate::ClusterConfig::record_contention`] was
+    /// set.
+    pub contention: Option<ContentionMatrix>,
 }
 
 impl ClusterResult {

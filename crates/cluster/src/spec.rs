@@ -32,6 +32,12 @@ pub struct ClusterConfig {
     /// critical-path attribution to its `result.xray`. Off by default,
     /// same recording-only contract as [`WorldConfig::record_xray`].
     pub record_xray: bool,
+    /// Record per-NIC-direction active-job sets and occupancy spans on
+    /// the shared fabric and attach the reduced link-contention matrix to
+    /// [`crate::ClusterResult::contention`]. Off by default, same
+    /// recording-only contract as the other recorders: enabling it never
+    /// changes any simulation event.
+    pub record_contention: bool,
     /// Simulation threads for the conservative-parallel driver core.
     /// `1` (the default) runs the plain sequential event loop; `N > 1`
     /// free-runs fabric-independent jobs on `N - 1` pool workers plus the
@@ -52,6 +58,7 @@ impl ClusterConfig {
             record_trace: false,
             record_metrics: false,
             record_xray: false,
+            record_contention: false,
             threads: 1,
         }
     }

@@ -13,6 +13,13 @@
 //! breakdown, top critical tensors) and, when FILE is given, writes the
 //! lead job's schema-versioned critical_path.json there.
 //!
+//! `--contention [FILE]` runs the 4-tenant contention reference (three
+//! PS tenants + one burst tenant, packed) with the link-contention
+//! observatory recording, asserts the matrix is byte-deterministic,
+//! prints the per-link tenant shares and pairwise phase-collision tables
+//! and, when FILE is given, writes the schema-versioned contention.json
+//! there.
+//!
 //! `--threads N` sets the thread count for the conservative-parallel
 //! core check (default: every available core). The binary runs a
 //! 4-tenant mix sequentially and at N threads, asserts the traces are
@@ -39,6 +46,7 @@ fn main() {
     };
     let (metrics_on, metrics_file) = flag_file("--metrics");
     let (xray_on, xray_file) = flag_file("--xray");
+    let (contention_on, contention_file) = flag_file("--contention");
     let threads: usize = flag_file("--threads")
         .1
         .and_then(|v| v.parse().ok())
@@ -96,6 +104,34 @@ fn main() {
         ) {
             xray_report::write_critical_path_json(path, x);
             println!("xray: critical path of {} -> {path}", a.jobs[0].name);
+        }
+    }
+
+    if contention_on {
+        let r = cluster::contention_reference(fid);
+        let m = r.contention.as_ref().expect("contention recorded");
+        let json = serde_json::to_string_pretty(m).expect("contention serialises");
+        // The observatory's export contract: a rerun renders the same bytes.
+        let again = cluster::contention_reference(fid);
+        assert_eq!(
+            json,
+            serde_json::to_string_pretty(again.contention.as_ref().unwrap())
+                .expect("contention serialises"),
+            "contention matrix must be byte-deterministic"
+        );
+        println!();
+        print!("{}", metrics_report::render_contention(m));
+        println!(
+            "determinism: contention rerun produced a byte-identical matrix ({} bytes)",
+            json.len()
+        );
+        if let Some(path) = contention_file {
+            metrics_report::write_contention_json(path, m);
+            println!(
+                "contention: {} links, {} pairs -> {path}",
+                m.links.len(),
+                m.pairs.len()
+            );
         }
     }
 

@@ -10,12 +10,20 @@
 //! the cache/dedup counters; with enough repeats the run asserts the
 //! LRU actually hit.
 //!
+//! `--metrics` re-replays the trace with per-wave recorders on and
+//! prints, for every wave, the cluster metrics summary (per-job stall
+//! breakdown, per-NIC utilisation, per-job NIC shares) and the wave's
+//! link-contention matrix — the same tables `cluster --metrics` /
+//! `cluster --contention` print for a single cluster run. Recording is
+//! observation-only; the binary asserts the recorded replay's aggregate
+//! report is byte-identical to the plain one.
+//!
 //! The binary also re-replays the trace and asserts the two reports
 //! serialize to identical bytes — the determinism contract CI leans on.
 
 use bs_harness::experiments::replay;
-use bs_harness::{report, Fidelity};
-use bs_replay::replay_trace;
+use bs_harness::{metrics_report, report, Fidelity};
+use bs_replay::{replay_trace, replay_trace_recorded};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +60,28 @@ fn main() {
         "determinism: re-replay produced a byte-identical report ({} bytes)",
         a.len()
     );
+
+    if args.iter().any(|a| a == "--metrics") {
+        let (recorded, waves) = replay_trace_recorded(&jobs, &opts, true, true);
+        assert_eq!(
+            serde_json::to_string(&recorded).expect("report serializes"),
+            a,
+            "per-wave recording must not change the replay"
+        );
+        for w in &waves {
+            println!(
+                "\n=== wave {} (epoch {:.3} s, {} jobs) ===",
+                w.wave,
+                w.epoch_secs,
+                w.result.jobs.len()
+            );
+            print!("{}", metrics_report::render_cluster_metrics(&w.result));
+            if let Some(m) = &w.result.contention {
+                println!();
+                print!("{}", metrics_report::render_contention(m));
+            }
+        }
+    }
 
     // Service contract: with more queries than unique configs, repeats
     // must be answered from the cache (or collapse inside a batch).

@@ -195,6 +195,35 @@ pub fn reference_run(fid: Fidelity, record_metrics: bool, record_xray: bool) -> 
     )
 }
 
+/// Runs the 4-tenant contention reference behind `cluster --contention`:
+/// three PS training tenants (two ByteScheduler, one FIFO) and one burst
+/// tenant packed onto 4 machines, with the link-contention observatory
+/// recording. Every tenant pushes through every shared NIC, so the
+/// matrix has all six pairs and genuinely contended links. (All-reduce
+/// tenants are deliberately absent: their collective streams are private,
+/// so they contend for machines, not wires — see the crate doc.)
+pub fn contention_reference(fid: Fidelity) -> ClusterResult {
+    use bs_runtime::BackgroundLoad;
+    let specs = vec![
+        JobSpec::train("bytescheduler-a", job_cfg(fid, bytescheduler(), 21)),
+        JobSpec::train("bytescheduler-b", job_cfg(fid, bytescheduler(), 22)),
+        JobSpec::train("fifo-baseline", job_cfg(fid, SchedulerKind::Baseline, 23)),
+        JobSpec::burst(
+            "burst-bg",
+            BackgroundLoad {
+                burst_bytes: 4 << 20,
+                gap_us: 2_000,
+            },
+            2,
+            97,
+        ),
+    ];
+    let template = job_cfg(fid, bytescheduler(), 1);
+    let mut c = cluster(template.num_workers * 2, PlacementPolicy::Packed, &template);
+    c.record_contention = true;
+    run_cluster(&c, &specs)
+}
+
 /// Runs the 4-tenant mix (2 PS + 2 all-reduce) behind the `cluster`
 /// binary's `--threads` check at the given thread count, returning the
 /// wall-clock seconds and the result (trace recorded). The all-reduce

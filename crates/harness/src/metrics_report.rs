@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use bs_cluster::ClusterResult;
+use bs_cluster::{ClusterResult, ContentionMatrix};
 use bs_telemetry::MetricSet;
 
 use crate::report::Table;
@@ -162,6 +162,94 @@ pub fn render_cluster_metrics(r: &ClusterResult) -> String {
     out
 }
 
+/// Renders the link-contention matrix: per NIC direction the busy vs
+/// contended window and each tenant's solo/contended byte split, then
+/// the pairwise phase-collision table.
+pub fn render_contention(m: &ContentionMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Link contention (window {:.3} s, {} tenants, {} active NIC directions)",
+        m.horizon.as_secs_f64(),
+        m.jobs.len(),
+        m.links.len()
+    );
+
+    let name = |j: usize| m.jobs.get(j).cloned().unwrap_or_else(|| format!("job{j}"));
+    let mb = |b: f64| format!("{:.1}", b / 1e6);
+    let mut t = Table::new(
+        "Per-link tenant shares (busy/contended seconds, solo vs contended MB)",
+        &[
+            "link",
+            "busy (s)",
+            "cont (s)",
+            "tenant",
+            "active (s)",
+            "solo MB",
+            "cont MB",
+        ],
+    );
+    for l in &m.links {
+        let dir = if l.up { "up" } else { "down" };
+        for (i, s) in l.jobs.iter().enumerate() {
+            // Link-level columns only on the first tenant row, so each
+            // link reads as one visual group.
+            let (link, busy, cont) = if i == 0 {
+                (
+                    format!("nic{}/{dir}", l.machine),
+                    format!("{:.4}", l.busy_secs),
+                    format!("{:.4}", l.contended_secs),
+                )
+            } else {
+                (String::new(), String::new(), String::new())
+            };
+            t.row(vec![
+                link,
+                busy,
+                cont,
+                name(s.job),
+                format!("{:.4}", s.active_secs),
+                mb(s.solo_bytes),
+                mb(s.contended_bytes),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    if !m.pairs.is_empty() {
+        let mut t = Table::new(
+            "Pairwise phase collision (overlap seconds, fraction of the rarer tenant's active time)",
+            &["tenant a", "tenant b", "overlap (s)", "collision"],
+        );
+        for p in &m.pairs {
+            t.row(vec![
+                name(p.a),
+                name(p.b),
+                format!("{:.4}", p.overlap_secs),
+                format!("{:.1}%", 100.0 * p.phase_collision),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Writes a [`ContentionMatrix`] as pretty-printed, schema-versioned
+/// `contention.json` to `path`. IO failures are reported but non-fatal,
+/// matching [`crate::report::write_json`].
+pub fn write_contention_json(path: &str, m: &ContentionMatrix) {
+    match serde_json::to_string_pretty(m) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: cannot write contention to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise contention: {e}"),
+    }
+}
+
 /// `(label, busy secs, stall secs)` per worker, in registration order.
 /// `prefix` narrows to one job's namespace inside a merged set.
 fn stall_rows(ms: &MetricSet, prefix: &str) -> Vec<(String, f64, f64)> {
@@ -284,6 +372,48 @@ mod tests {
         assert!(s.contains("worker0/sched/lane0"));
         assert!(s.contains("NIC utilisation"));
         assert!(s.contains("nic0"));
+    }
+
+    #[test]
+    fn contention_tables_name_tenants_and_links() {
+        use bs_cluster::{JobLinkShare, LinkContention, PairContention};
+        let m = ContentionMatrix {
+            schema_version: bs_cluster::CONTENTION_SCHEMA_VERSION,
+            horizon: SimTime::from_secs(1),
+            jobs: vec!["vgg".into(), "burst".into()],
+            links: vec![LinkContention {
+                machine: 0,
+                up: true,
+                busy_secs: 0.5,
+                contended_secs: 0.2,
+                jobs: vec![
+                    JobLinkShare {
+                        job: 0,
+                        active_secs: 0.4,
+                        solo_bytes: 2e6,
+                        contended_bytes: 1e6,
+                    },
+                    JobLinkShare {
+                        job: 1,
+                        active_secs: 0.3,
+                        solo_bytes: 0.0,
+                        contended_bytes: 5e5,
+                    },
+                ],
+            }],
+            pairs: vec![PairContention {
+                a: 0,
+                b: 1,
+                overlap_secs: 0.2,
+                phase_collision: 0.25,
+            }],
+        };
+        let s = render_contention(&m);
+        assert!(s.contains("Link contention"));
+        assert!(s.contains("nic0/up"));
+        assert!(s.contains("vgg") && s.contains("burst"));
+        assert!(s.contains("Pairwise phase collision"));
+        assert!(s.contains("25.0%"), "collision percent rendered: {s}");
     }
 
     #[test]

@@ -199,6 +199,26 @@ impl Fabric {
         }
     }
 
+    /// Starts recording per-NIC-direction active-job sets and occupancy
+    /// spans; `job_of` maps a transfer tag to its job index (the cluster
+    /// driver passes the tag-namespace extractor). Recording never
+    /// changes fabric behaviour.
+    pub fn enable_contention(&mut self, now: SimTime, job_of: fn(u64) -> usize) {
+        match self {
+            Fabric::Fifo(n) => n.enable_contention(now, job_of),
+            Fabric::Fluid(n) => n.enable_contention(now, job_of),
+        }
+    }
+
+    /// Drains the contention recording, or `None` if it was never
+    /// enabled.
+    pub fn take_contention(&mut self) -> Option<crate::contention::ContentionLog> {
+        match self {
+            Fabric::Fifo(n) => n.take_contention(),
+            Fabric::Fluid(n) => n.take_contention(),
+        }
+    }
+
     /// Rescales one NIC direction's capacity to `scale` × nominal at
     /// `now`. In-flight transfers keep their progress: the FIFO fabric
     /// stretches the occupant's remaining occupancy, the fluid fabric

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use bs_sim::SimTime;
 use bs_telemetry::{MetricSet, TimeSeries};
 
+use crate::contention::{ContentionLog, ContentionRecorder};
 use crate::network::{
     CompletedTransfer, DroppedTransfer, NetEvent, NodeId, TransferId, WireSpan, WireXrayRecord,
 };
@@ -102,6 +103,8 @@ pub struct FluidNetwork {
     scratch_finished: Vec<TransferId>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<FluidTelemetry>,
+    /// `Some` only while link-contention recording is enabled.
+    contention: Option<Box<ContentionRecorder>>,
     /// `Some` only once a fault hook has been exercised.
     faults: Option<Box<FaultState>>,
 }
@@ -143,6 +146,7 @@ impl FluidNetwork {
             scratch_ids: Vec::new(),
             scratch_finished: Vec::new(),
             telem: None,
+            contention: None,
             faults: None,
         }
     }
@@ -190,6 +194,25 @@ impl FluidNetwork {
             );
         }
         Some(set)
+    }
+
+    /// Starts recording per-NIC-direction active-job sets and flow
+    /// spans; `job_of` maps a transfer tag to its job index. Recording
+    /// never changes fabric behaviour.
+    pub fn enable_contention(&mut self, now: SimTime, job_of: fn(u64) -> usize) {
+        if self.contention.is_none() {
+            self.contention = Some(Box::new(ContentionRecorder::new(
+                now,
+                self.num_nodes,
+                job_of,
+            )));
+        }
+    }
+
+    /// Drains the contention recording, or `None` if it was never
+    /// enabled.
+    pub fn take_contention(&mut self) -> Option<ContentionLog> {
+        self.contention.as_mut().map(|c| c.take())
     }
 
     /// The network configuration.
@@ -294,6 +317,9 @@ impl FluidNetwork {
         self.port_flows[src.0].push(id);
         self.port_flows[self.num_nodes + dst.0].push(id);
         self.peak_in_flight = self.peak_in_flight.max(self.active.len());
+        if let Some(c) = self.contention.as_mut() {
+            c.on_submit(now, src.0, dst.0, tag);
+        }
         self.reallocate();
         id
     }
@@ -367,6 +393,9 @@ impl FluidNetwork {
                     debug_assert_eq!(dt, c.finished_at);
                     self.bytes_delivered += c.bytes;
                     self.transfers_delivered += 1;
+                    if let Some(rec) = self.contention.as_mut() {
+                        rec.on_delivered(dt, c.src.0, c.dst.0, c.tag);
+                    }
                     out.push(NetEvent::Delivered(c));
                     continue;
                 }
@@ -407,6 +436,9 @@ impl FluidNetwork {
                         next,
                         next + latency,
                     ));
+                }
+                if let Some(rec) = self.contention.as_mut() {
+                    rec.on_wire(f.src.0, f.dst.0, f.tag, f.bytes, f.started_at, next);
                 }
                 let done = CompletedTransfer {
                     id,
@@ -495,6 +527,10 @@ impl FluidNetwork {
                     now,
                     now,
                 ));
+            }
+            if let Some(rec) = self.contention.as_mut() {
+                rec.on_wire(f.src.0, f.dst.0, f.tag, f.bytes, f.started_at, now);
+                rec.on_dropped(now, f.src.0, f.dst.0, f.tag);
             }
             dropped.push(DroppedTransfer {
                 tag: f.tag,

@@ -19,12 +19,14 @@
 //! for the receiver's downlink — head-of-line blocking, which reproduces
 //! incast serialisation at a hot parameter-server shard.
 
+pub mod contention;
 pub mod fabric;
 pub mod fluid;
 pub mod network;
 pub mod port;
 pub mod transport;
 
+pub use contention::{ContentionLog, ContentionRecorder, OccupancySpan};
 pub use fabric::{Fabric, FabricModel};
 pub use fluid::FluidNetwork;
 pub use network::{

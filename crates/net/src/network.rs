@@ -7,6 +7,7 @@ use bs_sim::SimTime;
 use bs_telemetry::{MetricSet, TimeSeries};
 use serde::{Deserialize, Serialize};
 
+use crate::contention::{ContentionLog, ContentionRecorder};
 use crate::transport::NetConfig;
 
 /// A recorded wire occupancy: `(tag, src, dst, start, end)`.
@@ -171,6 +172,8 @@ pub struct Network {
     down_busy: Vec<SimTime>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<NetTelemetry>,
+    /// `Some` only while link-contention recording is enabled.
+    contention: Option<Box<ContentionRecorder>>,
     /// `Some` only once a fault hook has been exercised.
     faults: Option<Box<FaultState>>,
 }
@@ -224,6 +227,7 @@ impl Network {
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
             telem: None,
+            contention: None,
             faults: None,
         }
     }
@@ -253,6 +257,25 @@ impl Network {
             set.series(format!("nic{i}/down_util"), s);
         }
         Some(set)
+    }
+
+    /// Starts recording per-NIC-direction active-job sets and occupancy
+    /// spans; `job_of` maps a transfer tag to its job index. Recording
+    /// never changes fabric behaviour.
+    pub fn enable_contention(&mut self, now: SimTime, job_of: fn(u64) -> usize) {
+        if self.contention.is_none() {
+            self.contention = Some(Box::new(ContentionRecorder::new(
+                now,
+                self.nics.len(),
+                job_of,
+            )));
+        }
+    }
+
+    /// Drains the contention recording, or `None` if it was never
+    /// enabled.
+    pub fn take_contention(&mut self) -> Option<ContentionLog> {
+        self.contention.as_mut().map(|c| c.take())
     }
 
     /// Accumulated wire-busy time of every uplink (completed occupancies
@@ -352,6 +375,9 @@ impl Network {
         if let Some(t) = self.telem.as_mut() {
             t.queued.step(now, 1.0);
         }
+        if let Some(c) = self.contention.as_mut() {
+            c.on_submit(now, src.0, dst.0, tag);
+        }
         self.try_start(now, src);
         id
     }
@@ -441,6 +467,10 @@ impl Network {
                     te.up_util[src.0].record(t, 0.0);
                     te.down_util[dst.0].record(t, 0.0);
                 }
+                if let Some(c) = self.contention.as_mut() {
+                    let started_at = self.transfers[id.0 as usize].started_at;
+                    c.on_wire(src.0, dst.0, tag, bytes, started_at, t);
+                }
                 self.try_start(t, src);
                 self.serve_down_waiters(t, dst);
                 done.push(NetEvent::Released(CompletedTransfer {
@@ -461,6 +491,11 @@ impl Network {
                 let tr = &self.transfers[id.0 as usize];
                 self.bytes_delivered += tr.bytes;
                 self.transfers_delivered += 1;
+                if let Some(c) = self.contention.as_mut() {
+                    let (src, dst, tag) = (tr.src.0, tr.dst.0, tr.tag);
+                    c.on_delivered(t, src, dst, tag);
+                }
+                let tr = &self.transfers[id.0 as usize];
                 done.push(NetEvent::Delivered(CompletedTransfer {
                     id,
                     src: tr.src,
@@ -729,6 +764,10 @@ impl Network {
                 te.active.step(now, -1.0);
                 te.up_util[src.0].record(now, 0.0);
                 te.down_util[dst.0].record(now, 0.0);
+            }
+            if let Some(c) = self.contention.as_mut() {
+                c.on_wire(src.0, dst.0, tag, bytes, started_at, now);
+                c.on_dropped(now, src.0, dst.0, tag);
             }
             dropped.push(DroppedTransfer {
                 tag,

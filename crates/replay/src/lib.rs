@@ -32,6 +32,8 @@ pub mod schema;
 pub mod service;
 pub mod trace;
 
-pub use replay::{replay_trace, ReplayOptions, ReplayReport, ReplayedJob};
+pub use replay::{
+    replay_trace, replay_trace_recorded, ReplayOptions, ReplayReport, ReplayWave, ReplayedJob,
+};
 pub use service::{AnswerSource, ReplayService, ServiceStats, WhatIfAnswer, WhatIfQuery};
 pub use trace::{load_trace, ModelClass, TraceFormat, TraceJob};

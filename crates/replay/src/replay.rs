@@ -23,7 +23,9 @@
 //! split exact, at the cost of under-utilising the fabric between waves —
 //! DESIGN.md §14 discusses the trade-off.
 
-use bs_cluster::{run_cluster, ClusterConfig, DistSummary, JobSpec, PlacementPolicy};
+use bs_cluster::{
+    run_cluster, ClusterConfig, ClusterResult, DistSummary, JobSpec, PlacementPolicy,
+};
 use bs_engine::EngineConfig;
 use bs_net::{FabricModel, NetConfig, Transport};
 use bs_runtime::job::MAX_JOBS;
@@ -163,9 +165,38 @@ pub fn job_config(job: &TraceJob, idx: usize, opts: &ReplayOptions) -> WorldConf
     cfg
 }
 
+/// One wave's full cluster outcome, kept only by the recording replay
+/// variant ([`replay_trace_recorded`]): the per-wave telemetry
+/// (`result.metrics`) and link-contention matrix (`result.contention`)
+/// that the aggregate [`ReplayReport`] deliberately flattens away.
+#[derive(Clone, Debug)]
+pub struct ReplayWave {
+    /// Wave index (0-based, admission order).
+    pub wave: usize,
+    /// Absolute start of the wave's cluster run, simulated seconds.
+    pub epoch_secs: f64,
+    /// The wave's cluster run, with whatever recorders were enabled.
+    pub result: ClusterResult,
+}
+
 /// Replays a normalized trace under the given options. Deterministic:
 /// the same trace and options serialize to byte-identical reports.
 pub fn replay_trace(jobs: &[TraceJob], opts: &ReplayOptions) -> ReplayReport {
+    replay_trace_recorded(jobs, opts, false, false).0
+}
+
+/// [`replay_trace`] with per-wave recorders: when `record_metrics` /
+/// `record_contention` is set, each wave's cluster run records fabric
+/// telemetry / the link-contention matrix and the full per-wave
+/// [`ClusterResult`]s are returned alongside the aggregate report.
+/// Recording is observation-only — the report is byte-identical to the
+/// unrecorded [`replay_trace`] either way.
+pub fn replay_trace_recorded(
+    jobs: &[TraceJob],
+    opts: &ReplayOptions,
+    record_metrics: bool,
+    record_contention: bool,
+) -> (ReplayReport, Vec<ReplayWave>) {
     assert!(!jobs.is_empty(), "cannot replay an empty trace");
     let wave_size = opts.wave.clamp(1, MAX_JOBS);
 
@@ -190,10 +221,14 @@ pub fn replay_trace(jobs: &[TraceJob], opts: &ReplayOptions) -> ReplayReport {
         c.fabric = FabricModel::FairShare;
         c.placement = opts.placement;
         c.threads = opts.threads;
+        c.record_metrics = record_metrics;
+        c.record_contention = record_contention;
         c
     };
+    let keep_waves = record_metrics || record_contention;
 
     let mut out: Vec<ReplayedJob> = Vec::with_capacity(order.len());
+    let mut wave_results: Vec<ReplayWave> = Vec::new();
     let mut fabric_events = 0u64;
     let mut clock = 0.0f64; // absolute finish of the previous wave
     let mut waves = 0usize;
@@ -232,10 +267,17 @@ pub fn replay_trace(jobs: &[TraceJob], opts: &ReplayOptions) -> ReplayReport {
             });
         }
         clock = epoch + r.makespan.as_secs_f64();
+        if keep_waves {
+            wave_results.push(ReplayWave {
+                wave: waves,
+                epoch_secs: epoch,
+                result: r,
+            });
+        }
         waves += 1;
     }
 
-    ReplayReport {
+    let report = ReplayReport {
         jct: DistSummary::from_unsorted(out.iter().map(|j| j.jct_secs).collect()),
         queueing: DistSummary::from_unsorted(out.iter().map(|j| j.queueing_secs).collect()),
         run: DistSummary::from_unsorted(out.iter().map(|j| j.run_secs).collect()),
@@ -243,7 +285,8 @@ pub fn replay_trace(jobs: &[TraceJob], opts: &ReplayOptions) -> ReplayReport {
         jobs: out,
         waves,
         fabric_events,
-    }
+    };
+    (report, wave_results)
 }
 
 #[cfg(test)]
@@ -310,6 +353,32 @@ mod tests {
         let (a, b) = (&report.jobs[0], &report.jobs[1]);
         let first_finish = a.admitted_secs + a.run_secs;
         assert!(b.admitted_secs >= first_finish.min(b.arrival_secs) - 1e-9);
+    }
+
+    #[test]
+    fn recorded_waves_carry_metrics_and_contention_without_changing_report() {
+        let trace = tiny_trace(3);
+        let opts = ReplayOptions {
+            wave: 2,
+            iters_cap: 3,
+            ..ReplayOptions::default()
+        };
+        let plain = serde_json::to_string(&replay_trace(&trace, &opts)).expect("serializes");
+        let (report, waves) = replay_trace_recorded(&trace, &opts, true, true);
+        // Recording is observation-only: the aggregate report is
+        // byte-identical to the unrecorded replay.
+        assert_eq!(serde_json::to_string(&report).expect("serializes"), plain);
+        assert_eq!(waves.len(), report.waves);
+        for (i, w) in waves.iter().enumerate() {
+            assert_eq!(w.wave, i);
+            assert!(w.result.metrics.is_some(), "wave {i} metrics");
+            let m = w.result.contention.as_ref().expect("wave contention");
+            assert!(!m.links.is_empty(), "wave {i} saw fabric traffic");
+        }
+        // Unrecorded replay keeps no per-wave results at all.
+        assert!(replay_trace_recorded(&trace, &opts, false, false)
+            .1
+            .is_empty());
     }
 
     #[test]

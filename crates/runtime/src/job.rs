@@ -21,7 +21,9 @@ use bs_faults::{FaultInjector, FaultPlan, LinkChange, LinkDir};
 use bs_net::{DroppedTransfer, NetEvent, NetPort, NodeId, WireSpan, WireXrayRecord};
 use bs_sim::{SimRng, SimTime, Trace};
 use bs_telemetry::MetricSet;
-use bs_xray::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog, XrayReport};
+use bs_xray::{
+    AggEvent, ComputeSpan, PartRecord, RingHopRecord, RingOp, StallSpan, XrayLog, XrayReport,
+};
 
 use crate::config::{Arch, SchedulerKind, WorldConfig};
 use crate::plugin::{ArPluginState, PsPluginState};
@@ -1419,6 +1421,29 @@ impl JobState {
                 p.wire_start,
             );
         }
+        // Per-chunk ring flows: one arrow per chunk crossing the phase
+        // boundary, binding its last reduce-scatter hop to its first
+        // all-gather hop. Hops are peeked (not drained) in their recorded
+        // Vec order, so arrow order is deterministic by construction —
+        // never a HashMap walk.
+        if let JobBackend::Ring { ring, .. } = &self.backend {
+            for pair in ring.xray_hops().windows(2) {
+                let (rs, ag) = (pair[0], pair[1]);
+                if rs.tag == ag.tag
+                    && rs.chunk == ag.chunk
+                    && rs.phase == bs_comm::RingPhase::ReduceScatter
+                    && ag.phase == bs_comm::RingPhase::AllGather
+                {
+                    trace.push_flow(
+                        format!("b{} chunk{}", rs.tag, rs.chunk),
+                        format!("{prefix}ring/reduce_scatter"),
+                        rs.deliver,
+                        format!("{prefix}ring/all_gather"),
+                        ag.submit,
+                    );
+                }
+            }
+        }
     }
 
     /// Drains every xray buffer into one [`XrayLog`], or `None` when the
@@ -1473,8 +1498,37 @@ impl JobState {
                 }
             }
             JobBackend::Ring { ring, .. } => {
-                for (tag, start, end) in ring.take_xray() {
-                    log.ring_ops.push(RingOp { tag, start, end });
+                // Hops arrive chunk-major per completed op, so consecutive
+                // equal-tag runs delimit ops: derive the coarse RingOp per
+                // run (start = first hop's submit, end = max deliver) and
+                // keep every hop for the split rs/ag attribution.
+                for hop in ring.take_xray() {
+                    let phase = match hop.phase {
+                        bs_comm::RingPhase::ReduceScatter => bs_xray::RingPhase::ReduceScatter,
+                        bs_comm::RingPhase::AllGather => bs_xray::RingPhase::AllGather,
+                    };
+                    match log.ring_ops.last_mut() {
+                        // `chunk == 0 && hop == 0` opens a fresh op even if
+                        // the batch tag repeats back-to-back.
+                        Some(op) if op.tag == hop.tag && (hop.chunk, hop.hop) != (0, 0) => {
+                            op.start = op.start.min(hop.submit);
+                            op.end = op.end.max(hop.deliver);
+                        }
+                        _ => log.ring_ops.push(RingOp {
+                            tag: hop.tag,
+                            start: hop.submit,
+                            end: hop.deliver,
+                        }),
+                    }
+                    log.ring_hops.push(RingHopRecord {
+                        tag: hop.tag,
+                        chunk: hop.chunk,
+                        hop: hop.hop,
+                        phase,
+                        enqueue: hop.enqueue,
+                        submit: hop.submit,
+                        deliver: hop.deliver,
+                    });
                 }
             }
         }
@@ -1561,16 +1615,30 @@ impl JobState {
         }
     }
 
-    /// Appends this job's recorded ring-collective spans to `trace`.
+    /// Appends this job's recorded ring-collective spans to `trace`: the
+    /// full op on the `ring` track plus its reduce-scatter and all-gather
+    /// halves on phase-colored sub-tracks.
     pub fn append_ring_trace(&mut self, trace: &mut Trace, prefix: &str) {
         if let JobBackend::Ring { ring, .. } = &mut self.backend {
-            for (tag, start, end) in ring.take_trace() {
+            for (tag, start, rs_end, end) in ring.take_trace() {
                 // Scheduled batches and baseline fused batches both use
                 // opaque batch ids; name them generically.
                 trace.push(
                     format!("allreduce batch {tag}"),
                     format!("{prefix}ring"),
                     start,
+                    end,
+                );
+                trace.push(
+                    format!("reduce_scatter b{tag}"),
+                    format!("{prefix}ring/reduce_scatter"),
+                    start,
+                    rs_end,
+                );
+                trace.push(
+                    format!("all_gather b{tag}"),
+                    format!("{prefix}ring/all_gather"),
+                    rs_end,
                     end,
                 );
             }

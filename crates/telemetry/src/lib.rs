@@ -244,6 +244,77 @@ impl TimeSeries {
     }
 }
 
+/// A piecewise-constant *set-valued* function of simulation time: each
+/// sample is a bitmask (e.g. "which jobs are active on this NIC
+/// direction right now"), holding until the next sample. Same recording
+/// discipline as [`TimeSeries`] — record only on change, same-instant
+/// records overwrite — so segment walks are exact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SetSeries {
+    samples: Vec<(SimTime, u64)>,
+}
+
+impl SetSeries {
+    /// An empty series.
+    pub fn new() -> SetSeries {
+        SetSeries::default()
+    }
+
+    /// Records `mask` from `at` onwards, with the same overwrite /
+    /// dedup / collapse semantics as [`TimeSeries::record`].
+    pub fn record(&mut self, at: SimTime, mask: u64) {
+        if let Some(last) = self.samples.last_mut() {
+            debug_assert!(at >= last.0, "set series sampled in the past");
+            let at = at.max(last.0);
+            if last.1 == mask {
+                return;
+            }
+            if last.0 == at {
+                last.1 = mask;
+                let n = self.samples.len();
+                if n >= 2 && self.samples[n - 2].1 == mask {
+                    self.samples.pop();
+                }
+                return;
+            }
+        }
+        self.samples.push((at, mask));
+    }
+
+    /// The current (last recorded) mask; empty for an empty series.
+    pub fn last_mask(&self) -> u64 {
+        self.samples.last().map_or(0, |&(_, m)| m)
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(SimTime, u64)] {
+        &self.samples
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `(start, end, mask)` segments of the step function on
+    /// `[first sample, until)`. Zero-duration segments are skipped.
+    pub fn segments(&self, until: SimTime) -> impl Iterator<Item = (SimTime, SimTime, u64)> + '_ {
+        let n = self.samples.len();
+        self.samples
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &(t0, m))| {
+                let t1 = if i + 1 < n {
+                    self.samples[i + 1].0
+                } else {
+                    until
+                };
+                let t1 = t1.min(until);
+                (t1 > t0).then_some((t0, t1, m))
+            })
+    }
+}
+
 /// Derived summaries of one [`TimeSeries`].
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct SeriesSummary {
@@ -516,6 +587,35 @@ mod tests {
         assert_eq!(s.p95, 6.0);
         assert_eq!(s.max, 6.0);
         assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn set_series_segments_match_hand_computation() {
+        let mut s = SetSeries::new();
+        s.record(us(0), 0b01);
+        s.record(us(5), 0b01); // unchanged → dropped
+        s.record(us(10), 0b11);
+        s.record(us(10), 0b10); // same instant → overwrite
+        s.record(us(30), 0);
+        assert_eq!(s.last_mask(), 0);
+        let segs: Vec<_> = s.segments(us(40)).collect();
+        assert_eq!(
+            segs,
+            vec![
+                (us(0), us(10), 0b01),
+                (us(10), us(30), 0b10),
+                (us(30), us(40), 0),
+            ]
+        );
+        // Truncated window drops the tail segment entirely.
+        let segs: Vec<_> = s.segments(us(30)).collect();
+        assert_eq!(segs.len(), 2);
+        // Overwrite back to the previous mask collapses the sample.
+        let mut t = SetSeries::new();
+        t.record(us(0), 1);
+        t.record(us(10), 3);
+        t.record(us(10), 1);
+        assert_eq!(t.samples(), &[(us(0), 1)]);
     }
 
     #[test]

@@ -31,20 +31,27 @@ pub enum Category {
     /// port queue.
     QueueWait,
     /// Waiting for aggregation: PS waiting on other workers' pushes, or
-    /// a ring all-reduce op.
+    /// a ring all-reduce op recorded without per-hop detail.
     Aggregation,
+    /// The reduce-scatter half of a ring all-reduce (per-hop records
+    /// present; otherwise the whole op is [`Category::Aggregation`]).
+    ReduceScatter,
+    /// The all-gather half of a ring all-reduce.
+    AllGather,
     /// Unattributed dependency/barrier time between recorded events.
     Barrier,
 }
 
 impl Category {
     /// All categories, in report order.
-    pub const ALL: [Category; 6] = [
+    pub const ALL: [Category; 8] = [
         Category::Compute,
         Category::Wire,
         Category::CreditWait,
         Category::QueueWait,
         Category::Aggregation,
+        Category::ReduceScatter,
+        Category::AllGather,
         Category::Barrier,
     ];
 
@@ -56,6 +63,8 @@ impl Category {
             Category::CreditWait => "credit_wait",
             Category::QueueWait => "queue_wait",
             Category::Aggregation => "aggregation",
+            Category::ReduceScatter => "reduce_scatter",
+            Category::AllGather => "all_gather",
             Category::Barrier => "barrier",
         }
     }
@@ -87,6 +96,10 @@ pub struct Attribution {
     pub queue_wait_ns: u64,
     /// Nanoseconds of [`Category::Aggregation`].
     pub aggregation_ns: u64,
+    /// Nanoseconds of [`Category::ReduceScatter`].
+    pub reduce_scatter_ns: u64,
+    /// Nanoseconds of [`Category::AllGather`].
+    pub all_gather_ns: u64,
     /// Nanoseconds of [`Category::Barrier`].
     pub barrier_ns: u64,
 }
@@ -100,6 +113,8 @@ impl Attribution {
             Category::CreditWait => self.credit_wait_ns += ns,
             Category::QueueWait => self.queue_wait_ns += ns,
             Category::Aggregation => self.aggregation_ns += ns,
+            Category::ReduceScatter => self.reduce_scatter_ns += ns,
+            Category::AllGather => self.all_gather_ns += ns,
             Category::Barrier => self.barrier_ns += ns,
         }
     }
@@ -112,6 +127,8 @@ impl Attribution {
             Category::CreditWait => self.credit_wait_ns,
             Category::QueueWait => self.queue_wait_ns,
             Category::Aggregation => self.aggregation_ns,
+            Category::ReduceScatter => self.reduce_scatter_ns,
+            Category::AllGather => self.all_gather_ns,
             Category::Barrier => self.barrier_ns,
         }
     }
@@ -181,6 +198,11 @@ struct Index {
     stalls: HashMap<(usize, usize), Vec<(SimTime, SimTime)>>,
     /// Ring-op indices sorted by end.
     rings_by_end: Vec<usize>,
+    /// (batch tag, op end) → reduce-scatter/all-gather boundary, derived
+    /// from the per-hop records (absent when only coarse ops were
+    /// recorded). Keyed by op end as well so a re-used tag cannot smear
+    /// one op's boundary onto another.
+    ring_rs_end: HashMap<(u64, SimTime), SimTime>,
 }
 
 impl Index {
@@ -224,6 +246,34 @@ impl Index {
         }
         let mut rings_by_end: Vec<usize> = (0..log.ring_ops.len()).collect();
         rings_by_end.sort_by_key(|&i| log.ring_ops[i].end);
+        // The phase boundary of an op is its latest reduce-scatter hop
+        // delivery; hop windows tile the op span, so everything after it
+        // up to the op end is all-gather. Hops arrive grouped per op, so
+        // one pass per run of equal tags recovers each op's end and
+        // boundary.
+        let mut ring_rs_end: HashMap<(u64, SimTime), SimTime> = HashMap::new();
+        let mut i = 0;
+        while i < log.ring_hops.len() {
+            let tag = log.ring_hops[i].tag;
+            let mut end = SimTime::ZERO;
+            let mut rs = SimTime::ZERO;
+            let mut j = i;
+            while j < log.ring_hops.len() && log.ring_hops[j].tag == tag {
+                let h = &log.ring_hops[j];
+                // `chunk == 0 && hop == 0` opens a fresh op even when the
+                // batch tag repeats back-to-back.
+                if j > i && (h.chunk, h.hop) == (0, 0) {
+                    break;
+                }
+                end = end.max(h.deliver);
+                if h.phase == crate::events::RingPhase::ReduceScatter {
+                    rs = rs.max(h.deliver);
+                }
+                j += 1;
+            }
+            ring_rs_end.insert((tag, end), rs);
+            i = j;
+        }
         Index {
             compute_by_end,
             pulls_by_delivered,
@@ -231,6 +281,7 @@ impl Index {
             push_by_key,
             stalls,
             rings_by_end,
+            ring_rs_end,
         }
     }
 
@@ -469,7 +520,16 @@ fn analyze_window(
             }
         } else if let Some(r) = idx.ring_ending_at(log, at) {
             let ring = log.ring_ops[r];
-            walker.emit(Category::Aggregation, ring.start, None);
+            // With per-hop records the op splits at the phase boundary;
+            // both emissions together cover exactly the span the single
+            // coarse Aggregation emission used to, so per-window tiling
+            // is unchanged and rs + ag == the old aggregation share.
+            if let Some(&rs_end) = idx.ring_rs_end.get(&(ring.tag, ring.end)) {
+                walker.emit(Category::AllGather, rs_end, None);
+                walker.emit(Category::ReduceScatter, ring.start, None);
+            } else {
+                walker.emit(Category::Aggregation, ring.start, None);
+            }
             if walker.done {
                 break;
             }
@@ -615,6 +675,65 @@ mod tests {
         // Aggregation: push delivered 40 → pull enqueued 45.
         assert_eq!(a.aggregation_ns, 5_000);
         assert_eq!(a.barrier_ns, 0);
+    }
+
+    /// A ring op with per-hop records splits into reduce-scatter and
+    /// all-gather buckets whose sum equals the coarse aggregation share,
+    /// and the window still tiles exactly.
+    #[test]
+    fn ring_hops_split_aggregation_without_breaking_tiling() {
+        use crate::events::{RingHopRecord, RingOp, RingPhase};
+        let coarse = XrayLog {
+            scheduler: "test".into(),
+            start: SimTime::ZERO,
+            end: us(100),
+            marks: vec![us(100)],
+            compute: vec![
+                compute(0, 0, 0, true, 0, 10),
+                compute(0, 0, 0, false, 70, 100),
+            ],
+            ring_ops: vec![RingOp {
+                tag: 3,
+                start: us(10),
+                end: us(70),
+            }],
+            ..Default::default()
+        };
+        let mut split = coarse.clone();
+        split.ring_hops = vec![
+            RingHopRecord {
+                tag: 3,
+                chunk: 0,
+                hop: 0,
+                phase: RingPhase::ReduceScatter,
+                enqueue: us(10),
+                submit: us(10),
+                deliver: us(45),
+            },
+            RingHopRecord {
+                tag: 3,
+                chunk: 0,
+                hop: 1,
+                phase: RingPhase::AllGather,
+                enqueue: us(45),
+                submit: us(45),
+                deliver: us(70),
+            },
+        ];
+        let a = &analyze(&coarse)[0].attribution;
+        let b = &analyze(&split)[0].attribution;
+        assert_eq!(a.aggregation_ns, 60_000);
+        assert_eq!(a.reduce_scatter_ns + a.all_gather_ns, 0);
+        assert_eq!(b.reduce_scatter_ns, 35_000);
+        assert_eq!(b.all_gather_ns, 25_000);
+        assert_eq!(b.aggregation_ns, 0);
+        assert_eq!(
+            b.reduce_scatter_ns + b.all_gather_ns + b.aggregation_ns,
+            a.reduce_scatter_ns + a.all_gather_ns + a.aggregation_ns,
+        );
+        assert_eq!(a.compute_ns, b.compute_ns);
+        assert_eq!(a.barrier_ns, b.barrier_ns);
+        assert_eq!(b.total_ns(), 100_000);
     }
 
     /// Gaps no recorded event explains become barrier time, never a

@@ -146,6 +146,40 @@ pub struct RingOp {
     pub end: SimTime,
 }
 
+/// Which half of the ring algorithm a hop belongs to (mirrors
+/// `bs_comm::RingPhase`; this crate stays independent of `bs-comm`, so
+/// the runtime converts at log-assembly time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingPhase {
+    /// First `n−1` steps: chunks are combined around the ring.
+    ReduceScatter,
+    /// Last `n−1` steps: reduced chunks are broadcast back.
+    AllGather,
+}
+
+/// One chunk's traversal of one ring step, per op on the collective
+/// stream. Hop windows tile the owning [`RingOp`]'s span exactly
+/// (`t_0 == start`, `t_S == end`), which is what lets the analyzer split
+/// the op's critical-path time into reduce-scatter and all-gather
+/// buckets without breaking the 100% tiling invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingHopRecord {
+    /// The batch tag of the owning op.
+    pub tag: u64,
+    /// Chunk index `0 .. n`.
+    pub chunk: u32,
+    /// Hop index `0 .. 2(n−1)`.
+    pub hop: u32,
+    /// Reduce-scatter or all-gather half.
+    pub phase: RingPhase,
+    /// When the chunk became ready for this hop.
+    pub enqueue: SimTime,
+    /// When the hop's step window opened.
+    pub submit: SimTime,
+    /// When the hop's step window closed.
+    pub deliver: SimTime,
+}
+
 /// The assembled causal event log for one job's run.
 #[derive(Clone, Debug, Default)]
 pub struct XrayLog {
@@ -170,4 +204,8 @@ pub struct XrayLog {
     pub aggs: Vec<AggEvent>,
     /// All ring all-reduce ops.
     pub ring_ops: Vec<RingOp>,
+    /// Per-chunk per-hop lifecycle records, when the ring backend
+    /// recorded them (empty logs fall back to coarse [`RingOp`]
+    /// attribution — the whole op lands in the aggregation bucket).
+    pub ring_hops: Vec<RingHopRecord>,
 }

@@ -20,5 +20,7 @@ pub mod events;
 pub mod report;
 
 pub use analysis::{analyze, Attribution, Category, IterBreakdown, Segment};
-pub use events::{AggEvent, ComputeSpan, PartRecord, RingOp, StallSpan, XrayLog};
-pub use report::{Counts, TensorShare, XrayReport, SCHEMA_VERSION};
+pub use events::{
+    AggEvent, ComputeSpan, PartRecord, RingHopRecord, RingOp, RingPhase, StallSpan, XrayLog,
+};
+pub use report::{Counts, TensorShare, XrayReport, CRITICAL_PATH_SCHEMA, SCHEMA_VERSION};

@@ -9,7 +9,17 @@ use crate::events::XrayLog;
 
 /// Schema version written into every report; bump on breaking shape
 /// changes and keep `results/critical_path.schema.json` in step.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `Aggregation` splits into `reduce_scatter_ns` + `all_gather_ns`
+/// on runs with per-hop ring records; `counts` gains `ring_hops`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The committed `critical_path.json` schema, embedded so validation
+/// never depends on the working directory. Byte-identity with the
+/// committed file is pinned by test.
+pub const CRITICAL_PATH_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/critical_path.schema.json"
+));
 
 /// One tensor's share of critical-path time (non-compute segments only).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +43,8 @@ pub struct Counts {
     pub aggregations: u64,
     /// Ring all-reduce ops.
     pub ring_ops: u64,
+    /// Per-chunk per-hop ring records.
+    pub ring_hops: u64,
 }
 
 /// The assembled critical-path attribution for one job's run.
@@ -97,6 +109,7 @@ impl XrayReport {
                 stalls: log.stalls.len() as u64,
                 aggregations: log.aggs.len() as u64,
                 ring_ops: log.ring_ops.len() as u64,
+                ring_hops: log.ring_hops.len() as u64,
             },
         }
     }
@@ -171,6 +184,7 @@ impl Serialize for XrayReport {
                         Value::U64(self.counts.aggregations),
                     ),
                     ("ring_ops".to_string(), Value::U64(self.counts.ring_ops)),
+                    ("ring_hops".to_string(), Value::U64(self.counts.ring_hops)),
                 ]),
             ),
         ])
@@ -225,9 +239,12 @@ mod tests {
         };
         let r = XrayReport::build(&log);
         let text = serde_json::to_string_pretty(&r).expect("serialises");
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"schema_version\": 2"));
         assert!(text.contains("\"totals\""));
         assert!(text.contains("\"credit_wait_ns\""));
+        assert!(text.contains("\"reduce_scatter_ns\""));
+        assert!(text.contains("\"all_gather_ns\""));
+        assert!(text.contains("\"ring_hops\""));
         let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert!(parsed.get("counts").is_some());
     }

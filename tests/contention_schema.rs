@@ -1,0 +1,201 @@
+//! The link-contention export contract, pinned three ways:
+//!
+//! 1. `results/contention.schema.json` is the checked-in JSON-Schema for
+//!    every `contention.json` the harness writes. A real contended
+//!    cluster run's matrix is serialised exactly as
+//!    `write_contention_json` writes it, re-parsed, and validated with
+//!    the shared draft-07-subset validator — and the schema constant
+//!    compiled into bs-cluster must match the committed file byte for
+//!    byte.
+//! 2. The matrix is **byte-deterministic**: the same specs render the
+//!    same JSON on both fabric models, rerun after rerun.
+//! 3. The observatory is **recording-only**: a recorded run of the
+//!    golden-cluster scenario is indistinguishable (makespan, per-job
+//!    timings, link utilisation, fabric events) from the plain run that
+//!    `tests/fixtures/golden_cluster.json` pins byte-for-byte in
+//!    `cluster_golden.rs`.
+
+#[allow(dead_code)]
+mod common;
+
+use bs_cluster::{
+    run_cluster, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy, CONTENTION_SCHEMA,
+};
+use bs_net::{FabricModel, NetConfig, Transport};
+use bs_runtime::{SchedulerKind, WorldConfig};
+use bs_sim::SimTime;
+use common::schema::{committed, validate};
+use serde_json::Value;
+
+fn job(sched: SchedulerKind, seed: u64) -> WorldConfig {
+    let mut c = common::scenario(FabricModel::SerialFifo);
+    c.scheduler = sched;
+    c.seed = seed;
+    c
+}
+
+/// The golden-cluster scenario (two PS jobs packed on 4 machines, the
+/// second arriving 20 ms late), optionally with the contention
+/// observatory recording.
+fn scenario(fabric: FabricModel, record_contention: bool) -> ClusterResult {
+    let bs = job(
+        SchedulerKind::ByteScheduler {
+            partition: 1_000_000,
+            credit: 4_000_000,
+        },
+        7,
+    );
+    let fifo = job(SchedulerKind::Baseline, 11);
+    let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+    cluster.fabric = fabric;
+    cluster.placement = PlacementPolicy::Packed;
+    cluster.record_contention = record_contention;
+    run_cluster(
+        &cluster,
+        &[
+            JobSpec::train("bs", bs),
+            JobSpec::train_at("fifo", fifo, SimTime::from_millis(20)),
+        ],
+    )
+}
+
+fn matrix_json(fabric: FabricModel) -> String {
+    let r = scenario(fabric, true);
+    let m = r.contention.as_ref().expect("contention recorded");
+    serde_json::to_string_pretty(m).expect("matrix serialises")
+}
+
+/// The schema constant compiled into bs-cluster must be the committed
+/// file, byte for byte.
+#[test]
+fn embedded_schema_is_byte_identical_to_committed() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("contention.schema.json");
+    let text = std::fs::read_to_string(&path).expect("committed schema");
+    assert_eq!(
+        CONTENTION_SCHEMA, text,
+        "bs_cluster::CONTENTION_SCHEMA drifted from results/contention.schema.json"
+    );
+}
+
+#[test]
+fn contention_json_validates_against_committed_schema() {
+    let schema = committed("contention.schema.json");
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let doc: Value =
+            serde_json::from_str(&matrix_json(fabric)).expect("contention.json round-trips");
+        let mut errs = Vec::new();
+        validate(&schema, &doc, "$", &mut errs);
+        assert!(errs.is_empty(), "{fabric:?} schema violations: {errs:#?}");
+        // The contended scenario must actually exercise the shape: both
+        // tenants, active links, and the (bs, fifo) pair present.
+        let Some(Value::Array(links)) = doc.get("links") else {
+            panic!("links array");
+        };
+        let Some(Value::Array(pairs)) = doc.get("pairs") else {
+            panic!("pairs array");
+        };
+        assert!(!links.is_empty(), "{fabric:?}: traffic must register");
+        assert_eq!(pairs.len(), 1, "{fabric:?}: one tenant pair");
+    }
+}
+
+/// The schema must have teeth: corrupt the document and demand a
+/// complaint each time.
+#[test]
+fn schema_rejects_malformed_documents() {
+    let schema = committed("contention.schema.json");
+    let good: Value = serde_json::from_str(&matrix_json(FabricModel::SerialFifo)).expect("parses");
+    type Corruption = Box<dyn Fn(&mut Vec<(String, Value)>)>;
+    let corrupt: Vec<(&str, Corruption)> = vec![
+        (
+            "wrong schema_version",
+            Box::new(|top| {
+                top[0].1 = Value::U64(99);
+            }),
+        ),
+        (
+            "missing pairs",
+            Box::new(|top| {
+                top.retain(|(k, _)| k != "pairs");
+            }),
+        ),
+        (
+            "invalid link direction",
+            Box::new(|top| {
+                let Some((_, Value::Array(links))) = top.iter_mut().find(|(k, _)| k == "links")
+                else {
+                    panic!("links array")
+                };
+                let Value::Object(first) = &mut links[0] else {
+                    panic!("link object")
+                };
+                first
+                    .iter_mut()
+                    .find(|(k, _)| k == "dir")
+                    .expect("dir present")
+                    .1 = Value::Str("sideways".into());
+            }),
+        ),
+    ];
+    for (what, mutate) in corrupt {
+        let mut doc = good.clone();
+        let Value::Object(top) = &mut doc else {
+            panic!("top-level object")
+        };
+        mutate(top);
+        let mut errs = Vec::new();
+        validate(&schema, &doc, "$", &mut errs);
+        assert!(
+            !errs.is_empty(),
+            "validator accepted a document with {what}"
+        );
+    }
+}
+
+/// Export determinism on both fabrics: rerunning the same specs renders
+/// the same bytes.
+#[test]
+fn contention_matrix_is_byte_deterministic() {
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        assert_eq!(
+            matrix_json(fabric),
+            matrix_json(fabric),
+            "{fabric:?}: contention export must be byte-deterministic"
+        );
+    }
+}
+
+/// Recording-only: enabling the observatory changes nothing the cluster
+/// measures, on either fabric.
+#[test]
+fn contention_recording_never_perturbs_the_cluster() {
+    for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+        let plain = scenario(fabric, false);
+        let recorded = scenario(fabric, true);
+        assert!(plain.contention.is_none());
+        assert!(recorded.contention.is_some());
+        assert_eq!(plain.makespan, recorded.makespan, "{fabric:?}");
+        assert_eq!(plain.fabric_events, recorded.fabric_events, "{fabric:?}");
+        for (a, b) in plain.jobs.iter().zip(&recorded.jobs) {
+            assert_eq!(a.finished_at, b.finished_at, "{fabric:?} {}", a.name);
+            assert_eq!(a.result.speed, b.result.speed, "{fabric:?} {}", a.name);
+            assert_eq!(a.result.iter_times, b.result.iter_times);
+            assert_eq!(a.result.p2p_bytes, b.result.p2p_bytes);
+            assert_eq!(a.result.comm_events, b.result.comm_events);
+        }
+        for (a, b) in plain
+            .link_utilisation
+            .iter()
+            .zip(&recorded.link_utilisation)
+        {
+            assert_eq!(
+                (a.up, a.down),
+                (b.up, b.down),
+                "{fabric:?} nic{}",
+                a.machine
+            );
+        }
+    }
+}

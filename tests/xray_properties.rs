@@ -7,6 +7,11 @@
 //!    never exceeds the run horizon, on both fabric models.
 //! 3. **Recording-only** — turning `record_xray` on changes nothing a
 //!    [`bytescheduler::runtime::RunResult`] measures.
+//! 4. **Split conservation** — on random ring models, per-chunk hop
+//!    records redistribute the old coarse `Aggregation` bucket into
+//!    `ReduceScatter` + `AllGather` *exactly*: bucket sums are equal to
+//!    the nanosecond, every other category is untouched, and the ring
+//!    run still tiles to 100% end to end.
 
 use bytescheduler::engine::EngineConfig;
 use bytescheduler::models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
@@ -69,6 +74,55 @@ fn schedulers() -> [SchedulerKind; 3] {
     ]
 }
 
+/// A random ring-attribution scenario: per op, a ring size, a span, and
+/// the hop tiling the real backend would emit (`t_k = start + D·k/S`,
+/// chunk-major, reduce-scatter for the first `n−1` hops).
+fn arb_ring_log() -> impl Strategy<Value = bytescheduler::xray::XrayLog> {
+    use bytescheduler::xray::{RingHopRecord, RingOp, RingPhase, XrayLog};
+    proptest::collection::vec((2usize..=5, 1_000u64..500_000, 0u64..50_000), 1..=6).prop_map(
+        |ops| {
+            let mut log = XrayLog {
+                scheduler: "prop-ring".into(),
+                ..Default::default()
+            };
+            let mut t = 0u64; // ns cursor
+            for (i, (n, dur, gap)) in ops.into_iter().enumerate() {
+                let (start, end) = (t + gap, t + gap + dur);
+                let tag = i as u64;
+                log.ring_ops.push(RingOp {
+                    tag,
+                    start: SimTime::from_nanos(start),
+                    end: SimTime::from_nanos(end),
+                });
+                let steps = 2 * (n - 1) as u64;
+                let boundary = |k: u64| start + (dur as u128 * k as u128 / steps as u128) as u64;
+                for chunk in 0..n as u32 {
+                    for hop in 0..steps {
+                        log.ring_hops.push(RingHopRecord {
+                            tag,
+                            chunk,
+                            hop: hop as u32,
+                            phase: if hop < steps / 2 {
+                                RingPhase::ReduceScatter
+                            } else {
+                                RingPhase::AllGather
+                            },
+                            enqueue: SimTime::from_nanos(boundary(hop)),
+                            submit: SimTime::from_nanos(boundary(hop)),
+                            deliver: SimTime::from_nanos(boundary(hop + 1)),
+                        });
+                    }
+                }
+                t = end;
+            }
+            log.start = SimTime::ZERO;
+            log.end = SimTime::from_nanos(t + 1_000);
+            log.marks = vec![log.end];
+            log
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -108,6 +162,80 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Per-chunk hop records redistribute — never resize — the coarse
+    /// aggregation bucket, on arbitrary ring op layouts.
+    #[test]
+    fn ring_split_conserves_the_aggregation_bucket(split in arb_ring_log()) {
+        use bytescheduler::xray::analyze;
+        let mut coarse = split.clone();
+        coarse.ring_hops.clear();
+        let a = analyze(&coarse);
+        let b = analyze(&split);
+        prop_assert_eq!(a.len(), b.len());
+        for (ca, cb) in a.iter().zip(&b) {
+            let (ca, cb) = (&ca.attribution, &cb.attribution);
+            // The split is exact: rs + ag + residual agg equals the old
+            // coarse aggregation bucket to the nanosecond.
+            prop_assert_eq!(
+                cb.reduce_scatter_ns + cb.all_gather_ns + cb.aggregation_ns,
+                ca.aggregation_ns,
+                "split buckets must conserve the coarse bucket"
+            );
+            prop_assert_eq!(ca.reduce_scatter_ns + ca.all_gather_ns, 0,
+                "coarse logs never fill the split buckets");
+            // Every other category is untouched by the refinement.
+            prop_assert_eq!(ca.compute_ns, cb.compute_ns);
+            prop_assert_eq!(ca.wire_ns, cb.wire_ns);
+            prop_assert_eq!(ca.credit_wait_ns, cb.credit_wait_ns);
+            prop_assert_eq!(ca.queue_wait_ns, cb.queue_wait_ns);
+            prop_assert_eq!(ca.barrier_ns, cb.barrier_ns);
+            prop_assert_eq!(ca.total_ns(), cb.total_ns(), "tiling preserved");
+        }
+    }
+
+    /// The same conservation holds through the full stack: a real ring
+    /// all-reduce run fills only the split buckets and still tiles.
+    #[test]
+    fn ring_runs_split_and_tile_exactly(
+        model in arb_model(),
+        seed in 1u64..1_000,
+    ) {
+        let mut cfg = WorldConfig::new(
+            model,
+            4,
+            Arch::allreduce(),
+            NetConfig::gbps(10.0, Transport::rdma()),
+            EngineConfig::mxnet_allreduce(),
+            SchedulerKind::ByteScheduler { partition: 1 << 22, credit: 16 << 20 },
+        );
+        cfg.iters = 4;
+        cfg.warmup = 1;
+        cfg.seed = seed;
+        cfg.record_xray = true;
+        let r = run(&cfg);
+        let x = r.xray.as_ref().expect("xray recorded");
+        prop_assert!(x.counts.ring_hops > 0, "ring runs must record hops");
+        prop_assert_eq!(x.totals.aggregation_ns, 0,
+            "hop records supersede the coarse bucket");
+        prop_assert!(x.totals.reduce_scatter_ns + x.totals.all_gather_ns > 0,
+            "ring time must land in the split buckets");
+        for it in &x.iterations {
+            prop_assert_eq!(it.attribution.total_ns(), it.wall_ns(),
+                "ring iteration must tile to 100%");
+        }
+        prop_assert_eq!(x.totals.total_ns(), x.measured_wall_ns);
+
+        // Recording-only, ring edition: the run is bit-identical with
+        // xray off.
+        let mut off = cfg.clone();
+        off.record_xray = false;
+        let plain = run(&off);
+        prop_assert_eq!(plain.finished_at, r.finished_at);
+        prop_assert_eq!(plain.speed, r.speed);
+        prop_assert_eq!(plain.collective_bytes, r.collective_bytes);
+        prop_assert_eq!(plain.iter_times.clone(), r.iter_times.clone());
     }
 
     /// Recording is strictly observational: every measured quantity is

@@ -32,6 +32,52 @@ fn run_xray_doc() -> Value {
     serde_json::from_str(&text).expect("critical_path.json round-trips through the parser")
 }
 
+/// A ring all-reduce run's report, serialised and re-parsed the same way.
+fn ring_xray_doc() -> Value {
+    use bs_engine::EngineConfig;
+    use bs_net::{NetConfig, Transport};
+    use bs_runtime::{Arch, SchedulerKind, WorldConfig};
+
+    let mut cfg = WorldConfig::new(
+        common::comm_heavy(),
+        4,
+        Arch::allreduce(),
+        NetConfig::gbps(10.0, Transport::rdma()),
+        EngineConfig::mxnet_allreduce(),
+        SchedulerKind::ByteScheduler {
+            partition: 4_000_000,
+            credit: 16_000_000,
+        },
+    );
+    cfg.iters = 6;
+    cfg.warmup = 2;
+    cfg.seed = 7;
+    cfg.record_xray = true;
+    let r = run(&cfg);
+    let x = r.xray.expect("xray recorded");
+    assert!(
+        x.counts.ring_hops > 0,
+        "ring scenario should record per-chunk hop lifecycles"
+    );
+    let text = serde_json::to_string_pretty(&x).expect("serialise report");
+    serde_json::from_str(&text).expect("critical_path.json round-trips through the parser")
+}
+
+/// The schema constant compiled into bs-xray must be the committed file,
+/// byte for byte — the embed can never drift from what reviewers see.
+#[test]
+fn embedded_schema_is_byte_identical_to_committed() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("critical_path.schema.json");
+    let committed = std::fs::read_to_string(&path).expect("committed schema");
+    assert_eq!(
+        bs_xray::CRITICAL_PATH_SCHEMA,
+        committed,
+        "bs_xray::CRITICAL_PATH_SCHEMA drifted from results/critical_path.schema.json"
+    );
+}
+
 #[test]
 fn critical_path_json_validates_against_committed_schema() {
     let schema = committed("critical_path.schema.json");
@@ -91,6 +137,60 @@ fn schema_rejects_malformed_documents() {
         assert!(
             !errs.is_empty(),
             "validator accepted a document with {what}"
+        );
+    }
+}
+
+/// The v2 contract on a ring run: the document validates, the split
+/// buckets carry the Aggregation time (which must be zero once hop
+/// records exist), and every iteration still tiles to exactly 100%.
+#[test]
+fn ring_critical_path_validates_and_splits_aggregation() {
+    let schema = committed("critical_path.schema.json");
+    let doc = ring_xray_doc();
+    let mut errs = Vec::new();
+    validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "schema violations: {errs:#?}");
+
+    let num = |o: &Value, k: &str| -> i64 {
+        match o.get(k) {
+            Some(Value::U64(v)) => *v as i64,
+            Some(Value::I64(v)) => *v,
+            other => panic!("{k}: expected integer, got {other:?}"),
+        }
+    };
+    assert_eq!(num(&doc, "schema_version"), 2);
+    let totals = doc.get("totals").expect("totals");
+    assert!(
+        num(totals, "reduce_scatter_ns") > 0 && num(totals, "all_gather_ns") > 0,
+        "ring time must land in the split buckets: {totals:?}"
+    );
+    assert_eq!(
+        num(totals, "aggregation_ns"),
+        0,
+        "with per-hop records the coarse Aggregation bucket is empty"
+    );
+    let Some(Value::Array(iters)) = doc.get("iterations") else {
+        panic!("iterations array");
+    };
+    for it in iters {
+        let sum = [
+            "compute_ns",
+            "wire_ns",
+            "credit_wait_ns",
+            "queue_wait_ns",
+            "aggregation_ns",
+            "reduce_scatter_ns",
+            "all_gather_ns",
+            "barrier_ns",
+        ]
+        .iter()
+        .map(|k| num(it, k))
+        .sum::<i64>();
+        assert_eq!(
+            sum,
+            num(it, "wall_ns"),
+            "iteration must tile to 100%: {it:?}"
         );
     }
 }
