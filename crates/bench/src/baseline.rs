@@ -10,10 +10,11 @@
 
 use std::time::Instant;
 
-use bs_cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
+use bs_cluster::{run_cluster, run_cluster_observed, ClusterConfig, JobSpec, PlacementPolicy};
 use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
 use bs_net::{FabricModel, NetConfig, Transport};
-use bs_runtime::{run, Arch, SchedulerKind, WorldConfig};
+use bs_runtime::{run, run_observed, Arch, SchedulerKind, WorldConfig};
+use bs_scope::ScopeBus;
 use bs_sim::SimTime;
 use serde::Value;
 
@@ -107,18 +108,33 @@ pub fn macro_scenarios(quick: bool) -> Vec<MacroScenario> {
     ]
 }
 
+/// True when `BS_BENCH_SCOPE` asks the timing loops to attach a
+/// (subscriber-less) scope observation bus to every rep, so the perf
+/// gate can price the recording overhead against the same committed
+/// events/sec floors as the plain runs.
+pub fn scope_enabled() -> bool {
+    std::env::var("BS_BENCH_SCOPE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Times one single-job macro scenario (`reps` repetitions, min wall)
 /// and renders its tracked entry.
 pub fn run_macro(s: &MacroScenario, reps: usize) -> Value {
+    let run_one = || {
+        if scope_enabled() {
+            run_observed(&s.cfg, Some(&mut ScopeBus::new()))
+        } else {
+            run(&s.cfg)
+        }
+    };
     // One untimed warmup rep: the first simulation in a process pays
     // first-touch page faults and clock ramp-up, which would otherwise
     // poison low-rep runs (the CI gate uses few reps).
-    std::hint::black_box(run(&s.cfg));
+    std::hint::black_box(run_one());
     let mut wall_min = f64::INFINITY;
     let mut result = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = run(&s.cfg);
+        let r = run_one();
         wall_min = wall_min.min(t0.elapsed().as_secs_f64());
         result = Some(r);
     }
@@ -262,13 +278,20 @@ pub fn cluster_mixed_macro(name: &str, n_ps: usize, n_ar: usize, quick: bool) ->
 /// outputs (makespan, fairness) are recorded so a perf refactor can show
 /// its numbers did not move.
 pub fn run_cluster_macro(m: &ClusterMacro, reps: usize) -> Value {
+    let run_one = || {
+        if scope_enabled() {
+            run_cluster_observed(&m.cluster, &m.specs, Some(&mut ScopeBus::new()))
+        } else {
+            run_cluster(&m.cluster, &m.specs)
+        }
+    };
     // Untimed warmup rep, as in `run_macro`.
-    std::hint::black_box(run_cluster(&m.cluster, &m.specs));
+    std::hint::black_box(run_one());
     let mut wall_min = f64::INFINITY;
     let mut result = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = run_cluster(&m.cluster, &m.specs);
+        let r = run_one();
         wall_min = wall_min.min(t0.elapsed().as_secs_f64());
         result = Some(r);
     }

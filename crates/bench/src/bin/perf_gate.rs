@@ -25,6 +25,10 @@
 //!   baselines either way: the parallel core is bit-identical to the
 //!   sequential one and must also never fall behind it on throughput by
 //!   more than the tolerance, so one floor serves both CI configurations.
+//! - `BS_BENCH_SCOPE`    — when set (and not `0`), every timed rep runs
+//!   with a subscriber-less scope observation bus attached. The fresh
+//!   numbers still gate against the same committed floors, which is the
+//!   CI proof that recording costs less than the gate tolerance.
 //!
 //! Only `_seq` (and single-job) scenarios gate; committed `_par` entries
 //! are informational, because parallel wall clock depends on the host's
@@ -35,7 +39,7 @@ use std::path::PathBuf;
 use bs_bench::baseline::{
     bench_threads, cluster_4job_macro, cluster_mixed_macro, gate_failures, get_f64,
     macro_events_per_sec, macro_scenarios, replay_service_macro, run_cluster_macro, run_macro,
-    run_replay_macro,
+    run_replay_macro, scope_enabled,
 };
 use serde::Value;
 
@@ -112,9 +116,14 @@ fn main() {
     }
 
     eprintln!(
-        "perf gate: {} vs fresh run, {:.0}% tolerance, {reps} rep(s), {threads} thread(s):",
+        "perf gate: {} vs fresh run, {:.0}% tolerance, {reps} rep(s), {threads} thread(s){}:",
         baseline_path.display(),
         tolerance * 100.0,
+        if scope_enabled() {
+            ", scope bus attached"
+        } else {
+            ""
+        },
     );
 
     let mut fresh: Vec<(String, f64)> = Vec::new();

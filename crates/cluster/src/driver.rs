@@ -43,12 +43,13 @@
 //! instants is state-identical to the sequential loop advancing it at
 //! every global instant.
 
-use bs_net::{Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, SubmitLog};
+use bs_net::{Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, ScopeWindow, SubmitLog};
+use bs_scope::ScopeBus;
 
 use crate::contention::ContentionMatrix;
 use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
 use bs_runtime::traffic::{BurstSource, BG_TAG};
-use bs_runtime::{JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
+use bs_runtime::{net_window_event, JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
 use bs_sim::{SimTime, Trace, WorkerPool};
 use bs_telemetry::MetricSet;
 
@@ -145,6 +146,29 @@ impl ClusterJob {
             }
         }
     }
+
+    /// Buffered scope events so far (0 for burst tenants and whenever
+    /// observation is off).
+    fn scope_len(&self) -> usize {
+        match self {
+            ClusterJob::Train { state, .. } => state.scope_len(),
+            ClusterJob::Burst { .. } => 0,
+        }
+    }
+
+    /// Publishes this tenant's buffered scope events up to index `to`.
+    fn publish_scope_upto(&mut self, bus: &mut ScopeBus, to: usize) {
+        if let ClusterJob::Train { state, .. } = self {
+            state.publish_scope_upto(bus, to);
+        }
+    }
+
+    /// Publishes every buffered scope event.
+    fn publish_scope(&mut self, bus: &mut ScopeBus) {
+        if let ClusterJob::Train { state, .. } = self {
+            state.publish_scope(bus);
+        }
+    }
 }
 
 /// Free-runs are shipped to pool workers, so a tenant's whole state must
@@ -172,6 +196,13 @@ struct Step {
     t: SimTime,
     adv_end: u32,
     cascade_end: u32,
+    /// Scope-event prefix ends mirroring `adv_end`/`cascade_end`, into
+    /// the job's buffered scope stream (both 0 with observation off).
+    /// The replay publishes each range at the same phase boundary the
+    /// sequential driver would have emitted it, so the bus sees the
+    /// exact sequential event order.
+    scope_adv_end: u32,
+    scope_cascade_end: u32,
 }
 
 /// The complete record of one job's free-run: its per-instant steps and
@@ -236,6 +267,7 @@ fn free_run(job: &mut ClusterJob) -> JobLog {
         let adv_start = log.len();
         job.advance(t, &mut log, &mut queue);
         let adv_end = log.len();
+        let scope_adv_end = job.scope_len();
         while let Some(ev) = queue.pop() {
             job.handle(ev, t, &mut log, &mut queue);
         }
@@ -244,6 +276,8 @@ fn free_run(job: &mut ClusterJob) -> JobLog {
             t,
             adv_end: adv_end as u32,
             cascade_end: cascade_end as u32,
+            scope_adv_end: scope_adv_end as u32,
+            scope_cascade_end: job.scope_len() as u32,
         });
         let done = check_done && matches!(job, ClusterJob::Train { state, .. } if state.done());
         if done || cascade_end > adv_start || steps.len() >= FREE_RUN_STEP_CAP {
@@ -315,11 +349,13 @@ fn drive<P: NetPort>(
     fabric: &mut P,
     acct: &mut Accounting,
     mut par: Option<&mut ParCtx>,
+    mut scope: Option<&mut ScopeBus>,
 ) -> SimTime {
     let mut now = SimTime::ZERO;
     let mut queue: Vec<(usize, QueueItem)> = Vec::new();
     let mut scratch: Vec<JobEvent> = Vec::new();
     let mut net_events: Vec<NetEvent> = Vec::new();
+    let mut scope_windows: Vec<ScopeWindow> = Vec::new();
     let mut spins_at_same_instant: u64 = 0;
     let mut last_now = SimTime::ZERO;
     loop {
@@ -346,6 +382,9 @@ fn drive<P: NetPort>(
                     for e in scratch.drain(..) {
                         queue.push((j, QueueItem::Ev(e)));
                     }
+                    if let Some(bus) = scope.as_deref_mut() {
+                        jobs[j].publish_scope(bus);
+                    }
                 }
                 QueueItem::Marker(step) => {
                     let ctx = par.as_deref_mut().expect("markers imply parallel mode");
@@ -354,6 +393,14 @@ fn drive<P: NetPort>(
                     debug_assert_eq!(s.t, now, "marker must pop at its own instant");
                     for ls in &r.log.submits[s.adv_end as usize..s.cascade_end as usize] {
                         fabric.submit(now, ls.src, ls.dst, ls.bytes, ls.tag);
+                    }
+                    // The job's cascade block at this instant was
+                    // contiguous in the sequential order (candidates see
+                    // no fabric events), so publishing its scope range
+                    // where the marker pops reproduces that order.
+                    let scope_end = s.scope_cascade_end as usize;
+                    if let Some(bus) = scope.as_deref_mut() {
+                        jobs[j].publish_scope_upto(bus, scope_end);
                     }
                     if step + 1 == r.log.steps.len() {
                         // Log exhausted: the job is live again, its state
@@ -435,8 +482,14 @@ fn drive<P: NetPort>(
                     for ls in &r.log.submits[start as usize..s.adv_end as usize] {
                         fabric.submit(t, ls.src, ls.dst, ls.bytes, ls.tag);
                     }
+                    let scope_end = s.scope_adv_end as usize;
                     queue.push((j, QueueItem::Marker(r.next_step)));
                     r.next_step += 1;
+                    // Scope events the free-run's advance phase buffered
+                    // publish here, where a live advance would emit them.
+                    if let Some(bus) = scope.as_deref_mut() {
+                        job.publish_scope_upto(bus, scope_end);
+                    }
                 }
                 // `s.t > t`: nothing of this job's is due; the sequential
                 // loop's advance would be a strict no-op here.
@@ -445,6 +498,9 @@ fn drive<P: NetPort>(
                 job.advance(t, fabric, &mut scratch);
                 for e in scratch.drain(..) {
                     queue.push((j, QueueItem::Ev(e)));
+                }
+                if let Some(bus) = scope.as_deref_mut() {
+                    job.publish_scope(bus);
                 }
             }
         }
@@ -477,6 +533,12 @@ fn drive<P: NetPort>(
                 queue.push((j, QueueItem::Ev(JobEvent::Net(stripped))));
             }
         }
+        if let Some(bus) = scope.as_deref_mut() {
+            fabric.drain_scope_windows(&mut scope_windows);
+            for w in scope_windows.drain(..) {
+                bus.publish(net_window_event(&w));
+            }
+        }
     }
     now
 }
@@ -487,6 +549,24 @@ fn drive<P: NetPort>(
 ///
 /// Panics if the cluster deadlocks before every training job finishes.
 pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult {
+    run_cluster_observed(cluster, specs, None)
+}
+
+/// [`run_cluster`] with an optional scope observation bus attached.
+///
+/// With a bus, every training tenant and the shared fabric publish
+/// lifecycle events as they happen — in the exact sequential event order
+/// even under the conservative-parallel driver, whose replay re-publishes
+/// each free-run epoch's buffered events at the phase boundaries where
+/// the sequential loop would have emitted them. Observation is
+/// recording-only; the `parallel_scope_stream_matches_sequential` test
+/// pins both properties. The caller owns the stream's close: call
+/// `bus.finish(makespan)` when no further runs will publish onto it.
+pub fn run_cluster_observed(
+    cluster: &ClusterConfig,
+    specs: &[JobSpec],
+    mut scope: Option<&mut ScopeBus>,
+) -> ClusterResult {
     assert!(!specs.is_empty(), "a cluster run needs at least one job");
     assert!(
         specs.len() <= MAX_JOBS,
@@ -552,6 +632,15 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         })
         .collect();
 
+    if let Some(bus) = scope.as_deref_mut() {
+        fabric.enable_scope(SimTime::ZERO, bus.window());
+        for (j, job) in jobs.iter_mut().enumerate() {
+            if let ClusterJob::Train { state, arrival, .. } = job {
+                state.enable_scope(j, *arrival);
+            }
+        }
+    }
+
     // Training jobs' co-tenant bursts (if any) start with the simulation,
     // exactly as the single-job driver seeds them before its loop.
     for job in &mut jobs {
@@ -584,10 +673,24 @@ pub fn run_cluster(cluster: &ClusterConfig, specs: &[JobSpec]) -> ClusterResult 
         iters_since_plan: PLAN_INTERVAL,
     });
     let makespan = match &mut fabric {
-        Fabric::Fifo(n) => drive(&mut jobs, n, &mut acct, par.as_mut()),
-        Fabric::Fluid(n) => drive(&mut jobs, n, &mut acct, par.as_mut()),
+        Fabric::Fifo(n) => drive(&mut jobs, n, &mut acct, par.as_mut(), scope.as_deref_mut()),
+        Fabric::Fluid(n) => drive(&mut jobs, n, &mut acct, par.as_mut(), scope.as_deref_mut()),
     };
     drop(par);
+    if let Some(bus) = scope {
+        // Close the fabric's partial utilisation window and flush any
+        // straggling job events; the bus itself stays open (the caller
+        // may chain further runs, e.g. replay waves, onto it).
+        fabric.finish_scope(makespan);
+        let mut wins = Vec::new();
+        fabric.drain_scope_windows(&mut wins);
+        for w in &wins {
+            bus.publish(net_window_event(w));
+        }
+        for job in jobs.iter_mut() {
+            job.publish_scope(bus);
+        }
+    }
     let Accounting {
         job_bytes,
         job_events,
@@ -1133,6 +1236,63 @@ mod tests {
                 assert_eq!(
                     got, seq,
                     "{fabric:?} threads={threads}: parallel run diverged from sequential"
+                );
+            }
+        }
+    }
+
+    /// The observability contract, both halves at once: attaching a
+    /// scope bus changes nothing observable (recording-only), and the
+    /// conservative-parallel driver publishes the byte-identical event
+    /// stream the sequential driver does, at any thread count, on both
+    /// fabrics — free-run epochs re-publish in exact sequential order.
+    #[test]
+    fn parallel_scope_stream_matches_sequential() {
+        use bs_scope::{FlightRecorder, ScopeBus};
+        for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+            let mut cluster = ClusterConfig::new(6, NetConfig::gbps(10.0, Transport::tcp()));
+            cluster.fabric = fabric;
+            cluster.placement = PlacementPolicy::Packed;
+            let specs = vec![
+                JobSpec::train("a", job_cfg(bs(), 21)),
+                JobSpec::train("b", job_cfg(SchedulerKind::Baseline, 22)),
+                JobSpec::train("ring", ar_cfg(23)),
+                JobSpec::burst(
+                    "bg",
+                    BackgroundLoad {
+                        burst_bytes: 1 << 20,
+                        gap_us: 500,
+                    },
+                    1,
+                    99,
+                ),
+            ];
+            let run_with = |threads: usize| {
+                let mut c = cluster.clone();
+                c.threads = threads;
+                let mut bus = ScopeBus::new();
+                let (rec, handle) = FlightRecorder::new();
+                bus.subscribe(Box::new(rec));
+                let r = run_cluster_observed(&c, &specs, Some(&mut bus));
+                bus.finish(r.makespan);
+                (full_fingerprint(&r), handle.to_jsonl())
+            };
+            let plain = full_fingerprint(&run_cluster(&cluster, &specs));
+            let (seq_fp, seq_events) = run_with(1);
+            assert_eq!(
+                seq_fp, plain,
+                "{fabric:?}: observation must be recording-only"
+            );
+            assert!(
+                seq_events.lines().count() > 10,
+                "{fabric:?}: the bus must actually record the run"
+            );
+            for threads in [2usize, 4] {
+                let (fp, events) = run_with(threads);
+                assert_eq!(fp, seq_fp, "{fabric:?} threads={threads}: results diverged");
+                assert_eq!(
+                    events, seq_events,
+                    "{fabric:?} threads={threads}: scope stream diverged from sequential"
                 );
             }
         }

@@ -48,7 +48,7 @@ pub use contention::{
     ContentionMatrix, JobLinkShare, LinkContention, PairContention, CONTENTION_SCHEMA,
     CONTENTION_SCHEMA_VERSION,
 };
-pub use driver::run_cluster;
+pub use driver::{run_cluster, run_cluster_observed};
 pub use metrics::{
     jain_index, percentile_nearest_rank, ClusterResult, DistSummary, JobOutcome, LinkUtil,
 };

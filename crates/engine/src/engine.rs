@@ -230,6 +230,14 @@ impl WorkerEngine {
         self.gpu_busy.take()
     }
 
+    /// Exact GPU-busy seconds accumulated up to `until`, or `None` if
+    /// telemetry was never enabled. Reads the same series `take_gpu_busy`
+    /// exports, so live consumers (the scope bus) and post-hoc summaries
+    /// agree by construction.
+    pub fn gpu_busy_secs_until(&self, until: SimTime) -> Option<f64> {
+        self.gpu_busy.as_ref().map(|s| s.integral_secs(until))
+    }
+
     /// Iterations fully retired so far.
     pub fn done_iterations(&self) -> u64 {
         self.done_iters

@@ -354,6 +354,37 @@ pub enum LinkChange {
     },
 }
 
+impl LinkChange {
+    /// Stable label for observation streams (`"scale"`, `"flap_down"`,
+    /// `"flap_up"` — the discriminators of `results/events.schema.json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LinkChange::Scale { .. } => "scale",
+            LinkChange::FlapDown { .. } => "flap_down",
+            LinkChange::FlapUp { .. } => "flap_up",
+        }
+    }
+
+    /// The machine the change hits.
+    pub fn node(&self) -> usize {
+        match *self {
+            LinkChange::Scale { node, .. }
+            | LinkChange::FlapDown { node }
+            | LinkChange::FlapUp { node } => node,
+        }
+    }
+
+    /// The resulting capacity fraction: the `Scale` factor, `0.0` for a
+    /// flap down, `1.0` for a flap up.
+    pub fn capacity_fraction(&self) -> f64 {
+        match *self {
+            LinkChange::Scale { scale, .. } => scale,
+            LinkChange::FlapDown { .. } => 0.0,
+            LinkChange::FlapUp { .. } => 1.0,
+        }
+    }
+}
+
 /// Runtime-facing cursor over a [`FaultPlan`]: a merged, time-sorted
 /// timeline of link changes plus the seeded loss stream and straggler
 /// table. Built once per run; never rewinds.

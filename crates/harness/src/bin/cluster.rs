@@ -20,6 +20,12 @@
 //! and, when FILE is given, writes the schema-versioned contention.json
 //! there.
 //!
+//! `--watch [FILE]` reruns the 2-job reference cluster with the scope
+//! bus attached: prints one live `watch` line per iteration, retransmit
+//! and wave event as the driver publishes them (with a drift bank
+//! listening), and, when FILE is given, writes the full event stream as
+//! schema-versioned JSONL (results/events.schema.json) there.
+//!
 //! `--threads N` sets the thread count for the conservative-parallel
 //! core check (default: every available core). The binary runs a
 //! 4-tenant mix sequentially and at N threads, asserts the traces are
@@ -47,6 +53,7 @@ fn main() {
     let (metrics_on, metrics_file) = flag_file("--metrics");
     let (xray_on, xray_file) = flag_file("--xray");
     let (contention_on, contention_file) = flag_file("--contention");
+    let (watch_on, watch_file) = flag_file("--watch");
     let threads: usize = flag_file("--threads")
         .1
         .and_then(|v| v.parse().ok())
@@ -132,6 +139,31 @@ fn main() {
                 m.links.len(),
                 m.pairs.len()
             );
+        }
+    }
+
+    if watch_on {
+        use bs_scope::{FlightRecorder, ScopeBus, WatchTable};
+        println!();
+        let mut bus = ScopeBus::new();
+        bus.subscribe(Box::new(bs_tune::LiveDrift::new(fid.warmup)));
+        bus.subscribe(Box::new(WatchTable::new()));
+        let flight = watch_file.map(|_| {
+            let (rec, handle) = FlightRecorder::new();
+            bus.subscribe(Box::new(rec));
+            handle
+        });
+        let r = cluster::observed_reference(fid, &mut bus);
+        bus.finish(r.makespan);
+        println!(
+            "watch: 2-job reference cluster published {} events",
+            bus.events_seen()
+        );
+        if let (Some(path), Some(handle)) = (watch_file, &flight) {
+            match std::fs::write(path, handle.to_jsonl()) {
+                Ok(()) => println!("events: {} rows -> {path}", handle.len()),
+                Err(e) => eprintln!("cluster: cannot write events to {path}: {e}"),
+            }
         }
     }
 

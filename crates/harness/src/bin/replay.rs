@@ -18,12 +18,220 @@
 //! observation-only; the binary asserts the recorded replay's aggregate
 //! report is byte-identical to the plain one.
 //!
+//! `--watch` re-replays the trace with the scope bus attached and
+//! prints one live `watch` line per wave admission/completion and
+//! per-job iteration as the replay publishes them; `--events FILE`
+//! additionally writes the full event stream as schema-versioned JSONL
+//! (results/events.schema.json). Timestamps are absolute cluster time
+//! (each wave's events are offset by its admission epoch).
+//!
+//! `--serve-stdin` turns the binary into a long-running what-if query
+//! service: each stdin line is one batch — a JSON query object, or an
+//! array of them — and each batch prints one JSON answer line on
+//! stdout. Query fields (all optional overlays on the base options):
+//!
+//! ```text
+//! {"bandwidth_gbps": 10,
+//!  "placement": "packed" | "round-robin" | "network-aware",
+//!  "scheduler": "baseline" | {"partition_mb": 4, "credit_mb": 16},
+//!  "threads": 4, "truncate": 8}
+//! ```
+//!
+//! Malformed lines answer `{"error": ...}` and keep the service alive.
+//! `--watch` / `--events` compose: every batch publishes a
+//! `whatif_batch` scope event.
+//!
 //! The binary also re-replays the trace and asserts the two reports
 //! serialize to identical bytes — the determinism contract CI leans on.
 
+use std::io::BufRead;
+
+use bs_cluster::PlacementPolicy;
 use bs_harness::experiments::replay;
 use bs_harness::{metrics_report, report, Fidelity};
-use bs_replay::{replay_trace, replay_trace_recorded};
+use bs_replay::TraceJob;
+use bs_replay::{
+    replay_trace, replay_trace_observed, replay_trace_recorded, ReplayOptions, ReplayService,
+    WhatIfAnswer, WhatIfQuery,
+};
+use bs_runtime::SchedulerKind;
+use bs_scope::{FlightHandle, FlightRecorder, ScopeBus, WatchTable};
+use serde_json::Value;
+
+/// Builds the scope bus for `--watch` / `--events`, returning the
+/// flight-recorder handle when an events file was requested.
+fn scope_bus(watch: bool, events: bool) -> (ScopeBus, Option<FlightHandle>) {
+    let mut bus = ScopeBus::new();
+    if watch {
+        bus.subscribe(Box::new(WatchTable::new()));
+    }
+    let flight = events.then(|| {
+        let (rec, handle) = FlightRecorder::new();
+        bus.subscribe(Box::new(rec));
+        handle
+    });
+    (bus, flight)
+}
+
+fn write_events(path: &str, handle: &FlightHandle) {
+    match std::fs::write(path, handle.to_jsonl()) {
+        Ok(()) => println!("events: {} rows -> {path}", handle.len()),
+        Err(e) => eprintln!("replay: cannot write events to {path}: {e}"),
+    }
+}
+
+/// Maps one JSON object onto a [`WhatIfQuery`], rejecting unknown keys
+/// and mistyped values so a client typo cannot silently run the base
+/// config.
+fn parse_query(v: &Value) -> Result<WhatIfQuery, String> {
+    let Value::Object(fields) = v else {
+        return Err("each query must be a JSON object".into());
+    };
+    let num = |v: &Value| match *v {
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        Value::F64(x) => Some(x),
+        _ => None,
+    };
+    let mut q = WhatIfQuery::default();
+    for (key, val) in fields {
+        match key.as_str() {
+            "bandwidth_gbps" => {
+                q.bandwidth_gbps = Some(num(val).ok_or("bandwidth_gbps: expected a number")?);
+            }
+            "placement" => {
+                let Value::Str(s) = val else {
+                    return Err("placement: expected a string".into());
+                };
+                q.placement = Some(match s.as_str() {
+                    "packed" => PlacementPolicy::Packed,
+                    "round-robin" => PlacementPolicy::RoundRobinSpread,
+                    "network-aware" => PlacementPolicy::NetworkAware,
+                    other => return Err(format!("placement: unknown policy {other:?}")),
+                });
+            }
+            "scheduler" => {
+                q.scheduler = Some(match val {
+                    Value::Str(s) if s == "baseline" => SchedulerKind::Baseline,
+                    Value::Object(_) => {
+                        let mb = |name: &str| {
+                            val.get(name)
+                                .and_then(num)
+                                .map(|f| (f * 1e6) as u64)
+                                .ok_or(format!("scheduler.{name}: expected a number"))
+                        };
+                        SchedulerKind::ByteScheduler {
+                            partition: mb("partition_mb")?,
+                            credit: mb("credit_mb")?,
+                        }
+                    }
+                    _ => {
+                        return Err(
+                            "scheduler: expected \"baseline\" or {partition_mb, credit_mb}".into(),
+                        )
+                    }
+                });
+            }
+            "threads" => {
+                q.threads = Some(
+                    num(val)
+                        .filter(|x| *x >= 1.0)
+                        .ok_or("threads: expected a count")? as usize,
+                );
+            }
+            "truncate" => {
+                q.truncate = Some(
+                    num(val)
+                        .filter(|x| *x >= 1.0)
+                        .ok_or("truncate: expected a count")? as usize,
+                );
+            }
+            other => return Err(format!("unknown query field {other:?}")),
+        }
+    }
+    Ok(q)
+}
+
+/// Parses one stdin line: a single query object, or an array of them.
+fn parse_batch(line: &str) -> Result<Vec<WhatIfQuery>, String> {
+    let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    match &v {
+        Value::Array(items) => items.iter().map(parse_query).collect(),
+        Value::Object(_) => Ok(vec![parse_query(&v)?]),
+        _ => Err("expected a query object or an array of them".into()),
+    }
+}
+
+/// One JSON answer line per batch: per-query source + headline numbers,
+/// plus the service's cumulative counters.
+fn answer_line(answers: &[WhatIfAnswer], svc: &ReplayService) -> String {
+    let rows: Vec<Value> = answers
+        .iter()
+        .map(|a| {
+            let source = match a.source {
+                bs_replay::AnswerSource::Computed => "computed",
+                bs_replay::AnswerSource::Cache => "cache",
+                bs_replay::AnswerSource::BatchDedup => "batch_dedup",
+            };
+            Value::Object(vec![
+                ("source".into(), Value::Str(source.into())),
+                ("jobs".into(), Value::U64(a.report.jobs.len() as u64)),
+                ("waves".into(), Value::U64(a.report.waves as u64)),
+                ("makespan_secs".into(), Value::F64(a.report.makespan_secs)),
+                ("jct_mean_secs".into(), Value::F64(a.report.jct.mean)),
+                ("jct_p95_secs".into(), Value::F64(a.report.jct.p95)),
+            ])
+        })
+        .collect();
+    let s = svc.stats();
+    let doc = Value::Object(vec![
+        ("answers".into(), Value::Array(rows)),
+        (
+            "stats".into(),
+            Value::Object(vec![
+                ("queries".into(), Value::U64(s.queries)),
+                ("executed".into(), Value::U64(s.executed)),
+                ("cache_hits".into(), Value::U64(s.cache_hits)),
+                ("batch_dedup".into(), Value::U64(s.batch_dedup)),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("answer serializes")
+}
+
+/// The `--serve-stdin` loop: one batch per line until EOF.
+fn serve_stdin(jobs: Vec<TraceJob>, opts: ReplayOptions, watch: bool, events_path: Option<&str>) {
+    let (mut bus, flight) = scope_bus(watch, events_path.is_some());
+    let mut svc = ReplayService::new(jobs, opts, 32);
+    eprintln!("serve-stdin: one JSON query object or array per line; EOF ends the service");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin is readable");
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match parse_batch(text) {
+            Ok(queries) => {
+                let answers = svc.submit_batch_observed(&queries, Some(&mut bus));
+                println!("{}", answer_line(&answers, &svc));
+            }
+            Err(e) => {
+                let doc = Value::Object(vec![("error".into(), Value::Str(e))]);
+                println!("{}", serde_json::to_string(&doc).expect("error serializes"));
+            }
+        }
+    }
+    bus.finish(bs_sim::SimTime::ZERO);
+    if let (Some(path), Some(handle)) = (events_path, &flight) {
+        write_events(path, handle);
+    }
+    let s = svc.stats();
+    eprintln!(
+        "serve-stdin: {} queries -> {} executed, {} cache hits, {} batch-dedup",
+        s.queries, s.executed, s.cache_hits, s.batch_dedup
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,8 +247,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(16);
 
+    let watch = args.iter().any(|a| a == "--watch");
+    let events_file = flag_value("--events");
+
     let fid = Fidelity::from_env();
     let opts = replay::base_options(fid);
+
+    if args.iter().any(|a| a == "--serve-stdin") {
+        let jobs = replay::load_trace_file(&trace_path).expect("trace loads");
+        serve_stdin(jobs, opts, watch, events_file.as_deref());
+        return;
+    }
+
     println!(
         "replaying {trace_path} (wave {}, arrival scale {}, iters cap {}, seed {})",
         opts.wave, opts.arrival_scale, opts.iters_cap, opts.seed
@@ -80,6 +298,24 @@ fn main() {
                 println!();
                 print!("{}", metrics_report::render_contention(m));
             }
+        }
+    }
+
+    if watch || events_file.is_some() {
+        let (mut bus, flight) = scope_bus(watch, events_file.is_some());
+        let (observed, _) = replay_trace_observed(&jobs, &opts, false, false, Some(&mut bus));
+        assert_eq!(
+            serde_json::to_string(&observed).expect("report serializes"),
+            a,
+            "scope recording must not change the replay"
+        );
+        println!(
+            "watch: replay published {} events across {} waves",
+            bus.events_seen(),
+            observed.waves
+        );
+        if let (Some(path), Some(handle)) = (events_file.as_deref(), &flight) {
+            write_events(path, handle);
         }
     }
 

@@ -36,6 +36,12 @@
 //!                   critical tensors) and write the schema-versioned
 //!                   critical_path.json to FILE ("-" prints the tables
 //!                   only)
+//! --watch           attach the scope bus and print one live `watch`
+//!                   line per iteration, retransmit, fault, and drift
+//!                   detection as the simulation publishes them
+//! --events FILE     attach the scope flight recorder and write the
+//!                   run's full event stream as schema-versioned JSONL
+//!                   (results/events.schema.json)
 //! ```
 //!
 //! `--scheduler tuned` auto-tunes (δ, c) with BO before the measured run.
@@ -43,7 +49,9 @@
 use bs_harness::{tune, Fidelity, Setup};
 use bs_models::DnnModel;
 use bs_net::FabricModel;
-use bs_runtime::{run, SchedulerKind};
+use bs_runtime::{run, run_observed, SchedulerKind};
+use bs_scope::{FlightRecorder, ScopeBus, WatchTable};
+use bs_tune::LiveDrift;
 
 fn fail(msg: &str) -> ! {
     eprintln!("simctl: {msg}\nrun with no arguments for defaults; see the module docs for flags");
@@ -60,6 +68,10 @@ impl Args {
             let Some(name) = flag.strip_prefix("--") else {
                 fail(&format!("expected --flag, got {flag:?}"));
             };
+            if name == "watch" {
+                map.insert(name.to_string(), "1".into());
+                continue;
+            }
             let Some(value) = it.next() else {
                 fail(&format!("--{name} needs a value"));
             };
@@ -160,9 +172,32 @@ fn main() {
     cfg.record_metrics = metrics_path.is_some();
     let xray_path = args.0.get("xray").cloned();
     cfg.record_xray = xray_path.is_some();
+    let watch = args.0.contains_key("watch");
+    let events_path = args.0.get("events").cloned();
 
     let linear = cfg.linear_scaling_speed();
-    let r = run(&cfg);
+    let r = if watch || events_path.is_some() {
+        let mut bus = ScopeBus::new();
+        bus.subscribe(Box::new(LiveDrift::new(cfg.warmup)));
+        if watch {
+            bus.subscribe(Box::new(WatchTable::new()));
+        }
+        let flight = events_path.as_ref().map(|_| {
+            let (rec, handle) = FlightRecorder::new();
+            bus.subscribe(Box::new(rec));
+            handle
+        });
+        let r = run_observed(&cfg, Some(&mut bus));
+        if let (Some(path), Some(handle)) = (&events_path, &flight) {
+            match std::fs::write(path, handle.to_jsonl()) {
+                Ok(()) => println!("events      {:>12} rows -> {path}", handle.len()),
+                Err(e) => eprintln!("simctl: cannot write events to {path}: {e}"),
+            }
+        }
+        r
+    } else {
+        run(&cfg)
+    };
     println!(
         "{} | {} | {} GPUs | {:.0} Gbps | {}",
         cfg.model.name,

@@ -20,7 +20,9 @@
 //! Runs on the fluid (max-min fair) fabric: multi-tenant NIC sharing is
 //! what that model exists for.
 
-use bs_cluster::{run_cluster, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy};
+use bs_cluster::{
+    run_cluster, run_cluster_observed, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy,
+};
 use bs_net::FabricModel;
 use bs_runtime::{run, SchedulerKind, WorldConfig};
 use bs_sim::SimTime;
@@ -192,6 +194,24 @@ pub fn reference_run(fid: Fidelity, record_metrics: bool, record_xray: bool) -> 
             JobSpec::train("bytescheduler", bs_cfg),
             JobSpec::train("fifo-baseline", fifo_cfg),
         ],
+    )
+}
+
+/// Runs the 2-job reference cluster with a scope bus attached — the
+/// `cluster --watch` path. Caller owns the bus (subscribers and the
+/// final `finish` call), so the binary can mix a live table, a flight
+/// recorder and a drift bank on one stream.
+pub fn observed_reference(fid: Fidelity, bus: &mut bs_scope::ScopeBus) -> ClusterResult {
+    let bs_cfg = job_cfg(fid, bytescheduler(), 21);
+    let fifo_cfg = job_cfg(fid, SchedulerKind::Baseline, 22);
+    let c = cluster(bs_cfg.num_workers * 2, PlacementPolicy::Packed, &bs_cfg);
+    run_cluster_observed(
+        &c,
+        &[
+            JobSpec::train("bytescheduler", bs_cfg),
+            JobSpec::train("fifo-baseline", fifo_cfg),
+        ],
+        Some(bus),
     )
 }
 

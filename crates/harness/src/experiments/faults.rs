@@ -21,8 +21,10 @@
 
 use bs_faults::FaultPlan;
 use bs_net::FabricModel;
-use bs_runtime::{run, RunOutcome, SchedulerKind};
-use bs_tune::DriftDetector;
+use bs_runtime::{run, run_observed, RunOutcome, SchedulerKind};
+use bs_scope::{Collector, ScopeBus, ScopeEvent};
+use bs_sim::SimTime;
+use bs_tune::{DriftDetector, LiveDrift};
 use serde::Serialize;
 
 use crate::fidelity::Fidelity;
@@ -70,6 +72,18 @@ pub struct DriftOutcome {
     pub faulted_drifts: u64,
     /// Measured iteration (0-based, post-warmup) of the first trigger.
     pub first_drift_iter: Option<usize>,
+    /// `drift` events the live bus subscriber ([`LiveDrift`]) fired
+    /// while the faulted run was in flight.
+    pub live_drifts: u64,
+    /// Absolute iteration number of the first live `drift` event
+    /// (`warmup + first_drift_iter + 1` when live and offline agree).
+    pub first_live_iter: Option<u64>,
+    /// Simulated time (seconds) at which the first live `drift` fired.
+    pub first_live_at_secs: Option<f64>,
+    /// Whether the first live `drift` carries the exact timestamp of
+    /// the `iter_done` event it was derived from — i.e. it fired *at*
+    /// the iteration boundary where the shift became visible.
+    pub live_at_on_iteration_mark: bool,
 }
 
 /// Full robustness-study results.
@@ -126,6 +140,7 @@ pub fn run_experiment(fid: Fidelity) -> Faults {
     let mut rows = Vec::new();
     let mut clean_times = Vec::new();
     let mut faulted_times = Vec::new();
+    let mut live_events: Vec<ScopeEvent> = Vec::new();
     for (fabric, flabel) in [
         (FabricModel::SerialFifo, "fifo"),
         (FabricModel::FairShare, "fluid"),
@@ -142,7 +157,23 @@ pub fn run_experiment(fid: Fidelity) -> Faults {
                 fid.apply(&mut cfg);
                 cfg.fabric = fabric;
                 cfg.faults = plan.clone();
-                let r = run(&cfg);
+                // The faulted reference run doubles as the live-drift
+                // check: a scope bus with a LiveDrift subscriber must
+                // fire mid-run exactly where the offline scan does.
+                let live_here = flabel == "fifo"
+                    && condition == "full plan"
+                    && matches!(sched, SchedulerKind::ByteScheduler { .. });
+                let r = if live_here {
+                    let mut bus = ScopeBus::new();
+                    bus.subscribe(Box::new(LiveDrift::new(cfg.warmup)));
+                    let (coll, log) = Collector::new();
+                    bus.subscribe(Box::new(coll));
+                    let r = run_observed(&cfg, Some(&mut bus));
+                    live_events = log.events();
+                    r
+                } else {
+                    run(&cfg)
+                };
                 if flabel == "fifo" && r.scheduler == "ByteScheduler" {
                     if condition == "clean" {
                         clean_times = r.iter_times.clone();
@@ -162,12 +193,28 @@ pub fn run_experiment(fid: Fidelity) -> Faults {
     }
     let (clean_drifts, _) = drift_scan(&clean_times);
     let (faulted_drifts, first_drift_iter) = drift_scan(&faulted_times);
+    let live: Vec<(u64, SimTime)> = live_events
+        .iter()
+        .filter_map(|e| match *e {
+            ScopeEvent::Drift { iter, at, .. } => Some((iter, at)),
+            _ => None,
+        })
+        .collect();
+    let live_at_on_iteration_mark = live.first().is_some_and(|&(iter, at)| {
+        live_events.iter().any(
+            |e| matches!(*e, ScopeEvent::IterDone { iter: i, at: a, .. } if i == iter && a == at),
+        )
+    });
     Faults {
         rows,
         drift: DriftOutcome {
             clean_drifts,
             faulted_drifts,
             first_drift_iter,
+            live_drifts: live.len() as u64,
+            first_live_iter: live.first().map(|&(iter, _)| iter),
+            first_live_at_secs: live.first().map(|&(_, at)| at.as_secs_f64()),
+            live_at_on_iteration_mark,
         },
     }
 }
@@ -221,7 +268,15 @@ pub fn render(f: &Faults) -> String {
             .map(|i| format!(" (first at measured iteration {i})"))
             .unwrap_or_default(),
     );
-    format!("{}\n{drift}", t.render())
+    let live = format!(
+        "live re-tune trigger (scope bus): {} drift events mid-run{}\n",
+        f.drift.live_drifts,
+        match (f.drift.first_live_iter, f.drift.first_live_at_secs) {
+            (Some(iter), Some(at)) => format!(" (first at iteration {iter}, t = {at:.3} s)"),
+            _ => String::new(),
+        },
+    );
+    format!("{}\n{drift}{live}", t.render())
 }
 
 #[cfg(test)]
@@ -280,5 +335,27 @@ mod tests {
             f.drift.faulted_drifts > 0,
             "the 4x degradation must trigger re-tuning"
         );
+    }
+
+    #[test]
+    fn live_drift_matches_offline_scan() {
+        let fid = Fidelity::quick();
+        let f = run_experiment(fid);
+        assert_eq!(
+            f.drift.live_drifts, f.drift.faulted_drifts,
+            "live bus subscriber and offline scan must fire identically"
+        );
+        let offline_first = f.drift.first_drift_iter.expect("faulted run drifts");
+        assert_eq!(
+            f.drift.first_live_iter,
+            Some(fid.warmup + offline_first as u64 + 1),
+            "iter_times[{offline_first}] ends at this absolute iteration"
+        );
+        assert!(
+            f.drift.live_at_on_iteration_mark,
+            "the live drift must be stamped with its iteration boundary's simulated time"
+        );
+        let at = f.drift.first_live_at_secs.expect("live drift fired");
+        assert!(at > 0.0);
     }
 }

@@ -161,6 +161,33 @@ impl Fabric {
         }
     }
 
+    /// Starts aggregating NIC utilisation into grid-aligned tumbling
+    /// windows of `window` for the scope bus. Recording never changes
+    /// fabric behaviour.
+    pub fn enable_scope(&mut self, now: SimTime, window: SimTime) {
+        match self {
+            Fabric::Fifo(n) => n.enable_scope(now, window),
+            Fabric::Fluid(n) => n.enable_scope(now, window),
+        }
+    }
+
+    /// Integrates the scope windows up to `now` and closes the final
+    /// partial window.
+    pub fn finish_scope(&mut self, now: SimTime) {
+        match self {
+            Fabric::Fifo(n) => n.finish_scope(now),
+            Fabric::Fluid(n) => n.finish_scope(now),
+        }
+    }
+
+    /// Moves closed scope windows into `out`, oldest first.
+    pub fn drain_scope_windows(&mut self, out: &mut Vec<crate::scope::ScopeWindow>) {
+        match self {
+            Fabric::Fifo(n) => n.drain_scope_windows(out),
+            Fabric::Fluid(n) => n.drain_scope_windows(out),
+        }
+    }
+
     /// Enables span recording. The FIFO fabric records exclusive wire
     /// occupancies (start → release); the fluid fabric records flow
     /// lifetimes (submit → drain), which may overlap.
@@ -332,6 +359,10 @@ impl crate::port::NetPort for Fabric {
 
     fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
         Fabric::debug_stalled(self)
+    }
+
+    fn drain_scope_windows(&mut self, out: &mut Vec<crate::scope::ScopeWindow>) {
+        Fabric::drain_scope_windows(self, out)
     }
 }
 

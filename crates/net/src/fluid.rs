@@ -27,6 +27,7 @@ use crate::contention::{ContentionLog, ContentionRecorder};
 use crate::network::{
     CompletedTransfer, DroppedTransfer, NetEvent, NodeId, TransferId, WireSpan, WireXrayRecord,
 };
+use crate::scope::{ScopeUtil, ScopeWindow};
 use crate::transport::NetConfig;
 
 /// Fault-injection state, allocated lazily on the first fault hook call
@@ -103,6 +104,8 @@ pub struct FluidNetwork {
     scratch_finished: Vec<TransferId>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<FluidTelemetry>,
+    /// `Some` only while the scope bus records NIC-utilisation windows.
+    scope: Option<Box<ScopeUtil>>,
     /// `Some` only while link-contention recording is enabled.
     contention: Option<Box<ContentionRecorder>>,
     /// `Some` only once a fault hook has been exercised.
@@ -146,6 +149,7 @@ impl FluidNetwork {
             scratch_ids: Vec::new(),
             scratch_finished: Vec::new(),
             telem: None,
+            scope: None,
             contention: None,
             faults: None,
         }
@@ -161,6 +165,37 @@ impl FluidNetwork {
                 port_util: vec![zero.clone(); 2 * self.num_nodes],
                 active_flows: zero,
             });
+        }
+    }
+
+    /// Starts aggregating NIC utilisation (allocated-rate fractions) into
+    /// grid-aligned tumbling windows of `window` for the scope bus, fed
+    /// from the same reallocation instants as the telemetry series.
+    /// Recording never changes fabric behaviour.
+    ///
+    /// One aggregate slot, not one per direction: a window's `util_secs`
+    /// sums over every port direction anyway, and each flow contributes
+    /// its rate to exactly two slots (source up, destination down), so
+    /// integrating `2 * total_rate / cap` directly is the same signal at
+    /// a fraction of the per-reallocation cost.
+    pub fn enable_scope(&mut self, now: SimTime, window: SimTime) {
+        if self.scope.is_none() {
+            self.scope = Some(Box::new(ScopeUtil::new(now, 1, window)));
+        }
+    }
+
+    /// Integrates the scope windows up to `now` and closes the final
+    /// partial window (publish by draining afterwards).
+    pub fn finish_scope(&mut self, now: SimTime) {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.finish(now);
+        }
+    }
+
+    /// Moves closed scope windows into `out`, oldest first.
+    pub fn drain_scope_windows(&mut self, out: &mut Vec<ScopeWindow>) {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.drain_into(out);
         }
     }
 
@@ -609,6 +644,10 @@ impl FluidNetwork {
             self.scratch_port_live[p] = flows.len() as u32;
         }
         let mut remaining_unfrozen = self.active.len();
+        // Total allocated rate, accumulated as flows freeze so the scope
+        // hook below never has to rescan the active set.
+        let mut total_rate = 0.0;
+        let mut assigned = 0usize;
         while remaining_unfrozen > 0 {
             // Bottleneck port: smallest fair share among ports that still
             // carry unfrozen flows.
@@ -636,6 +675,8 @@ impl FluidNetwork {
                     .copied(),
             );
             remaining_unfrozen -= ids.len();
+            total_rate += share * ids.len() as f64;
+            assigned += ids.len();
             for id in ids.drain(..) {
                 self.scratch_frozen[id.0 as usize] = true;
                 let f = self.flows[id.0 as usize].as_mut().expect("active");
@@ -661,6 +702,21 @@ impl FluidNetwork {
                 te.port_util[p].record(at, rate / cap);
             }
             te.active_flows.record(at, self.active.len() as f64);
+        }
+        if let Some(sc) = self.scope.as_mut() {
+            // Every flow's rate lands on exactly two port directions (see
+            // `enable_scope`), so the waterfill's running total is the
+            // whole signal. The rescan fallback only covers the defensive
+            // break above, where flows may keep an older rate.
+            let total = if assigned == self.active.len() {
+                total_rate
+            } else {
+                self.active
+                    .iter()
+                    .map(|id| self.flows[id.0 as usize].as_ref().expect("active").rate)
+                    .sum()
+            };
+            sc.record(self.last_update, 0, 2.0 * total / cap);
         }
     }
 
@@ -724,6 +780,10 @@ impl crate::port::NetPort for FluidNetwork {
 
     fn in_flight(&self) -> usize {
         FluidNetwork::in_flight(self)
+    }
+
+    fn drain_scope_windows(&mut self, out: &mut Vec<ScopeWindow>) {
+        FluidNetwork::drain_scope_windows(self, out)
     }
 }
 

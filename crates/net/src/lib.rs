@@ -24,6 +24,7 @@ pub mod fabric;
 pub mod fluid;
 pub mod network;
 pub mod port;
+pub mod scope;
 pub mod transport;
 
 pub use contention::{ContentionLog, ContentionRecorder, OccupancySpan};
@@ -34,4 +35,5 @@ pub use network::{
     WireXrayRecord,
 };
 pub use port::{LoggedSubmit, NetPort, SubmitLog};
+pub use scope::ScopeWindow;
 pub use transport::{NetConfig, Transport};

@@ -8,6 +8,7 @@ use bs_telemetry::{MetricSet, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::contention::{ContentionLog, ContentionRecorder};
+use crate::scope::{ScopeUtil, ScopeWindow};
 use crate::transport::NetConfig;
 
 /// A recorded wire occupancy: `(tag, src, dst, start, end)`.
@@ -172,6 +173,8 @@ pub struct Network {
     down_busy: Vec<SimTime>,
     /// `Some` only while metrics recording is enabled.
     telem: Option<NetTelemetry>,
+    /// `Some` only while the scope bus records NIC-utilisation windows.
+    scope: Option<Box<ScopeUtil>>,
     /// `Some` only while link-contention recording is enabled.
     contention: Option<Box<ContentionRecorder>>,
     /// `Some` only once a fault hook has been exercised.
@@ -227,6 +230,7 @@ impl Network {
             up_busy: vec![SimTime::ZERO; num_nodes],
             down_busy: vec![SimTime::ZERO; num_nodes],
             telem: None,
+            scope: None,
             contention: None,
             faults: None,
         }
@@ -237,6 +241,31 @@ impl Network {
     pub fn enable_telemetry(&mut self, now: SimTime) {
         if self.telem.is_none() {
             self.telem = Some(NetTelemetry::new(now, self.nics.len()));
+        }
+    }
+
+    /// Starts aggregating NIC utilisation into grid-aligned tumbling
+    /// windows of `window` for the scope bus, fed from the same record
+    /// sites as the telemetry series. Recording never changes fabric
+    /// behaviour.
+    pub fn enable_scope(&mut self, now: SimTime, window: SimTime) {
+        if self.scope.is_none() {
+            self.scope = Some(Box::new(ScopeUtil::new(now, 2 * self.nics.len(), window)));
+        }
+    }
+
+    /// Integrates the scope windows up to `now` and closes the final
+    /// partial window (publish by draining afterwards).
+    pub fn finish_scope(&mut self, now: SimTime) {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.finish(now);
+        }
+    }
+
+    /// Moves closed scope windows into `out`, oldest first.
+    pub fn drain_scope_windows(&mut self, out: &mut Vec<ScopeWindow>) {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.drain_into(out);
         }
     }
 
@@ -467,6 +496,10 @@ impl Network {
                     te.up_util[src.0].record(t, 0.0);
                     te.down_util[dst.0].record(t, 0.0);
                 }
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.record(t, src.0, 0.0);
+                    sc.record(t, self.nics.len() + dst.0, 0.0);
+                }
                 if let Some(c) = self.contention.as_mut() {
                     let started_at = self.transfers[id.0 as usize].started_at;
                     c.on_wire(src.0, dst.0, tag, bytes, started_at, t);
@@ -624,6 +657,10 @@ impl Network {
             t.up_util[src.0].record(now, 1.0);
             t.down_util[dst.0].record(now, 1.0);
         }
+        if let Some(sc) = self.scope.as_mut() {
+            sc.record(now, src.0, 1.0);
+            sc.record(now, self.nics.len() + dst.0, 1.0);
+        }
     }
 
     /// True when `node` is currently flapped down.
@@ -764,6 +801,10 @@ impl Network {
                 te.active.step(now, -1.0);
                 te.up_util[src.0].record(now, 0.0);
                 te.down_util[dst.0].record(now, 0.0);
+            }
+            if let Some(sc) = self.scope.as_mut() {
+                sc.record(now, src.0, 0.0);
+                sc.record(now, self.nics.len() + dst.0, 0.0);
             }
             if let Some(c) = self.contention.as_mut() {
                 c.on_wire(src.0, dst.0, tag, bytes, started_at, now);
@@ -924,6 +965,10 @@ impl crate::port::NetPort for Network {
 
     fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
         Network::debug_stalled(self)
+    }
+
+    fn drain_scope_windows(&mut self, out: &mut Vec<ScopeWindow>) {
+        Network::drain_scope_windows(self, out)
     }
 }
 

@@ -18,6 +18,7 @@
 use bs_sim::SimTime;
 
 use crate::network::{DroppedTransfer, NetEvent, NodeId, TransferId};
+use crate::scope::ScopeWindow;
 
 /// A point-to-point fabric as seen by a driver's event loop: transfer
 /// submission, clock queries, event draining, and the link-fault hooks.
@@ -77,6 +78,11 @@ pub trait NetPort {
     fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
         let _ = f;
     }
+
+    /// Moves closed scope NIC-utilisation windows into `out`, oldest
+    /// first (observation only; no-op unless `enable_scope` was called on
+    /// a real fabric — a `SubmitLog` records no windows).
+    fn drain_scope_windows(&mut self, _out: &mut Vec<ScopeWindow>) {}
 }
 
 /// One recorded [`NetPort::submit`] call.

@@ -33,7 +33,8 @@ pub mod service;
 pub mod trace;
 
 pub use replay::{
-    replay_trace, replay_trace_recorded, ReplayOptions, ReplayReport, ReplayWave, ReplayedJob,
+    replay_trace, replay_trace_observed, replay_trace_recorded, ReplayOptions, ReplayReport,
+    ReplayWave, ReplayedJob,
 };
 pub use service::{AnswerSource, ReplayService, ServiceStats, WhatIfAnswer, WhatIfQuery};
 pub use trace::{load_trace, ModelClass, TraceFormat, TraceJob};

@@ -24,12 +24,14 @@
 //! DESIGN.md §14 discusses the trade-off.
 
 use bs_cluster::{
-    run_cluster, ClusterConfig, ClusterResult, DistSummary, JobSpec, PlacementPolicy,
+    run_cluster, run_cluster_observed, ClusterConfig, ClusterResult, DistSummary, JobSpec,
+    PlacementPolicy,
 };
 use bs_engine::EngineConfig;
 use bs_net::{FabricModel, NetConfig, Transport};
 use bs_runtime::job::MAX_JOBS;
 use bs_runtime::{Arch, SchedulerKind, WorldConfig};
+use bs_scope::{ScopeBus, ScopeEvent};
 use bs_sim::SimTime;
 use serde::Serialize;
 
@@ -197,6 +199,23 @@ pub fn replay_trace_recorded(
     record_metrics: bool,
     record_contention: bool,
 ) -> (ReplayReport, Vec<ReplayWave>) {
+    replay_trace_observed(jobs, opts, record_metrics, record_contention, None)
+}
+
+/// [`replay_trace_recorded`] with an optional scope observation bus.
+///
+/// Each wave publishes a `wave_admitted` event at its epoch, runs its
+/// cluster under the bus with the bus offset set to the epoch — so every
+/// in-wave event lands on the replay's absolute compressed-time axis —
+/// and closes with a `wave_done` carrying the wave's JCT summary. The
+/// bus is finished (rollups flushed) at the replay's makespan.
+pub fn replay_trace_observed(
+    jobs: &[TraceJob],
+    opts: &ReplayOptions,
+    record_metrics: bool,
+    record_contention: bool,
+    mut scope: Option<&mut ScopeBus>,
+) -> (ReplayReport, Vec<ReplayWave>) {
     assert!(!jobs.is_empty(), "cannot replay an empty trace");
     let wave_size = opts.wave.clamp(1, MAX_JOBS);
 
@@ -246,7 +265,29 @@ pub fn replay_trace_recorded(
                 )
             })
             .collect();
-        let r = run_cluster(&cluster, &specs);
+        let r = match scope.as_deref_mut() {
+            Some(bus) => {
+                // Every event the wave publishes shifts onto the replay's
+                // absolute compressed-time axis.
+                bus.set_offset(SimTime::from_secs_f64(epoch));
+                bus.publish(ScopeEvent::WaveAdmitted {
+                    wave: waves,
+                    at: SimTime::ZERO,
+                    jobs: batch.len(),
+                });
+                let r = run_cluster_observed(&cluster, &specs, Some(bus));
+                let jcts: Vec<f64> = r.jobs.iter().map(|o| o.jct.as_secs_f64()).collect();
+                bus.publish(ScopeEvent::WaveDone {
+                    wave: waves,
+                    at: r.makespan,
+                    jobs: r.jobs.len(),
+                    jct_mean_secs: jcts.iter().sum::<f64>() / jcts.len() as f64,
+                    jct_max_secs: jcts.iter().cloned().fold(0.0, f64::max),
+                });
+                r
+            }
+            None => run_cluster(&cluster, &specs),
+        };
         fabric_events += r.fabric_events;
         for (&i, outcome) in batch.iter().zip(&r.jobs) {
             let arrival = jobs[i].submit_secs * opts.arrival_scale;
@@ -275,6 +316,10 @@ pub fn replay_trace_recorded(
             });
         }
         waves += 1;
+    }
+    if let Some(bus) = scope {
+        bus.set_offset(SimTime::ZERO);
+        bus.finish(SimTime::from_secs_f64(clock));
     }
 
     let report = ReplayReport {

@@ -27,7 +27,8 @@
 
 use bs_cluster::PlacementPolicy;
 use bs_runtime::SchedulerKind;
-use bs_sim::WorkerPool;
+use bs_scope::{ScopeBus, ScopeEvent};
+use bs_sim::{SimTime, WorkerPool};
 use serde::Serialize;
 
 use crate::replay::{replay_trace, ReplayOptions, ReplayReport};
@@ -121,6 +122,8 @@ pub struct ReplayService {
     cache: Vec<(String, ReplayReport)>,
     capacity: usize,
     stats: ServiceStats,
+    /// Observed batches answered so far (numbers `whatif_batch` events).
+    batches: u64,
 }
 
 impl ReplayService {
@@ -134,6 +137,7 @@ impl ReplayService {
             cache: Vec::new(),
             capacity: cache_capacity.max(1),
             stats: ServiceStats::default(),
+            batches: 0,
         }
     }
 
@@ -238,6 +242,32 @@ impl ReplayService {
                 }
             })
             .collect()
+    }
+
+    /// [`Self::submit_batch`] with an optional scope bus: each batch
+    /// publishes one `whatif_batch` event summarising how its answers
+    /// were produced (computed / cache hit / in-batch dedup). The
+    /// service has no simulated clock, so batch events carry `t = 0`
+    /// and are ordered by their batch number.
+    pub fn submit_batch_observed(
+        &mut self,
+        queries: &[WhatIfQuery],
+        scope: Option<&mut ScopeBus>,
+    ) -> Vec<WhatIfAnswer> {
+        let before = self.stats;
+        let answers = self.submit_batch(queries);
+        self.batches += 1;
+        if let Some(bus) = scope {
+            bus.publish(ScopeEvent::WhatIfBatch {
+                batch: self.batches,
+                at: SimTime::ZERO,
+                queries: queries.len(),
+                computed: (self.stats.executed - before.executed) as usize,
+                cache_hits: (self.stats.cache_hits - before.cache_hits) as usize,
+                batch_dedup: (self.stats.batch_dedup - before.batch_dedup) as usize,
+            });
+        }
+        answers
     }
 }
 

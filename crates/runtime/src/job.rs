@@ -19,6 +19,7 @@ use bs_core::{
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
 use bs_faults::{FaultInjector, FaultPlan, LinkChange, LinkDir};
 use bs_net::{DroppedTransfer, NetEvent, NetPort, NodeId, WireSpan, WireXrayRecord};
+use bs_scope::{ScopeBus, ScopeEvent};
 use bs_sim::{SimRng, SimTime, Trace};
 use bs_telemetry::MetricSet;
 use bs_xray::{
@@ -199,6 +200,8 @@ pub struct JobState {
     xray: Option<JobXray>,
     /// Fault injection and loss recovery (`None` without a fault plan).
     faults: Option<Box<JobFaults>>,
+    /// Scope observation state (`None` unless the run is observed).
+    scope: Option<Box<JobScope>>,
 }
 
 /// A lost partition waiting out its retransmit backoff.
@@ -246,6 +249,26 @@ impl JobFaults {
             failed: None,
         }
     }
+}
+
+/// Per-job scope observation state: lifecycle events buffered in the
+/// order the job emitted them, waiting for the owning driver to publish
+/// them onto the run's [`ScopeBus`]. The split between buffering here
+/// and publishing there is what lets the parallel cluster driver replay
+/// a free-run epoch's events in exact sequential order.
+struct JobScope {
+    /// Bus-visible job id.
+    job: usize,
+    /// Job start (arrival) instant; anchors the first iteration's wall.
+    start: SimTime,
+    /// Buffered events, oldest first.
+    pending: Vec<ScopeEvent>,
+    /// How many of `pending` the driver has already published.
+    published: usize,
+    /// Worker 0's cumulative GPU-busy seconds at the last mark.
+    busy_so_far: f64,
+    /// Fault-recovery retries counted through the last mark.
+    retries_seen: u64,
 }
 
 /// Per-job causal-tracing state: one [`PartRecord`] per submitted
@@ -573,7 +596,52 @@ impl JobState {
             sched_scratch: Vec::new(),
             xray,
             faults,
+            scope: None,
         }
+    }
+
+    /// Switches on scope observation for this job. Worker 0's GPU-busy
+    /// telemetry backs the wall/busy/stall split; enabling it here is
+    /// invisible to the run's outputs because `into_result` only reads
+    /// engine telemetry when metrics recording was requested.
+    pub fn enable_scope(&mut self, job: usize, arrival: SimTime) {
+        self.engines[0].enable_telemetry(arrival);
+        self.scope = Some(Box::new(JobScope {
+            job,
+            start: arrival,
+            pending: Vec::new(),
+            published: 0,
+            busy_so_far: 0.0,
+            retries_seen: 0,
+        }));
+    }
+
+    /// Number of scope events buffered so far (0 when observation is
+    /// off). The parallel cluster driver snapshots this between steps to
+    /// replay free-run events in order.
+    pub fn scope_len(&self) -> usize {
+        self.scope.as_ref().map_or(0, |s| s.pending.len())
+    }
+
+    /// Publishes buffered scope events up to index `to` onto `bus`,
+    /// recycling the buffer once fully drained.
+    pub fn publish_scope_upto(&mut self, bus: &mut ScopeBus, to: usize) {
+        let Some(sc) = self.scope.as_mut() else {
+            return;
+        };
+        while sc.published < to {
+            bus.publish(sc.pending[sc.published]);
+            sc.published += 1;
+        }
+        if sc.published == sc.pending.len() {
+            sc.pending.clear();
+            sc.published = 0;
+        }
+    }
+
+    /// Publishes every buffered scope event onto `bus`.
+    pub fn publish_scope(&mut self, bus: &mut ScopeBus) {
+        self.publish_scope_upto(bus, self.scope_len());
     }
 
     /// Submits the co-tenant's initial bursts: one per worker NIC in each
@@ -715,6 +783,15 @@ impl JobState {
                 _ => return,
             };
             let Some(change) = change else { break };
+            if let Some(sc) = self.scope.as_mut() {
+                sc.pending.push(ScopeEvent::FaultFired {
+                    job: sc.job,
+                    at: t,
+                    kind: change.kind(),
+                    node: change.node(),
+                    scale: change.capacity_fraction(),
+                });
+            }
             match change {
                 LinkChange::Scale { node, dir, scale } => {
                     let up = matches!(dir, LinkDir::Up);
@@ -834,6 +911,20 @@ impl JobState {
         f.next_seq += 1;
         f.timers.insert((now + policy.backoff(attempt), seq));
         f.pending.insert(seq, LostPart { token, bytes });
+        if let Some(sc) = self.scope.as_mut() {
+            let tok = Token::unpack(token);
+            sc.pending.push(ScopeEvent::Retransmit {
+                job: sc.job,
+                at: now,
+                worker: tok.worker,
+                tensor: tok.tensor,
+                part: tok.part,
+                iter: tok.iter,
+                bytes,
+                attempt,
+                rerouted: flap,
+            });
+        }
     }
 
     /// A backoff timer fired: re-drive the lost partition through its
@@ -866,7 +957,37 @@ impl JobState {
         match event {
             EngineEvent::ComputeIterDone { iter: _, at } => {
                 if w == 0 {
+                    // Worker 0's cumulative busy time, read before the
+                    // scope borrow below (engine access needs `&self`).
+                    let busy_total = if self.scope.is_some() {
+                        self.engines[0].gpu_busy_secs_until(at).unwrap_or(0.0)
+                    } else {
+                        0.0
+                    };
+                    let retries_now = self.faults.as_ref().map_or(0, |f| f.retries);
                     self.marks.push(at);
+                    if let Some(sc) = self.scope.as_mut() {
+                        let iter = (self.marks.len() - 1) as u64;
+                        let prev = if self.marks.len() >= 2 {
+                            self.marks[self.marks.len() - 2]
+                        } else {
+                            sc.start
+                        };
+                        let wall_secs = at.saturating_sub(prev).as_secs_f64();
+                        let busy_secs = (busy_total - sc.busy_so_far).max(0.0);
+                        sc.busy_so_far = busy_total;
+                        let retries = retries_now - sc.retries_seen;
+                        sc.retries_seen = retries_now;
+                        sc.pending.push(ScopeEvent::IterDone {
+                            job: sc.job,
+                            at,
+                            iter,
+                            wall_secs,
+                            busy_secs,
+                            stall_secs: (wall_secs - busy_secs).max(0.0),
+                            retries,
+                        });
+                    }
                 }
             }
             EngineEvent::AllDone { .. } => {}

@@ -25,4 +25,4 @@ pub mod world;
 pub use config::{Arch, BackgroundLoad, SchedulerKind, WorldConfig};
 pub use job::{JobEvent, JobNetStats, JobState, NodeMap};
 pub use result::{RunOutcome, RunResult};
-pub use world::run;
+pub use world::{net_window_event, run, run_observed};

@@ -7,7 +7,8 @@
 //! `bs-cluster` multiplex many [`JobState`]s over one shared fabric with
 //! the same loop structure.
 
-use bs_net::{Fabric, NetPort};
+use bs_net::{Fabric, NetPort, ScopeWindow};
+use bs_scope::{ScopeBus, ScopeEvent};
 use bs_sim::{SimTime, Trace};
 
 use crate::config::{Arch, WorldConfig};
@@ -25,17 +26,61 @@ struct World {
 /// Panics with a diagnostic if the configuration deadlocks — a scheduling
 /// policy that loses work or a dependency cycle is a bug, not a data point.
 pub fn run(cfg: &WorldConfig) -> RunResult {
+    run_observed(cfg, None)
+}
+
+/// [`run`] with an optional scope observation bus attached.
+///
+/// When `scope` is `Some`, the job and fabric publish lifecycle events
+/// (iteration boundaries, retransmits, fault firings, NIC-utilisation
+/// windows) onto the bus as they happen. Observation is recording-only:
+/// it never feeds back into simulation decisions, so the run's results,
+/// traces and metrics are byte-identical with or without a bus — the
+/// `scope_recording_does_not_change_results` test pins this.
+pub fn run_observed(cfg: &WorldConfig, scope: Option<&mut ScopeBus>) -> RunResult {
     let mut world = World::build(cfg);
-    world.run_loop();
+    if let Some(bus) = scope {
+        world.job.enable_scope(0, SimTime::ZERO);
+        world.fabric.enable_scope(SimTime::ZERO, bus.window());
+        world.run_loop(Some(bus));
+        // Close the stream: flush the fabric's partial window, any
+        // straggling job events, then the bus's own open rollups.
+        world.fabric.finish_scope(world.now);
+        let mut wins = Vec::new();
+        world.fabric.drain_scope_windows(&mut wins);
+        for w in &wins {
+            bus.publish(net_window_event(w));
+        }
+        world.job.publish_scope(bus);
+        bus.finish(world.now);
+    } else {
+        world.run_loop(None);
+    }
     world.into_result(cfg)
+}
+
+/// Maps a fabric NIC-utilisation window onto its bus event.
+pub fn net_window_event(w: &ScopeWindow) -> ScopeEvent {
+    ScopeEvent::NetWindow {
+        start: w.start,
+        at: w.end,
+        util_secs: w.util_secs,
+        mean_util: w.mean_util,
+    }
 }
 
 /// The single-job event loop, generic over the fabric so each fabric gets
 /// its own fully inlined instantiation.
-fn drive_job<P: NetPort>(job: &mut JobState, fabric: &mut P, now: &mut SimTime) {
+fn drive_job<P: NetPort>(
+    job: &mut JobState,
+    fabric: &mut P,
+    now: &mut SimTime,
+    mut scope: Option<&mut ScopeBus>,
+) {
     job.seed_background(*now, fabric);
     let mut queue: Vec<JobEvent> = Vec::new();
     let mut net_events: Vec<bs_net::NetEvent> = Vec::new();
+    let mut scope_windows: Vec<ScopeWindow> = Vec::new();
     let mut spins_at_same_instant: u64 = 0;
     let mut last_now = SimTime::ZERO;
     let debug_loop = std::env::var("BS_DEBUG_LOOP").is_ok();
@@ -60,6 +105,9 @@ fn drive_job<P: NetPort>(job: &mut JobState, fabric: &mut P, now: &mut SimTime) 
         while let Some(ev) = queue.pop() {
             job.handle(ev, *now, fabric, &mut queue);
         }
+        if let Some(bus) = scope.as_deref_mut() {
+            job.publish_scope(bus);
+        }
         if job.done() {
             return;
         }
@@ -82,6 +130,13 @@ fn drive_job<P: NetPort>(job: &mut JobState, fabric: &mut P, now: &mut SimTime) 
             fabric.advance_into(t, &mut net_events);
             for c in net_events.drain(..) {
                 queue.push(JobEvent::Net(c));
+            }
+        }
+        if let Some(bus) = scope.as_deref_mut() {
+            job.publish_scope(bus);
+            fabric.drain_scope_windows(&mut scope_windows);
+            for w in scope_windows.drain(..) {
+                bus.publish(net_window_event(&w));
             }
         }
     }
@@ -138,14 +193,14 @@ impl World {
         }
     }
 
-    fn run_loop(&mut self) {
+    fn run_loop(&mut self, scope: Option<&mut ScopeBus>) {
         // Monomorphise the hot loop over the concrete fabric: every
         // per-event submit/advance call inlines instead of dispatching
         // through the enum millions of times per run.
         let mut now = self.now;
         match &mut self.fabric {
-            Fabric::Fifo(n) => drive_job(&mut self.job, n, &mut now),
-            Fabric::Fluid(n) => drive_job(&mut self.job, n, &mut now),
+            Fabric::Fifo(n) => drive_job(&mut self.job, n, &mut now, scope),
+            Fabric::Fluid(n) => drive_job(&mut self.job, n, &mut now, scope),
         }
         self.now = now;
     }
@@ -631,6 +686,66 @@ mod tests {
         assert_eq!(off.speed, on.speed);
         assert_eq!(off.finished_at, on.finished_at);
         assert_eq!(off.p2p_bytes, on.p2p_bytes);
+    }
+
+    /// Attaching a scope bus is pure observation: results are
+    /// byte-identical with and without it, on both fabrics, even under a
+    /// fault plan exercising every emission site (iteration marks,
+    /// retransmits, fault firings, NIC windows).
+    #[test]
+    fn scope_recording_does_not_change_results() {
+        use bs_faults::{FaultPlan, RecoveryPolicy};
+        use bs_scope::{Collector, ScopeBus};
+        for fabric in [
+            bs_net::FabricModel::SerialFifo,
+            bs_net::FabricModel::FairShare,
+        ] {
+            let mut c = cfg(
+                comm_heavy(),
+                2,
+                Arch::ps(2),
+                EngineConfig::mxnet_ps(),
+                bs(2_000_000, 8_000_000),
+            );
+            c.fabric = fabric;
+            c.jitter = 0.02;
+            c.record_trace = true;
+            c.faults = Some(FaultPlan {
+                loss_rate: 0.02,
+                recovery: RecoveryPolicy {
+                    timeout_us: 1_000,
+                    max_retries: 16,
+                },
+                ..FaultPlan::empty()
+            });
+            let off = run(&c);
+            let mut bus = ScopeBus::new();
+            let (collector, log) = Collector::new();
+            bus.subscribe(Box::new(collector));
+            let on = run_observed(&c, Some(&mut bus));
+            assert_eq!(off.speed, on.speed, "{fabric:?}");
+            assert_eq!(off.finished_at, on.finished_at, "{fabric:?}");
+            assert_eq!(off.p2p_bytes, on.p2p_bytes, "{fabric:?}");
+            assert_eq!(off.iter_times, on.iter_times, "{fabric:?}");
+            assert_eq!(off.outcome, on.outcome, "{fabric:?}");
+            let (off_t, on_t) = (off.trace.unwrap(), on.trace.unwrap());
+            assert_eq!(
+                off_t.to_chrome_json(),
+                on_t.to_chrome_json(),
+                "{fabric:?}: traces must be byte-identical"
+            );
+            let kinds: std::collections::HashSet<&'static str> =
+                log.events().iter().map(|e| e.kind()).collect();
+            for k in [
+                "iter_done",
+                "iter_ema",
+                "stall_window",
+                "retransmit",
+                "net_window",
+            ] {
+                assert!(kinds.contains(k), "{fabric:?}: missing {k} events");
+            }
+        }
     }
 
     #[test]

@@ -487,6 +487,69 @@ mod tests {
         SimTime::from_micros(n)
     }
 
+    /// The recording discipline (drop equal-value pushes, overwrite
+    /// same-instant pushes, collapse back-to-previous overwrites) makes
+    /// redundant pushes exact no-ops: a noisy stream stores the same
+    /// samples as its minimal form, so every derived summary — and
+    /// every golden metrics file downstream — is byte-identical. This
+    /// pins the coalescing rules against regression.
+    #[test]
+    fn coalesced_series_summaries_match_the_raw_stream_exactly() {
+        // A push stream with every coalescable shape: equal-value
+        // repeats, a same-instant overwrite chain, and an overwrite
+        // that restores the previous value.
+        let noisy_pushes: &[(u64, f64)] = &[
+            (0, 1.0),
+            (10, 1.0), // equal value: dropped
+            (20, 0.0),
+            (20, 0.5), // same instant: overwritten
+            (20, 0.0), // same instant again: the 0.5 never existed
+            (30, 0.0), // equal value: dropped
+            (40, 2.0),
+            (50, 2.0), // equal value: dropped
+            (60, 1.0),
+        ];
+        let clean_pushes: &[(u64, f64)] = &[(0, 1.0), (20, 0.0), (40, 2.0), (60, 1.0)];
+        let (mut noisy, mut clean) = (TimeSeries::new(), TimeSeries::new());
+        for &(t, v) in noisy_pushes {
+            noisy.record(us(t), v);
+        }
+        for &(t, v) in clean_pushes {
+            clean.record(us(t), v);
+        }
+        assert_eq!(noisy, clean, "redundant pushes must be exact no-ops");
+        assert_eq!(noisy.len(), 4, "1.0 | 0.0 | 2.0 | 1.0");
+        assert!(noisy.len() < noisy_pushes.len(), "coalescing compresses");
+        let until = us(100);
+        assert_eq!(
+            format!("{:?}", noisy.summary(until)),
+            format!("{:?}", clean.summary(until)),
+            "summaries (Debug floats round-trip) must be byte-identical"
+        );
+        // And the step function itself is the intended one: ∫ =
+        // 1.0·20µs + 0.0·20µs + 2.0·20µs + 1.0·40µs = 100 µs·s/s.
+        assert!((noisy.integral_secs(until) - 100e-6).abs() < 1e-15);
+        assert_eq!(noisy.last_value(), 1.0);
+
+        // SetSeries: identical discipline, including the collapse of an
+        // overwrite that restores the previous mask.
+        let (mut noisy_set, mut clean_set) = (SetSeries::new(), SetSeries::new());
+        for &(t, m) in &[
+            (0u64, 0b01u64),
+            (10, 0b01),
+            (20, 0b11),
+            (20, 0b01),
+            (30, 0b10),
+        ] {
+            noisy_set.record(us(t), m);
+        }
+        for &(t, m) in &[(0u64, 0b01u64), (30, 0b10)] {
+            clean_set.record(us(t), m);
+        }
+        assert_eq!(noisy_set, clean_set);
+        assert_eq!(noisy_set.samples(), &[(us(0), 0b01), (us(30), 0b10)]);
+    }
+
     #[test]
     fn counter_and_gauge_basics() {
         let mut c = Counter::new();

@@ -18,10 +18,12 @@ pub mod bo;
 pub mod drift;
 pub mod gp;
 pub mod linalg;
+pub mod live;
 pub mod space;
 pub mod tuners;
 
 pub use bo::BayesOpt;
 pub use drift::DriftDetector;
+pub use live::LiveDrift;
 pub use space::SearchSpace;
 pub use tuners::{GridSearch, RandomSearch, SgdMomentum, Tuner};

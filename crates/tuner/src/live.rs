@@ -1,0 +1,168 @@
+//! [`DriftDetector`] as a live scope-bus subscriber.
+//!
+//! The offline re-tune trigger (§3.5 of the paper) scans a finished
+//! run's iteration times after the fact. [`LiveDrift`] attaches the
+//! same detector to a [`bs_scope::ScopeBus`] instead, observing each
+//! `iter_done` event's implied throughput as the run publishes it —
+//! which puts a `drift` event on the bus *at the simulated instant the
+//! shift became visible*, mid-run, rather than in a post-mortem.
+//!
+//! Equivalence with the offline scan is exact, not approximate: the
+//! harness's `drift_scan` feeds the detector `1 / Δt` for consecutive
+//! post-warmup iteration marks, and an `iter_done` event's `wall_secs`
+//! is the identical f64 difference of the same two marks. Feeding
+//! `1 / wall_secs` for events with `iter > warmup` therefore produces
+//! the bit-identical observation stream, so the live detector fires on
+//! the same iteration — and stamps it with that mark's simulated time.
+//! The `live_drift_matches_offline_scan` experiment pins this.
+
+use std::collections::HashMap;
+
+use bs_scope::{ScopeEvent, ScopeSubscriber};
+use bs_sim::SimTime;
+
+use crate::drift::DriftDetector;
+
+/// A per-job [`DriftDetector`] bank subscribed to a scope bus: every
+/// post-warmup `iter_done` feeds its job's detector, and a firing
+/// publishes a derived `drift` event at the iteration's own timestamp.
+pub struct LiveDrift {
+    /// Iterations to skip per job before observing (the harness's
+    /// warmup convention: the first observed interval is
+    /// `marks[warmup+1] − marks[warmup]`, i.e. events with
+    /// `iter > warmup`).
+    warmup: u64,
+    /// One paper-default detector per job id. Never iterated, so map
+    /// order cannot leak into the event stream.
+    detectors: HashMap<usize, DriftDetector>,
+}
+
+impl LiveDrift {
+    /// A subscriber skipping `warmup` iterations per job, with the
+    /// paper-default detector (20 % threshold, EMA α = 0.3).
+    pub fn new(warmup: u64) -> LiveDrift {
+        LiveDrift {
+            warmup,
+            detectors: HashMap::new(),
+        }
+    }
+}
+
+impl ScopeSubscriber for LiveDrift {
+    fn on_event(&mut self, ev: &ScopeEvent, out: &mut Vec<ScopeEvent>) {
+        let ScopeEvent::IterDone {
+            job,
+            at,
+            iter,
+            wall_secs,
+            ..
+        } = *ev
+        else {
+            return;
+        };
+        // `iter == warmup` ends the warmup interval itself; observation
+        // starts with the next boundary, matching the offline scan.
+        if iter <= self.warmup || wall_secs <= 0.0 {
+            return;
+        }
+        let det = self
+            .detectors
+            .entry(job)
+            .or_insert_with(DriftDetector::paper_default);
+        let baseline = det.baseline().unwrap_or(0.0);
+        let observed = 1.0 / wall_secs;
+        if det.observe(observed) {
+            out.push(ScopeEvent::Drift {
+                job,
+                at,
+                iter,
+                baseline,
+                observed,
+            });
+        }
+    }
+
+    fn on_finish(&mut self, _now: SimTime, _out: &mut Vec<ScopeEvent>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_scope::{Collector, ScopeBus};
+
+    fn iter_done(job: usize, iter: u64, at_ms: u64, wall_secs: f64) -> ScopeEvent {
+        ScopeEvent::IterDone {
+            job,
+            at: SimTime::from_millis(at_ms),
+            iter,
+            wall_secs,
+            busy_secs: wall_secs,
+            stall_secs: 0.0,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn live_bank_fires_where_the_offline_detector_does() {
+        // Offline: the scan the harness runs over recorded iter times.
+        let times = [0.1, 0.1, 0.1, 0.4, 0.4, 0.4];
+        let mut offline = DriftDetector::paper_default();
+        let mut first = None;
+        for (i, dt) in times.iter().enumerate() {
+            if offline.observe(1.0 / dt) && first.is_none() {
+                first = Some(i);
+            }
+        }
+        let first = first.expect("a 4x slowdown must fire");
+
+        // Live: the same intervals as post-warmup iter_done events
+        // (warmup = 1, so iter k+2 carries interval k).
+        let mut bus = ScopeBus::new();
+        bus.subscribe(Box::new(LiveDrift::new(1)));
+        let (coll, log) = Collector::new();
+        bus.subscribe(Box::new(coll));
+        let mut clock = 0u64;
+        for (k, dt) in times.iter().enumerate() {
+            clock += (dt * 1000.0) as u64;
+            bus.publish(iter_done(0, 2 + k as u64, clock, *dt));
+        }
+        let drifts: Vec<ScopeEvent> = log
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, ScopeEvent::Drift { .. }))
+            .collect();
+        assert_eq!(drifts.len(), offline.drifts() as usize);
+        let ScopeEvent::Drift { iter, observed, .. } = drifts[0] else {
+            unreachable!()
+        };
+        assert_eq!(iter, 2 + first as u64, "same iteration as the scan");
+        assert_eq!(observed, 1.0 / times[first]);
+    }
+
+    #[test]
+    fn jobs_keep_independent_baselines_and_warmup_is_skipped() {
+        let mut bus = ScopeBus::new();
+        bus.subscribe(Box::new(LiveDrift::new(1)));
+        let (coll, log) = Collector::new();
+        bus.subscribe(Box::new(coll));
+        // Job 0 is steady; job 1 shifts 4x. Warmup events (iter <= 1)
+        // must not seed either baseline.
+        for k in 0..2u64 {
+            bus.publish(iter_done(0, k, 100 * (k + 1), 5.0)); // wild warmup walls
+        }
+        for k in 2..8u64 {
+            bus.publish(iter_done(0, k, 1000 + 100 * k, 0.1));
+            let dt = if k < 5 { 0.1 } else { 0.4 };
+            bus.publish(iter_done(1, k, 1000 + 100 * k, dt));
+        }
+        let fired: Vec<usize> = log
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                ScopeEvent::Drift { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fired, vec![1], "only the shifted job drifts");
+    }
+}

@@ -33,6 +33,9 @@
 //! * [`cluster`] — multi-job cluster simulation: N concurrent training
 //!   jobs contending on one shared fabric, placement policies, and
 //!   cluster-level metrics (JCT, makespan, Jain's fairness).
+//! * [`scope`] — in-run observation bus: live structured lifecycle
+//!   events on the simulation clock, windowed rollups, the flight
+//!   recorder behind `events.jsonl` and the `--watch` live table.
 //! * [`xray`] — causal event tracing and critical-path attribution:
 //!   per-partition lifecycle records analyzed into per-iteration
 //!   {compute, wire, credit-wait, queue-wait, aggregation, barrier}
@@ -50,6 +53,7 @@ pub use bs_harness as harness;
 pub use bs_models as models;
 pub use bs_net as net;
 pub use bs_runtime as runtime;
+pub use bs_scope as scope;
 pub use bs_sim as sim;
 pub use bs_telemetry as telemetry;
 pub use bs_tune as tune;
