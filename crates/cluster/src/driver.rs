@@ -43,18 +43,27 @@
 //! instants is state-identical to the sequential loop advancing it at
 //! every global instant.
 
-use bs_net::{Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, ScopeWindow, SubmitLog};
-use bs_scope::ScopeBus;
+use bs_faults::{
+    ClusterChange, ClusterFaultEntry, ClusterFaultInjector, FaultPlan, LinkChange, LinkDir,
+};
+use bs_net::{
+    DroppedTransfer, Fabric, LoggedSubmit, NetEvent, NetPort, NodeId, ScopeWindow, SubmitLog,
+};
+use bs_scope::{ScopeBus, ScopeEvent};
+use bs_tune::RestartCost;
 
 use crate::contention::ContentionMatrix;
 use bs_runtime::job::{inner_tag, job_of_tag, wire_span_into_trace, MAX_JOBS};
 use bs_runtime::traffic::{BurstSource, BG_TAG};
-use bs_runtime::{net_window_event, JobEvent, JobNetStats, JobState, NodeMap, WorldConfig};
+use bs_runtime::{
+    net_window_event, JobEvent, JobNetStats, JobState, NodeMap, RunOutcome, WorldConfig,
+};
 use bs_sim::{SimTime, Trace, WorkerPool};
 use bs_telemetry::MetricSet;
 
-use crate::metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil};
-use crate::spec::{ClusterConfig, JobSpec};
+use crate::metrics::{jain_index, ClusterResult, JobOutcome, LinkUtil, MigrationRecord, NodeMove};
+use crate::placement::PlacementPolicy;
+use crate::spec::{ClusterConfig, FaultReaction, JobSpec};
 
 /// One tenant's live state.
 #[allow(clippy::large_enum_variant)]
@@ -252,7 +261,12 @@ const FREE_RUN_STEP_CAP: usize = 1 << 20;
 /// candidate job has nothing pending on the fabric, the sequential loop
 /// would feed it no events and advance it as a no-op at every foreign
 /// instant — so this produces the identical state trajectory.
-fn free_run(job: &mut ClusterJob) -> JobLog {
+///
+/// `barrier` is the next cluster-scope fault instant: a free-run must
+/// never advance into (or past) it, because a machine failure inspects
+/// and mutates job state on the driver thread — every replay must be
+/// fully consumed strictly before the change fires.
+fn free_run(job: &mut ClusterJob, barrier: SimTime) -> JobLog {
     // A finished training job only carries background bursts; its
     // `done()` is permanently true and must not end the run early.
     let check_done = matches!(job, ClusterJob::Train { finished: None, .. });
@@ -261,7 +275,7 @@ fn free_run(job: &mut ClusterJob) -> JobLog {
     let mut queue: Vec<JobEvent> = Vec::new();
     loop {
         let t = job.next_event_time();
-        if t.is_never() {
+        if t.is_never() || t >= barrier {
             break;
         }
         let adv_start = log.len();
@@ -293,7 +307,12 @@ fn free_run(job: &mut ClusterJob) -> JobLog {
 /// Finds jobs with no stake in the shared fabric and free-runs them on
 /// the pool. Must be called with the cascade queue empty and every prior
 /// replay fully consumed.
-fn plan_free_runs<P: NetPort>(jobs: &mut [ClusterJob], fabric: &P, ctx: &mut ParCtx) {
+fn plan_free_runs<P: NetPort>(
+    jobs: &mut [ClusterJob],
+    fabric: &P,
+    ctx: &mut ParCtx,
+    barrier: SimTime,
+) {
     debug_assert!(ctx.replays.iter().all(|r| r.is_none()));
     // A job owning any pending transfer (queued, on-wire, or awaiting
     // delivery) may receive a fabric event at an instant it cannot
@@ -316,7 +335,8 @@ fn plan_free_runs<P: NetPort>(jobs: &mut [ClusterJob], fabric: &P, ctx: &mut Par
         .zip(logs.iter_mut())
         .map(|((_, job), (_, slot))| {
             let job: &mut ClusterJob = job;
-            let t: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = Some(free_run(job)));
+            let t: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || *slot = Some(free_run(job, barrier)));
             t
         })
         .collect();
@@ -340,6 +360,320 @@ struct Accounting {
     job_nic_bytes: Option<Vec<Vec<(u64, u64)>>>,
 }
 
+/// Cluster-scope fault state threaded through the drive loop: the sealed
+/// fault timeline, machine health, and the recovery loop's bookkeeping.
+struct FaultCtx {
+    injector: ClusterFaultInjector,
+    /// Machine health as of the driver clock, flipped by machine edges.
+    healthy: Vec<bool>,
+    reaction: FaultReaction,
+    /// §7 checkpoint-restart cost model pricing each migration.
+    restart: RestartCost,
+    /// Rebuilt job states must re-attach to the observation bus.
+    scope_on: bool,
+    migrations: Vec<MigrationRecord>,
+}
+
+impl FaultCtx {
+    /// Machine health at instant `t`: every machine edge in the static
+    /// timeline with `at <= t`, applied in timeline order over an
+    /// all-healthy start. The timeline never changes mid-run, so health
+    /// at any future instant is known at decision time — that is what
+    /// makes deferred placement deterministic.
+    fn healthy_at(&self, t: SimTime) -> Vec<bool> {
+        let mut h = vec![true; self.healthy.len()];
+        for e in self.injector.timeline() {
+            if e.at > t {
+                break;
+            }
+            match e.change {
+                ClusterChange::MachineDown { machine } => h[machine] = false,
+                ClusterChange::MachineUp { machine } => h[machine] = true,
+                ClusterChange::Link(_) => {}
+            }
+        }
+        h
+    }
+
+    /// The earliest resume instant `>= earliest` at which a health-aware
+    /// remap of `current` exists: `earliest` itself, else the pending
+    /// queue — each future machine restore in time order. `None` means no
+    /// placement will ever exist and the job must fail.
+    fn find_placement(
+        &self,
+        current: &[NodeId],
+        earliest: SimTime,
+    ) -> Option<(SimTime, Vec<NodeId>)> {
+        let restores = self
+            .injector
+            .timeline()
+            .iter()
+            .filter(|e| e.at > earliest && matches!(e.change, ClusterChange::MachineUp { .. }))
+            .map(|e| e.at);
+        for at in std::iter::once(earliest).chain(restores) {
+            if let Some(nodes) = PlacementPolicy::remap_healthy(current, &self.healthy_at(at)) {
+                return Some((at, nodes));
+            }
+        }
+        None
+    }
+}
+
+/// Routes a transfer the driver killed on a shared port into its owning
+/// tenant: a training job's recovery machinery, or a burst tenant's
+/// re-arm queue.
+fn route_drop<P: NetPort>(
+    jobs: &mut [ClusterJob],
+    d: DroppedTransfer,
+    now: SimTime,
+    fabric: &mut P,
+) {
+    match &mut jobs[job_of_tag(d.tag)] {
+        ClusterJob::Train { state, .. } => state.route_fabric_drop(d, now, fabric),
+        ClusterJob::Burst { src, .. } => src.requeue(now, d.src, d.dst, inner_tag(d.tag)),
+    }
+}
+
+/// Buffers a `FaultFired` event on the affected tenants' scope streams:
+/// on the owning job alone for a hoisted job-private change (with the
+/// job-local node index its solo run would report), or on every
+/// unfinished training job placed on the machine for a cluster-scope
+/// change.
+fn push_fault_event(
+    jobs: &mut [ClusterJob],
+    owner: Option<usize>,
+    machine: usize,
+    local_node: usize,
+    kind: &'static str,
+    scale: f64,
+    now: SimTime,
+) {
+    match owner {
+        Some(j) => {
+            if let ClusterJob::Train { state, .. } = &mut jobs[j] {
+                state.scope_push(ScopeEvent::FaultFired {
+                    job: j,
+                    at: now,
+                    kind,
+                    node: local_node,
+                    scale,
+                });
+            }
+        }
+        None => {
+            for (j, job) in jobs.iter_mut().enumerate() {
+                if let ClusterJob::Train {
+                    state,
+                    finished: None,
+                    ..
+                } = job
+                {
+                    if state.nodes().fabric_nodes().iter().any(|n| n.0 == machine) {
+                        state.scope_push(ScopeEvent::FaultFired {
+                            job: j,
+                            at: now,
+                            kind,
+                            node: machine,
+                            scale,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reactive recovery loop for one failed machine.
+///
+/// Health bookkeeping first, then the port kill: in-flight transfers of
+/// tenants that will migrate die silently with their checkpointed state,
+/// everyone else's route into loss recovery (retransmits queue against
+/// the dead NIC until it restores). Finally each affected training job —
+/// unfinished, not failed, with a node on the machine — is checkpointed
+/// and migrated in job order.
+fn on_machine_down<P: NetPort>(
+    machine: usize,
+    now: SimTime,
+    jobs: &mut [ClusterJob],
+    fabric: &mut P,
+    fc: &mut FaultCtx,
+) {
+    fc.healthy[machine] = false;
+    push_fault_event(jobs, None, machine, machine, "machine_down", 0.0, now);
+    let mut affected: Vec<usize> = Vec::new();
+    if fc.reaction == FaultReaction::CheckpointMigrate {
+        for (j, job) in jobs.iter().enumerate() {
+            if let ClusterJob::Train {
+                state,
+                finished: None,
+                ..
+            } = job
+            {
+                if state.failed().is_none()
+                    && state.nodes().fabric_nodes().iter().any(|n| n.0 == machine)
+                {
+                    affected.push(j);
+                }
+            }
+        }
+    }
+    for d in fabric.kill_port(now, NodeId(machine)) {
+        if affected.contains(&job_of_tag(d.tag)) {
+            continue;
+        }
+        route_drop(jobs, d, now, fabric);
+    }
+    for j in affected {
+        checkpoint_migrate(j, machine, now, jobs, fabric, fc);
+    }
+}
+
+/// Checkpoints job `j` at its last completed iteration barrier, prices
+/// the restart with the §7 cost model, remaps its nodes onto healthy
+/// machines (deferring to a future restore when the healthy pool is too
+/// small) and rebuilds its state to resume there — or fails the job
+/// closed when no placement will ever exist.
+fn checkpoint_migrate<P: NetPort>(
+    j: usize,
+    failed_machine: usize,
+    now: SimTime,
+    jobs: &mut [ClusterJob],
+    fabric: &mut P,
+    fc: &mut FaultCtx,
+) {
+    // The job's entire fabric footprint is torn down — queued and
+    // in-flight transfers on *every* port, not just the dead one. Ports
+    // stay up for co-tenants.
+    fabric.cancel_where(now, &mut |tag| job_of_tag(tag) == j);
+    let ClusterJob::Train { state, cfg, .. } = &mut jobs[j] else {
+        unreachable!("only training jobs migrate")
+    };
+    // The checkpoint barrier backs off so the resumed run keeps at least
+    // the two iterations the measurement contract needs.
+    let ckpt = state
+        .completed_iterations()
+        .min(cfg.iters.saturating_sub(2));
+    let lost = state
+        .debug_iterations()
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(ckpt);
+    let model_bytes: u64 = cfg.model.layers.iter().map(|l| l.param_bytes).sum();
+    let cost_secs = fc.restart.total_secs(model_bytes);
+    let earliest = now + SimTime::from_secs_f64(cost_secs);
+    let Some((resume_at, new_nodes)) = fc.find_placement(state.nodes().fabric_nodes(), earliest)
+    else {
+        state.abort(
+            format!(
+                "machine {failed_machine} failed and no healthy placement \
+                 exists for {} nodes, now or at any scheduled restore",
+                state.nodes().fabric_nodes().len()
+            ),
+            now,
+        );
+        return;
+    };
+    let old_nodes: Vec<NodeId> = state.nodes().fabric_nodes().to_vec();
+    let mut cfg2 = cfg.clone();
+    cfg2.iters = cfg.iters - ckpt;
+    cfg2.warmup = cfg.warmup.min(cfg2.iters - 2);
+    let mut next = JobState::build_at(&cfg2, NodeMap::new(j, new_nodes.clone()), resume_at);
+    if fc.scope_on {
+        next.enable_scope(j, resume_at);
+    }
+    next.scope_push(ScopeEvent::FaultFired {
+        job: j,
+        at: now,
+        kind: "machine_down",
+        node: failed_machine,
+        scale: 0.0,
+    });
+    next.scope_push(ScopeEvent::Checkpoint {
+        job: j,
+        at: now,
+        machine: failed_machine,
+        iter: ckpt,
+        cost_secs,
+    });
+    let mut moved: Vec<NodeMove> = Vec::new();
+    for (local, (old, new)) in old_nodes.iter().zip(&new_nodes).enumerate() {
+        if old != new {
+            next.scope_push(ScopeEvent::Migrate {
+                job: j,
+                at: now,
+                node: local,
+                from_machine: old.0,
+                to_machine: new.0,
+            });
+            moved.push(NodeMove {
+                node: local,
+                from: old.0,
+                to: new.0,
+            });
+        }
+    }
+    next.scope_push(ScopeEvent::Resume {
+        job: j,
+        at: resume_at,
+        iter: ckpt,
+        lost_iters: lost,
+    });
+    fc.migrations.push(MigrationRecord {
+        job: j,
+        at: now,
+        resumed_at: resume_at,
+        machine: failed_machine,
+        checkpoint_iter: ckpt,
+        lost_iters: lost,
+        moved,
+    });
+    *state = next;
+    *cfg = cfg2;
+}
+
+/// Applies one due cluster fault entry: scope events first (exactly as
+/// the solo injector orders them), then the fabric mutation, routing any
+/// killed transfers to their owners.
+fn apply_cluster_entry<P: NetPort>(
+    entry: ClusterFaultEntry,
+    now: SimTime,
+    jobs: &mut [ClusterJob],
+    fabric: &mut P,
+    fc: &mut FaultCtx,
+) {
+    match entry.change {
+        ClusterChange::Link(change) => {
+            push_fault_event(
+                jobs,
+                entry.owner,
+                change.node(),
+                entry.local_node,
+                change.kind(),
+                change.capacity_fraction(),
+                now,
+            );
+            match change {
+                LinkChange::Scale { node, dir, scale } => {
+                    fabric.set_port_scale(now, NodeId(node), matches!(dir, LinkDir::Up), scale);
+                }
+                LinkChange::FlapDown { node } => {
+                    for d in fabric.kill_port(now, NodeId(node)) {
+                        route_drop(jobs, d, now, fabric);
+                    }
+                }
+                LinkChange::FlapUp { node } => fabric.revive_port(now, NodeId(node)),
+            }
+        }
+        ClusterChange::MachineDown { machine } => on_machine_down(machine, now, jobs, fabric, fc),
+        ClusterChange::MachineUp { machine } => {
+            fc.healthy[machine] = true;
+            push_fault_event(jobs, None, machine, machine, "machine_up", 1.0, now);
+            fabric.revive_port(now, NodeId(machine));
+        }
+    }
+}
+
 /// The cluster event loop, monomorphised over the concrete fabric.
 /// Returns the makespan. With `par == None` this is exactly the
 /// sequential driver; with a [`ParCtx`] it interleaves free-run planning
@@ -350,6 +684,7 @@ fn drive<P: NetPort>(
     acct: &mut Accounting,
     mut par: Option<&mut ParCtx>,
     mut scope: Option<&mut ScopeBus>,
+    mut fault: Option<&mut FaultCtx>,
 ) -> SimTime {
     let mut now = SimTime::ZERO;
     let mut queue: Vec<(usize, QueueItem)> = Vec::new();
@@ -436,10 +771,20 @@ fn drive<P: NetPort>(
             ctx.iters_since_plan += 1;
             if ctx.iters_since_plan >= PLAN_INTERVAL && ctx.replays.iter().all(|r| r.is_none()) {
                 ctx.iters_since_plan = 0;
-                plan_free_runs(jobs, fabric, ctx);
+                // Free-runs park before the next cluster fault: the
+                // recovery loop inspects and replaces job state on the
+                // driver thread, so every replay must be consumed
+                // strictly before a change fires.
+                let barrier = fault
+                    .as_deref()
+                    .map_or(SimTime::MAX, |fc| fc.injector.next_change_time());
+                plan_free_runs(jobs, fabric, ctx, barrier);
             }
         }
         let mut t = fabric.next_event_time();
+        if let Some(fc) = fault.as_deref() {
+            t = t.min(fc.injector.next_change_time());
+        }
         for (j, job) in jobs.iter().enumerate() {
             // A replaying job's clock is its next unconsumed step.
             let jt = match par.as_deref().and_then(|c| c.replays[j].as_ref()) {
@@ -464,6 +809,20 @@ fn drive<P: NetPort>(
             panic!("cluster stalled at {now}: {}", progress.join("; "));
         }
         now = t;
+        // Cluster-scope faults fire before any tenant advances at this
+        // instant — exactly where the single-job driver applies its
+        // private injector (inside `advance`, before engines), so a
+        // single-job cluster replays its plan in the solo event order.
+        if let Some(fc) = fault.as_deref_mut() {
+            while let Some(entry) = fc.injector.pop_due(now) {
+                debug_assert!(
+                    par.as_deref()
+                        .is_none_or(|c| c.replays.iter().all(|r| r.is_none())),
+                    "cluster fault fired with an unconsumed replay"
+                );
+                apply_cluster_entry(entry, now, jobs, fabric, fc);
+            }
+        }
         // Job-owned sources in job order, then the shared fabric — the
         // single-job driver's within-instant order, per job. A replaying
         // job consumes at most one step: its advance-phase submissions go
@@ -573,6 +932,38 @@ pub fn run_cluster_observed(
         "at most {MAX_JOBS} jobs per fabric (tag namespace)"
     );
     let placements = cluster.placement.place(cluster.machines, specs);
+    // The cluster-scope fault timeline: the cluster plan's link changes
+    // and machine failures, plus every tenant's hoisted job-private link
+    // events — each applied to the shared fabric exactly once.
+    let mut injector = ClusterFaultInjector::new();
+    if let Some(plan) = &cluster.faults {
+        plan.validate().expect("invalid cluster fault plan");
+        for e in &plan.link_events {
+            assert!(
+                e.node < cluster.machines,
+                "cluster fault plan rescales machine {} but the cluster has {}",
+                e.node,
+                cluster.machines
+            );
+        }
+        for f in &plan.flaps {
+            assert!(
+                f.node < cluster.machines,
+                "cluster fault plan flaps machine {} but the cluster has {}",
+                f.node,
+                cluster.machines
+            );
+        }
+        for mf in &plan.machine_failures {
+            assert!(
+                mf.machine < cluster.machines,
+                "cluster fault plan fails machine {} but the cluster has {}",
+                mf.machine,
+                cluster.machines
+            );
+        }
+        injector.add_plan(plan);
+    }
     let mut fabric = Fabric::new(cluster.fabric, cluster.machines.max(2), cluster.net);
     if cluster.record_trace {
         fabric.enable_trace();
@@ -594,20 +985,60 @@ pub fn run_cluster_observed(
         .zip(&placements)
         .enumerate()
         .map(|(j, (spec, nodes))| match spec {
-            JobSpec::Train { arrival, cfg, .. } => {
-                assert!(
-                    cfg.faults
-                        .as_ref()
-                        .is_none_or(|p| p.link_events.is_empty() && p.flaps.is_empty()),
-                    "link-level fault events are single-job: cluster tenants \
-                     share fabric ports, so one job's link kills or rescales \
-                     would hit its neighbours. Loss and straggler plans are \
-                     job-private and allowed."
-                );
+            JobSpec::Train { arrival, cfg, name } => {
                 let mut cfg = cfg.clone();
                 cfg.record_trace = cluster.record_trace;
                 cfg.record_metrics = cluster.record_metrics;
                 cfg.record_xray = cluster.record_xray;
+                if let Some(p) = cfg.faults.as_mut() {
+                    // A tenant's link events touch shared ports, so they
+                    // are hoisted into the cluster timeline (translated to
+                    // machine indices) and applied by the driver exactly
+                    // once; the job's private injector keeps only its
+                    // loss/straggler streams and recovery policy.
+                    if !(p.link_events.is_empty() && p.flaps.is_empty()) {
+                        assert!(
+                            !nodes.is_empty(),
+                            "job '{name}' plans link faults but occupies no \
+                             fabric nodes (all-reduce collectives are private)"
+                        );
+                        for e in &p.link_events {
+                            assert!(
+                                e.node < nodes.len(),
+                                "job '{name}' rescales local node {} but has {}",
+                                e.node,
+                                nodes.len()
+                            );
+                        }
+                        for f in &p.flaps {
+                            assert!(
+                                f.node < nodes.len(),
+                                "job '{name}' flaps local node {} but has {}",
+                                f.node,
+                                nodes.len()
+                            );
+                        }
+                        injector.add_job_links(j, p, &|local| nodes[local].0);
+                        p.link_events.clear();
+                        p.flaps.clear();
+                    }
+                } else if let Some(cp) = &cluster.faults {
+                    // The cluster plan's loss/straggler streams project
+                    // onto every tenant without a private plan, each
+                    // drawing from its own split-seed RNG stream (see
+                    // `bs_faults::job_seed`).
+                    cfg.faults = Some(FaultPlan {
+                        loss_rate: cp.loss_rate,
+                        stragglers: cp
+                            .stragglers
+                            .iter()
+                            .filter(|s| s.worker < cfg.num_workers)
+                            .copied()
+                            .collect(),
+                        recovery: cp.recovery,
+                        ..FaultPlan::empty()
+                    });
+                }
                 let state = JobState::build_at(&cfg, NodeMap::new(j, nodes.clone()), *arrival);
                 ClusterJob::Train {
                     state,
@@ -672,11 +1103,38 @@ pub fn run_cluster_observed(
         // fabric yet, so every tenant is a candidate.
         iters_since_plan: PLAN_INTERVAL,
     });
+    injector.seal();
+    // No fault context at all when nothing can ever fire — the fault-free
+    // path stays instruction-identical to the pre-fault driver.
+    let scope_on = scope.is_some();
+    let mut fault_ctx = (!injector.is_empty()).then(|| FaultCtx {
+        injector,
+        healthy: vec![true; cluster.machines],
+        reaction: cluster.reaction,
+        restart: RestartCost::paper_default(),
+        scope_on,
+        migrations: Vec::new(),
+    });
     let makespan = match &mut fabric {
-        Fabric::Fifo(n) => drive(&mut jobs, n, &mut acct, par.as_mut(), scope.as_deref_mut()),
-        Fabric::Fluid(n) => drive(&mut jobs, n, &mut acct, par.as_mut(), scope.as_deref_mut()),
+        Fabric::Fifo(n) => drive(
+            &mut jobs,
+            n,
+            &mut acct,
+            par.as_mut(),
+            scope.as_deref_mut(),
+            fault_ctx.as_mut(),
+        ),
+        Fabric::Fluid(n) => drive(
+            &mut jobs,
+            n,
+            &mut acct,
+            par.as_mut(),
+            scope.as_deref_mut(),
+            fault_ctx.as_mut(),
+        ),
     };
     drop(par);
+    let migrations: Vec<MigrationRecord> = fault_ctx.map(|fc| fc.migrations).unwrap_or_default();
     if let Some(bus) = scope {
         // Close the fabric's partial utilisation window and flush any
         // straggling job events; the bus itself stays open (the caller
@@ -788,11 +1246,7 @@ pub fn run_cluster_observed(
     }
 
     let mut outcomes: Vec<JobOutcome> = Vec::new();
-    for (j, (spec, (job, nodes))) in specs
-        .iter()
-        .zip(jobs.into_iter().zip(&placements))
-        .enumerate()
-    {
+    for (j, (spec, job)) in specs.iter().zip(jobs).enumerate() {
         let ClusterJob::Train {
             state,
             cfg,
@@ -803,13 +1257,35 @@ pub fn run_cluster_observed(
             continue;
         };
         let finished_at = finished.expect("training job finished");
+        // Report the machines the job *ended* on — identical to the
+        // placement unless the recovery loop migrated it.
+        let machines: Vec<usize> = state.nodes().fabric_nodes().iter().map(|n| n.0).collect();
         let net = JobNetStats {
             p2p_bytes: job_bytes[j],
             comm_events: job_events[j],
             peak_in_flight,
             peak_port_utilisation,
         };
-        let result = state.into_result(&cfg, finished_at, net);
+        let mut result = state.into_result(&cfg, finished_at, net);
+        // A migrated job finished, but not unscathed: surface each
+        // checkpoint/migrate cycle as a reroute so the outcome can never
+        // read as a clean completion.
+        let migs = migrations.iter().filter(|m| m.job == j).count() as u64;
+        if migs > 0 {
+            result.outcome = match result.outcome {
+                RunOutcome::Completed => RunOutcome::DegradedCompleted {
+                    retries: 0,
+                    reroutes: migs,
+                },
+                RunOutcome::DegradedCompleted { retries, reroutes } => {
+                    RunOutcome::DegradedCompleted {
+                        retries,
+                        reroutes: reroutes + migs,
+                    }
+                }
+                failed => failed,
+            };
+        }
         // Per-job series double as counter tracks in the merged trace,
         // prefixed like the job's span tracks.
         if let (Some(trace), Some(ms)) = (trace.as_mut(), result.metrics.as_ref()) {
@@ -822,7 +1298,7 @@ pub fn run_cluster_observed(
             arrival,
             finished_at,
             jct: finished_at - arrival,
-            machines: nodes.iter().map(|n: &NodeId| n.0).collect(),
+            machines,
             result,
         });
     }
@@ -858,6 +1334,7 @@ pub fn run_cluster_observed(
         trace,
         metrics,
         contention,
+        migrations,
     }
 }
 
@@ -1309,6 +1786,224 @@ mod tests {
         cluster.threads = 8;
         let got = full_fingerprint(&run_cluster(&cluster, &specs));
         assert_eq!(got, seq);
+    }
+
+    /// A cluster plan failing machine 1 mid-run, restored much later.
+    fn failure_plan(at_us: u64, restore_us: Option<u64>) -> bs_faults::FaultPlan {
+        bs_faults::FaultPlan {
+            machine_failures: vec![bs_faults::MachineFailure {
+                machine: 1,
+                at_us,
+                restore_us,
+            }],
+            ..bs_faults::FaultPlan::empty()
+        }
+    }
+
+    #[test]
+    fn machine_failure_checkpoints_migrates_and_degrades_outcome() {
+        // Five machines, job packed on 0..4: machine 4 is the spare the
+        // health-aware remap must pick when machine 1 dies.
+        let mut cluster = ClusterConfig::new(5, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        cluster.faults = Some(failure_plan(150_000, None));
+        let specs = vec![JobSpec::train("victim", job_cfg(bs(), 7))];
+        let r = run_cluster(&cluster, &specs);
+
+        assert_eq!(r.migrations.len(), 1, "one failure, one migration");
+        let m = &r.migrations[0];
+        assert_eq!((m.job, m.machine), (0, 1));
+        assert_eq!(m.at, SimTime::from_micros(150_000));
+        // §7 cost for the 50 MB toy model: 5 s fixed + 50e6 / 25e6 = 7 s.
+        assert_eq!(
+            m.resumed_at,
+            m.at + SimTime::from_secs_f64(7.0),
+            "resume must pay exactly the checkpoint-restart cost"
+        );
+        assert_eq!(
+            m.moved,
+            vec![crate::NodeMove {
+                node: 1,
+                from: 1,
+                to: 4
+            }]
+        );
+
+        let j = &r.jobs[0];
+        assert_eq!(
+            j.machines,
+            vec![0, 4, 2, 3],
+            "outcome reports final placement"
+        );
+        match j.result.outcome {
+            RunOutcome::DegradedCompleted { reroutes, .. } => {
+                assert!(reroutes >= 1, "migration must surface as a reroute")
+            }
+            ref o => panic!("migrated job must not read as clean: {o:?}"),
+        }
+        // The job still finished all its work: restart cost plus re-run
+        // iterations push completion past the solo run.
+        let solo = bs_runtime::run(&job_cfg(bs(), 7));
+        assert!(
+            j.finished_at > solo.finished_at + SimTime::from_secs(6),
+            "outage must cost real time: {} vs solo {}",
+            j.finished_at,
+            solo.finished_at
+        );
+    }
+
+    #[test]
+    fn checkpoint_migrate_beats_no_reaction_on_makespan() {
+        // The dead NIC holds the job's PS shard; without migration every
+        // push/pull through machine 1 waits out the 30 s outage, while
+        // the reactive driver pays ~9 s restart plus re-run time.
+        let net = NetConfig::gbps(10.0, Transport::tcp());
+        let specs = vec![JobSpec::train("victim", job_cfg(bs(), 7))];
+        let mut reactive = ClusterConfig::new(5, net);
+        reactive.placement = PlacementPolicy::Packed;
+        reactive.faults = Some(failure_plan(150_000, Some(30_000_000)));
+        let mut passive = reactive.clone();
+        passive.reaction = FaultReaction::None;
+        let rm = run_cluster(&reactive, &specs);
+        let rn = run_cluster(&passive, &specs);
+        assert_eq!(rm.migrations.len(), 1);
+        assert!(rn.migrations.is_empty(), "no reaction, no migrations");
+        assert!(
+            rm.makespan < rn.makespan,
+            "checkpoint+migrate must beat riding out the outage: {} vs {}",
+            rm.makespan,
+            rn.makespan
+        );
+    }
+
+    #[test]
+    fn unplaceable_job_fails_closed() {
+        // Four machines, the job needs all four, machine 1 never
+        // restores: no placement can exist, the job must fail — not hang.
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        cluster.faults = Some(failure_plan(150_000, None));
+        let specs = vec![JobSpec::train("doomed", job_cfg(bs(), 7))];
+        let r = run_cluster(&cluster, &specs);
+        assert!(r.migrations.is_empty());
+        match &r.jobs[0].result.outcome {
+            RunOutcome::Failed { reason } => {
+                assert!(reason.contains("no healthy placement"), "{reason}")
+            }
+            o => panic!("expected fail-closed, got {o:?}"),
+        }
+        assert_eq!(
+            r.jobs[0].finished_at,
+            SimTime::from_micros(150_000),
+            "a doomed job fails at the outage instant"
+        );
+    }
+
+    #[test]
+    fn capacity_shortage_defers_resume_to_the_restore() {
+        // Four machines, job on all four: the remap has no spare, but the
+        // failed machine restores at 20 s — the pending queue resumes the
+        // job there instead of failing it.
+        let mut cluster = ClusterConfig::new(4, NetConfig::gbps(10.0, Transport::tcp()));
+        cluster.placement = PlacementPolicy::Packed;
+        cluster.faults = Some(failure_plan(150_000, Some(20_000_000)));
+        let specs = vec![JobSpec::train("patient", job_cfg(bs(), 7))];
+        let r = run_cluster(&cluster, &specs);
+        assert_eq!(r.migrations.len(), 1);
+        let m = &r.migrations[0];
+        assert_eq!(
+            m.resumed_at,
+            SimTime::from_micros(20_000_000),
+            "resume waits for the restore, not just the restart cost"
+        );
+        assert!(m.moved.is_empty(), "the job resumes on its original nodes");
+        assert!(matches!(
+            r.jobs[0].result.outcome,
+            RunOutcome::DegradedCompleted { .. }
+        ));
+    }
+
+    /// The hoisted-fault path is the solo injector path: a single-job
+    /// cluster whose job carries a full link-level plan (scales, a flap,
+    /// loss) replays bit-for-bit against `bs_runtime::run`.
+    #[test]
+    fn single_job_cluster_with_link_plan_matches_solo() {
+        use bs_faults::{LinkDir, LinkEvent, LinkFlap, RecoveryPolicy};
+        let mut cfg = job_cfg(bs(), 11);
+        cfg.faults = Some(bs_faults::FaultPlan {
+            link_events: vec![
+                LinkEvent {
+                    at_us: 100_000,
+                    node: 2,
+                    dir: LinkDir::Down,
+                    scale: 0.25,
+                },
+                LinkEvent {
+                    at_us: 300_000,
+                    node: 2,
+                    dir: LinkDir::Down,
+                    scale: 1.0,
+                },
+            ],
+            flaps: vec![LinkFlap {
+                node: 0,
+                from_us: 150_000,
+                to_us: 180_000,
+            }],
+            loss_rate: 0.02,
+            recovery: RecoveryPolicy {
+                timeout_us: 1_000,
+                max_retries: 20,
+            },
+            ..bs_faults::FaultPlan::empty()
+        });
+        let solo = bs_runtime::run(&cfg);
+        let cluster = ClusterConfig::new(4, cfg.net);
+        let r = run_cluster(&cluster, &[JobSpec::train("solo", cfg)]);
+        let j = &r.jobs[0];
+        assert_eq!(j.result.outcome, solo.outcome);
+        assert_eq!(j.result.speed, solo.speed);
+        assert_eq!(j.finished_at, solo.finished_at);
+        assert_eq!(j.result.p2p_bytes, solo.p2p_bytes);
+        assert_eq!(j.result.comm_events, solo.comm_events);
+        assert_eq!(j.result.iter_times, solo.iter_times);
+    }
+
+    /// Migration epochs replay deterministically at any thread count: the
+    /// free-run barrier parks every replay strictly before a cluster
+    /// change fires, so the parallel driver reproduces the sequential
+    /// result bit-for-bit even across a checkpoint/migrate/resume cycle.
+    #[test]
+    fn parallel_replay_survives_a_migration_bit_for_bit() {
+        for fabric in [FabricModel::SerialFifo, FabricModel::FairShare] {
+            let mut cluster = ClusterConfig::new(6, NetConfig::gbps(10.0, Transport::tcp()));
+            cluster.fabric = fabric;
+            cluster.placement = PlacementPolicy::Packed;
+            cluster.record_trace = true;
+            cluster.record_metrics = true;
+            cluster.record_contention = true;
+            cluster.faults = Some(failure_plan(150_000, Some(2_000_000)));
+            let specs = vec![
+                JobSpec::train("victim", job_cfg(bs(), 21)),
+                JobSpec::train("bystander", job_cfg(SchedulerKind::Baseline, 22)),
+                JobSpec::train("ring", ar_cfg(23)),
+            ];
+            let seq = run_cluster(&cluster, &specs);
+            assert!(
+                !seq.migrations.is_empty(),
+                "{fabric:?}: the scenario must actually migrate"
+            );
+            let seq_fp = full_fingerprint(&seq);
+            for threads in [2usize, 4] {
+                let mut par = cluster.clone();
+                par.threads = threads;
+                let got = full_fingerprint(&run_cluster(&par, &specs));
+                assert_eq!(
+                    got, seq_fp,
+                    "{fabric:?} threads={threads}: migration epochs diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use contention::{
 pub use driver::{run_cluster, run_cluster_observed};
 pub use metrics::{
     jain_index, percentile_nearest_rank, ClusterResult, DistSummary, JobOutcome, LinkUtil,
+    MigrationRecord, NodeMove,
 };
 pub use placement::PlacementPolicy;
-pub use spec::{ClusterConfig, JobSpec};
+pub use spec::{ClusterConfig, FaultReaction, JobSpec};

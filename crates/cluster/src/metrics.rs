@@ -91,7 +91,42 @@ pub struct LinkUtil {
     pub down: f64,
 }
 
-/// One training job's cluster outcome.
+/// One node's move during a migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct NodeMove {
+    /// Job-local node index.
+    pub node: usize,
+    /// Machine the node sat on when its host failed.
+    pub from: usize,
+    /// Healthy machine it resumed on.
+    pub to: usize,
+}
+
+/// One checkpoint → migrate → resume reaction to a machine failure, as
+/// recorded by the cluster driver's recovery loop.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MigrationRecord {
+    /// Training job (spec index) that was checkpointed.
+    pub job: usize,
+    /// When the hosting machine failed (= the checkpoint instant: the
+    /// job restarts from its last completed iteration barrier).
+    pub at: SimTime,
+    /// When the job's engines resumed — `at` plus the §7
+    /// checkpoint-restart cost, or later if the job had to wait for a
+    /// machine restore to find capacity.
+    pub resumed_at: SimTime,
+    /// The machine whose failure triggered this migration.
+    pub machine: usize,
+    /// Iteration barrier the checkpoint captured (completed by every
+    /// worker).
+    pub checkpoint_iter: u64,
+    /// In-progress iterations discarded by the rollback: the most
+    /// advanced worker's completed count minus `checkpoint_iter`.
+    pub lost_iters: u64,
+    /// Nodes that changed machines (survivor nodes stay pinned and are
+    /// not listed).
+    pub moved: Vec<NodeMove>,
+}
 #[derive(Clone, Debug, Serialize)]
 pub struct JobOutcome {
     /// The spec's display name.
@@ -139,6 +174,10 @@ pub struct ClusterResult {
     /// fractions), when [`crate::ClusterConfig::record_contention`] was
     /// set.
     pub contention: Option<ContentionMatrix>,
+    /// Every checkpoint → migrate → resume the driver's recovery loop
+    /// performed, in decision order. Empty when no machine failed (or
+    /// the reaction was [`crate::FaultReaction::None`]).
+    pub migrations: Vec<MigrationRecord>,
 }
 
 impl ClusterResult {

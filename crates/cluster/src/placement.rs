@@ -109,6 +109,32 @@ impl PlacementPolicy {
             }
         }
     }
+
+    /// Health-aware remap after a machine failure: keeps every node that
+    /// still sits on a healthy machine and moves the rest onto the
+    /// lowest-indexed healthy machines the job is not already using, in
+    /// node order. Returns `None` when the healthy pool is too small —
+    /// the job must wait for a restore or fail.
+    ///
+    /// Keeping survivors pinned minimises state movement (only the lost
+    /// shards/workers restore onto new NICs) and makes the remap
+    /// deterministic: the result is a pure function of the old placement
+    /// and the health vector.
+    pub fn remap_healthy(current: &[NodeId], healthy: &[bool]) -> Option<Vec<NodeId>> {
+        let keep: Vec<bool> = current.iter().map(|n| healthy[n.0]).collect();
+        let kept: Vec<usize> = current
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(n, _)| n.0)
+            .collect();
+        let mut pool = (0..healthy.len()).filter(|m| healthy[*m] && !kept.contains(m));
+        current
+            .iter()
+            .zip(&keep)
+            .map(|(n, &k)| if k { Some(*n) } else { pool.next().map(NodeId) })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +196,39 @@ mod tests {
     #[should_panic(expected = "needs")]
     fn oversized_jobs_rejected() {
         PlacementPolicy::Packed.place(3, &[train(2)]);
+    }
+
+    #[test]
+    fn remap_keeps_survivors_and_fills_lowest_healthy() {
+        let current = vec![NodeId(0), NodeId(2), NodeId(4), NodeId(5)];
+        // Machines 2 and 5 fail in a 7-machine cluster.
+        let healthy = [true, true, false, true, true, false, true];
+        let got = PlacementPolicy::remap_healthy(&current, &healthy).expect("room");
+        // Survivors 0, 4 stay; node 1 (was on 2) takes machine 1 (the
+        // lowest healthy machine the job doesn't already use), node 3
+        // (was on 5) takes machine 3.
+        assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(4), NodeId(3)]);
+        let mut dedup: Vec<usize> = got.iter().map(|n| n.0).collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), got.len(), "machines stay distinct in-job");
+    }
+
+    #[test]
+    fn remap_is_identity_when_all_machines_are_healthy() {
+        let current = vec![NodeId(3), NodeId(1)];
+        let healthy = [true; 4];
+        assert_eq!(
+            PlacementPolicy::remap_healthy(&current, &healthy),
+            Some(current)
+        );
+    }
+
+    #[test]
+    fn remap_fails_when_the_healthy_pool_is_too_small() {
+        let current = vec![NodeId(0), NodeId(1), NodeId(2)];
+        // Only two healthy machines remain for a three-node job.
+        let healthy = [true, false, false, true];
+        assert_eq!(PlacementPolicy::remap_healthy(&current, &healthy), None);
     }
 }

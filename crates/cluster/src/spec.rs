@@ -1,11 +1,29 @@
 //! Cluster and job specifications.
 
+use bs_faults::FaultPlan;
 use bs_net::{FabricModel, NetConfig};
 use bs_runtime::{BackgroundLoad, JobState, WorldConfig};
 use bs_sim::SimTime;
 use serde::Serialize;
 
 use crate::placement::PlacementPolicy;
+
+/// What the cluster driver does when a machine fails mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FaultReaction {
+    /// Checkpoint every affected training job at its last completed
+    /// iteration barrier, pay the §7 checkpoint-restart cost, remap the
+    /// job's nodes onto healthy machines and resume — re-running the lost
+    /// iterations. Jobs with no feasible placement (now or at any future
+    /// machine restore) fail closed with
+    /// [`bs_runtime::RunOutcome::Failed`]. The default.
+    CheckpointMigrate,
+    /// No reaction: affected jobs ride out the outage through the
+    /// loss-recovery path (retransmits queue against the dead NIC until
+    /// it is restored, or the retry cap fails the job). The baseline the
+    /// migration study compares against.
+    None,
+}
 
 /// The shared infrastructure every job runs on.
 #[derive(Clone, Debug, Serialize)]
@@ -45,6 +63,17 @@ pub struct ClusterConfig {
     /// are bit-identical at every thread count — this knob trades wall
     /// clock only, never behaviour.
     pub threads: usize,
+    /// Cluster-scope fault plan. Link events and flaps name *machines*
+    /// (fabric nodes shared by every tenant) and are applied to the
+    /// shared fabric exactly once; `machine_failures` take whole machines
+    /// down and trigger the configured [`FaultReaction`]; loss, straggler
+    /// and recovery settings project onto every training job that has no
+    /// private plan of its own, each through its own split-seed RNG
+    /// stream.
+    pub faults: Option<FaultPlan>,
+    /// What to do when a machine fails. Ignored when no machine ever
+    /// fails.
+    pub reaction: FaultReaction,
 }
 
 impl ClusterConfig {
@@ -60,6 +89,8 @@ impl ClusterConfig {
             record_xray: false,
             record_contention: false,
             threads: 1,
+            faults: None,
+            reaction: FaultReaction::CheckpointMigrate,
         }
     }
 }

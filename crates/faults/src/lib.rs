@@ -28,12 +28,26 @@ use serde::Serialize;
 use serde_json::Value;
 
 /// Schema version stamped into serialised plans; bump on breaking change.
-pub const FAULT_PLAN_SCHEMA_VERSION: u64 = 1;
+/// v2 added `machine_failures` (cluster-scope machine outages). v1
+/// documents are still accepted: every v2 field is optional.
+pub const FAULT_PLAN_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest plan schema version still accepted by [`FaultPlan::from_json`].
+pub const FAULT_PLAN_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// XOR constant folding the world seed into the loss RNG stream. Distinct
 /// from the co-tenant burst stream's `0xB6_0000` so enabling faults never
 /// perturbs background traffic (and vice versa).
 const LOSS_SEED_XOR: u64 = 0xFA_0000;
+
+/// Splits one world seed into per-job fault-stream seeds with the 64-bit
+/// golden-ratio multiplier, the same discipline every other per-entity
+/// stream in the workspace uses. Job 0 (and therefore every single-job
+/// run) keeps the unsplit seed, so solo fault plans replay bit-identically
+/// at cluster scope.
+pub fn job_seed(seed: u64, job: usize) -> u64 {
+    seed ^ (job as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// One direction of a NIC port.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
@@ -89,6 +103,23 @@ pub struct StragglerSpec {
     pub factor: f64,
 }
 
+/// A whole-machine outage at cluster scope: at `at_us` the machine's NIC
+/// goes down (killing in-flight transfers of every tenant on its ports)
+/// and the machine stops hosting placements; at `restore_us` (exclusive,
+/// like flap ends) it returns to the healthy pool. `None` means the
+/// machine never comes back. Machine failures are only meaningful to the
+/// cluster driver — job-private plans must not carry them.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct MachineFailure {
+    /// The failing machine (cluster machine index = fabric node index).
+    pub machine: usize,
+    /// Failure instant, microseconds.
+    pub at_us: u64,
+    /// Restore instant, microseconds (exclusive; must be > `at_us`), or
+    /// `None` for a permanent loss.
+    pub restore_us: Option<u64>,
+}
+
 /// How the runtime recovers lost transfers: a lost partition is
 /// retransmitted after `timeout_us × 2^attempt` (exponential backoff),
 /// up to `max_retries` attempts per partition; exceeding the cap fails
@@ -130,6 +161,8 @@ pub struct FaultPlan {
     pub loss_rate: f64,
     /// Worker compute slowdowns.
     pub stragglers: Vec<StragglerSpec>,
+    /// Whole-machine outages (cluster scope only; schema v2).
+    pub machine_failures: Vec<MachineFailure>,
     /// Recovery policy applied to lost transfers.
     pub recovery: RecoveryPolicy,
 }
@@ -148,6 +181,7 @@ impl FaultPlan {
             flaps: Vec::new(),
             loss_rate: 0.0,
             stragglers: Vec::new(),
+            machine_failures: Vec::new(),
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -158,6 +192,7 @@ impl FaultPlan {
             && self.flaps.is_empty()
             && self.loss_rate == 0.0
             && self.stragglers.is_empty()
+            && self.machine_failures.is_empty()
     }
 
     /// Validates invariants, returning the first violation.
@@ -196,6 +231,16 @@ impl FaultPlan {
                 ));
             }
         }
+        for m in &self.machine_failures {
+            if let Some(restore) = m.restore_us {
+                if restore <= m.at_us {
+                    return Err(format!(
+                        "machine failure on machine {}: empty interval [{}us, {}us)",
+                        m.machine, m.at_us, restore
+                    ));
+                }
+            }
+        }
         if self.recovery.timeout_us == 0 {
             return Err("recovery timeout must be positive".into());
         }
@@ -227,10 +272,10 @@ impl FaultPlan {
     pub fn from_value(doc: &Value) -> Result<FaultPlan, String> {
         let version = get_u64(doc, "schema_version")?
             .ok_or("fault plan: missing schema_version".to_string())?;
-        if version != FAULT_PLAN_SCHEMA_VERSION {
+        if !(FAULT_PLAN_MIN_SCHEMA_VERSION..=FAULT_PLAN_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
                 "fault plan: schema_version {version} unsupported (expected \
-                 {FAULT_PLAN_SCHEMA_VERSION})"
+                 {FAULT_PLAN_MIN_SCHEMA_VERSION}..={FAULT_PLAN_SCHEMA_VERSION})"
             ));
         }
         let mut plan = FaultPlan::empty();
@@ -269,6 +314,16 @@ impl FaultPlan {
                     from_iter: require_u64(item, "from_iter", &format!("stragglers[{i}]"))?,
                     to_iter: require_u64(item, "to_iter", &format!("stragglers[{i}]"))?,
                     factor: require_f64(item, "factor", &format!("stragglers[{i}]"))?,
+                });
+            }
+        }
+        if let Some(items) = get_array(doc, "machine_failures")? {
+            for (i, item) in items.iter().enumerate() {
+                plan.machine_failures.push(MachineFailure {
+                    machine: require_u64(item, "machine", &format!("machine_failures[{i}]"))?
+                        as usize,
+                    at_us: require_u64(item, "at_us", &format!("machine_failures[{i}]"))?,
+                    restore_us: get_u64(item, "restore_us")?,
                 });
             }
         }
@@ -498,6 +553,239 @@ impl FaultInjector {
     }
 }
 
+/// A change due on the *shared* cluster fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClusterChange {
+    /// A link change; its node index addresses fabric machines.
+    Link(LinkChange),
+    /// A whole machine fails: its port goes down (killing every tenant's
+    /// in-flight transfers there) and it leaves the healthy pool, so the
+    /// driver checkpoints and migrates the jobs placed on it.
+    MachineDown {
+        /// The failing machine.
+        machine: usize,
+    },
+    /// A failed machine restores: port revived, healthy pool rejoined.
+    MachineUp {
+        /// The restored machine.
+        machine: usize,
+    },
+}
+
+impl ClusterChange {
+    /// Stable label for observation streams, extending [`LinkChange::kind`]
+    /// with `"machine_down"` / `"machine_up"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClusterChange::Link(c) => c.kind(),
+            ClusterChange::MachineDown { .. } => "machine_down",
+            ClusterChange::MachineUp { .. } => "machine_up",
+        }
+    }
+
+    /// The machine the change hits.
+    pub fn machine(&self) -> usize {
+        match *self {
+            ClusterChange::Link(c) => c.node(),
+            ClusterChange::MachineDown { machine } | ClusterChange::MachineUp { machine } => {
+                machine
+            }
+        }
+    }
+
+    /// The resulting capacity fraction (see
+    /// [`LinkChange::capacity_fraction`]; machine edges behave like flaps).
+    pub fn capacity_fraction(&self) -> f64 {
+        match *self {
+            ClusterChange::Link(c) => c.capacity_fraction(),
+            ClusterChange::MachineDown { .. } => 0.0,
+            ClusterChange::MachineUp { .. } => 1.0,
+        }
+    }
+}
+
+/// One entry of the cluster fault timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterFaultEntry {
+    /// The instant the change fires.
+    pub at: SimTime,
+    /// The job whose private plan the change was hoisted from, or `None`
+    /// for cluster-scope changes that hit every tenant.
+    pub owner: Option<usize>,
+    /// The node index as the owning job's plan wrote it (job-local), kept
+    /// so the owner's observation stream matches its solo run exactly.
+    /// Cluster-scope entries carry the machine index here.
+    pub local_node: usize,
+    /// The change itself; link-change node indices are machine indices.
+    pub change: ClusterChange,
+}
+
+/// The cluster-scope analogue of [`FaultInjector`]'s timeline: one merged,
+/// time-sorted cursor over the cluster plan's link changes and machine
+/// failures *plus* every tenant's hoisted job-private link events, so each
+/// change applies to the shared fabric exactly once.
+///
+/// Per-job loss and straggler streams stay in the tenants' own
+/// `FaultInjector`s (seeded via [`job_seed`]) — only link-level changes,
+/// which touch shared ports, are hoisted here. Build order is the replay
+/// contract: cluster-plan entries first, then each job's entries in job
+/// order, each group in its plan's insertion order; [`Self::seal`]
+/// stable-sorts by time, so same-instant changes fire in that order. A
+/// single-job cluster therefore replays its plan in exactly the order the
+/// solo [`FaultInjector`] would.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterFaultInjector {
+    timeline: Vec<ClusterFaultEntry>,
+    cursor: usize,
+    sealed: bool,
+}
+
+impl ClusterFaultInjector {
+    /// An empty injector; add plans, then [`Self::seal`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cluster-scope plan: link events and flaps address machines
+    /// directly, and machine failures contribute their down/up edges.
+    /// Loss, stragglers, and recovery are *not* consumed here — the
+    /// caller projects them into per-job plans.
+    pub fn add_plan(&mut self, plan: &FaultPlan) {
+        assert!(!self.sealed, "cluster fault timeline already sealed");
+        for e in &plan.link_events {
+            self.push(None, e.node, SimTime::from_micros(e.at_us), {
+                ClusterChange::Link(LinkChange::Scale {
+                    node: e.node,
+                    dir: e.dir,
+                    scale: e.scale,
+                })
+            });
+        }
+        for f in &plan.flaps {
+            self.push(
+                None,
+                f.node,
+                SimTime::from_micros(f.from_us),
+                ClusterChange::Link(LinkChange::FlapDown { node: f.node }),
+            );
+            self.push(
+                None,
+                f.node,
+                SimTime::from_micros(f.to_us),
+                ClusterChange::Link(LinkChange::FlapUp { node: f.node }),
+            );
+        }
+        for m in &plan.machine_failures {
+            self.push(
+                None,
+                m.machine,
+                SimTime::from_micros(m.at_us),
+                ClusterChange::MachineDown { machine: m.machine },
+            );
+            if let Some(restore) = m.restore_us {
+                self.push(
+                    None,
+                    m.machine,
+                    SimTime::from_micros(restore),
+                    ClusterChange::MachineUp { machine: m.machine },
+                );
+            }
+        }
+    }
+
+    /// Hoists `job`'s private link events and flaps onto the shared
+    /// timeline, translating job-local node indices to machines via
+    /// `machine_of`. Insertion order matches [`FaultInjector::new`]
+    /// (link events, then flap edge pairs), preserving solo-run replay
+    /// order for single-job clusters.
+    pub fn add_job_links(
+        &mut self,
+        job: usize,
+        plan: &FaultPlan,
+        machine_of: &dyn Fn(usize) -> usize,
+    ) {
+        assert!(!self.sealed, "cluster fault timeline already sealed");
+        for e in &plan.link_events {
+            self.push(Some(job), e.node, SimTime::from_micros(e.at_us), {
+                ClusterChange::Link(LinkChange::Scale {
+                    node: machine_of(e.node),
+                    dir: e.dir,
+                    scale: e.scale,
+                })
+            });
+        }
+        for f in &plan.flaps {
+            let machine = machine_of(f.node);
+            self.push(
+                Some(job),
+                f.node,
+                SimTime::from_micros(f.from_us),
+                ClusterChange::Link(LinkChange::FlapDown { node: machine }),
+            );
+            self.push(
+                Some(job),
+                f.node,
+                SimTime::from_micros(f.to_us),
+                ClusterChange::Link(LinkChange::FlapUp { node: machine }),
+            );
+        }
+    }
+
+    fn push(
+        &mut self,
+        owner: Option<usize>,
+        local_node: usize,
+        at: SimTime,
+        change: ClusterChange,
+    ) {
+        self.timeline.push(ClusterFaultEntry {
+            at,
+            owner,
+            local_node,
+            change,
+        });
+    }
+
+    /// Freezes the timeline: stable time sort, then cursor playback only.
+    pub fn seal(&mut self) {
+        assert!(!self.sealed, "cluster fault timeline already sealed");
+        self.timeline.sort_by_key(|e| e.at);
+        self.sealed = true;
+    }
+
+    /// True when no change was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.timeline.is_empty()
+    }
+
+    /// Earliest pending change, or `MAX` when the timeline is spent.
+    pub fn next_change_time(&self) -> SimTime {
+        debug_assert!(self.sealed, "seal the timeline before playback");
+        self.timeline
+            .get(self.cursor)
+            .map(|e| e.at)
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Pops the next change due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<ClusterFaultEntry> {
+        debug_assert!(self.sealed, "seal the timeline before playback");
+        match self.timeline.get(self.cursor) {
+            Some(e) if e.at <= now => {
+                self.cursor += 1;
+                Some(*e)
+            }
+            _ => None,
+        }
+    }
+
+    /// The full sealed timeline (static, never rewinds) — the driver
+    /// scans it to price deferred placements after a capacity shortage.
+    pub fn timeline(&self) -> &[ClusterFaultEntry] {
+        &self.timeline
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +818,11 @@ mod tests {
                 to_iter: 5,
                 factor: 2.5,
             }],
+            machine_failures: vec![MachineFailure {
+                machine: 3,
+                at_us: 4_000_000,
+                restore_us: Some(9_000_000),
+            }],
             recovery: RecoveryPolicy {
                 timeout_us: 100_000,
                 max_retries: 6,
@@ -556,7 +849,12 @@ mod tests {
     fn bad_documents_are_rejected_with_context() {
         for (doc, needle) in [
             ("{}", "schema_version"),
-            ("{\"schema_version\": 2}", "unsupported"),
+            ("{\"schema_version\": 3}", "unsupported"),
+            (
+                "{\"schema_version\": 2, \"machine_failures\": [{\"machine\": 0, \
+                 \"at_us\": 7, \"restore_us\": 7}]}",
+                "empty interval",
+            ),
             ("{\"schema_version\": 1, \"loss_rate\": 1.5}", "loss_rate"),
             (
                 "{\"schema_version\": 1, \"flaps\": [{\"node\": 0, \"from_us\": 5, \"to_us\": 5}]}",
@@ -679,5 +977,137 @@ mod tests {
             ..FaultPlan::empty()
         };
         FaultInjector::new(&plan, 1);
+    }
+
+    #[test]
+    fn v1_and_v2_documents_both_parse() {
+        let v1 = FaultPlan::from_json("{\"schema_version\": 1}").expect("v1 parses");
+        assert!(v1.is_empty());
+        let v2 = FaultPlan::from_json(
+            "{\"schema_version\": 2, \"machine_failures\": [{\"machine\": 1, \"at_us\": 50}]}",
+        )
+        .expect("v2 parses");
+        assert_eq!(
+            v2.machine_failures,
+            vec![MachineFailure {
+                machine: 1,
+                at_us: 50,
+                restore_us: None,
+            }]
+        );
+        assert!(!v2.is_empty());
+    }
+
+    #[test]
+    fn job_seed_is_identity_for_job_zero_and_splits_otherwise() {
+        assert_eq!(job_seed(42, 0), 42, "job 0 keeps the solo seed");
+        let seeds: Vec<u64> = (0..8).map(|j| job_seed(42, j)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "split seeds collide");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_injector_merges_machine_edges_into_the_timeline() {
+        let mut inj = ClusterFaultInjector::new();
+        inj.add_plan(&sample_plan());
+        inj.seal();
+        let mut entries = Vec::new();
+        loop {
+            let t = inj.next_change_time();
+            if t == SimTime::MAX {
+                break;
+            }
+            entries.push(inj.pop_due(t).expect("due"));
+        }
+        // 2 link events + flap pair + machine down/up edges.
+        assert_eq!(entries.len(), 6);
+        assert!(entries.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(entries.iter().all(|e| e.owner.is_none()));
+        assert_eq!(
+            entries[4].change,
+            ClusterChange::MachineDown { machine: 3 },
+            "machine failure fires at 4s, after the 3s link restore"
+        );
+        assert_eq!(entries[4].change.kind(), "machine_down");
+        assert_eq!(entries[4].change.capacity_fraction(), 0.0);
+        assert_eq!(
+            entries[5].change,
+            ClusterChange::MachineUp { machine: 3 },
+            "restore edge lands last at 9s"
+        );
+        assert!(inj.pop_due(SimTime::MAX).is_none(), "timeline spent");
+    }
+
+    #[test]
+    fn single_job_cluster_timeline_matches_the_solo_injector() {
+        // A one-job cluster hoists the job's private links with an
+        // identity machine map; playback order must equal FaultInjector's.
+        let plan = FaultPlan {
+            machine_failures: vec![],
+            ..sample_plan()
+        };
+        let mut solo = FaultInjector::new(&plan, 7);
+        let mut cluster = ClusterFaultInjector::new();
+        cluster.add_job_links(0, &plan, &|n| n);
+        cluster.seal();
+        loop {
+            let t_solo = solo.next_change_time();
+            let t_cluster = cluster.next_change_time();
+            assert_eq!(t_solo, t_cluster);
+            if t_solo == SimTime::MAX {
+                break;
+            }
+            let solo_change = solo.pop_due(t_solo).expect("solo due");
+            let entry = cluster.pop_due(t_cluster).expect("cluster due");
+            assert_eq!(entry.change, ClusterChange::Link(solo_change));
+            assert_eq!(entry.owner, Some(0));
+            assert_eq!(entry.local_node, solo_change.node());
+        }
+    }
+
+    #[test]
+    fn cluster_injector_orders_same_instant_changes_by_insertion() {
+        // A cluster-scope change and a hoisted job change at the same
+        // instant fire in build order: cluster plan first, then jobs.
+        let cluster_plan = FaultPlan {
+            machine_failures: vec![MachineFailure {
+                machine: 0,
+                at_us: 100,
+                restore_us: None,
+            }],
+            ..FaultPlan::empty()
+        };
+        let job_plan = FaultPlan {
+            link_events: vec![LinkEvent {
+                at_us: 100,
+                node: 1,
+                dir: LinkDir::Down,
+                scale: 0.5,
+            }],
+            ..FaultPlan::empty()
+        };
+        let mut inj = ClusterFaultInjector::new();
+        inj.add_plan(&cluster_plan);
+        inj.add_job_links(2, &job_plan, &|n| n + 4);
+        inj.seal();
+        let t = SimTime::from_micros(100);
+        let first = inj.pop_due(t).expect("first");
+        assert_eq!(first.change, ClusterChange::MachineDown { machine: 0 });
+        let second = inj.pop_due(t).expect("second");
+        assert_eq!(second.owner, Some(2));
+        assert_eq!(second.local_node, 1, "owner sees its job-local node");
+        assert_eq!(
+            second.change,
+            ClusterChange::Link(LinkChange::Scale {
+                node: 5,
+                dir: LinkDir::Down,
+                scale: 0.5,
+            }),
+            "fabric sees the translated machine index"
+        );
+        assert!(inj.pop_due(SimTime::MAX).is_none());
     }
 }

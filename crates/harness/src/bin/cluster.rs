@@ -26,6 +26,16 @@
 //! listening), and, when FILE is given, writes the full event stream as
 //! schema-versioned JSONL (results/events.schema.json) there.
 //!
+//! `--faults [PLAN.json]` runs the machine-failure reaction study on the
+//! 2-job reference pair (plus one spare machine) under the given
+//! cluster-scope fault plan (default: the committed
+//! `tests/fixtures/cluster_fault_plan.json`), on both fabrics: once
+//! riding out the outage and once with the driver's reactive
+//! checkpoint/migrate/resume loop. The binary asserts every reactive arm
+//! migrated at least once and finished `DegradedCompleted`, asserts
+//! checkpoint+migrate beats no-reaction on makespan on both fabrics, and
+//! writes the machine-readable study to results/cluster_faults.json.
+//!
 //! `--threads N` sets the thread count for the conservative-parallel
 //! core check (default: every available core). The binary runs a
 //! 4-tenant mix sequentially and at N threads, asserts the traces are
@@ -54,6 +64,7 @@ fn main() {
     let (xray_on, xray_file) = flag_file("--xray");
     let (contention_on, contention_file) = flag_file("--contention");
     let (watch_on, watch_file) = flag_file("--watch");
+    let (faults_on, faults_file) = flag_file("--faults");
     let threads: usize = flag_file("--threads")
         .1
         .and_then(|v| v.parse().ok())
@@ -165,6 +176,57 @@ fn main() {
                 Err(e) => eprintln!("cluster: cannot write events to {path}: {e}"),
             }
         }
+    }
+
+    if faults_on {
+        let plan = match faults_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read fault plan {path}: {e}"));
+                bs_faults::FaultPlan::from_json(&text)
+                    .unwrap_or_else(|e| panic!("invalid fault plan {path}: {e}"))
+            }
+            None => cluster::cluster_fault_fixture(),
+        };
+        let m = cluster::migration_study(fid, &plan);
+        println!();
+        print!("{}", cluster::render_migration(&m));
+        for r in &m.rows {
+            assert!(
+                r.outcomes.iter().all(|o| !o.starts_with("FAILED")),
+                "{}/{}: a job failed: {:?}",
+                r.fabric,
+                r.reaction,
+                r.outcomes
+            );
+            if r.reaction == "checkpoint+migrate" {
+                assert!(
+                    r.migrations >= 1,
+                    "{}: the machine failure must trigger a migration",
+                    r.fabric
+                );
+                assert!(
+                    r.outcomes.iter().all(|o| o.starts_with("degraded")),
+                    "{}: migrated jobs must finish DegradedCompleted: {:?}",
+                    r.fabric,
+                    r.outcomes
+                );
+            }
+        }
+        for s in &m.savings {
+            assert!(
+                s.saved_secs > 0.0,
+                "{}: checkpoint+migrate must beat no-reaction on makespan \
+                 ({:.2} s vs {:.2} s)",
+                s.fabric,
+                s.migrate_secs,
+                s.no_reaction_secs
+            );
+        }
+        report::write_json("cluster_faults", &m);
+        println!(
+            "faults: checkpoint+migrate beat no-reaction on both fabrics -> results/cluster_faults.json"
+        );
     }
 
     // Parallel core: the same 4-tenant mix through the sequential and the

@@ -25,6 +25,14 @@
 //! (results/events.schema.json). Timestamps are absolute cluster time
 //! (each wave's events are offset by its admission epoch).
 //!
+//! `--faults PLAN.json` applies a cluster-scope fault plan (JSON per
+//! results/fault_plan.schema.json, schema v2) to **every wave**: each
+//! wave is one independent cluster run, so the plan's machine indices
+//! name replay-cluster machines and its times are wave-relative. Machine
+//! failures trigger the cluster driver's checkpoint/migrate/resume
+//! reaction inside each wave; the determinism assertions below hold
+//! unchanged.
+//!
 //! `--serve-stdin` turns the binary into a long-running what-if query
 //! service: each stdin line is one batch — a JSON query object, or an
 //! array of them — and each batch prints one JSON answer line on
@@ -251,7 +259,20 @@ fn main() {
     let events_file = flag_value("--events");
 
     let fid = Fidelity::from_env();
-    let opts = replay::base_options(fid);
+    let mut opts = replay::base_options(fid);
+    if let Some(path) = flag_value("--faults") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read fault plan {path}: {e}"));
+        let plan = bs_faults::FaultPlan::from_json(&text)
+            .unwrap_or_else(|e| panic!("invalid fault plan {path}: {e}"));
+        println!(
+            "faults: applying {path} to every wave ({} machine failures, {} link events, loss {})",
+            plan.machine_failures.len(),
+            plan.link_events.len(),
+            plan.loss_rate
+        );
+        opts.faults = Some(plan);
+    }
 
     if args.iter().any(|a| a == "--serve-stdin") {
         let jobs = replay::load_trace_file(&trace_path).expect("trace loads");

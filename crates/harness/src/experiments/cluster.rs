@@ -21,10 +21,12 @@
 //! what that model exists for.
 
 use bs_cluster::{
-    run_cluster, run_cluster_observed, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy,
+    run_cluster, run_cluster_observed, ClusterConfig, ClusterResult, FaultReaction, JobSpec,
+    PlacementPolicy,
 };
+use bs_faults::FaultPlan;
 use bs_net::FabricModel;
-use bs_runtime::{run, SchedulerKind, WorldConfig};
+use bs_runtime::{run, RunOutcome, SchedulerKind, WorldConfig};
 use bs_sim::SimTime;
 use serde::Serialize;
 
@@ -275,6 +277,172 @@ pub fn parallel_reference(fid: Fidelity, threads: usize) -> (f64, ClusterResult)
     (t0.elapsed().as_secs_f64(), r)
 }
 
+/// Loads the committed cluster-scope fault fixture
+/// (`tests/fixtures/cluster_fault_plan.json`): one machine failure with
+/// a scheduled restore, a transient link degradation, low transfer loss
+/// and one straggler window. The single source of truth for the
+/// migration study, the `cluster --faults` CI smoke and
+/// `tests/cluster_faults.rs`.
+pub fn cluster_fault_fixture() -> FaultPlan {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/cluster_fault_plan.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing cluster fault fixture {} ({e})", path.display()));
+    FaultPlan::from_json(&text).expect("committed fixture parses")
+}
+
+/// One (fabric, reaction) arm of the migration study.
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationRow {
+    /// Fabric model label ("fifo" / "fluid").
+    pub fabric: &'static str,
+    /// Reaction label ("no-reaction" / "checkpoint+migrate").
+    pub reaction: &'static str,
+    /// Cluster makespan, seconds.
+    pub makespan_secs: f64,
+    /// Mean job completion time, seconds.
+    pub mean_jct_secs: f64,
+    /// Checkpoint → migrate → resume cycles the driver performed.
+    pub migrations: usize,
+    /// Iterations rolled back and re-run across all migrations.
+    pub lost_iters: u64,
+    /// Per-job outcome cells, spec order.
+    pub outcomes: Vec<String>,
+}
+
+/// Makespan comparison of the two reactions on one fabric.
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationSaving {
+    /// Fabric model label.
+    pub fabric: &'static str,
+    /// Makespan when affected jobs ride out the outage, seconds.
+    pub no_reaction_secs: f64,
+    /// Makespan under checkpoint+migrate, seconds.
+    pub migrate_secs: f64,
+    /// `no_reaction - migrate`; positive means migration wins.
+    pub saved_secs: f64,
+}
+
+/// The machine-failure reaction study.
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationStudy {
+    /// Fabric × reaction grid.
+    pub rows: Vec<MigrationRow>,
+    /// Per-fabric makespan comparison.
+    pub savings: Vec<MigrationSaving>,
+}
+
+fn outcome_cell(o: &RunOutcome) -> String {
+    match o {
+        RunOutcome::Completed => "completed".into(),
+        RunOutcome::DegradedCompleted { retries, reroutes } => {
+            format!("degraded ({retries} retries, {reroutes} reroutes)")
+        }
+        RunOutcome::Failed { reason } => format!("FAILED: {reason}"),
+    }
+}
+
+/// Runs the §7 machine-failure reaction comparison behind
+/// `cluster --faults`: the 2-job reference pair packed onto
+/// `2·num_workers` machines plus one spare, with `plan` as the cluster
+/// fault plan, once letting affected jobs ride out the outage
+/// ([`FaultReaction::None`] — retransmits queue against the dead NIC
+/// until its scheduled restore) and once with the driver's reactive
+/// checkpoint/migrate/resume loop. Both arms pay the same link
+/// degradation, loss stream and straggler window; only the reaction
+/// differs, so the makespan gap prices the §7 checkpoint-restart
+/// decision itself.
+pub fn migration_study(fid: Fidelity, plan: &FaultPlan) -> MigrationStudy {
+    let mut rows = Vec::new();
+    let mut savings = Vec::new();
+    for (fabric, flabel) in [
+        (FabricModel::SerialFifo, "fifo"),
+        (FabricModel::FairShare, "fluid"),
+    ] {
+        let mut makespans = [0.0f64; 2];
+        for (k, (reaction, rlabel)) in [
+            (FaultReaction::None, "no-reaction"),
+            (FaultReaction::CheckpointMigrate, "checkpoint+migrate"),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let bs_cfg = job_cfg(fid, bytescheduler(), 21);
+            let fifo_cfg = job_cfg(fid, SchedulerKind::Baseline, 22);
+            // One spare machine so the health-aware remap has somewhere
+            // to move the failed machine's nodes.
+            let mut c = cluster(bs_cfg.num_workers * 2 + 1, PlacementPolicy::Packed, &bs_cfg);
+            c.fabric = fabric;
+            c.faults = Some(plan.clone());
+            c.reaction = reaction;
+            let r = run_cluster(
+                &c,
+                &[
+                    JobSpec::train("bytescheduler", bs_cfg),
+                    JobSpec::train("fifo-baseline", fifo_cfg),
+                ],
+            );
+            makespans[k] = r.makespan.as_secs_f64();
+            rows.push(MigrationRow {
+                fabric: flabel,
+                reaction: rlabel,
+                makespan_secs: r.makespan.as_secs_f64(),
+                mean_jct_secs: r.mean_jct_secs(),
+                migrations: r.migrations.len(),
+                lost_iters: r.migrations.iter().map(|m| m.lost_iters).sum(),
+                outcomes: r
+                    .jobs
+                    .iter()
+                    .map(|j| outcome_cell(&j.result.outcome))
+                    .collect(),
+            });
+        }
+        savings.push(MigrationSaving {
+            fabric: flabel,
+            no_reaction_secs: makespans[0],
+            migrate_secs: makespans[1],
+            saved_secs: makespans[0] - makespans[1],
+        });
+    }
+    MigrationStudy { rows, savings }
+}
+
+/// Renders the migration-study grid and the per-fabric verdict lines.
+pub fn render_migration(m: &MigrationStudy) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "§7 extension — machine failure: ride out the outage vs checkpoint+migrate (2 jobs packed + 1 spare machine, committed cluster fault fixture)".to_string(),
+        &[
+            "fabric",
+            "reaction",
+            "makespan (s)",
+            "mean JCT (s)",
+            "migrations",
+            "lost iters",
+            "job outcomes",
+        ],
+    );
+    for r in &m.rows {
+        t.row(vec![
+            r.fabric.into(),
+            r.reaction.into(),
+            format!("{:.2}", r.makespan_secs),
+            format!("{:.2}", r.mean_jct_secs),
+            r.migrations.to_string(),
+            r.lost_iters.to_string(),
+            r.outcomes.join("; "),
+        ]);
+    }
+    out.push_str(&t.render());
+    for s in &m.savings {
+        out.push_str(&format!(
+            "{}: checkpoint+migrate finishes {:.2} s earlier than riding out the outage ({:.2} s vs {:.2} s)\n",
+            s.fabric, s.saved_secs, s.migrate_secs, s.no_reaction_secs
+        ));
+    }
+    out
+}
+
 /// Renders both tables.
 pub fn render(s: &ClusterStudy) -> String {
     let mut out = String::new();
@@ -357,6 +525,50 @@ mod tests {
         for r in &s.placement {
             assert!(r.jain > 0.0 && r.jain <= 1.0 + 1e-12, "Jain in (0,1]");
             assert!(r.peak_link_util > 0.0, "traffic must register on links");
+        }
+    }
+
+    #[test]
+    fn migration_beats_riding_out_the_outage_on_both_fabrics() {
+        let m = migration_study(Fidelity::quick(), &cluster_fault_fixture());
+        assert_eq!(m.rows.len(), 4, "2 fabrics x 2 reactions");
+        for r in &m.rows {
+            assert!(
+                r.outcomes.iter().all(|o| !o.starts_with("FAILED")),
+                "{}/{}: a job failed: {:?}",
+                r.fabric,
+                r.reaction,
+                r.outcomes
+            );
+            if r.reaction == "checkpoint+migrate" {
+                assert!(
+                    r.migrations >= 1,
+                    "{}: the failure must trigger at least one migration",
+                    r.fabric
+                );
+                assert!(
+                    r.outcomes.iter().all(|o| o.starts_with("degraded")),
+                    "{}: migrated jobs must report DegradedCompleted: {:?}",
+                    r.fabric,
+                    r.outcomes
+                );
+            } else {
+                assert_eq!(
+                    r.migrations, 0,
+                    "{}: no-reaction must not migrate",
+                    r.fabric
+                );
+            }
+        }
+        for s in &m.savings {
+            assert!(
+                s.saved_secs > 0.0,
+                "{}: checkpoint+migrate must beat no-reaction on makespan \
+                 ({:.2} s vs {:.2} s)",
+                s.fabric,
+                s.migrate_secs,
+                s.no_reaction_secs
+            );
         }
     }
 }

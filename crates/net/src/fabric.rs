@@ -276,6 +276,21 @@ impl Fabric {
         }
     }
 
+    /// Cancels every pending transfer whose tag matches `pred` — queued,
+    /// on the wire, or awaiting delivery — and returns them; no port
+    /// goes down. The cluster driver purges a migrating job's traffic
+    /// this way.
+    pub fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        match self {
+            Fabric::Fifo(n) => n.cancel_where(now, pred),
+            Fabric::Fluid(n) => n.cancel_where(now, pred),
+        }
+    }
+
     /// Debug helper; see [`Network::debug_stalled`].
     pub fn debug_stalled(&self) -> Vec<(usize, usize, u64, bool, bool)> {
         match self {
@@ -343,6 +358,14 @@ impl crate::port::NetPort for Fabric {
 
     fn revive_port(&mut self, now: SimTime, node: NodeId) {
         Fabric::revive_port(self, now, node)
+    }
+
+    fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        Fabric::cancel_where(self, now, pred)
     }
 
     fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {

@@ -579,6 +579,83 @@ impl FluidNetwork {
         dropped
     }
 
+    /// Cancels every pending transfer whose tag matches `pred` at `now`
+    /// — actively draining or awaiting delivery — and returns them. No
+    /// port goes down: surviving flows refit to the freed capacity. The
+    /// cluster driver purges a checkpointing job's traffic this way
+    /// before migrating it.
+    pub fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        self.integrate_to(now);
+        let mut victims = std::mem::take(&mut self.scratch_finished);
+        victims.clear();
+        victims.extend(
+            self.active
+                .iter()
+                .copied()
+                .filter(|id| pred(self.flows[id.0 as usize].as_ref().expect("active flow").tag)),
+        );
+        let mut dropped = Vec::with_capacity(victims.len());
+        for id in victims.drain(..) {
+            let f = self.flows[id.0 as usize].take().expect("victim flow");
+            self.active.retain(|x| *x != id);
+            self.free_slots.push(id.0);
+            self.port_flows[f.src.0].retain(|x| *x != id);
+            self.port_flows[self.num_nodes + f.dst.0].retain(|x| *x != id);
+            if let Some(trace) = &mut self.trace {
+                trace.push((f.tag, f.src.0, f.dst.0, f.started_at, now));
+            }
+            if let Some(xray) = &mut self.xray {
+                xray.push((
+                    f.tag,
+                    f.src.0,
+                    f.dst.0,
+                    f.started_at,
+                    f.started_at,
+                    now,
+                    now,
+                ));
+            }
+            if let Some(rec) = self.contention.as_mut() {
+                rec.on_wire(f.src.0, f.dst.0, f.tag, f.bytes, f.started_at, now);
+                rec.on_dropped(now, f.src.0, f.dst.0, f.tag);
+            }
+            dropped.push(DroppedTransfer {
+                tag: f.tag,
+                src: f.src,
+                dst: f.dst,
+                bytes: f.bytes,
+            });
+        }
+        self.scratch_finished = victims;
+        // Drained flows awaiting delivery: their deliveries never fire.
+        let mut purged = Vec::new();
+        self.deliveries.retain(|(_, c)| {
+            if pred(c.tag) {
+                purged.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        for c in purged {
+            if let Some(rec) = self.contention.as_mut() {
+                rec.on_dropped(now, c.src.0, c.dst.0, c.tag);
+            }
+            dropped.push(DroppedTransfer {
+                tag: c.tag,
+                src: c.src,
+                dst: c.dst,
+                bytes: c.bytes,
+            });
+        }
+        self.reallocate();
+        dropped
+    }
+
     /// Brings `node` back up at `now`; stalled flows pick their fair
     /// rates back up. Capacity scales set before or during the outage
     /// persist.
@@ -774,6 +851,14 @@ impl crate::port::NetPort for FluidNetwork {
         FluidNetwork::revive_port(self, now, node)
     }
 
+    fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        FluidNetwork::cancel_where(self, now, pred)
+    }
+
     fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
         FluidNetwork::for_each_pending_tag(self, f)
     }
@@ -960,6 +1045,22 @@ mod tests {
         assert_eq!(dropped[0].tag, 1);
         let done = drain(&mut n);
         assert_eq!(done, vec![(2, SimTime::from_millis(1))]);
+    }
+
+    #[test]
+    fn cancel_where_drops_matching_flows_and_refits_survivors() {
+        let mut n = net(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(2), 1);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(2), mb(2), 2);
+        // Incast at 0.5 GB/s each; at 1 ms each flow has 1.5 MB left.
+        n.advance(SimTime::from_millis(1));
+        let dropped = n.cancel_where(SimTime::from_millis(1), &mut |tag| tag == 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].tag, 1);
+        // The survivor refits to the full rate: 1.5 ms more.
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(2, SimTime::from_micros(2_500))]);
+        assert!(n.is_idle());
     }
 
     #[test]

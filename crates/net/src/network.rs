@@ -825,6 +825,140 @@ impl Network {
         dropped
     }
 
+    /// Cancels every pending transfer whose tag matches `pred` at `now`
+    /// — queued, on the wire, or in the latency phase awaiting delivery —
+    /// and returns them. Unlike [`Self::kill_port`] no port goes down:
+    /// wires freed by a cancelled occupant immediately start surviving
+    /// work. The cluster driver purges a checkpointing job's traffic this
+    /// way before migrating it.
+    pub fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        let mut dropped = Vec::new();
+        // Queued-but-unstarted transfers first, so the wires freed below
+        // cannot restart a transfer that is itself being cancelled.
+        for src in 0..self.nics.len() {
+            for dst in 0..self.nics.len() {
+                let mut q = std::mem::take(&mut self.nics[src].up_queues[dst]);
+                q.retain(|id| {
+                    let t = &self.transfers[id.0 as usize];
+                    if t.started || !pred(t.tag) {
+                        return true;
+                    }
+                    if let Some(te) = self.telem.as_mut() {
+                        te.queued.step(now, -1.0);
+                    }
+                    if let Some(c) = self.contention.as_mut() {
+                        c.on_dropped(now, t.src.0, t.dst.0, t.tag);
+                    }
+                    dropped.push(DroppedTransfer {
+                        tag: t.tag,
+                        src: t.src,
+                        dst: t.dst,
+                        bytes: t.bytes,
+                    });
+                    false
+                });
+                self.nics[src].up_queues[dst] = q;
+            }
+        }
+        // On-wire occupants: every started transfer is some NIC's
+        // up_current, so scanning uplinks visits each exactly once.
+        let victims: Vec<TransferId> = self
+            .nics
+            .iter()
+            .filter_map(|n| n.up_current)
+            .filter(|id| pred(self.transfers[id.0 as usize].tag))
+            .collect();
+        for id in victims {
+            let (src, dst, bytes, tag, started_at, release_at, deliver_at) = {
+                let t = &self.transfers[id.0 as usize];
+                (
+                    t.src,
+                    t.dst,
+                    t.bytes,
+                    t.tag,
+                    t.started_at,
+                    t.release_at,
+                    t.deliver_at,
+                )
+            };
+            let had_release = self.releases.remove(&(release_at, id));
+            let had_delivery = self.deliveries.remove(&(deliver_at, id));
+            debug_assert!(
+                had_release && had_delivery,
+                "on-wire victim must be scheduled"
+            );
+            self.nics[src.0].up_current = None;
+            self.nics[dst.0].down_current = None;
+            let popped = self.nics[src.0].up_queues[dst.0].pop_front();
+            debug_assert_eq!(popped, Some(id));
+            let occ = now.saturating_sub(started_at);
+            self.up_busy[src.0] += occ;
+            self.down_busy[dst.0] += occ;
+            if let Some(trace) = &mut self.trace {
+                trace.push((tag, src.0, dst.0, started_at, now));
+            }
+            if let Some(xray) = &mut self.xray {
+                xray.push((
+                    tag,
+                    src.0,
+                    dst.0,
+                    self.transfers[id.0 as usize].submitted_at,
+                    started_at,
+                    now,
+                    now,
+                ));
+            }
+            if let Some(te) = self.telem.as_mut() {
+                te.active.step(now, -1.0);
+                te.up_util[src.0].record(now, 0.0);
+                te.down_util[dst.0].record(now, 0.0);
+            }
+            if let Some(sc) = self.scope.as_mut() {
+                sc.record(now, src.0, 0.0);
+                sc.record(now, self.nics.len() + dst.0, 0.0);
+            }
+            if let Some(c) = self.contention.as_mut() {
+                c.on_wire(src.0, dst.0, tag, bytes, started_at, now);
+                c.on_dropped(now, src.0, dst.0, tag);
+            }
+            dropped.push(DroppedTransfer {
+                tag,
+                src,
+                dst,
+                bytes,
+            });
+            self.try_start(now, src);
+            self.serve_down_waiters(now, dst);
+        }
+        // Latency-phase transfers (past wire release): their deliveries
+        // simply never fire.
+        let purge: Vec<(SimTime, TransferId)> = self
+            .deliveries
+            .iter()
+            .filter(|(_, id)| pred(self.transfers[id.0 as usize].tag))
+            .copied()
+            .collect();
+        for (t, id) in purge {
+            self.deliveries.remove(&(t, id));
+            let tr = &self.transfers[id.0 as usize];
+            if let Some(c) = self.contention.as_mut() {
+                c.on_dropped(now, tr.src.0, tr.dst.0, tr.tag);
+            }
+            dropped.push(DroppedTransfer {
+                tag: tr.tag,
+                src: tr.src,
+                dst: tr.dst,
+                bytes: tr.bytes,
+            });
+        }
+        self.next_event.set(None);
+        dropped
+    }
+
     /// Brings `node` back up at `now` and restarts service on every
     /// connection the outage was blocking. Capacity scales set before or
     /// during the outage persist.
@@ -949,6 +1083,14 @@ impl crate::port::NetPort for Network {
 
     fn revive_port(&mut self, now: SimTime, node: NodeId) {
         Network::revive_port(self, now, node)
+    }
+
+    fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        Network::cancel_where(self, now, pred)
     }
 
     fn for_each_pending_tag(&self, f: &mut dyn FnMut(u64)) {
@@ -1289,6 +1431,43 @@ mod tests {
         assert!(dropped.is_empty());
         let done = drain(&mut n);
         assert_eq!(done, vec![(1, SimTime::from_micros(1_500))]);
+    }
+
+    #[test]
+    fn cancel_where_purges_queued_wire_and_latency_phases() {
+        let mut n = net_lat(3);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(2), mb(1), 3);
+        n.submit(SimTime::ZERO, NodeId(1), NodeId(2), mb(1), 2);
+        // At 1.2 ms: tag 1 released (delivery pending at 1.5 ms), tag 3
+        // on the wire since 1.1 ms, tag 2 queued behind the downlink.
+        n.advance(SimTime::from_micros(1_200));
+        let at = SimTime::from_micros(1_200);
+        let dropped = n.cancel_where(at, &mut |tag| tag % 2 == 1);
+        assert_eq!(
+            dropped.iter().map(|d| d.tag).collect::<Vec<_>>(),
+            vec![3, 1],
+            "on-wire tag 3 then latency-phase tag 1"
+        );
+        // The freed downlink immediately serves the surviving tag 2.
+        assert_eq!(n.in_flight(), 1);
+        assert_eq!(n.queued(), 0);
+        let done = drain(&mut n);
+        assert_eq!(done, vec![(2, SimTime::from_micros(2_700))]);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn cancel_where_removes_queued_transfers_mid_queue() {
+        let mut n = net(2);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 1);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 4);
+        n.submit(SimTime::ZERO, NodeId(0), NodeId(1), mb(1), 2);
+        // Cancel the middle queued transfer; FIFO order of the rest holds.
+        let dropped = n.cancel_where(SimTime::ZERO, &mut |tag| tag == 4);
+        assert_eq!(dropped.len(), 1);
+        let order: Vec<u64> = drain(&mut n).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1, 2]);
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub trait NetPort {
     /// Brings `node` back up.
     fn revive_port(&mut self, now: SimTime, node: NodeId);
 
+    /// Cancels every pending transfer whose tag matches `pred` — queued,
+    /// on the wire, or awaiting delivery — and returns them. Unlike
+    /// [`Self::kill_port`] the ports stay up, so freed wires immediately
+    /// serve surviving work. The cluster driver purges a migrating job's
+    /// traffic this way.
+    fn cancel_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer>;
+
     /// Transfers currently occupying wires (diagnostics only).
     fn in_flight(&self) -> usize {
         0
@@ -177,6 +188,16 @@ impl NetPort for SubmitLog {
 
     fn revive_port(&mut self, _now: SimTime, _node: NodeId) {
         panic!("link faults cannot be applied to a SubmitLog (cluster tenants share ports)");
+    }
+
+    fn cancel_where(
+        &mut self,
+        _now: SimTime,
+        _pred: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<DroppedTransfer> {
+        panic!(
+            "transfers cannot be cancelled on a SubmitLog (free-running jobs own no fabric state)"
+        );
     }
 }
 

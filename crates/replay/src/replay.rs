@@ -28,6 +28,7 @@ use bs_cluster::{
     PlacementPolicy,
 };
 use bs_engine::EngineConfig;
+use bs_faults::FaultPlan;
 use bs_net::{FabricModel, NetConfig, Transport};
 use bs_runtime::job::MAX_JOBS;
 use bs_runtime::{Arch, SchedulerKind, WorldConfig};
@@ -67,6 +68,14 @@ pub struct ReplayOptions {
     /// Replay only the first `n` jobs of the trace (arrival order), for
     /// smoke tests and truncated benchmarks. `None` replays everything.
     pub truncate: Option<usize>,
+    /// Cluster-scope fault plan applied to **every wave**: each wave is
+    /// one independent cluster run, so the plan's machine indices name
+    /// the replay cluster's machines and its times are wave-relative
+    /// (a failure at 150 ms recurs 150 ms into each wave). Machine
+    /// failures trigger the driver's checkpoint/migrate/resume reaction;
+    /// jobs with no healthy placement wait for the plan's scheduled
+    /// restore.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ReplayOptions {
@@ -85,6 +94,7 @@ impl Default for ReplayOptions {
             placement: PlacementPolicy::RoundRobinSpread,
             threads: 1,
             truncate: None,
+            faults: None,
         }
     }
 }
@@ -242,6 +252,7 @@ pub fn replay_trace_observed(
         c.threads = opts.threads;
         c.record_metrics = record_metrics;
         c.record_contention = record_contention;
+        c.faults = opts.faults.clone();
         c
     };
     let keep_waves = record_metrics || record_contention;
@@ -424,6 +435,33 @@ mod tests {
         assert!(replay_trace_recorded(&trace, &opts, false, false)
             .1
             .is_empty());
+    }
+
+    #[test]
+    fn per_wave_cluster_faults_apply_deterministically() {
+        use bs_faults::MachineFailure;
+        let trace = tiny_trace(3);
+        let mut opts = ReplayOptions {
+            wave: 2,
+            iters_cap: 3,
+            ..ReplayOptions::default()
+        };
+        let clean = serde_json::to_string(&replay_trace(&trace, &opts)).expect("serializes");
+        opts.faults = Some(FaultPlan {
+            machine_failures: vec![MachineFailure {
+                machine: 1,
+                at_us: 20_000,
+                restore_us: Some(2_000_000),
+            }],
+            ..FaultPlan::empty()
+        });
+        let a = serde_json::to_string(&replay_trace(&trace, &opts)).expect("serializes");
+        let b = serde_json::to_string(&replay_trace(&trace, &opts)).expect("serializes");
+        assert_eq!(a, b, "faulted replay must stay byte-deterministic");
+        assert_ne!(
+            a, clean,
+            "the recurring machine failure must perturb the replay"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use bs_core::{
     WorkItem,
 };
 use bs_engine::{EngineEvent, ExternalRole, IterDag, NodeKind, Pass, WorkerEngine};
-use bs_faults::{FaultInjector, FaultPlan, LinkChange, LinkDir};
+use bs_faults::{job_seed, FaultInjector, FaultPlan, LinkChange, LinkDir};
 use bs_net::{DroppedTransfer, NetEvent, NetPort, NodeId, WireSpan, WireXrayRecord};
 use bs_scope::{ScopeBus, ScopeEvent};
 use bs_sim::{SimRng, SimTime, Trace};
@@ -118,6 +118,11 @@ impl NodeMap {
     pub fn tag(&self, inner: u64) -> u64 {
         debug_assert_eq!(inner & JOB_MASK, 0, "inner tag overflows into job bits");
         inner | self.job_bits
+    }
+
+    /// The job id this map namespaces tags under.
+    pub fn job(&self) -> usize {
+        (self.job_bits >> JOB_SHIFT) as usize
     }
 }
 
@@ -540,6 +545,11 @@ impl JobState {
             if let Err(e) = plan.validate() {
                 panic!("invalid fault plan: {e}");
             }
+            assert!(
+                plan.machine_failures.is_empty(),
+                "machine failures are cluster-scope faults; a job-private \
+                 plan cannot take down shared machines"
+            );
             if matches!(cfg.arch, Arch::AllReduce { .. }) {
                 assert!(
                     plan.link_events.is_empty() && plan.flaps.is_empty(),
@@ -572,7 +582,10 @@ impl JobState {
                 );
                 engines[s.worker].add_compute_scale(s.from_iter, s.to_iter, s.factor);
             }
-            Box::new(JobFaults::new(plan, cfg.seed))
+            // Each job draws its loss stream from a golden-ratio-split
+            // seed so co-tenants never share Bernoulli draws; job 0's
+            // split is the identity, keeping solo runs bit-identical.
+            Box::new(JobFaults::new(plan, job_seed(cfg.seed, nodes.job())))
         });
         JobState {
             num_workers: cfg.num_workers,
@@ -688,9 +701,83 @@ impl JobState {
         self.faults.as_ref().and_then(|f| f.failed.as_deref())
     }
 
+    /// Iterations every worker has fully retired — the checkpoint
+    /// barrier: a migrating job resumes from here and re-runs the rest.
+    pub fn completed_iterations(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.done_iterations())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Fails the run from outside: the cluster driver calls this when a
+    /// machine failure leaves a job with no feasible placement. Closes
+    /// instrumented intervals like an exhausted retry budget would.
+    pub fn abort(&mut self, reason: String, now: SimTime) {
+        let f = self
+            .faults
+            .get_or_insert_with(|| Box::new(JobFaults::new(&FaultPlan::empty(), 0)));
+        if f.failed.is_some() {
+            return;
+        }
+        f.failed = Some(reason);
+        for s in &mut self.scheds {
+            s.teardown(now);
+        }
+    }
+
+    /// Routes a transfer the *driver* killed on the shared fabric (a
+    /// machine failure or a co-tenant's hoisted link fault) into this
+    /// job's recovery machinery, exactly as a job-private flap would.
+    /// The tag must belong to this job; its job bits are stripped here.
+    pub fn route_fabric_drop<P: NetPort>(
+        &mut self,
+        d: DroppedTransfer,
+        now: SimTime,
+        fabric: &mut P,
+    ) {
+        debug_assert_eq!(
+            job_of_tag(d.tag),
+            self.nodes.job(),
+            "drop routed to wrong job"
+        );
+        if self.faults.is_none() {
+            // A faultless tenant can still lose transfers to cluster-scope
+            // outages; give it recovery state with the default policy.
+            self.faults = Some(Box::new(JobFaults::new(
+                &FaultPlan::empty(),
+                job_seed(0, self.nodes.job()),
+            )));
+        }
+        self.on_transfer_dropped(d, now, fabric);
+    }
+
+    /// Buffers a scope event on this job's stream (no-op when the job is
+    /// unobserved). The cluster driver records checkpoint/migrate/resume
+    /// decisions and cluster-scope fault firings this way.
+    pub fn scope_push(&mut self, ev: ScopeEvent) {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.pending.push(ev);
+        }
+    }
+
     /// This job's node map.
     pub fn nodes(&self) -> &NodeMap {
         &self.nodes
+    }
+
+    /// Replaces this job's node map (migration). The new map must cover
+    /// the same job-local node count and keep the same job id — only the
+    /// fabric placement changes.
+    pub fn remap_nodes(&mut self, nodes: NodeMap) {
+        assert_eq!(
+            nodes.len(),
+            self.nodes.len(),
+            "migration changes node count"
+        );
+        assert_eq!(nodes.job(), self.nodes.job(), "migration changes job id");
+        self.nodes = nodes;
     }
 
     /// Earliest instant this job does anything on its own: a GPU op ends,

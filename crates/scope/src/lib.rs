@@ -159,6 +159,34 @@ pub enum ScopeEvent {
         cache_hits: usize,
         batch_dedup: usize,
     },
+    /// A machine failure forced the job to checkpoint: `iter` is the
+    /// iteration barrier it checkpointed at, `machine` the failed machine,
+    /// `cost_secs` the §7 checkpoint-restart price it will pay before
+    /// resuming.
+    Checkpoint {
+        job: usize,
+        at: SimTime,
+        machine: usize,
+        iter: u64,
+        cost_secs: f64,
+    },
+    /// One of a checkpointed job's nodes was remapped onto a surviving
+    /// machine: job-local `node` moves `from_machine` → `to_machine`.
+    Migrate {
+        job: usize,
+        at: SimTime,
+        node: usize,
+        from_machine: usize,
+        to_machine: usize,
+    },
+    /// A checkpointed job resumed on its new placement: `iter` is the
+    /// barrier it restarts from, `lost_iters` the iterations it re-runs.
+    Resume {
+        job: usize,
+        at: SimTime,
+        iter: u64,
+        lost_iters: u64,
+    },
 }
 
 impl ScopeEvent {
@@ -175,6 +203,9 @@ impl ScopeEvent {
             ScopeEvent::WaveAdmitted { .. } => "wave_admitted",
             ScopeEvent::WaveDone { .. } => "wave_done",
             ScopeEvent::WhatIfBatch { .. } => "whatif_batch",
+            ScopeEvent::Checkpoint { .. } => "checkpoint",
+            ScopeEvent::Migrate { .. } => "migrate",
+            ScopeEvent::Resume { .. } => "resume",
         }
     }
 
@@ -190,7 +221,10 @@ impl ScopeEvent {
             | ScopeEvent::Drift { at, .. }
             | ScopeEvent::WaveAdmitted { at, .. }
             | ScopeEvent::WaveDone { at, .. }
-            | ScopeEvent::WhatIfBatch { at, .. } => at,
+            | ScopeEvent::WhatIfBatch { at, .. }
+            | ScopeEvent::Checkpoint { at, .. }
+            | ScopeEvent::Migrate { at, .. }
+            | ScopeEvent::Resume { at, .. } => at,
         }
     }
 
@@ -202,7 +236,10 @@ impl ScopeEvent {
             | ScopeEvent::FaultFired { job, .. }
             | ScopeEvent::StallWindow { job, .. }
             | ScopeEvent::IterEma { job, .. }
-            | ScopeEvent::Drift { job, .. } => Some(job),
+            | ScopeEvent::Drift { job, .. }
+            | ScopeEvent::Checkpoint { job, .. }
+            | ScopeEvent::Migrate { job, .. }
+            | ScopeEvent::Resume { job, .. } => Some(job),
             _ => None,
         }
     }
@@ -222,7 +259,10 @@ impl ScopeEvent {
             | ScopeEvent::Drift { at, .. }
             | ScopeEvent::WaveAdmitted { at, .. }
             | ScopeEvent::WaveDone { at, .. }
-            | ScopeEvent::WhatIfBatch { at, .. } => *at = add(*at),
+            | ScopeEvent::WhatIfBatch { at, .. }
+            | ScopeEvent::Checkpoint { at, .. }
+            | ScopeEvent::Migrate { at, .. }
+            | ScopeEvent::Resume { at, .. } => *at = add(*at),
             ScopeEvent::NetWindow { start, at, .. } | ScopeEvent::StallWindow { start, at, .. } => {
                 *start = add(*start);
                 *at = add(*at);
@@ -367,6 +407,40 @@ impl ScopeEvent {
                 put("computed", u(computed as u64));
                 put("cache_hits", u(cache_hits as u64));
                 put("batch_dedup", u(batch_dedup as u64));
+            }
+            ScopeEvent::Checkpoint {
+                job,
+                at: _,
+                machine,
+                iter,
+                cost_secs,
+            } => {
+                put("job", u(job as u64));
+                put("machine", u(machine as u64));
+                put("iter", u(iter));
+                put("cost_secs", f(cost_secs));
+            }
+            ScopeEvent::Migrate {
+                job,
+                at: _,
+                node,
+                from_machine,
+                to_machine,
+            } => {
+                put("job", u(job as u64));
+                put("node", u(node as u64));
+                put("from_machine", u(from_machine as u64));
+                put("to_machine", u(to_machine as u64));
+            }
+            ScopeEvent::Resume {
+                job,
+                at: _,
+                iter,
+                lost_iters,
+            } => {
+                put("job", u(job as u64));
+                put("iter", u(iter));
+                put("lost_iters", u(lost_iters));
             }
         }
         Value::Object(row)
@@ -787,6 +861,35 @@ pub fn watch_line(ev: &ScopeEvent) -> Option<String> {
             ..
         } => format!(
             "watch batch {batch}: {queries} queries ({computed} computed, {cache_hits} cache hits, {batch_dedup} dedup)"
+        ),
+        ScopeEvent::Checkpoint {
+            job,
+            at,
+            machine,
+            iter,
+            cost_secs,
+        } => format!(
+            "watch job{job} CHECKPOINT t={:>9.4}s  machine {machine} down, barrier iter {iter}, restart {cost_secs:.1}s",
+            secs(at)
+        ),
+        ScopeEvent::Migrate {
+            job,
+            at,
+            node,
+            from_machine,
+            to_machine,
+        } => format!(
+            "watch job{job} MIGRATE    t={:>9.4}s  node {node}: machine {from_machine} -> {to_machine}",
+            secs(at)
+        ),
+        ScopeEvent::Resume {
+            job,
+            at,
+            iter,
+            lost_iters,
+        } => format!(
+            "watch job{job} RESUME     t={:>9.4}s  from iter {iter} ({lost_iters} iters re-run)",
+            secs(at)
         ),
         ScopeEvent::NetWindow { .. }
         | ScopeEvent::StallWindow { .. }

@@ -19,11 +19,13 @@ pub mod drift;
 pub mod gp;
 pub mod linalg;
 pub mod live;
+pub mod restart;
 pub mod space;
 pub mod tuners;
 
 pub use bo::BayesOpt;
 pub use drift::DriftDetector;
 pub use live::LiveDrift;
+pub use restart::RestartCost;
 pub use space::SearchSpace;
 pub use tuners::{GridSearch, RandomSearch, SgdMomentum, Tuner};

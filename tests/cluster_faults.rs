@@ -1,0 +1,194 @@
+//! Cluster-scope fault-plan contract tests: the committed cluster fault
+//! fixture (the one `cluster --faults` and the migration study default
+//! to), loss projection onto co-scheduled jobs, and the fail-closed
+//! retry cap at cluster scope.
+
+mod common;
+
+use bytescheduler::cluster::{run_cluster, ClusterConfig, JobSpec, PlacementPolicy};
+use bytescheduler::faults::{
+    FaultPlan, LinkDir, LinkEvent, MachineFailure, RecoveryPolicy, StragglerSpec,
+};
+use bytescheduler::net::FabricModel;
+use bytescheduler::runtime::RunOutcome;
+use serde_json::Value;
+
+/// The committed cluster fault plan, defined in code so the fixture file
+/// is provably a render of this value (byte-stable round trip).
+///
+/// Machine 1 fails at 150 ms and restores at 60 s — long past both jobs'
+/// natural finish, so riding out the outage is always the losing arm of
+/// the migration study. The link event halves machine 2's NIC for a
+/// second, one worker straggles for two iterations, and a trickle of
+/// loss keeps the recovery path exercised.
+fn fixture_plan() -> FaultPlan {
+    FaultPlan {
+        link_events: vec![
+            LinkEvent {
+                at_us: 200_000,
+                node: 2,
+                dir: LinkDir::Up,
+                scale: 0.5,
+            },
+            LinkEvent {
+                at_us: 200_000,
+                node: 2,
+                dir: LinkDir::Down,
+                scale: 0.5,
+            },
+            LinkEvent {
+                at_us: 1_200_000,
+                node: 2,
+                dir: LinkDir::Up,
+                scale: 1.0,
+            },
+            LinkEvent {
+                at_us: 1_200_000,
+                node: 2,
+                dir: LinkDir::Down,
+                scale: 1.0,
+            },
+        ],
+        flaps: Vec::new(),
+        loss_rate: 0.001,
+        stragglers: vec![StragglerSpec {
+            worker: 1,
+            from_iter: 2,
+            to_iter: 4,
+            factor: 1.3,
+        }],
+        machine_failures: vec![MachineFailure {
+            machine: 1,
+            at_us: 150_000,
+            restore_us: Some(60_000_000),
+        }],
+        recovery: RecoveryPolicy {
+            timeout_us: 5_000,
+            max_retries: 10,
+        },
+    }
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cluster_fault_plan.json")
+}
+
+/// The committed fixture file is byte-for-byte the render of
+/// [`fixture_plan`]. Regenerate after an intentional change with
+/// `BS_UPDATE_GOLDEN=1 cargo test --test cluster_faults`.
+#[test]
+fn committed_cluster_plan_is_a_render_of_the_code_plan() {
+    let rendered = fixture_plan().to_json();
+    let path = fixture_path();
+    if std::env::var("BS_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing cluster fault fixture {} ({e}); run with BS_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "tests/fixtures/cluster_fault_plan.json diverged from fixture_plan(); \
+         regenerate with BS_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The committed plan round-trips through its JSON form and validates
+/// against the committed v2 schema (machine_failures included).
+#[test]
+fn committed_cluster_plan_round_trips_and_matches_schema() {
+    let plan = fixture_plan();
+    assert!(!plan.is_empty());
+    let again = FaultPlan::from_json(&plan.to_json()).expect("rendered plan parses");
+    assert_eq!(plan, again);
+    let schema = common::schema::committed("fault_plan.schema.json");
+    let doc: Value = serde_json::from_str(&plan.to_json()).expect("rendered parses");
+    let mut errs = Vec::new();
+    common::schema::validate(&schema, &doc, "$", &mut errs);
+    assert!(errs.is_empty(), "schema violations:\n{}", errs.join("\n"));
+}
+
+/// Two co-scheduled jobs sharing 4 machines under the golden toy config.
+fn two_job_cluster(plan: FaultPlan) -> bytescheduler::cluster::ClusterResult {
+    // Same seed on purpose: any divergence between the two jobs under a
+    // cluster-scope loss plan comes from the per-job RNG split alone.
+    let a = common::scenario(FabricModel::SerialFifo);
+    let b = common::scenario(FabricModel::SerialFifo);
+    let mut cluster = ClusterConfig::new(4, a.net);
+    cluster.placement = PlacementPolicy::Packed;
+    cluster.faults = Some(plan);
+    run_cluster(
+        &cluster,
+        &[JobSpec::train("job0", a), JobSpec::train("job1", b)],
+    )
+}
+
+/// A cluster-scope loss plan projects onto every co-scheduled training
+/// job through the per-job RNG split: same seed, different drop streams.
+/// Both jobs recover (DegradedCompleted), their retry counts differ, and
+/// the whole run replays bit-identically.
+#[test]
+fn cluster_loss_splits_per_job_and_replays_deterministically() {
+    let plan = FaultPlan {
+        loss_rate: 0.05,
+        recovery: RecoveryPolicy {
+            timeout_us: 1_000,
+            max_retries: 40,
+        },
+        ..FaultPlan::empty()
+    };
+    let r = two_job_cluster(plan.clone());
+    let retries: Vec<u64> = r
+        .jobs
+        .iter()
+        .map(|j| match j.result.outcome {
+            RunOutcome::DegradedCompleted { retries, .. } => {
+                assert!(retries > 0, "{}: loss must force retransmits", j.name);
+                retries
+            }
+            ref o => panic!("{}: expected DegradedCompleted, got {o:?}", j.name),
+        })
+        .collect();
+    assert_ne!(
+        retries[0], retries[1],
+        "identically-seeded jobs must draw from split loss streams"
+    );
+    // Determinism: an in-process rerun agrees on every nanosecond.
+    let again = two_job_cluster(plan);
+    for (x, y) in r.jobs.iter().zip(again.jobs.iter()) {
+        assert_eq!(x.finished_at, y.finished_at, "{}: finish time", x.name);
+        assert_eq!(x.result.outcome, y.result.outcome, "{}: outcome", x.name);
+        assert_eq!(x.result.iter_times, y.result.iter_times, "{}", x.name);
+    }
+    assert_eq!(r.makespan, again.makespan);
+}
+
+/// The retry cap fails closed at cluster scope exactly as it does solo:
+/// crushing loss with a one-retry budget aborts the job rather than
+/// spinning forever, and the failure is reported per job.
+#[test]
+fn cluster_retry_cap_fails_closed() {
+    let plan = FaultPlan {
+        loss_rate: 0.9,
+        recovery: RecoveryPolicy {
+            timeout_us: 100,
+            max_retries: 1,
+        },
+        ..FaultPlan::empty()
+    };
+    let r = two_job_cluster(plan);
+    for j in &r.jobs {
+        match &j.result.outcome {
+            RunOutcome::Failed { reason } => {
+                assert!(!reason.is_empty(), "{}: failure must carry a cause", j.name)
+            }
+            o => panic!("{}: expected Failed under a 1-retry cap, got {o:?}", j.name),
+        }
+    }
+}

@@ -15,6 +15,7 @@
 
 use bs_cluster::{run_cluster, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy};
 use bs_engine::EngineConfig;
+use bs_faults::FaultPlan;
 use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
 use bs_net::{FabricModel, NetConfig, Transport};
 use bs_runtime::{Arch, SchedulerKind, WorldConfig};
@@ -71,7 +72,10 @@ fn job(sched: SchedulerKind, seed: u64) -> WorldConfig {
 /// Two jobs sharing 4 machines under packed placement, the second
 /// arriving 20 ms late — exercises tag demuxing, contention, and
 /// arrival offsets all at once.
-fn scenario(fabric: FabricModel) -> ClusterResult {
+/// The golden scenario with an optional cluster-scope fault plan
+/// attached — `None` and `Some(FaultPlan::empty())` must be
+/// indistinguishable (see `empty_cluster_plan_reproduces_golden_bytes`).
+fn scenario_with(fabric: FabricModel, faults: Option<FaultPlan>) -> ClusterResult {
     let bs = job(
         SchedulerKind::ByteScheduler {
             partition: 1_000_000,
@@ -83,6 +87,7 @@ fn scenario(fabric: FabricModel) -> ClusterResult {
     let mut cluster = ClusterConfig::new(4, bs.net);
     cluster.fabric = fabric;
     cluster.placement = PlacementPolicy::Packed;
+    cluster.faults = faults;
     run_cluster(
         &cluster,
         &[
@@ -143,8 +148,12 @@ fn fixture_path() -> std::path::PathBuf {
 }
 
 fn render() -> String {
-    let fifo = scenario(FabricModel::SerialFifo);
-    let fluid = scenario(FabricModel::FairShare);
+    render_with(|| None)
+}
+
+fn render_with(faults: impl Fn() -> Option<FaultPlan>) -> String {
+    let fifo = scenario_with(FabricModel::SerialFifo, faults());
+    let fluid = scenario_with(FabricModel::FairShare, faults());
     let doc = Value::Array(vec![
         fingerprint("two_job_packed_fifo_fabric", &fifo),
         fingerprint("two_job_packed_fluid_fabric", &fluid),
@@ -181,4 +190,19 @@ fn matches_committed_fixture_on_both_fabrics() {
 #[test]
 fn repeated_cluster_runs_are_bit_identical() {
     assert_eq!(render(), render());
+}
+
+/// Attaching the *empty* cluster fault plan changes not one byte of the
+/// golden fixture: the cluster injector, like the solo one, is
+/// pay-for-what-you-inject — no plan events means no RNG draws, no extra
+/// simulator events, no perturbed timestamps.
+#[test]
+fn empty_cluster_plan_reproduces_golden_bytes() {
+    let committed = std::fs::read_to_string(fixture_path())
+        .expect("golden cluster fixture exists (generate with BS_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        render_with(|| Some(FaultPlan::empty())),
+        committed,
+        "an empty cluster fault plan must be the identity on the golden scenario"
+    );
 }

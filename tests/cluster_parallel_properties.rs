@@ -10,6 +10,7 @@
 
 use bs_cluster::{run_cluster, ClusterConfig, ClusterResult, JobSpec, PlacementPolicy};
 use bs_engine::EngineConfig;
+use bs_faults::{FaultPlan, MachineFailure};
 use bs_models::{DnnModel, GpuSpec, ModelBuilder, SampleUnit};
 use bs_net::{FabricModel, NetConfig, Transport};
 use bs_runtime::{Arch, BackgroundLoad, SchedulerKind, WorldConfig};
@@ -155,6 +156,70 @@ proptest! {
             threads,
             cluster.fabric,
             cluster.placement
+        );
+    }
+
+    /// The parallel driver must also replay cluster-scope *machine
+    /// failures* bit-for-bit: the checkpoint/migrate/resume epochs (or
+    /// the fail-closed path when no placement exists) happen at the same
+    /// virtual instants with the same node moves at any thread count.
+    #[test]
+    fn parallel_cluster_matches_sequential_under_machine_failure(
+        kinds in proptest::collection::vec((0usize..3, 0u64..1000, 0u64..30), 2..5),
+        fluid in any::<bool>(),
+        packed in any::<bool>(),
+        threads in 2usize..6,
+        fail_pick in 0usize..64,
+        at_ms in 1u64..40,
+        restore in any::<bool>(),
+    ) {
+        // Training tenants only (kind < 3): a burst tenant never
+        // finishes, and here every case already exercises liveness
+        // through the failure/restore timeline.
+        let specs: Vec<JobSpec> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, seed, arr))| tenant(i, k, seed, arr))
+            .collect();
+        // One spare machine beyond the mixed-tenant sizing so a migration
+        // has somewhere to land (the failure may still be unplaceable —
+        // that path must be deterministic too).
+        let machines = specs.iter().map(|s| s.nodes_needed()).max().unwrap().max(2)
+            + specs.iter().map(|s| s.nodes_needed()).sum::<usize>() / 2
+            + 1;
+        let mut cluster = ClusterConfig::new(
+            machines,
+            NetConfig::gbps(10.0, Transport::tcp()),
+        );
+        cluster.fabric = if fluid { FabricModel::FairShare } else { FabricModel::SerialFifo };
+        cluster.placement = if packed {
+            PlacementPolicy::Packed
+        } else {
+            PlacementPolicy::RoundRobinSpread
+        };
+        cluster.faults = Some(FaultPlan {
+            machine_failures: vec![MachineFailure {
+                machine: fail_pick % machines,
+                at_us: at_ms * 1_000,
+                restore_us: restore.then_some(at_ms * 1_000 + 2_000_000),
+            }],
+            ..FaultPlan::empty()
+        });
+
+        let seq = fingerprint(&run_cluster(&cluster, &specs));
+        let mut par = cluster.clone();
+        par.threads = threads;
+        let got = fingerprint(&run_cluster(&par, &specs));
+        prop_assert_eq!(
+            got,
+            seq,
+            "threads={} fabric={:?} placement={:?} fail={} at={}ms restore={} diverged",
+            threads,
+            cluster.fabric,
+            cluster.placement,
+            fail_pick % machines,
+            at_ms,
+            restore
         );
     }
 }

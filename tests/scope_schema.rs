@@ -98,6 +98,34 @@ fn synthetic_rows() -> Vec<String> {
         cache_hits: 1,
         batch_dedup: 1,
     });
+    // The cluster driver's machine-failure reaction sequence.
+    bus.publish(ScopeEvent::FaultFired {
+        job: 2,
+        at: SimTime::from_secs(3),
+        kind: "machine_down",
+        node: 1,
+        scale: 0.0,
+    });
+    bus.publish(ScopeEvent::Checkpoint {
+        job: 2,
+        at: SimTime::from_secs(3),
+        machine: 1,
+        iter: 5,
+        cost_secs: 9.1,
+    });
+    bus.publish(ScopeEvent::Migrate {
+        job: 2,
+        at: SimTime::from_secs(3),
+        node: 0,
+        from_machine: 1,
+        to_machine: 4,
+    });
+    bus.publish(ScopeEvent::Resume {
+        job: 2,
+        at: SimTime::from_millis(12_100),
+        iter: 5,
+        lost_iters: 2,
+    });
     handle.rows()
 }
 
@@ -133,6 +161,9 @@ fn events_jsonl_validates_against_committed_schema() {
         "wave_admitted",
         "wave_done",
         "whatif_batch",
+        "checkpoint",
+        "migrate",
+        "resume",
     ] {
         assert!(kinds_seen.contains(kind), "no {kind:?} row produced");
     }
